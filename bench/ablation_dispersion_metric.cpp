@@ -1,0 +1,72 @@
+// Ablation: the dispersion-metric design choice. The paper sums *signed*
+// distances so that geographically symmetric source sets read as zero; a
+// naive alternative (mean unsigned distance to the center) cannot separate
+// symmetric from asymmetric snapshots. This bench quantifies the
+// difference: the signed metric has a large point mass at ~0 while the
+// unsigned variant never drops, and predictability differs accordingly.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/geo_analysis.h"
+#include "core/prediction.h"
+#include "core/report.h"
+#include "stats/descriptive.h"
+
+int main() {
+  using namespace ddos;
+  bench::PrintHeader("Ablation", "Signed-sum vs mean-distance dispersion");
+  const auto& ds = bench::SharedDataset();
+
+  core::TextTable table({"family", "metric", "P(v<10km)", "mean", "std",
+                         "cosine (ARIMA)"});
+  double signed_zero_share = 0.0, unsigned_zero_share = 1.0;
+  for (const data::Family f : {data::Family::kPandora, data::Family::kDirtjumper}) {
+    const auto series = core::DispersionSeries(ds, bench::SharedGeoDb(), f);
+    std::vector<double> signed_values, mean_distances;
+    signed_values.reserve(series.size());
+    mean_distances.reserve(series.size());
+    for (const core::DispersionPoint& p : series) {
+      signed_values.push_back(p.value_km);
+    }
+    // The unsigned variant (per-snapshot mean distance to the center) is
+    // recomputed from the same snapshots via the geo database.
+    for (std::size_t si : ds.SnapshotsOfFamily(f)) {
+      const data::SnapshotRecord& snap = ds.snapshots()[si];
+      if (snap.bot_ips.size() < 2) continue;
+      std::vector<geo::Coordinate> coords;
+      coords.reserve(snap.bot_ips.size());
+      for (const net::IPv4Address& ip : snap.bot_ips) {
+        coords.push_back(bench::SharedGeoDb().Lookup(ip).location);
+      }
+      mean_distances.push_back(geo::ComputeDispersion(coords).mean_distance_km);
+    }
+
+    for (const auto& [label, values] :
+         {std::pair<const char*, const std::vector<double>&>{"signed sum",
+                                                             signed_values},
+          std::pair<const char*, const std::vector<double>&>{"mean distance",
+                                                             mean_distances}}) {
+      const double zero_share = core::SymmetricFraction(values);
+      const auto s = stats::Summarize(values);
+      const auto asym = core::AsymmetricValues(values);
+      const auto pred = core::PredictDispersion(asym);
+      if (f == data::Family::kPandora) {
+        if (std::string(label) == "signed sum") signed_zero_share = zero_share;
+        else unsigned_zero_share = zero_share;
+      }
+      table.AddRow({std::string(data::FamilyName(f)), label,
+                    core::Humanize(zero_share), core::Humanize(s.mean),
+                    core::Humanize(s.stddev),
+                    pred ? core::Humanize(pred->cosine_similarity) : "-"});
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+
+  bench::PrintComparison({
+      {"Pandora zero-share, signed metric", 0.767, signed_zero_share,
+       "the paper's symmetry signal"},
+      {"Pandora zero-share, unsigned metric", bench::NotReported(),
+       unsigned_zero_share, "no symmetry signal without the sign"},
+  });
+  return 0;
+}

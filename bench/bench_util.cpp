@@ -1,0 +1,76 @@
+#include "bench_util.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/strings.h"
+#include "core/report.h"
+
+namespace ddos::bench {
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const auto parsed = ParseDouble(value);
+  return parsed.value_or(fallback);
+}
+
+}  // namespace
+
+sim::SimConfig BenchSimConfig() {
+  sim::SimConfig config;
+  config.scale = EnvDouble("DDOSCOPE_SCALE", 1.0);
+  config.days = static_cast<int>(EnvDouble("DDOSCOPE_DAYS", 207));
+  config.seed = static_cast<std::uint64_t>(EnvDouble("DDOSCOPE_SEED", 20120829));
+  return config;
+}
+
+const geo::GeoDatabase& SharedGeoDb() {
+  static const geo::GeoDatabase db = geo::GeoDatabase::MakeDefault(42);
+  return db;
+}
+
+const data::Dataset& SharedDataset() {
+  static const data::Dataset dataset = [] {
+    const auto t0 = std::chrono::steady_clock::now();
+    sim::TraceSimulator simulator(SharedGeoDb(), sim::DefaultProfiles(),
+                                  BenchSimConfig());
+    data::Dataset ds = simulator.Generate();
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - t0);
+    std::printf("[trace: %zu attacks, %zu snapshots, %zu bots; generated in %lld ms]\n",
+                ds.attacks().size(), ds.snapshots().size(), ds.bots().size(),
+                static_cast<long long>(elapsed.count()));
+    return ds;
+  }();
+  return dataset;
+}
+
+void PrintHeader(const std::string& experiment, const std::string& title) {
+  const sim::SimConfig config = BenchSimConfig();
+  std::printf("\n=== %s - %s ===\n", experiment.c_str(), title.c_str());
+  std::printf("[config: scale=%.2f days=%d seed=%llu]\n", config.scale,
+              config.days, static_cast<unsigned long long>(config.seed));
+}
+
+double NotReported() { return std::numeric_limits<double>::quiet_NaN(); }
+
+void PrintComparison(const std::vector<ComparisonRow>& rows) {
+  core::TextTable table({"metric", "paper", "measured", "ratio", "note"});
+  for (const ComparisonRow& row : rows) {
+    std::string paper = std::isnan(row.paper) ? "-" : core::Humanize(row.paper);
+    std::string ratio =
+        (std::isnan(row.paper) || row.paper == 0.0)
+            ? "-"
+            : StrFormat("%.2f", row.measured / row.paper);
+    table.AddRow({row.metric, paper, core::Humanize(row.measured), ratio, row.note});
+  }
+  std::printf("\n--- paper vs measured ---\n%s", table.Render().c_str());
+}
+
+}  // namespace ddos::bench

@@ -1,0 +1,47 @@
+// Shared infrastructure for the reproduction harness.
+//
+// Every bench binary regenerates the synthetic seven-month trace with the
+// default seed (20120829), runs one of the paper's analyses, prints the
+// table/figure it reproduces, and closes with a paper-vs-measured
+// comparison. Environment overrides for quick runs:
+//   DDOSCOPE_SCALE  - attack/bot volume multiplier (default 1.0)
+//   DDOSCOPE_DAYS   - observation window length (default 207)
+//   DDOSCOPE_SEED   - generator seed (default 20120829)
+#ifndef DDOSCOPE_BENCH_BENCH_UTIL_H_
+#define DDOSCOPE_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "botsim/simulator.h"
+#include "data/dataset.h"
+#include "geo/geo_db.h"
+
+namespace ddos::bench {
+
+// The simulation configuration after environment overrides.
+sim::SimConfig BenchSimConfig();
+
+// Generated once per process.
+const geo::GeoDatabase& SharedGeoDb();
+const data::Dataset& SharedDataset();
+
+// "=== Fig 3 - Attack interval CDF ===" banner plus generation info.
+void PrintHeader(const std::string& experiment, const std::string& title);
+
+struct ComparisonRow {
+  std::string metric;
+  double paper = 0.0;     // value reported in the paper (NaN = not reported)
+  double measured = 0.0;  // value from this run
+  std::string note;
+};
+
+// Renders metric / paper / measured / measured-over-paper columns.
+void PrintComparison(const std::vector<ComparisonRow>& rows);
+
+// Convenience for rows where the paper gives no number.
+double NotReported();
+
+}  // namespace ddos::bench
+
+#endif  // DDOSCOPE_BENCH_BENCH_UTIL_H_

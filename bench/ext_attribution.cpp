@@ -1,0 +1,54 @@
+// Extension: behavioral attack attribution (the Section-V-summary "attack
+// attribution" future work). Holds out 30 % of each family's botnets,
+// trains per-family fingerprints on the rest, and attributes the held-out
+// botnets from their observable attack behaviour alone.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/attribution.h"
+#include "core/report.h"
+
+int main() {
+  using namespace ddos;
+  bench::PrintHeader("Extension", "Behavioral family attribution");
+  const auto& ds = bench::SharedDataset();
+
+  const core::AttributionEvaluation eval =
+      core::EvaluateAttribution(ds, /*holdout_fraction=*/0.3,
+                                /*min_attacks=*/5, /*seed=*/7);
+
+  // Confusion matrix over families that actually appear.
+  std::vector<data::Family> present;
+  for (const data::Family f : data::ActiveFamilies()) {
+    bool any = false;
+    for (std::size_t p = 0; p < data::kFamilyCount; ++p) {
+      any |= eval.confusion[static_cast<std::size_t>(f)][p] > 0;
+      any |= eval.confusion[p][static_cast<std::size_t>(f)] > 0;
+    }
+    if (any) present.push_back(f);
+  }
+  std::vector<std::string> header = {"truth \\ predicted"};
+  for (const data::Family f : present) {
+    header.push_back(std::string(data::FamilyName(f)).substr(0, 6));
+  }
+  core::TextTable table(std::move(header));
+  for (const data::Family t : present) {
+    std::vector<std::string> row = {std::string(data::FamilyName(t))};
+    for (const data::Family p : present) {
+      row.push_back(std::to_string(
+          eval.confusion[static_cast<std::size_t>(t)][static_cast<std::size_t>(p)]));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s", table.Render().c_str());
+
+  const double chance = present.empty() ? 0.0 : 1.0 / present.size();
+  bench::PrintComparison({
+      {"held-out botnets evaluated", bench::NotReported(),
+       static_cast<double>(eval.botnets_evaluated), ""},
+      {"attribution accuracy", bench::NotReported(), eval.accuracy,
+       "behavior-only, no malware hashes"},
+      {"chance baseline", bench::NotReported(), chance, ""},
+  });
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Extension: mitigation replay. Section III-D argues only automatic
+// mitigation can react inside the attack-duration profile, and Section V
+// suggests exploiting interval patterns to prepare for the next rounds.
+// This bench quantifies both claims on the full trace.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/mitigation_sim.h"
+#include "core/report.h"
+
+int main() {
+  using namespace ddos;
+  bench::PrintHeader("Extension", "Mitigation policy replay");
+  const auto& ds = bench::SharedDataset();
+
+  core::TextTable table({"policy", "detection delay", "coverage",
+                         "fully covered", "preempted", "outlived window"});
+  auto run = [&](const char* name, std::int64_t delay, bool predictive) {
+    core::MitigationPolicy policy;
+    policy.detection_delay_s = delay;
+    policy.predictive = predictive;
+    const core::MitigationOutcome o = core::SimulateMitigation(ds, policy);
+    table.AddRow({name, std::to_string(delay) + " s",
+                  core::Humanize(o.coverage), std::to_string(o.fully_covered),
+                  std::to_string(o.preempted),
+                  std::to_string(o.outlived_engagement)});
+    return o;
+  };
+
+  const auto manual = run("manual (30 min)", 1800, false);
+  const auto semi = run("semi-automatic (5 min)", 300, false);
+  const auto automatic = run("automatic (30 s)", 30, false);
+  const auto predictive = run("automatic + predictive", 30, true);
+  std::printf("%s", table.Render().c_str());
+
+  bench::PrintComparison({
+      {"manual coverage", bench::NotReported(), manual.coverage,
+       "Section III-D: manual response is too slow"},
+      {"automatic coverage", bench::NotReported(), automatic.coverage, ""},
+      {"automatic/manual gain", bench::NotReported(),
+       manual.coverage > 0 ? automatic.coverage / manual.coverage : 0.0, ""},
+      {"predictive preemptions", bench::NotReported(),
+       static_cast<double>(predictive.preempted),
+       "interval patterns exploited (Section V)"},
+      {"predictive extra coverage", bench::NotReported(),
+       predictive.coverage - automatic.coverage, ""},
+      {"semi-automatic coverage", bench::NotReported(), semi.coverage, ""},
+  });
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Extension: takedown prioritization (the rza-style analysis the paper's
+// related work points to). Ranks botnet generations by attack volume plus
+// ecosystem role and replays top-k takedowns.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/report.h"
+#include "core/takedown.h"
+
+int main() {
+  using namespace ddos;
+  bench::PrintHeader("Extension", "Botnet takedown prioritization");
+  const auto& ds = bench::SharedDataset();
+  const auto events = core::DetectConcurrentCollaborations(ds);
+  const auto ranking = core::RankTakedowns(ds, events);
+
+  core::TextTable table({"rank", "botnet", "family", "attacks",
+                         "attack-hours", "collab events"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(ranking.size(), 12); ++i) {
+    const core::TakedownCandidate& c = ranking[i];
+    table.AddRow({std::to_string(i + 1), std::to_string(c.botnet_id),
+                  std::string(data::FamilyName(c.family)),
+                  std::to_string(c.attacks),
+                  core::Humanize(c.attack_seconds / 3600.0),
+                  std::to_string(c.collaboration_events)});
+  }
+  std::printf("top takedown candidates (%zu attacking botnets):\n%s",
+              ranking.size(), table.Render().c_str());
+
+  std::vector<std::pair<std::string, double>> bars;
+  std::vector<bench::ComparisonRow> comparison;
+  for (const std::size_t k : {5u, 10u, 25u, 50u, 100u}) {
+    const core::TakedownImpact impact =
+        core::SimulateTakedown(ds, events, ranking, k);
+    bars.emplace_back("top " + std::to_string(k), impact.fraction_removed);
+    comparison.push_back({"attack-seconds removed by top-" + std::to_string(k),
+                          bench::NotReported(), impact.fraction_removed, ""});
+  }
+  std::printf("\nattack-second share removed by taking down top-k botnets:\n%s",
+              core::RenderBars(bars).c_str());
+
+  const core::TakedownImpact top10 = core::SimulateTakedown(ds, events, ranking, 10);
+  comparison.push_back({"collaborations broken by top-10", bench::NotReported(),
+                        static_cast<double>(top10.collaborations_broken),
+                        core::Humanize(static_cast<double>(events.size())) +
+                            " events total"});
+  bench::PrintComparison(comparison);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig 1: popularity of attack types. HTTP dominates, followed by the other
+// connection-oriented transports; reflection/amplification is absent.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/overview.h"
+#include "core/report.h"
+
+int main() {
+  using namespace ddos;
+  bench::PrintHeader("Fig 1", "Popularity of attack types");
+  const auto& ds = bench::SharedDataset();
+  const auto breakdown = core::ProtocolBreakdown(ds.attacks());
+
+  std::vector<std::pair<std::string, double>> bars;
+  for (const core::ProtocolCount& pc : breakdown) {
+    bars.emplace_back(std::string(data::ProtocolName(pc.protocol)),
+                      static_cast<double>(pc.attacks));
+  }
+  std::printf("%s", core::RenderBars(bars).c_str());
+
+  // Table II row sums give the paper's per-protocol totals.
+  std::uint64_t measured_http = 0, measured_udp = 0, measured_tcp = 0;
+  std::uint64_t connection_oriented = 0, total = 0;
+  for (const core::ProtocolCount& pc : breakdown) {
+    total += pc.attacks;
+    if (pc.protocol == data::Protocol::kHttp) measured_http = pc.attacks;
+    if (pc.protocol == data::Protocol::kUdp) measured_udp = pc.attacks;
+    if (pc.protocol == data::Protocol::kTcp) measured_tcp = pc.attacks;
+    if (pc.protocol == data::Protocol::kHttp || pc.protocol == data::Protocol::kTcp ||
+        pc.protocol == data::Protocol::kSyn) {
+      connection_oriented += pc.attacks;
+    }
+  }
+  bench::PrintComparison({
+      {"HTTP attacks", 47734, static_cast<double>(measured_http), "Table II sum"},
+      {"TCP attacks", 726, static_cast<double>(measured_tcp), "Table II sum"},
+      {"UDP attacks", 410, static_cast<double>(measured_udp), "Table II sum"},
+      {"HTTP share", 47734.0 / 50704.0,
+       static_cast<double>(measured_http) / static_cast<double>(total),
+       "dominant type"},
+      {"connection-oriented share", bench::NotReported(),
+       static_cast<double>(connection_oriented) / static_cast<double>(total),
+       "majority per Fig 1 caption"},
+  });
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fig 7: CDF of attack duration; 80 % of attacks last less than 13,882 s
+// (about four hours), the paper's suggested mitigation window.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/defense.h"
+#include "core/durations.h"
+#include "core/report.h"
+#include "stats/ecdf.h"
+
+int main() {
+  using namespace ddos;
+  bench::PrintHeader("Fig 7", "Attack duration CDF");
+  const auto& ds = bench::SharedDataset();
+  const auto durations = core::AttackDurations(ds.attacks());
+  const stats::Ecdf ecdf(durations);
+  std::printf("duration CDF (seconds, log grid):\n%s",
+              core::RenderCdf(ecdf, 16, /*log_x=*/true, 10.0).c_str());
+
+  const core::DurationStats s = core::ComputeDurationStats(durations);
+  const core::MitigationWindow window =
+      core::RecommendMitigationWindow(ds.attacks(), 0.80);
+
+  bench::PrintComparison({
+      {"p80 duration (s)", 13882, s.p80_seconds, "paper: ~4 hours"},
+      {"share under 4 h", 0.80, s.fraction_under_4h, ""},
+      {"recommended mitigation window (s)", 13882, window.window_seconds,
+       "Section III-D insight"},
+      {"prior work p80 (Mao et al.)", 4500, s.p80_seconds,
+       "attacks became more persistent"},
+  });
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Fig 10: Pandora's source geolocation dispersion histogram (symmetric
+// snapshots - 76.7 % - removed; values stationary around ~566 km).
+#include "bench_util.h"
+#include "geo_bench_common.h"
+
+int main() {
+  using namespace ddos;
+  bench::PrintHeader("Fig 10", "Pandora geolocation dispersion histogram");
+  bench::SharedDataset();
+  bench::RunDispersionHistogram(data::Family::kPandora, 0.767, 566.0);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Fig 11: Blackenergy's source geolocation dispersion histogram (symmetric
+// snapshots - 89.5 % - removed; values stationary around ~4,304 km).
+#include "bench_util.h"
+#include "geo_bench_common.h"
+
+int main() {
+  using namespace ddos;
+  bench::PrintHeader("Fig 11", "Blackenergy geolocation dispersion histogram");
+  bench::SharedDataset();
+  bench::RunDispersionHistogram(data::Family::kBlackenergy, 0.895, 4304.0);
+  return 0;
+}

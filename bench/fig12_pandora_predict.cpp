@@ -1,0 +1,14 @@
+// Fig 12: Pandora geolocation distance prediction - actual vs predicted
+// histograms plus the error series (Table IV row: 562.6/1809.2 predicted vs
+// 569.2/1842.5 truth, cosine similarity 0.946).
+#include "bench_util.h"
+#include "geo_bench_common.h"
+
+int main() {
+  using namespace ddos;
+  bench::PrintHeader("Fig 12", "Pandora geolocation distance prediction");
+  bench::SharedDataset();
+  bench::RunPredictionFigure(data::Family::kPandora, 562.6, 1809.2, 569.2,
+                             1842.5, 0.946);
+  return 0;
+}

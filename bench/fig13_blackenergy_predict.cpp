@@ -1,0 +1,14 @@
+// Fig 13: Blackenergy geolocation distance prediction - actual vs predicted
+// histograms plus the error series (Table IV row: 3968.4/1955.5 predicted vs
+// 3970.6/2294.4 truth, cosine similarity 0.960).
+#include "bench_util.h"
+#include "geo_bench_common.h"
+
+int main() {
+  using namespace ddos;
+  bench::PrintHeader("Fig 13", "Blackenergy geolocation distance prediction");
+  bench::SharedDataset();
+  bench::RunPredictionFigure(data::Family::kBlackenergy, 3968.4, 1955.5, 3970.6,
+                             2294.4, 0.960);
+  return 0;
+}

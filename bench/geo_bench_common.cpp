@@ -1,0 +1,98 @@
+#include "geo_bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/geo_analysis.h"
+#include "core/prediction.h"
+#include "core/report.h"
+#include "stats/descriptive.h"
+#include "stats/histogram.h"
+
+namespace ddos::bench {
+
+namespace {
+
+std::vector<double> AsymmetricSeries(data::Family family) {
+  const auto series =
+      core::DispersionSeries(SharedDataset(), SharedGeoDb(), family);
+  return core::AsymmetricValues(core::DispersionValues(series));
+}
+
+stats::Histogram MakeHistogram(std::span<const double> values) {
+  double hi = 1.0;
+  for (double v : values) hi = std::max(hi, v);
+  return stats::Histogram::Linear(values, 0.0, hi * 1.001, 14);
+}
+
+}  // namespace
+
+void RunDispersionHistogram(data::Family family, double paper_symmetric,
+                            double paper_mean) {
+  const auto series =
+      core::DispersionSeries(SharedDataset(), SharedGeoDb(), family);
+  const auto values = core::DispersionValues(series);
+  const double symmetric = core::SymmetricFraction(values);
+  const auto asym = core::AsymmetricValues(values);
+  if (asym.empty()) {
+    std::printf("no asymmetric snapshots for %s in this window\n",
+                std::string(data::FamilyName(family)).c_str());
+    return;
+  }
+  std::printf("asymmetric dispersion histogram (km; %zu of %zu snapshots):\n%s",
+              asym.size(), values.size(),
+              core::RenderHistogram(MakeHistogram(asym)).c_str());
+  const auto s = stats::Summarize(asym);
+  PrintComparison({
+      {"symmetric share removed", paper_symmetric, symmetric, ""},
+      {"asymmetric mean (km)", paper_mean, s.mean,
+       "stationary around this value"},
+      {"asymmetric median (km)", NotReported(), s.median, ""},
+  });
+}
+
+void RunPredictionFigure(data::Family family, double paper_pred_mean,
+                         double paper_pred_std, double paper_truth_mean,
+                         double paper_truth_std, double paper_similarity) {
+  const auto asym = AsymmetricSeries(family);
+  const auto result = core::PredictDispersion(asym);
+  if (!result) {
+    std::printf("series too short to train the model (%zu points)\n",
+                asym.size());
+    return;
+  }
+  std::printf("ground truth histogram (held-out half, km):\n%s",
+              core::RenderHistogram(MakeHistogram(result->truth)).c_str());
+  std::printf("\nprediction histogram (km):\n%s",
+              core::RenderHistogram(MakeHistogram(result->prediction)).c_str());
+
+  // Error series over time, bucketed for readability (Fig 12/13 bottom).
+  const std::size_t buckets = 10;
+  core::TextTable errors({"segment", "mean error (km)", "max |error| (km)"});
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t lo = b * result->errors.size() / buckets;
+    const std::size_t hi = (b + 1) * result->errors.size() / buckets;
+    if (lo >= hi) continue;
+    double sum = 0.0, peak = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      sum += result->errors[i];
+      peak = std::max(peak, std::abs(result->errors[i]));
+    }
+    errors.AddRow({std::to_string(b), core::Humanize(sum / (hi - lo)),
+                   core::Humanize(peak)});
+  }
+  std::printf("\nprediction error over time:\n%s", errors.Render().c_str());
+
+  PrintComparison({
+      {"prediction mean", paper_pred_mean, result->prediction_mean, "Table IV"},
+      {"prediction std", paper_pred_std, result->prediction_std, "Table IV"},
+      {"ground-truth mean", paper_truth_mean, result->truth_mean, "Table IV"},
+      {"ground-truth std", paper_truth_std, result->truth_std, "Table IV"},
+      {"cosine similarity", paper_similarity, result->cosine_similarity,
+       "Table IV"},
+      {"MAE (km)", NotReported(), result->mae, ""},
+  });
+}
+
+}  // namespace ddos::bench

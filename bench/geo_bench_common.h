@@ -1,0 +1,25 @@
+// Shared implementation for the per-family geolocation figures
+// (Figs 10-13): dispersion histograms with symmetric values removed, and
+// the ARIMA prediction protocol with error series.
+#ifndef DDOSCOPE_BENCH_GEO_BENCH_COMMON_H_
+#define DDOSCOPE_BENCH_GEO_BENCH_COMMON_H_
+
+#include "data/taxonomy.h"
+
+namespace ddos::bench {
+
+// Figs 10/11: histogram of the family's asymmetric dispersion values.
+// `paper_symmetric` and `paper_mean` come from Section IV-A's text.
+void RunDispersionHistogram(data::Family family, double paper_symmetric,
+                            double paper_mean);
+
+// Figs 12/13: train on the first half, one-step-predict the second half,
+// print predicted-vs-truth histograms plus the error series summary.
+// Paper values come from Table IV.
+void RunPredictionFigure(data::Family family, double paper_pred_mean,
+                         double paper_pred_std, double paper_truth_mean,
+                         double paper_truth_std, double paper_similarity);
+
+}  // namespace ddos::bench
+
+#endif  // DDOSCOPE_BENCH_GEO_BENCH_COMMON_H_

@@ -1,0 +1,226 @@
+// Performance microbenchmarks (google-benchmark) for the hot paths of the
+// library: geodesy, dispersion, interval scanning, ECDF construction,
+// ARIMA fitting, collaboration detection, CSV serialization, and trace
+// generation itself.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "botsim/simulator.h"
+#include "common/rng.h"
+#include "core/collaboration.h"
+#include "core/attribution.h"
+#include "core/intervals.h"
+#include "core/mitigation_sim.h"
+#include "data/query.h"
+#include "net/as_graph.h"
+#include "stats/hypothesis.h"
+#include "data/csv.h"
+#include "geo/geodesy.h"
+#include "stats/ecdf.h"
+#include "timeseries/arima.h"
+
+namespace {
+
+using namespace ddos;
+
+const geo::GeoDatabase& Db() {
+  static const geo::GeoDatabase db = geo::GeoDatabase::MakeDefault(42);
+  return db;
+}
+
+// A small but structurally complete trace for analysis benchmarks.
+const data::Dataset& PerfDataset() {
+  static const data::Dataset ds = [] {
+    sim::SimConfig config;
+    config.scale = 0.05;
+    config.days = 60;
+    sim::TraceSimulator simulator(Db(), sim::DefaultProfiles(), config);
+    return simulator.Generate();
+  }();
+  return ds;
+}
+
+std::vector<geo::Coordinate> RandomCloud(std::size_t n) {
+  Rng rng(7);
+  std::vector<geo::Coordinate> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.Uniform(35.0, 65.0), rng.Uniform(10.0, 90.0)});
+  }
+  return pts;
+}
+
+void BM_Haversine(benchmark::State& state) {
+  const auto pts = RandomCloud(1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        geo::HaversineKm(pts[i % 1024], pts[(i + 1) % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Haversine);
+
+void BM_ComputeDispersion(benchmark::State& state) {
+  const auto pts = RandomCloud(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::ComputeDispersion(pts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ComputeDispersion)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_GeoLookup(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<net::IPv4Address> ips;
+  for (int i = 0; i < 1024; ++i) ips.push_back(Db().RandomAddress(rng));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Db().Lookup(ips[i++ % 1024]));
+  }
+}
+BENCHMARK(BM_GeoLookup);
+
+void BM_IntervalScan(benchmark::State& state) {
+  const auto& ds = PerfDataset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::AllAttackIntervals(ds));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ds.attacks().size()));
+}
+BENCHMARK(BM_IntervalScan);
+
+void BM_EcdfBuildAndQuery(benchmark::State& state) {
+  const auto intervals = core::AllAttackIntervals(PerfDataset());
+  for (auto _ : state) {
+    const stats::Ecdf ecdf(intervals);
+    benchmark::DoNotOptimize(ecdf.Quantile(0.8));
+    benchmark::DoNotOptimize(ecdf.FractionAtMost(60.0));
+  }
+}
+BENCHMARK(BM_EcdfBuildAndQuery);
+
+void BM_ArimaFit(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<double> series(static_cast<std::size_t>(state.range(0)));
+  double x = 1000.0;
+  for (auto& v : series) {
+    x = 1000.0 + 0.8 * (x - 1000.0) + rng.Normal(0.0, 60.0);
+    v = x;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ts::ArimaModel::Fit(series, ts::ArimaOrder{2, 0, 1}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ArimaFit)->Arg(512)->Arg(2048)->Arg(8192);
+
+void BM_CollaborationDetect(benchmark::State& state) {
+  const auto& ds = PerfDataset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::DetectConcurrentCollaborations(ds));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ds.attacks().size()));
+}
+BENCHMARK(BM_CollaborationDetect);
+
+void BM_ChainDetect(benchmark::State& state) {
+  const auto& ds = PerfDataset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::DetectConsecutiveChains(ds));
+  }
+}
+BENCHMARK(BM_ChainDetect);
+
+void BM_CsvRoundTrip(benchmark::State& state) {
+  const auto& ds = PerfDataset();
+  for (auto _ : state) {
+    std::stringstream ss;
+    data::WriteAttacksCsv(ss, ds.attacks());
+    benchmark::DoNotOptimize(data::ReadAttacksCsv(ss));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ds.attacks().size()));
+}
+BENCHMARK(BM_CsvRoundTrip);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::SimConfig config;
+    config.scale = 0.02;
+    config.days = 30;
+    sim::TraceSimulator simulator(Db(), sim::DefaultProfiles(), config);
+    benchmark::DoNotOptimize(simulator.Generate());
+  }
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_AsGraphPath(benchmark::State& state) {
+  static const net::AsGraph graph = net::AsGraph::Build(Db(), 5);
+  const auto nodes = graph.nodes();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const net::Asn from = nodes[(i * 131) % nodes.size()].asn;
+    const net::Asn to = nodes[(i * 197 + 41) % nodes.size()].asn;
+    benchmark::DoNotOptimize(graph.Path(from, to));
+    ++i;
+  }
+}
+BENCHMARK(BM_AsGraphPath);
+
+void BM_KolmogorovSmirnov(benchmark::State& state) {
+  Rng rng(21);
+  std::vector<double> a(static_cast<std::size_t>(state.range(0)));
+  std::vector<double> b(a.size());
+  for (auto& v : a) v = rng.LogNormal(3.0, 1.0);
+  for (auto& v : b) v = rng.LogNormal(3.1, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::KolmogorovSmirnov(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KolmogorovSmirnov)->Arg(1024)->Arg(16384);
+
+void BM_Fingerprint(benchmark::State& state) {
+  const auto& ds = PerfDataset();
+  std::vector<std::size_t> indices(ds.attacks().size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::FingerprintAttacks(ds, indices));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(indices.size()));
+}
+BENCHMARK(BM_Fingerprint);
+
+void BM_AttackQuery(benchmark::State& state) {
+  const auto& ds = PerfDataset();
+  data::AttackQuery query;
+  query.WithFamily(data::Family::kDirtjumper)
+      .WithTargetCountry("US")
+      .WithMinDuration(300);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query.Run(ds));
+  }
+}
+BENCHMARK(BM_AttackQuery);
+
+void BM_MitigationReplay(benchmark::State& state) {
+  const auto& ds = PerfDataset();
+  core::MitigationPolicy policy;
+  policy.predictive = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SimulateMitigation(ds, policy));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ds.attacks().size()));
+}
+BENCHMARK(BM_MitigationReplay);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Table II: protocol preferences of each botnet family.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "core/overview.h"
+#include "core/report.h"
+
+int main() {
+  using namespace ddos;
+  bench::PrintHeader("Table II", "Protocol preferences of each botnet family");
+  const auto& ds = bench::SharedDataset();
+  const auto rows = core::FamilyProtocolTable(ds.attacks());
+
+  core::TextTable table({"Protocol", "botnet family", "# of attacks"});
+  for (const core::FamilyProtocolCount& row : rows) {
+    table.AddRow({std::string(data::ProtocolName(row.protocol)),
+                  std::string(data::FamilyName(row.family)),
+                  std::to_string(row.attacks)});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  // The paper's Table II, keyed by (protocol, family).
+  const std::map<std::pair<std::string, std::string>, double> paper = {
+      {{"HTTP", "colddeath"}, 826},   {{"HTTP", "darkshell"}, 999},
+      {{"HTTP", "dirtjumper"}, 34620}, {{"HTTP", "blackenergy"}, 3048},
+      {{"HTTP", "nitol"}, 591},       {{"HTTP", "optima"}, 567},
+      {{"HTTP", "pandora"}, 6906},    {{"HTTP", "yzf"}, 177},
+      {{"TCP", "blackenergy"}, 199},  {{"TCP", "nitol"}, 345},
+      {{"TCP", "yzf"}, 182},          {{"UDP", "aldibot"}, 26},
+      {{"UDP", "blackenergy"}, 71},   {{"UDP", "ddoser"}, 126},
+      {{"UDP", "yzf"}, 187},          {{"UNDETERMINED", "darkshell"}, 1530},
+      {{"ICMP", "blackenergy"}, 147}, {{"UNKNOWN", "optima"}, 126},
+      {{"SYN", "blackenergy"}, 31},
+  };
+  std::vector<bench::ComparisonRow> comparison;
+  for (const core::FamilyProtocolCount& row : rows) {
+    const auto key = std::make_pair(std::string(data::ProtocolName(row.protocol)),
+                                    std::string(data::FamilyName(row.family)));
+    const auto it = paper.find(key);
+    comparison.push_back({key.first + "/" + key.second,
+                          it == paper.end() ? bench::NotReported() : it->second,
+                          static_cast<double>(row.attacks), ""});
+  }
+  bench::PrintComparison(comparison);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Table IV: geolocation distance prediction statistics for the families
+// with enough training data (the paper excludes Darkshell for lack of
+// data points).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/geo_analysis.h"
+#include "core/prediction.h"
+#include "core/report.h"
+
+int main() {
+  using namespace ddos;
+  bench::PrintHeader("Table IV", "Geolocation distance prediction statistics");
+  const auto& ds = bench::SharedDataset();
+
+  struct PaperRow {
+    data::Family family;
+    double pred_mean, pred_std, truth_mean, truth_std, similarity;
+  };
+  const PaperRow paper_rows[] = {
+      {data::Family::kBlackenergy, 3968.4, 1955.5, 3970.6, 2294.4, 0.960},
+      {data::Family::kPandora, 562.6, 1809.2, 569.2, 1842.5, 0.946},
+      {data::Family::kDirtjumper, 1203.9, 925.8, 1229.1, 1033.7, 0.848},
+      {data::Family::kOptima, 3526.6, 1150.1, 3545.8, 1717.8, 0.941},
+      {data::Family::kColddeath, 356.5, 753.2, 341.6, 933.8, 0.809},
+  };
+
+  core::TextTable table({"Family", "Group", "Mean", "std", "Similarity"});
+  std::vector<bench::ComparisonRow> comparison;
+  int paper_band_hits = 0;
+  for (const PaperRow& row : paper_rows) {
+    const auto asym = core::AsymmetricValues(core::DispersionValues(
+        core::DispersionSeries(ds, bench::SharedGeoDb(), row.family)));
+    const auto result = core::PredictDispersion(asym);
+    const std::string name(data::FamilyName(row.family));
+    if (!result) {
+      table.AddRow({name, "(series too short)", "-", "-", "-"});
+      continue;
+    }
+    table.AddRow({name, "prediction", core::Humanize(result->prediction_mean),
+                  core::Humanize(result->prediction_std),
+                  core::Humanize(result->cosine_similarity)});
+    table.AddRow({name, "ground truth", core::Humanize(result->truth_mean),
+                  core::Humanize(result->truth_std), ""});
+    comparison.push_back({name + " truth mean", row.truth_mean,
+                          result->truth_mean, ""});
+    comparison.push_back({name + " truth std", row.truth_std,
+                          result->truth_std, ""});
+    comparison.push_back({name + " similarity", row.similarity,
+                          result->cosine_similarity, ""});
+    if (result->cosine_similarity > 0.75) ++paper_band_hits;
+  }
+  std::printf("%s", table.Render().c_str());
+  comparison.push_back({"families with similarity > 0.75", 5,
+                        static_cast<double>(paper_band_hits),
+                        "paper band: 0.809-0.960"});
+  bench::PrintComparison(comparison);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Table V: country-level DDoS target statistics (top-5 target countries
+// per family plus the global ranking).
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "core/report.h"
+#include "core/target_analysis.h"
+
+int main() {
+  using namespace ddos;
+  bench::PrintHeader("Table V", "Country-level DDoS target statistics");
+  const auto& ds = bench::SharedDataset();
+
+  core::TextTable table({"Family", "Countries", "Top 5", "Count"});
+  std::vector<bench::ComparisonRow> comparison;
+  const std::map<std::string, std::pair<std::string, int>> paper_top = {
+      {"aldibot", {"US", 14}},    {"blackenergy", {"NL", 20}},
+      {"colddeath", {"IN", 16}},  {"darkshell", {"CN", 13}},
+      {"ddoser", {"MX", 19}},     {"dirtjumper", {"US", 71}},
+      {"nitol", {"CN", 12}},      {"optima", {"RU", 12}},
+      {"pandora", {"RU", 43}},    {"yzf", {"RU", 11}},
+  };
+  int top_country_matches = 0;
+  for (const data::Family f : data::ActiveFamilies()) {
+    const core::FamilyCountryStats s = core::CountryStats(ds, f);
+    const std::string name(data::FamilyName(f));
+    bool first = true;
+    for (const core::CountryCount& c : s.top) {
+      table.AddRow({first ? name : "", first ? std::to_string(s.total_countries) : "",
+                    c.cc, std::to_string(c.attacks)});
+      first = false;
+    }
+    const auto it = paper_top.find(name);
+    if (it != paper_top.end() && !s.top.empty()) {
+      if (s.top[0].cc == it->second.first) ++top_country_matches;
+      comparison.push_back({name + " countries targeted",
+                            static_cast<double>(it->second.second),
+                            static_cast<double>(s.total_countries), ""});
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+
+  // Global top five: US 13,738 / RU 11,451 / DE 5,048 / UA 4,078 / NL 2,816.
+  const auto ranking = core::GlobalCountryRanking(ds);
+  std::printf("\nglobal top-5 target countries:\n");
+  const std::map<std::string, double> paper_global = {
+      {"US", 13738}, {"RU", 11451}, {"DE", 5048}, {"UA", 4078}, {"NL", 2816}};
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, ranking.size()); ++i) {
+    std::printf("  %zu. %s  %llu attacks\n", i + 1, ranking[i].cc.c_str(),
+                static_cast<unsigned long long>(ranking[i].attacks));
+    const auto it = paper_global.find(ranking[i].cc);
+    comparison.push_back({"global #" + std::to_string(i + 1) + " (" +
+                              ranking[i].cc + ")",
+                          it == paper_global.end() ? bench::NotReported()
+                                                   : it->second,
+                          static_cast<double>(ranking[i].attacks), ""});
+  }
+  comparison.push_back({"families whose top country matches Table V", 10,
+                        static_cast<double>(top_country_matches), ""});
+  bench::PrintComparison(comparison);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Table VI: botnet collaboration statistics (intra- vs inter-family
+// concurrent collaborations).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/collaboration.h"
+#include "core/report.h"
+
+int main() {
+  using namespace ddos;
+  bench::PrintHeader("Table VI", "Botnet collaboration statistics");
+  const auto& ds = bench::SharedDataset();
+  const auto events = core::DetectConcurrentCollaborations(ds);
+  const core::CollaborationTable table = core::TabulateCollaborations(events);
+
+  core::TextTable out({"Collaboration Type", "Blackenergy", "Colddeath",
+                       "Darkshell", "Ddoser", "Dirtjumper", "Nitol", "Optima",
+                       "Pandora", "YZF"});
+  const data::Family order[] = {
+      data::Family::kBlackenergy, data::Family::kColddeath,
+      data::Family::kDarkshell,   data::Family::kDdoser,
+      data::Family::kDirtjumper,  data::Family::kNitol,
+      data::Family::kOptima,      data::Family::kPandora,
+      data::Family::kYzf};
+  std::vector<std::string> intra_row = {"Intra-Family"};
+  std::vector<std::string> inter_row = {"Inter-Family"};
+  for (const data::Family f : order) {
+    intra_row.push_back(std::to_string(table.intra[static_cast<std::size_t>(f)]));
+    inter_row.push_back(std::to_string(table.inter[static_cast<std::size_t>(f)]));
+  }
+  out.AddRow(std::move(intra_row));
+  out.AddRow(std::move(inter_row));
+  std::printf("%s", out.Render().c_str());
+
+  const double paper_intra[] = {0, 0, 253, 134, 756, 17, 1, 10, 66};
+  const double paper_inter[] = {1, 1, 0, 0, 121, 0, 1, 118, 0};
+  std::vector<bench::ComparisonRow> comparison;
+  for (std::size_t i = 0; i < std::size(order); ++i) {
+    const std::string name(data::FamilyName(order[i]));
+    comparison.push_back({name + " intra", paper_intra[i],
+                          static_cast<double>(
+                              table.intra[static_cast<std::size_t>(order[i])]),
+                          ""});
+    comparison.push_back({name + " inter", paper_inter[i],
+                          static_cast<double>(
+                              table.inter[static_cast<std::size_t>(order[i])]),
+                          ""});
+  }
+  bench::PrintComparison(comparison);
+  return 0;
+}

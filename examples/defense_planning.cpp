@@ -1,0 +1,72 @@
+// Defense planning: turning the paper's findings into operator decisions.
+//
+// Scenario: a SOC wants three artifacts from seven months of attack
+// telemetry - (1) how long automatic mitigations must stay engaged
+// (Section III-D's four-hour insight), (2) a blacklist of the most
+// persistent bot sources, and (3) a watch list of targets whose attack
+// rhythm makes the next hit predictable.
+#include <cstdio>
+
+#include "botsim/simulator.h"
+#include "core/defense.h"
+#include "core/geo_analysis.h"
+#include "core/prediction.h"
+#include "core/report.h"
+#include "geo/geo_db.h"
+
+int main() {
+  using namespace ddos;
+  const geo::GeoDatabase geo_db = geo::GeoDatabase::MakeDefault(42);
+  sim::SimConfig config;
+  config.scale = 0.1;
+  sim::TraceSimulator simulator(geo_db, sim::DefaultProfiles(), config);
+  const data::Dataset dataset = simulator.Generate();
+
+  // 1. Mitigation window: cover the requested fraction of attack durations.
+  std::printf("mitigation windows:\n");
+  for (double coverage : {0.5, 0.8, 0.95}) {
+    const core::MitigationWindow w =
+        core::RecommendMitigationWindow(dataset.attacks(), coverage);
+    std::printf("  %2.0f%% of attacks end within %6.2f hours\n", coverage * 100,
+                w.window_seconds / 3600.0);
+  }
+
+  // 2. Source blacklist: bots that keep showing up across snapshots give
+  // the best blocking value (one-off churned hosts do not).
+  const auto blacklist = core::BuildSourceBlacklist(dataset, geo_db,
+                                                    /*max_entries=*/15,
+                                                    /*min_appearances=*/5);
+  std::printf("\ntop persistent bots (blacklist candidates):\n");
+  core::TextTable table({"bot IP", "cc", "family", "snapshots seen"});
+  for (const core::BlacklistEntry& e : blacklist) {
+    table.AddRow({e.ip.ToString(), e.cc, std::string(data::FamilyName(e.family)),
+                  std::to_string(e.appearances)});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  // 3. Watch list: repeatedly-attacked targets with a forecast next hit.
+  const auto watch = core::BuildWatchList(dataset, /*max_entries=*/10,
+                                          /*min_attacks=*/6);
+  std::printf("\nwatch list (most-attacked targets, predicted next attack):\n");
+  core::TextTable watch_table({"target", "attacks", "predicted next attack"});
+  for (const core::WatchedTarget& w : watch) {
+    watch_table.AddRow({w.target.ToString(), std::to_string(w.attack_count),
+                        w.predicted_next.ToString()});
+  }
+  std::printf("%s", watch_table.Render().c_str());
+
+  // Bonus: where would disinfection effort pay off most? (Fig 8 insight -
+  // sources are regionally sticky, so country-level takedowns stick too.)
+  const auto shifts = core::ShiftAnalysis(dataset, geo_db, {});
+  std::uint64_t existing = 0, fresh = 0;
+  for (std::size_t i = 1; i < shifts.size(); ++i) {
+    existing += shifts[i].bots_existing_countries;
+    fresh += shifts[i].bots_new_countries;
+  }
+  if (fresh > 0) {
+    std::printf("\nsource stickiness: %.0fx more bot activity from known "
+                "countries than new ones\n",
+                static_cast<double>(existing) / static_cast<double>(fresh));
+  }
+  return 0;
+}

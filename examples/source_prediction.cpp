@@ -1,0 +1,68 @@
+// Source prediction: the paper's Section IV-A pipeline as a library user
+// would run it.
+//
+// Scenario: an analyst tracks where a botnet's firepower sits week over
+// week and wants tomorrow's picture today. This example builds the
+// geolocation-dispersion series for a family from hourly bot snapshots,
+// fits the ARIMA model on the first half, and scores rolling one-step
+// predictions on the second half - exactly the Table IV protocol.
+#include <cstdio>
+
+#include "botsim/simulator.h"
+#include "core/geo_analysis.h"
+#include "core/prediction.h"
+#include "core/report.h"
+#include "geo/geo_db.h"
+
+int main(int argc, char** argv) {
+  using namespace ddos;
+  const data::Family family =
+      argc > 1 ? data::ParseFamily(argv[1]).value_or(data::Family::kDirtjumper)
+               : data::Family::kDirtjumper;
+
+  const geo::GeoDatabase geo_db = geo::GeoDatabase::MakeDefault(42);
+  sim::SimConfig config;
+  config.scale = 0.1;
+  sim::TraceSimulator simulator(geo_db, sim::DefaultProfiles(), config);
+  const data::Dataset dataset = simulator.Generate();
+
+  // 1. One dispersion value per hourly snapshot: |sum of signed distances|
+  //    of the participating bots around their geographic center.
+  const auto series = core::DispersionSeries(dataset, geo_db, family);
+  const auto values = core::DispersionValues(series);
+  std::printf("%s: %zu hourly snapshots\n",
+              std::string(data::FamilyName(family)).c_str(), values.size());
+  if (values.size() < 120) {
+    std::printf("not enough snapshots in this window; try dirtjumper or a "
+                "larger scale\n");
+    return 1;
+  }
+
+  // 2. The symmetry split (Figs 9-11).
+  const double symmetric = core::SymmetricFraction(values);
+  const auto asym = core::AsymmetricValues(values);
+  std::printf("geographically symmetric hours: %.1f%%\n", symmetric * 100.0);
+
+  // 3. Train/predict split (Figs 12-13, Table IV).
+  core::GeoPredictionConfig prediction_config;
+  prediction_config.auto_order = true;  // AIC grid search
+  const auto result = core::PredictDispersion(asym, prediction_config);
+  if (!result) {
+    std::printf("asymmetric series too short to train\n");
+    return 1;
+  }
+  std::printf("\nARIMA(%d,%d,%d) one-step prediction over %zu held-out hours:\n",
+              result->order.p, result->order.d, result->order.q,
+              result->truth.size());
+  core::TextTable table({"group", "mean (km)", "std (km)"});
+  table.AddRow({"prediction", core::Humanize(result->prediction_mean),
+                core::Humanize(result->prediction_std)});
+  table.AddRow({"ground truth", core::Humanize(result->truth_mean),
+                core::Humanize(result->truth_std)});
+  std::printf("%s", table.Render().c_str());
+  std::printf("cosine similarity %.3f, mean absolute error %.0f km\n",
+              result->cosine_similarity, result->mae);
+  std::printf("\ninterpretation: the source footprint is predictable enough to "
+              "pre-position filtering capacity an hour ahead.\n");
+  return 0;
+}

@@ -1,0 +1,409 @@
+#include "botsim/family_profile.h"
+
+#include <stdexcept>
+
+namespace ddos::sim {
+
+namespace {
+
+using data::Family;
+using data::Protocol;
+
+// Filler pool for the non-top-5 target countries of each family (Table V
+// lists only the top 5 plus the total country count). All codes exist in the
+// builtin geo catalog. Each family starts at a different offset so the tails
+// differ across families.
+const char* const kFillerCountries[] = {
+    "IT", "PL", "RO", "CZ", "TR", "BR", "AR", "CO", "SE", "NO", "FI", "DK",
+    "IE", "PT", "GR", "BG", "RS", "HR", "LT", "LV", "EE", "BY", "MD", "KZ",
+    "VN", "PH", "MY", "TW", "AU", "AT", "CH", "BE", "HU", "SK", "IL", "SA",
+    "AE", "EG", "MA", "ZA", "NG", "KE", "PE", "EC", "GT", "DO", "AZ", "GE",
+    "UY", "CA", "JP", "SG", "TH", "ID", "PK", "IN", "KR", "HK", "CL", "GB",
+    "TN", "DZ", "SN", "CI", "CM", "UG", "TZ", "ET", "ZW", "ZM", "JO", "LB",
+    "IQ", "QA", "KW", "BD", "LK", "NP", "MM", "KH", "MN", "NZ", "AM", "UZ"};
+constexpr int kFillerCount = static_cast<int>(std::size(kFillerCountries));
+
+// Appends (total_countries - existing) filler countries, sharing
+// `tail_weight` equally.
+void AddFillerTargets(FamilyProfile& p, int total_countries, double tail_weight,
+                      int offset) {
+  const int fillers = total_countries - static_cast<int>(p.target_countries.size());
+  if (fillers <= 0) return;
+  const double each = tail_weight / fillers;
+  for (int i = 0; i < fillers; ++i) {
+    p.target_countries.push_back(
+        CountryShare{kFillerCountries[(offset + i) % kFillerCount], each});
+  }
+}
+
+// The three interval modes the paper observes across all families (Fig 4:
+// "6-7 min, 20-40 min and 2-3 hrs are most commonly shared"), plus an
+// optional sub-minute burst mode.
+IntervalMode Burst(double w) { return IntervalMode{25.0, 0.7, w}; }
+IntervalMode Minutes(double w) { return IntervalMode{390.0, 0.35, w}; }
+IntervalMode HalfHour(double w) { return IntervalMode{1800.0, 0.45, w}; }
+IntervalMode Hours(double w) { return IntervalMode{9000.0, 0.45, w}; }
+
+}  // namespace
+
+std::vector<FamilyProfile> DefaultActiveProfiles() {
+  std::vector<FamilyProfile> out;
+  out.reserve(data::kActiveFamilyCount);
+
+  {  // ---------------- Aldibot: tiny UDP family, US-leaning targets.
+    FamilyProfile p;
+    p.family = Family::kAldibot;
+    p.total_attacks = 26;
+    p.botnet_count = 9;
+    p.protocols = {{Protocol::kUdp, 26}};
+    p.target_countries = {{"US", 32}, {"FR", 11}, {"ES", 8}, {"VE", 8}, {"DE", 4}};
+    AddFillerTargets(p, 14, 6.0, 0);
+    p.source_countries = {{"BR", 3}, {"VE", 2}, {"US", 2}, {"MX", 1}};
+    p.rare_source_countries = {"AR", "CO", "PE", "CL", "EC", "PA"};
+    p.distinct_targets = 30;
+    p.target_zipf_s = 0.6;
+    p.active_windows = {{80, 96}, {155, 165}};  // the gap yields the ~2-month
+    // longest family interval the paper reports (59 days)
+    p.p_simultaneous = 0.0;   // Fig 5: no intervals below 60 s
+    p.min_interval_s = 60.0;
+    p.interval_modes = {Minutes(0.45), HalfHour(0.25), Hours(0.20)};
+    p.p_long_gap = 0.10;
+    p.long_gap_scale_s = 3.0 * 86400;
+    p.duration_mu_log = 7.6;
+    p.duration_sigma_log = 1.4;
+    p.magnitude_mu_log = 3.2;
+    p.magnitude_sigma_log = 0.7;
+    p.p_symmetric = 0.50;
+    p.dispersion_mean_km = 2200;
+    p.dispersion_std_km = 1500;
+    p.dispersion_ar1 = 0.85;
+    p.bots_per_snapshot_mean = 45;
+    out.push_back(std::move(p));
+  }
+  {  // ---------------- Blackenergy: protocol generalist, ~1/3 active.
+    FamilyProfile p;
+    p.family = Family::kBlackenergy;
+    p.total_attacks = 3048 + 199 + 71 + 147 + 31;  // Table II rows
+    p.botnet_count = 60;
+    p.protocols = {{Protocol::kHttp, 3048},
+                   {Protocol::kTcp, 199},
+                   {Protocol::kUdp, 71},
+                   {Protocol::kIcmp, 147},
+                   {Protocol::kSyn, 31}};
+    p.target_countries = {
+        {"NL", 949}, {"US", 820}, {"SG", 729}, {"RU", 262}, {"DE", 219}};
+    AddFillerTargets(p, 20, 517.0, 4);   // 3496 - top5 sum (2979)
+    p.source_countries = {{"RU", 3}, {"UA", 2}, {"KZ", 1.5}, {"TR", 1}, {"DE", 1}};
+    p.rare_source_countries = {"BY", "MD", "GE", "AZ", "RO", "BG", "PL", "LT"};
+    p.distinct_targets = 670;
+    p.target_zipf_s = 0.9;
+    p.active_windows = {{30, 100}};  // ~1/3 of the 207 days (Section III-A)
+    p.p_simultaneous = 0.30;  // Fig 5: 40-50 % simultaneous or near
+    p.interval_modes = {Burst(0.15), Minutes(0.15), HalfHour(0.15), Hours(0.15)};
+    p.p_long_gap = 0.10;
+    p.long_gap_scale_s = 2.0 * 86400;
+    p.duration_mu_log = 7.4;
+    p.duration_sigma_log = 1.8;
+    p.magnitude_mu_log = 3.9;
+    p.magnitude_sigma_log = 0.9;
+    p.p_symmetric = 0.895;          // Fig 11
+    p.dispersion_mean_km = 3970.6;  // Table IV ground truth
+    p.dispersion_std_km = 2294.4;
+    p.dispersion_ar1 = 0.9;
+    p.bots_per_snapshot_mean = 90;
+    out.push_back(std::move(p));
+  }
+  {  // ---------------- Colddeath: HTTP, South-Asia targets.
+    FamilyProfile p;
+    p.family = Family::kColddeath;
+    p.total_attacks = 826;
+    p.botnet_count = 25;
+    p.protocols = {{Protocol::kHttp, 826}};
+    p.target_countries = {
+        {"IN", 801}, {"PK", 345}, {"BW", 125}, {"TH", 117}, {"ID", 112}};
+    AddFillerTargets(p, 16, 110.0, 8);
+    p.source_countries = {{"IN", 3}, {"PK", 2}, {"ID", 1.5}, {"TH", 1}};
+    p.rare_source_countries = {"BD", "LK", "NP", "MM", "MY", "VN", "PH"};
+    p.distinct_targets = 335;
+    p.target_zipf_s = 0.9;
+    p.active_windows = {{40, 207}};
+    p.p_simultaneous = 0.15;
+    p.interval_modes = {Burst(0.15), Minutes(0.25), HalfHour(0.20), Hours(0.20)};
+    p.p_long_gap = 0.05;
+    p.long_gap_scale_s = 86400;
+    p.duration_mu_log = 7.3;
+    p.duration_sigma_log = 1.7;
+    p.magnitude_mu_log = 3.6;
+    p.magnitude_sigma_log = 0.8;
+    p.p_symmetric = 0.60;
+        p.dispersion_mean_km = 341.6;  // Table IV ground truth 
+    p.dispersion_std_km = 933.8;
+    p.dispersion_ar1 = 0.88;
+    p.bots_per_snapshot_mean = 70;
+    out.push_back(std::move(p));
+  }
+  {  // ---------------- Darkshell: HTTP + multi-protocol, East-Asia targets.
+    FamilyProfile p;
+    p.family = Family::kDarkshell;
+    p.total_attacks = 999 + 1530;
+    p.botnet_count = 45;
+    p.protocols = {{Protocol::kHttp, 999}, {Protocol::kUndetermined, 1530}};
+    p.target_countries = {
+        {"CN", 1880}, {"KR", 1004}, {"US", 694}, {"HK", 385}, {"JP", 86}};
+    AddFillerTargets(p, 13, 90.0, 12);
+    p.source_countries = {{"CN", 4}, {"TW", 1}, {"KR", 1}, {"VN", 1}};
+    p.rare_source_countries = {"JP", "TH", "MY", "PH", "SG", "ID"};
+    p.distinct_targets = 775;
+    p.target_zipf_s = 0.9;
+    p.active_windows = {{0, 150}};
+    p.p_simultaneous = 0.20;
+    p.interval_modes = {Burst(0.20), Minutes(0.20), HalfHour(0.20), Hours(0.15)};
+    p.p_long_gap = 0.05;
+    p.long_gap_scale_s = 86400;
+    p.duration_mu_log = 7.2;
+    p.duration_sigma_log = 1.8;
+    p.magnitude_mu_log = 3.8;
+    p.magnitude_sigma_log = 0.9;
+    p.p_symmetric = 0.55;
+    p.dispersion_mean_km = 820;   // not reported (excluded from Table IV)
+    p.dispersion_std_km = 1100;
+    p.dispersion_ar1 = 0.85;
+    p.bots_per_snapshot_mean = 80;
+    out.push_back(std::move(p));
+  }
+  {  // ---------------- Ddoser: small UDP family, Latin-America targets.
+    FamilyProfile p;
+    p.family = Family::kDdoser;
+    p.total_attacks = 126;
+    p.botnet_count = 20;
+    p.protocols = {{Protocol::kUdp, 126}};
+    p.target_countries = {
+        {"MX", 452}, {"VE", 191}, {"UY", 83}, {"CL", 66}, {"US", 48}};
+    AddFillerTargets(p, 19, 70.0, 16);
+    p.source_countries = {{"MX", 3}, {"CO", 2}, {"VE", 1.5}, {"PA", 0.5}};
+    p.rare_source_countries = {"PE", "EC", "CR", "GT", "DO", "CU"};
+    p.distinct_targets = 115;
+    p.target_zipf_s = 0.7;
+    p.active_windows = {{0, 60}};
+    p.day_volume_sigma = 1.3;  // bursty: enables same-day collaborations
+    p.p_simultaneous = 0.15;
+    p.interval_modes = {Burst(0.15), Minutes(0.20), HalfHour(0.20), Hours(0.20)};
+    p.p_long_gap = 0.10;
+    p.long_gap_scale_s = 2.0 * 86400;
+    p.duration_mu_log = 7.0;
+    p.duration_sigma_log = 1.6;
+    p.magnitude_mu_log = 3.4;
+    p.magnitude_sigma_log = 0.8;
+    p.p_symmetric = 0.50;
+    p.dispersion_mean_km = 1500;
+    p.dispersion_std_km = 1300;
+    p.dispersion_ar1 = 0.85;
+    p.bots_per_snapshot_mean = 55;
+    out.push_back(std::move(p));
+  }
+  {  // ---------------- Dirtjumper: the dominant HTTP family.
+    FamilyProfile p;
+    p.family = Family::kDirtjumper;
+    p.total_attacks = 34620;
+    p.botnet_count = 280;
+    p.protocols = {{Protocol::kHttp, 34620}};
+    p.target_countries = {
+        {"US", 9674}, {"RU", 8391}, {"DE", 3750}, {"UA", 3412}, {"NL", 1626}};
+    AddFillerTargets(p, 71, 7767.0, 20);  // 71 countries (Table V)
+    p.source_countries = {{"RU", 4}, {"UA", 2}, {"BY", 1}, {"DE", 1}, {"PL", 0.5}};
+    p.rare_source_countries = {"BY", "KZ", "MD", "RO", "BG", "LT", "LV", "EE",
+                               "RS", "HU", "CZ", "SK"};
+    p.distinct_targets = 7500;
+    p.target_zipf_s = 1.0;  // widest presence, clear hotspots (Fig 14 analog)
+    p.active_windows = {{0, 207}};  // constantly active (Section III-A)
+    p.p_simultaneous = 0.10;  // Section III-B: 10 % of Dirtjumper attacks
+    p.interval_modes = {Burst(0.40), Minutes(0.18), HalfHour(0.18), Hours(0.10)};
+    p.p_long_gap = 0.04;
+    p.long_gap_scale_s = 86400;
+    p.duration_mu_log = 7.48;
+    p.duration_sigma_log = 2.2;
+    p.duration_cap_s = 100000;
+    p.magnitude_mu_log = 4.0;
+    p.magnitude_sigma_log = 1.2;
+    p.p_symmetric = 0.45;           // Fig 9: >40 % of values at zero
+    p.dispersion_mean_km = 1229.1;  // Table IV ground truth
+    p.dispersion_std_km = 1033.7;
+    p.dispersion_ar1 = 0.88;
+    p.bots_per_snapshot_mean = 140;
+    out.push_back(std::move(p));
+  }
+  {  // ---------------- Nitol: HTTP/TCP, China-leaning, least active.
+    FamilyProfile p;
+    p.family = Family::kNitol;
+    p.total_attacks = 591 + 345;
+    p.botnet_count = 18;
+    p.protocols = {{Protocol::kHttp, 591}, {Protocol::kTcp, 345}};
+    p.target_countries = {
+        {"CN", 778}, {"US", 176}, {"CA", 15}, {"GB", 10}, {"NL", 6}};
+    AddFillerTargets(p, 12, 12.0, 24);
+    p.source_countries = {{"CN", 4}, {"HK", 1}, {"TW", 1}};
+    p.rare_source_countries = {"KR", "JP", "VN", "TH", "SG", "MY"};
+    p.distinct_targets = 300;
+    p.target_zipf_s = 0.8;
+    p.active_windows = {{60, 200}};
+    p.p_simultaneous = 0.05;
+    p.interval_modes = {Burst(0.10), Minutes(0.20), HalfHour(0.25), Hours(0.25)};
+    p.p_long_gap = 0.15;
+    p.long_gap_scale_s = 4.0 * 86400;
+    p.duration_mu_log = 7.2;
+    p.duration_sigma_log = 1.7;
+    p.magnitude_mu_log = 3.5;
+    p.magnitude_sigma_log = 0.8;
+    p.p_symmetric = 0.50;
+    p.dispersion_mean_km = 900;
+    p.dispersion_std_km = 1000;
+    p.dispersion_ar1 = 0.85;
+    p.bots_per_snapshot_mean = 60;
+    out.push_back(std::move(p));
+  }
+  {  // ---------------- Optima: HTTP + unknown, Russia-leaning targets.
+    FamilyProfile p;
+    p.family = Family::kOptima;
+    p.total_attacks = 567 + 126;
+    p.botnet_count = 22;
+    p.protocols = {{Protocol::kHttp, 567}, {Protocol::kUnknown, 126}};
+    p.target_countries = {
+        {"RU", 171}, {"DE", 155}, {"US", 123}, {"UA", 9}, {"KG", 7}};
+    AddFillerTargets(p, 12, 228.0, 28);  // 693 - top5 sum (465)
+    p.source_countries = {{"RU", 3}, {"KZ", 1.5}, {"UA", 1}, {"KG", 0.5}};
+    p.rare_source_countries = {"UZ", "TJ", "TM", "AZ", "AM", "GE", "MN"};
+    p.distinct_targets = 270;
+    p.target_zipf_s = 0.8;
+    p.active_windows = {{10, 160}};
+    p.p_simultaneous = 0.0;   // Fig 5: no intervals below 60 s
+    p.min_interval_s = 60.0;
+    p.interval_modes = {Minutes(0.40), HalfHour(0.25), Hours(0.25)};
+    p.p_long_gap = 0.10;
+    p.long_gap_scale_s = 2.0 * 86400;
+    p.duration_mu_log = 7.5;
+    p.duration_sigma_log = 1.6;
+    p.magnitude_mu_log = 3.7;
+    p.magnitude_sigma_log = 0.8;
+    p.p_symmetric = 0.30;           // near-normal asymmetric distribution
+    p.dispersion_mean_km = 3545.8;  // Table IV ground truth
+    p.dispersion_std_km = 1717.8;
+    p.dispersion_ar1 = 0.9;
+    p.bots_per_snapshot_mean = 75;
+    out.push_back(std::move(p));
+  }
+  {  // ---------------- Pandora: second-largest HTTP family.
+    FamilyProfile p;
+    p.family = Family::kPandora;
+    p.total_attacks = 6906;
+    p.botnet_count = 90;
+    p.protocols = {{Protocol::kHttp, 6906}};
+    p.target_countries = {
+        {"RU", 2115}, {"DE", 155}, {"US", 123}, {"UA", 9}, {"KG", 7}};
+    AddFillerTargets(p, 43, 4497.0, 32);  // 6906 - top5 sum (2409): heavy tail
+    p.source_countries = {{"RU", 5}, {"UA", 2}, {"BY", 1}};
+    p.rare_source_countries = {"KZ", "MD", "LT", "LV", "EE", "PL", "BG", "RO"};
+    p.distinct_targets = 1420;
+    p.target_zipf_s = 1.0;  // hotspots in Russia and the USA (Fig 14)
+    p.active_windows = {{20, 190}};
+    p.p_simultaneous = 0.25;
+    p.interval_modes = {Burst(0.20), Minutes(0.20), HalfHour(0.15), Hours(0.15)};
+    p.p_long_gap = 0.05;
+    p.long_gap_scale_s = 86400;
+    p.duration_mu_log = 7.9;  // collaborations average ~6.4 ks (Section V-A)
+    p.duration_sigma_log = 1.5;
+    p.magnitude_mu_log = 3.9;
+    p.magnitude_sigma_log = 0.9;
+    p.p_symmetric = 0.767;         // Fig 10
+    p.dispersion_mean_km = 569.2;  // Table IV ground truth 
+    p.dispersion_std_km = 1842.5;
+    p.dispersion_ar1 = 0.9;
+    p.bots_per_snapshot_mean = 100;
+    out.push_back(std::move(p));
+  }
+  {  // ---------------- YZF: small protocol generalist, Russia/Ukraine.
+    FamilyProfile p;
+    p.family = Family::kYzf;
+    p.total_attacks = 177 + 182 + 187;
+    p.botnet_count = 15;
+    p.protocols = {{Protocol::kHttp, 177}, {Protocol::kTcp, 182}, {Protocol::kUdp, 187}};
+    p.target_countries = {
+        {"RU", 120}, {"UA", 105}, {"US", 65}, {"DE", 39}, {"NL", 19}};
+    AddFillerTargets(p, 11, 197.0, 36);  // 546 - top5 sum (349)
+    p.source_countries = {{"RU", 3}, {"UA", 2}, {"BY", 0.5}};
+    p.rare_source_countries = {"KZ", "MD", "PL", "RO", "BG", "RS"};
+    p.distinct_targets = 220;
+    p.target_zipf_s = 0.7;
+    p.active_windows = {{100, 180}};
+    p.p_simultaneous = 0.15;
+    p.interval_modes = {Burst(0.15), Minutes(0.20), HalfHour(0.20), Hours(0.20)};
+    p.p_long_gap = 0.10;
+    p.long_gap_scale_s = 2.0 * 86400;
+    p.duration_mu_log = 7.3;
+    p.duration_sigma_log = 1.6;
+    p.magnitude_mu_log = 3.5;
+    p.magnitude_sigma_log = 0.8;
+    p.p_symmetric = 0.50;
+    p.dispersion_mean_km = 700;
+    p.dispersion_std_km = 900;
+    p.dispersion_ar1 = 0.85;
+    p.bots_per_snapshot_mean = 55;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<FamilyProfile> DefaultMinorProfiles() {
+  // 23 families minus the 10 actives. These never attack (the Table-II sums
+  // account for the full 50,704 attacks) but are tracked: they contribute
+  // botnet identifiers (674 total) and a trickle of listed bots.
+  static constexpr Family kMinors[] = {
+      Family::kArmageddon, Family::kIllusion, Family::kInfinity,
+      Family::kImddos,     Family::kGumblar,  Family::kZeus,
+      Family::kKelihos,    Family::kAsprox,   Family::kFesti,
+      Family::kWaledac,    Family::kTorpig,   Family::kRamnit,
+      Family::kVirut};
+  std::vector<FamilyProfile> out;
+  int total_botnets = 0;
+  for (const Family f : kMinors) {
+    FamilyProfile p;
+    p.family = f;
+    p.total_attacks = 0;
+    p.botnet_count = 7;
+    p.source_countries = {{"US", 1}, {"RU", 1}, {"CN", 1}, {"BR", 1}};
+    p.distinct_targets = 0;
+    p.active_windows = {};
+    p.bots_per_snapshot_mean = 0;
+    total_botnets += p.botnet_count;
+    out.push_back(std::move(p));
+  }
+  // Active botnets sum to 584; trim minors so the overall count is 674.
+  int active_botnets = 0;
+  for (const FamilyProfile& p : DefaultActiveProfiles()) {
+    active_botnets += p.botnet_count;
+  }
+  int excess = active_botnets + total_botnets - 674;
+  for (auto it = out.rbegin(); it != out.rend() && excess > 0; ++it) {
+    const int cut = std::min(excess, it->botnet_count - 1);
+    it->botnet_count -= cut;
+    excess -= cut;
+  }
+  return out;
+}
+
+std::vector<FamilyProfile> DefaultProfiles() {
+  std::vector<FamilyProfile> out = DefaultActiveProfiles();
+  std::vector<FamilyProfile> minors = DefaultMinorProfiles();
+  out.insert(out.end(), std::make_move_iterator(minors.begin()),
+             std::make_move_iterator(minors.end()));
+  return out;
+}
+
+const FamilyProfile& ProfileFor(const std::vector<FamilyProfile>& profiles,
+                                data::Family family) {
+  for (const FamilyProfile& p : profiles) {
+    if (p.family == family) return p;
+  }
+  throw std::out_of_range("ProfileFor: family not present");
+}
+
+}  // namespace ddos::sim

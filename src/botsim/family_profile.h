@@ -1,0 +1,109 @@
+// Per-family behavioural profiles for the trace simulator.
+//
+// Every number here is calibrated against a published statistic of the
+// paper's dataset:
+//   * total_attacks and protocol shares come from Table II (their per-family
+//     sums reproduce the 50,704 total exactly);
+//   * target-country preferences come from Table V;
+//   * activity windows and relative aggressiveness follow Section III-A
+//     (Dirtjumper constantly active, Blackenergy ~1/3 of the period, ...);
+//   * interval structure follows Figs 3-5 (majority concurrent, modes at
+//     6-7 min / 20-40 min / 2-3 h, Aldibot and Optima never below 60 s);
+//   * duration distribution follows Figs 6-7 (median ~1.8 ks, 80 % < ~4 h);
+//   * the source-dispersion process follows Figs 9-11 and Table IV
+//     (per-family symmetric fraction, stationary mean/std of the
+//     asymmetric dispersion values);
+//   * source/rare country sets model the Fig 8 shift affinity.
+#ifndef DDOSCOPE_BOTSIM_FAMILY_PROFILE_H_
+#define DDOSCOPE_BOTSIM_FAMILY_PROFILE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/taxonomy.h"
+
+namespace ddos::sim {
+
+struct ProtocolShare {
+  data::Protocol protocol;
+  double weight;  // proportional to the Table-II attack count
+};
+
+struct CountryShare {
+  std::string code;  // ISO3166-1 alpha-2, must exist in the geo catalog
+  double weight;
+};
+
+// One lognormal component of the inter-attack interval mixture.
+struct IntervalMode {
+  double mean_s;      // location of the mode (seconds)
+  double sigma_log;   // log-scale spread
+  double weight;
+};
+
+struct FamilyProfile {
+  data::Family family = data::Family::kAldibot;
+  int total_attacks = 0;   // Table II
+  int botnet_count = 1;    // generations of this family (sums to 674 overall)
+
+  std::vector<ProtocolShare> protocols;        // Table II
+  std::vector<CountryShare> target_countries;  // Table V
+  std::vector<CountryShare> source_countries;  // core recruitment region
+  std::vector<std::string> rare_source_countries;  // occasional new countries
+
+  int distinct_targets = 10;   // size of the victim pool
+  double target_zipf_s = 0.9;  // attack concentration over the pool (Fig 14)
+
+  // Half-open [begin_day, end_day) activity windows in dataset-day indices.
+  std::vector<std::pair<int, int>> active_windows;
+  // Lognormal sigma of the per-day volume noise; higher values concentrate
+  // a family's attacks on fewer, burstier days.
+  double day_volume_sigma = 0.55;
+
+  // --- inter-attack intervals (Figs 3-5) ---
+  double p_simultaneous = 0.3;  // next attack starts the same second
+  double min_interval_s = 0.0;  // Aldibot/Optima evade with >= 60 s
+  std::vector<IntervalMode> interval_modes;
+  double p_long_gap = 0.02;        // heavy tail beyond the modes
+  double long_gap_scale_s = 86400; // exponential scale of the tail
+
+  // --- durations (Figs 6-7), lognormal with a cap ---
+  double duration_mu_log = 7.48;   // exp(mu) ~ the median
+  double duration_sigma_log = 1.9;
+  double duration_cap_s = 200000;
+
+  // --- attack magnitude: # distinct bot IPs participating ---
+  double magnitude_mu_log = 3.9;
+  double magnitude_sigma_log = 0.9;
+
+  // --- source-dispersion process (Figs 9-13, Table IV) ---
+  double p_symmetric = 0.5;        // snapshots with ~zero signed sum
+  double dispersion_mean_km = 1000;
+  double dispersion_std_km = 1000;
+  double dispersion_ar1 = 0.6;     // AR(1) persistence of the latent value
+  int bots_per_snapshot_mean = 90;
+  double bot_churn = 0.14;         // pool fraction replaced per hour
+
+  // Share of each week's recruits drawn from a rare (previously unseen)
+  // country rather than the core set (Fig 8's right axis).
+  double rare_country_rate = 0.02;
+};
+
+// The ten active families with calibrated parameters (see header comment).
+std::vector<FamilyProfile> DefaultActiveProfiles();
+
+// The thirteen minor families: present in the botnet listings, a handful of
+// attacks each (the paper's 23-family universe and 674 botnets).
+std::vector<FamilyProfile> DefaultMinorProfiles();
+
+// Active + minor, in enum order.
+std::vector<FamilyProfile> DefaultProfiles();
+
+// Looks up a profile by family in a profile list; throws std::out_of_range.
+const FamilyProfile& ProfileFor(const std::vector<FamilyProfile>& profiles,
+                                data::Family family);
+
+}  // namespace ddos::sim
+
+#endif  // DDOSCOPE_BOTSIM_FAMILY_PROFILE_H_

@@ -1,0 +1,773 @@
+#include "botsim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "geo/geodesy.h"
+
+namespace ddos::sim {
+
+namespace {
+
+using data::AttackRecord;
+using data::Family;
+
+constexpr std::int64_t kSimultaneityWindowS = 60;
+
+std::size_t FamilyIdx(Family f) { return static_cast<std::size_t>(f); }
+
+int ScaledCount(int count, double scale) {
+  if (count <= 0) return 0;
+  return std::max(count > 0 ? 1 : 0, static_cast<int>(std::lround(count * scale)));
+}
+
+}  // namespace
+
+CollaborationPlan CollaborationPlan::Default() {
+  // Table VI, concurrent collaborations.
+  CollaborationPlan plan;
+  // Injected counts sit slightly below the Table-VI values because the
+  // detector also finds organically coincident events (hot targets hit by
+  // two botnets within the window); the measured totals land on the paper's.
+  plan.intra = {
+      {Family::kDarkshell, 246}, {Family::kDdoser, 134}, {Family::kDirtjumper, 706},
+      {Family::kNitol, 17},      {Family::kOptima, 1},   {Family::kPandora, 10},
+      {Family::kYzf, 66},
+  };
+  // All inter-family collaborations involve Dirtjumper; the Dirtjumper
+  // column (121) is the sum of its partners' columns (118 + 1 + 1 + 1).
+  // The Dirtjumper-Pandora tie spans October-December 2012 (Section V-A),
+  // i.e. dataset days ~33..124 relative to 2012-08-29.
+  plan.inter = {
+      {Family::kPandora, 118, 33, 125},
+      {Family::kBlackenergy, 1, 33, 100},
+      {Family::kColddeath, 1, 40, 207},
+      {Family::kOptima, 1, 33, 160},
+  };
+  return plan;
+}
+
+ChainPlan ChainPlan::Default() {
+  // Section V-B: only Darkshell, Ddoser, Dirtjumper and Nitol run
+  // multistage attacks. Chain counts are not published; these volumes yield
+  // a Fig-18-like timeline with a few hundred consecutive events.
+  ChainPlan plan;
+  plan.specs = {
+      {Family::kDarkshell, 60, 2, 7},
+      {Family::kDdoser, 12, 2, 5},
+      {Family::kDirtjumper, 150, 2, 8},
+      {Family::kNitol, 8, 2, 4},
+  };
+  plan.ddoser_marathon = true;
+  return plan;
+}
+
+TraceSimulator::TraceSimulator(const geo::GeoDatabase& db,
+                               std::vector<FamilyProfile> profiles,
+                               SimConfig config)
+    : db_(db),
+      profiles_(std::move(profiles)),
+      config_(config),
+      rng_(config.seed) {
+  if (config_.days <= 0) throw std::invalid_argument("SimConfig: days must be > 0");
+  if (config_.scale <= 0.0) throw std::invalid_argument("SimConfig: scale must be > 0");
+  family_attack_index_.assign(data::kFamilyCount, {});
+  botnet_id_range_.assign(data::kFamilyCount, {0, 0});
+}
+
+TraceSimulator::Victim TraceSimulator::MakeVictim(Rng& rng,
+                                                  const FamilyProfile& profile) {
+  std::vector<double> weights;
+  weights.reserve(profile.target_countries.size());
+  for (const CountryShare& cs : profile.target_countries) weights.push_back(cs.weight);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const std::size_t ci = rng.Categorical(weights);
+    const net::IPv4Address ip =
+        db_.RandomAddressInCountry(rng, profile.target_countries[ci].code);
+    const geo::GeoRecord rec = db_.Lookup(ip);
+    // Bias toward infrastructure organizations (Section IV-B2): accept
+    // hosting/cloud/DC/registrar/backbone outright, others with low odds.
+    const bool infra = rec.org_kind == geo::OrgKind::kWebHosting ||
+                       rec.org_kind == geo::OrgKind::kCloudProvider ||
+                       rec.org_kind == geo::OrgKind::kDataCenter ||
+                       rec.org_kind == geo::OrgKind::kDomainRegistrar ||
+                       rec.org_kind == geo::OrgKind::kBackbone;
+    if (!infra && !rng.Bernoulli(0.25) && attempt < 7) continue;
+    return Victim{ip,
+                  rec.asn,
+                  std::string(rec.country_code),
+                  std::string(rec.city),
+                  std::string(rec.organization),
+                  rec.location};
+  }
+  throw std::logic_error("MakeVictim: unreachable");
+}
+
+std::vector<TraceSimulator::Victim> TraceSimulator::BuildVictimPool(
+    Rng& rng, const FamilyProfile& profile) {
+  std::vector<Victim> pool;
+  const int n = ScaledCount(profile.distinct_targets, config_.scale);
+  pool.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) pool.push_back(MakeVictim(rng, profile));
+
+  return pool;
+}
+
+TraceSimulator::VictimPool TraceSimulator::GroupVictimPool(
+    const FamilyProfile& profile, std::vector<Victim> victims) {
+  // Per-attack selection draws the country first (exactly the Table-V
+  // weights) and then a Zipf-ranked victim inside that country, so country
+  // totals track the calibration while hotspots (Fig 14) still emerge.
+  VictimPool pool;
+  std::unordered_map<std::string, double> weight_of;
+  for (const CountryShare& cs : profile.target_countries) {
+    weight_of[cs.code] = cs.weight;
+  }
+  std::unordered_map<std::string, std::size_t> index_of;
+  for (Victim& v : victims) {
+    const auto [it, inserted] = index_of.try_emplace(v.cc, pool.by_country.size());
+    if (inserted) {
+      pool.by_country.emplace_back();
+      const auto w = weight_of.find(v.cc);
+      pool.country_weights.push_back(w == weight_of.end() ? 0.1 : w->second);
+    }
+    pool.by_country[it->second].push_back(std::move(v));
+  }
+  return pool;
+}
+
+double TraceSimulator::DrawInterval(Rng& rng, const FamilyProfile& profile) const {
+  if (rng.Bernoulli(profile.p_simultaneous)) return 0.0;
+  std::vector<double> weights;
+  weights.reserve(profile.interval_modes.size() + 1);
+  for (const IntervalMode& m : profile.interval_modes) weights.push_back(m.weight);
+  weights.push_back(profile.p_long_gap);
+  const std::size_t pick = rng.Categorical(weights);
+  double value;
+  if (pick == profile.interval_modes.size()) {
+    value = rng.Exponential(1.0 / profile.long_gap_scale_s);
+  } else {
+    const IntervalMode& m = profile.interval_modes[pick];
+    value = rng.LogNormal(std::log(m.mean_s), m.sigma_log);
+  }
+  if (profile.min_interval_s > 0.0 && value < profile.min_interval_s) {
+    value = profile.min_interval_s + rng.Uniform(0.0, 30.0);
+  }
+  return std::min(value, 30.0 * 86400.0);
+}
+
+std::int64_t TraceSimulator::DrawDuration(Rng& rng,
+                                          const FamilyProfile& profile) const {
+  const double d = rng.LogNormal(profile.duration_mu_log, profile.duration_sigma_log);
+  return static_cast<std::int64_t>(
+      std::clamp(d, 30.0, profile.duration_cap_s));
+}
+
+std::uint32_t TraceSimulator::DrawMagnitude(Rng& rng,
+                                            const FamilyProfile& profile) const {
+  const double m = rng.LogNormal(profile.magnitude_mu_log, profile.magnitude_sigma_log);
+  return static_cast<std::uint32_t>(std::clamp(m, 3.0, 500000.0));
+}
+
+std::uint32_t TraceSimulator::DrawBotnetId(Rng& rng,
+                                           const FamilyProfile& profile) const {
+  const auto [lo, hi] = botnet_id_range_[FamilyIdx(profile.family)];
+  if (hi <= lo) return lo;
+  const std::size_t rank = rng.Zipf(hi - lo, 0.7);
+  return lo + static_cast<std::uint32_t>(rank);
+}
+
+void TraceSimulator::ScheduleFamily(const FamilyProfile& profile) {
+  Rng rng = rng_.Fork(0x5c4ed0ull + FamilyIdx(profile.family));
+  const VictimPool victims =
+      GroupVictimPool(profile, BuildVictimPool(rng, profile));
+  if (victims.by_country.empty()) return;
+  std::size_t next_country_slot = 0;
+
+  std::vector<int> active_days;
+  int profile_days = 0;
+  for (const auto& [begin, end] : profile.active_windows) {
+    profile_days += std::max(0, end - begin);
+    for (int d = std::max(0, begin); d < std::min(config_.days, end); ++d) {
+      active_days.push_back(d);
+    }
+  }
+  if (active_days.empty()) return;
+
+  // When the simulation window clips the family's activity, the attack
+  // budget shrinks proportionally - otherwise a short test window would
+  // concentrate the full seven-month volume into a few days.
+  const double window_fraction =
+      profile_days > 0
+          ? static_cast<double>(active_days.size()) / profile_days
+          : 1.0;
+  int total = ScaledCount(profile.total_attacks,
+                          config_.scale * window_fraction);
+  if (total <= 0) return;
+
+  // --- Per-day allocation. ---
+  const bool spike_family = config_.inject_spike_day &&
+                            profile.family == Family::kDirtjumper &&
+                            std::find(active_days.begin(), active_days.end(), 1) !=
+                                active_days.end();
+  const bool marathon_family = config_.inject_chains &&
+                               config_.chains.ddoser_marathon &&
+                               profile.family == Family::kDdoser &&
+                               std::find(active_days.begin(), active_days.end(), 1) !=
+                                   active_days.end();
+  // The 2012-08-30 record day: the day's total reaches 983 attacks, almost
+  // all Dirtjumper on one subnet (Section III-A). Dirtjumper is scheduled
+  // last, so the other families' day-1 volume is known and subtracted.
+  int spike_count = 0;
+  if (spike_family) {
+    int day1_existing = 0;
+    for (const AttackRecord& a : attacks_) {
+      if (DayIndex(a.start_time, config_.start) == 1) ++day1_existing;
+    }
+    spike_count = std::clamp(ScaledCount(983, config_.scale) - day1_existing, 0, total);
+  }
+  // Reserve room on day 1 for the 22-attack Ddoser marathon (Section V-B).
+  const int marathon_count =
+      marathon_family ? std::min(total, std::max(2, static_cast<int>(std::lround(
+                                                        22 * config_.scale)))) +
+                            2
+                      : 0;
+
+  std::unordered_map<int, int> day_counts;
+  int remaining = total - spike_count - marathon_count;
+  if (spike_count > 0) day_counts[1] += spike_count;
+  if (marathon_count > 0) day_counts[1] += marathon_count;
+  if (remaining > 0) {
+    std::vector<double> weights;
+    weights.reserve(active_days.size());
+    for (int d : active_days) {
+      // Day-1 regular volume is suppressed for the spike family so the
+      // record day is cleanly attributable.
+      const double base = (spike_family && d == 1) ? 0.02 : 1.0;
+      weights.push_back(base * rng.LogNormal(0.0, profile.day_volume_sigma));
+    }
+    double weight_total = 0.0;
+    for (double w : weights) weight_total += w;
+    int assigned = 0;
+    std::vector<std::pair<double, std::size_t>> remainders;
+    for (std::size_t i = 0; i < active_days.size(); ++i) {
+      const double share = weights[i] / weight_total * remaining;
+      const int whole = static_cast<int>(share);
+      day_counts[active_days[i]] += whole;
+      assigned += whole;
+      remainders.emplace_back(share - whole, i);
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (std::size_t i = 0; assigned < remaining && i < remainders.size(); ++i) {
+      ++day_counts[active_days[remainders[i].second]];
+      ++assigned;
+    }
+  }
+
+  // --- The spike's "same subnet in Russia" /24. ---
+  net::IPv4Address spike_net;
+  if (spike_count > 0) {
+    const auto ru_blocks = db_.BlocksForCountry("RU");
+    const auto& block = ru_blocks[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(ru_blocks.size()) - 1))];
+    const std::uint32_t third_octet =
+        static_cast<std::uint32_t>(rng.UniformInt(0, 255));
+    spike_net = net::IPv4Address(block.network().bits() | (third_octet << 8));
+  }
+
+  // --- Country quota sequence: per-attack target countries follow the
+  // Table-V weights exactly (largest remainder over the realized pool),
+  // shuffled so countries interleave in time. Small families would
+  // otherwise flip their Table-V ranking by multinomial noise. ---
+  std::vector<std::size_t> country_sequence;
+  {
+    double weight_total = 0.0;
+    for (const double w : victims.country_weights) weight_total += w;
+    std::vector<std::pair<double, std::size_t>> remainders;
+    int assigned_slots = 0;
+    for (std::size_t c = 0; c < victims.country_weights.size(); ++c) {
+      const double share =
+          victims.country_weights[c] / weight_total * static_cast<double>(total);
+      const int whole = static_cast<int>(share);
+      for (int k = 0; k < whole; ++k) country_sequence.push_back(c);
+      assigned_slots += whole;
+      remainders.emplace_back(share - whole, c);
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (std::size_t i = 0; assigned_slots < total && i < remainders.size();
+         ++i, ++assigned_slots) {
+      country_sequence.push_back(remainders[i].second);
+    }
+    if (country_sequence.empty()) country_sequence.push_back(0);
+    rng.Shuffle(country_sequence);
+  }
+
+  // --- Place attacks within each day by chaining intervals. ---
+  // Families with a minimum interval (Aldibot, Optima - Fig 5 shows no
+  // sub-60 s gaps) additionally enforce the gap across re-seats and day
+  // boundaries via the placed-starts set.
+  std::set<std::int64_t> placed_starts;
+  const std::int64_t min_gap = static_cast<std::int64_t>(profile.min_interval_s);
+  const std::int64_t window_end_s =
+      (config_.start + config_.days * kSecondsPerDay).seconds();
+  auto enforce_min_gap = [&](std::int64_t start_s) {
+    if (min_gap <= 0) return start_s;
+    for (int guard = 0; guard < 16; ++guard) {
+      const auto it = placed_starts.lower_bound(start_s - min_gap + 1);
+      if (it == placed_starts.end() || *it >= start_s + min_gap) break;
+      start_s = *it + min_gap + rng.UniformInt(0, 30);
+    }
+    if (start_s >= window_end_s) start_s = window_end_s - 1;
+    placed_starts.insert(start_s);
+    return start_s;
+  };
+  for (int d : active_days) {
+    const auto it = day_counts.find(d);
+    if (it == day_counts.end() || it->second <= 0) continue;
+    const int n = it->second;
+    const std::int64_t day_begin = (config_.start + d * kSecondsPerDay).seconds();
+    const std::int64_t day_end = day_begin + kSecondsPerDay;
+    const int spike_here = (spike_family && d == 1) ? spike_count : 0;
+    double t = static_cast<double>(day_begin) + rng.Uniform(0.0, 86400.0);
+    // A zero interval means the same botnet fires another attack in the
+    // same second (a volley); collaborations between *different* botnet
+    // ids are injected separately, per the paper's Section V definition.
+    bool continue_volley = false;
+    std::uint32_t volley_botnet = 0;
+    for (int i = 0; i < n; ++i) {
+      if (t >= static_cast<double>(day_end)) {
+        t = static_cast<double>(day_begin) + rng.Uniform(0.0, 86400.0);
+        continue_volley = false;
+      }
+      AttackRecord a;
+      a.ddos_id = next_ddos_id_++;
+      a.family = profile.family;
+      a.botnet_id = continue_volley ? volley_botnet : DrawBotnetId(rng, profile);
+      {
+        std::vector<double> pw;
+        pw.reserve(profile.protocols.size());
+        for (const ProtocolShare& ps : profile.protocols) pw.push_back(ps.weight);
+        a.category = profile.protocols[rng.Categorical(pw)].protocol;
+      }
+      a.start_time = TimePoint(enforce_min_gap(static_cast<std::int64_t>(t)));
+      a.end_time = a.start_time + DrawDuration(rng, profile);
+      a.magnitude = DrawMagnitude(rng, profile);
+      if (i < spike_here) {
+        // Record-day attacks all hit the same /24 (Section III-A).
+        const net::IPv4Address ip(spike_net.bits() |
+                                  static_cast<std::uint32_t>(rng.UniformInt(1, 254)));
+        const geo::GeoRecord rec = db_.Lookup(ip);
+        a.target_ip = ip;
+        a.asn = rec.asn;
+        a.cc = std::string(rec.country_code);
+        a.city = std::string(rec.city);
+        a.organization = std::string(rec.organization);
+        a.location = rec.location;
+        // Spike attacks come in dense bursts.
+        t += rng.Bernoulli(0.5) ? 0.0 : rng.Uniform(1.0, 180.0);
+      } else {
+        const auto& country_pool =
+            victims.by_country[country_sequence[next_country_slot++ %
+                                                country_sequence.size()]];
+        const Victim& v =
+            country_pool[rng.Zipf(country_pool.size(), profile.target_zipf_s)];
+        a.target_ip = v.ip;
+        a.asn = v.asn;
+        a.cc = v.cc;
+        a.city = v.city;
+        a.organization = v.organization;
+        a.location = v.location;
+        const double interval = DrawInterval(rng, profile);
+        // Follow-ups within the concurrency window stay with the same
+        // botnet: rapid-fire sequences are volleys of one generation, not
+        // collaborations (those are injected explicitly with distinct ids).
+        continue_volley = interval < 60.0;
+        volley_botnet = a.botnet_id;
+        t += interval;
+      }
+      family_attack_index_[FamilyIdx(profile.family)].push_back(attacks_.size());
+      attacks_.push_back(std::move(a));
+    }
+  }
+}
+
+void TraceSimulator::InjectCollaborations() {
+  Rng rng = rng_.Fork(0xc011abull);
+  if (attack_in_event_.size() != attacks_.size()) {
+    attack_in_event_.assign(attacks_.size(), false);
+  }
+
+  // Group each family's attacks by day for fast same-day pairing.
+  auto by_day = [&](Family f) {
+    std::unordered_map<int, std::vector<std::size_t>> map;
+    for (std::size_t idx : family_attack_index_[FamilyIdx(f)]) {
+      const int d = static_cast<int>(
+          DayIndex(attacks_[idx].start_time, config_.start));
+      map[d].push_back(idx);
+    }
+    return map;
+  };
+
+  // Rewrites attack `b` to collaborate with `a`: same target, start within
+  // the 60 s window, duration within half an hour, equal magnitude.
+  // Evasive families (minimum 60 s between own attacks) join at exactly the
+  // window boundary so their Fig-5 property survives.
+  auto entangle = [&](std::size_t a_idx, std::size_t b_idx) {
+    const AttackRecord& a = attacks_[a_idx];
+    AttackRecord& b = attacks_[b_idx];
+    const double b_min_interval =
+        ProfileFor(profiles_, b.family).min_interval_s;
+    b.start_time = a.start_time + (b_min_interval > 0
+                                       ? kSimultaneityWindowS
+                                       : rng.UniformInt(0, kSimultaneityWindowS - 1));
+    const std::int64_t dur =
+        std::max<std::int64_t>(60, a.duration_seconds() + rng.UniformInt(-1700, 1700));
+    b.end_time = b.start_time + dur;
+    b.target_ip = a.target_ip;
+    b.asn = a.asn;
+    b.cc = a.cc;
+    b.city = a.city;
+    b.organization = a.organization;
+    b.location = a.location;
+    b.magnitude = a.magnitude;  // Fig 15/16: equal-height bars
+    attack_in_event_[a_idx] = true;
+    attack_in_event_[b_idx] = true;
+  };
+
+  // --- Intra-family (different botnet ids of one family). ---
+  for (const CollaborationPlan::Intra& spec : config_.collaborations.intra) {
+    const int events = ScaledCount(spec.events, config_.scale);
+    auto days = by_day(spec.family);
+    if (days.empty()) continue;
+    std::vector<int> day_keys;
+    day_keys.reserve(days.size());
+    for (const auto& [d, v] : days) {
+      if (v.size() >= 2) day_keys.push_back(d);
+    }
+    if (day_keys.empty()) continue;
+    const auto& range = botnet_id_range_[FamilyIdx(spec.family)];
+    for (int e = 0; e < events; ++e) {
+      for (int attempt = 0; attempt < 24; ++attempt) {
+        const int d = day_keys[static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(day_keys.size()) - 1))];
+        auto& pool = days[d];
+        if (pool.size() < 2) break;
+        const std::size_t a_idx = pool[static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(pool.size()) - 1))];
+        const std::size_t b_idx = pool[static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(pool.size()) - 1))];
+        if (a_idx == b_idx || attack_in_event_[a_idx] || attack_in_event_[b_idx]) {
+          continue;
+        }
+        // Different generations must be involved (Section V: "between
+        // different botnet IDs of the same family").
+        if (attacks_[a_idx].botnet_id == attacks_[b_idx].botnet_id &&
+            range.second > range.first + 1) {
+          std::uint32_t other = attacks_[b_idx].botnet_id;
+          while (other == attacks_[a_idx].botnet_id) {
+            other = range.first + static_cast<std::uint32_t>(rng.UniformInt(
+                                      0, range.second - range.first - 1));
+          }
+          attacks_[b_idx].botnet_id = other;
+        }
+        entangle(a_idx, b_idx);
+        // Average collaborating botnets per event is 2.19 (Fig 15): add a
+        // third participant to roughly one event in five.
+        if (rng.Bernoulli(0.2)) {
+          for (int extra = 0; extra < 12; ++extra) {
+            const std::size_t c_idx = pool[static_cast<std::size_t>(
+                rng.UniformInt(0, static_cast<std::int64_t>(pool.size()) - 1))];
+            if (c_idx == a_idx || c_idx == b_idx || attack_in_event_[c_idx]) continue;
+            entangle(a_idx, c_idx);
+            break;
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // --- Inter-family: every partner pairs with Dirtjumper. ---
+  auto dj_days = by_day(Family::kDirtjumper);
+  for (const CollaborationPlan::Inter& spec : config_.collaborations.inter) {
+    const int events = ScaledCount(spec.events, config_.scale);
+    auto partner_days = by_day(spec.partner);
+    std::vector<int> day_keys;
+    for (const auto& [d, v] : partner_days) {
+      if (d >= spec.begin_day && d < spec.end_day && !v.empty() &&
+          dj_days.count(d) > 0) {
+        day_keys.push_back(d);
+      }
+    }
+    if (day_keys.empty()) continue;
+    for (int e = 0; e < events; ++e) {
+      for (int attempt = 0; attempt < 24; ++attempt) {
+        const int d = day_keys[static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(day_keys.size()) - 1))];
+        const auto& dj_pool = dj_days[d];
+        const auto& partner_pool = partner_days[d];
+        const std::size_t a_idx = dj_pool[static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(dj_pool.size()) - 1))];
+        const std::size_t b_idx = partner_pool[static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(partner_pool.size()) - 1))];
+        if (attack_in_event_[a_idx] || attack_in_event_[b_idx]) continue;
+        entangle(a_idx, b_idx);
+        break;
+      }
+    }
+  }
+}
+
+void TraceSimulator::InjectChains() {
+  Rng rng = rng_.Fork(0xc4a15ull);
+  if (attack_in_event_.size() != attacks_.size()) {
+    attack_in_event_.assign(attacks_.size(), false);
+  }
+
+  auto short_duration = [&]() {
+    return static_cast<std::int64_t>(
+        std::clamp(rng.LogNormal(std::log(150.0), 0.7), 30.0, 1200.0));
+  };
+  // Gap between consecutive attacks: mostly tight (Fig 17: ~65 % within
+  // 10 s), with a uniform +-60 s component for the tail.
+  auto chain_gap = [&]() {
+    // Calibrated to the Section V-B text: signed mean ~0.1 s, median ~3 s,
+    // sd ~23 s, with 65 % of |gaps| within 10 s and 80 % within 30 s
+    // (Fig 17). A tight core plus a uniform overlap/lag tail fits all five.
+    const double g = rng.Bernoulli(0.85) ? rng.Normal(2.5, 4.5)
+                                         : rng.Uniform(-60.0, 60.0);
+    return static_cast<std::int64_t>(std::clamp(g, -59.0, 59.0));
+  };
+
+  auto build_chain = [&](std::vector<std::size_t>& members) {
+    if (members.size() < 2) return;
+    std::sort(members.begin(), members.end());
+    const std::size_t head = members.front();
+    AttackRecord& first = attacks_[head];
+    first.end_time = first.start_time + short_duration();
+    TimePoint prev_start = first.start_time;
+    TimePoint prev_end = first.end_time;
+    attack_in_event_[head] = true;
+    for (std::size_t k = 1; k < members.size(); ++k) {
+      AttackRecord& m = attacks_[members[k]];
+      TimePoint start = prev_end + chain_gap();
+      if (start <= prev_start) start = prev_start + 1;
+      m.start_time = start;
+      m.end_time = start + short_duration();
+      m.target_ip = first.target_ip;
+      m.asn = first.asn;
+      m.cc = first.cc;
+      m.city = first.city;
+      m.organization = first.organization;
+      m.location = first.location;
+      // Magnitudes stay roughly stable along a chain (Fig 18).
+      m.magnitude = std::max<std::uint32_t>(
+          3, static_cast<std::uint32_t>(first.magnitude * rng.Uniform(0.9, 1.1)));
+      attack_in_event_[members[k]] = true;
+      prev_start = m.start_time;
+      prev_end = m.end_time;
+    }
+  };
+
+  for (const ChainPlan::Spec& spec : config_.chains.specs) {
+    std::unordered_map<int, std::vector<std::size_t>> days;
+    for (std::size_t idx : family_attack_index_[FamilyIdx(spec.family)]) {
+      if (attack_in_event_[idx]) continue;
+      days[static_cast<int>(DayIndex(attacks_[idx].start_time, config_.start))]
+          .push_back(idx);
+    }
+    std::vector<int> day_keys;
+    for (const auto& [d, v] : days) {
+      if (v.size() >= 2) day_keys.push_back(d);
+    }
+    if (day_keys.empty()) continue;
+    const int chains = ScaledCount(spec.chains, config_.scale);
+    for (int c = 0; c < chains; ++c) {
+      const int d = day_keys[static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(day_keys.size()) - 1))];
+      auto& pool = days[d];
+      const int want = static_cast<int>(rng.UniformInt(spec.min_len, spec.max_len));
+      std::vector<std::size_t> members;
+      for (std::size_t idx : pool) {
+        if (!attack_in_event_[idx]) {
+          members.push_back(idx);
+          if (static_cast<int>(members.size()) >= want) break;
+        }
+      }
+      build_chain(members);
+    }
+  }
+
+  // Ddoser's record: 22 consecutive attacks lasting > 18 minutes on
+  // 2012-08-30 (day 1), with ~3 s gaps (Section V-B).
+  if (config_.chains.ddoser_marathon && config_.days > 1) {
+    std::vector<std::size_t> members;
+    const int want = std::max(2, static_cast<int>(std::lround(22 * config_.scale)));
+    for (std::size_t idx : family_attack_index_[FamilyIdx(Family::kDdoser)]) {
+      if (attack_in_event_[idx]) continue;
+      if (DayIndex(attacks_[idx].start_time, config_.start) != 1) continue;
+      members.push_back(idx);
+      if (static_cast<int>(members.size()) >= want) break;
+    }
+    if (members.size() >= 2) {
+      std::sort(members.begin(), members.end());
+      AttackRecord& first = attacks_[members.front()];
+      first.end_time =
+          first.start_time + static_cast<std::int64_t>(rng.Uniform(40.0, 60.0));
+      attack_in_event_[members.front()] = true;
+      TimePoint prev_end = first.end_time;
+      for (std::size_t k = 1; k < members.size(); ++k) {
+        AttackRecord& m = attacks_[members[k]];
+        m.start_time = prev_end + static_cast<std::int64_t>(rng.Uniform(1.0, 6.0));
+        m.end_time =
+            m.start_time + static_cast<std::int64_t>(rng.Uniform(40.0, 60.0));
+        m.target_ip = first.target_ip;
+        m.asn = first.asn;
+        m.cc = first.cc;
+        m.city = first.city;
+        m.organization = first.organization;
+        m.location = first.location;
+        m.magnitude = first.magnitude;
+        attack_in_event_[members[k]] = true;
+        prev_end = m.end_time;
+      }
+    }
+  }
+}
+
+void TraceSimulator::EmitSnapshots(data::Dataset& dataset) {
+  std::unordered_map<std::uint32_t, data::BotRecord> bot_accum;
+  const int total_hours = config_.days * 24;
+
+  for (const FamilyProfile& profile : profiles_) {
+    if (profile.bots_per_snapshot_mean <= 0) continue;
+    const auto& indices = family_attack_index_[FamilyIdx(profile.family)];
+    if (indices.empty()) continue;
+
+    // Hours with at least one attack in flight.
+    std::vector<bool> occupied(static_cast<std::size_t>(total_hours), false);
+    for (std::size_t idx : indices) {
+      const AttackRecord& a = attacks_[idx];
+      std::int64_t h0 = (a.start_time - config_.start) / kSecondsPerHour;
+      std::int64_t h1 = (a.end_time - config_.start) / kSecondsPerHour;
+      h0 = std::clamp<std::int64_t>(h0, 0, total_hours - 1);
+      h1 = std::clamp<std::int64_t>(h1, 0, total_hours - 1);
+      for (std::int64_t h = h0; h <= h1; ++h) {
+        occupied[static_cast<std::size_t>(h)] = true;
+      }
+    }
+
+    FamilyProfile adjusted = profile;
+    if (config_.scale < 1.0) {
+      adjusted.bots_per_snapshot_mean = std::max(
+          8, static_cast<int>(profile.bots_per_snapshot_mean * config_.scale));
+    }
+    SourceModel model(db_, adjusted, config_.source,
+                      rng_.Fork(0x50ceull + FamilyIdx(profile.family)));
+    Rng bot_rng = rng_.Fork(0xb07ull + FamilyIdx(profile.family));
+
+    for (int h = 0; h < total_hours; ++h) {
+      if (!occupied[static_cast<std::size_t>(h)]) continue;
+      const TimePoint when = config_.start + static_cast<std::int64_t>(h) * kSecondsPerHour;
+      SourceModel::Snapshot snap = model.Next();
+      for (const net::IPv4Address& ip : snap.bot_ips) {
+        auto [it, inserted] = bot_accum.try_emplace(ip.bits());
+        if (inserted) {
+          it->second.ip = ip;
+          it->second.family = profile.family;
+          it->second.botnet_id = DrawBotnetId(bot_rng, profile);
+          it->second.first_seen = when;
+          it->second.last_seen = when;
+        } else {
+          // Families sharing source countries can mint the same address;
+          // hours restart per family, so order the interval explicitly.
+          it->second.first_seen = std::min(it->second.first_seen, when);
+          it->second.last_seen = std::max(it->second.last_seen, when);
+        }
+      }
+      dataset.AddSnapshot(
+          data::SnapshotRecord{when, profile.family, std::move(snap.bot_ips)});
+    }
+  }
+
+  // Minor families contribute listed bots but no attack-driven snapshots.
+  // Their bots are drawn from the whole catalog: the paper's Botlist spans
+  // 186 countries even though attack *sources* are regionally concentrated.
+  for (const FamilyProfile& profile : profiles_) {
+    if (profile.total_attacks > 0 || profile.source_countries.empty()) continue;
+    Rng rng = rng_.Fork(0x31b07ull + FamilyIdx(profile.family));
+    const int n = std::max(1, static_cast<int>(800 * config_.scale));
+    for (int i = 0; i < n; ++i) {
+      const net::IPv4Address ip = db_.RandomAddress(rng);
+      data::BotRecord bot;
+      bot.ip = ip;
+      bot.family = profile.family;
+      bot.botnet_id = botnet_id_range_[FamilyIdx(profile.family)].first;
+      bot.first_seen = config_.start;
+      bot.last_seen = config_.start + config_.days * kSecondsPerDay;
+      dataset.AddBot(bot);
+    }
+  }
+
+  for (auto& [bits, bot] : bot_accum) dataset.AddBot(bot);
+}
+
+data::Dataset TraceSimulator::Generate() {
+  // Phase 1: botnet identifiers.
+  Rng botnet_rng = rng_.Fork(0xb0714ull);
+  std::uint32_t next_id = 1;
+  for (const FamilyProfile& profile : profiles_) {
+    const std::uint32_t lo = next_id;
+    for (int i = 0; i < profile.botnet_count; ++i) {
+      data::BotnetRecord rec;
+      rec.botnet_id = next_id++;
+      rec.family = profile.family;
+      rec.controller_ip = db_.RandomAddress(botnet_rng);
+      rec.first_seen = config_.start;
+      rec.last_seen = config_.start + config_.days * kSecondsPerDay;
+      botnets_.push_back(rec);
+    }
+    botnet_id_range_[FamilyIdx(profile.family)] = {lo, next_id};
+  }
+
+  // Phases 2-3. Dirtjumper is scheduled last so the 2012-08-30 record day
+  // can be sized to make the day's total land on the published 983.
+  for (const FamilyProfile& profile : profiles_) {
+    if (profile.total_attacks > 0 && profile.family != Family::kDirtjumper) {
+      ScheduleFamily(profile);
+    }
+  }
+  for (const FamilyProfile& profile : profiles_) {
+    if (profile.total_attacks > 0 && profile.family == Family::kDirtjumper) {
+      ScheduleFamily(profile);
+    }
+  }
+  // Phase 4. Chains go first: the Ddoser marathon needs its reserved day-1
+  // attacks before the (greedy) collaboration injector claims them.
+  if (config_.inject_chains) InjectChains();
+  if (config_.inject_collaborations) InjectCollaborations();
+
+  // Phase 5 + assembly.
+  data::Dataset dataset;
+  for (const data::BotnetRecord& b : botnets_) dataset.AddBotnet(b);
+  EmitSnapshots(dataset);
+  for (data::AttackRecord& a : attacks_) dataset.AddAttack(std::move(a));
+  attacks_.clear();
+  dataset.Finalize();
+  return dataset;
+}
+
+data::Dataset TraceSimulator::GenerateDefault(const geo::GeoDatabase& db,
+                                              std::uint64_t seed) {
+  SimConfig config;
+  config.seed = seed;
+  TraceSimulator simulator(db, DefaultProfiles(), config);
+  return simulator.Generate();
+}
+
+}  // namespace ddos::sim

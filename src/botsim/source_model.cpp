@@ -1,0 +1,316 @@
+#include "botsim/source_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "geo/geodesy.h"
+
+namespace ddos::sim {
+
+namespace {
+
+// Lognormal (mu, sigma) in log space from a desired mean and stddev.
+void LognormalParams(double mean, double stddev, double& mu_log,
+                     double& sigma_log) {
+  if (mean <= 0.0) {
+    mu_log = 0.0;
+    sigma_log = 0.5;
+    return;
+  }
+  const double cv2 = (stddev * stddev) / (mean * mean);
+  sigma_log = std::sqrt(std::log1p(cv2));
+  mu_log = std::log(mean) - 0.5 * sigma_log * sigma_log;
+}
+
+double ResidualKm(const geo::Coordinate& p, const geo::Coordinate& c) {
+  return geo::SignedDistanceKm(p, c) - geo::EastWestComponentKm(p, c);
+}
+
+}  // namespace
+
+SourceModel::SourceModel(const geo::GeoDatabase& db, const FamilyProfile& profile,
+                         const SourceModelConfig& config, Rng rng)
+    : db_(db), profile_(profile), config_(config), rng_(rng) {
+  if (profile.source_countries.empty()) {
+    throw std::invalid_argument("SourceModel: profile has no source countries");
+  }
+  country_seen_flags_.assign(db.catalog().size(), false);
+
+  // Build the anchor set: every /16 block of every core source country,
+  // located at its city center (via a representative in-block address).
+  std::vector<geo::Coordinate> anchor_coords;
+  auto add_anchors = [&](std::string_view code, std::vector<Anchor>& dest,
+                         bool collect_coords) {
+    const auto ci = db.catalog().IndexOf(code);
+    if (!ci) return;  // tolerate unknown codes in hand-written profiles
+    for (const net::Subnet& block : db.BlocksForCountry(code)) {
+      const geo::GeoRecord rec =
+          db.Lookup(net::IPv4Address(block.network().bits() | 0x8000));
+      Anchor a;
+      a.block_prefix = static_cast<std::uint16_t>(block.network().bits() >> 16);
+      a.city = rec.location;
+      a.residual_km = 0.0;
+      a.country = static_cast<std::uint32_t>(*ci);
+      dest.push_back(a);
+      if (collect_coords) anchor_coords.push_back(rec.location);
+    }
+  };
+  for (const CountryShare& cs : profile.source_countries) {
+    add_anchors(cs.code, anchors_, /*collect_coords=*/true);
+  }
+  for (const std::string& code : profile.rare_source_countries) {
+    add_anchors(code, rare_anchors_, /*collect_coords=*/false);
+  }
+  if (anchors_.empty()) {
+    throw std::invalid_argument("SourceModel: no allocated blocks for sources");
+  }
+
+  center_ = geo::GeoCenter(anchor_coords);
+  for (Anchor& a : anchors_) {
+    a.residual_km = ResidualKm(a.city, center_);
+    const double dx = geo::EastWestComponentKm(a.city, center_);
+    if (dx < 0.0) {
+      west_halfwidth_km_ = std::max(west_halfwidth_km_, -dx);
+    } else {
+      east_halfwidth_km_ = std::max(east_halfwidth_km_, dx);
+    }
+    lat_halfwidth_km_ = std::max(
+        lat_halfwidth_km_, std::abs(a.city.lat_deg - center_.lat_deg) * 111.32);
+  }
+  west_halfwidth_km_ = std::max(west_halfwidth_km_, 120.0);
+  east_halfwidth_km_ = std::max(east_halfwidth_km_, 120.0);
+  for (Anchor& a : rare_anchors_) a.residual_km = ResidualKm(a.city, center_);
+  std::sort(anchors_.begin(), anchors_.end(), [](const Anchor& x, const Anchor& y) {
+    return x.residual_km < y.residual_km;
+  });
+
+  LognormalParams(profile.dispersion_mean_km, profile.dispersion_std_km,
+                  latent_mu_log_, latent_sigma_log_);
+  log_latent_ = latent_mu_log_;
+}
+
+SourceModel::Bot SourceModel::BotFromAnchor(const Anchor& anchor) {
+  NoteCountry(anchor.country);
+  std::vector<std::uint32_t>& cache = ip_cache_[anchor.block_prefix];
+  if (!cache.empty() && !rng_.Bernoulli(profile_.bot_churn)) {
+    const std::uint32_t bits = cache[static_cast<std::size_t>(
+        rng_.UniformInt(0, static_cast<std::int64_t>(cache.size()) - 1))];
+    const net::IPv4Address ip(bits);
+    return Bot{ip, db_.Lookup(ip).location};
+  }
+  const std::uint32_t suffix = static_cast<std::uint32_t>(rng_.UniformInt(1, 65534));
+  const net::IPv4Address ip((std::uint32_t{anchor.block_prefix} << 16) | suffix);
+  if (static_cast<int>(cache.size()) < config_.ip_reuse_cache) {
+    cache.push_back(ip.bits());
+  } else {
+    cache[static_cast<std::size_t>(rng_.UniformInt(
+        0, static_cast<std::int64_t>(cache.size()) - 1))] = ip.bits();
+  }
+  return Bot{ip, db_.Lookup(ip).location};
+}
+
+const SourceModel::Anchor& SourceModel::AnchorNearResidual(double residual_km) {
+  const auto it = std::lower_bound(
+      anchors_.begin(), anchors_.end(), residual_km,
+      [](const Anchor& a, double v) { return a.residual_km < v; });
+  // Randomize within a small neighborhood so repeated corrections do not
+  // pile every bot onto one block.
+  const std::int64_t base = std::clamp<std::int64_t>(
+      it - anchors_.begin(), 0, static_cast<std::int64_t>(anchors_.size()) - 1);
+  const std::int64_t lo = std::max<std::int64_t>(0, base - 2);
+  const std::int64_t hi =
+      std::min<std::int64_t>(static_cast<std::int64_t>(anchors_.size()) - 1, base + 2);
+  return anchors_[static_cast<std::size_t>(rng_.UniformInt(lo, hi))];
+}
+
+std::vector<std::size_t> SourceModel::Shortlist(const geo::Coordinate& pt) const {
+  std::vector<std::pair<double, std::size_t>> dist;
+  dist.reserve(anchors_.size());
+  for (std::size_t i = 0; i < anchors_.size(); ++i) {
+    dist.emplace_back(geo::HaversineKm(anchors_[i].city, pt), i);
+  }
+  const std::size_t n =
+      std::min<std::size_t>(static_cast<std::size_t>(config_.shortlist_size),
+                            dist.size());
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(n),
+                    dist.end());
+  std::vector<std::size_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(dist[i].second);
+  return out;
+}
+
+void SourceModel::NoteCountry(std::uint32_t country_index) {
+  if (!country_seen_flags_[country_index]) {
+    country_seen_flags_[country_index] = true;
+    countries_seen_.push_back(std::string(db_.catalog().at(country_index).code));
+  }
+}
+
+SourceModel::Snapshot SourceModel::Next() {
+  // 1. Pool size for this hour.
+  const double jitter = rng_.Uniform(1.0 - config_.pool_size_jitter,
+                                     1.0 + config_.pool_size_jitter);
+  const int k = std::max(
+      6, static_cast<int>(profile_.bots_per_snapshot_mean * jitter + 0.5));
+
+  // 2. Pick this hour's target. The latent AR(1) advances only on
+  // asymmetric hours: Table IV evaluates the predictor on the series with
+  // symmetric values removed, so it is *that* series whose autocorrelation
+  // must match the stationary process.
+  Snapshot snap;
+  snap.symmetric = rng_.Bernoulli(profile_.p_symmetric);
+  double target = 0.0;
+  if (!snap.symmetric) {
+    log_latent_ =
+        latent_mu_log_ +
+        profile_.dispersion_ar1 * (log_latent_ - latent_mu_log_) +
+        rng_.Normal(0.0, latent_sigma_log_ *
+                             std::sqrt(std::max(
+                                 0.0, 1.0 - profile_.dispersion_ar1 *
+                                                profile_.dispersion_ar1)));
+    target = std::max(config_.min_asymmetric_km, std::exp(log_latent_));
+  }
+  snap.target_dispersion_km = target;
+
+  // 3. Constructive placement (see header comment): a west cluster at the
+  // center latitude and east clusters at latitude offsets +-H. Ideal
+  // positions rarely coincide with anchors, so the plan is refined against
+  // the *realized* shortlist geometry: the two arms get member counts in
+  // inverse proportion to their realized east-west offsets (so the
+  // east-west components cancel at the centroid) and H is solved from the
+  // east arm's realized offset.
+  const double l_km =
+      std::max(60.0, config_.cluster_offset_fraction *
+                         std::min(west_halfwidth_km_, east_halfwidth_km_) *
+                         rng_.Uniform(0.85, 1.15));
+  const double lon_scale =
+      111.32 * std::max(0.2, std::cos(center_.lat_deg * std::numbers::pi / 180.0));
+  const geo::Coordinate west_pt{center_.lat_deg, center_.lon_deg - l_km / lon_scale};
+  const std::vector<std::size_t> west_list = Shortlist(west_pt);
+  double dx_west = 0.0;
+  for (std::size_t i : west_list) {
+    dx_west += geo::EastWestComponentKm(anchors_[i].city, center_);
+  }
+  dx_west /= static_cast<double>(west_list.size());
+  if (dx_west > -60.0) dx_west = -60.0;
+
+  // Probe the east arm at the planned offset to learn its realized dx,
+  // then solve H against it.
+  const geo::Coordinate east_probe{center_.lat_deg, center_.lon_deg + l_km / lon_scale};
+  const std::vector<std::size_t> east_probe_list = Shortlist(east_probe);
+  double dx_east = 0.0;
+  for (std::size_t i : east_probe_list) {
+    dx_east += geo::EastWestComponentKm(anchors_[i].city, center_);
+  }
+  dx_east /= static_cast<double>(east_probe_list.size());
+  if (dx_east < 60.0) dx_east = 60.0;
+
+  // Arm sizes: n_west * |dx_west| == n_east * dx_east keeps the centroid
+  // (and hence the cancelling east-west components) between the arms.
+  const int n_east = std::clamp(
+      static_cast<int>(std::lround(k * (-dx_west) / (dx_east - dx_west))), 2, k - 2);
+  const int n_west = k - n_east;
+  // Residual budget lives on the east arm: target = n_east*(sqrt(dx^2+H^2)-dx).
+  const double needed = target / static_cast<double>(n_east);
+  double h_km = std::sqrt((needed + dx_east) * (needed + dx_east) - dx_east * dx_east);
+  h_km = std::min(h_km, 1.25 * lat_halfwidth_km_);  // geometric feasibility cap
+  const double lat_step = h_km / 111.32;
+  const geo::Coordinate east_hi{center_.lat_deg + lat_step,
+                                center_.lon_deg + l_km / lon_scale};
+  const geo::Coordinate east_lo{center_.lat_deg - lat_step,
+                                center_.lon_deg + l_km / lon_scale};
+  const std::vector<std::size_t> east_hi_list = Shortlist(east_hi);
+  const std::vector<std::size_t> east_lo_list = Shortlist(east_lo);
+
+  pool_.clear();
+  pool_.reserve(static_cast<std::size_t>(k));
+  auto pick = [&](const std::vector<std::size_t>& list) -> const Anchor& {
+    return anchors_[list[static_cast<std::size_t>(
+        rng_.UniformInt(0, static_cast<std::int64_t>(list.size()) - 1))]];
+  };
+  int placed_east = 0;
+  for (int i = 0; i < k; ++i) {
+    if (!rare_anchors_.empty() && rng_.Bernoulli(profile_.rare_country_rate)) {
+      const Anchor& rare = rare_anchors_[static_cast<std::size_t>(rng_.UniformInt(
+          0, static_cast<std::int64_t>(rare_anchors_.size()) - 1))];
+      pool_.push_back(BotFromAnchor(rare));
+      continue;
+    }
+    if (placed_east < n_east && (i % 2 == 1 || k - i <= n_east - placed_east)) {
+      pool_.push_back(
+          BotFromAnchor(pick((placed_east % 2 == 0) ? east_hi_list : east_lo_list)));
+      ++placed_east;
+    } else {
+      pool_.push_back(BotFromAnchor(pick(west_list)));
+    }
+  }
+  (void)n_west;
+
+  // 4. Correction loop: swap members until the measured dispersion (the
+  // analysis-side function, fresh centroid every time) hits the target.
+  const double tol = snap.symmetric ? config_.symmetric_tolerance_km
+                                    : config_.asymmetric_tolerance_km;
+  std::vector<geo::Coordinate> coords(pool_.size());
+  auto measure = [&]() {
+    for (std::size_t i = 0; i < pool_.size(); ++i) coords[i] = pool_[i].loc;
+    return geo::ComputeDispersion(coords);
+  };
+  geo::Dispersion d = measure();
+  snap.initial_error_km = target - d.signed_sum_km;
+  for (int iter = 0; iter < config_.max_adjust_iterations; ++iter) {
+    snap.correction_iterations = iter;
+    const double err = target - d.signed_sum_km;
+    if (std::abs(err) <= tol) break;
+
+    // Propose a membership change.
+    const auto victim = static_cast<std::size_t>(
+        rng_.UniformInt(0, static_cast<std::int64_t>(pool_.size()) - 1));
+    const Bot previous = pool_[victim];
+    if (std::abs(err) > 30.0) {
+      // Coarse: move one bot to an anchor whose latitude residual supplies
+      // the missing amount.
+      const double rv = ResidualKm(previous.loc, d.center);
+      pool_[victim] = BotFromAnchor(AnchorNearResidual(rv + err));
+    } else {
+      // Fine: re-draw the victim inside its own /16; the +-jitter gives
+      // km-scale control. Pick the best of several suffixes against the
+      // frozen center.
+      const std::uint16_t prefix =
+          static_cast<std::uint16_t>(previous.ip.bits() >> 16);
+      const double old_c = geo::SignedDistanceKm(previous.loc, d.center);
+      double best_err = std::abs(err);
+      Bot best = previous;
+      for (int attempt = 0; attempt < 12; ++attempt) {
+        const std::uint32_t suffix =
+            static_cast<std::uint32_t>(rng_.UniformInt(1, 65534));
+        const net::IPv4Address ip((std::uint32_t{prefix} << 16) | suffix);
+        const Bot cand{ip, db_.Lookup(ip).location};
+        const double cand_err =
+            std::abs(err - (geo::SignedDistanceKm(cand.loc, d.center) - old_c));
+        if (cand_err < best_err) {
+          best_err = cand_err;
+          best = cand;
+        }
+      }
+      pool_[victim] = best;
+    }
+
+    // Accept only if the true measurement (fresh centroid) improves; the
+    // centroid feedback at continental scale can otherwise run away.
+    const geo::Dispersion nd = measure();
+    if (std::abs(target - nd.signed_sum_km) < std::abs(err)) {
+      d = nd;
+    } else {
+      pool_[victim] = previous;
+    }
+  }
+
+  snap.achieved_dispersion_km = std::abs(d.signed_sum_km);
+  snap.bot_ips.reserve(pool_.size());
+  for (const Bot& b : pool_) snap.bot_ips.push_back(b.ip);
+  return snap;
+}
+
+}  // namespace ddos::sim

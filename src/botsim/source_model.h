@@ -1,0 +1,119 @@
+// Bot-population model: who participates in a family's attacks each hour.
+//
+// The paper's Section IV-A findings constrain this model tightly:
+//   * sources have strong country affinity, with rare excursions into new
+//     countries (Fig 8);
+//   * the per-snapshot dispersion value (|sum of signed distances to the
+//     geographic center|) is zero for a family-specific fraction of
+//     snapshots ("geographically symmetric"), and otherwise follows a
+//     stationary process around a family-specific mean (Figs 9-11) that an
+//     ARIMA model can predict (Figs 12-13, Table IV).
+//
+// How the target dispersion is realized. The dispersion metric is peculiar:
+// because the geographic center is the centroid of the very points being
+// summed, the east-west components of the signed distances cancel almost
+// identically (in pure one-dimensional geometry, sum(x_i - mean) == 0).
+// What remains is the residual r_i = signed_distance_i - east_west_i: how
+// much *latitude* spread sits on each side of the center's meridian. The
+// model therefore steers recruitment constructively: each hourly snapshot
+// places half the pool west of the family center at the center's latitude
+// and half east of it split between latitude offsets +-H, where H solves
+//     (k/2) * (sqrt(L^2 + H^2) - L) = v
+// for the latent target value v (L is the family's typical east-west
+// spread). A short correction loop of membership swaps - evaluated with the
+// same geo::ComputeDispersion the analysis uses - then lands the measured
+// value within tolerance. Bots are drawn from real /16 blocks of the
+// family's source countries and reused across hours (churn-limited), so
+// country affinity, bot persistence and distinct-IP growth stay realistic.
+#ifndef DDOSCOPE_BOTSIM_SOURCE_MODEL_H_
+#define DDOSCOPE_BOTSIM_SOURCE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "botsim/family_profile.h"
+#include "common/rng.h"
+#include "geo/geo_db.h"
+#include "net/ipv4.h"
+
+namespace ddos::sim {
+
+// Generator-side tuning knobs (exposed for tests and ablations).
+struct SourceModelConfig {
+  double symmetric_tolerance_km = 4.0;    // target |sum| for symmetric hours
+  double asymmetric_tolerance_km = 10.0;  // acceptable miss for asymmetric hours
+  int max_adjust_iterations = 200;
+  double min_asymmetric_km = 25.0;  // keep asymmetric draws clear of zero
+  double pool_size_jitter = 0.15;   // snapshot size varies by +-15 %
+  // Fraction of the family's east-west anchor half-width used as the
+  // cluster offset L in the construction above.
+  double cluster_offset_fraction = 0.45;
+  int shortlist_size = 8;           // anchors considered per cluster
+  int ip_reuse_cache = 600;         // remembered addresses per /16 block
+};
+
+class SourceModel {
+ public:
+  SourceModel(const geo::GeoDatabase& db, const FamilyProfile& profile,
+              const SourceModelConfig& config, Rng rng);
+
+  struct Snapshot {
+    std::vector<net::IPv4Address> bot_ips;
+    double target_dispersion_km = 0.0;    // what the latent process asked for
+    double achieved_dispersion_km = 0.0;  // what the measurement reports
+    bool symmetric = false;
+    // Diagnostics: correction-loop effort (exposed for tests/ablations).
+    int correction_iterations = 0;
+    double initial_error_km = 0.0;
+  };
+
+  // Produces the next hourly snapshot.
+  Snapshot Next();
+
+  // Countries that have contributed at least one bot so far.
+  const std::vector<std::string>& countries_seen() const { return countries_seen_; }
+
+ private:
+  struct Anchor {
+    std::uint16_t block_prefix;  // /16 prefix, high 16 bits
+    geo::Coordinate city;
+    double residual_km;  // r = signed distance - east-west component
+    std::uint32_t country;  // catalog index
+  };
+  struct Bot {
+    net::IPv4Address ip;
+    geo::Coordinate loc;
+  };
+
+  // A bot from this anchor: reuses a cached address with probability
+  // (1 - churn), otherwise mints a fresh one (and caches it).
+  Bot BotFromAnchor(const Anchor& anchor);
+  const Anchor& AnchorNearResidual(double residual_km);
+  // Indices of the `shortlist_size` anchors closest to `pt`.
+  std::vector<std::size_t> Shortlist(const geo::Coordinate& pt) const;
+  void NoteCountry(std::uint32_t country_index);
+
+  const geo::GeoDatabase& db_;
+  const FamilyProfile& profile_;
+  SourceModelConfig config_;
+  Rng rng_;
+  std::vector<Anchor> anchors_;       // core countries, sorted by residual
+  std::vector<Anchor> rare_anchors_;
+  geo::Coordinate center_;
+  double west_halfwidth_km_ = 0.0;  // |most negative| east-west anchor offset
+  double east_halfwidth_km_ = 0.0;  // largest positive east-west anchor offset
+  double lat_halfwidth_km_ = 0.0;
+  std::vector<Bot> pool_;
+  std::unordered_map<std::uint16_t, std::vector<std::uint32_t>> ip_cache_;
+  double log_latent_ = 0.0;  // AR(1) state in log-km space
+  double latent_mu_log_ = 0.0;
+  double latent_sigma_log_ = 0.0;
+  std::vector<std::string> countries_seen_;
+  std::vector<bool> country_seen_flags_;
+};
+
+}  // namespace ddos::sim
+
+#endif  // DDOSCOPE_BOTSIM_SOURCE_MODEL_H_

@@ -1,0 +1,127 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ddos {
+
+namespace {
+constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.Next();
+}
+
+Rng Rng::Fork(std::uint64_t stream) const {
+  // Mix current state with the stream tag through splitmix64 so substreams
+  // are decorrelated from the parent and from each other.
+  SplitMix64 sm(s_[0] ^ Rotl(s_[3], 17) ^ (stream * 0x9e3779b97f4a7c15ULL + 1));
+  return Rng(sm.Next());
+}
+
+std::uint64_t Rng::NextU64() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(NextU64());  // full range
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * range;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < range) {
+    const std::uint64_t threshold = (0 - range) % range;
+    while (l < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * range;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::int64_t>(m >> 64);
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+double Rng::Normal(double mean, double stddev) {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = Uniform(-1.0, 1.0);
+    v = Uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return mean + stddev * u * factor;
+}
+
+double Rng::LogNormal(double mu_log, double sigma_log) {
+  return std::exp(Normal(mu_log, sigma_log));
+}
+
+double Rng::Exponential(double rate) {
+  if (rate <= 0.0) throw std::invalid_argument("Exponential: rate must be > 0");
+  // 1 - NextDouble() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - NextDouble()) / rate;
+}
+
+std::size_t Rng::Categorical(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("Categorical: total weight must be > 0");
+  }
+  double r = NextDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  // Floating-point slack: return the last positive-weight index.
+  for (std::size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return 0;  // unreachable given the total check
+}
+
+std::size_t Rng::Zipf(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("Zipf: n must be > 0");
+  double total = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) total += std::pow(static_cast<double>(k), -s);
+  double r = NextDouble() * total;
+  for (std::size_t k = 1; k <= n; ++k) {
+    r -= std::pow(static_cast<double>(k), -s);
+    if (r < 0.0) return k - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace ddos

@@ -1,0 +1,94 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of ddoscope (most importantly the botnet trace
+// simulator) draws from `Rng`, a xoshiro256** generator seeded through
+// splitmix64. Determinism matters here: the benchmark harness regenerates the
+// paper's tables and figures from a fixed seed, so runs are exactly
+// reproducible across machines, and `Fork()` provides independent substreams
+// so that adding draws in one component does not perturb another.
+#ifndef DDOSCOPE_COMMON_RNG_H_
+#define DDOSCOPE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ddos {
+
+// splitmix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256** 1.0 (Blackman & Vigna), plus a set of distribution helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Derives an independent substream; `stream` tags the purpose so two forks
+  // with different tags never collide.
+  Rng Fork(std::uint64_t stream) const;
+
+  std::uint64_t NextU64();
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform real in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  bool Bernoulli(double p);
+
+  // Gaussian via Box-Muller (cached spare deviate).
+  double Normal(double mean, double stddev);
+
+  // exp(Normal(mu_log, sigma_log)).
+  double LogNormal(double mu_log, double sigma_log);
+
+  // Mean 1/rate.
+  double Exponential(double rate);
+
+  // Index drawn proportionally to `weights` (need not be normalized; negative
+  // or zero entries are treated as unreachable). Requires a positive total.
+  std::size_t Categorical(std::span<const double> weights);
+
+  // Zipf-distributed rank in [0, n) with exponent `s` (s >= 0; s == 0 is
+  // uniform). Linear-time inversion over precomputed weights is intentionally
+  // avoided; this uses rejection-free CDF inversion on the fly for small n
+  // and is O(n) worst case - fine for catalog-sized draws.
+  std::size_t Zipf(std::size_t n, double s);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j =
+          static_cast<std::size_t>(UniformInt(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace ddos
+
+#endif  // DDOSCOPE_COMMON_RNG_H_

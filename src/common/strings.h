@@ -1,0 +1,41 @@
+// Small string utilities shared across ddoscope.
+//
+// libstdc++ 12 does not ship <format>, so `StrFormat` wraps vsnprintf with a
+// std::string return. Everything here is allocation-conscious but favors
+// clarity; none of these run on hot paths.
+#ifndef DDOSCOPE_COMMON_STRINGS_H_
+#define DDOSCOPE_COMMON_STRINGS_H_
+
+#include <cstdarg>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ddos {
+
+// printf-style formatting into a std::string.
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+std::string StrFormat(const char* fmt, ...);
+
+// Splits on a single character; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// ASCII lowercase copy.
+std::string ToLower(std::string_view text);
+
+// Strict integer / double parsing of the whole (trimmed) field.
+std::optional<std::int64_t> ParseInt64(std::string_view text);
+std::optional<double> ParseDouble(std::string_view text);
+
+}  // namespace ddos
+
+#endif  // DDOSCOPE_COMMON_STRINGS_H_

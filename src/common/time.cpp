@@ -1,0 +1,126 @@
+#include "common/time.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace ddos {
+
+std::int64_t DaysFromCivil(const CivilDate& d) {
+  // Howard Hinnant, "chrono-Compatible Low-Level Date Algorithms".
+  std::int64_t y = d.year;
+  const unsigned m = static_cast<unsigned>(d.month);
+  const unsigned day = static_cast<unsigned>(d.day);
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);             // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + day - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;            // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+CivilDate CivilFromDays(std::int64_t z) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);            // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);            // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                                 // [0, 11]
+  const unsigned day = doy - (153 * mp + 2) / 5 + 1;                       // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                              // [1, 12]
+  return CivilDate{static_cast<int>(y + (m <= 2)), static_cast<int>(m),
+                   static_cast<int>(day)};
+}
+
+bool IsValidDate(const CivilDate& d) {
+  if (d.month < 1 || d.month > 12 || d.day < 1) return false;
+  static constexpr int kDaysInMonth[12] = {31, 28, 31, 30, 31, 30,
+                                           31, 31, 30, 31, 30, 31};
+  int max_day = kDaysInMonth[d.month - 1];
+  const bool leap =
+      (d.year % 4 == 0 && d.year % 100 != 0) || (d.year % 400 == 0);
+  if (d.month == 2 && leap) max_day = 29;
+  return d.day <= max_day;
+}
+
+TimePoint TimePoint::FromCivil(const CivilTime& ct) {
+  return TimePoint(DaysFromCivil(ct.date) * kSecondsPerDay +
+                   ct.hour * kSecondsPerHour + ct.minute * kSecondsPerMinute +
+                   ct.second);
+}
+
+TimePoint TimePoint::FromDate(int year, int month, int day) {
+  return FromCivil(CivilTime{CivilDate{year, month, day}, 0, 0, 0});
+}
+
+TimePoint TimePoint::Parse(const std::string& text) {
+  CivilTime ct;
+  int n = 0;
+  const int date_fields = std::sscanf(text.c_str(), "%d-%d-%d%n", &ct.date.year,
+                                      &ct.date.month, &ct.date.day, &n);
+  if (date_fields != 3 || !IsValidDate(ct.date)) {
+    throw std::invalid_argument("TimePoint::Parse: bad date: " + text);
+  }
+  if (static_cast<size_t>(n) < text.size()) {
+    const int time_fields = std::sscanf(text.c_str() + n, " %d:%d:%d", &ct.hour,
+                                        &ct.minute, &ct.second);
+    if (time_fields != 3 || ct.hour < 0 || ct.hour > 23 || ct.minute < 0 ||
+        ct.minute > 59 || ct.second < 0 || ct.second > 59) {
+      throw std::invalid_argument("TimePoint::Parse: bad time: " + text);
+    }
+  }
+  return FromCivil(ct);
+}
+
+CivilTime TimePoint::ToCivil() const {
+  std::int64_t days = secs_ / kSecondsPerDay;
+  std::int64_t rem = secs_ % kSecondsPerDay;
+  if (rem < 0) {
+    rem += kSecondsPerDay;
+    --days;
+  }
+  CivilTime ct;
+  ct.date = CivilFromDays(days);
+  ct.hour = static_cast<int>(rem / kSecondsPerHour);
+  ct.minute = static_cast<int>((rem % kSecondsPerHour) / kSecondsPerMinute);
+  ct.second = static_cast<int>(rem % kSecondsPerMinute);
+  return ct;
+}
+
+std::string TimePoint::ToString() const {
+  const CivilTime ct = ToCivil();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", ct.date.year,
+                ct.date.month, ct.date.day, ct.hour, ct.minute, ct.second);
+  return buf;
+}
+
+std::string TimePoint::ToDateString() const {
+  const CivilTime ct = ToCivil();
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", ct.date.year, ct.date.month,
+                ct.date.day);
+  return buf;
+}
+
+namespace {
+std::int64_t FloorDiv(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+}  // namespace
+
+std::int64_t DayIndex(TimePoint t, TimePoint origin) {
+  return FloorDiv(t - origin, kSecondsPerDay);
+}
+
+std::int64_t WeekIndex(TimePoint t, TimePoint origin) {
+  return FloorDiv(t - origin, kSecondsPerWeek);
+}
+
+TimePoint StartOfDay(TimePoint t) {
+  return TimePoint(FloorDiv(t.seconds(), kSecondsPerDay) * kSecondsPerDay);
+}
+
+}  // namespace ddos

@@ -1,0 +1,109 @@
+// Calendar and wall-clock utilities.
+//
+// All times in ddoscope are UTC and carried as whole seconds since the Unix
+// epoch, wrapped in the strong type `TimePoint`. The dataset studied by the
+// paper spans 2012-08-29 .. 2013-03-24 (207 days) with hourly snapshots, so
+// second resolution is sufficient everywhere; sub-second precision is never
+// observed in the Table-I schema.
+//
+// Civil-date conversion uses Howard Hinnant's `days_from_civil` algorithm,
+// which is exact over the full proleptic Gregorian calendar.
+#ifndef DDOSCOPE_COMMON_TIME_H_
+#define DDOSCOPE_COMMON_TIME_H_
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace ddos {
+
+inline constexpr std::int64_t kSecondsPerMinute = 60;
+inline constexpr std::int64_t kSecondsPerHour = 3600;
+inline constexpr std::int64_t kSecondsPerDay = 86400;
+inline constexpr std::int64_t kSecondsPerWeek = 7 * kSecondsPerDay;
+
+// A calendar date in the proleptic Gregorian calendar (UTC).
+struct CivilDate {
+  int year = 1970;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+
+  auto operator<=>(const CivilDate&) const = default;
+};
+
+// A calendar date plus time-of-day (UTC).
+struct CivilTime {
+  CivilDate date;
+  int hour = 0;    // 0..23
+  int minute = 0;  // 0..59
+  int second = 0;  // 0..59
+
+  auto operator<=>(const CivilTime&) const = default;
+};
+
+// Days since 1970-01-01 for a civil date. Exact for all representable dates.
+std::int64_t DaysFromCivil(const CivilDate& d);
+
+// Inverse of DaysFromCivil.
+CivilDate CivilFromDays(std::int64_t days_since_epoch);
+
+// True if `d` names an actual calendar day (month/day ranges, leap years).
+bool IsValidDate(const CivilDate& d);
+
+// A point in time: whole seconds since the Unix epoch, UTC.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t seconds_since_epoch)
+      : secs_(seconds_since_epoch) {}
+
+  static TimePoint FromCivil(const CivilTime& ct);
+  static TimePoint FromDate(int year, int month, int day);
+
+  // Parses "YYYY-MM-DD" or "YYYY-MM-DD HH:MM:SS". Throws std::invalid_argument
+  // on malformed input.
+  static TimePoint Parse(const std::string& text);
+
+  CivilTime ToCivil() const;
+
+  // "YYYY-MM-DD HH:MM:SS"
+  std::string ToString() const;
+  // "YYYY-MM-DD"
+  std::string ToDateString() const;
+
+  constexpr std::int64_t seconds() const { return secs_; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(std::int64_t seconds) const {
+    return TimePoint(secs_ + seconds);
+  }
+  constexpr TimePoint operator-(std::int64_t seconds) const {
+    return TimePoint(secs_ - seconds);
+  }
+  // Signed difference in seconds.
+  constexpr std::int64_t operator-(TimePoint other) const {
+    return secs_ - other.secs_;
+  }
+  TimePoint& operator+=(std::int64_t seconds) {
+    secs_ += seconds;
+    return *this;
+  }
+
+ private:
+  std::int64_t secs_ = 0;
+};
+
+// Zero-based index of the day containing `t`, counted from `origin`
+// (both interpreted as UTC midnights need not be aligned; integer floor).
+std::int64_t DayIndex(TimePoint t, TimePoint origin);
+
+// Zero-based index of the week containing `t`, counted from `origin`.
+std::int64_t WeekIndex(TimePoint t, TimePoint origin);
+
+// Midnight of the day containing `t`.
+TimePoint StartOfDay(TimePoint t);
+
+}  // namespace ddos
+
+#endif  // DDOSCOPE_COMMON_TIME_H_

@@ -1,0 +1,196 @@
+#include "core/attribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace ddos::core {
+
+namespace {
+
+constexpr std::size_t kProtocolOffset = 0;
+constexpr std::size_t kDurationOffset = kProtocolOffset + 7;
+constexpr std::size_t kMagnitudeOffset = kDurationOffset + 8;
+constexpr std::size_t kIntervalOffset = kMagnitudeOffset + 6;
+constexpr std::size_t kCountryOffset = kIntervalOffset + 8;
+constexpr std::size_t kCountryBuckets = 12;
+
+std::size_t LogBucket(double value, double lo, double per_decade,
+                      std::size_t buckets) {
+  if (value <= lo) return 0;
+  const std::size_t b =
+      static_cast<std::size_t>(std::log10(value / lo) * per_decade);
+  return std::min(b, buckets - 1);
+}
+
+std::size_t CountryBucket(const std::string& cc) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : cc) {
+    h ^= static_cast<std::uint64_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(h % kCountryBuckets);
+}
+
+void NormalizeBlock(std::array<double, kFingerprintDims>& v, std::size_t offset,
+                    std::size_t size) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < size; ++i) total += v[offset + i];
+  if (total <= 0.0) return;
+  for (std::size_t i = 0; i < size; ++i) v[offset + i] /= total;
+}
+
+}  // namespace
+
+double BehaviorFingerprint::Similarity(const BehaviorFingerprint& other) const {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < kFingerprintDims; ++i) {
+    dot += values[i] * other.values[i];
+    na += values[i] * values[i];
+    nb += other.values[i] * other.values[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+BehaviorFingerprint FingerprintAttacks(const data::Dataset& dataset,
+                                       std::span<const std::size_t> indices) {
+  BehaviorFingerprint fp;
+  if (indices.empty()) return fp;
+  const auto attacks = dataset.attacks();
+
+  std::vector<TimePoint> starts;
+  starts.reserve(indices.size());
+  for (const std::size_t idx : indices) {
+    const data::AttackRecord& a = attacks[idx];
+    fp.values[kProtocolOffset + static_cast<std::size_t>(a.category)] += 1.0;
+    // Durations: 8 half-decade buckets over [10 s, ~3e5 s].
+    fp.values[kDurationOffset +
+              LogBucket(static_cast<double>(a.duration_seconds()), 10.0, 2.0, 8)] +=
+        1.0;
+    // Magnitudes: 6 half-decade buckets over [3, ~3000] bots.
+    fp.values[kMagnitudeOffset +
+              LogBucket(static_cast<double>(a.magnitude), 3.0, 2.0, 6)] += 1.0;
+    fp.values[kCountryOffset + CountryBucket(a.cc)] += 1.0;
+    starts.push_back(a.start_time);
+  }
+  // Intervals between this group's consecutive attacks: 8 decade buckets
+  // over [1 s, 10^8 s]; simultaneous starts land in bucket 0.
+  std::sort(starts.begin(), starts.end());
+  for (std::size_t i = 1; i < starts.size(); ++i) {
+    const double gap = static_cast<double>(starts[i] - starts[i - 1]);
+    fp.values[kIntervalOffset + LogBucket(gap, 1.0, 1.0, 8)] += 1.0;
+  }
+
+  NormalizeBlock(fp.values, kProtocolOffset, 7);
+  NormalizeBlock(fp.values, kDurationOffset, 8);
+  NormalizeBlock(fp.values, kMagnitudeOffset, 6);
+  NormalizeBlock(fp.values, kIntervalOffset, 8);
+  NormalizeBlock(fp.values, kCountryOffset, kCountryBuckets);
+  fp.attacks = indices.size();
+  return fp;
+}
+
+FamilyClassifier FamilyClassifier::Train(
+    const data::Dataset& dataset, std::span<const std::size_t> attack_indices) {
+  FamilyClassifier classifier;
+  std::array<std::vector<std::size_t>, data::kFamilyCount> by_family;
+  for (const std::size_t idx : attack_indices) {
+    by_family[static_cast<std::size_t>(dataset.attacks()[idx].family)].push_back(
+        idx);
+  }
+  for (std::size_t f = 0; f < data::kFamilyCount; ++f) {
+    if (by_family[f].empty()) continue;
+    classifier.centroids_[f] = FingerprintAttacks(dataset, by_family[f]);
+    classifier.trained_[f] = true;
+  }
+  return classifier;
+}
+
+std::optional<data::Family> FamilyClassifier::Classify(
+    const BehaviorFingerprint& fp) const {
+  if (fp.attacks == 0) return std::nullopt;
+  double best = -2.0;
+  std::optional<data::Family> winner;
+  for (std::size_t f = 0; f < data::kFamilyCount; ++f) {
+    if (!trained_[f]) continue;
+    const double sim = fp.Similarity(centroids_[f]);
+    if (sim > best) {
+      best = sim;
+      winner = static_cast<data::Family>(f);
+    }
+  }
+  return winner;
+}
+
+std::vector<data::Family> FamilyClassifier::TrainedFamilies() const {
+  std::vector<data::Family> out;
+  for (std::size_t f = 0; f < data::kFamilyCount; ++f) {
+    if (trained_[f]) out.push_back(static_cast<data::Family>(f));
+  }
+  return out;
+}
+
+AttributionEvaluation EvaluateAttribution(const data::Dataset& dataset,
+                                          double holdout_fraction,
+                                          std::size_t min_attacks,
+                                          std::uint64_t seed) {
+  AttributionEvaluation eval;
+  Rng rng(seed ^ 0xa77bull);
+
+  // Group attack indices by botnet.
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> by_botnet;
+  for (std::size_t i = 0; i < dataset.attacks().size(); ++i) {
+    by_botnet[dataset.attacks()[i].botnet_id].push_back(i);
+  }
+
+  // Split botnets into train/test per family so every family keeps
+  // training data.
+  std::array<std::vector<std::uint32_t>, data::kFamilyCount> family_botnets;
+  for (const auto& [botnet, indices] : by_botnet) {
+    family_botnets[static_cast<std::size_t>(dataset.attacks()[indices.front()].family)]
+        .push_back(botnet);
+  }
+  std::vector<std::size_t> train_indices;
+  std::vector<std::uint32_t> test_botnets;
+  for (auto& botnets : family_botnets) {
+    if (botnets.empty()) continue;
+    std::sort(botnets.begin(), botnets.end());
+    rng.Shuffle(botnets);
+    std::size_t holdout = static_cast<std::size_t>(
+        std::floor(holdout_fraction * static_cast<double>(botnets.size())));
+    holdout = std::min(holdout, botnets.size() - 1);  // keep training data
+    for (std::size_t i = 0; i < botnets.size(); ++i) {
+      if (i < holdout) {
+        test_botnets.push_back(botnets[i]);
+      } else {
+        const auto& indices = by_botnet[botnets[i]];
+        train_indices.insert(train_indices.end(), indices.begin(), indices.end());
+      }
+    }
+  }
+
+  const FamilyClassifier classifier =
+      FamilyClassifier::Train(dataset, train_indices);
+  for (const std::uint32_t botnet : test_botnets) {
+    const auto& indices = by_botnet[botnet];
+    if (indices.size() < min_attacks) continue;
+    const BehaviorFingerprint fp = FingerprintAttacks(dataset, indices);
+    const auto predicted = classifier.Classify(fp);
+    if (!predicted) continue;
+    const data::Family truth = dataset.attacks()[indices.front()].family;
+    ++eval.botnets_evaluated;
+    if (*predicted == truth) ++eval.correct;
+    ++eval.confusion[static_cast<std::size_t>(truth)]
+                    [static_cast<std::size_t>(*predicted)];
+  }
+  if (eval.botnets_evaluated > 0) {
+    eval.accuracy = static_cast<double>(eval.correct) /
+                    static_cast<double>(eval.botnets_evaluated);
+  }
+  return eval;
+}
+
+}  // namespace ddos::core

@@ -1,0 +1,80 @@
+// Behavioral attack attribution.
+//
+// The paper's Section V summary calls for "defenses that employ this
+// insight for attack attribution with an in-depth understanding of the
+// participating hosts in each family". This module implements that next
+// step: it distills a family's observable behaviour (protocol mix, duration
+// and magnitude laws, inter-attack rhythm, target-country affinity) into a
+// fixed-length fingerprint, learns per-family centroids from a training
+// subset of botnets, and attributes unseen botnets to families by cosine
+// similarity - no malware hashes or C&C knowledge required, exactly the
+// information a victim-side defender has.
+#ifndef DDOSCOPE_CORE_ATTRIBUTION_H_
+#define DDOSCOPE_CORE_ATTRIBUTION_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace ddos::core {
+
+// Fixed layout: protocol shares (7) + log-duration histogram (8, decades
+// 10^0.5 steps over [10, 10^4.5... capped]) + log-magnitude histogram (6)
+// + interval histogram (8) + hashed target-country buckets (12).
+inline constexpr std::size_t kFingerprintDims = 7 + 8 + 6 + 8 + 12;
+
+struct BehaviorFingerprint {
+  std::array<double, kFingerprintDims> values{};
+  std::size_t attacks = 0;  // how many attacks back the fingerprint
+
+  // Cosine similarity between fingerprints (0 when either is empty).
+  double Similarity(const BehaviorFingerprint& other) const;
+};
+
+// Fingerprint of a set of attacks (indices into dataset.attacks()).
+// Each block is L1-normalized so no single feature family dominates.
+BehaviorFingerprint FingerprintAttacks(const data::Dataset& dataset,
+                                       std::span<const std::size_t> indices);
+
+class FamilyClassifier {
+ public:
+  // Learns per-family centroids from the given attacks, grouped by family.
+  static FamilyClassifier Train(const data::Dataset& dataset,
+                                std::span<const std::size_t> attack_indices);
+
+  // The most similar family centroid, or nullopt if nothing was trained or
+  // the fingerprint is empty.
+  std::optional<data::Family> Classify(const BehaviorFingerprint& fp) const;
+
+  // Families with a trained centroid.
+  std::vector<data::Family> TrainedFamilies() const;
+
+ private:
+  std::array<BehaviorFingerprint, data::kFamilyCount> centroids_{};
+  std::array<bool, data::kFamilyCount> trained_{};
+};
+
+// Leave-botnets-out evaluation: per family, a fraction of botnet ids is
+// held out; centroids are trained on the rest, then every held-out botnet
+// (with at least `min_attacks` attacks) is fingerprinted and classified.
+struct AttributionEvaluation {
+  std::size_t botnets_evaluated = 0;
+  std::size_t correct = 0;
+  double accuracy = 0.0;
+  // confusion[truth][predicted], over active families.
+  std::array<std::array<std::uint32_t, data::kFamilyCount>, data::kFamilyCount>
+      confusion{};
+};
+
+AttributionEvaluation EvaluateAttribution(const data::Dataset& dataset,
+                                          double holdout_fraction = 0.3,
+                                          std::size_t min_attacks = 5,
+                                          std::uint64_t seed = 7);
+
+}  // namespace ddos::core
+
+#endif  // DDOSCOPE_CORE_ATTRIBUTION_H_

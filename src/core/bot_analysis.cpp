@@ -1,0 +1,92 @@
+#include "core/bot_analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace ddos::core {
+
+BotLifetimes ComputeBotLifetimes(const data::Dataset& dataset) {
+  BotLifetimes out;
+  std::vector<double> lifetimes;
+  lifetimes.reserve(dataset.bots().size());
+  std::uint64_t single = 0, over_week = 0;
+  for (const data::BotRecord& bot : dataset.bots()) {
+    const double seconds = static_cast<double>(bot.last_seen - bot.first_seen);
+    lifetimes.push_back(seconds);
+    if (seconds == 0.0) ++single;
+    if (seconds > static_cast<double>(kSecondsPerWeek)) ++over_week;
+  }
+  out.summary = stats::Summarize(lifetimes);
+  if (!lifetimes.empty()) {
+    out.fraction_single_snapshot =
+        static_cast<double>(single) / static_cast<double>(lifetimes.size());
+    out.fraction_over_week =
+        static_cast<double>(over_week) / static_cast<double>(lifetimes.size());
+  }
+  return out;
+}
+
+std::vector<BotCountryCount> BotCountryRanking(const data::Dataset& dataset,
+                                               const geo::GeoDatabase& geo_db) {
+  std::unordered_map<std::string, std::uint64_t> counts;
+  for (const data::BotRecord& bot : dataset.bots()) {
+    ++counts[std::string(geo_db.Lookup(bot.ip).country_code)];
+  }
+  std::vector<BotCountryCount> out;
+  out.reserve(counts.size());
+  for (const auto& [cc, count] : counts) {
+    out.push_back(BotCountryCount{cc, count});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BotCountryCount& a, const BotCountryCount& b) {
+              if (a.bots != b.bots) return a.bots > b.bots;
+              return a.cc < b.cc;
+            });
+  return out;
+}
+
+SharedBotReport AnalyzeSharedBots(const data::Dataset& dataset) {
+  SharedBotReport out;
+  // Per IP, the bitmask of families whose snapshots contained it.
+  std::unordered_map<std::uint32_t, std::uint32_t> family_mask;
+  for (const data::SnapshotRecord& snap : dataset.snapshots()) {
+    const std::uint32_t bit = 1u << static_cast<unsigned>(snap.family);
+    for (const net::IPv4Address& ip : snap.bot_ips) {
+      family_mask[ip.bits()] |= bit;
+    }
+  }
+  out.bots_in_snapshots = family_mask.size();
+
+  std::map<std::pair<int, int>, std::uint64_t> pair_counts;
+  for (const auto& [bits, mask] : family_mask) {
+    if (__builtin_popcount(mask) < 2) continue;
+    ++out.shared_bots;
+    for (int a = 0; a < data::kFamilyCount; ++a) {
+      if ((mask & (1u << a)) == 0) continue;
+      for (int b = a + 1; b < data::kFamilyCount; ++b) {
+        if ((mask & (1u << b)) != 0) ++pair_counts[{a, b}];
+      }
+    }
+  }
+  if (out.bots_in_snapshots > 0) {
+    out.shared_fraction = static_cast<double>(out.shared_bots) /
+                          static_cast<double>(out.bots_in_snapshots);
+  }
+  for (const auto& [pair, count] : pair_counts) {
+    out.top_family_pairs.emplace_back(
+        StrFormat("%s+%s",
+                  std::string(data::FamilyName(static_cast<data::Family>(pair.first)))
+                      .c_str(),
+                  std::string(data::FamilyName(static_cast<data::Family>(pair.second)))
+                      .c_str()),
+        count);
+  }
+  std::sort(out.top_family_pairs.begin(), out.top_family_pairs.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+}  // namespace ddos::core

@@ -1,0 +1,58 @@
+// Bot-level analyses over the Botlist schema.
+//
+// The paper's companion study ("Measuring botnets in the wild", reference
+// [14]) works at this level; here the Botlist supports three defender-facing
+// questions:
+//   * how long do bots stay active (lifetime distribution - long-lived bots
+//     are worth blacklisting, Section III-D);
+//   * where do they sit (country ranking of the attacker side, the Fig 8
+//     affinity viewed cumulatively);
+//   * are infections shared across families (hosts observed in more than
+//     one family's snapshots - evidence of the multi-botnet "ecosystem"
+//     Section V infers from collaborations)?
+#ifndef DDOSCOPE_CORE_BOT_ANALYSIS_H_
+#define DDOSCOPE_CORE_BOT_ANALYSIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "geo/geo_db.h"
+#include "stats/descriptive.h"
+
+namespace ddos::core {
+
+// --- Lifetimes (last_seen - first_seen, seconds). ---
+struct BotLifetimes {
+  stats::Summary summary;
+  double fraction_single_snapshot = 0.0;  // lifetime == 0 (seen once)
+  double fraction_over_week = 0.0;
+};
+
+BotLifetimes ComputeBotLifetimes(const data::Dataset& dataset);
+
+// --- Attacker-side country ranking (by distinct bot IPs). ---
+struct BotCountryCount {
+  std::string cc;
+  std::uint64_t bots = 0;
+};
+
+// Descending; covers every bot in the Botlist.
+std::vector<BotCountryCount> BotCountryRanking(const data::Dataset& dataset,
+                                               const geo::GeoDatabase& geo_db);
+
+// --- Cross-family shared infections. ---
+struct SharedBotReport {
+  std::uint64_t bots_in_snapshots = 0;   // distinct IPs seen in any snapshot
+  std::uint64_t shared_bots = 0;         // seen in >= 2 families' snapshots
+  double shared_fraction = 0.0;
+  // Family pairs ranked by shared-host count, "familyA+familyB" keys.
+  std::vector<std::pair<std::string, std::uint64_t>> top_family_pairs;
+};
+
+SharedBotReport AnalyzeSharedBots(const data::Dataset& dataset);
+
+}  // namespace ddos::core
+
+#endif  // DDOSCOPE_CORE_BOT_ANALYSIS_H_

@@ -1,0 +1,122 @@
+#include "core/chokepoint.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace ddos::core {
+
+namespace {
+
+// Snapshot index nearest to `when` for one family, by linear scan over the
+// (chronological) per-family snapshot list with binary search.
+const data::SnapshotRecord* SnapshotNear(const data::Dataset& dataset,
+                                         data::Family family, TimePoint when) {
+  const auto indices = dataset.SnapshotsOfFamily(family);
+  if (indices.empty()) return nullptr;
+  const auto snapshots = dataset.snapshots();
+  const auto it = std::lower_bound(
+      indices.begin(), indices.end(), when,
+      [&](std::size_t idx, TimePoint t) { return snapshots[idx].time < t; });
+  if (it == indices.end()) return &snapshots[indices.back()];
+  if (it == indices.begin()) return &snapshots[indices.front()];
+  const data::SnapshotRecord& hi = snapshots[*it];
+  const data::SnapshotRecord& lo = snapshots[*(it - 1)];
+  return (hi.time - when) < (when - lo.time) ? &hi : &lo;
+}
+
+}  // namespace
+
+ChokepointReport AnalyzeChokepoints(const data::Dataset& dataset,
+                                    const geo::GeoDatabase& geo_db,
+                                    const net::AsGraph& as_graph,
+                                    const ChokepointConfig& config) {
+  ChokepointReport report;
+  Rng rng(config.seed ^ 0xc40cull);
+
+  // paths_by_as[asn] = number of sampled attack paths carrying the AS as
+  // transit. A path is also remembered as the set of transit ASes it
+  // touches so cumulative coverage can be computed exactly on the sample.
+  std::unordered_map<std::uint32_t, std::uint64_t> paths_by_as;
+  std::vector<std::vector<std::uint32_t>> path_transit_sets;
+
+  for (const data::Family family : data::ActiveFamilies()) {
+    const auto attack_indices = dataset.AttacksOfFamily(family);
+    if (attack_indices.empty()) continue;
+    const std::size_t step =
+        config.attacks_per_family > 0 &&
+                attack_indices.size() >
+                    static_cast<std::size_t>(config.attacks_per_family)
+            ? attack_indices.size() /
+                  static_cast<std::size_t>(config.attacks_per_family)
+            : 1;
+    for (std::size_t i = 0; i < attack_indices.size(); i += step) {
+      const data::AttackRecord& attack = dataset.attacks()[attack_indices[i]];
+      const data::SnapshotRecord* snap =
+          SnapshotNear(dataset, family, attack.start_time);
+      if (snap == nullptr || snap->bot_ips.empty()) continue;
+      if (!as_graph.contains(attack.asn)) continue;
+      for (int b = 0; b < config.bots_per_attack; ++b) {
+        const net::IPv4Address bot = snap->bot_ips[static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(snap->bot_ips.size()) - 1))];
+        const net::Asn bot_asn = geo_db.Lookup(bot).asn;
+        if (!as_graph.contains(bot_asn)) continue;
+        const std::vector<net::Asn> path = as_graph.Path(bot_asn, attack.asn);
+        if (path.size() <= 2) continue;  // no transit segment
+        std::vector<std::uint32_t> transit;
+        transit.reserve(path.size() - 2);
+        for (std::size_t h = 1; h + 1 < path.size(); ++h) {
+          transit.push_back(path[h].value());
+          ++paths_by_as[path[h].value()];
+        }
+        path_transit_sets.push_back(std::move(transit));
+      }
+    }
+  }
+  report.total_paths = path_transit_sets.size();
+
+  report.ranking.reserve(paths_by_as.size());
+  for (const auto& [asn_bits, count] : paths_by_as) {
+    const net::AsNode& node = as_graph.at(net::Asn(asn_bits));
+    report.ranking.push_back(ChokepointEntry{node.asn, node.tier,
+                                             node.organization, node.country,
+                                             count});
+  }
+  std::sort(report.ranking.begin(), report.ranking.end(),
+            [](const ChokepointEntry& a, const ChokepointEntry& b) {
+              if (a.paths_carried != b.paths_carried) {
+                return a.paths_carried > b.paths_carried;
+              }
+              return a.asn < b.asn;
+            });
+
+  // Exact cumulative coverage on the sampled paths for the top 32 ASes.
+  const std::size_t depth = std::min<std::size_t>(report.ranking.size(), 32);
+  report.cumulative_coverage.reserve(depth);
+  std::unordered_set<std::uint32_t> chosen;
+  std::vector<bool> covered(path_transit_sets.size(), false);
+  std::uint64_t covered_count = 0;
+  for (std::size_t k = 0; k < depth; ++k) {
+    chosen.insert(report.ranking[k].asn.value());
+    for (std::size_t p = 0; p < path_transit_sets.size(); ++p) {
+      if (covered[p]) continue;
+      for (const std::uint32_t asn : path_transit_sets[p]) {
+        if (chosen.count(asn) > 0) {
+          covered[p] = true;
+          ++covered_count;
+          break;
+        }
+      }
+    }
+    report.cumulative_coverage.push_back(
+        report.total_paths == 0
+            ? 0.0
+            : static_cast<double>(covered_count) /
+                  static_cast<double>(report.total_paths));
+  }
+  return report;
+}
+
+}  // namespace ddos::core

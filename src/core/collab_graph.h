@@ -1,0 +1,67 @@
+// The botnet collaboration graph: who attacks with whom.
+//
+// Section V closes by attributing collaborations to "an underlying
+// ecosystem". This module materializes that ecosystem as a graph: botnets
+// are nodes, a concurrent-collaboration event adds (weighted) edges between
+// every pair of participating botnets. Connected components expose
+// coordinated clusters; the degree distribution exposes hubs (the paper's
+// Dirtjumper, which every inter-family collaboration involves).
+#ifndef DDOSCOPE_CORE_COLLAB_GRAPH_H_
+#define DDOSCOPE_CORE_COLLAB_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/collaboration.h"
+#include "data/dataset.h"
+
+namespace ddos::core {
+
+class CollaborationGraph {
+ public:
+  struct Node {
+    std::uint32_t botnet_id = 0;
+    data::Family family = data::Family::kAldibot;
+    std::uint32_t degree = 0;        // distinct collaborators
+    std::uint64_t events = 0;        // events participated in
+  };
+  struct Edge {
+    std::uint32_t a = 0;  // botnet ids, a < b
+    std::uint32_t b = 0;
+    std::uint32_t weight = 0;  // shared events
+    bool cross_family = false;
+  };
+
+  static CollaborationGraph Build(const data::Dataset& dataset,
+                                  std::span<const CollaborationEvent> events);
+
+  std::span<const Node> nodes() const { return nodes_; }
+  std::span<const Edge> edges() const { return edges_; }
+
+  // Connected components as lists of botnet ids, largest first.
+  std::vector<std::vector<std::uint32_t>> Components() const;
+
+  struct Stats {
+    std::size_t nodes = 0;
+    std::size_t edges = 0;
+    std::size_t cross_family_edges = 0;
+    std::size_t components = 0;
+    std::size_t largest_component = 0;
+    std::uint32_t hub_botnet = 0;          // highest-degree node
+    data::Family hub_family = data::Family::kAldibot;
+    std::uint32_t hub_degree = 0;
+    double mean_degree = 0.0;
+  };
+  Stats ComputeStats() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::map<std::uint32_t, std::size_t> node_index_;
+};
+
+}  // namespace ddos::core
+
+#endif  // DDOSCOPE_CORE_COLLAB_GRAPH_H_

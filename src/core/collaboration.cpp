@@ -1,0 +1,248 @@
+#include "core/collaboration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "stats/descriptive.h"
+
+namespace ddos::core {
+
+std::vector<CollaborationEvent> DetectConcurrentCollaborations(
+    const data::Dataset& dataset, const CollaborationConfig& config) {
+  std::vector<CollaborationEvent> events;
+  const auto attacks = dataset.attacks();
+
+  for (const net::IPv4Address& target : dataset.Targets()) {
+    const auto indices = dataset.AttacksOnTarget(target);
+    if (indices.size() < 2) continue;
+    // Indices are chronological (dataset sort order).
+    std::size_t i = 0;
+    while (i < indices.size()) {
+      const data::AttackRecord& anchor = attacks[indices[i]];
+      std::size_t j = i + 1;
+      CollaborationEvent event;
+      event.target = target;
+      event.first_start = anchor.start_time;
+      event.participants.push_back(
+          CollabParticipant{indices[i], anchor.family, anchor.botnet_id});
+      while (j < indices.size()) {
+        const data::AttackRecord& cand = attacks[indices[j]];
+        if (cand.start_time - anchor.start_time > config.start_window_s) break;
+        if (std::llabs(cand.duration_seconds() - anchor.duration_seconds()) <=
+            config.max_duration_diff_s) {
+          event.participants.push_back(
+              CollabParticipant{indices[j], cand.family, cand.botnet_id});
+        }
+        ++j;
+      }
+      std::set<std::uint32_t> botnets;
+      std::set<data::Family> families;
+      for (const CollabParticipant& p : event.participants) {
+        botnets.insert(p.botnet_id);
+        families.insert(p.family);
+      }
+      if (botnets.size() >= 2) {
+        event.intra_family = families.size() == 1;
+        events.push_back(std::move(event));
+      }
+      i = j;
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const CollaborationEvent& a, const CollaborationEvent& b) {
+              return a.first_start < b.first_start;
+            });
+  return events;
+}
+
+CollaborationTable TabulateCollaborations(
+    std::span<const CollaborationEvent> events) {
+  CollaborationTable table;
+  for (const CollaborationEvent& e : events) {
+    std::set<data::Family> families;
+    for (const CollabParticipant& p : e.participants) families.insert(p.family);
+    for (const data::Family f : families) {
+      if (e.intra_family) {
+        ++table.intra[static_cast<std::size_t>(f)];
+      } else {
+        ++table.inter[static_cast<std::size_t>(f)];
+      }
+    }
+  }
+  return table;
+}
+
+IntraCollabView AnalyzeIntraFamily(const data::Dataset& dataset,
+                                   std::span<const CollaborationEvent> events,
+                                   data::Family family) {
+  IntraCollabView view;
+  std::size_t total_botnets = 0;
+  std::size_t equal_magnitude = 0;
+  for (const CollaborationEvent& e : events) {
+    if (!e.intra_family || e.participants.front().family != family) continue;
+    IntraCollabEvent ev;
+    ev.time = e.first_start;
+    std::set<std::uint32_t> botnets;
+    bool equal = true;
+    double first_mag = -1.0;
+    for (const CollabParticipant& p : e.participants) {
+      const data::AttackRecord& a = dataset.attacks()[p.attack_index];
+      ev.botnet_ids.push_back(p.botnet_id);
+      ev.magnitudes.push_back(static_cast<double>(a.magnitude));
+      botnets.insert(p.botnet_id);
+      if (first_mag < 0.0) {
+        first_mag = static_cast<double>(a.magnitude);
+      } else if (static_cast<double>(a.magnitude) != first_mag) {
+        equal = false;
+      }
+    }
+    total_botnets += botnets.size();
+    if (equal) ++equal_magnitude;
+    view.events.push_back(std::move(ev));
+  }
+  if (!view.events.empty()) {
+    view.avg_botnets_per_event =
+        static_cast<double>(total_botnets) / static_cast<double>(view.events.size());
+    view.equal_magnitude_fraction = static_cast<double>(equal_magnitude) /
+                                    static_cast<double>(view.events.size());
+  }
+  return view;
+}
+
+PairCollabDetail AnalyzeFamilyPair(const data::Dataset& dataset,
+                                   std::span<const CollaborationEvent> events,
+                                   data::Family family_a, data::Family family_b) {
+  PairCollabDetail out;
+  std::unordered_set<std::uint32_t> targets, asns;
+  std::unordered_set<std::string> orgs;
+  std::unordered_map<std::string, std::uint64_t> countries;
+  double dur_a_sum = 0.0, dur_b_sum = 0.0;
+  std::size_t dur_a_n = 0, dur_b_n = 0;
+  TimePoint first_seen, last_seen;
+
+  for (const CollaborationEvent& e : events) {
+    if (e.intra_family) continue;
+    const data::AttackRecord* a_rec = nullptr;
+    const data::AttackRecord* b_rec = nullptr;
+    for (const CollabParticipant& p : e.participants) {
+      const data::AttackRecord& rec = dataset.attacks()[p.attack_index];
+      if (p.family == family_a && a_rec == nullptr) a_rec = &rec;
+      if (p.family == family_b && b_rec == nullptr) b_rec = &rec;
+    }
+    if (a_rec == nullptr || b_rec == nullptr) continue;
+
+    if (out.events == 0) first_seen = e.first_start;
+    last_seen = e.first_start;
+    ++out.events;
+    targets.insert(e.target.bits());
+    asns.insert(a_rec->asn.value());
+    orgs.insert(a_rec->organization);
+    ++countries[a_rec->cc];
+    dur_a_sum += static_cast<double>(a_rec->duration_seconds());
+    ++dur_a_n;
+    dur_b_sum += static_cast<double>(b_rec->duration_seconds());
+    ++dur_b_n;
+    out.series.push_back(PairCollabPoint{
+        e.first_start, static_cast<double>(a_rec->duration_seconds()),
+        static_cast<double>(b_rec->duration_seconds()),
+        static_cast<double>(a_rec->magnitude), static_cast<double>(b_rec->magnitude)});
+  }
+  out.unique_targets = targets.size();
+  out.countries = countries.size();
+  out.organizations = orgs.size();
+  out.asns = asns.size();
+  for (const auto& [cc, c] : countries) {
+    out.top_countries.push_back(CountryCount{cc, c});
+  }
+  std::sort(out.top_countries.begin(), out.top_countries.end(),
+            [](const CountryCount& a, const CountryCount& b) {
+              if (a.attacks != b.attacks) return a.attacks > b.attacks;
+              return a.cc < b.cc;
+            });
+  if (out.top_countries.size() > 5) out.top_countries.resize(5);
+  if (dur_a_n > 0) out.avg_duration_a_s = dur_a_sum / static_cast<double>(dur_a_n);
+  if (dur_b_n > 0) out.avg_duration_b_s = dur_b_sum / static_cast<double>(dur_b_n);
+  if (out.events > 0) {
+    out.span_days = (last_seen - first_seen) / kSecondsPerDay;
+  }
+  return out;
+}
+
+std::vector<ConsecutiveChain> DetectConsecutiveChains(
+    const data::Dataset& dataset, std::int64_t margin_s) {
+  std::vector<ConsecutiveChain> chains;
+  const auto attacks = dataset.attacks();
+  for (const net::IPv4Address& target : dataset.Targets()) {
+    const auto indices = dataset.AttacksOnTarget(target);
+    if (indices.size() < 2) continue;
+    std::size_t i = 0;
+    while (i < indices.size()) {
+      ConsecutiveChain chain;
+      chain.target = target;
+      chain.attack_indices.push_back(indices[i]);
+      std::size_t j = i;
+      while (j + 1 < indices.size()) {
+        const data::AttackRecord& prev = attacks[indices[j]];
+        const data::AttackRecord& next = attacks[indices[j + 1]];
+        const std::int64_t gap = next.start_time - prev.end_time;
+        if (std::llabs(gap) > margin_s) break;
+        chain.attack_indices.push_back(indices[j + 1]);
+        chain.gaps_s.push_back(static_cast<double>(gap));
+        ++j;
+      }
+      if (chain.attack_indices.size() >= 2) {
+        std::set<data::Family> families;
+        for (std::size_t idx : chain.attack_indices) {
+          families.insert(attacks[idx].family);
+        }
+        chain.families.assign(families.begin(), families.end());
+        chain.span_seconds = attacks[chain.attack_indices.back()].end_time -
+                             attacks[chain.attack_indices.front()].start_time;
+        chains.push_back(std::move(chain));
+      }
+      i = j + 1;
+    }
+  }
+  std::sort(chains.begin(), chains.end(),
+            [&](const ConsecutiveChain& a, const ConsecutiveChain& b) {
+              return attacks[a.attack_indices.front()].start_time <
+                     attacks[b.attack_indices.front()].start_time;
+            });
+  return chains;
+}
+
+ChainStats SummarizeChains(const data::Dataset& dataset,
+                           std::span<const ConsecutiveChain> chains) {
+  ChainStats s;
+  s.chains = chains.size();
+  std::vector<double> gaps;
+  std::set<data::Family> families;
+  for (const ConsecutiveChain& c : chains) {
+    gaps.insert(gaps.end(), c.gaps_s.begin(), c.gaps_s.end());
+    for (const data::Family f : c.families) families.insert(f);
+    if (c.families.size() == 1) {
+      ++s.intra_family_chains;
+    } else {
+      ++s.cross_family_chains;
+    }
+    if (c.attack_indices.size() > s.longest_length) {
+      s.longest_length = c.attack_indices.size();
+      s.longest_family = c.families.front();
+      s.longest_span_s = c.span_seconds;
+      s.longest_start = dataset.attacks()[c.attack_indices.front()].start_time;
+    }
+  }
+  s.families.assign(families.begin(), families.end());
+  if (!gaps.empty()) {
+    const stats::Summary sum = stats::Summarize(gaps);
+    s.gap_mean_s = sum.mean;
+    s.gap_median_s = sum.median;
+    s.gap_std_s = sum.stddev;
+  }
+  return s;
+}
+
+}  // namespace ddos::core

@@ -1,0 +1,131 @@
+// Collaborative-attack analyses (Section V; Table VI, Figs 15-18).
+//
+// Two forms of collaboration are detected:
+//  * concurrent: different botnets hit the same target with start times
+//    within 60 s and durations within half an hour of each other;
+//  * multistage (consecutive): attacks on one target chained back to back,
+//    each starting at the previous attack's end within a +-60 s margin.
+#ifndef DDOSCOPE_CORE_COLLABORATION_H_
+#define DDOSCOPE_CORE_COLLABORATION_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/target_analysis.h"
+#include "data/dataset.h"
+
+namespace ddos::core {
+
+struct CollaborationConfig {
+  std::int64_t start_window_s = 60;
+  std::int64_t max_duration_diff_s = 1800;
+};
+
+struct CollabParticipant {
+  std::size_t attack_index;  // into dataset.attacks()
+  data::Family family;
+  std::uint32_t botnet_id;
+};
+
+struct CollaborationEvent {
+  net::IPv4Address target;
+  TimePoint first_start;
+  std::vector<CollabParticipant> participants;  // >= 2, distinct botnet ids
+  bool intra_family = true;
+};
+
+// Sweeps every target's attack history; an event is a maximal group of
+// attacks anchored at its earliest member, all starting within the window
+// and with durations within the allowed difference, spanning at least two
+// distinct botnet identifiers.
+std::vector<CollaborationEvent> DetectConcurrentCollaborations(
+    const data::Dataset& dataset, const CollaborationConfig& config = {});
+
+// --- Table VI. ---
+struct CollaborationTable {
+  std::array<std::uint64_t, data::kFamilyCount> intra{};
+  std::array<std::uint64_t, data::kFamilyCount> inter{};
+};
+
+CollaborationTable TabulateCollaborations(
+    std::span<const CollaborationEvent> events);
+
+// --- Fig 15: intra-family collaboration view for one family. ---
+struct IntraCollabEvent {
+  TimePoint time;
+  std::vector<std::uint32_t> botnet_ids;
+  std::vector<double> magnitudes;
+};
+
+struct IntraCollabView {
+  std::vector<IntraCollabEvent> events;
+  double avg_botnets_per_event = 0.0;  // Dirtjumper: 2.19 in the paper
+  // Fraction of events where all participants report the same magnitude
+  // ("for most bars along the same timestamp, they have the same height").
+  double equal_magnitude_fraction = 0.0;
+};
+
+IntraCollabView AnalyzeIntraFamily(const data::Dataset& dataset,
+                                   std::span<const CollaborationEvent> events,
+                                   data::Family family);
+
+// --- Fig 16 + Section V-A: one family pair in detail. ---
+struct PairCollabPoint {
+  TimePoint time;
+  double duration_a_s = 0.0;
+  double duration_b_s = 0.0;
+  double magnitude_a = 0.0;
+  double magnitude_b = 0.0;
+};
+
+struct PairCollabDetail {
+  std::size_t events = 0;
+  std::uint64_t unique_targets = 0;   // paper: 96 for DJ x Pandora
+  std::uint64_t countries = 0;        // 16
+  std::uint64_t organizations = 0;    // 58
+  std::uint64_t asns = 0;             // 61
+  std::vector<CountryCount> top_countries;  // RU 31, US 26, DE 14
+  double avg_duration_a_s = 0.0;      // Dirtjumper: 5,083 s
+  double avg_duration_b_s = 0.0;      // Pandora: 6,420 s
+  std::vector<PairCollabPoint> series;
+  std::int64_t span_days = 0;         // first-to-last collaboration
+};
+
+PairCollabDetail AnalyzeFamilyPair(const data::Dataset& dataset,
+                                   std::span<const CollaborationEvent> events,
+                                   data::Family family_a, data::Family family_b);
+
+// --- Multistage chains (Section V-B; Figs 17-18). ---
+struct ConsecutiveChain {
+  net::IPv4Address target;
+  std::vector<std::size_t> attack_indices;  // chronological
+  std::vector<double> gaps_s;               // start[i+1] - end[i], in [-60, 60]
+  std::vector<data::Family> families;       // distinct families involved
+  std::int64_t span_seconds = 0;            // first start to last end
+};
+
+std::vector<ConsecutiveChain> DetectConsecutiveChains(
+    const data::Dataset& dataset, std::int64_t margin_s = 60);
+
+struct ChainStats {
+  std::size_t chains = 0;
+  std::size_t longest_length = 0;
+  data::Family longest_family = data::Family::kAldibot;
+  std::int64_t longest_span_s = 0;
+  TimePoint longest_start;
+  double gap_mean_s = 0.0;    // paper: 0.11 s
+  double gap_median_s = 0.0;  // paper: 3 s
+  double gap_std_s = 0.0;     // paper: 23 s
+  std::vector<data::Family> families;  // distinct families with chains
+  std::uint64_t intra_family_chains = 0;
+  std::uint64_t cross_family_chains = 0;
+};
+
+ChainStats SummarizeChains(const data::Dataset& dataset,
+                           std::span<const ConsecutiveChain> chains);
+
+}  // namespace ddos::core
+
+#endif  // DDOSCOPE_CORE_COLLABORATION_H_

@@ -1,0 +1,86 @@
+#include "core/defense.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/durations.h"
+#include "stats/ecdf.h"
+
+namespace ddos::core {
+
+MitigationWindow RecommendMitigationWindow(
+    std::span<const data::AttackRecord> attacks, double coverage) {
+  MitigationWindow out;
+  out.coverage = coverage;
+  if (attacks.empty()) return out;
+  const std::vector<double> durations = AttackDurations(attacks);
+  const stats::Ecdf ecdf(durations);
+  out.window_seconds = ecdf.Quantile(coverage);
+  out.attacks_covered_fraction = ecdf.FractionAtMost(out.window_seconds);
+  return out;
+}
+
+std::vector<BlacklistEntry> BuildSourceBlacklist(const data::Dataset& dataset,
+                                                 const geo::GeoDatabase& geo_db,
+                                                 std::size_t max_entries,
+                                                 std::uint64_t min_appearances) {
+  struct Agg {
+    std::uint64_t appearances = 0;
+    data::Family family = data::Family::kAldibot;
+  };
+  std::unordered_map<std::uint32_t, Agg> counts;
+  for (const data::SnapshotRecord& snap : dataset.snapshots()) {
+    for (const net::IPv4Address& ip : snap.bot_ips) {
+      Agg& agg = counts[ip.bits()];
+      ++agg.appearances;
+      agg.family = snap.family;
+    }
+  }
+  std::vector<BlacklistEntry> out;
+  out.reserve(counts.size());
+  for (const auto& [bits, agg] : counts) {
+    if (agg.appearances < min_appearances) continue;
+    const net::IPv4Address ip(bits);
+    out.push_back(BlacklistEntry{ip, std::string(geo_db.Lookup(ip).country_code),
+                                 agg.family, agg.appearances});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BlacklistEntry& a, const BlacklistEntry& b) {
+              if (a.appearances != b.appearances) {
+                return a.appearances > b.appearances;
+              }
+              return a.ip < b.ip;
+            });
+  if (out.size() > max_entries) out.resize(max_entries);
+  return out;
+}
+
+std::vector<WatchedTarget> BuildWatchList(const data::Dataset& dataset,
+                                          std::size_t max_entries,
+                                          std::size_t min_attacks) {
+  std::vector<WatchedTarget> out;
+  for (const net::IPv4Address& target : dataset.Targets()) {
+    const auto indices = dataset.AttacksOnTarget(target);
+    if (indices.size() < min_attacks) continue;
+    std::vector<TimePoint> starts;
+    starts.reserve(indices.size());
+    for (std::size_t idx : indices) {
+      starts.push_back(dataset.attacks()[idx].start_time);
+    }
+    const auto pred = PredictNextAttackStart(starts);
+    if (!pred) continue;
+    out.push_back(WatchedTarget{target, indices.size(), pred->predicted_start,
+                                pred->interval_seconds});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WatchedTarget& a, const WatchedTarget& b) {
+              if (a.attack_count != b.attack_count) {
+                return a.attack_count > b.attack_count;
+              }
+              return a.target < b.target;
+            });
+  if (out.size() > max_entries) out.resize(max_entries);
+  return out;
+}
+
+}  // namespace ddos::core

@@ -1,0 +1,64 @@
+// Defense-oriented derivations from the characterization results
+// (Sections III-D, IV "insight into defenses", V summary).
+//
+// These are the paper's "future work" made concrete: a mitigation-window
+// recommender built on the duration CDF (80 % of attacks end within ~4 h,
+// so that is the budget an automatic mitigation must cover), a source
+// blacklist ranked by bot recurrence, and a watch list of targets whose
+// interval history makes the next attack predictable.
+#ifndef DDOSCOPE_CORE_DEFENSE_H_
+#define DDOSCOPE_CORE_DEFENSE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/prediction.h"
+#include "data/dataset.h"
+#include "geo/geo_db.h"
+
+namespace ddos::core {
+
+// --- Mitigation window (Section III-D). ---
+struct MitigationWindow {
+  double coverage = 0.0;    // requested duration-CDF coverage, e.g. 0.80
+  double window_seconds = 0;  // duration quantile at that coverage
+  double attacks_covered_fraction = 0.0;  // realized coverage
+};
+
+// Recommends how long an automatic mitigation must stay engaged to outlast
+// the given fraction of attacks.
+MitigationWindow RecommendMitigationWindow(
+    std::span<const data::AttackRecord> attacks, double coverage = 0.80);
+
+// --- Source blacklist. ---
+struct BlacklistEntry {
+  net::IPv4Address ip;
+  std::string cc;
+  data::Family family;
+  std::uint64_t appearances = 0;  // snapshots the bot participated in
+};
+
+// Bots ranked by participation count; `min_appearances` filters one-off
+// recruits (churned hosts give little blocking value).
+std::vector<BlacklistEntry> BuildSourceBlacklist(const data::Dataset& dataset,
+                                                 const geo::GeoDatabase& geo_db,
+                                                 std::size_t max_entries = 1000,
+                                                 std::uint64_t min_appearances = 3);
+
+// --- Predictable-target watch list. ---
+struct WatchedTarget {
+  net::IPv4Address target;
+  std::size_t attack_count = 0;
+  TimePoint predicted_next;
+  double predicted_interval_s = 0.0;
+};
+
+// Targets with enough history for a next-attack prediction, most-attacked
+// first.
+std::vector<WatchedTarget> BuildWatchList(const data::Dataset& dataset,
+                                          std::size_t max_entries = 50,
+                                          std::size_t min_attacks = 4);
+
+}  // namespace ddos::core
+
+#endif  // DDOSCOPE_CORE_DEFENSE_H_

@@ -1,0 +1,43 @@
+#include "core/durations.h"
+
+namespace ddos::core {
+
+std::vector<double> AttackDurations(std::span<const data::AttackRecord> attacks) {
+  std::vector<double> out;
+  out.reserve(attacks.size());
+  for (const data::AttackRecord& a : attacks) {
+    out.push_back(static_cast<double>(a.duration_seconds()));
+  }
+  return out;
+}
+
+DurationStats ComputeDurationStats(std::span<const double> durations) {
+  DurationStats s;
+  s.summary = stats::Summarize(durations);
+  if (durations.empty()) return s;
+  std::uint64_t band = 0;
+  std::uint64_t under_4h = 0;
+  for (double v : durations) {
+    if (v >= 100.0 && v <= 10000.0) ++band;
+    if (v < 4.0 * 3600.0) ++under_4h;
+  }
+  const double n = static_cast<double>(durations.size());
+  s.fraction_100_10000 = static_cast<double>(band) / n;
+  s.fraction_under_4h = static_cast<double>(under_4h) / n;
+  const stats::Ecdf ecdf(durations);
+  s.p80_seconds = ecdf.Quantile(0.80);
+  return s;
+}
+
+std::vector<DurationPoint> DurationTimeline(
+    std::span<const data::AttackRecord> attacks, TimePoint origin) {
+  std::vector<DurationPoint> out;
+  out.reserve(attacks.size());
+  for (const data::AttackRecord& a : attacks) {
+    out.push_back(DurationPoint{static_cast<int>(DayIndex(a.start_time, origin)),
+                                static_cast<double>(a.duration_seconds())});
+  }
+  return out;
+}
+
+}  // namespace ddos::core

@@ -1,0 +1,37 @@
+// Attack-duration analyses (Section III-C; Figs 6-7).
+#ifndef DDOSCOPE_CORE_DURATIONS_H_
+#define DDOSCOPE_CORE_DURATIONS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "stats/descriptive.h"
+#include "stats/ecdf.h"
+
+namespace ddos::core {
+
+// Durations (seconds) of all attacks, chronological.
+std::vector<double> AttackDurations(std::span<const data::AttackRecord> attacks);
+
+struct DurationStats {
+  stats::Summary summary;       // paper: mean 10,308 s / median 1,766 s / sd 18,475 s
+  double p80_seconds = 0.0;     // paper: 13,882 s (~4 h)
+  double fraction_100_10000 = 0.0;  // density band visible in Fig 6
+  double fraction_under_4h = 0.0;
+};
+
+DurationStats ComputeDurationStats(std::span<const double> durations);
+
+// Fig 6 raw series: (day index, duration seconds) per attack, ordered by
+// start time; simultaneous attacks keep their target-IP order from the
+// dataset sort.
+struct DurationPoint {
+  int day = 0;
+  double duration_s = 0.0;
+};
+std::vector<DurationPoint> DurationTimeline(
+    std::span<const data::AttackRecord> attacks, TimePoint origin);
+
+}  // namespace ddos::core
+
+#endif  // DDOSCOPE_CORE_DURATIONS_H_

@@ -1,0 +1,108 @@
+#include "core/geo_analysis.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace ddos::core {
+
+std::vector<DispersionPoint> DispersionSeries(const data::Dataset& dataset,
+                                              const geo::GeoDatabase& geo_db,
+                                              data::Family family) {
+  std::vector<DispersionPoint> out;
+  const auto indices = dataset.SnapshotsOfFamily(family);
+  out.reserve(indices.size());
+  std::vector<geo::Coordinate> coords;
+  for (std::size_t idx : indices) {
+    const data::SnapshotRecord& snap = dataset.snapshots()[idx];
+    if (snap.bot_ips.size() < 2) continue;
+    coords.clear();
+    coords.reserve(snap.bot_ips.size());
+    for (const net::IPv4Address& ip : snap.bot_ips) {
+      coords.push_back(geo_db.Lookup(ip).location);
+    }
+    const geo::Dispersion d = geo::ComputeDispersion(coords);
+    out.push_back(DispersionPoint{snap.time, d.value_km, d.signed_sum_km,
+                                  d.center, coords.size()});
+  }
+  return out;
+}
+
+std::vector<double> DispersionValues(std::span<const DispersionPoint> series) {
+  std::vector<double> out;
+  out.reserve(series.size());
+  for (const DispersionPoint& p : series) out.push_back(p.value_km);
+  return out;
+}
+
+double SymmetricFraction(std::span<const double> values, double threshold_km) {
+  if (values.empty()) return 0.0;
+  std::size_t symmetric = 0;
+  for (double v : values) {
+    if (v < threshold_km) ++symmetric;
+  }
+  return static_cast<double>(symmetric) / static_cast<double>(values.size());
+}
+
+std::vector<double> AsymmetricValues(std::span<const double> values,
+                                     double threshold_km) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) {
+    if (v >= threshold_km) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<WeeklyShift> ShiftAnalysis(const data::Dataset& dataset,
+                                       const geo::GeoDatabase& geo_db,
+                                       std::span<const data::Family> families) {
+  std::vector<data::Family> wanted(families.begin(), families.end());
+  if (wanted.empty()) {
+    wanted.assign(data::ActiveFamilies().begin(), data::ActiveFamilies().end());
+  }
+
+  // Week indexing is anchored at the first snapshot.
+  const auto snapshots = dataset.snapshots();
+  if (snapshots.empty()) return {};
+  const TimePoint origin = StartOfDay(snapshots.front().time);
+
+  std::vector<WeeklyShift> out;
+  auto week_slot = [&](int week) -> WeeklyShift& {
+    while (static_cast<int>(out.size()) <= week) {
+      out.push_back(WeeklyShift{static_cast<int>(out.size()), 0, 0, 0});
+    }
+    return out[static_cast<std::size_t>(week)];
+  };
+
+  for (const data::Family f : wanted) {
+    // A country is "new" for the whole week in which the family first
+    // sources a bot from it; from the following week on it is "existing".
+    std::unordered_set<std::string> seen_before_week;
+    std::unordered_set<std::string> introduced_this_week;
+    int current_week = -1;
+    for (std::size_t idx : dataset.SnapshotsOfFamily(f)) {
+      const data::SnapshotRecord& snap = snapshots[idx];
+      const int week = static_cast<int>(WeekIndex(snap.time, origin));
+      if (week != current_week) {
+        seen_before_week.insert(introduced_this_week.begin(),
+                                introduced_this_week.end());
+        introduced_this_week.clear();
+        current_week = week;
+      }
+      WeeklyShift& slot = week_slot(week);
+      for (const net::IPv4Address& ip : snap.bot_ips) {
+        const std::string cc(geo_db.Lookup(ip).country_code);
+        if (seen_before_week.count(cc) > 0) {
+          ++slot.bots_existing_countries;
+        } else {
+          ++slot.bots_new_countries;
+          if (introduced_this_week.insert(cc).second) ++slot.new_countries;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ddos::core

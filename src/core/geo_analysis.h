@@ -1,0 +1,71 @@
+// Geolocation analyses of attack sources (Section IV-A; Figs 8-11).
+//
+// * Shift patterns (Fig 8): week over week, how many bots of each family
+//   come from countries the family has already used vs. countries that are
+//   new for it.
+// * Dispersion series (Figs 9-11): per hourly snapshot, the geographic
+//   center of the participating bots and |sum of signed distances| to it.
+//   A value of (near) zero means the bots are geographically symmetric.
+#ifndef DDOSCOPE_CORE_GEO_ANALYSIS_H_
+#define DDOSCOPE_CORE_GEO_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "geo/geo_db.h"
+#include "geo/geodesy.h"
+#include "stats/histogram.h"
+
+namespace ddos::core {
+
+// Dispersion values below this are treated as "geographically symmetric".
+// The paper reports exact zeros; with per-address coordinate jitter a small
+// threshold plays that role.
+inline constexpr double kSymmetryThresholdKm = 10.0;
+
+struct DispersionPoint {
+  TimePoint time;
+  double value_km = 0.0;   // |sum of signed distances| (the paper's metric)
+  double signed_km = 0.0;  // signed sum
+  geo::Coordinate center;
+  std::size_t bot_count = 0;
+};
+
+// One value per snapshot of `family`, chronological. Snapshots with fewer
+// than two bots are skipped.
+std::vector<DispersionPoint> DispersionSeries(const data::Dataset& dataset,
+                                              const geo::GeoDatabase& geo_db,
+                                              data::Family family);
+
+// Just the value_km column.
+std::vector<double> DispersionValues(std::span<const DispersionPoint> series);
+
+// Fraction of values below the symmetry threshold (Pandora 76.7 %,
+// Blackenergy 89.5 % in the paper).
+double SymmetricFraction(std::span<const double> values,
+                         double threshold_km = kSymmetryThresholdKm);
+
+// Values with the symmetric ones removed - the series Figs 10-13 and
+// Table IV operate on.
+std::vector<double> AsymmetricValues(std::span<const double> values,
+                                     double threshold_km = kSymmetryThresholdKm);
+
+// --- Fig 8: weekly shift patterns. ---
+struct WeeklyShift {
+  int week = 0;
+  std::uint64_t bots_existing_countries = 0;  // left axis (10^4 scale)
+  std::uint64_t bots_new_countries = 0;       // right axis (10^3 scale)
+  std::uint64_t new_countries = 0;            // countries first seen this week
+};
+
+// Aggregated across the given families (empty list = all active families).
+// "New" is evaluated per family: a country is new in week w if that family
+// never sourced a bot from it in any earlier week.
+std::vector<WeeklyShift> ShiftAnalysis(const data::Dataset& dataset,
+                                       const geo::GeoDatabase& geo_db,
+                                       std::span<const data::Family> families);
+
+}  // namespace ddos::core
+
+#endif  // DDOSCOPE_CORE_GEO_ANALYSIS_H_

@@ -1,0 +1,160 @@
+#include "core/intervals.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace ddos::core {
+
+std::vector<double> IntervalsFromStarts(std::span<const TimePoint> starts) {
+  std::vector<double> out;
+  if (starts.size() < 2) return out;
+  out.reserve(starts.size() - 1);
+  for (std::size_t i = 1; i < starts.size(); ++i) {
+    out.push_back(static_cast<double>(starts[i] - starts[i - 1]));
+  }
+  return out;
+}
+
+namespace {
+std::vector<TimePoint> StartsOf(const data::Dataset& dataset,
+                                std::span<const std::size_t> indices) {
+  std::vector<TimePoint> starts;
+  starts.reserve(indices.size());
+  for (std::size_t idx : indices) {
+    starts.push_back(dataset.attacks()[idx].start_time);
+  }
+  std::sort(starts.begin(), starts.end());
+  return starts;
+}
+}  // namespace
+
+std::vector<double> AllAttackIntervals(const data::Dataset& dataset) {
+  std::vector<TimePoint> starts;
+  starts.reserve(dataset.attacks().size());
+  for (const data::AttackRecord& a : dataset.attacks()) {
+    starts.push_back(a.start_time);
+  }
+  // attacks() is already chronological.
+  return IntervalsFromStarts(starts);
+}
+
+std::vector<double> FamilyIntervals(const data::Dataset& dataset,
+                                    data::Family f) {
+  const auto starts = StartsOf(dataset, dataset.AttacksOfFamily(f));
+  return IntervalsFromStarts(starts);
+}
+
+std::vector<double> TargetIntervals(const data::Dataset& dataset,
+                                    net::IPv4Address target) {
+  const auto starts = StartsOf(dataset, dataset.AttacksOnTarget(target));
+  return IntervalsFromStarts(starts);
+}
+
+IntervalStats ComputeIntervalStats(std::span<const double> intervals) {
+  IntervalStats s;
+  s.summary = stats::Summarize(intervals);
+  if (intervals.empty()) return s;
+  std::uint64_t concurrent = 0;
+  std::uint64_t in_1k_10k = 0;
+  for (double v : intervals) {
+    if (v <= static_cast<double>(kConcurrencyWindowS)) ++concurrent;
+    if (v >= 1000.0 && v <= 10000.0) ++in_1k_10k;
+  }
+  const double n = static_cast<double>(intervals.size());
+  s.fraction_concurrent = static_cast<double>(concurrent) / n;
+  s.fraction_1k_10k = static_cast<double>(in_1k_10k) / n;
+  const stats::Ecdf ecdf(intervals);
+  s.p80_seconds = ecdf.Quantile(0.80);
+  return s;
+}
+
+std::vector<IntervalCluster> ClusterIntervals(std::span<const double> intervals) {
+  // Bucket edges in seconds. The 6-7 min / 20-40 min / 2-3 h bands the
+  // paper highlights get their own cells inside the coarse units.
+  struct Edge {
+    const char* label;
+    double lo, hi;
+  };
+  static constexpr Edge kEdges[] = {
+      {"1-5 min", 60, 300},          {"6-7 min", 300, 480},
+      {"8-19 min", 480, 1200},       {"20-40 min", 1200, 2400},
+      {"41-119 min", 2400, 7200},    {"2-3 h", 7200, 10800},
+      {"3-12 h", 10800, 43200},      {"12-24 h", 43200, 86400},
+      {"1-7 days", 86400, 604800},   {"1-4 weeks", 604800, 2419200},
+      {">= 1 month", 2419200, 1e18},
+  };
+  std::vector<IntervalCluster> out;
+  for (const Edge& e : kEdges) {
+    out.push_back(IntervalCluster{e.label, e.lo, e.hi, 0});
+  }
+  for (double v : intervals) {
+    if (v <= static_cast<double>(kConcurrencyWindowS)) continue;  // simultaneous excluded (Fig 4)
+    for (IntervalCluster& c : out) {
+      if (v >= c.lo_s && v < c.hi_s) {
+        ++c.count;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+ConcurrencyReport AnalyzeConcurrency(const data::Dataset& dataset) {
+  ConcurrencyReport report;
+  const auto attacks = dataset.attacks();
+  if (attacks.empty()) return report;
+
+  std::map<std::pair<data::Family, data::Family>, std::uint64_t> pair_counts;
+  std::set<data::Family> simultaneous_families;
+
+  std::size_t group_begin = 0;
+  auto flush = [&](std::size_t end) {
+    const std::size_t size = end - group_begin;
+    if (size >= 2) {
+      ConcurrentGroup g;
+      std::set<data::Family> families;
+      for (std::size_t i = group_begin; i < end; ++i) {
+        g.attack_indices.push_back(i);
+        families.insert(attacks[i].family);
+      }
+      g.single_family = families.size() == 1;
+      if (g.single_family) {
+        ++report.single_family_groups;
+        simultaneous_families.insert(*families.begin());
+      } else {
+        ++report.multi_family_groups;
+        for (auto it = families.begin(); it != families.end(); ++it) {
+          for (auto jt = std::next(it); jt != families.end(); ++jt) {
+            ++pair_counts[{*it, *jt}];
+          }
+        }
+      }
+      report.groups.push_back(std::move(g));
+    }
+    group_begin = end;
+  };
+
+  for (std::size_t i = 1; i < attacks.size(); ++i) {
+    if (attacks[i].start_time - attacks[i - 1].start_time > kConcurrencyWindowS) {
+      flush(i);
+    }
+  }
+  flush(attacks.size());
+
+  report.simultaneous_families.assign(simultaneous_families.begin(),
+                                      simultaneous_families.end());
+  for (const auto& [pair, count] : pair_counts) {
+    report.top_family_pairs.emplace_back(
+        StrFormat("%s+%s", std::string(data::FamilyName(pair.first)).c_str(),
+                  std::string(data::FamilyName(pair.second)).c_str()),
+        count);
+  }
+  std::sort(report.top_family_pairs.begin(), report.top_family_pairs.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return report;
+}
+
+}  // namespace ddos::core

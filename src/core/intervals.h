@@ -1,0 +1,82 @@
+// Inter-attack interval analyses (Section III-B; Figs 3-5).
+//
+// The paper defines the interval like an inter-arrival time: the gap between
+// two consecutive attack starts, computed either across all attacks
+// chronologically or restricted to one family (or one target). Attacks with
+// an interval of at most 60 seconds are "concurrent"/"simultaneous".
+#ifndef DDOSCOPE_CORE_INTERVALS_H_
+#define DDOSCOPE_CORE_INTERVALS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "stats/descriptive.h"
+#include "stats/ecdf.h"
+
+namespace ddos::core {
+
+inline constexpr std::int64_t kConcurrencyWindowS = 60;
+
+// Gaps (seconds) between consecutive entries of an ascending start-time
+// sequence. n starts yield n-1 intervals.
+std::vector<double> IntervalsFromStarts(std::span<const TimePoint> starts);
+
+// Intervals across all attacks, chronological (the "all" curve of Fig 3).
+std::vector<double> AllAttackIntervals(const data::Dataset& dataset);
+
+// Intervals within one family (Fig 3's family-based curve aggregates these
+// over all families; Fig 5 plots them per family).
+std::vector<double> FamilyIntervals(const data::Dataset& dataset, data::Family f);
+
+// Intervals between consecutive attacks on one target, across families.
+std::vector<double> TargetIntervals(const data::Dataset& dataset,
+                                    net::IPv4Address target);
+
+struct IntervalStats {
+  stats::Summary summary;
+  double fraction_concurrent = 0.0;  // interval <= 60 s
+  double p80_seconds = 0.0;          // 80th percentile
+  double fraction_1k_10k = 0.0;      // share inside [1000, 10000] s
+};
+
+IntervalStats ComputeIntervalStats(std::span<const double> intervals);
+
+// --- Fig 4: per-family interval clustering (simultaneous excluded). ---
+struct IntervalCluster {
+  std::string label;
+  double lo_s = 0.0;
+  double hi_s = 0.0;
+  std::uint64_t count = 0;
+};
+
+// Buckets chosen to surface the paper's common modes (6-7 min, 20-40 min,
+// 2-3 h) within the minutes/hours/days/weeks grouping of Fig 4.
+std::vector<IntervalCluster> ClusterIntervals(std::span<const double> intervals);
+
+// --- Section III-B: concurrent attack groups. ---
+// A maximal run of chronologically consecutive attacks whose successive
+// start gaps are all <= 60 s.
+struct ConcurrentGroup {
+  std::vector<std::size_t> attack_indices;  // into dataset.attacks()
+  bool single_family = true;
+};
+
+struct ConcurrencyReport {
+  std::vector<ConcurrentGroup> groups;     // size >= 2 only
+  std::uint64_t single_family_groups = 0;  // paper: 3,692
+  std::uint64_t multi_family_groups = 0;   // paper: 956
+  // Families that launch same-second attacks (paper: 7 of 10).
+  std::vector<data::Family> simultaneous_families;
+  // Cross-family co-occurrence counts, keyed by family-name pair
+  // (lexicographic), descending; DJ+Blackenergy and DJ+Pandora lead.
+  std::vector<std::pair<std::string, std::uint64_t>> top_family_pairs;
+};
+
+ConcurrencyReport AnalyzeConcurrency(const data::Dataset& dataset);
+
+}  // namespace ddos::core
+
+#endif  // DDOSCOPE_CORE_INTERVALS_H_

@@ -1,0 +1,56 @@
+#include "core/mitigation_sim.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/prediction.h"
+
+namespace ddos::core {
+
+MitigationOutcome SimulateMitigation(const data::Dataset& dataset,
+                                     const MitigationPolicy& policy) {
+  MitigationOutcome outcome;
+
+  for (const net::IPv4Address& target : dataset.Targets()) {
+    const auto indices = dataset.AttacksOnTarget(target);
+    std::vector<TimePoint> history;  // starts seen so far, chronological
+    history.reserve(indices.size());
+    for (const std::size_t idx : indices) {
+      const data::AttackRecord& attack = dataset.attacks()[idx];
+      const double duration = static_cast<double>(attack.duration_seconds());
+      ++outcome.attacks;
+      outcome.total_attack_seconds += duration;
+
+      // When does mitigation engage for this attack?
+      std::int64_t engage_delay = policy.detection_delay_s;
+      if (policy.predictive && history.size() >= policy.predictive_min_history) {
+        const auto prediction = PredictNextAttackStart(history);
+        if (prediction &&
+            std::llabs(prediction->predicted_start - attack.start_time) <=
+                policy.prediction_grace_s) {
+          engage_delay = 0;
+          ++outcome.preempted;
+        }
+      }
+      history.push_back(attack.start_time);
+
+      const double covered_begin =
+          std::min(duration, static_cast<double>(engage_delay));
+      const double covered_end = std::min(
+          duration, covered_begin + static_cast<double>(policy.max_engagement_s));
+      const double mitigated = covered_end - covered_begin;
+      outcome.mitigated_seconds += mitigated;
+      if (engage_delay == 0 && mitigated >= duration) ++outcome.fully_covered;
+      if (duration >
+          static_cast<double>(engage_delay + policy.max_engagement_s)) {
+        ++outcome.outlived_engagement;
+      }
+    }
+  }
+  if (outcome.total_attack_seconds > 0.0) {
+    outcome.coverage = outcome.mitigated_seconds / outcome.total_attack_seconds;
+  }
+  return outcome;
+}
+
+}  // namespace ddos::core

@@ -1,0 +1,55 @@
+// Mitigation replay: how much attack time would a defense policy actually
+// absorb on this trace?
+//
+// Section III-D argues that the four-hour duration profile demands
+// *automatic* mitigation, and Section V's summary suggests exploiting the
+// consecutive-attack patterns to "prepare for the next rounds of attacks".
+// This simulator replays the attack table against three policies and
+// reports the fraction of attack-seconds covered:
+//
+//   reactive    - mitigation engages `detection_delay` after each attack
+//                 starts and stays up for at most `max_engagement`;
+//   predictive  - additionally pre-arms a target when the next-attack
+//                 predictor (per-target interval history) expects an attack
+//                 within `prediction_grace` of its actual start, removing
+//                 the detection delay for that attack;
+//   blacklist   - scales the reactive coverage of each attack by the share
+//                 of its magnitude attributable to blacklisted bots (a
+//                 crude volume model: blocking a bot removes its share).
+#ifndef DDOSCOPE_CORE_MITIGATION_SIM_H_
+#define DDOSCOPE_CORE_MITIGATION_SIM_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "geo/geo_db.h"
+
+namespace ddos::core {
+
+struct MitigationPolicy {
+  std::int64_t detection_delay_s = 300;       // alarm-to-mitigation latency
+  std::int64_t max_engagement_s = 4 * 3600;   // Section III-D's window
+  bool predictive = false;                    // pre-arm from interval history
+  std::int64_t prediction_grace_s = 1800;     // |predicted - actual| bound
+  std::size_t predictive_min_history = 4;     // attacks needed to forecast
+};
+
+struct MitigationOutcome {
+  std::uint64_t attacks = 0;
+  double total_attack_seconds = 0.0;
+  double mitigated_seconds = 0.0;
+  double coverage = 0.0;              // mitigated / total
+  std::uint64_t fully_covered = 0;    // attacks covered from start to end
+  std::uint64_t preempted = 0;        // attacks caught by the predictor
+  std::uint64_t outlived_engagement = 0;  // attacks longer than the window
+};
+
+// Replays all attacks under the policy. Engagements are per (target,
+// attack); overlapping attacks on one target each get their own engagement
+// (a simplification that favors neither policy).
+MitigationOutcome SimulateMitigation(const data::Dataset& dataset,
+                                     const MitigationPolicy& policy);
+
+}  // namespace ddos::core
+
+#endif  // DDOSCOPE_CORE_MITIGATION_SIM_H_

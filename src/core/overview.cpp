@@ -1,0 +1,167 @@
+#include "core/overview.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "stats/descriptive.h"
+
+namespace ddos::core {
+
+std::vector<ProtocolCount> ProtocolBreakdown(
+    std::span<const data::AttackRecord> attacks) {
+  std::array<std::uint64_t, data::kProtocolCount> counts{};
+  for (const data::AttackRecord& a : attacks) {
+    ++counts[static_cast<std::size_t>(a.category)];
+  }
+  std::vector<ProtocolCount> out;
+  for (const data::Protocol p : data::AllProtocols()) {
+    const std::uint64_t c = counts[static_cast<std::size_t>(p)];
+    if (c > 0) out.push_back(ProtocolCount{p, c});
+  }
+  std::sort(out.begin(), out.end(), [](const ProtocolCount& a, const ProtocolCount& b) {
+    return a.attacks > b.attacks;
+  });
+  return out;
+}
+
+std::vector<FamilyProtocolCount> FamilyProtocolTable(
+    std::span<const data::AttackRecord> attacks) {
+  // counts[protocol][family]
+  std::array<std::array<std::uint64_t, data::kFamilyCount>, data::kProtocolCount>
+      counts{};
+  for (const data::AttackRecord& a : attacks) {
+    ++counts[static_cast<std::size_t>(a.category)]
+            [static_cast<std::size_t>(a.family)];
+  }
+  // Paper row order: HTTP, TCP, UDP, UNDETERMINED, ICMP, UNKNOWN, SYN.
+  static constexpr data::Protocol kOrder[] = {
+      data::Protocol::kHttp,         data::Protocol::kTcp,
+      data::Protocol::kUdp,          data::Protocol::kUndetermined,
+      data::Protocol::kIcmp,         data::Protocol::kUnknown,
+      data::Protocol::kSyn};
+  std::vector<FamilyProtocolCount> out;
+  for (const data::Protocol p : kOrder) {
+    for (const data::Family f : data::AllFamilies()) {
+      const std::uint64_t c =
+          counts[static_cast<std::size_t>(p)][static_cast<std::size_t>(f)];
+      if (c > 0) out.push_back(FamilyProtocolCount{p, f, c});
+    }
+  }
+  return out;
+}
+
+WorkloadSummary SummarizeWorkload(const data::Dataset& dataset,
+                                  const geo::GeoDatabase& geo_db) {
+  WorkloadSummary s;
+  std::unordered_set<std::string> attacker_cities, attacker_countries,
+      attacker_orgs;
+  std::unordered_set<std::uint32_t> attacker_asns;
+  for (const data::BotRecord& bot : dataset.bots()) {
+    const geo::GeoRecord rec = geo_db.Lookup(bot.ip);
+    attacker_cities.emplace(rec.city);
+    attacker_countries.emplace(rec.country_code);
+    attacker_orgs.emplace(rec.organization);
+    attacker_asns.insert(rec.asn.value());
+  }
+  s.attackers.ips = dataset.bots().size();
+  s.attackers.cities = attacker_cities.size();
+  s.attackers.countries = attacker_countries.size();
+  s.attackers.organizations = attacker_orgs.size();
+  s.attackers.asns = attacker_asns.size();
+
+  std::unordered_set<std::uint32_t> target_ips, target_asns;
+  std::unordered_set<std::string> target_cities, target_countries, target_orgs;
+  std::unordered_set<std::uint32_t> botnet_ids;
+  std::unordered_set<int> protocols;
+  for (const data::AttackRecord& a : dataset.attacks()) {
+    target_ips.insert(a.target_ip.bits());
+    target_cities.insert(a.city);
+    target_countries.insert(a.cc);
+    target_orgs.insert(a.organization);
+    target_asns.insert(a.asn.value());
+    botnet_ids.insert(a.botnet_id);
+    protocols.insert(static_cast<int>(a.category));
+  }
+  s.victims.ips = target_ips.size();
+  s.victims.cities = target_cities.size();
+  s.victims.countries = target_countries.size();
+  s.victims.organizations = target_orgs.size();
+  s.victims.asns = target_asns.size();
+  s.ddos_ids = dataset.attacks().size();
+  // Table III counts all tracked botnets, not only those seen attacking;
+  // datasets loaded from an attack CSV alone fall back to the ids observed.
+  s.botnet_ids = dataset.botnets().empty() ? botnet_ids.size()
+                                           : dataset.botnets().size();
+  s.traffic_types = protocols.size();
+  return s;
+}
+
+std::vector<FamilyMagnitude> MagnitudeByFamily(
+    std::span<const data::AttackRecord> attacks) {
+  std::array<std::vector<double>, data::kFamilyCount> magnitudes;
+  for (const data::AttackRecord& a : attacks) {
+    magnitudes[static_cast<std::size_t>(a.family)].push_back(
+        static_cast<double>(a.magnitude));
+  }
+  std::vector<FamilyMagnitude> out;
+  for (const data::Family f : data::ActiveFamilies()) {
+    const auto& values = magnitudes[static_cast<std::size_t>(f)];
+    if (values.empty()) continue;
+    const stats::Summary s = stats::Summarize(values);
+    out.push_back(FamilyMagnitude{f, values.size(), s.mean, s.median, s.p99,
+                                  s.max});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FamilyMagnitude& a, const FamilyMagnitude& b) {
+              return a.mean > b.mean;
+            });
+  return out;
+}
+
+DailyDistribution ComputeDailyDistribution(
+    std::span<const data::AttackRecord> attacks) {
+  DailyDistribution out;
+  if (attacks.empty()) return out;
+  TimePoint min_start = attacks.front().start_time;
+  TimePoint max_start = attacks.front().start_time;
+  for (const data::AttackRecord& a : attacks) {
+    min_start = std::min(min_start, a.start_time);
+    max_start = std::max(max_start, a.start_time);
+  }
+  out.origin = StartOfDay(min_start);
+  const std::int64_t days = DayIndex(max_start, out.origin) + 1;
+  out.daily.assign(static_cast<std::size_t>(days), 0);
+
+  // Per-day family counts only materialized for the record day.
+  std::vector<std::array<std::uint32_t, data::kFamilyCount>> per_family(
+      static_cast<std::size_t>(days));
+  for (const data::AttackRecord& a : attacks) {
+    const auto d = static_cast<std::size_t>(DayIndex(a.start_time, out.origin));
+    ++out.daily[d];
+    ++per_family[d][static_cast<std::size_t>(a.family)];
+  }
+  std::uint64_t total = 0;
+  for (std::size_t d = 0; d < out.daily.size(); ++d) {
+    total += out.daily[d];
+    if (out.daily[d] > out.max_per_day) {
+      out.max_per_day = out.daily[d];
+      out.max_day_index = static_cast<int>(d);
+    }
+  }
+  out.mean_per_day = static_cast<double>(total) / static_cast<double>(days);
+  if (out.max_day_index >= 0) {
+    const auto& fam = per_family[static_cast<std::size_t>(out.max_day_index)];
+    std::size_t best = 0;
+    for (std::size_t f = 1; f < fam.size(); ++f) {
+      if (fam[f] > fam[best]) best = f;
+    }
+    out.max_day_dominant_family = static_cast<data::Family>(best);
+    out.max_day_dominant_share =
+        out.max_per_day == 0
+            ? 0.0
+            : static_cast<double>(fam[best]) / static_cast<double>(out.max_per_day);
+  }
+  return out;
+}
+
+}  // namespace ddos::core

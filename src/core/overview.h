@@ -1,0 +1,89 @@
+// Attack-overview analyses (Sections II-D, III-A; Fig 1, Fig 2, Tables
+// II-III).
+#ifndef DDOSCOPE_CORE_OVERVIEW_H_
+#define DDOSCOPE_CORE_OVERVIEW_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "geo/geo_db.h"
+
+namespace ddos::core {
+
+// --- Fig 1: popularity of attack types. ---
+struct ProtocolCount {
+  data::Protocol protocol;
+  std::uint64_t attacks = 0;
+};
+
+// Attack counts per protocol, descending.
+std::vector<ProtocolCount> ProtocolBreakdown(
+    std::span<const data::AttackRecord> attacks);
+
+// --- Table II: protocol preferences of each botnet family. ---
+struct FamilyProtocolCount {
+  data::Protocol protocol;
+  data::Family family;
+  std::uint64_t attacks = 0;
+};
+
+// Rows grouped by protocol (paper order), then family; zero rows omitted.
+std::vector<FamilyProtocolCount> FamilyProtocolTable(
+    std::span<const data::AttackRecord> attacks);
+
+// --- Table III: summary of the workload. ---
+struct WorkloadSummary {
+  struct Side {
+    std::uint64_t ips = 0;
+    std::uint64_t cities = 0;
+    std::uint64_t countries = 0;
+    std::uint64_t organizations = 0;
+    std::uint64_t asns = 0;
+  };
+  Side attackers;  // over distinct bot IPs (geo-resolved)
+  Side victims;    // over attack targets
+  std::uint64_t ddos_ids = 0;
+  std::uint64_t botnet_ids = 0;
+  std::uint64_t traffic_types = 0;
+};
+
+WorkloadSummary SummarizeWorkload(const data::Dataset& dataset,
+                                  const geo::GeoDatabase& geo_db);
+
+// --- Attack magnitude (# of participating bot IPs, Section III-B's
+// spoofing-free proxy for attack size; used by Figs 15, 16, 18). ---
+struct FamilyMagnitude {
+  data::Family family;
+  std::uint64_t attacks = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+// Per-family magnitude summaries over the active families, ordered by mean
+// descending; families without attacks are omitted.
+std::vector<FamilyMagnitude> MagnitudeByFamily(
+    std::span<const data::AttackRecord> attacks);
+
+// --- Fig 2: daily attack distribution. ---
+struct DailyDistribution {
+  TimePoint origin;                  // first day's midnight
+  std::vector<std::uint32_t> daily;  // attacks per day
+  double mean_per_day = 0.0;
+  std::uint32_t max_per_day = 0;
+  int max_day_index = -1;            // day of the record count
+  // The family responsible for the majority of the record day's attacks.
+  data::Family max_day_dominant_family = data::Family::kAldibot;
+  double max_day_dominant_share = 0.0;
+};
+
+DailyDistribution ComputeDailyDistribution(
+    std::span<const data::AttackRecord> attacks);
+
+}  // namespace ddos::core
+
+#endif  // DDOSCOPE_CORE_OVERVIEW_H_

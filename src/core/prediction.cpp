@@ -1,0 +1,121 @@
+#include "core/prediction.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/similarity.h"
+
+namespace ddos::core {
+
+std::optional<GeoPredictionResult> PredictDispersion(
+    std::span<const double> series, const GeoPredictionConfig& config) {
+  const std::size_t n = series.size();
+  if (static_cast<int>(n) < config.min_series_length) return std::nullopt;
+  const std::size_t split = static_cast<std::size_t>(
+      std::clamp(config.train_fraction, 0.1, 0.9) * static_cast<double>(n));
+  if (split < 16 || n - split < 8) return std::nullopt;
+
+  const std::span<const double> train = series.subspan(0, split);
+  const std::span<const double> test = series.subspan(split);
+
+  GeoPredictionResult res;
+  try {
+    res.order = config.auto_order ? ts::SelectOrderAic(train, 3, 1, 2)
+                                  : config.order;
+    const ts::ArimaModel model = ts::ArimaModel::Fit(train, res.order);
+    res.prediction = model.PredictOneStep(test);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  // Dispersion values are non-negative by construction; clamp forecasts.
+  for (double& p : res.prediction) p = std::max(0.0, p);
+  res.truth.assign(test.begin(), test.end());
+
+  res.errors.resize(res.truth.size());
+  for (std::size_t i = 0; i < res.truth.size(); ++i) {
+    res.errors[i] = res.prediction[i] - res.truth[i];
+  }
+  const stats::Summary ps = stats::Summarize(res.prediction);
+  const stats::Summary ts = stats::Summarize(res.truth);
+  res.prediction_mean = ps.mean;
+  res.prediction_std = ps.stddev;
+  res.truth_mean = ts.mean;
+  res.truth_std = ts.stddev;
+  res.cosine_similarity = stats::CosineSimilarity(res.prediction, res.truth);
+  res.mae = stats::MeanAbsoluteError(res.prediction, res.truth);
+  res.rmse = stats::RootMeanSquaredError(res.prediction, res.truth);
+  return res;
+}
+
+std::optional<StartTimePrediction> PredictNextAttackStart(
+    std::span<const TimePoint> attack_starts) {
+  if (attack_starts.size() < 3) return std::nullopt;
+  std::vector<double> intervals;
+  intervals.reserve(attack_starts.size() - 1);
+  for (std::size_t i = 1; i < attack_starts.size(); ++i) {
+    intervals.push_back(static_cast<double>(attack_starts[i] - attack_starts[i - 1]));
+  }
+
+  StartTimePrediction out;
+  if (intervals.size() >= 24) {
+    try {
+      const ts::ArimaModel model =
+          ts::ArimaModel::Fit(intervals, ts::ArimaOrder{1, 0, 1});
+      const std::vector<double> f = model.Forecast(1);
+      out.interval_seconds = std::max(0.0, f.at(0));
+      out.method = "arima";
+      out.predicted_start =
+          attack_starts.back() + static_cast<std::int64_t>(out.interval_seconds);
+      return out;
+    } catch (const std::exception&) {
+      // Fall through to the median heuristic.
+    }
+  }
+  // Median of the most recent (up to 12) intervals.
+  const std::size_t window = std::min<std::size_t>(intervals.size(), 12);
+  std::vector<double> recent(intervals.end() - static_cast<std::ptrdiff_t>(window),
+                             intervals.end());
+  std::sort(recent.begin(), recent.end());
+  out.interval_seconds = stats::QuantileSorted(recent, 0.5);
+  out.method = "median-interval";
+  out.predicted_start =
+      attack_starts.back() + static_cast<std::int64_t>(out.interval_seconds);
+  return out;
+}
+
+StartTimeEvaluation EvaluateStartTimePrediction(const data::Dataset& dataset,
+                                                data::Family family,
+                                                double tolerance_s) {
+  StartTimeEvaluation eval;
+  std::vector<double> abs_errors;
+  for (const net::IPv4Address& target : dataset.Targets()) {
+    std::vector<TimePoint> starts;
+    for (std::size_t idx : dataset.AttacksOnTarget(target)) {
+      const data::AttackRecord& a = dataset.attacks()[idx];
+      if (a.family == family) starts.push_back(a.start_time);
+    }
+    if (starts.size() < 4) continue;
+    std::sort(starts.begin(), starts.end());
+    for (std::size_t k = 3; k < starts.size(); ++k) {
+      const std::span<const TimePoint> history(starts.data(), k);
+      const auto pred = PredictNextAttackStart(history);
+      if (!pred) continue;
+      abs_errors.push_back(
+          std::abs(static_cast<double>(pred->predicted_start - starts[k])));
+    }
+  }
+  eval.predictions = abs_errors.size();
+  if (abs_errors.empty()) return eval;
+  std::sort(abs_errors.begin(), abs_errors.end());
+  eval.median_abs_error_s = stats::QuantileSorted(abs_errors, 0.5);
+  std::size_t hits = 0;
+  for (double e : abs_errors) {
+    if (e <= tolerance_s) ++hits;
+  }
+  eval.within_tolerance =
+      static_cast<double>(hits) / static_cast<double>(abs_errors.size());
+  return eval;
+}
+
+}  // namespace ddos::core

@@ -1,0 +1,84 @@
+// Source and start-time prediction (Section IV-A; Figs 12-13, Table IV).
+//
+// The geolocation predictor follows the paper's protocol: take a family's
+// dispersion series with symmetric snapshots removed, train an ARIMA model
+// on the first half, produce rolling one-step predictions for the second
+// half, and score them by mean, standard deviation and cosine similarity
+// against the ground truth.
+//
+// The start-time predictor operationalizes the paper's second headline
+// finding ("strong patterns of inter-attack time interval, allowing
+// accurate start time prediction of the next anticipated attacks"): given
+// the attack history of one target, it predicts when the next attack
+// begins, from either the median recent interval or an ARIMA fit on the
+// interval sequence.
+#ifndef DDOSCOPE_CORE_PREDICTION_H_
+#define DDOSCOPE_CORE_PREDICTION_H_
+
+#include <optional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "timeseries/arima.h"
+
+namespace ddos::core {
+
+struct GeoPredictionConfig {
+  double train_fraction = 0.5;
+  // Order used when `auto_order` is false. ARIMA(2,0,1) mirrors the small
+  // linear models the paper's tooling defaults to for stationary series.
+  ts::ArimaOrder order{2, 0, 1};
+  bool auto_order = false;  // AIC grid search over p<=3, d<=1, q<=2
+  int min_series_length = 60;
+};
+
+struct GeoPredictionResult {
+  ts::ArimaOrder order;
+  std::vector<double> truth;       // held-out ground-truth values
+  std::vector<double> prediction;  // rolling one-step predictions
+  std::vector<double> errors;      // prediction - truth, chronological
+  double prediction_mean = 0.0;    // Table IV columns
+  double prediction_std = 0.0;
+  double truth_mean = 0.0;
+  double truth_std = 0.0;
+  double cosine_similarity = 0.0;
+  double mae = 0.0;
+  double rmse = 0.0;
+};
+
+// Runs the protocol on a prepared (asymmetric-only) dispersion value series.
+// Returns nullopt when the series is too short to train (the paper excludes
+// Darkshell for exactly this reason).
+std::optional<GeoPredictionResult> PredictDispersion(
+    std::span<const double> series, const GeoPredictionConfig& config = {});
+
+// --- Next-attack start-time prediction on a target's history. ---
+struct StartTimePrediction {
+  TimePoint predicted_start;
+  double interval_seconds = 0.0;  // the predicted gap
+  const char* method = "";        // "median-interval" or "arima"
+};
+
+// Requires at least 3 attacks on the target; uses ARIMA on the interval
+// sequence when there is enough history (>= 24 intervals), otherwise the
+// median of recent intervals.
+std::optional<StartTimePrediction> PredictNextAttackStart(
+    std::span<const TimePoint> attack_starts);
+
+// Evaluation harness for the start-time predictor: walks each target's
+// history, predicts every attack from its predecessors, and reports the
+// median absolute error in seconds plus the fraction of predictions within
+// `tolerance_s` of the true start.
+struct StartTimeEvaluation {
+  std::size_t predictions = 0;
+  double median_abs_error_s = 0.0;
+  double within_tolerance = 0.0;
+};
+
+StartTimeEvaluation EvaluateStartTimePrediction(const data::Dataset& dataset,
+                                                data::Family family,
+                                                double tolerance_s = 1800.0);
+
+}  // namespace ddos::core
+
+#endif  // DDOSCOPE_CORE_PREDICTION_H_

@@ -1,0 +1,111 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace ddos::core {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      line.append(widths[c] - row[c].size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line.push_back('\n');
+    return line;
+  };
+  std::string out = render_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out.append(total > 2 ? total - 2 : total, '-');
+  out.push_back('\n');
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string RenderBars(const std::vector<std::pair<std::string, double>>& items,
+                       int width) {
+  double max_value = 0.0;
+  std::size_t label_width = 0;
+  for (const auto& [label, value] : items) {
+    max_value = std::max(max_value, value);
+    label_width = std::max(label_width, label.size());
+  }
+  std::string out;
+  for (const auto& [label, value] : items) {
+    const int bar = max_value > 0.0
+                        ? static_cast<int>(std::lround(value / max_value * width))
+                        : 0;
+    out += label;
+    out.append(label_width - label.size() + 2, ' ');
+    out.append(static_cast<std::size_t>(bar), '#');
+    out += StrFormat("  %s\n", Humanize(value).c_str());
+  }
+  return out;
+}
+
+std::string RenderCdf(const stats::Ecdf& ecdf, int points, bool log_x,
+                      double log_floor, int width) {
+  const auto series =
+      log_x ? ecdf.LogSeries(points, log_floor) : ecdf.LinearSeries(points);
+  std::string out;
+  for (const stats::CdfPoint& p : series) {
+    const int bar = static_cast<int>(std::lround(p.f * width));
+    out += StrFormat("%12s  %6.4f  ", Humanize(p.x).c_str(), p.f);
+    out.append(static_cast<std::size_t>(bar), '*');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string RenderHistogram(const stats::Histogram& hist, int width) {
+  std::uint64_t max_count = 0;
+  for (const stats::HistogramBin& b : hist.bins()) {
+    max_count = std::max(max_count, b.count);
+  }
+  std::string out;
+  for (const stats::HistogramBin& b : hist.bins()) {
+    const int bar =
+        max_count > 0
+            ? static_cast<int>(std::lround(static_cast<double>(b.count) /
+                                           static_cast<double>(max_count) * width))
+            : 0;
+    out += StrFormat("[%10s, %10s)  %8llu  ", Humanize(b.lo).c_str(),
+                     Humanize(b.hi).c_str(),
+                     static_cast<unsigned long long>(b.count));
+    out.append(static_cast<std::size_t>(bar), '#');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string Humanize(double value) {
+  const double a = std::abs(value);
+  if (a >= 1e9) return StrFormat("%.2fG", value / 1e9);
+  if (a >= 1e6) return StrFormat("%.2fM", value / 1e6);
+  if (a >= 1e4) return StrFormat("%.1fk", value / 1e3);
+  if (a >= 100.0) return StrFormat("%.0f", value);
+  if (a == std::floor(a)) return StrFormat("%.0f", value);
+  return StrFormat("%.2f", value);
+}
+
+}  // namespace ddos::core

@@ -1,0 +1,47 @@
+// ASCII rendering of tables, bar charts and CDF curves.
+//
+// The benchmark harness regenerates every table and figure of the paper as
+// text; these helpers keep that output uniform and legible in a terminal.
+#ifndef DDOSCOPE_CORE_REPORT_H_
+#define DDOSCOPE_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "stats/ecdf.h"
+#include "stats/histogram.h"
+
+namespace ddos::core {
+
+// Fixed-width text table. Column widths auto-size to the widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  // Renders with a header rule; every row padded per column.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Horizontal bar chart: one row per (label, value), bars scaled to
+// `width` characters at the maximum value.
+std::string RenderBars(const std::vector<std::pair<std::string, double>>& items,
+                       int width = 48);
+
+// CDF curve as rows of "x  F(x)  bar", on a log or linear grid.
+std::string RenderCdf(const stats::Ecdf& ecdf, int points, bool log_x,
+                      double log_floor = 1.0, int width = 40);
+
+// Histogram as rows of "[lo, hi)  count  bar".
+std::string RenderHistogram(const stats::Histogram& hist, int width = 40);
+
+// "12.3k" / "4.56M" style compact numbers for chart labels.
+std::string Humanize(double value);
+
+}  // namespace ddos::core
+
+#endif  // DDOSCOPE_CORE_REPORT_H_

@@ -1,0 +1,264 @@
+#include "core/report_generator.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+#include "common/strings.h"
+#include "core/collaboration.h"
+#include "core/defense.h"
+#include "core/durations.h"
+#include "core/geo_analysis.h"
+#include "core/intervals.h"
+#include "core/overview.h"
+#include "core/report.h"
+#include "core/target_analysis.h"
+#include "stats/descriptive.h"
+
+namespace ddos::core {
+
+namespace {
+
+void AppendSection(std::string& out, const std::string& heading) {
+  out += "\n## " + heading + "\n\n";
+}
+
+std::string MarkdownTable(const std::vector<std::string>& header,
+                          const std::vector<std::vector<std::string>>& rows) {
+  auto render_row = [](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (const std::string& cell : cells) line += " " + cell + " |";
+    line += "\n";
+    return line;
+  };
+  std::string out = render_row(header);
+  std::vector<std::string> rule(header.size(), "---");
+  out += render_row(rule);
+  for (const auto& row : rows) out += render_row(row);
+  return out;
+}
+
+}  // namespace
+
+std::string GenerateCharacterizationReport(const data::Dataset& dataset,
+                                           const geo::GeoDatabase& geo_db,
+                                           const ReportOptions& options) {
+  std::string out = "# " + options.title + "\n";
+  const auto attacks = dataset.attacks();
+  if (attacks.empty()) {
+    out += "\nThe dataset contains no attacks.\n";
+    return out;
+  }
+  out += StrFormat("\nObservation window: %s .. %s (%lld days).\n",
+                   dataset.window_begin().ToDateString().c_str(),
+                   dataset.window_end().ToDateString().c_str(),
+                   static_cast<long long>(
+                       DayIndex(dataset.window_end(), dataset.window_begin()) + 1));
+
+  // --- Overview ---
+  AppendSection(out, "Workload overview");
+  const WorkloadSummary summary = SummarizeWorkload(dataset, geo_db);
+  out += MarkdownTable(
+      {"", "attackers", "victims"},
+      {{"IPs", std::to_string(summary.attackers.ips),
+        std::to_string(summary.victims.ips)},
+       {"cities", std::to_string(summary.attackers.cities),
+        std::to_string(summary.victims.cities)},
+       {"countries", std::to_string(summary.attackers.countries),
+        std::to_string(summary.victims.countries)},
+       {"organizations", std::to_string(summary.attackers.organizations),
+        std::to_string(summary.victims.organizations)},
+       {"ASNs", std::to_string(summary.attackers.asns),
+        std::to_string(summary.victims.asns)}});
+  out += StrFormat("\n%zu attacks by %llu botnets over %llu traffic types.\n",
+                   attacks.size(),
+                   static_cast<unsigned long long>(summary.botnet_ids),
+                   static_cast<unsigned long long>(summary.traffic_types));
+
+  out += "\nAttack transports:\n\n";
+  std::vector<std::vector<std::string>> protocol_rows;
+  for (const ProtocolCount& pc : ProtocolBreakdown(attacks)) {
+    protocol_rows.push_back({std::string(data::ProtocolName(pc.protocol)),
+                             std::to_string(pc.attacks)});
+  }
+  out += MarkdownTable({"protocol", "attacks"}, protocol_rows);
+
+  out += "\nAttack magnitudes (participating bot IPs) per family:\n\n";
+  std::vector<std::vector<std::string>> magnitude_rows;
+  for (const FamilyMagnitude& m : MagnitudeByFamily(attacks)) {
+    magnitude_rows.push_back({std::string(data::FamilyName(m.family)),
+                              std::to_string(m.attacks), Humanize(m.mean),
+                              Humanize(m.median), Humanize(m.max)});
+  }
+  out += MarkdownTable({"family", "attacks", "mean", "median", "max"},
+                       magnitude_rows);
+
+  // --- Temporal behaviour ---
+  AppendSection(out, "Temporal behaviour");
+  const DailyDistribution daily = ComputeDailyDistribution(attacks);
+  out += StrFormat(
+      "Mean %.1f attacks/day; the record day (%s) saw %u attacks, %.0f%% of "
+      "them by %s.\n",
+      daily.mean_per_day,
+      (daily.origin + static_cast<std::int64_t>(daily.max_day_index) *
+                          kSecondsPerDay)
+          .ToDateString()
+          .c_str(),
+      daily.max_per_day, daily.max_day_dominant_share * 100.0,
+      std::string(data::FamilyName(daily.max_day_dominant_family)).c_str());
+
+  const IntervalStats interval_stats =
+      ComputeIntervalStats(AllAttackIntervals(dataset));
+  out += StrFormat(
+      "\n%.0f%% of consecutive attacks start within 60 s; the 80th percentile "
+      "interval is %s s.\n",
+      interval_stats.fraction_concurrent * 100.0,
+      Humanize(interval_stats.p80_seconds).c_str());
+
+  const DurationStats duration_stats =
+      ComputeDurationStats(AttackDurations(attacks));
+  out += StrFormat(
+      "\nDurations: mean %s s, median %s s, sd %s s; %.0f%% of attacks end "
+      "within %s s.\n",
+      Humanize(duration_stats.summary.mean).c_str(),
+      Humanize(duration_stats.summary.median).c_str(),
+      Humanize(duration_stats.summary.stddev).c_str(), 80.0,
+      Humanize(duration_stats.p80_seconds).c_str());
+
+  // --- Geolocation ---
+  if (options.include_geolocation && !dataset.snapshots().empty()) {
+    AppendSection(out, "Source geolocation");
+    std::vector<std::vector<std::string>> geo_rows;
+    for (const data::Family f : data::ActiveFamilies()) {
+      const auto series = DispersionSeries(dataset, geo_db, f);
+      if (series.size() < options.min_snapshots) continue;
+      const auto values = DispersionValues(series);
+      const auto asym = AsymmetricValues(values);
+      const auto asym_summary = stats::Summarize(asym);
+      geo_rows.push_back({std::string(data::FamilyName(f)),
+                          std::to_string(values.size()),
+                          StrFormat("%.1f%%", SymmetricFraction(values) * 100.0),
+                          Humanize(asym_summary.mean),
+                          Humanize(asym_summary.stddev)});
+    }
+    out += MarkdownTable({"family", "snapshots", "symmetric", "asym mean (km)",
+                          "asym sd (km)"},
+                         geo_rows);
+    const auto shifts = ShiftAnalysis(dataset, geo_db, {});
+    std::uint64_t existing = 0, fresh = 0;
+    for (std::size_t i = 1; i < shifts.size(); ++i) {
+      existing += shifts[i].bots_existing_countries;
+      fresh += shifts[i].bots_new_countries;
+    }
+    if (fresh > 0) {
+      out += StrFormat(
+          "\nSource affinity: %.0fx more weekly bot activity from previously "
+          "seen countries than from new ones.\n",
+          static_cast<double>(existing) / static_cast<double>(fresh));
+    }
+  }
+
+  // --- Targets ---
+  AppendSection(out, "Targets");
+  std::vector<std::vector<std::string>> country_rows;
+  const auto ranking = GlobalCountryRanking(dataset);
+  for (std::size_t i = 0;
+       i < std::min<std::size_t>(ranking.size(),
+                                 static_cast<std::size_t>(options.top_countries));
+       ++i) {
+    country_rows.push_back({std::to_string(i + 1), ranking[i].cc,
+                            std::to_string(ranking[i].attacks)});
+  }
+  out += MarkdownTable({"rank", "country", "attacks"}, country_rows);
+
+  out += "\nMost-attacked organizations:\n\n";
+  std::vector<std::vector<std::string>> org_rows;
+  std::size_t printed = 0;
+  // Cross-family hotspot list: attacks grouped by organization.
+  std::map<std::string, std::pair<std::uint64_t, std::string>> orgs;
+  for (const data::AttackRecord& a : attacks) {
+    auto& entry = orgs[a.organization];
+    ++entry.first;
+    entry.second = a.cc;
+  }
+  std::vector<std::pair<std::string, std::pair<std::uint64_t, std::string>>>
+      sorted_orgs(orgs.begin(), orgs.end());
+  std::sort(sorted_orgs.begin(), sorted_orgs.end(),
+            [](const auto& a, const auto& b) {
+              return a.second.first > b.second.first;
+            });
+  for (const auto& [org, info] : sorted_orgs) {
+    if (printed++ >= static_cast<std::size_t>(options.top_organizations)) break;
+    org_rows.push_back({org, info.second, std::to_string(info.first)});
+  }
+  out += MarkdownTable({"organization", "cc", "attacks"}, org_rows);
+  const RevisitDistribution revisits = ComputeRevisits(dataset);
+  out += StrFormat(
+      "\n%llu of %llu targets were hit exactly once (no interval history for "
+      "defenses); %.0f%% of all attacks landed on repeatedly-attacked "
+      "targets.\n",
+      static_cast<unsigned long long>(revisits.targets_once),
+      static_cast<unsigned long long>(revisits.targets_total),
+      revisits.attacks_on_repeat_targets * 100.0);
+
+  // --- Collaborations ---
+  if (options.include_collaborations) {
+    AppendSection(out, "Collaborations");
+    const auto events = DetectConcurrentCollaborations(dataset);
+    const CollaborationTable table = TabulateCollaborations(events);
+    std::vector<std::vector<std::string>> collab_rows;
+    for (const data::Family f : data::ActiveFamilies()) {
+      const auto intra = table.intra[static_cast<std::size_t>(f)];
+      const auto inter = table.inter[static_cast<std::size_t>(f)];
+      if (intra == 0 && inter == 0) continue;
+      collab_rows.push_back({std::string(data::FamilyName(f)),
+                             std::to_string(intra), std::to_string(inter)});
+    }
+    out += MarkdownTable({"family", "intra-family", "inter-family"}, collab_rows);
+    const auto chains = DetectConsecutiveChains(dataset);
+    const ChainStats chain_stats = SummarizeChains(dataset, chains);
+    out += StrFormat(
+        "\n%zu multistage chains; the longest runs %zu consecutive attacks "
+        "(%s) over %lld s.\n",
+        chain_stats.chains, chain_stats.longest_length,
+        chain_stats.chains > 0
+            ? std::string(data::FamilyName(chain_stats.longest_family)).c_str()
+            : "-",
+        static_cast<long long>(chain_stats.longest_span_s));
+  }
+
+  // --- Defense derivations ---
+  if (options.include_defense) {
+    AppendSection(out, "Defense parameters");
+    const MitigationWindow window = RecommendMitigationWindow(attacks, 0.80);
+    out += StrFormat(
+        "An automatic mitigation engaged for %s s outlasts %.0f%% of "
+        "attacks.\n",
+        Humanize(window.window_seconds).c_str(),
+        window.attacks_covered_fraction * 100.0);
+    const auto watch = BuildWatchList(dataset, 10, 4);
+    if (!watch.empty()) {
+      out += StrFormat(
+          "\nWatch list: %zu repeatedly-attacked targets have predictable "
+          "next-attack times; the busiest (%s, %zu attacks) is expected again "
+          "at %s.\n",
+          watch.size(), watch.front().target.ToString().c_str(),
+          watch.front().attack_count,
+          watch.front().predicted_next.ToString().c_str());
+    }
+  }
+  return out;
+}
+
+void WriteCharacterizationReport(const std::string& path,
+                                 const data::Dataset& dataset,
+                                 const geo::GeoDatabase& geo_db,
+                                 const ReportOptions& options) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("WriteCharacterizationReport: cannot open " + path);
+  }
+  out << GenerateCharacterizationReport(dataset, geo_db, options);
+}
+
+}  // namespace ddos::core

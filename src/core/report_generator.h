@@ -1,0 +1,45 @@
+// One-call characterization report.
+//
+// Renders the paper's whole analysis suite over any dataset into a single
+// markdown document - the "canonical tooling" version of the scattered
+// scripts such studies usually run. Sections mirror the paper: workload
+// overview, temporal behaviour (intervals/durations), source geolocation,
+// targets, collaborations, and the derived defense parameters.
+#ifndef DDOSCOPE_CORE_REPORT_GENERATOR_H_
+#define DDOSCOPE_CORE_REPORT_GENERATOR_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "geo/geo_db.h"
+
+namespace ddos::core {
+
+struct ReportOptions {
+  std::string title = "DDoS attack characterization report";
+  int top_countries = 5;
+  int top_organizations = 10;
+  // Geo sections need snapshots + a geo database; disabled automatically
+  // when the dataset has no snapshots.
+  bool include_geolocation = true;
+  bool include_collaborations = true;
+  bool include_defense = true;
+  // Minimum snapshots for a family to appear in the dispersion table.
+  std::size_t min_snapshots = 100;
+};
+
+// Builds the report as a markdown string.
+std::string GenerateCharacterizationReport(const data::Dataset& dataset,
+                                           const geo::GeoDatabase& geo_db,
+                                           const ReportOptions& options = {});
+
+// Convenience: writes the report to a file (throws std::runtime_error on
+// I/O failure).
+void WriteCharacterizationReport(const std::string& path,
+                                 const data::Dataset& dataset,
+                                 const geo::GeoDatabase& geo_db,
+                                 const ReportOptions& options = {});
+
+}  // namespace ddos::core
+
+#endif  // DDOSCOPE_CORE_REPORT_GENERATOR_H_

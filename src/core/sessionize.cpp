@@ -1,0 +1,74 @@
+#include "core/sessionize.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+namespace ddos::core {
+
+std::vector<data::AttackRecord> SessionizeObservations(
+    std::vector<Observation> observations, const SessionizeConfig& config,
+    std::uint64_t first_ddos_id) {
+  std::vector<data::AttackRecord> attacks;
+  if (observations.empty()) return attacks;
+
+  // Group by (botnet, target); observations inside a group sort by start.
+  std::sort(observations.begin(), observations.end(),
+            [](const Observation& a, const Observation& b) {
+              if (a.botnet_id != b.botnet_id) return a.botnet_id < b.botnet_id;
+              if (a.target_ip != b.target_ip) return a.target_ip < b.target_ip;
+              return a.start < b.start;
+            });
+
+  std::array<std::uint32_t, data::kProtocolCount> protocol_votes{};
+  auto flush = [&](const Observation& head, TimePoint end,
+                   std::uint32_t magnitude) {
+    data::AttackRecord attack;
+    attack.botnet_id = head.botnet_id;
+    attack.family = head.family;
+    attack.target_ip = head.target_ip;
+    attack.start_time = head.start;
+    attack.end_time = end;
+    attack.magnitude = magnitude;
+    std::size_t best = 0;
+    for (std::size_t p = 1; p < protocol_votes.size(); ++p) {
+      if (protocol_votes[p] > protocol_votes[best]) best = p;
+    }
+    attack.category = static_cast<data::Protocol>(best);
+    attacks.push_back(std::move(attack));
+    protocol_votes.fill(0);
+  };
+
+  const Observation* head = nullptr;
+  TimePoint run_end;
+  std::uint32_t run_magnitude = 0;
+  for (const Observation& obs : observations) {
+    const bool same_session =
+        head != nullptr && head->botnet_id == obs.botnet_id &&
+        head->target_ip == obs.target_ip &&
+        obs.start - run_end <= config.split_gap_s;
+    if (!same_session) {
+      if (head != nullptr) flush(*head, run_end, run_magnitude);
+      head = &obs;
+      run_end = obs.end;
+      run_magnitude = obs.sources;
+    } else {
+      run_end = std::max(run_end, obs.end);
+      run_magnitude = std::max(run_magnitude, obs.sources);
+    }
+    ++protocol_votes[static_cast<std::size_t>(obs.protocol)];
+  }
+  if (head != nullptr) flush(*head, run_end, run_magnitude);
+
+  // Chronological ids, like the upstream feed's global ddos_id.
+  std::sort(attacks.begin(), attacks.end(),
+            [](const data::AttackRecord& a, const data::AttackRecord& b) {
+              return a.start_time < b.start_time;
+            });
+  for (data::AttackRecord& attack : attacks) {
+    attack.ddos_id = first_ddos_id++;
+  }
+  return attacks;
+}
+
+}  // namespace ddos::core

@@ -1,0 +1,53 @@
+// Attack sessionization: turning raw observations into attack records.
+//
+// Section II-D defines the unit of analysis: monitoring systems log
+// per-(botnet, target) activity continuously, and "for attacks whose
+// interval exceeds 60 seconds, we consider them as different attacks". This
+// module implements that preprocessing stage for raw observation feeds -
+// the inverse of what the simulator emits, and the entry point for anyone
+// adapting ddoscope to their own flow logs.
+#ifndef DDOSCOPE_CORE_SESSIONIZE_H_
+#define DDOSCOPE_CORE_SESSIONIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/records.h"
+
+namespace ddos::core {
+
+// One raw monitoring observation: botnet X was seen attacking target Y over
+// [start, end) with `sources` participating bot IPs.
+struct Observation {
+  std::uint32_t botnet_id = 0;
+  data::Family family = data::Family::kAldibot;
+  data::Protocol protocol = data::Protocol::kUnknown;
+  net::IPv4Address target_ip;
+  TimePoint start;
+  TimePoint end;
+  std::uint32_t sources = 0;  // distinct bot IPs in this observation
+};
+
+struct SessionizeConfig {
+  // Observations on the same (botnet, target) closer than this merge into
+  // one attack (Section II-D's rule).
+  std::int64_t split_gap_s = 60;
+};
+
+// Groups observations by (botnet_id, target_ip), orders them, and merges
+// runs whose inter-observation gap (next.start - prev.end) is at most
+// `split_gap_s` into single AttackRecords:
+//   * start = first observation's start, end = max end over the run,
+//   * magnitude = max sources over the run (bots persist across
+//     observations of one attack),
+//   * protocol = the run's most frequent protocol.
+// ddos_id is assigned sequentially from `first_ddos_id` in chronological
+// order. Geo fields of the produced records are left empty - join them via
+// a GeoDatabase afterwards if needed.
+std::vector<data::AttackRecord> SessionizeObservations(
+    std::vector<Observation> observations, const SessionizeConfig& config = {},
+    std::uint64_t first_ddos_id = 1);
+
+}  // namespace ddos::core
+
+#endif  // DDOSCOPE_CORE_SESSIONIZE_H_

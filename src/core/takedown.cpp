@@ -1,0 +1,81 @@
+#include "core/takedown.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ddos::core {
+
+std::vector<TakedownCandidate> RankTakedowns(
+    const data::Dataset& dataset, std::span<const CollaborationEvent> events,
+    const TakedownConfig& config) {
+  std::unordered_map<std::uint32_t, TakedownCandidate> by_botnet;
+  for (const data::AttackRecord& attack : dataset.attacks()) {
+    TakedownCandidate& candidate = by_botnet[attack.botnet_id];
+    candidate.botnet_id = attack.botnet_id;
+    candidate.family = attack.family;
+    ++candidate.attacks;
+    candidate.attack_seconds += static_cast<double>(attack.duration_seconds());
+  }
+  for (const CollaborationEvent& event : events) {
+    std::unordered_set<std::uint32_t> members;
+    for (const CollabParticipant& p : event.participants) {
+      members.insert(p.botnet_id);
+    }
+    for (const std::uint32_t botnet : members) {
+      const auto it = by_botnet.find(botnet);
+      if (it != by_botnet.end()) ++it->second.collaboration_events;
+    }
+  }
+  std::vector<TakedownCandidate> ranking;
+  ranking.reserve(by_botnet.size());
+  for (auto& [id, candidate] : by_botnet) {
+    candidate.utility =
+        candidate.attack_seconds +
+        config.collaboration_weight *
+            static_cast<double>(candidate.collaboration_events);
+    ranking.push_back(candidate);
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const TakedownCandidate& a, const TakedownCandidate& b) {
+              if (a.utility != b.utility) return a.utility > b.utility;
+              return a.botnet_id < b.botnet_id;
+            });
+  return ranking;
+}
+
+TakedownImpact SimulateTakedown(const data::Dataset& dataset,
+                                std::span<const CollaborationEvent> events,
+                                std::span<const TakedownCandidate> ranking,
+                                std::size_t top_k) {
+  TakedownImpact impact;
+  std::unordered_set<std::uint32_t> removed;
+  for (std::size_t i = 0; i < std::min(top_k, ranking.size()); ++i) {
+    removed.insert(ranking[i].botnet_id);
+  }
+  impact.botnets_removed = removed.size();
+
+  for (const data::AttackRecord& attack : dataset.attacks()) {
+    const double seconds = static_cast<double>(attack.duration_seconds());
+    impact.attack_seconds_total += seconds;
+    if (removed.count(attack.botnet_id) > 0) {
+      impact.attack_seconds_removed += seconds;
+      ++impact.attacks_removed;
+    }
+  }
+  for (const CollaborationEvent& event : events) {
+    for (const CollabParticipant& p : event.participants) {
+      if (removed.count(p.botnet_id) > 0) {
+        ++impact.collaborations_broken;
+        break;
+      }
+    }
+  }
+  if (impact.attack_seconds_total > 0.0) {
+    impact.fraction_removed =
+        impact.attack_seconds_removed / impact.attack_seconds_total;
+  }
+  return impact;
+}
+
+}  // namespace ddos::core

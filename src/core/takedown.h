@@ -1,0 +1,60 @@
+// Botnet takedown analysis.
+//
+// The paper's related work highlights rza (Nadji et al.): postmortem
+// analysis and recommendations for botnet takedowns. This module brings
+// that question to the characterized trace: which botnet generations are
+// worth taking down first? Utility combines the botnet's own attack volume
+// (attack-seconds) with its role in the collaboration ecosystem (events it
+// participates in), and a replay measures how much attack activity a top-k
+// takedown would have removed.
+#ifndef DDOSCOPE_CORE_TAKEDOWN_H_
+#define DDOSCOPE_CORE_TAKEDOWN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/collaboration.h"
+#include "data/dataset.h"
+
+namespace ddos::core {
+
+struct TakedownCandidate {
+  std::uint32_t botnet_id = 0;
+  data::Family family = data::Family::kAldibot;
+  std::uint64_t attacks = 0;
+  double attack_seconds = 0.0;
+  std::uint64_t collaboration_events = 0;
+  // attack_seconds + collaboration_weight * events (the ranking key).
+  double utility = 0.0;
+};
+
+struct TakedownConfig {
+  // How many attack-seconds of utility one collaboration event is worth;
+  // collaborations signal shared infrastructure, so disabling a hub damages
+  // more than its own attacks.
+  double collaboration_weight = 3600.0;
+};
+
+// All botnets observed attacking, ranked by takedown utility (descending).
+std::vector<TakedownCandidate> RankTakedowns(
+    const data::Dataset& dataset, std::span<const CollaborationEvent> events,
+    const TakedownConfig& config = {});
+
+struct TakedownImpact {
+  std::size_t botnets_removed = 0;
+  double attack_seconds_removed = 0.0;
+  double attack_seconds_total = 0.0;
+  double fraction_removed = 0.0;          // of attack-seconds
+  std::uint64_t attacks_removed = 0;
+  std::uint64_t collaborations_broken = 0;  // events losing a participant
+};
+
+// Replays the trace with the top-k ranked botnets removed.
+TakedownImpact SimulateTakedown(const data::Dataset& dataset,
+                                std::span<const CollaborationEvent> events,
+                                std::span<const TakedownCandidate> ranking,
+                                std::size_t top_k);
+
+}  // namespace ddos::core
+
+#endif  // DDOSCOPE_CORE_TAKEDOWN_H_

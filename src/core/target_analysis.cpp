@@ -1,0 +1,127 @@
+#include "core/target_analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ddos::core {
+
+FamilyCountryStats CountryStats(const data::Dataset& dataset,
+                                data::Family family, int top_k) {
+  std::unordered_map<std::string, std::uint64_t> counts;
+  for (std::size_t idx : dataset.AttacksOfFamily(family)) {
+    ++counts[dataset.attacks()[idx].cc];
+  }
+  FamilyCountryStats out;
+  out.family = family;
+  out.total_countries = counts.size();
+  std::vector<CountryCount> all;
+  all.reserve(counts.size());
+  for (const auto& [cc, c] : counts) all.push_back(CountryCount{cc, c});
+  std::sort(all.begin(), all.end(), [](const CountryCount& a, const CountryCount& b) {
+    if (a.attacks != b.attacks) return a.attacks > b.attacks;
+    return a.cc < b.cc;
+  });
+  if (static_cast<int>(all.size()) > top_k) {
+    all.resize(static_cast<std::size_t>(top_k));
+  }
+  out.top = std::move(all);
+  return out;
+}
+
+std::vector<CountryCount> GlobalCountryRanking(const data::Dataset& dataset) {
+  std::unordered_map<std::string, std::uint64_t> counts;
+  for (const data::AttackRecord& a : dataset.attacks()) ++counts[a.cc];
+  std::vector<CountryCount> out;
+  out.reserve(counts.size());
+  for (const auto& [cc, c] : counts) out.push_back(CountryCount{cc, c});
+  std::sort(out.begin(), out.end(), [](const CountryCount& a, const CountryCount& b) {
+    if (a.attacks != b.attacks) return a.attacks > b.attacks;
+    return a.cc < b.cc;
+  });
+  return out;
+}
+
+std::vector<OrgHotspot> OrganizationHotspots(const data::Dataset& dataset,
+                                             data::Family family,
+                                             TimePoint window_begin,
+                                             TimePoint window_end) {
+  const bool filtered = window_end.seconds() != 0;
+  struct Agg {
+    OrgHotspot spot;
+    std::unordered_set<std::uint32_t> targets;
+  };
+  std::unordered_map<std::string, Agg> by_org;
+  for (std::size_t idx : dataset.AttacksOfFamily(family)) {
+    const data::AttackRecord& a = dataset.attacks()[idx];
+    if (filtered &&
+        (a.start_time < window_begin || a.start_time >= window_end)) {
+      continue;
+    }
+    Agg& agg = by_org[a.organization];
+    if (agg.spot.attacks == 0) {
+      agg.spot.organization = a.organization;
+      agg.spot.cc = a.cc;
+      agg.spot.city = a.city;
+      agg.spot.location = a.location;
+    }
+    ++agg.spot.attacks;
+    agg.targets.insert(a.target_ip.bits());
+  }
+  std::vector<OrgHotspot> out;
+  out.reserve(by_org.size());
+  for (auto& [org, agg] : by_org) {
+    agg.spot.distinct_targets = agg.targets.size();
+    out.push_back(std::move(agg.spot));
+  }
+  std::sort(out.begin(), out.end(), [](const OrgHotspot& a, const OrgHotspot& b) {
+    if (a.attacks != b.attacks) return a.attacks > b.attacks;
+    return a.organization < b.organization;
+  });
+  return out;
+}
+
+RevisitDistribution ComputeRevisits(const data::Dataset& dataset) {
+  RevisitDistribution out;
+  std::uint64_t repeat_attacks = 0;
+  for (const net::IPv4Address& target : dataset.Targets()) {
+    const std::size_t n = dataset.AttacksOnTarget(target).size();
+    ++out.targets_total;
+    if (n == 1) {
+      ++out.targets_once;
+    } else if (n <= 5) {
+      ++out.targets_2_to_5;
+      repeat_attacks += n;
+    } else {
+      ++out.targets_6_plus;
+      repeat_attacks += n;
+    }
+    out.max_attacks_on_one_target =
+        std::max<std::uint64_t>(out.max_attacks_on_one_target, n);
+  }
+  if (!dataset.attacks().empty()) {
+    out.attacks_on_repeat_targets =
+        static_cast<double>(repeat_attacks) /
+        static_cast<double>(dataset.attacks().size());
+  }
+  return out;
+}
+
+std::vector<std::pair<data::Family, std::uint64_t>> OrganizationsPerFamily(
+    const data::Dataset& dataset) {
+  std::vector<std::pair<data::Family, std::uint64_t>> out;
+  for (const data::Family f : data::ActiveFamilies()) {
+    std::unordered_set<std::string> orgs;
+    for (std::size_t idx : dataset.AttacksOfFamily(f)) {
+      orgs.insert(dataset.attacks()[idx].organization);
+    }
+    out.emplace_back(f, orgs.size());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+}  // namespace ddos::core

@@ -1,0 +1,75 @@
+// Target-side analyses (Section IV-B; Table V, Fig 14).
+#ifndef DDOSCOPE_CORE_TARGET_ANALYSIS_H_
+#define DDOSCOPE_CORE_TARGET_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "geo/coord.h"
+
+namespace ddos::core {
+
+// --- Table V: country-level target statistics per family. ---
+struct CountryCount {
+  std::string cc;
+  std::uint64_t attacks = 0;
+};
+
+struct FamilyCountryStats {
+  data::Family family;
+  std::uint64_t total_countries = 0;
+  std::vector<CountryCount> top;  // descending, at most `top_k`
+};
+
+FamilyCountryStats CountryStats(const data::Dataset& dataset,
+                                data::Family family, int top_k = 5);
+
+// Attack counts per target country over all families, descending (the
+// paper's global top five: US, RU, DE, UA, NL).
+std::vector<CountryCount> GlobalCountryRanking(const data::Dataset& dataset);
+
+// --- Fig 14: organization-level hotspots. ---
+struct OrgHotspot {
+  std::string organization;
+  std::string cc;
+  std::string city;
+  geo::Coordinate location;
+  std::uint64_t attacks = 0;
+  std::uint64_t distinct_targets = 0;
+};
+
+// Hotspots for one family, optionally restricted to a time window
+// (Fig 14 shows Pandora in February 2013); pass zero TimePoints to disable
+// the filter. Sorted by attack count, descending.
+std::vector<OrgHotspot> OrganizationHotspots(const data::Dataset& dataset,
+                                             data::Family family,
+                                             TimePoint window_begin = TimePoint(),
+                                             TimePoint window_end = TimePoint());
+
+// --- Section III-D: one-time vs repeatedly attacked targets. ---
+// "Without such an automatic system in place, the detection is not possible
+// for one-time attacking targets. For targets that are repetitively
+// attacked, investigation of the attack intervals may be helpful."
+struct RevisitDistribution {
+  std::uint64_t targets_total = 0;
+  std::uint64_t targets_once = 0;       // attacked exactly once
+  std::uint64_t targets_2_to_5 = 0;
+  std::uint64_t targets_6_plus = 0;
+  // Share of all attacks that hit a repeatedly-attacked target, i.e. the
+  // fraction where interval-based defenses can apply at all.
+  double attacks_on_repeat_targets = 0.0;
+  std::uint64_t max_attacks_on_one_target = 0;
+};
+
+RevisitDistribution ComputeRevisits(const data::Dataset& dataset);
+
+// Number of distinct organizations attacked per family, descending -
+// Dirtjumper has "a wider presence by attacking more organizations than any
+// other family" (Section IV-B2).
+std::vector<std::pair<data::Family, std::uint64_t>> OrganizationsPerFamily(
+    const data::Dataset& dataset);
+
+}  // namespace ddos::core
+
+#endif  // DDOSCOPE_CORE_TARGET_ANALYSIS_H_

@@ -1,0 +1,98 @@
+#include "core/trends.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "stats/descriptive.h"
+
+namespace ddos::core {
+
+namespace {
+
+double RelativeChange(double from, double to) {
+  if (from == 0.0) return 0.0;
+  return (to - from) / from;
+}
+
+PeriodDelta DeltaBetween(const PeriodStats& from, const PeriodStats& to) {
+  PeriodDelta d;
+  d.from_period = from.index;
+  d.to_period = to.index;
+  d.attacks = RelativeChange(static_cast<double>(from.attacks),
+                             static_cast<double>(to.attacks));
+  d.mean_duration = RelativeChange(from.mean_duration_s, to.mean_duration_s);
+  d.mean_magnitude = RelativeChange(from.mean_magnitude, to.mean_magnitude);
+  d.distinct_targets = RelativeChange(static_cast<double>(from.distinct_targets),
+                                      static_cast<double>(to.distinct_targets));
+  return d;
+}
+
+}  // namespace
+
+TrendReport ComputeTrends(const data::Dataset& dataset, int period_days) {
+  if (period_days <= 0) {
+    throw std::invalid_argument("ComputeTrends: period_days must be > 0");
+  }
+  TrendReport report;
+  const auto attacks = dataset.attacks();
+  if (attacks.empty()) return report;
+
+  const TimePoint origin = StartOfDay(dataset.window_begin());
+  const std::int64_t period_s =
+      static_cast<std::int64_t>(period_days) * kSecondsPerDay;
+  const int periods = static_cast<int>(
+      (dataset.window_end() - origin + period_s - 1) / period_s);
+
+  struct Accumulator {
+    std::vector<double> durations;
+    stats::StreamingStats magnitude;
+    std::unordered_set<std::uint32_t> targets;
+    std::array<std::uint64_t, data::kProtocolCount> protocol{};
+  };
+  std::vector<Accumulator> acc(static_cast<std::size_t>(std::max(periods, 1)));
+  for (const data::AttackRecord& a : attacks) {
+    const std::int64_t p = (a.start_time - origin) / period_s;
+    if (p < 0 || p >= periods) continue;
+    Accumulator& slot = acc[static_cast<std::size_t>(p)];
+    slot.durations.push_back(static_cast<double>(a.duration_seconds()));
+    slot.magnitude.Add(static_cast<double>(a.magnitude));
+    slot.targets.insert(a.target_ip.bits());
+    ++slot.protocol[static_cast<std::size_t>(a.category)];
+  }
+
+  for (int p = 0; p < periods; ++p) {
+    const Accumulator& slot = acc[static_cast<std::size_t>(p)];
+    PeriodStats period;
+    period.index = p;
+    period.begin = origin + static_cast<std::int64_t>(p) * period_s;
+    period.end = period.begin + period_s;
+    period.attacks = slot.durations.size();
+    period.distinct_targets = slot.targets.size();
+    if (!slot.durations.empty()) {
+      const stats::Summary s = stats::Summarize(slot.durations);
+      period.mean_duration_s = s.mean;
+      period.median_duration_s = s.median;
+      period.mean_magnitude = slot.magnitude.mean();
+      period.max_magnitude = slot.magnitude.max();
+      for (std::size_t proto = 0; proto < data::kProtocolCount; ++proto) {
+        period.protocol_share[proto] =
+            static_cast<double>(slot.protocol[proto]) /
+            static_cast<double>(period.attacks);
+      }
+    }
+    report.periods.push_back(std::move(period));
+  }
+
+  for (std::size_t p = 1; p < report.periods.size(); ++p) {
+    report.deltas.push_back(
+        DeltaBetween(report.periods[p - 1], report.periods[p]));
+  }
+  if (report.periods.size() >= 2) {
+    report.overall =
+        DeltaBetween(report.periods.front(), report.periods.back());
+  }
+  return report;
+}
+
+}  // namespace ddos::core

@@ -1,0 +1,218 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace ddos::data {
+
+namespace {
+
+[[noreturn]] void Fail(const char* what, std::size_t line_no) {
+  throw std::runtime_error(StrFormat("CSV: %s at line %zu", what, line_no));
+}
+
+std::int64_t FieldInt(const std::vector<std::string>& fields, std::size_t idx,
+                      std::size_t line_no) {
+  const auto v = ParseInt64(fields.at(idx));
+  if (!v) Fail("bad integer field", line_no);
+  return *v;
+}
+
+double FieldDouble(const std::vector<std::string>& fields, std::size_t idx,
+                   std::size_t line_no) {
+  const auto v = ParseDouble(fields.at(idx));
+  if (!v) Fail("bad numeric field", line_no);
+  return *v;
+}
+
+}  // namespace
+
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void WriteAttacksCsv(std::ostream& out, std::span<const AttackRecord> attacks) {
+  out << "ddos_id,botnet_id,family,category,target_ip,timestamp,end_time,asn,"
+         "cc,city,latitude,longitude,organization,magnitude\n";
+  for (const AttackRecord& a : attacks) {
+    out << a.ddos_id << ',' << a.botnet_id << ',' << FamilyName(a.family) << ','
+        << ProtocolName(a.category) << ',' << a.target_ip.ToString() << ','
+        << a.start_time.ToString() << ',' << a.end_time.ToString() << ','
+        << a.asn.value() << ',' << a.cc << ',' << CsvEscape(a.city) << ','
+        << StrFormat("%.6f", a.location.lat_deg) << ','
+        << StrFormat("%.6f", a.location.lon_deg) << ','
+        << CsvEscape(a.organization) << ',' << a.magnitude << '\n';
+  }
+}
+
+std::vector<AttackRecord> ReadAttacksCsv(std::istream& in) {
+  std::vector<AttackRecord> out;
+  std::string line;
+  std::size_t line_no = 0;
+  bool header = true;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (header) {
+      header = false;
+      continue;
+    }
+    if (Trim(line).empty()) continue;
+    const auto f = ParseCsvLine(line);
+    if (f.size() != 14) Fail("expected 14 fields", line_no);
+    AttackRecord a;
+    a.ddos_id = static_cast<std::uint64_t>(FieldInt(f, 0, line_no));
+    a.botnet_id = static_cast<std::uint32_t>(FieldInt(f, 1, line_no));
+    const auto family = ParseFamily(f[2]);
+    if (!family) Fail("unknown family", line_no);
+    a.family = *family;
+    const auto protocol = ParseProtocol(f[3]);
+    if (!protocol) Fail("unknown protocol", line_no);
+    a.category = *protocol;
+    const auto ip = net::IPv4Address::Parse(f[4]);
+    if (!ip) Fail("bad target_ip", line_no);
+    a.target_ip = *ip;
+    a.start_time = TimePoint::Parse(f[5]);
+    a.end_time = TimePoint::Parse(f[6]);
+    a.asn = net::Asn(static_cast<std::uint32_t>(FieldInt(f, 7, line_no)));
+    a.cc = f[8];
+    a.city = f[9];
+    a.location.lat_deg = FieldDouble(f, 10, line_no);
+    a.location.lon_deg = FieldDouble(f, 11, line_no);
+    a.organization = f[12];
+    a.magnitude = static_cast<std::uint32_t>(FieldInt(f, 13, line_no));
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+void WriteBotnetsCsv(std::ostream& out, std::span<const BotnetRecord> botnets) {
+  out << "botnet_id,family,controller_ip,first_seen,last_seen\n";
+  for (const BotnetRecord& b : botnets) {
+    out << b.botnet_id << ',' << FamilyName(b.family) << ','
+        << b.controller_ip.ToString() << ',' << b.first_seen.ToString() << ','
+        << b.last_seen.ToString() << '\n';
+  }
+}
+
+std::vector<BotnetRecord> ReadBotnetsCsv(std::istream& in) {
+  std::vector<BotnetRecord> out;
+  std::string line;
+  std::size_t line_no = 0;
+  bool header = true;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (header) {
+      header = false;
+      continue;
+    }
+    if (Trim(line).empty()) continue;
+    const auto f = ParseCsvLine(line);
+    if (f.size() != 5) Fail("expected 5 fields", line_no);
+    BotnetRecord b;
+    b.botnet_id = static_cast<std::uint32_t>(FieldInt(f, 0, line_no));
+    const auto family = ParseFamily(f[1]);
+    if (!family) Fail("unknown family", line_no);
+    b.family = *family;
+    const auto ip = net::IPv4Address::Parse(f[2]);
+    if (!ip) Fail("bad controller_ip", line_no);
+    b.controller_ip = *ip;
+    b.first_seen = TimePoint::Parse(f[3]);
+    b.last_seen = TimePoint::Parse(f[4]);
+    out.push_back(b);
+  }
+  return out;
+}
+
+void WriteSnapshotsCsv(std::ostream& out, std::span<const SnapshotRecord> snaps) {
+  out << "time,family,bot_ip\n";
+  for (const SnapshotRecord& s : snaps) {
+    const std::string stamp = s.time.ToString();
+    for (const net::IPv4Address& ip : s.bot_ips) {
+      out << stamp << ',' << FamilyName(s.family) << ',' << ip.ToString() << '\n';
+    }
+  }
+}
+
+std::vector<SnapshotRecord> ReadSnapshotsCsv(std::istream& in) {
+  std::vector<SnapshotRecord> out;
+  std::string line;
+  std::size_t line_no = 0;
+  bool header = true;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (header) {
+      header = false;
+      continue;
+    }
+    if (Trim(line).empty()) continue;
+    const auto f = ParseCsvLine(line);
+    if (f.size() != 3) Fail("expected 3 fields", line_no);
+    const TimePoint time = TimePoint::Parse(f[0]);
+    const auto family = ParseFamily(f[1]);
+    if (!family) Fail("unknown family", line_no);
+    const auto ip = net::IPv4Address::Parse(f[2]);
+    if (!ip) Fail("bad bot_ip", line_no);
+    // Rows for the same (time, family) are contiguous by construction of the
+    // writer; group them back into snapshots.
+    if (out.empty() || out.back().time != time || out.back().family != *family) {
+      out.push_back(SnapshotRecord{time, *family, {}});
+    }
+    out.back().bot_ips.push_back(*ip);
+  }
+  return out;
+}
+
+void SaveAttacksCsv(const std::string& path, std::span<const AttackRecord> attacks) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("SaveAttacksCsv: cannot open " + path);
+  WriteAttacksCsv(out, attacks);
+}
+
+std::vector<AttackRecord> LoadAttacksCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("LoadAttacksCsv: cannot open " + path);
+  return ReadAttacksCsv(in);
+}
+
+}  // namespace ddos::data

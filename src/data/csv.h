@@ -1,0 +1,44 @@
+// CSV serialization of the dataset schemas.
+//
+// The attack CSV columns mirror Table I exactly (ddos_id, botnet_id,
+// category, target_ip, timestamp, end_time, asn, cc, city, latitude,
+// longitude) plus the joined family/organization/magnitude columns. This
+// lets externally collected traces be fed through the same analyses, and it
+// is the archival format of the synthetic traces the benches generate.
+//
+// Quoting: fields containing ',', '"' or newlines are double-quoted with
+// inner quotes doubled (RFC 4180). Readers throw std::runtime_error with a
+// line number on malformed input.
+#ifndef DDOSCOPE_DATA_CSV_H_
+#define DDOSCOPE_DATA_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace ddos::data {
+
+// Splits one CSV line honoring RFC-4180 quoting.
+std::vector<std::string> ParseCsvLine(const std::string& line);
+// Escapes one field for CSV output.
+std::string CsvEscape(const std::string& field);
+
+void WriteAttacksCsv(std::ostream& out, std::span<const AttackRecord> attacks);
+std::vector<AttackRecord> ReadAttacksCsv(std::istream& in);
+
+void WriteBotnetsCsv(std::ostream& out, std::span<const BotnetRecord> botnets);
+std::vector<BotnetRecord> ReadBotnetsCsv(std::istream& in);
+
+// Snapshots are flattened to one row per (time, family, bot_ip).
+void WriteSnapshotsCsv(std::ostream& out, std::span<const SnapshotRecord> snaps);
+std::vector<SnapshotRecord> ReadSnapshotsCsv(std::istream& in);
+
+// Convenience: write/read the attack table to/from a file path.
+void SaveAttacksCsv(const std::string& path, std::span<const AttackRecord> attacks);
+std::vector<AttackRecord> LoadAttacksCsv(const std::string& path);
+
+}  // namespace ddos::data
+
+#endif  // DDOSCOPE_DATA_CSV_H_

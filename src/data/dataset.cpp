@@ -1,0 +1,133 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ddos::data {
+
+void Dataset::AddAttack(AttackRecord attack) {
+  if (finalized_) throw std::logic_error("Dataset: AddAttack after Finalize");
+  attacks_.push_back(std::move(attack));
+}
+
+void Dataset::AddBot(BotRecord bot) {
+  if (finalized_) throw std::logic_error("Dataset: AddBot after Finalize");
+  bots_.push_back(bot);
+}
+
+void Dataset::AddBotnet(BotnetRecord botnet) {
+  if (finalized_) throw std::logic_error("Dataset: AddBotnet after Finalize");
+  botnets_.push_back(botnet);
+}
+
+void Dataset::AddSnapshot(SnapshotRecord snapshot) {
+  if (finalized_) throw std::logic_error("Dataset: AddSnapshot after Finalize");
+  snapshots_.push_back(std::move(snapshot));
+}
+
+void Dataset::Finalize() {
+  if (finalized_) throw std::logic_error("Dataset: Finalize called twice");
+
+  std::sort(attacks_.begin(), attacks_.end(),
+            [](const AttackRecord& a, const AttackRecord& b) {
+              if (a.start_time != b.start_time) return a.start_time < b.start_time;
+              return a.ddos_id < b.ddos_id;
+            });
+  std::sort(snapshots_.begin(), snapshots_.end(),
+            [](const SnapshotRecord& a, const SnapshotRecord& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.family < b.family;
+            });
+  std::sort(botnets_.begin(), botnets_.end(),
+            [](const BotnetRecord& a, const BotnetRecord& b) {
+              return a.botnet_id < b.botnet_id;
+            });
+
+  // Deduplicate bots by IP, merging the observation interval.
+  std::sort(bots_.begin(), bots_.end(), [](const BotRecord& a, const BotRecord& b) {
+    return a.ip < b.ip;
+  });
+  std::vector<BotRecord> merged;
+  merged.reserve(bots_.size());
+  for (const BotRecord& b : bots_) {
+    if (!merged.empty() && merged.back().ip == b.ip) {
+      merged.back().first_seen = std::min(merged.back().first_seen, b.first_seen);
+      merged.back().last_seen = std::max(merged.back().last_seen, b.last_seen);
+    } else {
+      merged.push_back(b);
+    }
+  }
+  bots_ = std::move(merged);
+
+  family_attacks_.assign(kFamilyCount, {});
+  family_snapshots_.assign(kFamilyCount, {});
+  for (std::size_t i = 0; i < attacks_.size(); ++i) {
+    family_attacks_[static_cast<std::size_t>(attacks_[i].family)].push_back(i);
+    target_attacks_[attacks_[i].target_ip.bits()].push_back(i);
+  }
+  for (std::size_t i = 0; i < snapshots_.size(); ++i) {
+    family_snapshots_[static_cast<std::size_t>(snapshots_[i].family)].push_back(i);
+  }
+
+  if (!attacks_.empty()) {
+    window_begin_ = attacks_.front().start_time;
+    window_end_ = window_begin_;
+    for (const AttackRecord& a : attacks_) {
+      window_end_ = std::max(window_end_, a.end_time);
+    }
+  }
+  finalized_ = true;
+}
+
+void Dataset::RequireFinalized() const {
+  if (!finalized_) throw std::logic_error("Dataset: not finalized");
+}
+
+std::span<const AttackRecord> Dataset::attacks() const {
+  RequireFinalized();
+  return attacks_;
+}
+
+std::span<const BotRecord> Dataset::bots() const {
+  RequireFinalized();
+  return bots_;
+}
+
+std::span<const BotnetRecord> Dataset::botnets() const {
+  RequireFinalized();
+  return botnets_;
+}
+
+std::span<const SnapshotRecord> Dataset::snapshots() const {
+  RequireFinalized();
+  return snapshots_;
+}
+
+std::span<const std::size_t> Dataset::AttacksOfFamily(Family f) const {
+  RequireFinalized();
+  return family_attacks_[static_cast<std::size_t>(f)];
+}
+
+std::span<const std::size_t> Dataset::AttacksOnTarget(net::IPv4Address target) const {
+  RequireFinalized();
+  const auto it = target_attacks_.find(target.bits());
+  if (it == target_attacks_.end()) return {};
+  return it->second;
+}
+
+std::vector<net::IPv4Address> Dataset::Targets() const {
+  RequireFinalized();
+  std::vector<net::IPv4Address> out;
+  out.reserve(target_attacks_.size());
+  for (const auto& [bits, _] : target_attacks_) {
+    out.push_back(net::IPv4Address(bits));
+  }
+  return out;
+}
+
+std::span<const std::size_t> Dataset::SnapshotsOfFamily(Family f) const {
+  RequireFinalized();
+  return family_snapshots_[static_cast<std::size_t>(f)];
+}
+
+}  // namespace ddos::data

@@ -1,0 +1,70 @@
+// The joined dataset: owns all records and provides the indexes the
+// analyses need (per-family, per-target, chronological).
+//
+// Usage: Add* records in any order, then call Finalize() exactly once.
+// Finalize sorts attacks chronologically (ties by ddos_id), snapshots by
+// time, deduplicates the bot list by IP (keeping widest seen-interval), and
+// builds the family/target indexes. All read accessors require a finalized
+// dataset and return stable spans/indices into it.
+#ifndef DDOSCOPE_DATA_DATASET_H_
+#define DDOSCOPE_DATA_DATASET_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "data/records.h"
+
+namespace ddos::data {
+
+class Dataset {
+ public:
+  void AddAttack(AttackRecord attack);
+  void AddBot(BotRecord bot);
+  void AddBotnet(BotnetRecord botnet);
+  void AddSnapshot(SnapshotRecord snapshot);
+
+  // Sorts, deduplicates bots, and builds indexes. Idempotent is not
+  // required: call once after loading; throws std::logic_error on re-entry.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  // Chronologically sorted after Finalize().
+  std::span<const AttackRecord> attacks() const;
+  std::span<const BotRecord> bots() const;
+  std::span<const BotnetRecord> botnets() const;
+  std::span<const SnapshotRecord> snapshots() const;
+
+  // Indices into attacks(), chronological.
+  std::span<const std::size_t> AttacksOfFamily(Family f) const;
+  // Indices into attacks() for one victim IP; empty span if never attacked.
+  std::span<const std::size_t> AttacksOnTarget(net::IPv4Address target) const;
+  // All distinct victim IPs (unordered).
+  std::vector<net::IPv4Address> Targets() const;
+  // Indices into snapshots(), chronological, for one family.
+  std::span<const std::size_t> SnapshotsOfFamily(Family f) const;
+
+  // Observation window: [min start, max end] over attacks. Zero TimePoints
+  // when there are no attacks.
+  TimePoint window_begin() const { return window_begin_; }
+  TimePoint window_end() const { return window_end_; }
+
+ private:
+  void RequireFinalized() const;
+
+  std::vector<AttackRecord> attacks_;
+  std::vector<BotRecord> bots_;
+  std::vector<BotnetRecord> botnets_;
+  std::vector<SnapshotRecord> snapshots_;
+
+  std::vector<std::vector<std::size_t>> family_attacks_;   // [family] -> idx
+  std::vector<std::vector<std::size_t>> family_snapshots_; // [family] -> idx
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> target_attacks_;
+  TimePoint window_begin_;
+  TimePoint window_end_;
+  bool finalized_ = false;
+};
+
+}  // namespace ddos::data
+
+#endif  // DDOSCOPE_DATA_DATASET_H_

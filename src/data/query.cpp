@@ -1,0 +1,95 @@
+#include "data/query.h"
+
+namespace ddos::data {
+
+AttackQuery& AttackQuery::WithFamily(Family family) {
+  families_.insert(family);
+  return *this;
+}
+
+AttackQuery& AttackQuery::WithFamilies(std::span<const Family> families) {
+  families_.insert(families.begin(), families.end());
+  return *this;
+}
+
+AttackQuery& AttackQuery::WithProtocol(Protocol protocol) {
+  protocol_ = protocol;
+  return *this;
+}
+
+AttackQuery& AttackQuery::WithTargetCountry(std::string cc) {
+  target_country_ = std::move(cc);
+  return *this;
+}
+
+AttackQuery& AttackQuery::WithTarget(net::IPv4Address target) {
+  target_ = target;
+  return *this;
+}
+
+AttackQuery& AttackQuery::WithBotnet(std::uint32_t botnet_id) {
+  botnet_id_ = botnet_id;
+  return *this;
+}
+
+AttackQuery& AttackQuery::StartingBetween(TimePoint begin, TimePoint end) {
+  begin_ = begin;
+  end_ = end;
+  return *this;
+}
+
+AttackQuery& AttackQuery::WithMinDuration(std::int64_t seconds) {
+  min_duration_s_ = seconds;
+  return *this;
+}
+
+AttackQuery& AttackQuery::WithMaxDuration(std::int64_t seconds) {
+  max_duration_s_ = seconds;
+  return *this;
+}
+
+AttackQuery& AttackQuery::WithMinMagnitude(std::uint32_t bots) {
+  min_magnitude_ = bots;
+  return *this;
+}
+
+bool AttackQuery::Matches(const AttackRecord& attack) const {
+  if (!families_.empty() && families_.count(attack.family) == 0) return false;
+  if (protocol_ && attack.category != *protocol_) return false;
+  if (target_country_ && attack.cc != *target_country_) return false;
+  if (target_ && attack.target_ip != *target_) return false;
+  if (botnet_id_ && attack.botnet_id != *botnet_id_) return false;
+  if (begin_ && attack.start_time < *begin_) return false;
+  if (end_ && attack.start_time >= *end_) return false;
+  if (min_duration_s_ && attack.duration_seconds() < *min_duration_s_) return false;
+  if (max_duration_s_ && attack.duration_seconds() > *max_duration_s_) return false;
+  if (min_magnitude_ && attack.magnitude < *min_magnitude_) return false;
+  return true;
+}
+
+std::vector<std::size_t> AttackQuery::Run(const Dataset& dataset) const {
+  std::vector<std::size_t> out;
+  // Start from the narrowest available index.
+  if (target_) {
+    for (const std::size_t idx : dataset.AttacksOnTarget(*target_)) {
+      if (Matches(dataset.attacks()[idx])) out.push_back(idx);
+    }
+    return out;
+  }
+  if (families_.size() == 1) {
+    for (const std::size_t idx : dataset.AttacksOfFamily(*families_.begin())) {
+      if (Matches(dataset.attacks()[idx])) out.push_back(idx);
+    }
+    return out;
+  }
+  for (std::size_t idx = 0; idx < dataset.attacks().size(); ++idx) {
+    if (Matches(dataset.attacks()[idx])) out.push_back(idx);
+  }
+  return out;
+}
+
+std::size_t AttackQuery::Count(const Dataset& dataset) const {
+  return Run(dataset).size();
+}
+
+}  // namespace ddos::data

@@ -1,0 +1,57 @@
+// Fluent attack-table queries.
+//
+// The analyses in core/ consume whole datasets; exploratory work (and the
+// examples) want slices: "Dirtjumper HTTP attacks on US targets in
+// February lasting over an hour". `AttackQuery` is a small predicate
+// builder over the attack table returning indices compatible with every
+// index-based analysis helper.
+#ifndef DDOSCOPE_DATA_QUERY_H_
+#define DDOSCOPE_DATA_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace ddos::data {
+
+class AttackQuery {
+ public:
+  AttackQuery& WithFamily(Family family);
+  // Additional families OR together.
+  AttackQuery& WithFamilies(std::span<const Family> families);
+  AttackQuery& WithProtocol(Protocol protocol);
+  AttackQuery& WithTargetCountry(std::string cc);
+  AttackQuery& WithTarget(net::IPv4Address target);
+  AttackQuery& WithBotnet(std::uint32_t botnet_id);
+  // Start time in [begin, end).
+  AttackQuery& StartingBetween(TimePoint begin, TimePoint end);
+  AttackQuery& WithMinDuration(std::int64_t seconds);
+  AttackQuery& WithMaxDuration(std::int64_t seconds);
+  AttackQuery& WithMinMagnitude(std::uint32_t bots);
+
+  bool Matches(const AttackRecord& attack) const;
+
+  // Indices into dataset.attacks(), chronological.
+  std::vector<std::size_t> Run(const Dataset& dataset) const;
+  std::size_t Count(const Dataset& dataset) const;
+
+ private:
+  std::set<Family> families_;
+  std::optional<Protocol> protocol_;
+  std::optional<std::string> target_country_;
+  std::optional<net::IPv4Address> target_;
+  std::optional<std::uint32_t> botnet_id_;
+  std::optional<TimePoint> begin_;
+  std::optional<TimePoint> end_;
+  std::optional<std::int64_t> min_duration_s_;
+  std::optional<std::int64_t> max_duration_s_;
+  std::optional<std::uint32_t> min_magnitude_;
+};
+
+}  // namespace ddos::data
+
+#endif  // DDOSCOPE_DATA_QUERY_H_

@@ -1,0 +1,72 @@
+// The three record schemas of the dataset (Section II-A, Table I).
+//
+// The monitoring service exposes a Botlist schema (per-bot IP/BGP/GeoIP), a
+// Botnetlist schema (per-botnet metadata) and a DDoSattack schema (one row
+// per verified attack). The paper joins the three into a comprehensive
+// dataset; here they are plain value structs that `Dataset` owns and
+// indexes. `SnapshotRecord` captures the hourly reporting regime: each
+// botnet family is snapshotted every hour, and each snapshot lists the bots
+// active over the trailing 24 hours.
+#ifndef DDOSCOPE_DATA_RECORDS_H_
+#define DDOSCOPE_DATA_RECORDS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "data/taxonomy.h"
+#include "geo/coord.h"
+#include "net/ipv4.h"
+
+namespace ddos::data {
+
+// One verified DDoS attack (DDoSattack schema + joined GeoIP of the target).
+struct AttackRecord {
+  std::uint64_t ddos_id = 0;      // globally unique attack identifier
+  std::uint32_t botnet_id = 0;    // which botnet (generation) launched it
+  Family family = Family::kAldibot;
+  Protocol category = Protocol::kUnknown;
+  net::IPv4Address target_ip;
+  TimePoint start_time;           // Table I 'timestamp'
+  TimePoint end_time;
+  net::Asn asn;                   // AS of the target
+  std::string cc;                 // target country (ISO3166-1 alpha-2)
+  std::string city;               // target city
+  geo::Coordinate location;       // target latitude/longitude
+  std::string organization;       // target organization
+  // Number of distinct bot IPs observed participating: the paper's proxy
+  // for attack magnitude (Section III-B assumes no IP spoofing).
+  std::uint32_t magnitude = 0;
+
+  std::int64_t duration_seconds() const { return end_time - start_time; }
+};
+
+// One bot as listed in the Botlist schema.
+struct BotRecord {
+  net::IPv4Address ip;
+  Family family = Family::kAldibot;
+  std::uint32_t botnet_id = 0;
+  TimePoint first_seen;
+  TimePoint last_seen;
+};
+
+// One botnet (a generation of a family, keyed by malware hash upstream).
+struct BotnetRecord {
+  std::uint32_t botnet_id = 0;
+  Family family = Family::kAldibot;
+  net::IPv4Address controller_ip;  // C&C host used to control the botnet
+  TimePoint first_seen;
+  TimePoint last_seen;
+};
+
+// Hourly family snapshot: bots seen participating over the past 24 hours.
+struct SnapshotRecord {
+  TimePoint time;
+  Family family = Family::kAldibot;
+  std::vector<net::IPv4Address> bot_ips;
+};
+
+}  // namespace ddos::data
+
+#endif  // DDOSCOPE_DATA_RECORDS_H_

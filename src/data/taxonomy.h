@@ -1,0 +1,78 @@
+// Botnet family and attack-protocol taxonomy.
+//
+// The dataset tracks 23 botnet families of which 10 are active enough to be
+// characterized (Section III): Aldibot, Blackenergy, Colddeath, Darkshell,
+// Ddoser, Dirtjumper, Nitol, Optima, Pandora and YZF. The remaining minor
+// families appear in botnet/bot listings but contribute a negligible number
+// of attacks. Attack categories ("the nature of the attack", Table I) take
+// one of seven protocol values (Fig 1).
+#ifndef DDOSCOPE_DATA_TAXONOMY_H_
+#define DDOSCOPE_DATA_TAXONOMY_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace ddos::data {
+
+enum class Family : std::uint8_t {
+  // The 10 active families characterized throughout the paper.
+  kAldibot,
+  kBlackenergy,
+  kColddeath,
+  kDarkshell,
+  kDdoser,
+  kDirtjumper,
+  kNitol,
+  kOptima,
+  kPandora,
+  kYzf,
+  // Minor families: tracked in the botnet listings, near-zero attack volume.
+  kArmageddon,
+  kIllusion,
+  kInfinity,
+  kImddos,
+  kGumblar,
+  kZeus,
+  kKelihos,
+  kAsprox,
+  kFesti,
+  kWaledac,
+  kTorpig,
+  kRamnit,
+  kVirut,
+};
+
+inline constexpr int kFamilyCount = 23;
+inline constexpr int kActiveFamilyCount = 10;
+
+// The 10 active families, in the paper's (alphabetical) order.
+std::span<const Family> ActiveFamilies();
+// All 23 families.
+std::span<const Family> AllFamilies();
+
+std::string_view FamilyName(Family f);
+std::optional<Family> ParseFamily(std::string_view name);  // case-insensitive
+bool IsActive(Family f);
+
+enum class Protocol : std::uint8_t {
+  kHttp,
+  kTcp,
+  kUdp,
+  kIcmp,
+  kSyn,
+  kUndetermined,  // attack using multiple protocols
+  kUnknown,       // traffic of unknown type
+};
+
+inline constexpr int kProtocolCount = 7;
+
+std::span<const Protocol> AllProtocols();
+std::string_view ProtocolName(Protocol p);
+std::optional<Protocol> ParseProtocol(std::string_view name);
+
+}  // namespace ddos::data
+
+#endif  // DDOSCOPE_DATA_TAXONOMY_H_

@@ -1,0 +1,311 @@
+#include "geo/catalog.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace ddos::geo {
+
+namespace {
+
+// Shorthand to keep the table below readable.
+CitySpec City(const char* name, double lat, double lon, double w = 1.0) {
+  return CitySpec{name, Coordinate{lat, lon}, w};
+}
+
+std::vector<CountrySpec> BuildBuiltinCountries() {
+  std::vector<CountrySpec> c;
+  c.reserve(110);
+  // --- Countries central to the paper's tables (multi-city coverage). ---
+  c.push_back({"US", "United States", 95.0,
+               {City("New York", 40.71, -74.01, 3), City("Los Angeles", 34.05, -118.24, 2),
+                City("Chicago", 41.88, -87.63, 2), City("Dallas", 32.78, -96.80, 2),
+                City("Ashburn", 39.04, -77.49, 3), City("Seattle", 47.61, -122.33, 1.5),
+                City("Miami", 25.76, -80.19, 1.5), City("San Jose", 37.34, -121.89, 2)}});
+  c.push_back({"RU", "Russia", 60.0,
+               {City("Moscow", 55.76, 37.62, 4), City("Saint Petersburg", 59.93, 30.34, 2),
+                City("Novosibirsk", 55.01, 82.93, 1), City("Yekaterinburg", 56.84, 60.65, 1),
+                City("Kazan", 55.80, 49.11, 1), City("Rostov-on-Don", 47.24, 39.71, 1),
+                City("Murmansk", 68.97, 33.09, 0.4), City("Arkhangelsk", 64.54, 40.54, 0.4),
+                City("Norilsk", 69.35, 88.20, 0.25), City("Surgut", 61.25, 73.42, 0.4),
+                City("Omsk", 54.99, 73.37, 0.7), City("Krasnoyarsk", 56.01, 92.87, 0.7),
+                City("Irkutsk", 52.29, 104.28, 0.6), City("Yakutsk", 62.03, 129.73, 0.25),
+                City("Khabarovsk", 48.48, 135.08, 0.4), City("Vladivostok", 43.12, 131.89, 0.6),
+                City("Samara", 53.20, 50.15, 0.8), City("Perm", 58.01, 56.25, 0.7),
+                City("Volgograd", 48.71, 44.51, 0.6), City("Sochi", 43.60, 39.73, 0.4)}});
+  c.push_back({"DE", "Germany", 40.0,
+               {City("Berlin", 52.52, 13.40, 2), City("Frankfurt", 50.11, 8.68, 3),
+                City("Munich", 48.14, 11.58, 1.5), City("Hamburg", 53.55, 9.99, 1),
+                City("Dusseldorf", 51.23, 6.77, 1)}});
+  c.push_back({"UA", "Ukraine", 22.0,
+               {City("Kyiv", 50.45, 30.52, 3), City("Kharkiv", 49.99, 36.23, 1.5),
+                City("Odesa", 46.48, 30.73, 1), City("Dnipro", 48.47, 35.04, 1)}});
+  c.push_back({"NL", "Netherlands", 20.0,
+               {City("Amsterdam", 52.37, 4.90, 3), City("Rotterdam", 51.92, 4.48, 1),
+                City("The Hague", 52.08, 4.31, 1)}});
+  c.push_back({"CN", "China", 85.0,
+               {City("Beijing", 39.90, 116.41, 3), City("Shanghai", 31.23, 121.47, 3),
+                City("Guangzhou", 23.13, 113.26, 2), City("Shenzhen", 22.54, 114.06, 2),
+                City("Chengdu", 30.57, 104.07, 1), City("Hangzhou", 30.27, 120.16, 1.5),
+                City("Harbin", 45.80, 126.53, 0.8), City("Urumqi", 43.83, 87.62, 0.5),
+                City("Kunming", 25.04, 102.72, 0.7), City("Xian", 34.34, 108.94, 0.9),
+                City("Shenyang", 41.81, 123.43, 0.8), City("Lanzhou", 36.06, 103.83, 0.5)}});
+  c.push_back({"IN", "India", 55.0,
+               {City("Mumbai", 19.08, 72.88, 3), City("New Delhi", 28.61, 77.21, 2.5),
+                City("Bangalore", 12.97, 77.59, 2), City("Chennai", 13.08, 80.27, 1.5),
+                City("Hyderabad", 17.39, 78.49, 1)}});
+  c.push_back({"KR", "South Korea", 28.0,
+               {City("Seoul", 37.57, 126.98, 4), City("Busan", 35.18, 129.08, 1.5),
+                City("Incheon", 37.46, 126.71, 1)}});
+  c.push_back({"HK", "Hong Kong", 12.0, {City("Hong Kong", 22.32, 114.17, 1)}});
+  c.push_back({"JP", "Japan", 38.0,
+               {City("Tokyo", 35.68, 139.69, 4), City("Osaka", 34.69, 135.50, 2),
+                City("Nagoya", 35.18, 136.91, 1)}});
+  c.push_back({"MX", "Mexico", 20.0,
+               {City("Mexico City", 19.43, -99.13, 3), City("Guadalajara", 20.66, -103.35, 1.5),
+                City("Monterrey", 25.69, -100.32, 1)}});
+  c.push_back({"VE", "Venezuela", 9.0,
+               {City("Caracas", 10.48, -66.90, 2), City("Maracaibo", 10.65, -71.61, 1)}});
+  c.push_back({"UY", "Uruguay", 4.0, {City("Montevideo", -34.90, -56.19, 1)}});
+  c.push_back({"CL", "Chile", 8.0,
+               {City("Santiago", -33.45, -70.67, 2), City("Valparaiso", -33.05, -71.61, 1)}});
+  c.push_back({"CA", "Canada", 24.0,
+               {City("Toronto", 43.65, -79.38, 2.5), City("Montreal", 45.50, -73.57, 1.5),
+                City("Vancouver", 49.28, -123.12, 1.5)}});
+  c.push_back({"GB", "United Kingdom", 34.0,
+               {City("London", 51.51, -0.13, 4), City("Manchester", 53.48, -2.24, 1.5),
+                City("Edinburgh", 55.95, -3.19, 1)}});
+  c.push_back({"FR", "France", 30.0,
+               {City("Paris", 48.86, 2.35, 3), City("Lyon", 45.76, 4.84, 1),
+                City("Marseille", 43.30, 5.37, 1), City("Roubaix", 50.69, 3.17, 1.5)}});
+  c.push_back({"ES", "Spain", 20.0,
+               {City("Madrid", 40.42, -3.70, 2.5), City("Barcelona", 41.39, 2.17, 2)}});
+  c.push_back({"SG", "Singapore", 11.0, {City("Singapore", 1.35, 103.82, 1)}});
+  c.push_back({"PK", "Pakistan", 14.0,
+               {City("Karachi", 24.86, 67.00, 2), City("Lahore", 31.55, 74.34, 1.5),
+                City("Islamabad", 33.68, 73.05, 1)}});
+  c.push_back({"BW", "Botswana", 1.2, {City("Gaborone", -24.65, 25.91, 1)}});
+  c.push_back({"TH", "Thailand", 13.0,
+               {City("Bangkok", 13.76, 100.50, 3), City("Chiang Mai", 18.79, 98.98, 1)}});
+  c.push_back({"ID", "Indonesia", 18.0,
+               {City("Jakarta", -6.21, 106.85, 3), City("Surabaya", -7.26, 112.75, 1)}});
+  c.push_back({"KG", "Kyrgyzstan", 1.5, {City("Bishkek", 42.87, 74.59, 1)}});
+
+  // --- Broad attacker-side coverage (capitals / main hubs). ---
+  c.push_back({"BR", "Brazil", 30.0,
+               {City("Sao Paulo", -23.55, -46.63, 3), City("Rio de Janeiro", -22.91, -43.17, 1.5),
+                City("Brasilia", -15.79, -47.88, 1)}});
+  c.push_back({"AR", "Argentina", 10.0, {City("Buenos Aires", -34.60, -58.38, 1)}});
+  c.push_back({"CO", "Colombia", 8.0, {City("Bogota", 4.71, -74.07, 1)}});
+  c.push_back({"PE", "Peru", 5.0, {City("Lima", -12.05, -77.04, 1)}});
+  c.push_back({"EC", "Ecuador", 3.0, {City("Quito", -0.18, -78.47, 1)}});
+  c.push_back({"BO", "Bolivia", 2.0, {City("La Paz", -16.49, -68.12, 1)}});
+  c.push_back({"PY", "Paraguay", 1.6, {City("Asuncion", -25.26, -57.58, 1)}});
+  c.push_back({"CR", "Costa Rica", 1.6, {City("San Jose CR", 9.93, -84.08, 1)}});
+  c.push_back({"PA", "Panama", 1.5, {City("Panama City", 8.98, -79.52, 1)}});
+  c.push_back({"GT", "Guatemala", 1.8, {City("Guatemala City", 14.63, -90.51, 1)}});
+  c.push_back({"DO", "Dominican Republic", 1.7, {City("Santo Domingo", 18.49, -69.93, 1)}});
+  c.push_back({"CU", "Cuba", 1.2, {City("Havana", 23.11, -82.37, 1)}});
+  c.push_back({"IT", "Italy", 22.0,
+               {City("Rome", 41.90, 12.50, 2), City("Milan", 45.46, 9.19, 2)}});
+  c.push_back({"PL", "Poland", 16.0,
+               {City("Warsaw", 52.23, 21.01, 2), City("Krakow", 50.06, 19.94, 1)}});
+  c.push_back({"RO", "Romania", 10.0, {City("Bucharest", 44.43, 26.10, 1)}});
+  c.push_back({"CZ", "Czechia", 8.0, {City("Prague", 50.08, 14.44, 1)}});
+  c.push_back({"SK", "Slovakia", 3.5, {City("Bratislava", 48.15, 17.11, 1)}});
+  c.push_back({"HU", "Hungary", 6.0, {City("Budapest", 47.50, 19.04, 1)}});
+  c.push_back({"AT", "Austria", 6.5, {City("Vienna", 48.21, 16.37, 1)}});
+  c.push_back({"CH", "Switzerland", 8.0, {City("Zurich", 47.37, 8.54, 1)}});
+  c.push_back({"BE", "Belgium", 7.0, {City("Brussels", 50.85, 4.35, 1)}});
+  c.push_back({"LU", "Luxembourg", 1.4, {City("Luxembourg", 49.61, 6.13, 1)}});
+  c.push_back({"SE", "Sweden", 8.5, {City("Stockholm", 59.33, 18.07, 1)}});
+  c.push_back({"NO", "Norway", 5.5, {City("Oslo", 59.91, 10.75, 1)}});
+  c.push_back({"FI", "Finland", 5.0, {City("Helsinki", 60.17, 24.94, 1)}});
+  c.push_back({"DK", "Denmark", 5.0, {City("Copenhagen", 55.68, 12.57, 1)}});
+  c.push_back({"IE", "Ireland", 4.0, {City("Dublin", 53.35, -6.26, 1)}});
+  c.push_back({"PT", "Portugal", 5.5, {City("Lisbon", 38.72, -9.14, 1)}});
+  c.push_back({"GR", "Greece", 5.0, {City("Athens", 37.98, 23.73, 1)}});
+  c.push_back({"BG", "Bulgaria", 4.5, {City("Sofia", 42.70, 23.32, 1)}});
+  c.push_back({"RS", "Serbia", 3.5, {City("Belgrade", 44.79, 20.45, 1)}});
+  c.push_back({"HR", "Croatia", 2.5, {City("Zagreb", 45.81, 15.98, 1)}});
+  c.push_back({"SI", "Slovenia", 1.6, {City("Ljubljana", 46.06, 14.51, 1)}});
+  c.push_back({"BA", "Bosnia and Herzegovina", 1.5, {City("Sarajevo", 43.86, 18.41, 1)}});
+  c.push_back({"MK", "North Macedonia", 1.2, {City("Skopje", 41.99, 21.43, 1)}});
+  c.push_back({"AL", "Albania", 1.2, {City("Tirana", 41.33, 19.82, 1)}});
+  c.push_back({"LT", "Lithuania", 2.0, {City("Vilnius", 54.69, 25.28, 1)}});
+  c.push_back({"LV", "Latvia", 1.8, {City("Riga", 56.95, 24.11, 1)}});
+  c.push_back({"EE", "Estonia", 1.5, {City("Tallinn", 59.44, 24.75, 1)}});
+  c.push_back({"BY", "Belarus", 5.0, {City("Minsk", 53.90, 27.57, 1)}});
+  c.push_back({"MD", "Moldova", 1.8, {City("Chisinau", 47.01, 28.86, 1)}});
+  c.push_back({"TR", "Turkey", 20.0,
+               {City("Istanbul", 41.01, 28.98, 2.5), City("Ankara", 39.93, 32.86, 1)}});
+  c.push_back({"IL", "Israel", 6.0, {City("Tel Aviv", 32.09, 34.78, 1)}});
+  c.push_back({"SA", "Saudi Arabia", 8.0, {City("Riyadh", 24.71, 46.68, 1)}});
+  c.push_back({"AE", "United Arab Emirates", 6.0, {City("Dubai", 25.20, 55.27, 1)}});
+  c.push_back({"QA", "Qatar", 1.6, {City("Doha", 25.29, 51.53, 1)}});
+  c.push_back({"KW", "Kuwait", 1.8, {City("Kuwait City", 29.38, 47.99, 1)}});
+  c.push_back({"JO", "Jordan", 1.8, {City("Amman", 31.95, 35.93, 1)}});
+  c.push_back({"LB", "Lebanon", 1.6, {City("Beirut", 33.89, 35.50, 1)}});
+  c.push_back({"IQ", "Iraq", 3.0, {City("Baghdad", 33.31, 44.37, 1)}});
+  c.push_back({"IR", "Iran", 10.0, {City("Tehran", 35.69, 51.39, 1)}});
+  c.push_back({"EG", "Egypt", 10.0, {City("Cairo", 30.04, 31.24, 1)}});
+  c.push_back({"MA", "Morocco", 5.0, {City("Casablanca", 33.57, -7.59, 1)}});
+  c.push_back({"DZ", "Algeria", 4.5, {City("Algiers", 36.74, 3.09, 1)}});
+  c.push_back({"TN", "Tunisia", 2.5, {City("Tunis", 36.81, 10.18, 1)}});
+  c.push_back({"LY", "Libya", 1.5, {City("Tripoli", 32.89, 13.19, 1)}});
+  c.push_back({"NG", "Nigeria", 6.0, {City("Lagos", 6.52, 3.38, 1)}});
+  c.push_back({"GH", "Ghana", 1.8, {City("Accra", 5.60, -0.19, 1)}});
+  c.push_back({"KE", "Kenya", 2.5, {City("Nairobi", -1.29, 36.82, 1)}});
+  c.push_back({"TZ", "Tanzania", 1.6, {City("Dar es Salaam", -6.79, 39.21, 1)}});
+  c.push_back({"ET", "Ethiopia", 1.5, {City("Addis Ababa", 9.01, 38.75, 1)}});
+  c.push_back({"ZA", "South Africa", 7.0,
+               {City("Johannesburg", -26.20, 28.05, 2), City("Cape Town", -33.92, 18.42, 1)}});
+  c.push_back({"ZW", "Zimbabwe", 1.0, {City("Harare", -17.83, 31.05, 1)}});
+  c.push_back({"ZM", "Zambia", 1.0, {City("Lusaka", -15.39, 28.32, 1)}});
+  c.push_back({"MZ", "Mozambique", 1.0, {City("Maputo", -25.97, 32.57, 1)}});
+  c.push_back({"NA", "Namibia", 0.8, {City("Windhoek", -22.56, 17.07, 1)}});
+  c.push_back({"SN", "Senegal", 1.0, {City("Dakar", 14.72, -17.47, 1)}});
+  c.push_back({"CI", "Ivory Coast", 1.0, {City("Abidjan", 5.36, -4.01, 1)}});
+  c.push_back({"CM", "Cameroon", 1.0, {City("Douala", 4.05, 9.70, 1)}});
+  c.push_back({"UG", "Uganda", 1.0, {City("Kampala", 0.35, 32.58, 1)}});
+  c.push_back({"KZ", "Kazakhstan", 5.0, {City("Almaty", 43.22, 76.85, 1)}});
+  c.push_back({"UZ", "Uzbekistan", 3.0, {City("Tashkent", 41.30, 69.24, 1)}});
+  c.push_back({"TM", "Turkmenistan", 1.0, {City("Ashgabat", 37.96, 58.33, 1)}});
+  c.push_back({"TJ", "Tajikistan", 1.0, {City("Dushanbe", 38.56, 68.77, 1)}});
+  c.push_back({"AM", "Armenia", 1.4, {City("Yerevan", 40.18, 44.51, 1)}});
+  c.push_back({"AZ", "Azerbaijan", 2.0, {City("Baku", 40.41, 49.87, 1)}});
+  c.push_back({"GE", "Georgia", 1.6, {City("Tbilisi", 41.72, 44.83, 1)}});
+  c.push_back({"MN", "Mongolia", 1.0, {City("Ulaanbaatar", 47.89, 106.91, 1)}});
+  c.push_back({"VN", "Vietnam", 14.0,
+               {City("Hanoi", 21.03, 105.85, 2), City("Ho Chi Minh City", 10.82, 106.63, 2)}});
+  c.push_back({"PH", "Philippines", 10.0, {City("Manila", 14.60, 120.98, 1)}});
+  c.push_back({"MY", "Malaysia", 9.0, {City("Kuala Lumpur", 3.14, 101.69, 1)}});
+  c.push_back({"TW", "Taiwan", 12.0, {City("Taipei", 25.03, 121.57, 1)}});
+  c.push_back({"BD", "Bangladesh", 4.0, {City("Dhaka", 23.81, 90.41, 1)}});
+  c.push_back({"LK", "Sri Lanka", 1.8, {City("Colombo", 6.93, 79.85, 1)}});
+  c.push_back({"NP", "Nepal", 1.2, {City("Kathmandu", 27.72, 85.32, 1)}});
+  c.push_back({"MM", "Myanmar", 1.5, {City("Yangon", 16.87, 96.20, 1)}});
+  c.push_back({"KH", "Cambodia", 1.2, {City("Phnom Penh", 11.56, 104.92, 1)}});
+  c.push_back({"LA", "Laos", 0.8, {City("Vientiane", 17.98, 102.63, 1)}});
+  c.push_back({"AU", "Australia", 14.0,
+               {City("Sydney", -33.87, 151.21, 2), City("Melbourne", -37.81, 144.96, 1.5)}});
+  c.push_back({"NZ", "New Zealand", 3.0, {City("Auckland", -36.85, 174.76, 1)}});
+  // --- Long tail: small Internet footprints, present so the Botlist can
+  // span close to the paper's 186 attacker countries. ---
+  c.push_back({"AF", "Afghanistan", 0.8, {City("Kabul", 34.56, 69.21, 1)}});
+  c.push_back({"AO", "Angola", 0.9, {City("Luanda", -8.84, 13.23, 1)}});
+  c.push_back({"BF", "Burkina Faso", 0.5, {City("Ouagadougou", 12.37, -1.52, 1)}});
+  c.push_back({"BI", "Burundi", 0.4, {City("Bujumbura", -3.38, 29.36, 1)}});
+  c.push_back({"BJ", "Benin", 0.5, {City("Cotonou", 6.37, 2.39, 1)}});
+  c.push_back({"BS", "Bahamas", 0.5, {City("Nassau", 25.04, -77.35, 1)}});
+  c.push_back({"BT", "Bhutan", 0.4, {City("Thimphu", 27.47, 89.64, 1)}});
+  c.push_back({"BZ", "Belize", 0.4, {City("Belmopan", 17.25, -88.77, 1)}});
+  c.push_back({"CD", "DR Congo", 0.8, {City("Kinshasa", -4.44, 15.27, 1)}});
+  c.push_back({"CF", "Central African Republic", 0.3, {City("Bangui", 4.39, 18.56, 1)}});
+  c.push_back({"CG", "Congo", 0.4, {City("Brazzaville", -4.26, 15.24, 1)}});
+  c.push_back({"CV", "Cape Verde", 0.3, {City("Praia", 14.93, -23.51, 1)}});
+  c.push_back({"CY", "Cyprus", 1.0, {City("Nicosia", 35.19, 33.38, 1)}});
+  c.push_back({"DJ", "Djibouti", 0.3, {City("Djibouti", 11.59, 43.15, 1)}});
+  c.push_back({"ER", "Eritrea", 0.3, {City("Asmara", 15.34, 38.93, 1)}});
+  c.push_back({"FJ", "Fiji", 0.4, {City("Suva", -18.14, 178.44, 1)}});
+  c.push_back({"GA", "Gabon", 0.4, {City("Libreville", 0.42, 9.47, 1)}});
+  c.push_back({"GM", "Gambia", 0.3, {City("Banjul", 13.45, -16.58, 1)}});
+  c.push_back({"GN", "Guinea", 0.4, {City("Conakry", 9.64, -13.58, 1)}});
+  c.push_back({"GQ", "Equatorial Guinea", 0.3, {City("Malabo", 3.75, 8.78, 1)}});
+  c.push_back({"GW", "Guinea-Bissau", 0.3, {City("Bissau", 11.86, -15.60, 1)}});
+  c.push_back({"GY", "Guyana", 0.4, {City("Georgetown", 6.80, -58.16, 1)}});
+  c.push_back({"HN", "Honduras", 0.8, {City("Tegucigalpa", 14.07, -87.19, 1)}});
+  c.push_back({"HT", "Haiti", 0.5, {City("Port-au-Prince", 18.59, -72.31, 1)}});
+  c.push_back({"IS", "Iceland", 0.8, {City("Reykjavik", 64.15, -21.94, 1)}});
+  c.push_back({"JM", "Jamaica", 0.7, {City("Kingston", 17.97, -76.79, 1)}});
+  c.push_back({"KM", "Comoros", 0.3, {City("Moroni", -11.70, 43.26, 1)}});
+  c.push_back({"LR", "Liberia", 0.3, {City("Monrovia", 6.30, -10.80, 1)}});
+  c.push_back({"LS", "Lesotho", 0.3, {City("Maseru", -29.32, 27.48, 1)}});
+  c.push_back({"MG", "Madagascar", 0.6, {City("Antananarivo", -18.88, 47.51, 1)}});
+  c.push_back({"ML", "Mali", 0.4, {City("Bamako", 12.64, -8.00, 1)}});
+  c.push_back({"MR", "Mauritania", 0.3, {City("Nouakchott", 18.08, -15.98, 1)}});
+  c.push_back({"MT", "Malta", 0.7, {City("Valletta", 35.90, 14.51, 1)}});
+  c.push_back({"MU", "Mauritius", 0.6, {City("Port Louis", -20.16, 57.50, 1)}});
+  c.push_back({"MV", "Maldives", 0.4, {City("Male", 4.18, 73.51, 1)}});
+  c.push_back({"MW", "Malawi", 0.4, {City("Lilongwe", -13.96, 33.79, 1)}});
+  c.push_back({"NE", "Niger", 0.3, {City("Niamey", 13.51, 2.11, 1)}});
+  c.push_back({"NI", "Nicaragua", 0.6, {City("Managua", 12.11, -86.24, 1)}});
+  c.push_back({"OM", "Oman", 1.2, {City("Muscat", 23.59, 58.41, 1)}});
+  c.push_back({"PG", "Papua New Guinea", 0.4, {City("Port Moresby", -9.44, 147.18, 1)}});
+  c.push_back({"RW", "Rwanda", 0.5, {City("Kigali", -1.94, 30.06, 1)}});
+  c.push_back({"SB", "Solomon Islands", 0.3, {City("Honiara", -9.43, 159.95, 1)}});
+  c.push_back({"SC", "Seychelles", 0.3, {City("Victoria", -4.62, 55.45, 1)}});
+  c.push_back({"SD", "Sudan", 0.8, {City("Khartoum", 15.50, 32.56, 1)}});
+  c.push_back({"SL", "Sierra Leone", 0.3, {City("Freetown", 8.47, -13.23, 1)}});
+  c.push_back({"SO", "Somalia", 0.3, {City("Mogadishu", 2.05, 45.32, 1)}});
+  c.push_back({"SR", "Suriname", 0.3, {City("Paramaribo", 5.85, -55.20, 1)}});
+  c.push_back({"SV", "El Salvador", 0.7, {City("San Salvador", 13.69, -89.22, 1)}});
+  c.push_back({"SY", "Syria", 0.8, {City("Damascus", 33.51, 36.29, 1)}});
+  c.push_back({"TD", "Chad", 0.3, {City("N'Djamena", 12.13, 15.06, 1)}});
+  c.push_back({"TG", "Togo", 0.4, {City("Lome", 6.13, 1.22, 1)}});
+  c.push_back({"TT", "Trinidad and Tobago", 0.6, {City("Port of Spain", 10.65, -61.51, 1)}});
+  c.push_back({"YE", "Yemen", 0.6, {City("Sanaa", 15.37, 44.19, 1)}});
+  c.push_back({"ME", "Montenegro", 0.5, {City("Podgorica", 42.43, 19.26, 1)}});
+  return c;
+}
+
+}  // namespace
+
+WorldCatalog::WorldCatalog(std::vector<CountrySpec> countries)
+    : countries_(std::move(countries)) {
+  if (countries_.empty()) {
+    throw std::invalid_argument("WorldCatalog: empty country list");
+  }
+  for (const auto& country : countries_) {
+    if (country.cities.empty()) {
+      throw std::invalid_argument("WorldCatalog: country without cities: " +
+                                  country.code);
+    }
+    if (country.weight <= 0.0) {
+      throw std::invalid_argument("WorldCatalog: non-positive weight: " +
+                                  country.code);
+    }
+    total_weight_ += country.weight;
+  }
+}
+
+const WorldCatalog& WorldCatalog::Builtin() {
+  static const WorldCatalog catalog(BuildBuiltinCountries());
+  return catalog;
+}
+
+std::optional<std::size_t> WorldCatalog::IndexOf(std::string_view code) const {
+  for (std::size_t i = 0; i < countries_.size(); ++i) {
+    if (countries_[i].code == code) return i;
+  }
+  return std::nullopt;
+}
+
+std::string_view OrgKindName(OrgKind kind) {
+  switch (kind) {
+    case OrgKind::kWebHosting:
+      return "WebHosting";
+    case OrgKind::kCloudProvider:
+      return "CloudProvider";
+    case OrgKind::kDataCenter:
+      return "DataCenter";
+    case OrgKind::kDomainRegistrar:
+      return "DomainRegistrar";
+    case OrgKind::kBackbone:
+      return "Backbone";
+    case OrgKind::kEnterprise:
+      return "Enterprise";
+    case OrgKind::kResidentialIsp:
+      return "ResidentialISP";
+  }
+  return "Unknown";
+}
+
+std::string MakeOrgName(std::string_view country_code, OrgKind kind, int ordinal) {
+  return StrFormat("%.*s-%.*s-%02d", static_cast<int>(country_code.size()),
+                   country_code.data(), static_cast<int>(OrgKindName(kind).size()),
+                   OrgKindName(kind).data(), ordinal);
+}
+
+}  // namespace ddos::geo

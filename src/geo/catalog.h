@@ -1,0 +1,83 @@
+// Built-in world catalog: countries, representative cities, and synthetic
+// organization naming.
+//
+// This replaces the commercial Digital Envoy / Digital Element geolocation
+// product used by the paper (Section II-C). The analyses only require a
+// stable universe of (country, city, coordinates, organization) values with
+// realistic relative sizes, so a curated static catalog is sufficient.
+// Coordinates are approximate city centers; weights encode a coarse notion
+// of a country's Internet footprint and drive how much IPv4 space the
+// synthetic GeoDatabase allocates there.
+#ifndef DDOSCOPE_GEO_CATALOG_H_
+#define DDOSCOPE_GEO_CATALOG_H_
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/coord.h"
+
+namespace ddos::geo {
+
+struct CitySpec {
+  std::string name;
+  Coordinate location;
+  double weight = 1.0;  // relative share of the country's address space
+};
+
+struct CountrySpec {
+  std::string code;  // ISO3166-1 alpha-2, e.g. "US"
+  std::string name;
+  double weight = 1.0;  // relative share of global address space
+  std::vector<CitySpec> cities;
+};
+
+// The immutable built-in catalog. Cheap to copy around by const reference;
+// construct once (it builds its index on construction).
+class WorldCatalog {
+ public:
+  // The full built-in data set (~100 countries, paper-relevant countries all
+  // present with multiple cities).
+  static const WorldCatalog& Builtin();
+
+  explicit WorldCatalog(std::vector<CountrySpec> countries);
+
+  std::span<const CountrySpec> countries() const { return countries_; }
+  std::size_t size() const { return countries_.size(); }
+
+  // Index of a country by ISO code, if present.
+  std::optional<std::size_t> IndexOf(std::string_view code) const;
+  const CountrySpec& at(std::size_t index) const { return countries_[index]; }
+
+  // Total of all country weights (for proportional allocation).
+  double total_weight() const { return total_weight_; }
+
+ private:
+  std::vector<CountrySpec> countries_;
+  double total_weight_ = 0.0;
+};
+
+// Categories of organizations the paper observes as targets (Section IV-B2:
+// "web hosting services, large-scale cloud providers and data centers,
+// Internet domain registers and backbone autonomous systems").
+enum class OrgKind {
+  kWebHosting,
+  kCloudProvider,
+  kDataCenter,
+  kDomainRegistrar,
+  kBackbone,
+  kEnterprise,
+  kResidentialIsp,
+};
+
+std::string_view OrgKindName(OrgKind kind);
+
+// Deterministic synthetic organization name, e.g. "US-CloudProvider-07".
+std::string MakeOrgName(std::string_view country_code, OrgKind kind, int ordinal);
+
+}  // namespace ddos::geo
+
+#endif  // DDOSCOPE_GEO_CATALOG_H_

@@ -1,0 +1,25 @@
+// Geographic coordinates.
+#ifndef DDOSCOPE_GEO_COORD_H_
+#define DDOSCOPE_GEO_COORD_H_
+
+#include <compare>
+
+namespace ddos::geo {
+
+// A WGS84-style latitude/longitude pair in decimal degrees.
+// Latitude in [-90, 90], longitude in [-180, 180).
+struct Coordinate {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  auto operator<=>(const Coordinate&) const = default;
+};
+
+inline bool IsValid(const Coordinate& c) {
+  return c.lat_deg >= -90.0 && c.lat_deg <= 90.0 && c.lon_deg >= -180.0 &&
+         c.lon_deg < 180.0;
+}
+
+}  // namespace ddos::geo
+
+#endif  // DDOSCOPE_GEO_COORD_H_

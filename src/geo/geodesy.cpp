@@ -1,0 +1,85 @@
+#include "geo/geodesy.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ddos::geo {
+
+namespace {
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+constexpr double kRadToDeg = 180.0 / std::numbers::pi;
+}  // namespace
+
+double HaversineKm(const Coordinate& a, const Coordinate& b) {
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+Coordinate GeoCenter(std::span<const Coordinate> points) {
+  if (points.empty()) {
+    throw std::invalid_argument("GeoCenter: empty point set");
+  }
+  double x = 0.0, y = 0.0, z = 0.0;
+  for (const Coordinate& p : points) {
+    const double lat = p.lat_deg * kDegToRad;
+    const double lon = p.lon_deg * kDegToRad;
+    x += std::cos(lat) * std::cos(lon);
+    y += std::cos(lat) * std::sin(lon);
+    z += std::sin(lat);
+  }
+  const double n = static_cast<double>(points.size());
+  x /= n;
+  y /= n;
+  z /= n;
+  const double norm = std::sqrt(x * x + y * y + z * z);
+  if (norm < 1e-12) return points.front();  // antipodal degeneracy
+  const double lat = std::asin(z / norm);
+  const double lon = std::atan2(y, x);
+  return Coordinate{lat * kRadToDeg, lon * kRadToDeg};
+}
+
+double SignedDistanceKm(const Coordinate& p, const Coordinate& center) {
+  const double d = HaversineKm(p, center);
+  if (d == 0.0) return 0.0;
+  // Longitude difference wrapped into (-180, 180]; ties broken by latitude.
+  double dlon = p.lon_deg - center.lon_deg;
+  while (dlon > 180.0) dlon -= 360.0;
+  while (dlon <= -180.0) dlon += 360.0;
+  if (dlon > 0.0) return d;
+  if (dlon < 0.0) return -d;
+  return p.lat_deg >= center.lat_deg ? d : -d;
+}
+
+double EastWestComponentKm(const Coordinate& p, const Coordinate& center) {
+  const double d = HaversineKm(p, Coordinate{p.lat_deg, center.lon_deg});
+  double dlon = p.lon_deg - center.lon_deg;
+  while (dlon > 180.0) dlon -= 360.0;
+  while (dlon <= -180.0) dlon += 360.0;
+  return dlon >= 0.0 ? d : -d;
+}
+
+Dispersion ComputeDispersion(std::span<const Coordinate> points) {
+  const Coordinate center = GeoCenter(points);
+  double signed_sum = 0.0;
+  double unsigned_sum = 0.0;
+  for (const Coordinate& p : points) {
+    const double d = SignedDistanceKm(p, center);
+    signed_sum += d;
+    unsigned_sum += std::abs(d);
+  }
+  Dispersion out;
+  out.center = center;
+  out.signed_sum_km = signed_sum;
+  out.value_km = std::abs(signed_sum);
+  out.mean_distance_km = unsigned_sum / static_cast<double>(points.size());
+  return out;
+}
+
+}  // namespace ddos::geo

@@ -1,0 +1,61 @@
+// Spherical-earth geodesy: Haversine distance, geographic center, and the
+// paper's signed-distance dispersion metric.
+//
+// Section IV-A of the paper characterizes attack sources per snapshot by
+// (1) finding "the geological center point" of the participating bots,
+// (2) computing each bot's distance to that center with a direction sign
+//     ("positive indicates east or north, and negative indicates west and
+//     south"), and
+// (3) taking the absolute value of the sum; zero means the bots are
+//     geographically symmetric around their center.
+//
+// The sign convention the paper leaves implicit is fixed here as: a point is
+// positive if it lies east of the center, or due north on the same meridian;
+// negative otherwise. Under this rule any point set that is mirror-symmetric
+// in longitude about the center sums to zero, which is exactly the property
+// the paper exploits (Figs 9-11).
+#ifndef DDOSCOPE_GEO_GEODESY_H_
+#define DDOSCOPE_GEO_GEODESY_H_
+
+#include <span>
+
+#include "geo/coord.h"
+
+namespace ddos::geo {
+
+inline constexpr double kEarthRadiusKm = 6371.0088;  // IUGG mean radius
+
+// Great-circle distance in kilometres (Haversine formula).
+double HaversineKm(const Coordinate& a, const Coordinate& b);
+
+// Geographic center of a set of points: the normalized mean of their 3-D
+// unit vectors, projected back to lat/lon. Requires a non-empty span; for a
+// degenerate mean (antipodal cancellation) returns the first point.
+Coordinate GeoCenter(std::span<const Coordinate> points);
+
+// Haversine distance from `p` to `center`, signed by direction (see header
+// comment). Returns 0 for coincident points.
+double SignedDistanceKm(const Coordinate& p, const Coordinate& center);
+
+// East-west component: the signed great-circle distance from `p` to the
+// point at p's latitude on center's meridian (positive east). For a point
+// set whose center is the geographic centroid, the east-west components
+// nearly cancel, so the dispersion metric below is driven by the residual
+// SignedDistanceKm - EastWestComponentKm (how much latitude spread each
+// side of the meridian carries).
+double EastWestComponentKm(const Coordinate& p, const Coordinate& center);
+
+// Summary of one snapshot's source-location dispersion (Section IV-A).
+struct Dispersion {
+  Coordinate center;       // geographic center of the points
+  double signed_sum_km;    // sum of signed distances (can be negative)
+  double value_km;         // |signed_sum_km| - the paper's dispersion value
+  double mean_distance_km; // mean unsigned distance to center
+};
+
+// Computes the dispersion of a non-empty point set.
+Dispersion ComputeDispersion(std::span<const Coordinate> points);
+
+}  // namespace ddos::geo
+
+#endif  // DDOSCOPE_GEO_GEODESY_H_

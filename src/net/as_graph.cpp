@@ -1,0 +1,181 @@
+#include "net/as_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace ddos::net {
+
+namespace {
+
+AsTier TierFor(geo::OrgKind kind) {
+  switch (kind) {
+    case geo::OrgKind::kBackbone:
+      return AsTier::kBackbone;
+    case geo::OrgKind::kWebHosting:
+    case geo::OrgKind::kCloudProvider:
+    case geo::OrgKind::kDataCenter:
+    case geo::OrgKind::kDomainRegistrar:
+      return AsTier::kTransit;
+    case geo::OrgKind::kEnterprise:
+    case geo::OrgKind::kResidentialIsp:
+      return AsTier::kEdge;
+  }
+  return AsTier::kEdge;
+}
+
+}  // namespace
+
+AsGraph AsGraph::Build(const geo::GeoDatabase& db, std::uint64_t seed) {
+  AsGraph graph;
+  Rng rng(seed ^ 0xa5a5ull);
+
+  // Enumerate one AS per allocated /16 block, via the per-country listings.
+  std::vector<std::size_t> backbone, transit, edge;
+  std::unordered_map<std::string, std::vector<std::size_t>> transit_by_country;
+  for (const geo::CountrySpec& country : db.catalog().countries()) {
+    for (const Subnet& block : db.BlocksForCountry(country.code)) {
+      const geo::GeoRecord rec =
+          db.Lookup(IPv4Address(block.network().bits() | 1));
+      AsNode node;
+      node.asn = rec.asn;
+      node.tier = TierFor(rec.org_kind);
+      node.country = std::string(rec.country_code);
+      node.organization = std::string(rec.organization);
+      const std::size_t idx = graph.nodes_.size();
+      graph.index_.emplace(node.asn.value(), idx);
+      switch (node.tier) {
+        case AsTier::kBackbone:
+          backbone.push_back(idx);
+          break;
+        case AsTier::kTransit:
+          transit.push_back(idx);
+          transit_by_country[node.country].push_back(idx);
+          break;
+        case AsTier::kEdge:
+          edge.push_back(idx);
+          break;
+      }
+      graph.nodes_.push_back(std::move(node));
+    }
+  }
+  if (backbone.empty()) {
+    // Degenerate catalogs (tiny test configs): promote the first transit or
+    // edge AS so every chain terminates.
+    std::vector<std::size_t>& donor = !transit.empty() ? transit : edge;
+    if (donor.empty()) {
+      throw std::invalid_argument("AsGraph: no allocated blocks");
+    }
+    graph.nodes_[donor.front()].tier = AsTier::kBackbone;
+    backbone.push_back(donor.front());
+    donor.erase(donor.begin());
+  }
+
+  auto pick = [&](const std::vector<std::size_t>& pool) {
+    return pool[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(pool.size()) - 1))];
+  };
+
+  // Tier 2: customers of 2..4 backbone providers.
+  for (const std::size_t idx : transit) {
+    AsNode& node = graph.nodes_[idx];
+    const int fanout = static_cast<int>(rng.UniformInt(
+        2, std::min<std::int64_t>(4, static_cast<std::int64_t>(backbone.size()))));
+    while (static_cast<int>(node.providers.size()) < fanout) {
+      const Asn provider = graph.nodes_[pick(backbone)].asn;
+      if (std::find(node.providers.begin(), node.providers.end(), provider) ==
+          node.providers.end()) {
+        node.providers.push_back(provider);
+      }
+    }
+    node.primary_provider = node.providers.front();
+  }
+
+  // Tier 3: customers of 1..3 transit providers, same country preferred;
+  // countries without local transit fall back to the global pool (or to a
+  // backbone directly when there is no transit at all).
+  for (const std::size_t idx : edge) {
+    AsNode& node = graph.nodes_[idx];
+    const std::vector<std::size_t>* pool = &transit;
+    const auto it = transit_by_country.find(node.country);
+    if (it != transit_by_country.end() && !it->second.empty()) {
+      pool = &it->second;
+    }
+    if (pool->empty()) pool = &backbone;
+    const int fanout = static_cast<int>(rng.UniformInt(
+        1, std::min<std::int64_t>(3, static_cast<std::int64_t>(pool->size()))));
+    while (static_cast<int>(node.providers.size()) < fanout) {
+      const Asn provider = graph.nodes_[pick(*pool)].asn;
+      if (std::find(node.providers.begin(), node.providers.end(), provider) ==
+          node.providers.end()) {
+        node.providers.push_back(provider);
+      }
+    }
+    node.primary_provider = node.providers.front();
+  }
+  return graph;
+}
+
+const AsNode& AsGraph::at(Asn asn) const {
+  const auto it = index_.find(asn.value());
+  if (it == index_.end()) {
+    throw std::out_of_range("AsGraph: unknown ASN " + asn.ToString());
+  }
+  return nodes_[it->second];
+}
+
+std::vector<Asn> AsGraph::ChainToBackbone(Asn asn) const {
+  std::vector<Asn> chain;
+  Asn current = asn;
+  // Tiers strictly decrease along primary providers, so the chain length is
+  // bounded by 3; the guard protects against malformed graphs.
+  for (int guard = 0; guard < 8; ++guard) {
+    chain.push_back(current);
+    const AsNode& node = at(current);
+    if (!node.primary_provider.has_value()) break;
+    current = *node.primary_provider;
+  }
+  return chain;
+}
+
+std::vector<Asn> AsGraph::Path(Asn from, Asn to) const {
+  if (from == to) return {from};
+  const std::vector<Asn> up = ChainToBackbone(from);
+  std::vector<Asn> down = ChainToBackbone(to);
+
+  // If the chains meet below the backbone (shared provider), join there.
+  for (std::size_t i = 0; i < up.size(); ++i) {
+    for (std::size_t j = 0; j < down.size(); ++j) {
+      if (up[i] == down[j]) {
+        std::vector<Asn> path(up.begin(), up.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+        for (std::size_t k = j; k-- > 0;) path.push_back(down[k]);
+        return path;
+      }
+    }
+  }
+  // Otherwise cross the tier-1 mesh: up's root peers directly with down's.
+  std::vector<Asn> path = up;
+  for (std::size_t k = down.size(); k-- > 0;) path.push_back(down[k]);
+  return path;
+}
+
+AsGraph::TierCounts AsGraph::CountTiers() const {
+  TierCounts counts;
+  for (const AsNode& node : nodes_) {
+    switch (node.tier) {
+      case AsTier::kBackbone:
+        ++counts.backbone;
+        break;
+      case AsTier::kTransit:
+        ++counts.transit;
+        break;
+      case AsTier::kEdge:
+        ++counts.edge;
+        break;
+    }
+  }
+  return counts;
+}
+
+}  // namespace ddos::net

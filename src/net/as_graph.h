@@ -1,0 +1,90 @@
+// Synthetic autonomous-system topology and valley-free routing.
+//
+// The Botlist schema carries per-bot BGP information and the paper observes
+// that targets concentrate in "backbone autonomous systems" where "massive
+// network resources ... play a critical function" (Section IV-B2). To turn
+// that observation into an actionable defense analysis (where upstream
+// should traffic be filtered?), this module builds a three-tier AS topology
+// over the synthetic geo database:
+//
+//   tier 1  backbone organizations - a full peer mesh;
+//   tier 2  hosting / cloud / data-center / registrar ASes - customers of
+//           2..4 tier-1 providers;
+//   tier 3  enterprise and residential ASes - customers of 1..3 tier-2
+//           providers (same-country where possible).
+//
+// Every AS keeps a deterministic *primary* provider, which makes the
+// valley-free route between two ASes unique: climb primary providers to
+// tier 1, cross the mesh in one peer hop, descend to the destination.
+// That is a deliberate simplification of BGP (no prepending, no cold
+// potato), but it preserves the property the chokepoint analysis needs:
+// transit concentrates in few upstream ASes.
+#ifndef DDOSCOPE_NET_AS_GRAPH_H_
+#define DDOSCOPE_NET_AS_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/geo_db.h"
+#include "net/ipv4.h"
+
+namespace ddos::net {
+
+enum class AsTier : std::uint8_t {
+  kBackbone = 1,  // tier 1
+  kTransit = 2,   // tier 2
+  kEdge = 3,      // tier 3
+};
+
+struct AsNode {
+  Asn asn;
+  AsTier tier = AsTier::kEdge;
+  std::string country;       // ISO code of the AS's home block
+  std::string organization;  // owning organization
+  std::optional<Asn> primary_provider;  // nullopt for tier 1
+  std::vector<Asn> providers;           // all provider links (upward)
+};
+
+class AsGraph {
+ public:
+  // Derives the topology from every allocated /16 block of the database.
+  // Deterministic for a given (database, seed).
+  static AsGraph Build(const geo::GeoDatabase& db, std::uint64_t seed);
+
+  std::size_t size() const { return nodes_.size(); }
+  std::span<const AsNode> nodes() const { return nodes_; }
+
+  // Node lookup; throws std::out_of_range for foreign ASNs.
+  const AsNode& at(Asn asn) const;
+  bool contains(Asn asn) const { return index_.count(asn.value()) > 0; }
+
+  // The valley-free route from `from` to `to`, inclusive of both endpoints.
+  // Up the primary-provider chain, at most one tier-1 peer hop, down the
+  // destination's chain. A route from an AS to itself is {asn}.
+  std::vector<Asn> Path(Asn from, Asn to) const;
+
+  // Convenience: the AS owning an address (via the geo database used at
+  // build time is not retained; callers resolve addresses themselves).
+  // Tier statistics for reporting.
+  struct TierCounts {
+    std::size_t backbone = 0;
+    std::size_t transit = 0;
+    std::size_t edge = 0;
+  };
+  TierCounts CountTiers() const;
+
+ private:
+  // Chain of ASes from `asn` up to (and including) its tier-1 root.
+  std::vector<Asn> ChainToBackbone(Asn asn) const;
+
+  std::vector<AsNode> nodes_;
+  std::unordered_map<std::uint32_t, std::size_t> index_;
+};
+
+}  // namespace ddos::net
+
+#endif  // DDOSCOPE_NET_AS_GRAPH_H_

@@ -1,0 +1,56 @@
+#include "net/ipv4.h"
+
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace ddos::net {
+
+std::optional<IPv4Address> IPv4Address::Parse(std::string_view text) {
+  const auto parts = Split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t bits = 0;
+  for (const auto& part : parts) {
+    const auto v = ParseInt64(part);
+    if (!v || *v < 0 || *v > 255) return std::nullopt;
+    bits = (bits << 8) | static_cast<std::uint32_t>(*v);
+  }
+  return IPv4Address(bits);
+}
+
+std::string IPv4Address::ToString() const {
+  return StrFormat("%u.%u.%u.%u", octet(0), octet(1), octet(2), octet(3));
+}
+
+std::string Asn::ToString() const { return StrFormat("AS%u", value_); }
+
+Subnet::Subnet(IPv4Address network, int prefix_length)
+    : prefix_length_(prefix_length) {
+  if (prefix_length < 0 || prefix_length > 32) {
+    throw std::invalid_argument("Subnet: prefix length out of range");
+  }
+  const std::uint32_t mask =
+      prefix_length == 0 ? 0u : ~std::uint32_t{0} << (32 - prefix_length);
+  network_ = IPv4Address(network.bits() & mask);
+}
+
+std::optional<Subnet> Subnet::Parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = IPv4Address::Parse(text.substr(0, slash));
+  const auto len = ParseInt64(text.substr(slash + 1));
+  if (!addr || !len || *len < 0 || *len > 32) return std::nullopt;
+  return Subnet(*addr, static_cast<int>(*len));
+}
+
+bool Subnet::Contains(IPv4Address addr) const {
+  const std::uint32_t mask =
+      prefix_length_ == 0 ? 0u : ~std::uint32_t{0} << (32 - prefix_length_);
+  return (addr.bits() & mask) == network_.bits();
+}
+
+std::string Subnet::ToString() const {
+  return StrFormat("%s/%d", network_.ToString().c_str(), prefix_length_);
+}
+
+}  // namespace ddos::net

@@ -1,0 +1,97 @@
+// IPv4 addresses, CIDR subnets, and autonomous-system numbers.
+//
+// The Table-I schema carries bot and target IPs plus the target's ASN. The
+// paper treats addresses as opaque identifiers with two structural uses:
+// subnet co-location ("all targets were located in the same subnet in
+// Russia") and geolocation lookup keys. `IPv4Address` is a 32-bit value type
+// and `Subnet` is a prefix match; both are trivially copyable and totally
+// ordered so they can serve as map keys.
+#ifndef DDOSCOPE_NET_IPV4_H_
+#define DDOSCOPE_NET_IPV4_H_
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ddos::net {
+
+// A 32-bit IPv4 address, stored in host order.
+class IPv4Address {
+ public:
+  constexpr IPv4Address() = default;
+  constexpr explicit IPv4Address(std::uint32_t host_order_bits)
+      : bits_(host_order_bits) {}
+
+  static constexpr IPv4Address FromOctets(std::uint8_t a, std::uint8_t b,
+                                          std::uint8_t c, std::uint8_t d) {
+    return IPv4Address((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  // "a.b.c.d" dotted-quad; rejects anything else (no shorthand forms).
+  static std::optional<IPv4Address> Parse(std::string_view text);
+
+  std::string ToString() const;
+
+  constexpr std::uint32_t bits() const { return bits_; }
+  constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(bits_ >> (8 * (3 - i)));
+  }
+
+  constexpr auto operator<=>(const IPv4Address&) const = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+// An autonomous-system number (strong typedef over uint32).
+class Asn {
+ public:
+  constexpr Asn() = default;
+  constexpr explicit Asn(std::uint32_t value) : value_(value) {}
+
+  constexpr std::uint32_t value() const { return value_; }
+  std::string ToString() const;  // "AS12345"
+
+  constexpr auto operator<=>(const Asn&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+// A CIDR prefix, e.g. 192.0.2.0/24. The network address is canonicalized
+// (host bits cleared) on construction.
+class Subnet {
+ public:
+  constexpr Subnet() = default;
+  Subnet(IPv4Address network, int prefix_length);
+
+  // "a.b.c.d/len".
+  static std::optional<Subnet> Parse(std::string_view text);
+
+  bool Contains(IPv4Address addr) const;
+
+  IPv4Address network() const { return network_; }
+  int prefix_length() const { return prefix_length_; }
+  // Number of addresses covered (2^(32-len)).
+  std::uint64_t size() const { return std::uint64_t{1} << (32 - prefix_length_); }
+  // First / last address of the block.
+  IPv4Address first() const { return network_; }
+  IPv4Address last() const {
+    return IPv4Address(network_.bits() | static_cast<std::uint32_t>(size() - 1));
+  }
+
+  std::string ToString() const;
+
+  auto operator<=>(const Subnet&) const = default;
+
+ private:
+  IPv4Address network_;
+  int prefix_length_ = 0;
+};
+
+}  // namespace ddos::net
+
+#endif  // DDOSCOPE_NET_IPV4_H_

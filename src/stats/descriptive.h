@@ -1,0 +1,61 @@
+// Descriptive statistics: streaming moments and batch summaries.
+//
+// The paper reports means, medians and standard deviations for intervals
+// (mean 3,060 s, sd 39,140 s), durations (mean 10,308 s, median 1,766 s,
+// sd 18,475 s) and the geo-dispersion series (Table IV). `StreamingStats`
+// uses Welford's algorithm so single-pass aggregation over large traces is
+// numerically stable; `Summarize` adds order statistics for batch data.
+#ifndef DDOSCOPE_STATS_DESCRIPTIVE_H_
+#define DDOSCOPE_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <span>
+
+namespace ddos::stats {
+
+// Single-pass mean/variance/min/max accumulator (Welford).
+class StreamingStats {
+ public:
+  void Add(double x);
+  void Merge(const StreamingStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+// Batch summary; copies and sorts internally. Empty input yields all zeros.
+Summary Summarize(std::span<const double> values);
+
+// Linear-interpolated quantile of sorted data, q in [0, 1].
+// Requires sorted_values non-empty and ascending.
+double QuantileSorted(std::span<const double> sorted_values, double q);
+
+}  // namespace ddos::stats
+
+#endif  // DDOSCOPE_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,59 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ddos::stats {
+
+Ecdf::Ecdf(std::span<const double> values)
+    : sorted_(values.begin(), values.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::FractionAtMost(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::Quantile(double q) const {
+  if (sorted_.empty()) throw std::logic_error("Ecdf::Quantile on empty ECDF");
+  q = std::clamp(q, 0.0, 1.0);
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  return sorted_[rank == 0 ? 0 : rank - 1];
+}
+
+std::vector<CdfPoint> Ecdf::LinearSeries(int points) const {
+  std::vector<CdfPoint> out;
+  if (sorted_.empty() || points < 2) return out;
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  out.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) /
+                              static_cast<double>(points - 1);
+    out.push_back(CdfPoint{x, FractionAtMost(x)});
+  }
+  return out;
+}
+
+std::vector<CdfPoint> Ecdf::LogSeries(int points, double log_floor) const {
+  std::vector<CdfPoint> out;
+  if (sorted_.empty() || points < 2 || log_floor <= 0.0) return out;
+  const double lo = std::max(log_floor, 1e-9);
+  const double hi = std::max(sorted_.back(), lo * 1.0001);
+  const double llo = std::log10(lo);
+  const double lhi = std::log10(hi);
+  out.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double x = std::pow(
+        10.0, llo + (lhi - llo) * static_cast<double>(i) / static_cast<double>(points - 1));
+    out.push_back(CdfPoint{x, FractionAtMost(x)});
+  }
+  return out;
+}
+
+}  // namespace ddos::stats

@@ -1,0 +1,49 @@
+// Empirical cumulative distribution functions.
+//
+// Most of the paper's figures are CDFs (Figs 3, 5, 7, 9, 17). `Ecdf` owns a
+// sorted copy of the sample and answers F(x), quantiles, and produces plot
+// series on linear or logarithmic grids matching the paper's axes.
+#ifndef DDOSCOPE_STATS_ECDF_H_
+#define DDOSCOPE_STATS_ECDF_H_
+
+#include <span>
+#include <vector>
+
+namespace ddos::stats {
+
+struct CdfPoint {
+  double x = 0.0;
+  double f = 0.0;  // P(X <= x)
+};
+
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::span<const double> values);
+
+  bool empty() const { return sorted_.empty(); }
+  std::size_t size() const { return sorted_.size(); }
+
+  // P(X <= x); 0 for empty.
+  double FractionAtMost(double x) const;
+
+  // Smallest sample value v with F(v) >= q. Requires non-empty.
+  double Quantile(double q) const;
+
+  // `points` samples of the CDF on a linear grid over [min, max].
+  std::vector<CdfPoint> LinearSeries(int points) const;
+
+  // `points` samples on a log-spaced grid over [max(min, floor), max];
+  // `log_floor` guards against zero samples (the paper plots intervals on a
+  // log axis while >50% of intervals are 0; those show up at the floor).
+  std::vector<CdfPoint> LogSeries(int points, double log_floor = 1.0) const;
+
+  std::span<const double> sorted_values() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace ddos::stats
+
+#endif  // DDOSCOPE_STATS_ECDF_H_

@@ -1,0 +1,84 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ddos::stats {
+
+Histogram Histogram::Linear(std::span<const double> values, double lo, double hi,
+                            int bins) {
+  if (bins <= 0 || !(hi > lo)) {
+    throw std::invalid_argument("Histogram::Linear: bad range or bin count");
+  }
+  Histogram h;
+  h.bins_.resize(static_cast<std::size_t>(bins));
+  const double width = (hi - lo) / bins;
+  for (int i = 0; i < bins; ++i) {
+    h.bins_[static_cast<std::size_t>(i)].lo = lo + width * i;
+    h.bins_[static_cast<std::size_t>(i)].hi = lo + width * (i + 1);
+  }
+  for (double v : values) {
+    int idx = static_cast<int>(std::floor((v - lo) / width));
+    idx = std::clamp(idx, 0, bins - 1);
+    ++h.bins_[static_cast<std::size_t>(idx)].count;
+    ++h.total_;
+  }
+  return h;
+}
+
+Histogram Histogram::Log10(std::span<const double> values, double lo, double hi,
+                           int bins) {
+  if (bins <= 0 || lo <= 0.0 || !(hi > lo)) {
+    throw std::invalid_argument("Histogram::Log10: bad range or bin count");
+  }
+  Histogram h;
+  h.bins_.resize(static_cast<std::size_t>(bins));
+  const double llo = std::log10(lo);
+  const double lhi = std::log10(hi);
+  const double width = (lhi - llo) / bins;
+  for (int i = 0; i < bins; ++i) {
+    h.bins_[static_cast<std::size_t>(i)].lo = std::pow(10.0, llo + width * i);
+    h.bins_[static_cast<std::size_t>(i)].hi = std::pow(10.0, llo + width * (i + 1));
+  }
+  for (double v : values) {
+    int idx;
+    if (v <= lo) {
+      idx = 0;
+    } else {
+      idx = static_cast<int>(std::floor((std::log10(v) - llo) / width));
+      idx = std::clamp(idx, 0, bins - 1);
+    }
+    ++h.bins_[static_cast<std::size_t>(idx)].count;
+    ++h.total_;
+  }
+  return h;
+}
+
+std::vector<double> Histogram::Midpoints() const {
+  std::vector<double> out;
+  out.reserve(bins_.size());
+  for (const HistogramBin& b : bins_) out.push_back((b.lo + b.hi) / 2.0);
+  return out;
+}
+
+std::vector<double> Histogram::Counts() const {
+  std::vector<double> out;
+  out.reserve(bins_.size());
+  for (const HistogramBin& b : bins_) out.push_back(static_cast<double>(b.count));
+  return out;
+}
+
+int Histogram::ModeBin() const {
+  if (bins_.empty()) return -1;
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(bins_.size()); ++i) {
+    if (bins_[static_cast<std::size_t>(i)].count >
+        bins_[static_cast<std::size_t>(best)].count) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace ddos::stats

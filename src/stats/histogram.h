@@ -1,0 +1,48 @@
+// Fixed-bin histograms (linear and logarithmic), used for Figs 10-13.
+#ifndef DDOSCOPE_STATS_HISTOGRAM_H_
+#define DDOSCOPE_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ddos::stats {
+
+struct HistogramBin {
+  double lo = 0.0;  // inclusive
+  double hi = 0.0;  // exclusive (last bin inclusive)
+  std::uint64_t count = 0;
+};
+
+class Histogram {
+ public:
+  // Linear bins over [lo, hi) with `bins` equal-width cells. Values outside
+  // the range are clamped to the first/last bin.
+  static Histogram Linear(std::span<const double> values, double lo, double hi,
+                          int bins);
+
+  // Log10-spaced bins over [lo, hi); lo must be > 0. Values below lo land in
+  // the first bin, above hi in the last.
+  static Histogram Log10(std::span<const double> values, double lo, double hi,
+                         int bins);
+
+  std::span<const HistogramBin> bins() const { return bins_; }
+  std::uint64_t total() const { return total_; }
+
+  // Midpoints-and-count vectors, e.g. as cosine-similarity inputs when
+  // comparing a predicted and a ground-truth distribution (Table IV).
+  std::vector<double> Midpoints() const;
+  std::vector<double> Counts() const;
+
+  // Bin with the highest count (first on ties); -1 when empty.
+  int ModeBin() const;
+
+ private:
+  std::vector<HistogramBin> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ddos::stats
+
+#endif  // DDOSCOPE_STATS_HISTOGRAM_H_

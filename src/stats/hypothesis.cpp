@@ -1,0 +1,92 @@
+#include "stats/hypothesis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace ddos::stats {
+
+KsResult KolmogorovSmirnov(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("KolmogorovSmirnov: empty sample");
+  }
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  // Merge-walk the two sorted samples tracking the CDF gap.
+  double d = 0.0;
+  std::size_t i = 0, j = 0;
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  while (i < sa.size() && j < sb.size()) {
+    const double x = std::min(sa[i], sb[j]);
+    while (i < sa.size() && sa[i] <= x) ++i;
+    while (j < sb.size() && sb[j] <= x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na -
+                             static_cast<double>(j) / nb));
+  }
+
+  KsResult result;
+  result.statistic = d;
+  // Asymptotic Kolmogorov distribution: P(D > d) ~ 2 sum (-1)^{k-1}
+  // exp(-2 k^2 lambda^2) with the Stephens small-sample correction.
+  const double n_eff = na * nb / (na + nb);
+  const double lambda = (std::sqrt(n_eff) + 0.12 + 0.11 / std::sqrt(n_eff)) * d;
+  if (lambda < 1e-3) {  // the alternating series diverges at lambda -> 0
+    result.p_value = 1.0;
+    return result;
+  }
+  double p = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = sign * std::exp(-2.0 * k * k * lambda * lambda);
+    p += term;
+    if (std::abs(term) < 1e-12) break;
+    sign = -sign;
+  }
+  result.p_value = std::clamp(2.0 * p, 0.0, 1.0);
+  return result;
+}
+
+double RegularizedGammaQ(double a, double x) {
+  if (a <= 0.0 || x < 0.0) {
+    throw std::invalid_argument("RegularizedGammaQ: need a > 0, x >= 0");
+  }
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) {
+    // Series for P(a, x); Q = 1 - P.
+    double sum = 1.0 / a;
+    double term = sum;
+    for (int n = 1; n < 500; ++n) {
+      term *= x / (a + n);
+      sum += term;
+      if (std::abs(term) < std::abs(sum) * 1e-14) break;
+    }
+    const double p = sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+    return std::clamp(1.0 - p, 0.0, 1.0);
+  }
+  // Continued fraction for Q(a, x) (Lentz's algorithm).
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-14) break;
+  }
+  return std::clamp(std::exp(-x + a * std::log(x) - std::lgamma(a)) * h, 0.0, 1.0);
+}
+
+}  // namespace ddos::stats

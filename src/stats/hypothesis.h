@@ -1,0 +1,30 @@
+// Distribution-comparison tests.
+//
+// Two-sample Kolmogorov-Smirnov: are two samples drawn from the same
+// distribution? Used by the validation benches to compare per-family
+// duration and interval laws. (The Ljung-Box residual diagnostic lives in
+// timeseries/diagnostics.h, next to the models it checks.)
+#ifndef DDOSCOPE_STATS_HYPOTHESIS_H_
+#define DDOSCOPE_STATS_HYPOTHESIS_H_
+
+#include <span>
+
+namespace ddos::stats {
+
+struct KsResult {
+  double statistic = 0.0;  // sup |F1(x) - F2(x)|
+  double p_value = 1.0;    // asymptotic (Kolmogorov distribution)
+};
+
+// Two-sample KS test. Throws std::invalid_argument if either sample is
+// empty. The p-value uses the asymptotic series with the effective sample
+// size n1*n2/(n1+n2); accurate for n >= ~20.
+KsResult KolmogorovSmirnov(std::span<const double> a, std::span<const double> b);
+
+// Regularized upper incomplete gamma Q(a, x) - the chi-squared survival
+// function is Q(k/2, x/2). Exposed for testing.
+double RegularizedGammaQ(double a, double x);
+
+}  // namespace ddos::stats
+
+#endif  // DDOSCOPE_STATS_HYPOTHESIS_H_

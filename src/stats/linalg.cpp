@@ -1,0 +1,106 @@
+#include "stats/linalg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ddos::stats {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::Gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = i; j < cols_; ++j) {
+      double sum = 0.0;
+      for (std::size_t r = 0; r < rows_; ++r) {
+        sum += (*this)(r, i) * (*this)(r, j);
+      }
+      g(i, j) = sum;
+      g(j, i) = sum;
+    }
+  }
+  return g;
+}
+
+std::vector<double> Matrix::TransposeTimes(std::span<const double> v) const {
+  if (v.size() != rows_) {
+    throw std::invalid_argument("Matrix::TransposeTimes: size mismatch");
+  }
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out[c] += (*this)(r, c) * v[r];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::Times(std::span<const double> x) const {
+  if (x.size() != cols_) {
+    throw std::invalid_argument("Matrix::Times: size mismatch");
+  }
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) sum += (*this)(r, c) * x[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+std::vector<double> SolveLinearSystem(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    throw std::invalid_argument("SolveLinearSystem: shape mismatch");
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > best) {
+        best = std::abs(a(r, col));
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      throw std::runtime_error("SolveLinearSystem: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back-substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i > 0; --i) {
+    const std::size_t r = i - 1;
+    double sum = b[r];
+    for (std::size_t c = r + 1; c < n; ++c) sum -= a(r, c) * x[c];
+    x[r] = sum / a(r, r);
+  }
+  return x;
+}
+
+std::vector<double> SolveLeastSquares(const Matrix& a, std::span<const double> b) {
+  if (b.size() != a.rows()) {
+    throw std::invalid_argument("SolveLeastSquares: shape mismatch");
+  }
+  Matrix gram = a.Gram();
+  const std::size_t n = gram.rows();
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) trace += gram(i, i);
+  const double ridge = 1e-9 * (trace / static_cast<double>(n) + 1.0);
+  for (std::size_t i = 0; i < n; ++i) gram(i, i) += ridge;
+  return SolveLinearSystem(std::move(gram), a.TransposeTimes(b));
+}
+
+}  // namespace ddos::stats

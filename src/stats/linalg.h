@@ -1,0 +1,54 @@
+// Small dense linear algebra for the time-series estimators.
+//
+// ARIMA fitting (Hannan-Rissanen) reduces to ordinary least squares on a
+// design matrix with a handful of columns; Levinson-Durbin needs only
+// vectors. A minimal row-major `Matrix` with Gaussian elimination is all the
+// machinery required - deliberately no BLAS dependency.
+#ifndef DDOSCOPE_STATS_LINALG_H_
+#define DDOSCOPE_STATS_LINALG_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ddos::stats {
+
+// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  // A^T * A (cols x cols).
+  Matrix Gram() const;
+  // A^T * v, where v has `rows()` entries.
+  std::vector<double> TransposeTimes(std::span<const double> v) const;
+  // A * x, where x has `cols()` entries.
+  std::vector<double> Times(std::span<const double> x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Solves A x = b by Gaussian elimination with partial pivoting. A must be
+// square with rows() == b.size(). Throws std::runtime_error if singular
+// (pivot below 1e-12 after scaling).
+std::vector<double> SolveLinearSystem(Matrix a, std::vector<double> b);
+
+// Ordinary least squares: argmin_x |A x - b|^2 via normal equations with a
+// tiny ridge (1e-9 * trace/n) for numerical safety on collinear designs.
+std::vector<double> SolveLeastSquares(const Matrix& a, std::span<const double> b);
+
+}  // namespace ddos::stats
+
+#endif  // DDOSCOPE_STATS_LINALG_H_

@@ -1,0 +1,71 @@
+#include "stats/similarity.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ddos::stats {
+
+namespace {
+void CheckSameNonEmpty(std::span<const double> a, std::span<const double> b,
+                       const char* who) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument(std::string(who) +
+                                ": inputs must be equal-length and non-empty");
+  }
+}
+}  // namespace
+
+double CosineSimilarity(std::span<const double> a, std::span<const double> b) {
+  CheckSameNonEmpty(a, b, "CosineSimilarity");
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double PearsonCorrelation(std::span<const double> a, std::span<const double> b) {
+  CheckSameNonEmpty(a, b, "PearsonCorrelation");
+  const double n = static_cast<double>(a.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va == 0.0 || vb == 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+double MeanAbsoluteError(std::span<const double> prediction,
+                         std::span<const double> truth) {
+  CheckSameNonEmpty(prediction, truth, "MeanAbsoluteError");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < prediction.size(); ++i) {
+    sum += std::abs(prediction[i] - truth[i]);
+  }
+  return sum / static_cast<double>(prediction.size());
+}
+
+double RootMeanSquaredError(std::span<const double> prediction,
+                            std::span<const double> truth) {
+  CheckSameNonEmpty(prediction, truth, "RootMeanSquaredError");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < prediction.size(); ++i) {
+    const double d = prediction[i] - truth[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(prediction.size()));
+}
+
+}  // namespace ddos::stats

@@ -1,0 +1,28 @@
+// Vector similarity measures.
+//
+// Table IV evaluates the ARIMA source predictor with cosine similarity
+// between the predicted and observed dispersion series.
+#ifndef DDOSCOPE_STATS_SIMILARITY_H_
+#define DDOSCOPE_STATS_SIMILARITY_H_
+
+#include <span>
+
+namespace ddos::stats {
+
+// Cosine similarity of two equal-length vectors; 0 when either has zero
+// norm. Throws std::invalid_argument on length mismatch or empty input.
+double CosineSimilarity(std::span<const double> a, std::span<const double> b);
+
+// Pearson correlation coefficient; 0 when either side has zero variance.
+double PearsonCorrelation(std::span<const double> a, std::span<const double> b);
+
+// Mean absolute error and root mean squared error between prediction and
+// truth (same length contract as above).
+double MeanAbsoluteError(std::span<const double> prediction,
+                         std::span<const double> truth);
+double RootMeanSquaredError(std::span<const double> prediction,
+                            std::span<const double> truth);
+
+}  // namespace ddos::stats
+
+#endif  // DDOSCOPE_STATS_SIMILARITY_H_

@@ -1,0 +1,130 @@
+#include "timeseries/acf.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ddos::ts {
+
+double Mean(std::span<const double> series) {
+  if (series.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : series) sum += v;
+  return sum / static_cast<double>(series.size());
+}
+
+std::vector<double> Autocovariance(std::span<const double> series, int max_lag) {
+  const std::size_t n = series.size();
+  if (n == 0 || max_lag < 0 || static_cast<std::size_t>(max_lag) >= n) {
+    throw std::invalid_argument("Autocovariance: need 0 <= max_lag < n");
+  }
+  const double mu = Mean(series);
+  std::vector<double> gamma(static_cast<std::size_t>(max_lag) + 1, 0.0);
+  for (int k = 0; k <= max_lag; ++k) {
+    double sum = 0.0;
+    for (std::size_t t = static_cast<std::size_t>(k); t < n; ++t) {
+      sum += (series[t] - mu) * (series[t - static_cast<std::size_t>(k)] - mu);
+    }
+    gamma[static_cast<std::size_t>(k)] = sum / static_cast<double>(n);
+  }
+  return gamma;
+}
+
+std::vector<double> Autocorrelation(std::span<const double> series, int max_lag) {
+  std::vector<double> gamma = Autocovariance(series, max_lag);
+  if (gamma[0] <= 0.0) {
+    // Constant series: define acf as 1 at lag 0, 0 elsewhere.
+    std::vector<double> rho(gamma.size(), 0.0);
+    rho[0] = 1.0;
+    return rho;
+  }
+  std::vector<double> rho(gamma.size());
+  for (std::size_t k = 0; k < gamma.size(); ++k) rho[k] = gamma[k] / gamma[0];
+  return rho;
+}
+
+LevinsonResult LevinsonDurbin(std::span<const double> autocov, int order) {
+  if (order < 1 || autocov.size() < static_cast<std::size_t>(order) + 1) {
+    throw std::invalid_argument("LevinsonDurbin: need autocov[0..order]");
+  }
+  if (autocov[0] <= 0.0) {
+    throw std::invalid_argument("LevinsonDurbin: non-positive variance");
+  }
+  LevinsonResult res;
+  res.ar.assign(static_cast<std::size_t>(order), 0.0);
+  res.reflection.assign(static_cast<std::size_t>(order), 0.0);
+  std::vector<double> prev(static_cast<std::size_t>(order), 0.0);
+  double v = autocov[0];
+  for (int k = 1; k <= order; ++k) {
+    double acc = autocov[static_cast<std::size_t>(k)];
+    for (int j = 1; j < k; ++j) {
+      acc -= prev[static_cast<std::size_t>(j - 1)] *
+             autocov[static_cast<std::size_t>(k - j)];
+    }
+    const double kappa = v > 0.0 ? acc / v : 0.0;
+    res.reflection[static_cast<std::size_t>(k - 1)] = kappa;
+    res.ar[static_cast<std::size_t>(k - 1)] = kappa;
+    for (int j = 1; j < k; ++j) {
+      res.ar[static_cast<std::size_t>(j - 1)] =
+          prev[static_cast<std::size_t>(j - 1)] -
+          kappa * prev[static_cast<std::size_t>(k - 1 - j)];
+    }
+    v *= (1.0 - kappa * kappa);
+    if (v < 0.0) v = 0.0;
+    for (int j = 0; j < k; ++j) prev[static_cast<std::size_t>(j)] = res.ar[static_cast<std::size_t>(j)];
+  }
+  res.innovation_variance = v;
+  return res;
+}
+
+std::vector<double> PartialAutocorrelation(std::span<const double> series,
+                                           int max_lag) {
+  const std::vector<double> gamma = Autocovariance(series, max_lag);
+  if (gamma[0] <= 0.0) {
+    return std::vector<double>(static_cast<std::size_t>(max_lag), 0.0);
+  }
+  const LevinsonResult res = LevinsonDurbin(gamma, max_lag);
+  return res.reflection;
+}
+
+std::vector<double> Difference(std::span<const double> series, int d) {
+  if (d < 0) throw std::invalid_argument("Difference: d must be >= 0");
+  std::vector<double> out(series.begin(), series.end());
+  for (int k = 0; k < d; ++k) {
+    if (out.size() < 2) {
+      throw std::invalid_argument("Difference: series too short for d");
+    }
+    for (std::size_t i = out.size() - 1; i > 0; --i) out[i] -= out[i - 1];
+    out.erase(out.begin());
+  }
+  return out;
+}
+
+Differencer::Differencer(int d) : d_(d) {
+  if (d < 0) throw std::invalid_argument("Differencer: d must be >= 0");
+  levels_.assign(static_cast<std::size_t>(d), 0.0);
+}
+
+bool Differencer::Push(double y) {
+  double value = y;
+  for (int k = 0; k < d_; ++k) {
+    const double next = value - levels_[static_cast<std::size_t>(k)];
+    levels_[static_cast<std::size_t>(k)] = value;
+    value = next;
+  }
+  if (seen_ < d_) {
+    ++seen_;
+    return false;  // pyramid not yet primed; `value` is not a valid Delta^d
+  }
+  last_output_ = value;
+  return true;
+}
+
+double Differencer::Invert(double w) const {
+  double value = w;
+  for (int k = d_ - 1; k >= 0; --k) {
+    value += levels_[static_cast<std::size_t>(k)];
+  }
+  return value;
+}
+
+}  // namespace ddos::ts

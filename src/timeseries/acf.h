@@ -1,0 +1,68 @@
+// Autocorrelation machinery: sample ACF/PACF, Levinson-Durbin recursion,
+// and differencing - the building blocks of the ARIMA estimator.
+#ifndef DDOSCOPE_TS_ACF_H_
+#define DDOSCOPE_TS_ACF_H_
+
+#include <span>
+#include <vector>
+
+namespace ddos::ts {
+
+// Sample mean.
+double Mean(std::span<const double> series);
+
+// Biased sample autocovariance at lags 0..max_lag (the standard estimator
+// with 1/n normalization, which keeps the ACF sequence positive definite).
+std::vector<double> Autocovariance(std::span<const double> series, int max_lag);
+
+// Sample autocorrelation at lags 0..max_lag (acf[0] == 1).
+std::vector<double> Autocorrelation(std::span<const double> series, int max_lag);
+
+// Result of the Levinson-Durbin recursion on an autocovariance sequence.
+struct LevinsonResult {
+  std::vector<double> ar;          // AR(k) coefficients phi_1..phi_k
+  std::vector<double> reflection;  // partial autocorrelations kappa_1..kappa_k
+  double innovation_variance = 0.0;
+};
+
+// Solves the Yule-Walker equations for an AR(order) model given
+// autocovariances gamma[0..order]. Throws if gamma[0] <= 0 or the sequence
+// is too short.
+LevinsonResult LevinsonDurbin(std::span<const double> autocov, int order);
+
+// Partial autocorrelation function at lags 1..max_lag.
+std::vector<double> PartialAutocorrelation(std::span<const double> series,
+                                           int max_lag);
+
+// d-th order differencing: output size is n - d. d == 0 copies.
+std::vector<double> Difference(std::span<const double> series, int d);
+
+// Incremental d-th order differencing / integration of a live stream.
+// Push feeds one original value and returns Delta^d y once d+1 values have
+// been seen (std::nullopt-free: returns value only via HasOutput gating).
+class Differencer {
+ public:
+  explicit Differencer(int d);
+
+  // Feeds one original value; returns true once output is available via
+  // `last_output()` (after the first d values have primed the pyramid).
+  bool Push(double y);
+  double last_output() const { return last_output_; }
+
+  // Maps a *hypothetical* next differenced value back to the original scale
+  // without mutating state (one-step forecast integration).
+  double Invert(double w) const;
+
+  int d() const { return d_; }
+  bool primed() const { return seen_ >= d_; }
+
+ private:
+  int d_;
+  int seen_ = 0;
+  std::vector<double> levels_;  // last value of Delta^k y, k = 0..d-1
+  double last_output_ = 0.0;
+};
+
+}  // namespace ddos::ts
+
+#endif  // DDOSCOPE_TS_ACF_H_

@@ -1,0 +1,232 @@
+#include "timeseries/arima.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/linalg.h"
+
+namespace ddos::ts {
+
+namespace {
+
+// Innovations e_t implied by (phi, theta) on the centered series x, with
+// zero padding before the start of data.
+std::vector<double> ImpliedResiduals(std::span<const double> x,
+                                     std::span<const double> phi,
+                                     std::span<const double> theta) {
+  std::vector<double> e(x.size(), 0.0);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    double pred = 0.0;
+    for (std::size_t i = 0; i < phi.size(); ++i) {
+      if (t > i) pred += phi[i] * x[t - 1 - i];
+    }
+    for (std::size_t j = 0; j < theta.size(); ++j) {
+      if (t > j) pred += theta[j] * e[t - 1 - j];
+    }
+    e[t] = x[t] - pred;
+  }
+  return e;
+}
+
+}  // namespace
+
+ArimaModel ArimaModel::Fit(std::span<const double> series, ArimaOrder order) {
+  if (order.p < 0 || order.d < 0 || order.q < 0) {
+    throw std::invalid_argument("ArimaModel::Fit: negative order");
+  }
+  const int p = order.p;
+  const int q = order.q;
+  const std::vector<double> w = Difference(series, order.d);
+  const int n = static_cast<int>(w.size());
+  const int min_rows = 8 * (p + q + 1);
+  if (n < std::max(min_rows, p + q + 4)) {
+    throw std::invalid_argument("ArimaModel::Fit: series too short for order");
+  }
+
+  ArimaModel model;
+  model.order_ = order;
+  model.mu_ = Mean(w);
+  std::vector<double> x(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) x[i] = w[i] - model.mu_;
+
+  model.ar_.assign(static_cast<std::size_t>(p), 0.0);
+  model.ma_.assign(static_cast<std::size_t>(q), 0.0);
+
+  // Degenerate (constant) differenced series: keep all coefficients zero.
+  double var0 = 0.0;
+  for (double v : x) var0 += v * v;
+  var0 /= static_cast<double>(n);
+  const bool constant_series = var0 < 1e-14;
+
+  int t0 = std::max(p, q);
+  if (!constant_series && (p > 0 || q > 0)) {
+    std::vector<double> e_init;
+    int long_m = 0;
+    if (q > 0) {
+      // Stage 1: long AR for innovation estimates.
+      long_m = std::min(n / 4, std::max(20, p + q + 10));
+      long_m = std::max(long_m, 1);
+      const std::vector<double> gamma = Autocovariance(x, long_m);
+      if (gamma[0] > 0.0) {
+        const LevinsonResult lr = LevinsonDurbin(gamma, long_m);
+        e_init.assign(x.size(), 0.0);
+        for (int t = long_m; t < n; ++t) {
+          double pred = 0.0;
+          for (int j = 0; j < long_m; ++j) {
+            pred += lr.ar[static_cast<std::size_t>(j)] *
+                    x[static_cast<std::size_t>(t - 1 - j)];
+          }
+          e_init[static_cast<std::size_t>(t)] = x[static_cast<std::size_t>(t)] - pred;
+        }
+      } else {
+        e_init.assign(x.size(), 0.0);
+      }
+      t0 = std::max(t0, long_m);
+    }
+
+    // Stage 2: OLS of x_t on lagged x and lagged innovations.
+    const int rows = n - t0;
+    const int cols = p + q;
+    if (rows <= cols) {
+      throw std::invalid_argument("ArimaModel::Fit: not enough rows for OLS");
+    }
+    stats::Matrix design(static_cast<std::size_t>(rows),
+                         static_cast<std::size_t>(cols));
+    std::vector<double> target(static_cast<std::size_t>(rows));
+    for (int r = 0; r < rows; ++r) {
+      const int t = t0 + r;
+      for (int i = 0; i < p; ++i) {
+        design(static_cast<std::size_t>(r), static_cast<std::size_t>(i)) =
+            x[static_cast<std::size_t>(t - 1 - i)];
+      }
+      for (int j = 0; j < q; ++j) {
+        design(static_cast<std::size_t>(r), static_cast<std::size_t>(p + j)) =
+            e_init[static_cast<std::size_t>(t - 1 - j)];
+      }
+      target[static_cast<std::size_t>(r)] = x[static_cast<std::size_t>(t)];
+    }
+    const std::vector<double> beta = stats::SolveLeastSquares(design, target);
+    for (int i = 0; i < p; ++i) model.ar_[static_cast<std::size_t>(i)] = beta[static_cast<std::size_t>(i)];
+    for (int j = 0; j < q; ++j) model.ma_[static_cast<std::size_t>(j)] = beta[static_cast<std::size_t>(p + j)];
+  }
+
+  // Final innovations and information criteria.
+  const std::vector<double> e = ImpliedResiduals(x, model.ar_, model.ma_);
+  double sse = 0.0;
+  int count = 0;
+  for (int t = t0; t < n; ++t) {
+    sse += e[static_cast<std::size_t>(t)] * e[static_cast<std::size_t>(t)];
+    ++count;
+  }
+  model.sigma2_ = count > 0 ? sse / static_cast<double>(count) : 0.0;
+  const double k = static_cast<double>(p + q + 1);
+  const double loglike_term =
+      static_cast<double>(count) * std::log(model.sigma2_ + 1e-300);
+  model.aic_ = loglike_term + 2.0 * k;
+  model.bic_ = loglike_term + k * std::log(static_cast<double>(std::max(count, 1)));
+
+  // Capture end-of-training state for forecasting.
+  const std::size_t keep_x = static_cast<std::size_t>(std::max(p, 1));
+  const std::size_t keep_e = static_cast<std::size_t>(std::max(q, 1));
+  model.x_tail_.assign(keep_x, 0.0);
+  model.e_tail_.assign(keep_e, 0.0);
+  for (std::size_t i = 0; i < keep_x && i < x.size(); ++i) {
+    model.x_tail_[keep_x - 1 - i] = x[x.size() - 1 - i];
+  }
+  for (std::size_t i = 0; i < keep_e && i < e.size(); ++i) {
+    model.e_tail_[keep_e - 1 - i] = e[e.size() - 1 - i];
+  }
+  model.diff_ = Differencer(order.d);
+  for (double y : series) model.diff_.Push(y);
+  return model;
+}
+
+struct ArimaModel::RollState {
+  std::vector<double> x_hist;  // newest last
+  std::vector<double> e_hist;  // newest last
+  Differencer diff;
+
+  explicit RollState(const ArimaModel& m)
+      : x_hist(m.x_tail_), e_hist(m.e_tail_), diff(m.diff_) {}
+
+  double PredictCentered(const ArimaModel& m) const {
+    double pred = 0.0;
+    for (std::size_t i = 0; i < m.ar_.size(); ++i) {
+      pred += m.ar_[i] * x_hist[x_hist.size() - 1 - i];
+    }
+    for (std::size_t j = 0; j < m.ma_.size(); ++j) {
+      pred += m.ma_[j] * e_hist[e_hist.size() - 1 - j];
+    }
+    return pred;
+  }
+
+  void Advance(double x_new, double e_new) {
+    x_hist.erase(x_hist.begin());
+    x_hist.push_back(x_new);
+    e_hist.erase(e_hist.begin());
+    e_hist.push_back(e_new);
+  }
+};
+
+std::vector<double> ArimaModel::Forecast(int horizon) const {
+  if (horizon < 0) throw std::invalid_argument("Forecast: negative horizon");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(horizon));
+  RollState st(*this);
+  for (int h = 0; h < horizon; ++h) {
+    const double x_hat = st.PredictCentered(*this);
+    const double y_hat = st.diff.Invert(x_hat + mu_);
+    out.push_back(y_hat);
+    // Treat the forecast as realized; future innovations are zero.
+    st.diff.Push(y_hat);
+    st.Advance(x_hat, 0.0);
+  }
+  return out;
+}
+
+std::vector<double> ArimaModel::PredictOneStep(
+    std::span<const double> actuals) const {
+  std::vector<double> out;
+  out.reserve(actuals.size());
+  RollState st(*this);
+  for (double y : actuals) {
+    const double x_hat = st.PredictCentered(*this);
+    out.push_back(st.diff.Invert(x_hat + mu_));
+    st.diff.Push(y);
+    const double x_actual = st.diff.last_output() - mu_;
+    st.Advance(x_actual, x_actual - x_hat);
+  }
+  return out;
+}
+
+ArimaOrder SelectOrderAic(std::span<const double> series, int max_p, int max_d,
+                          int max_q) {
+  double best_aic = std::numeric_limits<double>::infinity();
+  ArimaOrder best{};
+  bool found = false;
+  for (int d = 0; d <= max_d; ++d) {
+    for (int p = 0; p <= max_p; ++p) {
+      for (int q = 0; q <= max_q; ++q) {
+        try {
+          const ArimaModel m = ArimaModel::Fit(series, ArimaOrder{p, d, q});
+          // Differencing changes the sample; penalize higher d slightly so
+          // ties prefer the simpler stationary model.
+          const double score = m.aic() + 2.0 * d;
+          if (score < best_aic) {
+            best_aic = score;
+            best = ArimaOrder{p, d, q};
+            found = true;
+          }
+        } catch (const std::exception&) {
+          // Infeasible order for this sample; skip.
+        }
+      }
+    }
+  }
+  if (!found) throw std::runtime_error("SelectOrderAic: no order could be fit");
+  return best;
+}
+
+}  // namespace ddos::ts

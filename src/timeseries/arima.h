@@ -1,0 +1,88 @@
+// ARIMA(p, d, q) modeling and forecasting, implemented from scratch.
+//
+// Section IV-A of the paper fits an ARIMA model to the per-family
+// geolocation-dispersion series, trains on the first half, and predicts the
+// rest (Figs 12-13, Table IV). This implementation follows the classical
+// Hannan-Rissanen two-stage procedure:
+//
+//   1. difference the series d times and center it;
+//   2. fit a long autoregression via Yule-Walker / Levinson-Durbin and use
+//      its residuals as innovation estimates;
+//   3. regress x_t on p lagged values and q lagged residuals (OLS);
+//   4. re-derive the innovation sequence under the fitted (phi, theta).
+//
+// Forecasting runs the recursion forward (future innovations = 0) and
+// integrates back to the original scale. `PredictOneStep` performs rolling
+// one-step-ahead prediction over a held-out continuation with fixed
+// parameters, which is the evaluation protocol behind Table IV.
+#ifndef DDOSCOPE_TS_ARIMA_H_
+#define DDOSCOPE_TS_ARIMA_H_
+
+#include <span>
+#include <vector>
+
+#include "timeseries/acf.h"
+
+namespace ddos::ts {
+
+struct ArimaOrder {
+  int p = 1;  // autoregressive order
+  int d = 0;  // differencing order
+  int q = 0;  // moving-average order
+
+  bool operator==(const ArimaOrder&) const = default;
+};
+
+class ArimaModel {
+ public:
+  // Fits the model. Requires series.size() >= d + 10 * (p + q + 1) samples
+  // (loosely - the hard floor is enough rows for the regression); throws
+  // std::invalid_argument otherwise.
+  static ArimaModel Fit(std::span<const double> series, ArimaOrder order);
+
+  const ArimaOrder& order() const { return order_; }
+  std::span<const double> ar() const { return ar_; }
+  std::span<const double> ma() const { return ma_; }
+  // Mean of the differenced series (the model works on centered data).
+  double mean() const { return mu_; }
+  double sigma2() const { return sigma2_; }
+  double aic() const { return aic_; }
+  double bic() const { return bic_; }
+
+  // h-step-ahead forecast beyond the end of the training series, on the
+  // original (undifferenced) scale.
+  std::vector<double> Forecast(int horizon) const;
+
+  // Rolling one-step-ahead predictions for an observed continuation of the
+  // training series: prediction[i] is made from training data plus
+  // actuals[0..i-1]. Parameters stay fixed; state is updated with actuals.
+  std::vector<double> PredictOneStep(std::span<const double> actuals) const;
+
+ private:
+  ArimaModel() : diff_(0) {}
+
+  struct RollState;  // forecast-time working state
+
+  ArimaOrder order_;
+  std::vector<double> ar_;
+  std::vector<double> ma_;
+  double mu_ = 0.0;
+  double sigma2_ = 0.0;
+  double aic_ = 0.0;
+  double bic_ = 0.0;
+  // End-of-training state: recent centered differenced values (newest last),
+  // recent innovations (newest last), and the primed integrator.
+  std::vector<double> x_tail_;
+  std::vector<double> e_tail_;
+  Differencer diff_;
+};
+
+// Grid-searches (p, d, q) over [0..max_p] x [0..max_d] x [0..max_q] by AIC.
+// Orders whose fit fails (short series, singular design) are skipped; throws
+// std::runtime_error if nothing fits.
+ArimaOrder SelectOrderAic(std::span<const double> series, int max_p, int max_d,
+                          int max_q);
+
+}  // namespace ddos::ts
+
+#endif  // DDOSCOPE_TS_ARIMA_H_

@@ -1,0 +1,60 @@
+#include "timeseries/diagnostics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/hypothesis.h"
+#include "timeseries/acf.h"
+
+namespace ddos::ts {
+
+LjungBoxResult LjungBox(std::span<const double> residuals, int lags,
+                        int fitted_parameters) {
+  const int n = static_cast<int>(residuals.size());
+  if (lags < 1 || n < lags + 2) {
+    throw std::invalid_argument("LjungBox: series too short for lags");
+  }
+  if (lags <= fitted_parameters) {
+    throw std::invalid_argument("LjungBox: lags must exceed fitted parameters");
+  }
+  const std::vector<double> rho = Autocorrelation(residuals, lags);
+  double q = 0.0;
+  for (int k = 1; k <= lags; ++k) {
+    q += rho[static_cast<std::size_t>(k)] * rho[static_cast<std::size_t>(k)] /
+         static_cast<double>(n - k);
+  }
+  q *= static_cast<double>(n) * (static_cast<double>(n) + 2.0);
+
+  LjungBoxResult result;
+  result.statistic = q;
+  result.lags = lags;
+  result.dof = lags - fitted_parameters;
+  result.p_value = stats::RegularizedGammaQ(result.dof / 2.0, q / 2.0);
+  return result;
+}
+
+FitDiagnostics DiagnoseFit(std::span<const double> series, ArimaOrder order,
+                           int lags) {
+  if (series.size() < 64) {
+    throw std::invalid_argument("DiagnoseFit: need at least 64 samples");
+  }
+  FitDiagnostics out;
+  out.order = order;
+  const std::size_t half = series.size() / 2;
+  const ArimaModel model = ArimaModel::Fit(series.subspan(0, half), order);
+  const auto tail = series.subspan(half);
+  const std::vector<double> predictions = model.PredictOneStep(tail);
+  out.residuals.resize(tail.size());
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    out.residuals[i] = tail[i] - predictions[i];
+  }
+  if (lags <= 0) {
+    lags = std::min<int>(20, static_cast<int>(out.residuals.size()) / 5);
+  }
+  lags = std::max(lags, order.p + order.q + 1);
+  out.ljung_box = LjungBox(out.residuals, lags, order.p + order.q);
+  out.residuals_white = out.ljung_box.p_value > 0.05;
+  return out;
+}
+
+}  // namespace ddos::ts

@@ -1,0 +1,46 @@
+// Time-series model diagnostics.
+//
+// The Ljung-Box portmanteau test checks whether a fitted model's residuals
+// are white noise - the standard post-fit sanity check for the ARIMA models
+// behind Table IV. `DiagnoseFit` packages it with the implied residuals of
+// a model over its training series.
+#ifndef DDOSCOPE_TS_DIAGNOSTICS_H_
+#define DDOSCOPE_TS_DIAGNOSTICS_H_
+
+#include <span>
+#include <vector>
+
+#include "timeseries/arima.h"
+
+namespace ddos::ts {
+
+struct LjungBoxResult {
+  double statistic = 0.0;  // Q
+  int lags = 0;
+  int dof = 0;             // lags - fitted_parameters
+  double p_value = 1.0;    // chi-squared tail probability
+};
+
+// Ljung-Box test on a residual series at the given number of lags;
+// `fitted_parameters` (p+q for an ARMA fit) reduces the degrees of freedom.
+// Throws std::invalid_argument when the series is shorter than lags + 2 or
+// lags <= fitted_parameters.
+LjungBoxResult LjungBox(std::span<const double> residuals, int lags,
+                        int fitted_parameters = 0);
+
+struct FitDiagnostics {
+  ArimaOrder order;
+  std::vector<double> residuals;  // one-step out-of-sample errors
+  LjungBoxResult ljung_box;
+  bool residuals_white = false;  // p > 0.05
+};
+
+// Fits `order` on the first half of `series`, one-step-predicts the second
+// half, and Ljung-Box-tests the prediction residuals. `lags` defaults to
+// min(20, n/5) when <= 0, floored above p+q. Requires >= 64 samples.
+FitDiagnostics DiagnoseFit(std::span<const double> series, ArimaOrder order,
+                           int lags = 0);
+
+}  // namespace ddos::ts
+
+#endif  // DDOSCOPE_TS_DIAGNOSTICS_H_

@@ -1,0 +1,171 @@
+#include "botsim/family_profile.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "geo/catalog.h"
+
+namespace ddos::sim {
+namespace {
+
+using data::Family;
+using data::Protocol;
+
+TEST(Profiles, TableIITotalsSumToPaperTotal) {
+  // Table II's per-family sums account for all 50,704 attacks.
+  int total = 0;
+  for (const FamilyProfile& p : DefaultActiveProfiles()) {
+    total += p.total_attacks;
+  }
+  EXPECT_EQ(total, 50704);
+}
+
+TEST(Profiles, PerFamilyTotalsMatchTableII) {
+  const auto profiles = DefaultActiveProfiles();
+  EXPECT_EQ(ProfileFor(profiles, Family::kAldibot).total_attacks, 26);
+  EXPECT_EQ(ProfileFor(profiles, Family::kBlackenergy).total_attacks, 3496);
+  EXPECT_EQ(ProfileFor(profiles, Family::kColddeath).total_attacks, 826);
+  EXPECT_EQ(ProfileFor(profiles, Family::kDarkshell).total_attacks, 2529);
+  EXPECT_EQ(ProfileFor(profiles, Family::kDdoser).total_attacks, 126);
+  EXPECT_EQ(ProfileFor(profiles, Family::kDirtjumper).total_attacks, 34620);
+  EXPECT_EQ(ProfileFor(profiles, Family::kNitol).total_attacks, 936);
+  EXPECT_EQ(ProfileFor(profiles, Family::kOptima).total_attacks, 693);
+  EXPECT_EQ(ProfileFor(profiles, Family::kPandora).total_attacks, 6906);
+  EXPECT_EQ(ProfileFor(profiles, Family::kYzf).total_attacks, 546);
+}
+
+TEST(Profiles, BotnetCountsSumTo674) {
+  int total = 0;
+  for (const FamilyProfile& p : DefaultProfiles()) total += p.botnet_count;
+  EXPECT_EQ(total, 674);  // Table III
+}
+
+TEST(Profiles, AllTwentyThreeFamiliesPresent) {
+  const auto profiles = DefaultProfiles();
+  EXPECT_EQ(profiles.size(), static_cast<std::size_t>(data::kFamilyCount));
+  std::set<Family> seen;
+  for (const FamilyProfile& p : profiles) seen.insert(p.family);
+  EXPECT_EQ(seen.size(), profiles.size());
+}
+
+TEST(Profiles, MinorFamiliesNeverAttack) {
+  for (const FamilyProfile& p : DefaultMinorProfiles()) {
+    EXPECT_EQ(p.total_attacks, 0) << data::FamilyName(p.family);
+  }
+}
+
+TEST(Profiles, ProtocolWeightsMatchTableIIRows) {
+  const auto profiles = DefaultActiveProfiles();
+  const FamilyProfile& be = ProfileFor(profiles, Family::kBlackenergy);
+  // Blackenergy supports five transports (HTTP/TCP/UDP/ICMP/SYN).
+  EXPECT_EQ(be.protocols.size(), 5u);
+  double http_weight = 0;
+  for (const ProtocolShare& ps : be.protocols) {
+    if (ps.protocol == Protocol::kHttp) http_weight = ps.weight;
+  }
+  EXPECT_DOUBLE_EQ(http_weight, 3048.0);
+  // Dirtjumper is HTTP-only.
+  const FamilyProfile& dj = ProfileFor(profiles, Family::kDirtjumper);
+  ASSERT_EQ(dj.protocols.size(), 1u);
+  EXPECT_EQ(dj.protocols[0].protocol, Protocol::kHttp);
+}
+
+TEST(Profiles, EvasiveFamiliesHaveMinimumInterval) {
+  // Fig 5: Aldibot and Optima have no intervals below 60 seconds.
+  const auto profiles = DefaultActiveProfiles();
+  for (const Family f : {Family::kAldibot, Family::kOptima}) {
+    const FamilyProfile& p = ProfileFor(profiles, f);
+    EXPECT_DOUBLE_EQ(p.p_simultaneous, 0.0) << data::FamilyName(f);
+    EXPECT_GE(p.min_interval_s, 60.0) << data::FamilyName(f);
+  }
+}
+
+TEST(Profiles, TargetCountryCountsMatchTableV) {
+  const auto profiles = DefaultActiveProfiles();
+  EXPECT_EQ(ProfileFor(profiles, Family::kAldibot).target_countries.size(), 14u);
+  EXPECT_EQ(ProfileFor(profiles, Family::kDirtjumper).target_countries.size(), 71u);
+  EXPECT_EQ(ProfileFor(profiles, Family::kPandora).target_countries.size(), 43u);
+  EXPECT_EQ(ProfileFor(profiles, Family::kYzf).target_countries.size(), 11u);
+}
+
+TEST(Profiles, TopTargetCountryMatchesTableV) {
+  const auto profiles = DefaultActiveProfiles();
+  EXPECT_EQ(ProfileFor(profiles, Family::kAldibot).target_countries[0].code, "US");
+  EXPECT_EQ(ProfileFor(profiles, Family::kColddeath).target_countries[0].code, "IN");
+  EXPECT_EQ(ProfileFor(profiles, Family::kDarkshell).target_countries[0].code, "CN");
+  EXPECT_EQ(ProfileFor(profiles, Family::kDdoser).target_countries[0].code, "MX");
+  EXPECT_EQ(ProfileFor(profiles, Family::kNitol).target_countries[0].code, "CN");
+  EXPECT_EQ(ProfileFor(profiles, Family::kOptima).target_countries[0].code, "RU");
+  EXPECT_EQ(ProfileFor(profiles, Family::kPandora).target_countries[0].code, "RU");
+  EXPECT_EQ(ProfileFor(profiles, Family::kYzf).target_countries[0].code, "RU");
+}
+
+TEST(Profiles, AllCountryCodesExistInCatalog) {
+  const geo::WorldCatalog& cat = geo::WorldCatalog::Builtin();
+  for (const FamilyProfile& p : DefaultProfiles()) {
+    for (const CountryShare& cs : p.target_countries) {
+      EXPECT_TRUE(cat.IndexOf(cs.code).has_value())
+          << data::FamilyName(p.family) << " target " << cs.code;
+    }
+    for (const CountryShare& cs : p.source_countries) {
+      EXPECT_TRUE(cat.IndexOf(cs.code).has_value())
+          << data::FamilyName(p.family) << " source " << cs.code;
+    }
+    for (const std::string& code : p.rare_source_countries) {
+      EXPECT_TRUE(cat.IndexOf(code).has_value())
+          << data::FamilyName(p.family) << " rare " << code;
+    }
+  }
+}
+
+TEST(Profiles, ActiveWindowsWithinDataset) {
+  for (const FamilyProfile& p : DefaultActiveProfiles()) {
+    for (const auto& [begin, end] : p.active_windows) {
+      EXPECT_GE(begin, 0) << data::FamilyName(p.family);
+      EXPECT_LE(end, 207) << data::FamilyName(p.family);
+      EXPECT_LT(begin, end) << data::FamilyName(p.family);
+    }
+  }
+}
+
+TEST(Profiles, DirtjumperConstantlyActive) {
+  const auto profiles = DefaultActiveProfiles();
+  const FamilyProfile& dj = ProfileFor(profiles, Family::kDirtjumper);
+  ASSERT_EQ(dj.active_windows.size(), 1u);
+  EXPECT_EQ(dj.active_windows[0].first, 0);
+  EXPECT_EQ(dj.active_windows[0].second, 207);
+}
+
+TEST(Profiles, BlackenergyActiveAboutAThird) {
+  const auto profiles = DefaultActiveProfiles();
+  const FamilyProfile& be = ProfileFor(profiles, Family::kBlackenergy);
+  int days = 0;
+  for (const auto& [begin, end] : be.active_windows) days += end - begin;
+  EXPECT_NEAR(days, 207 / 3, 10);
+}
+
+TEST(Profiles, InstrumentedDistributionsSane) {
+  for (const FamilyProfile& p : DefaultActiveProfiles()) {
+    double w = p.p_simultaneous + p.p_long_gap;
+    for (const IntervalMode& m : p.interval_modes) {
+      EXPECT_GT(m.mean_s, 0.0);
+      EXPECT_GT(m.sigma_log, 0.0);
+      w += m.weight;
+    }
+    EXPECT_NEAR(w, 1.0, 0.20) << data::FamilyName(p.family);
+    EXPECT_GT(p.duration_sigma_log, 0.0);
+    EXPECT_GE(p.p_symmetric, 0.0);
+    EXPECT_LE(p.p_symmetric, 1.0);
+    EXPECT_GT(p.dispersion_mean_km, 0.0);
+    EXPECT_GT(p.bots_per_snapshot_mean, 0);
+  }
+}
+
+TEST(Profiles, ProfileForThrowsOnMissing) {
+  const auto actives = DefaultActiveProfiles();
+  EXPECT_THROW(ProfileFor(actives, Family::kZeus), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ddos::sim

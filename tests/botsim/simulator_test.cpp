@@ -1,0 +1,224 @@
+#include "botsim/simulator.h"
+
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace ddos::sim {
+namespace {
+
+using data::Family;
+using ::ddos::testing::SmallDataset;
+using ::ddos::testing::SmallSimConfig;
+using ::ddos::testing::TestGeoDb;
+
+TEST(Simulator, AttackCountScalesWithConfig) {
+  const auto& ds = SmallDataset();
+  // At 5 % scale the windows are also clipped to 60 of 207 days, so the
+  // count lands well below 0.05 * 50704; it must still be substantial.
+  EXPECT_GT(ds.attacks().size(), 400u);
+  EXPECT_LT(ds.attacks().size(), 2500u);
+}
+
+TEST(Simulator, FullBotnetRosterEvenAtSmallScale) {
+  EXPECT_EQ(SmallDataset().botnets().size(), 674u);
+}
+
+TEST(Simulator, AttacksStayInsideTheWindow) {
+  const auto& ds = SmallDataset();
+  const SimConfig config = SmallSimConfig();
+  const TimePoint end = config.start + config.days * kSecondsPerDay;
+  for (const data::AttackRecord& a : ds.attacks()) {
+    EXPECT_GE(a.start_time, config.start);
+    EXPECT_LT(a.start_time, end);
+    EXPECT_GT(a.end_time, a.start_time);
+  }
+}
+
+TEST(Simulator, EveryAttackHasJoinedGeoFields) {
+  for (const data::AttackRecord& a : SmallDataset().attacks()) {
+    EXPECT_FALSE(a.cc.empty());
+    EXPECT_FALSE(a.city.empty());
+    EXPECT_FALSE(a.organization.empty());
+    EXPECT_GT(a.asn.value(), 0u);
+    EXPECT_GE(a.magnitude, 3u);
+    EXPECT_TRUE(geo::IsValid(a.location));
+  }
+}
+
+TEST(Simulator, DdosIdsAreUnique) {
+  std::set<std::uint64_t> ids;
+  for (const data::AttackRecord& a : SmallDataset().attacks()) {
+    EXPECT_TRUE(ids.insert(a.ddos_id).second) << a.ddos_id;
+  }
+}
+
+TEST(Simulator, BotnetIdsBelongToTheAttackFamily) {
+  const auto& ds = SmallDataset();
+  std::unordered_map<std::uint32_t, Family> botnet_family;
+  for (const data::BotnetRecord& b : ds.botnets()) {
+    botnet_family[b.botnet_id] = b.family;
+  }
+  for (const data::AttackRecord& a : ds.attacks()) {
+    const auto it = botnet_family.find(a.botnet_id);
+    ASSERT_NE(it, botnet_family.end());
+    EXPECT_EQ(it->second, a.family);
+  }
+}
+
+TEST(Simulator, OnlyActiveFamiliesAttack) {
+  for (const data::AttackRecord& a : SmallDataset().attacks()) {
+    EXPECT_TRUE(data::IsActive(a.family)) << data::FamilyName(a.family);
+  }
+}
+
+TEST(Simulator, EvasiveFamiliesKeepMinimumIntervals) {
+  // Fig 5: Aldibot and Optima never attack twice within 60 seconds. The
+  // small window excludes Aldibot (its windows start at day 80), so check
+  // Optima.
+  const auto& ds = SmallDataset();
+  std::vector<TimePoint> starts;
+  for (std::size_t idx : ds.AttacksOfFamily(Family::kOptima)) {
+    starts.push_back(ds.attacks()[idx].start_time);
+  }
+  std::sort(starts.begin(), starts.end());
+  for (std::size_t i = 1; i < starts.size(); ++i) {
+    EXPECT_GE(starts[i] - starts[i - 1], 60);
+  }
+}
+
+TEST(Simulator, ProtocolsComeFromFamilyProfile) {
+  const auto& ds = SmallDataset();
+  for (std::size_t idx : ds.AttacksOfFamily(Family::kDirtjumper)) {
+    EXPECT_EQ(ds.attacks()[idx].category, data::Protocol::kHttp);
+  }
+  for (std::size_t idx : ds.AttacksOfFamily(Family::kDdoser)) {
+    EXPECT_EQ(ds.attacks()[idx].category, data::Protocol::kUdp);
+  }
+}
+
+TEST(Simulator, SpikeDayDominatesAndHitsOneSubnet) {
+  const auto& ds = SmallDataset();
+  const SimConfig config = SmallSimConfig();
+  // Count attacks per day; day 1 must be the maximum (the record day).
+  std::unordered_map<int, int> daily;
+  for (const data::AttackRecord& a : ds.attacks()) {
+    ++daily[static_cast<int>(DayIndex(a.start_time, config.start))];
+  }
+  int max_day = -1, max_count = 0;
+  for (const auto& [d, c] : daily) {
+    if (c > max_count) {
+      max_count = c;
+      max_day = d;
+    }
+  }
+  EXPECT_EQ(max_day, 1);
+  // Dirtjumper's day-1 attacks concentrate in a single /24.
+  std::set<std::uint32_t> subnets;
+  for (std::size_t idx : ds.AttacksOfFamily(Family::kDirtjumper)) {
+    const data::AttackRecord& a = ds.attacks()[idx];
+    if (DayIndex(a.start_time, config.start) != 1) continue;
+    subnets.insert(a.target_ip.bits() >> 8);
+  }
+  EXPECT_LE(subnets.size(), 3u);
+  EXPECT_GE(subnets.size(), 1u);
+}
+
+TEST(Simulator, SnapshotsOnlyDuringFamilyActivity) {
+  const auto& ds = SmallDataset();
+  const SimConfig config = SmallSimConfig();
+  // Build per-family hourly occupancy from attacks and check every snapshot
+  // hour is occupied.
+  for (const data::SnapshotRecord& snap : ds.snapshots()) {
+    bool covered = false;
+    for (std::size_t idx : ds.AttacksOfFamily(snap.family)) {
+      const data::AttackRecord& a = ds.attacks()[idx];
+      if (a.start_time - 2 * kSecondsPerHour <= snap.time &&
+          snap.time <= a.end_time + kSecondsPerHour) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << data::FamilyName(snap.family) << " at "
+                         << snap.time.ToString();
+    (void)config;
+  }
+}
+
+TEST(Simulator, BotsRecordedForSnapshotFamilies) {
+  const auto& ds = SmallDataset();
+  EXPECT_GT(ds.bots().size(), 1000u);
+  // Bot observation intervals are sane.
+  for (std::size_t i = 0; i < ds.bots().size(); i += 211) {
+    const data::BotRecord& b = ds.bots()[i];
+    EXPECT_LE(b.first_seen, b.last_seen);
+  }
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  TraceSimulator sim_a(TestGeoDb(), DefaultProfiles(), SmallSimConfig());
+  const data::Dataset a = sim_a.Generate();
+  TraceSimulator sim_b(TestGeoDb(), DefaultProfiles(), SmallSimConfig());
+  const data::Dataset b = sim_b.Generate();
+  ASSERT_EQ(a.attacks().size(), b.attacks().size());
+  for (std::size_t i = 0; i < a.attacks().size(); i += 101) {
+    EXPECT_EQ(a.attacks()[i].ddos_id, b.attacks()[i].ddos_id);
+    EXPECT_EQ(a.attacks()[i].start_time, b.attacks()[i].start_time);
+    EXPECT_EQ(a.attacks()[i].target_ip, b.attacks()[i].target_ip);
+  }
+  ASSERT_EQ(a.snapshots().size(), b.snapshots().size());
+}
+
+TEST(Simulator, DifferentSeedsDiffer) {
+  SimConfig other = SmallSimConfig();
+  other.seed = 999;
+  TraceSimulator sim(TestGeoDb(), DefaultProfiles(), other);
+  const data::Dataset ds = sim.Generate();
+  const auto& base = SmallDataset();
+  ASSERT_FALSE(ds.attacks().empty());
+  bool any_difference = ds.attacks().size() != base.attacks().size();
+  for (std::size_t i = 0; !any_difference && i < ds.attacks().size(); ++i) {
+    any_difference = ds.attacks()[i].start_time != base.attacks()[i].start_time;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Simulator, InjectionTogglesWork) {
+  SimConfig config = SmallSimConfig();
+  config.inject_collaborations = false;
+  config.inject_chains = false;
+  config.inject_spike_day = false;
+  TraceSimulator sim(TestGeoDb(), DefaultProfiles(), config);
+  const data::Dataset ds = sim.Generate();
+  // Without the spike the maximum day is far below the spike size.
+  std::unordered_map<int, int> daily;
+  for (const data::AttackRecord& a : ds.attacks()) {
+    ++daily[static_cast<int>(DayIndex(a.start_time, config.start))];
+  }
+  int max_count = 0;
+  for (const auto& [d, c] : daily) max_count = std::max(max_count, c);
+  EXPECT_LT(max_count, 60);
+}
+
+TEST(Simulator, RejectsBadConfig) {
+  SimConfig config = SmallSimConfig();
+  config.days = 0;
+  EXPECT_THROW(TraceSimulator(TestGeoDb(), DefaultProfiles(), config),
+               std::invalid_argument);
+  config = SmallSimConfig();
+  config.scale = 0.0;
+  EXPECT_THROW(TraceSimulator(TestGeoDb(), DefaultProfiles(), config),
+               std::invalid_argument);
+}
+
+TEST(Simulator, FamiliesInactiveInClippedWindowAreAbsent) {
+  // Aldibot's first window opens on day 80; the 60-day test window excludes
+  // it entirely.
+  EXPECT_TRUE(SmallDataset().AttacksOfFamily(Family::kAldibot).empty());
+}
+
+}  // namespace
+}  // namespace ddos::sim

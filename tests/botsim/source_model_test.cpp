@@ -1,0 +1,179 @@
+#include "botsim/source_model.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "geo/geodesy.h"
+#include "stats/descriptive.h"
+#include "test_support.h"
+
+namespace ddos::sim {
+namespace {
+
+const FamilyProfile& Profile(data::Family f) {
+  static const std::vector<FamilyProfile> profiles = DefaultActiveProfiles();
+  return ProfileFor(profiles, f);
+}
+
+double MeasuredDispersion(const geo::GeoDatabase& db,
+                          const SourceModel::Snapshot& snap) {
+  std::vector<geo::Coordinate> coords;
+  coords.reserve(snap.bot_ips.size());
+  for (const net::IPv4Address& ip : snap.bot_ips) {
+    coords.push_back(db.Lookup(ip).location);
+  }
+  return geo::ComputeDispersion(coords).value_km;
+}
+
+TEST(SourceModel, SnapshotSizesNearProfileMean) {
+  const auto& db = ::ddos::testing::TestGeoDb();
+  SourceModelConfig config;
+  SourceModel model(db, Profile(data::Family::kPandora), config, Rng(1));
+  for (int i = 0; i < 20; ++i) {
+    const auto snap = model.Next();
+    const double k = static_cast<double>(snap.bot_ips.size());
+    EXPECT_NEAR(k, Profile(data::Family::kPandora).bots_per_snapshot_mean,
+                Profile(data::Family::kPandora).bots_per_snapshot_mean * 0.25);
+  }
+}
+
+TEST(SourceModel, AchievedMatchesIndependentMeasurement) {
+  // The model's self-reported dispersion must equal what the analysis-side
+  // measurement computes from the returned bot IPs.
+  const auto& db = ::ddos::testing::TestGeoDb();
+  SourceModelConfig config;
+  SourceModel model(db, Profile(data::Family::kOptima), config, Rng(2));
+  for (int i = 0; i < 15; ++i) {
+    const auto snap = model.Next();
+    EXPECT_NEAR(MeasuredDispersion(db, snap), snap.achieved_dispersion_km, 1e-6);
+  }
+}
+
+TEST(SourceModel, SymmetricSnapshotsLandNearZero) {
+  const auto& db = ::ddos::testing::TestGeoDb();
+  SourceModelConfig config;
+  SourceModel model(db, Profile(data::Family::kPandora), config, Rng(3));
+  int checked = 0, good = 0;
+  for (int i = 0; i < 150 && checked < 60; ++i) {
+    const auto snap = model.Next();
+    if (!snap.symmetric) continue;
+    ++checked;
+    if (snap.achieved_dispersion_km < 10.0) ++good;
+  }
+  ASSERT_GT(checked, 20);
+  EXPECT_GT(static_cast<double>(good) / checked, 0.9);
+}
+
+TEST(SourceModel, AsymmetricSnapshotsTrackTargets) {
+  const auto& db = ::ddos::testing::TestGeoDb();
+  SourceModelConfig config;
+  SourceModel model(db, Profile(data::Family::kDirtjumper), config, Rng(4));
+  int checked = 0, good = 0;
+  for (int i = 0; i < 200 && checked < 60; ++i) {
+    const auto snap = model.Next();
+    if (snap.symmetric) continue;
+    ++checked;
+    const double err = std::abs(snap.achieved_dispersion_km - snap.target_dispersion_km);
+    if (err <= config.asymmetric_tolerance_km + 1e-9) ++good;
+  }
+  ASSERT_GT(checked, 20);
+  EXPECT_GT(static_cast<double>(good) / checked, 0.85);
+}
+
+TEST(SourceModel, BotsComeFromProfileCountries) {
+  const auto& db = ::ddos::testing::TestGeoDb();
+  const FamilyProfile& profile = Profile(data::Family::kColddeath);
+  std::set<std::string> allowed;
+  for (const CountryShare& cs : profile.source_countries) allowed.insert(cs.code);
+  for (const std::string& code : profile.rare_source_countries) allowed.insert(code);
+  SourceModelConfig config;
+  SourceModel model(db, profile, config, Rng(5));
+  for (int i = 0; i < 10; ++i) {
+    const auto snap = model.Next();
+    for (const net::IPv4Address& ip : snap.bot_ips) {
+      EXPECT_TRUE(allowed.count(std::string(db.Lookup(ip).country_code)) > 0)
+          << db.Lookup(ip).country_code;
+    }
+  }
+}
+
+TEST(SourceModel, BotsPersistAcrossSnapshots) {
+  // Churn replaces only a fraction of the pool per hour, so consecutive
+  // snapshots share most addresses.
+  const auto& db = ::ddos::testing::TestGeoDb();
+  SourceModelConfig config;
+  SourceModel model(db, Profile(data::Family::kBlackenergy), config, Rng(6));
+  auto prev = model.Next();
+  double overlap_sum = 0.0;
+  int n = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto cur = model.Next();
+    std::set<std::uint32_t> prev_set;
+    for (const auto& ip : prev.bot_ips) prev_set.insert(ip.bits());
+    int shared = 0;
+    for (const auto& ip : cur.bot_ips) shared += prev_set.count(ip.bits());
+    overlap_sum += static_cast<double>(shared) /
+                   static_cast<double>(cur.bot_ips.size());
+    ++n;
+    prev = cur;
+  }
+  EXPECT_GT(overlap_sum / n, 0.4);
+}
+
+TEST(SourceModel, DistinctBotsGrowOverTime) {
+  const auto& db = ::ddos::testing::TestGeoDb();
+  SourceModelConfig config;
+  SourceModel model(db, Profile(data::Family::kDirtjumper), config, Rng(7));
+  std::set<std::uint32_t> distinct;
+  std::size_t after_10 = 0;
+  for (int i = 0; i < 50; ++i) {
+    for (const auto& ip : model.Next().bot_ips) distinct.insert(ip.bits());
+    if (i == 9) after_10 = distinct.size();
+  }
+  EXPECT_GT(distinct.size(), after_10 + 50);
+}
+
+TEST(SourceModel, SymmetricFractionFollowsProfile) {
+  const auto& db = ::ddos::testing::TestGeoDb();
+  const FamilyProfile& profile = Profile(data::Family::kBlackenergy);  // 0.895
+  SourceModelConfig config;
+  SourceModel model(db, profile, config, Rng(8));
+  int symmetric = 0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) symmetric += model.Next().symmetric;
+  EXPECT_NEAR(static_cast<double>(symmetric) / n, profile.p_symmetric, 0.06);
+}
+
+TEST(SourceModel, DeterministicForSameSeed) {
+  const auto& db = ::ddos::testing::TestGeoDb();
+  SourceModelConfig config;
+  SourceModel a(db, Profile(data::Family::kNitol), config, Rng(9));
+  SourceModel b(db, Profile(data::Family::kNitol), config, Rng(9));
+  for (int i = 0; i < 5; ++i) {
+    const auto sa = a.Next();
+    const auto sb = b.Next();
+    ASSERT_EQ(sa.bot_ips.size(), sb.bot_ips.size());
+    EXPECT_EQ(sa.bot_ips, sb.bot_ips);
+    EXPECT_DOUBLE_EQ(sa.achieved_dispersion_km, sb.achieved_dispersion_km);
+  }
+}
+
+TEST(SourceModel, CountriesSeenAccumulates) {
+  const auto& db = ::ddos::testing::TestGeoDb();
+  SourceModelConfig config;
+  SourceModel model(db, Profile(data::Family::kPandora), config, Rng(10));
+  for (int i = 0; i < 30; ++i) model.Next();
+  EXPECT_GE(model.countries_seen().size(), 2u);
+}
+
+TEST(SourceModel, ThrowsWithoutSourceCountries) {
+  const auto& db = ::ddos::testing::TestGeoDb();
+  FamilyProfile empty;
+  empty.source_countries.clear();
+  SourceModelConfig config;
+  EXPECT_THROW(SourceModel(db, empty, config, Rng(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ddos::sim

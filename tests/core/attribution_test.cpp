@@ -1,0 +1,135 @@
+#include "core/attribution.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace ddos::core {
+namespace {
+
+using data::Family;
+using ::ddos::testing::SmallDataset;
+
+std::vector<std::size_t> AllIndices(const data::Dataset& ds) {
+  std::vector<std::size_t> out(ds.attacks().size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = i;
+  return out;
+}
+
+TEST(Fingerprint, EmptyInput) {
+  const BehaviorFingerprint fp = FingerprintAttacks(SmallDataset(), {});
+  EXPECT_EQ(fp.attacks, 0u);
+  EXPECT_DOUBLE_EQ(fp.Similarity(fp), 0.0);
+}
+
+TEST(Fingerprint, SelfSimilarityIsOne) {
+  const auto indices = AllIndices(SmallDataset());
+  const BehaviorFingerprint fp = FingerprintAttacks(SmallDataset(), indices);
+  EXPECT_GT(fp.attacks, 0u);
+  EXPECT_NEAR(fp.Similarity(fp), 1.0, 1e-12);
+}
+
+TEST(Fingerprint, BlocksAreNormalized) {
+  const auto& ds = SmallDataset();
+  const auto dj = ds.AttacksOfFamily(Family::kDirtjumper);
+  const BehaviorFingerprint fp =
+      FingerprintAttacks(ds, std::vector<std::size_t>(dj.begin(), dj.end()));
+  // Protocol block sums to 1.
+  double protocol_sum = 0.0;
+  for (std::size_t i = 0; i < 7; ++i) protocol_sum += fp.values[i];
+  EXPECT_NEAR(protocol_sum, 1.0, 1e-9);
+  // Everything non-negative.
+  for (const double v : fp.values) EXPECT_GE(v, 0.0);
+}
+
+TEST(Fingerprint, DifferentFamiliesDiffer) {
+  const auto& ds = SmallDataset();
+  const auto dj = ds.AttacksOfFamily(Family::kDirtjumper);
+  const auto dd = ds.AttacksOfFamily(Family::kDdoser);
+  ASSERT_FALSE(dj.empty());
+  ASSERT_FALSE(dd.empty());
+  const auto fp_dj =
+      FingerprintAttacks(ds, std::vector<std::size_t>(dj.begin(), dj.end()));
+  const auto fp_dd =
+      FingerprintAttacks(ds, std::vector<std::size_t>(dd.begin(), dd.end()));
+  // HTTP-only vs UDP-only families must be clearly separable.
+  EXPECT_LT(fp_dj.Similarity(fp_dd), 0.9);
+}
+
+TEST(Classifier, ClassifiesTrainingFamiliesCorrectly) {
+  const auto& ds = SmallDataset();
+  const FamilyClassifier classifier =
+      FamilyClassifier::Train(ds, AllIndices(ds));
+  for (const Family f : data::ActiveFamilies()) {
+    const auto indices = ds.AttacksOfFamily(f);
+    if (indices.size() < 10) continue;
+    const auto fp =
+        FingerprintAttacks(ds, std::vector<std::size_t>(indices.begin(),
+                                                        indices.end()));
+    const auto predicted = classifier.Classify(fp);
+    ASSERT_TRUE(predicted.has_value());
+    EXPECT_EQ(*predicted, f) << data::FamilyName(f);
+  }
+}
+
+TEST(Classifier, EmptyFingerprintUnclassified) {
+  const FamilyClassifier classifier =
+      FamilyClassifier::Train(SmallDataset(), AllIndices(SmallDataset()));
+  EXPECT_FALSE(classifier.Classify(BehaviorFingerprint{}).has_value());
+}
+
+TEST(Classifier, UntrainedClassifierReturnsNothing) {
+  const FamilyClassifier classifier = FamilyClassifier::Train(SmallDataset(), {});
+  const auto fp = FingerprintAttacks(SmallDataset(), AllIndices(SmallDataset()));
+  EXPECT_FALSE(classifier.Classify(fp).has_value());
+  EXPECT_TRUE(classifier.TrainedFamilies().empty());
+}
+
+TEST(Classifier, TrainedFamiliesMatchData) {
+  const auto& ds = SmallDataset();
+  const FamilyClassifier classifier =
+      FamilyClassifier::Train(ds, AllIndices(ds));
+  for (const Family f : classifier.TrainedFamilies()) {
+    EXPECT_FALSE(ds.AttacksOfFamily(f).empty()) << data::FamilyName(f);
+  }
+}
+
+TEST(EvaluateAttribution, BeatsChanceClearly) {
+  // With ~8 active families in the window, chance is ~12 %; behavioral
+  // fingerprints should attribute the majority of held-out botnets.
+  // A larger holdout keeps enough evaluable botnets at the small test scale.
+  const AttributionEvaluation eval = EvaluateAttribution(SmallDataset(), 0.5, 4, 7);
+  ASSERT_GT(eval.botnets_evaluated, 8u);
+  EXPECT_GT(eval.accuracy, 0.5);
+}
+
+TEST(EvaluateAttribution, ConfusionRowsSumToEvaluated) {
+  const AttributionEvaluation eval = EvaluateAttribution(SmallDataset(), 0.3, 5, 7);
+  std::uint64_t total = 0, diagonal = 0;
+  for (std::size_t t = 0; t < data::kFamilyCount; ++t) {
+    for (std::size_t p = 0; p < data::kFamilyCount; ++p) {
+      total += eval.confusion[t][p];
+      if (t == p) diagonal += eval.confusion[t][p];
+    }
+  }
+  EXPECT_EQ(total, eval.botnets_evaluated);
+  EXPECT_EQ(diagonal, eval.correct);
+}
+
+TEST(EvaluateAttribution, DeterministicForSeed) {
+  const AttributionEvaluation a = EvaluateAttribution(SmallDataset(), 0.3, 5, 11);
+  const AttributionEvaluation b = EvaluateAttribution(SmallDataset(), 0.3, 5, 11);
+  EXPECT_EQ(a.botnets_evaluated, b.botnets_evaluated);
+  EXPECT_EQ(a.correct, b.correct);
+}
+
+TEST(EvaluateAttribution, MinAttacksFiltersSmallBotnets) {
+  const AttributionEvaluation strict =
+      EvaluateAttribution(SmallDataset(), 0.3, 50, 7);
+  const AttributionEvaluation loose =
+      EvaluateAttribution(SmallDataset(), 0.3, 2, 7);
+  EXPECT_LE(strict.botnets_evaluated, loose.botnets_evaluated);
+}
+
+}  // namespace
+}  // namespace ddos::core

@@ -1,0 +1,93 @@
+#include "core/bot_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace ddos::core {
+namespace {
+
+using data::Family;
+using ::ddos::testing::SmallDataset;
+using ::ddos::testing::TestGeoDb;
+
+TEST(BotLifetimes, CountsMatchBotlist) {
+  const BotLifetimes lifetimes = ComputeBotLifetimes(SmallDataset());
+  EXPECT_EQ(lifetimes.summary.count, SmallDataset().bots().size());
+  EXPECT_GE(lifetimes.summary.min, 0.0);
+  EXPECT_GE(lifetimes.fraction_single_snapshot, 0.0);
+  EXPECT_LE(lifetimes.fraction_single_snapshot +
+                lifetimes.fraction_over_week,
+            1.0 + 1e-9);
+}
+
+TEST(BotLifetimes, ChurnMakesManyShortLivedAndSomePersistent) {
+  // The source model's churned pool: most recruits are transient, but a
+  // blacklist-worthy core persists for days.
+  const BotLifetimes lifetimes = ComputeBotLifetimes(SmallDataset());
+  EXPECT_GT(lifetimes.fraction_single_snapshot, 0.2);
+  EXPECT_GT(lifetimes.summary.max, 86400.0);
+}
+
+TEST(BotLifetimes, EmptyDataset) {
+  data::Dataset ds;
+  ds.Finalize();
+  const BotLifetimes lifetimes = ComputeBotLifetimes(ds);
+  EXPECT_EQ(lifetimes.summary.count, 0u);
+}
+
+TEST(BotCountryRanking, CoversEveryBot) {
+  const auto ranking = BotCountryRanking(SmallDataset(), TestGeoDb());
+  std::uint64_t total = 0;
+  for (const BotCountryCount& c : ranking) total += c.bots;
+  EXPECT_EQ(total, SmallDataset().bots().size());
+  for (std::size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_GE(ranking[i - 1].bots, ranking[i].bots);
+  }
+}
+
+TEST(BotCountryRanking, SourceAffinityVisible) {
+  // Dirtjumper/Pandora recruit RU-centric: Russia leads the attacker side.
+  const auto ranking = BotCountryRanking(SmallDataset(), TestGeoDb());
+  ASSERT_GE(ranking.size(), 3u);
+  bool ru_in_top3 = false;
+  for (std::size_t i = 0; i < 3; ++i) ru_in_top3 |= ranking[i].cc == "RU";
+  EXPECT_TRUE(ru_in_top3);
+}
+
+TEST(SharedBots, ConsistentCounts) {
+  const SharedBotReport report = AnalyzeSharedBots(SmallDataset());
+  EXPECT_GT(report.bots_in_snapshots, 1000u);
+  EXPECT_LE(report.shared_bots, report.bots_in_snapshots);
+  EXPECT_NEAR(report.shared_fraction,
+              static_cast<double>(report.shared_bots) /
+                  static_cast<double>(report.bots_in_snapshots),
+              1e-12);
+  for (std::size_t i = 1; i < report.top_family_pairs.size(); ++i) {
+    EXPECT_GE(report.top_family_pairs[i - 1].second,
+              report.top_family_pairs[i].second);
+  }
+}
+
+TEST(SharedBots, SharedPairsComeFromOverlappingSourceRegions) {
+  // Families recruiting from the same countries (e.g. the RU-centric
+  // Dirtjumper/Pandora/YZF cluster) can mint the same hosts; families with
+  // disjoint regions (e.g. Ddoser in Latin America vs Colddeath in South
+  // Asia) cannot.
+  const SharedBotReport report = AnalyzeSharedBots(SmallDataset());
+  for (const auto& [pair, count] : report.top_family_pairs) {
+    EXPECT_EQ(pair.find("ddoser+colddeath"), std::string::npos) << pair;
+    EXPECT_EQ(pair.find("colddeath+ddoser"), std::string::npos) << pair;
+  }
+}
+
+TEST(SharedBots, EmptyDataset) {
+  data::Dataset ds;
+  ds.Finalize();
+  const SharedBotReport report = AnalyzeSharedBots(ds);
+  EXPECT_EQ(report.bots_in_snapshots, 0u);
+  EXPECT_DOUBLE_EQ(report.shared_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace ddos::core

@@ -1,0 +1,106 @@
+#include "core/chokepoint.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace ddos::core {
+namespace {
+
+using ::ddos::testing::SmallDataset;
+using ::ddos::testing::TestGeoDb;
+
+const net::AsGraph& Graph() {
+  static const net::AsGraph graph = net::AsGraph::Build(TestGeoDb(), 5);
+  return graph;
+}
+
+const ChokepointReport& Report() {
+  static const ChokepointReport report = [] {
+    ChokepointConfig config;
+    config.bots_per_attack = 6;
+    config.attacks_per_family = 300;
+    return AnalyzeChokepoints(SmallDataset(), TestGeoDb(), Graph(), config);
+  }();
+  return report;
+}
+
+TEST(Chokepoint, ProducesPathsAndRanking) {
+  EXPECT_GT(Report().total_paths, 500u);
+  EXPECT_FALSE(Report().ranking.empty());
+}
+
+TEST(Chokepoint, RankingSortedDescending) {
+  const auto& ranking = Report().ranking;
+  for (std::size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_GE(ranking[i - 1].paths_carried, ranking[i].paths_carried);
+  }
+}
+
+TEST(Chokepoint, TransitAsesOnly) {
+  // Endpoints are excluded, so every ranked AS is transit or backbone.
+  for (const ChokepointEntry& e : Report().ranking) {
+    EXPECT_NE(e.tier, net::AsTier::kEdge) << e.asn.value();
+    EXPECT_FALSE(e.organization.empty());
+  }
+}
+
+TEST(Chokepoint, CoverageIsMonotoneAndBounded) {
+  const auto& coverage = Report().cumulative_coverage;
+  ASSERT_FALSE(coverage.empty());
+  for (std::size_t i = 0; i < coverage.size(); ++i) {
+    EXPECT_GE(coverage[i], i > 0 ? coverage[i - 1] : 0.0);
+    EXPECT_LE(coverage[i], 1.0);
+  }
+}
+
+TEST(Chokepoint, FewAsesCoverMostPaths) {
+  // The defense insight: the hierarchy concentrates transit, so filtering
+  // at a handful of upstream ASes covers the majority of attack paths.
+  const auto& coverage = Report().cumulative_coverage;
+  ASSERT_GE(coverage.size(), 20u);
+  // 10 ASes cover close to half the paths, 20 the clear majority - out of
+  // ~900 transit/backbone ASes in the synthetic topology.
+  EXPECT_GT(coverage[9], 0.35);
+  EXPECT_GT(coverage[19], 0.55);
+}
+
+TEST(Chokepoint, EmptyDataset) {
+  data::Dataset ds;
+  ds.Finalize();
+  const ChokepointReport report =
+      AnalyzeChokepoints(ds, TestGeoDb(), Graph(), ChokepointConfig{});
+  EXPECT_EQ(report.total_paths, 0u);
+  EXPECT_TRUE(report.ranking.empty());
+}
+
+TEST(Chokepoint, DeterministicForSeed) {
+  ChokepointConfig config;
+  config.bots_per_attack = 4;
+  config.attacks_per_family = 100;
+  config.seed = 3;
+  const ChokepointReport a =
+      AnalyzeChokepoints(SmallDataset(), TestGeoDb(), Graph(), config);
+  const ChokepointReport b =
+      AnalyzeChokepoints(SmallDataset(), TestGeoDb(), Graph(), config);
+  ASSERT_EQ(a.total_paths, b.total_paths);
+  ASSERT_EQ(a.ranking.size(), b.ranking.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(a.ranking.size(), 10); ++i) {
+    EXPECT_EQ(a.ranking[i].asn, b.ranking[i].asn);
+    EXPECT_EQ(a.ranking[i].paths_carried, b.ranking[i].paths_carried);
+  }
+}
+
+TEST(Chokepoint, MoreBotsPerAttackMorePaths) {
+  ChokepointConfig small;
+  small.bots_per_attack = 2;
+  small.attacks_per_family = 100;
+  ChokepointConfig big = small;
+  big.bots_per_attack = 8;
+  const auto a = AnalyzeChokepoints(SmallDataset(), TestGeoDb(), Graph(), small);
+  const auto b = AnalyzeChokepoints(SmallDataset(), TestGeoDb(), Graph(), big);
+  EXPECT_GT(b.total_paths, a.total_paths);
+}
+
+}  // namespace
+}  // namespace ddos::core

@@ -1,0 +1,129 @@
+#include "core/collab_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace ddos::core {
+namespace {
+
+using data::Family;
+using ::ddos::testing::SmallDataset;
+
+CollaborationEvent Event(net::IPv4Address target, TimePoint when,
+                         std::initializer_list<std::pair<Family, std::uint32_t>>
+                             members) {
+  CollaborationEvent e;
+  e.target = target;
+  e.first_start = when;
+  std::set<Family> families;
+  for (const auto& [family, botnet] : members) {
+    e.participants.push_back(CollabParticipant{0, family, botnet});
+    families.insert(family);
+  }
+  e.intra_family = families.size() == 1;
+  return e;
+}
+
+TEST(CollabGraph, EmptyEvents) {
+  const CollaborationGraph graph = CollaborationGraph::Build(SmallDataset(), {});
+  EXPECT_TRUE(graph.nodes().empty());
+  EXPECT_TRUE(graph.edges().empty());
+  const auto stats = graph.ComputeStats();
+  EXPECT_EQ(stats.nodes, 0u);
+  EXPECT_EQ(stats.components, 0u);
+}
+
+TEST(CollabGraph, PairEventMakesOneEdge) {
+  std::vector<CollaborationEvent> events = {
+      Event(net::IPv4Address(1), TimePoint(0),
+            {{Family::kDirtjumper, 10}, {Family::kDirtjumper, 11}})};
+  const CollaborationGraph graph =
+      CollaborationGraph::Build(SmallDataset(), events);
+  EXPECT_EQ(graph.nodes().size(), 2u);
+  ASSERT_EQ(graph.edges().size(), 1u);
+  EXPECT_EQ(graph.edges()[0].weight, 1u);
+  EXPECT_FALSE(graph.edges()[0].cross_family);
+}
+
+TEST(CollabGraph, RepeatedPairAccumulatesWeight) {
+  std::vector<CollaborationEvent> events = {
+      Event(net::IPv4Address(1), TimePoint(0),
+            {{Family::kDirtjumper, 10}, {Family::kPandora, 200}}),
+      Event(net::IPv4Address(2), TimePoint(100),
+            {{Family::kDirtjumper, 10}, {Family::kPandora, 200}})};
+  const CollaborationGraph graph =
+      CollaborationGraph::Build(SmallDataset(), events);
+  ASSERT_EQ(graph.edges().size(), 1u);
+  EXPECT_EQ(graph.edges()[0].weight, 2u);
+  EXPECT_TRUE(graph.edges()[0].cross_family);
+  for (const CollaborationGraph::Node& n : graph.nodes()) {
+    EXPECT_EQ(n.events, 2u);
+    EXPECT_EQ(n.degree, 1u);
+  }
+}
+
+TEST(CollabGraph, TripleEventMakesTriangle) {
+  std::vector<CollaborationEvent> events = {
+      Event(net::IPv4Address(1), TimePoint(0),
+            {{Family::kDirtjumper, 10},
+             {Family::kDirtjumper, 11},
+             {Family::kDirtjumper, 12}})};
+  const CollaborationGraph graph =
+      CollaborationGraph::Build(SmallDataset(), events);
+  EXPECT_EQ(graph.nodes().size(), 3u);
+  EXPECT_EQ(graph.edges().size(), 3u);
+}
+
+TEST(CollabGraph, ComponentsSeparateDisjointClusters) {
+  std::vector<CollaborationEvent> events = {
+      Event(net::IPv4Address(1), TimePoint(0),
+            {{Family::kDirtjumper, 10}, {Family::kDirtjumper, 11}}),
+      Event(net::IPv4Address(2), TimePoint(10),
+            {{Family::kNitol, 30}, {Family::kNitol, 31}}),
+      Event(net::IPv4Address(3), TimePoint(20),
+            {{Family::kDirtjumper, 11}, {Family::kPandora, 200}})};
+  const CollaborationGraph graph =
+      CollaborationGraph::Build(SmallDataset(), events);
+  const auto components = graph.Components();
+  ASSERT_EQ(components.size(), 2u);
+  EXPECT_EQ(components[0].size(), 3u);  // 10-11-200 chained
+  EXPECT_EQ(components[1].size(), 2u);  // 30-31
+}
+
+TEST(CollabGraph, StatsIdentifyHub) {
+  std::vector<CollaborationEvent> events = {
+      Event(net::IPv4Address(1), TimePoint(0),
+            {{Family::kDirtjumper, 10}, {Family::kPandora, 200}}),
+      Event(net::IPv4Address(2), TimePoint(10),
+            {{Family::kDirtjumper, 10}, {Family::kBlackenergy, 300}}),
+      Event(net::IPv4Address(3), TimePoint(20),
+            {{Family::kDirtjumper, 10}, {Family::kOptima, 400}})};
+  const CollaborationGraph graph =
+      CollaborationGraph::Build(SmallDataset(), events);
+  const auto stats = graph.ComputeStats();
+  EXPECT_EQ(stats.hub_botnet, 10u);
+  EXPECT_EQ(stats.hub_family, Family::kDirtjumper);
+  EXPECT_EQ(stats.hub_degree, 3u);
+  EXPECT_EQ(stats.cross_family_edges, 3u);
+  EXPECT_EQ(stats.largest_component, 4u);
+}
+
+TEST(CollabGraph, SyntheticTraceEcosystem) {
+  const auto events = DetectConcurrentCollaborations(SmallDataset());
+  const CollaborationGraph graph =
+      CollaborationGraph::Build(SmallDataset(), events);
+  const auto stats = graph.ComputeStats();
+  ASSERT_GT(stats.nodes, 10u);
+  EXPECT_GT(stats.edges, 10u);
+  // The ecosystem's hub is a Dirtjumper generation (every inter-family
+  // collaboration involves Dirtjumper, and it dominates intra-family ones).
+  EXPECT_EQ(stats.hub_family, Family::kDirtjumper);
+  // Components cover all nodes.
+  std::size_t covered = 0;
+  for (const auto& component : graph.Components()) covered += component.size();
+  EXPECT_EQ(covered, stats.nodes);
+}
+
+}  // namespace
+}  // namespace ddos::core

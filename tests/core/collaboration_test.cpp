@@ -1,0 +1,242 @@
+#include "core/collaboration.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace ddos::core {
+namespace {
+
+using data::Family;
+using ::ddos::testing::SmallDataset;
+
+data::AttackRecord Attack(std::uint64_t id, Family f, std::uint32_t botnet,
+                          const char* target, std::int64_t start,
+                          std::int64_t duration, std::uint32_t magnitude = 50) {
+  data::AttackRecord a;
+  a.ddos_id = id;
+  a.family = f;
+  a.botnet_id = botnet;
+  a.target_ip = *net::IPv4Address::Parse(target);
+  a.start_time = TimePoint(start);
+  a.end_time = TimePoint(start + duration);
+  a.cc = "RU";
+  a.organization = "RU-WebHosting-01";
+  a.asn = net::Asn(65000);
+  a.magnitude = magnitude;
+  return a;
+}
+
+TEST(DetectConcurrent, FindsInjectedIntraFamilyEvent) {
+  data::Dataset ds;
+  ds.AddAttack(Attack(1, Family::kDirtjumper, 10, "1.2.3.4", 1000, 3600));
+  ds.AddAttack(Attack(2, Family::kDirtjumper, 11, "1.2.3.4", 1030, 3700));
+  ds.Finalize();
+  const auto events = DetectConcurrentCollaborations(ds);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].intra_family);
+  EXPECT_EQ(events[0].participants.size(), 2u);
+}
+
+TEST(DetectConcurrent, RequiresDistinctBotnets) {
+  data::Dataset ds;
+  ds.AddAttack(Attack(1, Family::kDirtjumper, 10, "1.2.3.4", 1000, 3600));
+  ds.AddAttack(Attack(2, Family::kDirtjumper, 10, "1.2.3.4", 1030, 3700));
+  ds.Finalize();
+  EXPECT_TRUE(DetectConcurrentCollaborations(ds).empty());
+}
+
+TEST(DetectConcurrent, RespectsStartWindow) {
+  data::Dataset ds;
+  ds.AddAttack(Attack(1, Family::kDirtjumper, 10, "1.2.3.4", 1000, 3600));
+  ds.AddAttack(Attack(2, Family::kDirtjumper, 11, "1.2.3.4", 1061, 3600));
+  ds.Finalize();
+  EXPECT_TRUE(DetectConcurrentCollaborations(ds).empty());  // 61 s apart
+}
+
+TEST(DetectConcurrent, RespectsDurationDifference) {
+  data::Dataset ds;
+  ds.AddAttack(Attack(1, Family::kDirtjumper, 10, "1.2.3.4", 1000, 600));
+  ds.AddAttack(Attack(2, Family::kDirtjumper, 11, "1.2.3.4", 1010, 600 + 1801));
+  ds.Finalize();
+  EXPECT_TRUE(DetectConcurrentCollaborations(ds).empty());
+}
+
+TEST(DetectConcurrent, RequiresSameTarget) {
+  data::Dataset ds;
+  ds.AddAttack(Attack(1, Family::kDirtjumper, 10, "1.2.3.4", 1000, 3600));
+  ds.AddAttack(Attack(2, Family::kDirtjumper, 11, "5.6.7.8", 1010, 3600));
+  ds.Finalize();
+  EXPECT_TRUE(DetectConcurrentCollaborations(ds).empty());
+}
+
+TEST(DetectConcurrent, CrossFamilyIsInter) {
+  data::Dataset ds;
+  ds.AddAttack(Attack(1, Family::kDirtjumper, 10, "1.2.3.4", 1000, 3600));
+  ds.AddAttack(Attack(2, Family::kPandora, 200, "1.2.3.4", 1040, 3000));
+  ds.Finalize();
+  const auto events = DetectConcurrentCollaborations(ds);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].intra_family);
+}
+
+TEST(DetectConcurrent, ConfigurableWindows) {
+  data::Dataset ds;
+  ds.AddAttack(Attack(1, Family::kDirtjumper, 10, "1.2.3.4", 1000, 600));
+  ds.AddAttack(Attack(2, Family::kDirtjumper, 11, "1.2.3.4", 1100, 600));
+  ds.Finalize();
+  CollaborationConfig wide;
+  wide.start_window_s = 120;
+  EXPECT_EQ(DetectConcurrentCollaborations(ds, wide).size(), 1u);
+  CollaborationConfig narrow;
+  narrow.start_window_s = 30;
+  EXPECT_TRUE(DetectConcurrentCollaborations(ds, narrow).empty());
+}
+
+TEST(Tabulate, CountsPerFamilySide) {
+  data::Dataset ds;
+  // One intra-Dirtjumper event, one Dirtjumper x Pandora event.
+  ds.AddAttack(Attack(1, Family::kDirtjumper, 10, "1.2.3.4", 1000, 3600));
+  ds.AddAttack(Attack(2, Family::kDirtjumper, 11, "1.2.3.4", 1030, 3700));
+  ds.AddAttack(Attack(3, Family::kDirtjumper, 12, "9.9.9.9", 90000, 3600));
+  ds.AddAttack(Attack(4, Family::kPandora, 200, "9.9.9.9", 90030, 3500));
+  ds.Finalize();
+  const auto events = DetectConcurrentCollaborations(ds);
+  const CollaborationTable table = TabulateCollaborations(events);
+  EXPECT_EQ(table.intra[static_cast<std::size_t>(Family::kDirtjumper)], 1u);
+  EXPECT_EQ(table.inter[static_cast<std::size_t>(Family::kDirtjumper)], 1u);
+  EXPECT_EQ(table.inter[static_cast<std::size_t>(Family::kPandora)], 1u);
+  EXPECT_EQ(table.intra[static_cast<std::size_t>(Family::kPandora)], 0u);
+}
+
+TEST(SyntheticTrace, TableVIShapeHolds) {
+  const auto events = DetectConcurrentCollaborations(SmallDataset());
+  ASSERT_FALSE(events.empty());
+  const CollaborationTable table = TabulateCollaborations(events);
+  const auto at = [&](Family f, bool intra) {
+    return (intra ? table.intra : table.inter)[static_cast<std::size_t>(f)];
+  };
+  // Dirtjumper leads intra-family collaborations (Table VI).
+  for (const Family f : data::ActiveFamilies()) {
+    if (f == Family::kDirtjumper) continue;
+    EXPECT_GE(at(Family::kDirtjumper, true), at(f, true));
+  }
+  // All inter-family events involve Dirtjumper.
+  for (const CollaborationEvent& e : events) {
+    if (e.intra_family) continue;
+    bool has_dj = false;
+    for (const CollabParticipant& p : e.participants) {
+      has_dj |= p.family == Family::kDirtjumper;
+    }
+    EXPECT_TRUE(has_dj);
+  }
+}
+
+TEST(AnalyzeIntraFamily, DirtjumperViewMatchesPaperShape) {
+  const auto events = DetectConcurrentCollaborations(SmallDataset());
+  const IntraCollabView view =
+      AnalyzeIntraFamily(SmallDataset(), events, Family::kDirtjumper);
+  ASSERT_FALSE(view.events.empty());
+  // Fig 15: mostly two botnets per event (paper average 2.19), equal
+  // magnitudes for most bars.
+  EXPECT_GT(view.avg_botnets_per_event, 1.9);
+  EXPECT_LT(view.avg_botnets_per_event, 2.8);
+  EXPECT_GT(view.equal_magnitude_fraction, 0.5);
+  for (const IntraCollabEvent& e : view.events) {
+    EXPECT_GE(e.botnet_ids.size(), 2u);
+    EXPECT_EQ(e.botnet_ids.size(), e.magnitudes.size());
+  }
+}
+
+TEST(AnalyzeFamilyPair, DirtjumperPandoraDetail) {
+  const auto events = DetectConcurrentCollaborations(SmallDataset());
+  const PairCollabDetail detail = AnalyzeFamilyPair(
+      SmallDataset(), events, Family::kDirtjumper, Family::kPandora);
+  ASSERT_GT(detail.events, 0u);
+  EXPECT_GT(detail.unique_targets, 0u);
+  EXPECT_LE(detail.unique_targets, detail.events);
+  EXPECT_GT(detail.countries, 0u);
+  EXPECT_LE(detail.countries, detail.organizations + 5);
+  EXPECT_EQ(detail.series.size(), detail.events);
+  // Magnitudes are equal in injected collaborations (Fig 16).
+  std::size_t equal = 0;
+  for (const PairCollabPoint& p : detail.series) {
+    if (p.magnitude_a == p.magnitude_b) ++equal;
+  }
+  EXPECT_GT(static_cast<double>(equal) / detail.series.size(), 0.5);
+}
+
+TEST(DetectChains, FindsBackToBackAttacks) {
+  data::Dataset ds;
+  ds.AddAttack(Attack(1, Family::kDdoser, 1, "1.2.3.4", 1000, 50));
+  ds.AddAttack(Attack(2, Family::kDdoser, 1, "1.2.3.4", 1053, 50));  // 3 s gap
+  ds.AddAttack(Attack(3, Family::kDdoser, 1, "1.2.3.4", 1110, 50));  // 7 s gap
+  ds.Finalize();
+  const auto chains = DetectConsecutiveChains(ds);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].attack_indices.size(), 3u);
+  ASSERT_EQ(chains[0].gaps_s.size(), 2u);
+  EXPECT_DOUBLE_EQ(chains[0].gaps_s[0], 3.0);
+  EXPECT_DOUBLE_EQ(chains[0].gaps_s[1], 7.0);
+  EXPECT_EQ(chains[0].span_seconds, 160);
+}
+
+TEST(DetectChains, AllowsOverlapWithinMargin) {
+  data::Dataset ds;
+  ds.AddAttack(Attack(1, Family::kNitol, 1, "1.2.3.4", 1000, 100));
+  // Starts 40 s before the previous ends: gap -40, inside the margin.
+  ds.AddAttack(Attack(2, Family::kNitol, 1, "1.2.3.4", 1060, 100));
+  ds.Finalize();
+  const auto chains = DetectConsecutiveChains(ds);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_DOUBLE_EQ(chains[0].gaps_s[0], -40.0);
+}
+
+TEST(DetectChains, BreaksBeyondMargin) {
+  data::Dataset ds;
+  ds.AddAttack(Attack(1, Family::kNitol, 1, "1.2.3.4", 1000, 100));
+  ds.AddAttack(Attack(2, Family::kNitol, 1, "1.2.3.4", 1161, 100));  // gap 61
+  ds.Finalize();
+  EXPECT_TRUE(DetectConsecutiveChains(ds).empty());
+}
+
+TEST(DetectChains, SyntheticTraceHasIntraFamilyChains) {
+  const auto chains = DetectConsecutiveChains(SmallDataset());
+  ASSERT_FALSE(chains.empty());
+  const ChainStats stats = SummarizeChains(SmallDataset(), chains);
+  EXPECT_EQ(stats.chains, chains.size());
+  // Section V-B: consecutive collaborations are intra-family.
+  EXPECT_GT(stats.intra_family_chains, 5 * std::max<std::uint64_t>(
+                                                stats.cross_family_chains, 1));
+  // Only the four chaining families (plus rare accidental others).
+  const std::set<Family> chain_families = {Family::kDarkshell, Family::kDdoser,
+                                           Family::kDirtjumper, Family::kNitol};
+  std::size_t in_expected = 0;
+  for (const ConsecutiveChain& c : chains) {
+    if (c.families.size() == 1 && chain_families.count(c.families[0]) > 0) {
+      ++in_expected;
+    }
+  }
+  EXPECT_GT(static_cast<double>(in_expected) / chains.size(), 0.8);
+}
+
+TEST(SummarizeChains, GapStatisticsMatchPaperShape) {
+  const auto chains = DetectConsecutiveChains(SmallDataset());
+  const ChainStats stats = SummarizeChains(SmallDataset(), chains);
+  // Section V-B: gaps are tiny (mean ~0.1 s, median ~3 s, sd ~23 s).
+  EXPECT_NEAR(stats.gap_mean_s, 0.0, 10.0);
+  EXPECT_NEAR(stats.gap_median_s, 3.0, 12.0);  // few chains at 5 % scale
+  EXPECT_NEAR(stats.gap_std_s, 23.0, 12.0);
+  EXPECT_GE(stats.longest_length, 2u);
+}
+
+TEST(SummarizeChains, EmptyInput) {
+  const ChainStats stats = SummarizeChains(SmallDataset(), {});
+  EXPECT_EQ(stats.chains, 0u);
+  EXPECT_EQ(stats.longest_length, 0u);
+}
+
+}  // namespace
+}  // namespace ddos::core

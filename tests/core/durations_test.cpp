@@ -1,0 +1,65 @@
+#include "core/durations.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace ddos::core {
+namespace {
+
+using ::ddos::testing::SmallDataset;
+using ::ddos::testing::SmallSimConfig;
+
+TEST(AttackDurations, MatchesRecords) {
+  const auto& ds = SmallDataset();
+  const auto durations = AttackDurations(ds.attacks());
+  ASSERT_EQ(durations.size(), ds.attacks().size());
+  for (std::size_t i = 0; i < durations.size(); i += 53) {
+    EXPECT_DOUBLE_EQ(durations[i],
+                     static_cast<double>(ds.attacks()[i].duration_seconds()));
+  }
+}
+
+TEST(ComputeDurationStats, EmptyInput) {
+  const DurationStats s = ComputeDurationStats({});
+  EXPECT_EQ(s.summary.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p80_seconds, 0.0);
+}
+
+TEST(ComputeDurationStats, KnownValues) {
+  const std::vector<double> v = {50.0, 200.0, 5000.0, 20000.0};
+  const DurationStats s = ComputeDurationStats(v);
+  EXPECT_DOUBLE_EQ(s.fraction_100_10000, 0.5);
+  EXPECT_DOUBLE_EQ(s.fraction_under_4h, 0.75);
+  EXPECT_DOUBLE_EQ(s.summary.min, 50.0);
+}
+
+TEST(ComputeDurationStats, SyntheticTraceShape) {
+  // Fig 6/7 shape: median well under an hour, skewed right, most attacks
+  // in the 100..10000 s band.
+  const auto durations = AttackDurations(SmallDataset().attacks());
+  const DurationStats s = ComputeDurationStats(durations);
+  EXPECT_GT(s.summary.mean, s.summary.median);  // right skew
+  EXPECT_GT(s.fraction_100_10000, 0.5);
+  EXPECT_GT(s.summary.median, 100.0);
+  EXPECT_LT(s.summary.median, 10000.0);
+  EXPECT_GT(s.fraction_under_4h, 0.6);
+}
+
+TEST(DurationTimeline, DaysAndValuesAligned) {
+  const auto& ds = SmallDataset();
+  const auto timeline = DurationTimeline(ds.attacks(), SmallSimConfig().start);
+  ASSERT_EQ(timeline.size(), ds.attacks().size());
+  for (std::size_t i = 0; i < timeline.size(); i += 97) {
+    EXPECT_GE(timeline[i].day, 0);
+    EXPECT_LT(timeline[i].day, SmallSimConfig().days);
+    EXPECT_GT(timeline[i].duration_s, 0.0);
+  }
+  // Chronological: day indices never decrease.
+  for (std::size_t i = 1; i < timeline.size(); ++i) {
+    EXPECT_LE(timeline[i - 1].day, timeline[i].day);
+  }
+}
+
+}  // namespace
+}  // namespace ddos::core

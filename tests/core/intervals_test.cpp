@@ -1,0 +1,176 @@
+#include "core/intervals.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace ddos::core {
+namespace {
+
+using data::Family;
+using ::ddos::testing::SmallDataset;
+
+TEST(IntervalsFromStarts, Basics) {
+  const std::vector<TimePoint> starts = {TimePoint(0), TimePoint(10), TimePoint(70)};
+  const auto v = IntervalsFromStarts(starts);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 10.0);
+  EXPECT_DOUBLE_EQ(v[1], 60.0);
+  EXPECT_TRUE(IntervalsFromStarts(std::vector<TimePoint>{TimePoint(5)}).empty());
+  EXPECT_TRUE(IntervalsFromStarts({}).empty());
+}
+
+TEST(AllAttackIntervals, SizeIsAttacksMinusOne) {
+  const auto v = AllAttackIntervals(SmallDataset());
+  EXPECT_EQ(v.size(), SmallDataset().attacks().size() - 1);
+  for (double x : v) EXPECT_GE(x, 0.0);  // chronological order
+}
+
+TEST(FamilyIntervals, NonNegativeAndSized) {
+  for (const Family f : data::ActiveFamilies()) {
+    const auto indices = SmallDataset().AttacksOfFamily(f);
+    const auto v = FamilyIntervals(SmallDataset(), f);
+    if (indices.size() >= 2) {
+      EXPECT_EQ(v.size(), indices.size() - 1);
+    } else {
+      EXPECT_TRUE(v.empty());
+    }
+  }
+}
+
+TEST(TargetIntervals, MatchesPerTargetHistory) {
+  const auto& ds = SmallDataset();
+  for (const net::IPv4Address& target : ds.Targets()) {
+    const auto indices = ds.AttacksOnTarget(target);
+    if (indices.size() < 3) continue;
+    const auto v = TargetIntervals(ds, target);
+    EXPECT_EQ(v.size(), indices.size() - 1);
+    return;  // one non-trivial target is enough
+  }
+}
+
+TEST(ComputeIntervalStats, EmptyInput) {
+  const IntervalStats s = ComputeIntervalStats({});
+  EXPECT_EQ(s.summary.count, 0u);
+  EXPECT_DOUBLE_EQ(s.fraction_concurrent, 0.0);
+}
+
+TEST(ComputeIntervalStats, KnownValues) {
+  const std::vector<double> v = {0.0, 30.0, 120.0, 5000.0};
+  const IntervalStats s = ComputeIntervalStats(v);
+  EXPECT_DOUBLE_EQ(s.fraction_concurrent, 0.5);   // 0 and 30 are <= 60
+  EXPECT_DOUBLE_EQ(s.fraction_1k_10k, 0.25);      // 5000 only
+  EXPECT_DOUBLE_EQ(s.summary.max, 5000.0);
+}
+
+TEST(ComputeIntervalStats, FamilyBasedConcurrencyNearHalf) {
+  // Fig 3: > 50 % of same-family intervals are concurrent (<= 60 s).
+  std::vector<double> all;
+  for (const Family f : data::ActiveFamilies()) {
+    const auto v = FamilyIntervals(SmallDataset(), f);
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  const IntervalStats s = ComputeIntervalStats(all);
+  EXPECT_GT(s.fraction_concurrent, 0.30);
+  EXPECT_LT(s.fraction_concurrent, 0.75);
+}
+
+TEST(ClusterIntervals, ExcludesSimultaneous) {
+  const std::vector<double> v = {0.0, 10.0, 60.0, 400.0};
+  const auto clusters = ClusterIntervals(v);
+  std::uint64_t total = 0;
+  for (const IntervalCluster& c : clusters) total += c.count;
+  EXPECT_EQ(total, 1u);  // only 400 s lands in a bucket
+}
+
+TEST(ClusterIntervals, BucketsAreContiguous) {
+  const auto clusters = ClusterIntervals({});
+  ASSERT_GT(clusters.size(), 5u);
+  for (std::size_t i = 1; i < clusters.size(); ++i) {
+    EXPECT_DOUBLE_EQ(clusters[i].lo_s, clusters[i - 1].hi_s);
+  }
+  EXPECT_DOUBLE_EQ(clusters.front().lo_s, 60.0);
+}
+
+TEST(ClusterIntervals, PaperModesPopulated) {
+  // Fig 4: 6-7 min, 20-40 min and 2-3 h are common across families.
+  std::vector<double> all;
+  for (const Family f : data::ActiveFamilies()) {
+    const auto v = FamilyIntervals(SmallDataset(), f);
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  const auto clusters = ClusterIntervals(all);
+  auto count_of = [&](const std::string& label) -> std::uint64_t {
+    for (const IntervalCluster& c : clusters) {
+      if (c.label == label) return c.count;
+    }
+    return 0;
+  };
+  EXPECT_GT(count_of("6-7 min"), 0u);
+  EXPECT_GT(count_of("20-40 min"), 0u);
+  EXPECT_GT(count_of("2-3 h"), 0u);
+}
+
+TEST(AnalyzeConcurrency, GroupsHaveAtLeastTwoMembers) {
+  const ConcurrencyReport r = AnalyzeConcurrency(SmallDataset());
+  for (const ConcurrentGroup& g : r.groups) {
+    EXPECT_GE(g.attack_indices.size(), 2u);
+  }
+  EXPECT_EQ(r.groups.size(), r.single_family_groups + r.multi_family_groups);
+}
+
+TEST(AnalyzeConcurrency, SingleFamilyGroupsDominate) {
+  // Section III-B: single-family concurrent groups far outnumber
+  // multi-family ones.
+  const ConcurrencyReport r = AnalyzeConcurrency(SmallDataset());
+  EXPECT_GT(r.single_family_groups, r.multi_family_groups);
+  EXPECT_GT(r.single_family_groups, 0u);
+}
+
+TEST(AnalyzeConcurrency, PairsSortedDescending) {
+  const ConcurrencyReport r = AnalyzeConcurrency(SmallDataset());
+  for (std::size_t i = 1; i < r.top_family_pairs.size(); ++i) {
+    EXPECT_GE(r.top_family_pairs[i - 1].second, r.top_family_pairs[i].second);
+  }
+}
+
+TEST(AnalyzeConcurrency, EmptyDataset) {
+  data::Dataset ds;
+  ds.Finalize();
+  const ConcurrencyReport r = AnalyzeConcurrency(ds);
+  EXPECT_TRUE(r.groups.empty());
+}
+
+TEST(AnalyzeConcurrency, SyntheticGroups) {
+  data::Dataset ds;
+  auto add = [&](std::uint64_t id, Family f, std::int64_t start) {
+    data::AttackRecord a;
+    a.ddos_id = id;
+    a.family = f;
+    a.botnet_id = static_cast<std::uint32_t>(id);
+    a.target_ip = net::IPv4Address(static_cast<std::uint32_t>(id));
+    a.start_time = TimePoint(start);
+    a.end_time = TimePoint(start + 100);
+    ds.AddAttack(a);
+  };
+  // Group 1: three attacks within 60 s chains (dirtjumper only).
+  add(1, Family::kDirtjumper, 1000);
+  add(2, Family::kDirtjumper, 1030);
+  add(3, Family::kDirtjumper, 1080);
+  // Isolated attack.
+  add(4, Family::kPandora, 5000);
+  // Group 2: cross family.
+  add(5, Family::kPandora, 9000);
+  add(6, Family::kBlackenergy, 9050);
+  ds.Finalize();
+  const ConcurrencyReport r = AnalyzeConcurrency(ds);
+  EXPECT_EQ(r.single_family_groups, 1u);
+  EXPECT_EQ(r.multi_family_groups, 1u);
+  ASSERT_EQ(r.top_family_pairs.size(), 1u);
+  EXPECT_EQ(r.top_family_pairs[0].first, "blackenergy+pandora");
+  ASSERT_EQ(r.simultaneous_families.size(), 1u);
+  EXPECT_EQ(r.simultaneous_families[0], Family::kDirtjumper);
+}
+
+}  // namespace
+}  // namespace ddos::core

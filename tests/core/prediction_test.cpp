@@ -1,0 +1,182 @@
+#include "core/prediction.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/geo_analysis.h"
+#include "test_support.h"
+
+namespace ddos::core {
+namespace {
+
+using data::Family;
+using ::ddos::testing::SmallDataset;
+using ::ddos::testing::TestGeoDb;
+
+std::vector<double> PersistentSeries(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(static_cast<std::size_t>(n));
+  double x = 1000.0;
+  for (auto& out : v) {
+    x = 1000.0 + 0.9 * (x - 1000.0) + rng.Normal(0.0, 50.0);
+    out = std::max(0.0, x);
+  }
+  return v;
+}
+
+TEST(PredictDispersion, TooShortSeriesIsRejected) {
+  const std::vector<double> v(20, 100.0);
+  EXPECT_FALSE(PredictDispersion(v).has_value());
+}
+
+TEST(PredictDispersion, SplitsAtTrainFraction) {
+  const auto v = PersistentSeries(400, 3);
+  const auto res = PredictDispersion(v);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->truth.size(), 200u);
+  EXPECT_EQ(res->prediction.size(), 200u);
+  EXPECT_EQ(res->errors.size(), 200u);
+  GeoPredictionConfig cfg;
+  cfg.train_fraction = 0.75;
+  const auto res75 = PredictDispersion(v, cfg);
+  ASSERT_TRUE(res75.has_value());
+  EXPECT_EQ(res75->truth.size(), 100u);
+}
+
+TEST(PredictDispersion, TruthMatchesInput) {
+  const auto v = PersistentSeries(300, 5);
+  const auto res = PredictDispersion(v);
+  ASSERT_TRUE(res.has_value());
+  for (std::size_t i = 0; i < res->truth.size(); ++i) {
+    EXPECT_DOUBLE_EQ(res->truth[i], v[150 + i]);
+    EXPECT_DOUBLE_EQ(res->errors[i], res->prediction[i] - res->truth[i]);
+  }
+}
+
+TEST(PredictDispersion, PersistentSeriesIsPredictable) {
+  const auto v = PersistentSeries(2000, 7);
+  const auto res = PredictDispersion(v);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_GT(res->cosine_similarity, 0.95);
+  EXPECT_NEAR(res->prediction_mean, res->truth_mean,
+              0.1 * res->truth_mean);
+  EXPECT_LT(res->mae, 100.0);
+  EXPECT_GE(res->rmse, res->mae);
+}
+
+TEST(PredictDispersion, PredictionsAreNonNegative) {
+  const auto v = PersistentSeries(600, 11);
+  const auto res = PredictDispersion(v);
+  ASSERT_TRUE(res.has_value());
+  for (double p : res->prediction) EXPECT_GE(p, 0.0);
+}
+
+TEST(PredictDispersion, AutoOrderWorks) {
+  GeoPredictionConfig cfg;
+  cfg.auto_order = true;
+  const auto v = PersistentSeries(800, 13);
+  const auto res = PredictDispersion(v, cfg);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_GT(res->cosine_similarity, 0.9);
+}
+
+TEST(PredictDispersion, EndToEndOnSyntheticFamilies) {
+  // Table IV protocol on the generated trace: every family with enough
+  // asymmetric snapshots must be predictable with high cosine similarity.
+  int evaluated = 0;
+  for (const Family f : {Family::kDirtjumper, Family::kPandora,
+                         Family::kBlackenergy, Family::kOptima}) {
+    const auto values = DispersionValues(
+        DispersionSeries(SmallDataset(), TestGeoDb(), f));
+    const auto asym = AsymmetricValues(values);
+    const auto res = PredictDispersion(asym);
+    if (!res) continue;
+    ++evaluated;
+    EXPECT_GT(res->cosine_similarity, 0.5) << data::FamilyName(f);
+    EXPECT_NEAR(res->prediction_mean, res->truth_mean, res->truth_mean)
+        << data::FamilyName(f);
+  }
+  EXPECT_GE(evaluated, 1);  // only high-volume families qualify at 5 % scale
+}
+
+TEST(PredictNextAttackStart, RequiresHistory) {
+  std::vector<TimePoint> starts = {TimePoint(0), TimePoint(100)};
+  EXPECT_FALSE(PredictNextAttackStart(starts).has_value());
+}
+
+TEST(PredictNextAttackStart, MedianIntervalForShortHistory) {
+  const std::vector<TimePoint> starts = {TimePoint(0), TimePoint(100),
+                                         TimePoint(200), TimePoint(300)};
+  const auto pred = PredictNextAttackStart(starts);
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_STREQ(pred->method, "median-interval");
+  EXPECT_DOUBLE_EQ(pred->interval_seconds, 100.0);
+  EXPECT_EQ(pred->predicted_start, TimePoint(400));
+}
+
+TEST(PredictNextAttackStart, ArimaForLongPeriodicHistory) {
+  std::vector<TimePoint> starts;
+  Rng rng(17);
+  std::int64_t t = 0;
+  for (int i = 0; i < 60; ++i) {
+    starts.emplace_back(t);
+    t += 3600 + rng.UniformInt(-60, 60);
+  }
+  const auto pred = PredictNextAttackStart(starts);
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_STREQ(pred->method, "arima");
+  EXPECT_NEAR(pred->interval_seconds, 3600.0, 300.0);
+}
+
+TEST(EvaluateStartTimePrediction, PeriodicTargetsAreAccuratelyPredicted) {
+  // Build a dataset of strictly periodic attacks on a handful of targets;
+  // the predictor must nail them (the paper's "accurate start time
+  // prediction" finding).
+  data::Dataset ds;
+  std::uint64_t id = 1;
+  for (int target = 0; target < 5; ++target) {
+    const std::int64_t period = 1800 + 600 * target;
+    for (int i = 0; i < 20; ++i) {
+      data::AttackRecord a;
+      a.ddos_id = id++;
+      a.family = Family::kDirtjumper;
+      a.botnet_id = 1;
+      a.target_ip = net::IPv4Address(static_cast<std::uint32_t>(0x01010100 + target));
+      a.start_time = TimePoint(i * period);
+      a.end_time = a.start_time + 300;
+      ds.AddAttack(a);
+    }
+  }
+  ds.Finalize();
+  const StartTimeEvaluation eval =
+      EvaluateStartTimePrediction(ds, Family::kDirtjumper, 60.0);
+  EXPECT_GT(eval.predictions, 50u);
+  EXPECT_LT(eval.median_abs_error_s, 10.0);
+  EXPECT_GT(eval.within_tolerance, 0.9);
+}
+
+TEST(EvaluateStartTimePrediction, SyntheticTraceProducesPredictions) {
+  // The synthetic trace draws targets by a Zipf process rather than giving
+  // each victim its own period, so per-target intervals are heavy-tailed
+  // and only loosely predictable - the evaluation must still run at scale
+  // and produce finite errors (the strictly periodic case above checks
+  // accuracy itself).
+  const StartTimeEvaluation eval =
+      EvaluateStartTimePrediction(SmallDataset(), Family::kDirtjumper, 6.0 * 3600);
+  EXPECT_GT(eval.predictions, 100u);
+  EXPECT_GT(eval.median_abs_error_s, 0.0);
+  EXPECT_GT(eval.within_tolerance, 0.0);
+}
+
+TEST(EvaluateStartTimePrediction, EmptyForFamilyWithoutRepeats) {
+  data::Dataset ds;
+  ds.Finalize();
+  const StartTimeEvaluation eval =
+      EvaluateStartTimePrediction(ds, Family::kNitol);
+  EXPECT_EQ(eval.predictions, 0u);
+}
+
+}  // namespace
+}  // namespace ddos::core

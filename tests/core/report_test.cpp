@@ -1,0 +1,82 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace ddos::core {
+namespace {
+
+TEST(TextTable, RendersHeaderRuleAndRows) {
+  TextTable table({"Family", "Attacks"});
+  table.AddRow({"dirtjumper", "34620"});
+  table.AddRow({"pandora", "6906"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("Family"), std::string::npos);
+  EXPECT_NE(out.find("dirtjumper"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable table({"A", "B", "C"});
+  table.AddRow({"x"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find('x'), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable table({"N", "Value"});
+  table.AddRow({"1", "short"});
+  table.AddRow({"2", "a-much-longer-value"});
+  const std::string out = table.Render();
+  // Every line reaches at least the width of the longest row.
+  std::size_t pos = 0, line_end;
+  std::vector<std::string> lines;
+  while ((line_end = out.find('\n', pos)) != std::string::npos) {
+    lines.push_back(out.substr(pos, line_end - pos));
+    pos = line_end + 1;
+  }
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_GE(lines[1].size(), lines[3].size() - 2);
+}
+
+TEST(RenderBars, ScalesToMaximum) {
+  const std::string out = RenderBars({{"a", 100.0}, {"b", 50.0}}, 10);
+  // 'a' gets the full width, 'b' half.
+  EXPECT_NE(out.find("##########"), std::string::npos);
+  EXPECT_NE(out.find("#####"), std::string::npos);
+}
+
+TEST(RenderBars, HandlesAllZero) {
+  const std::string out = RenderBars({{"a", 0.0}}, 10);
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_EQ(out.find('#'), std::string::npos);
+}
+
+TEST(RenderCdf, ProducesRequestedPoints) {
+  const std::vector<double> v = {1.0, 10.0, 100.0, 1000.0};
+  const stats::Ecdf ecdf(v);
+  const std::string out = RenderCdf(ecdf, 5, /*log_x=*/true);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+  EXPECT_NE(out.find("1.0000"), std::string::npos);
+}
+
+TEST(RenderHistogram, ShowsBinsAndCounts) {
+  const std::vector<double> v = {1.0, 1.5, 8.0};
+  const auto hist = stats::Histogram::Linear(v, 0.0, 10.0, 2);
+  const std::string out = RenderHistogram(hist);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Humanize, Formats) {
+  EXPECT_EQ(Humanize(3.0), "3");
+  EXPECT_EQ(Humanize(3.25), "3.25");
+  EXPECT_EQ(Humanize(150.0), "150");
+  EXPECT_EQ(Humanize(13882.0), "13.9k");
+  EXPECT_EQ(Humanize(2500000.0), "2.50M");
+  EXPECT_EQ(Humanize(3e9), "3.00G");
+}
+
+}  // namespace
+}  // namespace ddos::core

@@ -1,0 +1,132 @@
+#include "core/sessionize.h"
+
+#include <gtest/gtest.h>
+
+namespace ddos::core {
+namespace {
+
+using data::Family;
+using data::Protocol;
+
+Observation Obs(std::uint32_t botnet, const char* target, std::int64_t start,
+                std::int64_t end, std::uint32_t sources = 10,
+                Protocol protocol = Protocol::kHttp) {
+  Observation o;
+  o.botnet_id = botnet;
+  o.family = Family::kDirtjumper;
+  o.protocol = protocol;
+  o.target_ip = *net::IPv4Address::Parse(target);
+  o.start = TimePoint(start);
+  o.end = TimePoint(end);
+  o.sources = sources;
+  return o;
+}
+
+TEST(Sessionize, EmptyInput) {
+  EXPECT_TRUE(SessionizeObservations({}).empty());
+}
+
+TEST(Sessionize, SingleObservationIsOneAttack) {
+  const auto attacks = SessionizeObservations({Obs(1, "1.1.1.1", 100, 400)});
+  ASSERT_EQ(attacks.size(), 1u);
+  EXPECT_EQ(attacks[0].start_time, TimePoint(100));
+  EXPECT_EQ(attacks[0].end_time, TimePoint(400));
+  EXPECT_EQ(attacks[0].magnitude, 10u);
+  EXPECT_EQ(attacks[0].ddos_id, 1u);
+}
+
+TEST(Sessionize, GapWithin60sMerges) {
+  const auto attacks = SessionizeObservations(
+      {Obs(1, "1.1.1.1", 100, 400, 10), Obs(1, "1.1.1.1", 450, 800, 25)});
+  ASSERT_EQ(attacks.size(), 1u);
+  EXPECT_EQ(attacks[0].start_time, TimePoint(100));
+  EXPECT_EQ(attacks[0].end_time, TimePoint(800));
+  EXPECT_EQ(attacks[0].magnitude, 25u);  // max over the run
+}
+
+TEST(Sessionize, GapBeyond60sSplits) {
+  // Section II-D: "for attacks whose interval exceeds 60 seconds, we
+  // consider them as different attacks".
+  const auto attacks = SessionizeObservations(
+      {Obs(1, "1.1.1.1", 100, 400), Obs(1, "1.1.1.1", 461, 800)});
+  ASSERT_EQ(attacks.size(), 2u);
+  EXPECT_EQ(attacks[0].end_time, TimePoint(400));
+  EXPECT_EQ(attacks[1].start_time, TimePoint(461));
+}
+
+TEST(Sessionize, BoundaryGapExactly60sMerges) {
+  const auto attacks = SessionizeObservations(
+      {Obs(1, "1.1.1.1", 100, 400), Obs(1, "1.1.1.1", 460, 800)});
+  EXPECT_EQ(attacks.size(), 1u);
+}
+
+TEST(Sessionize, OverlappingObservationsMerge) {
+  const auto attacks = SessionizeObservations(
+      {Obs(1, "1.1.1.1", 100, 500), Obs(1, "1.1.1.1", 300, 450)});
+  ASSERT_EQ(attacks.size(), 1u);
+  EXPECT_EQ(attacks[0].end_time, TimePoint(500));  // contained run keeps max end
+}
+
+TEST(Sessionize, DifferentBotnetsNeverMerge) {
+  const auto attacks = SessionizeObservations(
+      {Obs(1, "1.1.1.1", 100, 400), Obs(2, "1.1.1.1", 410, 800)});
+  EXPECT_EQ(attacks.size(), 2u);
+}
+
+TEST(Sessionize, DifferentTargetsNeverMerge) {
+  const auto attacks = SessionizeObservations(
+      {Obs(1, "1.1.1.1", 100, 400), Obs(1, "2.2.2.2", 410, 800)});
+  EXPECT_EQ(attacks.size(), 2u);
+}
+
+TEST(Sessionize, ProtocolMajorityVote) {
+  const auto attacks = SessionizeObservations(
+      {Obs(1, "1.1.1.1", 100, 200, 10, Protocol::kUdp),
+       Obs(1, "1.1.1.1", 210, 300, 10, Protocol::kHttp),
+       Obs(1, "1.1.1.1", 310, 400, 10, Protocol::kHttp)});
+  ASSERT_EQ(attacks.size(), 1u);
+  EXPECT_EQ(attacks[0].category, Protocol::kHttp);
+}
+
+TEST(Sessionize, OutOfOrderInputHandled) {
+  const auto attacks = SessionizeObservations(
+      {Obs(1, "1.1.1.1", 450, 800), Obs(1, "1.1.1.1", 100, 400)});
+  ASSERT_EQ(attacks.size(), 1u);
+  EXPECT_EQ(attacks[0].start_time, TimePoint(100));
+}
+
+TEST(Sessionize, IdsAreChronological) {
+  const auto attacks = SessionizeObservations(
+      {Obs(2, "2.2.2.2", 5000, 5100), Obs(1, "1.1.1.1", 100, 400)},
+      SessionizeConfig{}, 100);
+  ASSERT_EQ(attacks.size(), 2u);
+  EXPECT_EQ(attacks[0].ddos_id, 100u);
+  EXPECT_EQ(attacks[0].start_time, TimePoint(100));
+  EXPECT_EQ(attacks[1].ddos_id, 101u);
+}
+
+TEST(Sessionize, ConfigurableGap) {
+  SessionizeConfig wide;
+  wide.split_gap_s = 300;
+  const auto merged = SessionizeObservations(
+      {Obs(1, "1.1.1.1", 100, 400), Obs(1, "1.1.1.1", 600, 800)}, wide);
+  EXPECT_EQ(merged.size(), 1u);
+  const auto split = SessionizeObservations(
+      {Obs(1, "1.1.1.1", 100, 400), Obs(1, "1.1.1.1", 600, 800)});
+  EXPECT_EQ(split.size(), 2u);
+}
+
+TEST(Sessionize, LongChainOfObservationsIsOneAttack) {
+  std::vector<Observation> obs;
+  for (int i = 0; i < 48; ++i) {
+    obs.push_back(Obs(7, "9.9.9.9", i * 100, i * 100 + 90, 5 + i));
+  }
+  const auto attacks = SessionizeObservations(obs);
+  ASSERT_EQ(attacks.size(), 1u);
+  EXPECT_EQ(attacks[0].start_time, TimePoint(0));
+  EXPECT_EQ(attacks[0].end_time, TimePoint(47 * 100 + 90));
+  EXPECT_EQ(attacks[0].magnitude, 52u);
+}
+
+}  // namespace
+}  // namespace ddos::core

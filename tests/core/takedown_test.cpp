@@ -1,0 +1,110 @@
+#include "core/takedown.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace ddos::core {
+namespace {
+
+using data::Family;
+using ::ddos::testing::SmallDataset;
+
+const std::vector<CollaborationEvent>& Events() {
+  static const std::vector<CollaborationEvent> events =
+      DetectConcurrentCollaborations(SmallDataset());
+  return events;
+}
+
+const std::vector<TakedownCandidate>& Ranking() {
+  static const std::vector<TakedownCandidate> ranking =
+      RankTakedowns(SmallDataset(), Events());
+  return ranking;
+}
+
+TEST(Takedown, EveryAttackingBotnetRanked) {
+  std::set<std::uint32_t> attacking;
+  for (const data::AttackRecord& a : SmallDataset().attacks()) {
+    attacking.insert(a.botnet_id);
+  }
+  EXPECT_EQ(Ranking().size(), attacking.size());
+}
+
+TEST(Takedown, RankingSortedByUtility) {
+  for (std::size_t i = 1; i < Ranking().size(); ++i) {
+    EXPECT_GE(Ranking()[i - 1].utility, Ranking()[i].utility);
+  }
+}
+
+TEST(Takedown, UtilityArithmetic) {
+  TakedownConfig config;
+  for (const TakedownCandidate& c : Ranking()) {
+    EXPECT_NEAR(c.utility,
+                c.attack_seconds + config.collaboration_weight *
+                                       static_cast<double>(c.collaboration_events),
+                1e-6);
+    EXPECT_GT(c.attacks, 0u);
+  }
+}
+
+TEST(Takedown, CollaborationWeightChangesOrdering) {
+  TakedownConfig heavy;
+  heavy.collaboration_weight = 1e9;  // collaborations dominate
+  const auto by_collab = RankTakedowns(SmallDataset(), Events(), heavy);
+  ASSERT_FALSE(by_collab.empty());
+  // Under extreme weighting the top botnet maximizes collaboration count.
+  std::uint64_t max_events = 0;
+  for (const TakedownCandidate& c : by_collab) {
+    max_events = std::max(max_events, c.collaboration_events);
+  }
+  EXPECT_EQ(by_collab.front().collaboration_events, max_events);
+}
+
+TEST(Takedown, ImpactGrowsMonotonicallyWithK) {
+  double prev = -1.0;
+  for (const std::size_t k : {1u, 5u, 20u, 100u}) {
+    const TakedownImpact impact =
+        SimulateTakedown(SmallDataset(), Events(), Ranking(), k);
+    EXPECT_GE(impact.fraction_removed, prev);
+    EXPECT_LE(impact.fraction_removed, 1.0);
+    prev = impact.fraction_removed;
+  }
+}
+
+TEST(Takedown, RemovingAllBotnetsRemovesEverything) {
+  const TakedownImpact impact = SimulateTakedown(
+      SmallDataset(), Events(), Ranking(), Ranking().size());
+  EXPECT_DOUBLE_EQ(impact.fraction_removed, 1.0);
+  EXPECT_EQ(impact.attacks_removed, SmallDataset().attacks().size());
+  EXPECT_EQ(impact.collaborations_broken, Events().size());
+}
+
+TEST(Takedown, ZeroKRemovesNothing) {
+  const TakedownImpact impact =
+      SimulateTakedown(SmallDataset(), Events(), Ranking(), 0);
+  EXPECT_DOUBLE_EQ(impact.fraction_removed, 0.0);
+  EXPECT_EQ(impact.attacks_removed, 0u);
+  EXPECT_EQ(impact.collaborations_broken, 0u);
+}
+
+TEST(Takedown, TopTakedownsConcentrateImpact) {
+  // The utility ranking front-loads impact: the top 5 % of botnets remove
+  // far more than 5 % of attack-seconds (Zipf-ish botnet activity).
+  const std::size_t k = std::max<std::size_t>(1, Ranking().size() / 20);
+  const TakedownImpact impact =
+      SimulateTakedown(SmallDataset(), Events(), Ranking(), k);
+  EXPECT_GT(impact.fraction_removed,
+            3.0 * static_cast<double>(k) / Ranking().size());
+}
+
+TEST(Takedown, EmptyDataset) {
+  data::Dataset ds;
+  ds.Finalize();
+  const auto ranking = RankTakedowns(ds, {});
+  EXPECT_TRUE(ranking.empty());
+  const TakedownImpact impact = SimulateTakedown(ds, {}, ranking, 10);
+  EXPECT_DOUBLE_EQ(impact.fraction_removed, 0.0);
+}
+
+}  // namespace
+}  // namespace ddos::core

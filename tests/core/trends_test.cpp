@@ -1,0 +1,111 @@
+#include "core/trends.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace ddos::core {
+namespace {
+
+using data::Family;
+using ::ddos::testing::SmallDataset;
+
+data::Dataset TwoPeriodDataset() {
+  data::Dataset ds;
+  std::uint64_t id = 1;
+  const TimePoint origin = TimePoint::FromDate(2012, 8, 29);
+  auto add = [&](std::int64_t day, std::int64_t duration, std::uint32_t magnitude,
+                 data::Protocol protocol) {
+    data::AttackRecord a;
+    a.ddos_id = id++;
+    a.family = Family::kDirtjumper;
+    a.botnet_id = 1;
+    a.target_ip = net::IPv4Address(static_cast<std::uint32_t>(id % 5));
+    a.category = protocol;
+    a.start_time = origin + day * kSecondsPerDay + 3600;
+    a.end_time = a.start_time + duration;
+    a.magnitude = magnitude;
+    ds.AddAttack(a);
+  };
+  // Period 0 (days 0..27): 4 attacks, mean duration 1000, magnitude 50.
+  for (int i = 0; i < 4; ++i) add(i, 1000, 50, data::Protocol::kHttp);
+  // Period 1 (days 28..55): 8 attacks, mean duration 2000, magnitude 100.
+  for (int i = 0; i < 8; ++i) add(28 + i, 2000, 100, data::Protocol::kUdp);
+  ds.Finalize();
+  return ds;
+}
+
+TEST(Trends, EmptyDataset) {
+  data::Dataset ds;
+  ds.Finalize();
+  const TrendReport report = ComputeTrends(ds);
+  EXPECT_TRUE(report.periods.empty());
+  EXPECT_TRUE(report.deltas.empty());
+}
+
+TEST(Trends, RejectsBadPeriod) {
+  EXPECT_THROW(ComputeTrends(SmallDataset(), 0), std::invalid_argument);
+  EXPECT_THROW(ComputeTrends(SmallDataset(), -7), std::invalid_argument);
+}
+
+TEST(Trends, TwoPeriodArithmetic) {
+  const data::Dataset ds = TwoPeriodDataset();
+  const TrendReport report = ComputeTrends(ds, 28);
+  ASSERT_EQ(report.periods.size(), 2u);
+  EXPECT_EQ(report.periods[0].attacks, 4u);
+  EXPECT_EQ(report.periods[1].attacks, 8u);
+  EXPECT_DOUBLE_EQ(report.periods[0].mean_duration_s, 1000.0);
+  EXPECT_DOUBLE_EQ(report.periods[1].mean_duration_s, 2000.0);
+  EXPECT_DOUBLE_EQ(report.periods[0].mean_magnitude, 50.0);
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.deltas[0].attacks, 1.0);         // +100 %
+  EXPECT_DOUBLE_EQ(report.deltas[0].mean_duration, 1.0);   // +100 %
+  EXPECT_DOUBLE_EQ(report.deltas[0].mean_magnitude, 1.0);  // +100 %
+  EXPECT_DOUBLE_EQ(report.overall.attacks, 1.0);
+}
+
+TEST(Trends, ProtocolSharesSumToOnePerNonEmptyPeriod) {
+  const TrendReport report = ComputeTrends(SmallDataset(), 14);
+  for (const PeriodStats& period : report.periods) {
+    if (period.attacks == 0) continue;
+    double sum = 0.0;
+    for (const double share : period.protocol_share) sum += share;
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "period " << period.index;
+  }
+}
+
+TEST(Trends, PeriodsTileTheWindow) {
+  const TrendReport report = ComputeTrends(SmallDataset(), 10);
+  ASSERT_GT(report.periods.size(), 2u);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < report.periods.size(); ++i) {
+    EXPECT_EQ(report.periods[i].index, static_cast<int>(i));
+    if (i > 0) {
+      EXPECT_EQ(report.periods[i].begin, report.periods[i - 1].end);
+    }
+    total += report.periods[i].attacks;
+  }
+  EXPECT_EQ(total, SmallDataset().attacks().size());
+}
+
+TEST(Trends, DistinctTargetsBounded) {
+  const TrendReport report = ComputeTrends(SmallDataset(), 14);
+  for (const PeriodStats& period : report.periods) {
+    EXPECT_LE(period.distinct_targets, period.attacks);
+  }
+}
+
+TEST(Trends, MedianAtMostMeanForSkewedDurations) {
+  // Attack durations are right-skewed, so per-period mean >= median.
+  const TrendReport report = ComputeTrends(SmallDataset(), 28);
+  int checked = 0;
+  for (const PeriodStats& period : report.periods) {
+    if (period.attacks < 30) continue;
+    ++checked;
+    EXPECT_GE(period.mean_duration_s, period.median_duration_s * 0.8);
+  }
+  EXPECT_GT(checked, 0);
+}
+
+}  // namespace
+}  // namespace ddos::core

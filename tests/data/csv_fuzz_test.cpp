@@ -1,0 +1,102 @@
+// Robustness: the CSV reader must never crash or hang on corrupted input -
+// it either parses (when the mutation keeps every field well formed) or
+// throws std::runtime_error / std::invalid_argument with a line number.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "data/csv.h"
+#include "test_support.h"
+
+namespace ddos::data {
+namespace {
+
+std::string BaseCsv() {
+  std::stringstream ss;
+  const auto& ds = ::ddos::testing::SmallDataset();
+  const std::span<const AttackRecord> head =
+      ds.attacks().subspan(0, std::min<std::size_t>(ds.attacks().size(), 50));
+  WriteAttacksCsv(ss, head);
+  return ss.str();
+}
+
+void ExpectParseOrThrow(const std::string& text) {
+  std::stringstream ss(text);
+  try {
+    const auto records = ReadAttacksCsv(ss);
+    (void)records;
+  } catch (const std::runtime_error&) {
+    // Acceptable: rejected with a diagnostic.
+  } catch (const std::invalid_argument&) {
+    // Acceptable: a timestamp field failed validation.
+  }
+}
+
+TEST(CsvFuzz, RandomByteMutations) {
+  const std::string base = BaseCsv();
+  Rng rng(99);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = base;
+    const int mutations = static_cast<int>(rng.UniformInt(1, 6));
+    for (int m = 0; m < mutations; ++m) {
+      const std::size_t pos = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(mutated.size()) - 1));
+      mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+    }
+    ExpectParseOrThrow(mutated);
+  }
+}
+
+TEST(CsvFuzz, RandomTruncations) {
+  const std::string base = BaseCsv();
+  Rng rng(101);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t cut = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(base.size())));
+    ExpectParseOrThrow(base.substr(0, cut));
+  }
+}
+
+TEST(CsvFuzz, RandomLineDeletionsStillParse) {
+  // Deleting whole data lines keeps the file valid (records are
+  // independent) - the reader must accept it and return fewer records.
+  const std::string base = BaseCsv();
+  std::vector<std::string> lines = ::ddos::Split(base, '\n');
+  Rng rng(103);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string rebuilt = lines[0] + "\n";  // keep the header
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      if (lines[i].empty() || rng.Bernoulli(0.3)) continue;
+      rebuilt += lines[i] + "\n";
+    }
+    std::stringstream ss(rebuilt);
+    EXPECT_NO_THROW({
+      const auto records = ReadAttacksCsv(ss);
+      EXPECT_LE(records.size(), lines.size() - 1);
+    });
+  }
+}
+
+TEST(CsvFuzz, GarbageInputsThrowCleanly) {
+  for (const char* garbage :
+       {"\n\n\n", "header only", "a,b\nc,d\n",
+        "ddos_id,botnet_id\n1,2\n", ",,,,,,,,,,,,,\n,,,,,,,,,,,,,\n"}) {
+    ExpectParseOrThrow(garbage);
+  }
+}
+
+TEST(CsvFuzz, BinaryNoiseDoesNotCrash) {
+  Rng rng(107);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string noise(static_cast<std::size_t>(rng.UniformInt(1, 4096)), '\0');
+    for (char& c : noise) {
+      c = static_cast<char>(rng.UniformInt(1, 255));
+    }
+    ExpectParseOrThrow("header\n" + noise);
+  }
+}
+
+}  // namespace
+}  // namespace ddos::data

@@ -1,0 +1,185 @@
+#include "data/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace ddos::data {
+namespace {
+
+TEST(CsvLine, SimpleFields) {
+  const auto f = ParseCsvLine("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(CsvLine, QuotedFieldWithComma) {
+  const auto f = ParseCsvLine("a,\"x, y\",c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "x, y");
+}
+
+TEST(CsvLine, EscapedQuote) {
+  const auto f = ParseCsvLine("\"he said \"\"hi\"\"\",b");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "he said \"hi\"");
+}
+
+TEST(CsvLine, EmptyFields) {
+  const auto f = ParseCsvLine(",,");
+  ASSERT_EQ(f.size(), 3u);
+  for (const auto& s : f) EXPECT_TRUE(s.empty());
+}
+
+TEST(CsvEscape, OnlyQuotesWhenNeeded) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvEscape("with\"quote"), "\"with\"\"quote\"");
+}
+
+TEST(CsvEscape, RoundTripsThroughParse) {
+  const std::string nasty = "a,\"b\"\nc";
+  const auto f = ParseCsvLine(CsvEscape("x") + "," + CsvEscape("with,comma"));
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[1], "with,comma");
+}
+
+AttackRecord SampleAttack() {
+  AttackRecord a;
+  a.ddos_id = 42;
+  a.botnet_id = 7;
+  a.family = Family::kDirtjumper;
+  a.category = Protocol::kHttp;
+  a.target_ip = *net::IPv4Address::Parse("198.51.100.7");
+  a.start_time = TimePoint::Parse("2012-09-01 10:00:00");
+  a.end_time = TimePoint::Parse("2012-09-01 11:30:00");
+  a.asn = net::Asn(65001);
+  a.cc = "RU";
+  a.city = "Moscow";
+  a.location = {55.76, 37.62};
+  a.organization = "RU-WebHosting-01";
+  a.magnitude = 120;
+  return a;
+}
+
+TEST(AttackCsv, SingleRecordRoundTrip) {
+  const AttackRecord a = SampleAttack();
+  std::stringstream ss;
+  WriteAttacksCsv(ss, std::vector<AttackRecord>{a});
+  const auto back = ReadAttacksCsv(ss);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].ddos_id, a.ddos_id);
+  EXPECT_EQ(back[0].botnet_id, a.botnet_id);
+  EXPECT_EQ(back[0].family, a.family);
+  EXPECT_EQ(back[0].category, a.category);
+  EXPECT_EQ(back[0].target_ip, a.target_ip);
+  EXPECT_EQ(back[0].start_time, a.start_time);
+  EXPECT_EQ(back[0].end_time, a.end_time);
+  EXPECT_EQ(back[0].asn, a.asn);
+  EXPECT_EQ(back[0].cc, a.cc);
+  EXPECT_EQ(back[0].city, a.city);
+  EXPECT_NEAR(back[0].location.lat_deg, a.location.lat_deg, 1e-5);
+  EXPECT_NEAR(back[0].location.lon_deg, a.location.lon_deg, 1e-5);
+  EXPECT_EQ(back[0].organization, a.organization);
+  EXPECT_EQ(back[0].magnitude, a.magnitude);
+}
+
+TEST(AttackCsv, CityWithCommaSurvives) {
+  AttackRecord a = SampleAttack();
+  a.city = "Washington, DC";
+  std::stringstream ss;
+  WriteAttacksCsv(ss, std::vector<AttackRecord>{a});
+  const auto back = ReadAttacksCsv(ss);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].city, "Washington, DC");
+}
+
+TEST(AttackCsv, RejectsWrongFieldCount) {
+  std::stringstream ss("header\n1,2,3\n");
+  EXPECT_THROW(ReadAttacksCsv(ss), std::runtime_error);
+}
+
+TEST(AttackCsv, RejectsBadFamily) {
+  const AttackRecord a = SampleAttack();
+  std::stringstream ss;
+  WriteAttacksCsv(ss, std::vector<AttackRecord>{a});
+  std::string text = ss.str();
+  const auto pos = text.find("dirtjumper");
+  text.replace(pos, 10, "mirai-mini");
+  std::stringstream bad(text);
+  EXPECT_THROW(ReadAttacksCsv(bad), std::runtime_error);
+}
+
+TEST(AttackCsv, SkipsBlankLines) {
+  const AttackRecord a = SampleAttack();
+  std::stringstream ss;
+  WriteAttacksCsv(ss, std::vector<AttackRecord>{a});
+  std::stringstream padded(ss.str() + "\n\n");
+  EXPECT_EQ(ReadAttacksCsv(padded).size(), 1u);
+}
+
+TEST(BotnetCsv, RoundTrip) {
+  BotnetRecord b;
+  b.botnet_id = 99;
+  b.family = Family::kPandora;
+  b.controller_ip = *net::IPv4Address::Parse("203.0.113.9");
+  b.first_seen = TimePoint::Parse("2012-08-29");
+  b.last_seen = TimePoint::Parse("2013-03-24");
+  std::stringstream ss;
+  WriteBotnetsCsv(ss, std::vector<BotnetRecord>{b});
+  const auto back = ReadBotnetsCsv(ss);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].botnet_id, 99u);
+  EXPECT_EQ(back[0].family, Family::kPandora);
+  EXPECT_EQ(back[0].controller_ip, b.controller_ip);
+  EXPECT_EQ(back[0].last_seen, b.last_seen);
+}
+
+TEST(SnapshotCsv, RoundTripGroupsRows) {
+  std::vector<SnapshotRecord> snaps;
+  snaps.push_back(SnapshotRecord{TimePoint(3600), Family::kNitol,
+                                 {*net::IPv4Address::Parse("1.1.1.1"),
+                                  *net::IPv4Address::Parse("2.2.2.2")}});
+  snaps.push_back(SnapshotRecord{TimePoint(7200), Family::kNitol,
+                                 {*net::IPv4Address::Parse("3.3.3.3")}});
+  std::stringstream ss;
+  WriteSnapshotsCsv(ss, snaps);
+  const auto back = ReadSnapshotsCsv(ss);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].bot_ips.size(), 2u);
+  EXPECT_EQ(back[1].bot_ips.size(), 1u);
+  EXPECT_EQ(back[0].time, TimePoint(3600));
+}
+
+TEST(AttackCsv, FullSyntheticDatasetRoundTrips) {
+  const auto& ds = ::ddos::testing::SmallDataset();
+  std::stringstream ss;
+  WriteAttacksCsv(ss, ds.attacks());
+  const auto back = ReadAttacksCsv(ss);
+  ASSERT_EQ(back.size(), ds.attacks().size());
+  for (std::size_t i = 0; i < back.size(); i += 97) {
+    EXPECT_EQ(back[i].ddos_id, ds.attacks()[i].ddos_id);
+    EXPECT_EQ(back[i].target_ip, ds.attacks()[i].target_ip);
+    EXPECT_EQ(back[i].start_time, ds.attacks()[i].start_time);
+    EXPECT_EQ(back[i].magnitude, ds.attacks()[i].magnitude);
+  }
+}
+
+TEST(AttackCsv, FileSaveLoad) {
+  const AttackRecord a = SampleAttack();
+  const std::string path = ::testing::TempDir() + "/attacks_test.csv";
+  SaveAttacksCsv(path, std::vector<AttackRecord>{a});
+  const auto back = LoadAttacksCsv(path);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].ddos_id, a.ddos_id);
+}
+
+TEST(AttackCsv, LoadMissingFileThrows) {
+  EXPECT_THROW(LoadAttacksCsv("/nonexistent/dir/x.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ddos::data

@@ -1,0 +1,124 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace ddos::data {
+namespace {
+
+AttackRecord MakeAttack(std::uint64_t id, Family family, const char* target,
+                        std::int64_t start, std::int64_t duration) {
+  AttackRecord a;
+  a.ddos_id = id;
+  a.family = family;
+  a.botnet_id = static_cast<std::uint32_t>(id % 7 + 1);
+  a.target_ip = *net::IPv4Address::Parse(target);
+  a.start_time = TimePoint(start);
+  a.end_time = TimePoint(start + duration);
+  return a;
+}
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_.AddAttack(MakeAttack(2, Family::kPandora, "1.1.1.1", 200, 60));
+    ds_.AddAttack(MakeAttack(1, Family::kDirtjumper, "1.1.1.1", 100, 600));
+    ds_.AddAttack(MakeAttack(3, Family::kDirtjumper, "2.2.2.2", 150, 60));
+    ds_.AddBot(BotRecord{*net::IPv4Address::Parse("9.9.9.9"),
+                         Family::kDirtjumper, 1, TimePoint(0), TimePoint(50)});
+    ds_.AddBot(BotRecord{*net::IPv4Address::Parse("9.9.9.9"),
+                         Family::kDirtjumper, 1, TimePoint(100), TimePoint(300)});
+    ds_.AddBotnet(BotnetRecord{7, Family::kPandora, {}, TimePoint(0), TimePoint(1)});
+    ds_.AddSnapshot(SnapshotRecord{
+        TimePoint(3600), Family::kDirtjumper,
+        {*net::IPv4Address::Parse("9.9.9.9")}});
+    ds_.AddSnapshot(SnapshotRecord{TimePoint(0), Family::kDirtjumper, {}});
+    ds_.Finalize();
+  }
+
+  Dataset ds_;
+};
+
+TEST_F(DatasetTest, AttacksSortedChronologically) {
+  const auto attacks = ds_.attacks();
+  ASSERT_EQ(attacks.size(), 3u);
+  EXPECT_EQ(attacks[0].ddos_id, 1u);
+  EXPECT_EQ(attacks[1].ddos_id, 3u);
+  EXPECT_EQ(attacks[2].ddos_id, 2u);
+}
+
+TEST_F(DatasetTest, SnapshotsSortedChronologically) {
+  const auto snaps = ds_.snapshots();
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_LT(snaps[0].time, snaps[1].time);
+}
+
+TEST_F(DatasetTest, BotsDeduplicatedWithMergedInterval) {
+  const auto bots = ds_.bots();
+  ASSERT_EQ(bots.size(), 1u);
+  EXPECT_EQ(bots[0].first_seen, TimePoint(0));
+  EXPECT_EQ(bots[0].last_seen, TimePoint(300));
+}
+
+TEST_F(DatasetTest, FamilyIndexCoversAllAttacks) {
+  EXPECT_EQ(ds_.AttacksOfFamily(Family::kDirtjumper).size(), 2u);
+  EXPECT_EQ(ds_.AttacksOfFamily(Family::kPandora).size(), 1u);
+  EXPECT_TRUE(ds_.AttacksOfFamily(Family::kNitol).empty());
+}
+
+TEST_F(DatasetTest, TargetIndexChronological) {
+  const auto idx = ds_.AttacksOnTarget(*net::IPv4Address::Parse("1.1.1.1"));
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_LE(ds_.attacks()[idx[0]].start_time, ds_.attacks()[idx[1]].start_time);
+  EXPECT_TRUE(ds_.AttacksOnTarget(*net::IPv4Address::Parse("8.8.8.8")).empty());
+}
+
+TEST_F(DatasetTest, TargetsAreDistinct) {
+  EXPECT_EQ(ds_.Targets().size(), 2u);
+}
+
+TEST_F(DatasetTest, WindowSpansAttacks) {
+  EXPECT_EQ(ds_.window_begin(), TimePoint(100));
+  EXPECT_EQ(ds_.window_end(), TimePoint(700));  // attack 1 ends at 100+600
+}
+
+TEST_F(DatasetTest, SnapshotsOfFamilyIndexed) {
+  EXPECT_EQ(ds_.SnapshotsOfFamily(Family::kDirtjumper).size(), 2u);
+  EXPECT_TRUE(ds_.SnapshotsOfFamily(Family::kPandora).empty());
+}
+
+TEST(Dataset, AccessBeforeFinalizeThrows) {
+  Dataset ds;
+  EXPECT_THROW(ds.attacks(), std::logic_error);
+  EXPECT_THROW(ds.Targets(), std::logic_error);
+}
+
+TEST(Dataset, AddAfterFinalizeThrows) {
+  Dataset ds;
+  ds.Finalize();
+  EXPECT_THROW(ds.AddAttack(AttackRecord{}), std::logic_error);
+  EXPECT_THROW(ds.AddBot(BotRecord{}), std::logic_error);
+  EXPECT_THROW(ds.AddBotnet(BotnetRecord{}), std::logic_error);
+  EXPECT_THROW(ds.AddSnapshot(SnapshotRecord{}), std::logic_error);
+}
+
+TEST(Dataset, DoubleFinalizeThrows) {
+  Dataset ds;
+  ds.Finalize();
+  EXPECT_THROW(ds.Finalize(), std::logic_error);
+}
+
+TEST(Dataset, EmptyDatasetIsValid) {
+  Dataset ds;
+  ds.Finalize();
+  EXPECT_TRUE(ds.attacks().empty());
+  EXPECT_TRUE(ds.Targets().empty());
+  EXPECT_EQ(ds.window_begin(), TimePoint(0));
+}
+
+TEST(AttackRecord, DurationSeconds) {
+  const AttackRecord a = MakeAttack(1, Family::kNitol, "3.3.3.3", 1000, 250);
+  EXPECT_EQ(a.duration_seconds(), 250);
+}
+
+}  // namespace
+}  // namespace ddos::data

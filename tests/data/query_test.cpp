@@ -1,0 +1,132 @@
+#include "data/query.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace ddos::data {
+namespace {
+
+using ::ddos::testing::SmallDataset;
+using ::ddos::testing::SmallSimConfig;
+
+TEST(AttackQuery, EmptyQueryMatchesEverything) {
+  const AttackQuery query;
+  EXPECT_EQ(query.Count(SmallDataset()), SmallDataset().attacks().size());
+}
+
+TEST(AttackQuery, FamilyFilterMatchesIndex) {
+  AttackQuery query;
+  query.WithFamily(Family::kDirtjumper);
+  EXPECT_EQ(query.Count(SmallDataset()),
+            SmallDataset().AttacksOfFamily(Family::kDirtjumper).size());
+}
+
+TEST(AttackQuery, MultipleFamiliesUnion) {
+  AttackQuery query;
+  const Family both[] = {Family::kDirtjumper, Family::kPandora};
+  query.WithFamilies(both);
+  EXPECT_EQ(query.Count(SmallDataset()),
+            SmallDataset().AttacksOfFamily(Family::kDirtjumper).size() +
+                SmallDataset().AttacksOfFamily(Family::kPandora).size());
+}
+
+TEST(AttackQuery, ProtocolAndFamilyIntersect) {
+  AttackQuery query;
+  query.WithFamily(Family::kDirtjumper).WithProtocol(Protocol::kUdp);
+  EXPECT_EQ(query.Count(SmallDataset()), 0u);  // Dirtjumper is HTTP-only
+  AttackQuery http;
+  http.WithFamily(Family::kDirtjumper).WithProtocol(Protocol::kHttp);
+  EXPECT_EQ(http.Count(SmallDataset()),
+            SmallDataset().AttacksOfFamily(Family::kDirtjumper).size());
+}
+
+TEST(AttackQuery, TimeWindowFilters) {
+  const TimePoint begin = SmallSimConfig().start + 10 * kSecondsPerDay;
+  const TimePoint end = SmallSimConfig().start + 20 * kSecondsPerDay;
+  AttackQuery query;
+  query.StartingBetween(begin, end);
+  const auto indices = query.Run(SmallDataset());
+  ASSERT_FALSE(indices.empty());
+  for (const std::size_t idx : indices) {
+    EXPECT_GE(SmallDataset().attacks()[idx].start_time, begin);
+    EXPECT_LT(SmallDataset().attacks()[idx].start_time, end);
+  }
+  EXPECT_LT(indices.size(), SmallDataset().attacks().size());
+}
+
+TEST(AttackQuery, DurationBounds) {
+  AttackQuery query;
+  query.WithMinDuration(600).WithMaxDuration(3600);
+  for (const std::size_t idx : query.Run(SmallDataset())) {
+    const std::int64_t d = SmallDataset().attacks()[idx].duration_seconds();
+    EXPECT_GE(d, 600);
+    EXPECT_LE(d, 3600);
+  }
+}
+
+TEST(AttackQuery, TargetUsesIndex) {
+  const auto targets = SmallDataset().Targets();
+  ASSERT_FALSE(targets.empty());
+  AttackQuery query;
+  query.WithTarget(targets.front());
+  EXPECT_EQ(query.Count(SmallDataset()),
+            SmallDataset().AttacksOnTarget(targets.front()).size());
+}
+
+TEST(AttackQuery, CountryFilter) {
+  AttackQuery query;
+  query.WithTargetCountry("RU");
+  const auto indices = query.Run(SmallDataset());
+  ASSERT_FALSE(indices.empty());
+  for (const std::size_t idx : indices) {
+    EXPECT_EQ(SmallDataset().attacks()[idx].cc, "RU");
+  }
+}
+
+TEST(AttackQuery, MagnitudeFilter) {
+  AttackQuery query;
+  query.WithMinMagnitude(100);
+  for (const std::size_t idx : query.Run(SmallDataset())) {
+    EXPECT_GE(SmallDataset().attacks()[idx].magnitude, 100u);
+  }
+}
+
+TEST(AttackQuery, BotnetFilter) {
+  const std::uint32_t botnet = SmallDataset().attacks().front().botnet_id;
+  AttackQuery query;
+  query.WithBotnet(botnet);
+  const auto indices = query.Run(SmallDataset());
+  ASSERT_FALSE(indices.empty());
+  for (const std::size_t idx : indices) {
+    EXPECT_EQ(SmallDataset().attacks()[idx].botnet_id, botnet);
+  }
+}
+
+TEST(AttackQuery, ResultsAreChronological) {
+  AttackQuery query;
+  query.WithFamily(Family::kPandora);
+  const auto indices = query.Run(SmallDataset());
+  for (std::size_t i = 1; i < indices.size(); ++i) {
+    EXPECT_LE(SmallDataset().attacks()[indices[i - 1]].start_time,
+              SmallDataset().attacks()[indices[i]].start_time);
+  }
+}
+
+TEST(AttackQuery, CombinedFiltersAgreeWithManualScan) {
+  AttackQuery query;
+  query.WithFamily(Family::kDirtjumper)
+      .WithTargetCountry("US")
+      .WithMinDuration(300);
+  std::size_t manual = 0;
+  for (const AttackRecord& a : SmallDataset().attacks()) {
+    if (a.family == Family::kDirtjumper && a.cc == "US" &&
+        a.duration_seconds() >= 300) {
+      ++manual;
+    }
+  }
+  EXPECT_EQ(query.Count(SmallDataset()), manual);
+}
+
+}  // namespace
+}  // namespace ddos::data

@@ -1,0 +1,108 @@
+#include "geo/catalog.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace ddos::geo {
+namespace {
+
+TEST(WorldCatalog, BuiltinIsNonTrivial) {
+  const WorldCatalog& cat = WorldCatalog::Builtin();
+  EXPECT_GE(cat.size(), 100u);
+  EXPECT_GT(cat.total_weight(), 0.0);
+}
+
+TEST(WorldCatalog, CodesAreUniqueIsoAlpha2) {
+  const WorldCatalog& cat = WorldCatalog::Builtin();
+  std::set<std::string> codes;
+  for (const CountrySpec& c : cat.countries()) {
+    EXPECT_EQ(c.code.size(), 2u) << c.code;
+    EXPECT_TRUE(codes.insert(c.code).second) << "duplicate " << c.code;
+  }
+}
+
+TEST(WorldCatalog, EveryCountryHasValidCities) {
+  for (const CountrySpec& c : WorldCatalog::Builtin().countries()) {
+    EXPECT_FALSE(c.cities.empty()) << c.code;
+    EXPECT_GT(c.weight, 0.0) << c.code;
+    for (const CitySpec& city : c.cities) {
+      EXPECT_TRUE(IsValid(city.location)) << c.code << "/" << city.name;
+      EXPECT_GT(city.weight, 0.0) << c.code << "/" << city.name;
+    }
+  }
+}
+
+// All countries the paper's tables reference must be present.
+class PaperCountryTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PaperCountryTest, Present) {
+  EXPECT_TRUE(WorldCatalog::Builtin().IndexOf(GetParam()).has_value())
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableVCountries, PaperCountryTest,
+    ::testing::Values("US", "RU", "DE", "UA", "NL", "FR", "ES", "VE", "SG",
+                      "IN", "PK", "BW", "TH", "ID", "CN", "KR", "HK", "JP",
+                      "MX", "UY", "CL", "CA", "GB", "KG"));
+
+TEST(WorldCatalog, IndexOfUnknownIsEmpty) {
+  EXPECT_FALSE(WorldCatalog::Builtin().IndexOf("XX").has_value());
+  EXPECT_FALSE(WorldCatalog::Builtin().IndexOf("").has_value());
+}
+
+TEST(WorldCatalog, IndexOfRoundTrips) {
+  const WorldCatalog& cat = WorldCatalog::Builtin();
+  const auto idx = cat.IndexOf("RU");
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(cat.at(*idx).code, "RU");
+}
+
+TEST(WorldCatalog, RussiaHasWideLatitudeSpread) {
+  // The dispersion construction needs high-latitude anchors (Section IV-A).
+  const WorldCatalog& cat = WorldCatalog::Builtin();
+  const CountrySpec& ru = cat.at(*cat.IndexOf("RU"));
+  double min_lat = 90, max_lat = -90, min_lon = 180, max_lon = -180;
+  for (const CitySpec& c : ru.cities) {
+    min_lat = std::min(min_lat, c.location.lat_deg);
+    max_lat = std::max(max_lat, c.location.lat_deg);
+    min_lon = std::min(min_lon, c.location.lon_deg);
+    max_lon = std::max(max_lon, c.location.lon_deg);
+  }
+  EXPECT_GT(max_lat - min_lat, 20.0);
+  EXPECT_GT(max_lon - min_lon, 80.0);
+}
+
+TEST(WorldCatalog, RejectsEmptyConstruction) {
+  EXPECT_THROW(WorldCatalog({}), std::invalid_argument);
+}
+
+TEST(WorldCatalog, RejectsCountryWithoutCities) {
+  EXPECT_THROW(WorldCatalog({CountrySpec{"XX", "Nowhere", 1.0, {}}}),
+               std::invalid_argument);
+}
+
+TEST(WorldCatalog, RejectsNonPositiveWeight) {
+  EXPECT_THROW(WorldCatalog({CountrySpec{
+                   "XX", "Nowhere", 0.0, {CitySpec{"City", {0, 0}, 1.0}}}}),
+               std::invalid_argument);
+}
+
+TEST(OrgNaming, KindNamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (OrgKind k :
+       {OrgKind::kWebHosting, OrgKind::kCloudProvider, OrgKind::kDataCenter,
+        OrgKind::kDomainRegistrar, OrgKind::kBackbone, OrgKind::kEnterprise,
+        OrgKind::kResidentialIsp}) {
+    EXPECT_TRUE(names.insert(OrgKindName(k)).second);
+  }
+}
+
+TEST(OrgNaming, MakeOrgNameFormat) {
+  EXPECT_EQ(MakeOrgName("US", OrgKind::kCloudProvider, 7), "US-CloudProvider-07");
+  EXPECT_EQ(MakeOrgName("RU", OrgKind::kWebHosting, 42), "RU-WebHosting-42");
+}
+
+}  // namespace
+}  // namespace ddos::geo

@@ -1,0 +1,129 @@
+// End-to-end pipeline tests: generate -> serialize -> reload -> analyze,
+// exercising the same flow the bench harness uses to regenerate the paper's
+// tables and figures.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/collaboration.h"
+#include "core/durations.h"
+#include "core/geo_analysis.h"
+#include "core/intervals.h"
+#include "core/overview.h"
+#include "core/prediction.h"
+#include "core/target_analysis.h"
+#include "data/csv.h"
+#include "test_support.h"
+
+namespace ddos {
+namespace {
+
+using data::Family;
+using ::ddos::testing::SmallDataset;
+using ::ddos::testing::TestGeoDb;
+
+TEST(Integration, CsvRoundTripPreservesAnalyses) {
+  const auto& original = SmallDataset();
+  std::stringstream ss;
+  data::WriteAttacksCsv(ss, original.attacks());
+  data::Dataset reloaded;
+  for (data::AttackRecord& a : data::ReadAttacksCsv(ss)) {
+    reloaded.AddAttack(std::move(a));
+  }
+  reloaded.Finalize();
+
+  // Analyses on the reloaded dataset match the original.
+  const auto orig_breakdown = core::ProtocolBreakdown(original.attacks());
+  const auto new_breakdown = core::ProtocolBreakdown(reloaded.attacks());
+  ASSERT_EQ(orig_breakdown.size(), new_breakdown.size());
+  for (std::size_t i = 0; i < orig_breakdown.size(); ++i) {
+    EXPECT_EQ(orig_breakdown[i].protocol, new_breakdown[i].protocol);
+    EXPECT_EQ(orig_breakdown[i].attacks, new_breakdown[i].attacks);
+  }
+
+  const auto orig_daily = core::ComputeDailyDistribution(original.attacks());
+  const auto new_daily = core::ComputeDailyDistribution(reloaded.attacks());
+  EXPECT_EQ(orig_daily.max_per_day, new_daily.max_per_day);
+  EXPECT_EQ(orig_daily.daily, new_daily.daily);
+
+  const auto orig_events = core::DetectConcurrentCollaborations(original);
+  const auto new_events = core::DetectConcurrentCollaborations(reloaded);
+  EXPECT_EQ(orig_events.size(), new_events.size());
+}
+
+TEST(Integration, HeadlineFindingsHoldOnSmallTrace) {
+  const auto& ds = SmallDataset();
+
+  // Finding (Fig 1): connection-oriented transports dominate.
+  const auto breakdown = core::ProtocolBreakdown(ds.attacks());
+  std::uint64_t http_tcp = 0, total = 0;
+  for (const auto& pc : breakdown) {
+    total += pc.attacks;
+    if (pc.protocol == data::Protocol::kHttp || pc.protocol == data::Protocol::kTcp) {
+      http_tcp += pc.attacks;
+    }
+  }
+  EXPECT_GT(http_tcp, total / 2);
+
+  // Finding (Fig 3): a large share of attacks are concurrent.
+  const auto all_intervals = core::AllAttackIntervals(ds);
+  const auto stats = core::ComputeIntervalStats(all_intervals);
+  EXPECT_GT(stats.fraction_concurrent, 0.3);
+
+  // Finding (Fig 7): most attacks are short-lived (hours, not days).
+  const auto dstats = core::ComputeDurationStats(core::AttackDurations(ds.attacks()));
+  EXPECT_LT(dstats.p80_seconds, 86400.0);
+
+  // Finding (Table VI): collaborations exist and Dirtjumper leads.
+  const auto events = core::DetectConcurrentCollaborations(ds);
+  EXPECT_FALSE(events.empty());
+
+  // Finding (Section V-B): consecutive chains exist.
+  EXPECT_FALSE(core::DetectConsecutiveChains(ds).empty());
+}
+
+TEST(Integration, GeoPredictionPipelineEndToEnd) {
+  // Dispersion series -> symmetric filter -> ARIMA -> Table IV metrics.
+  const auto series =
+      core::DispersionSeries(SmallDataset(), TestGeoDb(), Family::kDirtjumper);
+  ASSERT_GT(series.size(), 200u);
+  const auto values = core::DispersionValues(series);
+  const auto asym = core::AsymmetricValues(values);
+  ASSERT_GT(asym.size(), 100u);
+  const auto result = core::PredictDispersion(asym);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GT(result->cosine_similarity, 0.5);
+  EXPECT_GT(result->truth_mean, 0.0);
+}
+
+TEST(Integration, CountryAnalysisConsistentWithAttackTable) {
+  const auto& ds = SmallDataset();
+  const auto ranking = core::GlobalCountryRanking(ds);
+  std::uint64_t sum = 0;
+  for (const auto& c : ranking) sum += c.attacks;
+  EXPECT_EQ(sum, ds.attacks().size());
+  // Per-family totals also partition the attack table.
+  std::uint64_t family_sum = 0;
+  for (const Family f : data::AllFamilies()) {
+    family_sum += ds.AttacksOfFamily(f).size();
+  }
+  EXPECT_EQ(family_sum, ds.attacks().size());
+}
+
+TEST(Integration, SnapshotsResolveThroughGeoDatabase) {
+  // Every bot IP in every snapshot resolves to a location usable by the
+  // dispersion analysis (i.e., the generator only emits resolvable IPs).
+  const auto& ds = SmallDataset();
+  std::size_t checked = 0;
+  for (const data::SnapshotRecord& snap : ds.snapshots()) {
+    for (const net::IPv4Address& ip : snap.bot_ips) {
+      if (++checked % 977 != 0) continue;
+      EXPECT_TRUE(TestGeoDb().IsAllocated(ip));
+      EXPECT_TRUE(geo::IsValid(TestGeoDb().Lookup(ip).location));
+    }
+  }
+  EXPECT_GT(checked, 1000u);
+}
+
+}  // namespace
+}  // namespace ddos

@@ -1,0 +1,150 @@
+#include "net/as_graph.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace ddos::net {
+namespace {
+
+const AsGraph& Graph() {
+  static const AsGraph graph = AsGraph::Build(::ddos::testing::TestGeoDb(), 5);
+  return graph;
+}
+
+TEST(AsGraph, OneNodePerAllocatedBlock) {
+  EXPECT_EQ(Graph().size(),
+            static_cast<std::size_t>(::ddos::testing::TestGeoDb().block_count()));
+}
+
+TEST(AsGraph, DeterministicForSameSeed) {
+  const AsGraph a = AsGraph::Build(::ddos::testing::TestGeoDb(), 5);
+  const AsGraph b = AsGraph::Build(::ddos::testing::TestGeoDb(), 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 37) {
+    EXPECT_EQ(a.nodes()[i].asn, b.nodes()[i].asn);
+    EXPECT_EQ(a.nodes()[i].primary_provider, b.nodes()[i].primary_provider);
+  }
+}
+
+TEST(AsGraph, AllTiersPresent) {
+  const AsGraph::TierCounts counts = Graph().CountTiers();
+  EXPECT_GT(counts.backbone, 0u);
+  EXPECT_GT(counts.transit, 0u);
+  EXPECT_GT(counts.edge, 0u);
+  EXPECT_EQ(counts.backbone + counts.transit + counts.edge, Graph().size());
+}
+
+TEST(AsGraph, ProviderLinksRespectHierarchy) {
+  for (const AsNode& node : Graph().nodes()) {
+    switch (node.tier) {
+      case AsTier::kBackbone:
+        EXPECT_FALSE(node.primary_provider.has_value()) << node.asn.value();
+        EXPECT_TRUE(node.providers.empty());
+        break;
+      case AsTier::kTransit:
+        ASSERT_TRUE(node.primary_provider.has_value()) << node.asn.value();
+        for (const Asn provider : node.providers) {
+          EXPECT_EQ(Graph().at(provider).tier, AsTier::kBackbone);
+        }
+        EXPECT_GE(node.providers.size(), 2u);
+        EXPECT_LE(node.providers.size(), 4u);
+        break;
+      case AsTier::kEdge:
+        ASSERT_TRUE(node.primary_provider.has_value()) << node.asn.value();
+        for (const Asn provider : node.providers) {
+          EXPECT_NE(Graph().at(provider).tier, AsTier::kEdge);
+        }
+        break;
+    }
+  }
+}
+
+TEST(AsGraph, EdgePrefersSameCountryTransit) {
+  // Where a country has local transit, its edge ASes use it.
+  std::size_t checked = 0, local = 0;
+  std::set<std::string> countries_with_transit;
+  for (const AsNode& node : Graph().nodes()) {
+    if (node.tier == AsTier::kTransit) countries_with_transit.insert(node.country);
+  }
+  for (const AsNode& node : Graph().nodes()) {
+    if (node.tier != AsTier::kEdge) continue;
+    if (countries_with_transit.count(node.country) == 0) continue;
+    ++checked;
+    const AsNode& provider = Graph().at(*node.primary_provider);
+    if (provider.country == node.country) ++local;
+  }
+  ASSERT_GT(checked, 50u);
+  EXPECT_GT(static_cast<double>(local) / checked, 0.9);
+}
+
+TEST(AsGraph, AtThrowsForUnknown) {
+  EXPECT_THROW(Graph().at(Asn(1)), std::out_of_range);
+  EXPECT_FALSE(Graph().contains(Asn(1)));
+}
+
+TEST(AsGraph, SelfPathIsSingleton) {
+  const Asn asn = Graph().nodes().front().asn;
+  const auto path = Graph().Path(asn, asn);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], asn);
+}
+
+TEST(AsGraph, PathsConnectEndpointsAndAreValleyFree) {
+  // Sample pairs; paths must start/end correctly, be loop-free, and have a
+  // single "peak" (tiers descend after they ascend).
+  const auto nodes = Graph().nodes();
+  for (std::size_t i = 0; i < 60; ++i) {
+    const AsNode& from = nodes[(i * 131) % nodes.size()];
+    const AsNode& to = nodes[(i * 197 + 41) % nodes.size()];
+    const auto path = Graph().Path(from.asn, to.asn);
+    ASSERT_GE(path.size(), 1u);
+    EXPECT_EQ(path.front(), from.asn);
+    EXPECT_EQ(path.back(), to.asn);
+    std::set<std::uint32_t> seen;
+    for (const Asn hop : path) {
+      EXPECT_TRUE(seen.insert(hop.value()).second) << "loop at " << hop.value();
+    }
+    // Valley-free: tier numbers decrease (toward backbone) then increase.
+    bool descending = false;
+    for (std::size_t h = 1; h < path.size(); ++h) {
+      const int prev = static_cast<int>(Graph().at(path[h - 1]).tier);
+      const int cur = static_cast<int>(Graph().at(path[h]).tier);
+      if (cur > prev) descending = true;
+      if (descending) {
+        EXPECT_GE(cur, prev) << "valley in path";
+      }
+    }
+  }
+}
+
+TEST(AsGraph, PathLengthIsBounded) {
+  // Max: edge -> transit -> backbone -> backbone -> transit -> edge.
+  const auto nodes = Graph().nodes();
+  for (std::size_t i = 0; i < 100; ++i) {
+    const auto path = Graph().Path(nodes[(i * 53) % nodes.size()].asn,
+                                   nodes[(i * 89 + 7) % nodes.size()].asn);
+    EXPECT_LE(path.size(), 6u);
+  }
+}
+
+TEST(AsGraph, SharedProviderShortcutsThePath) {
+  // Two edge ASes with the same primary provider route through it directly.
+  const auto nodes = Graph().nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].tier != AsTier::kEdge) continue;
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      if (nodes[j].tier != AsTier::kEdge) continue;
+      if (nodes[i].primary_provider != nodes[j].primary_provider) continue;
+      const auto path = Graph().Path(nodes[i].asn, nodes[j].asn);
+      ASSERT_EQ(path.size(), 3u);
+      EXPECT_EQ(path[1], *nodes[i].primary_provider);
+      return;  // one witness suffices
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ddos::net

@@ -1,0 +1,130 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ddos::stats {
+namespace {
+
+TEST(StreamingStats, EmptyDefaults) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(StreamingStats, SingleValue) {
+  StreamingStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(StreamingStats, KnownMoments) {
+  StreamingStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum of squared deviations is 32, n-1 = 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, MergeMatchesSinglePass) {
+  Rng rng(3);
+  StreamingStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Normal(10.0, 4.0);
+    all.Add(v);
+    (i < 400 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmptySides) {
+  StreamingStats a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  StreamingStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(StreamingStats, NumericallyStableAroundLargeOffsets) {
+  StreamingStats s;
+  const double offset = 1e12;
+  for (int i = 0; i < 1000; ++i) s.Add(offset + (i % 2 == 0 ? 1.0 : -1.0));
+  EXPECT_NEAR(s.mean(), offset, 1e-2);
+  EXPECT_NEAR(s.variance(), 1.001, 0.01);
+}
+
+TEST(QuantileSorted, Interpolates) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 1.0 / 3.0), 2.0);
+}
+
+TEST(QuantileSorted, ClampsOutOfRangeQ) {
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 2.0), 2.0);
+}
+
+TEST(QuantileSorted, ThrowsOnEmpty) {
+  EXPECT_THROW(QuantileSorted({}, 0.5), std::invalid_argument);
+}
+
+TEST(Summarize, EmptyIsAllZero) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+}
+
+TEST(Summarize, OrderIndependent) {
+  const std::vector<double> a = {5.0, 1.0, 3.0, 2.0, 4.0};
+  const std::vector<double> b = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary sa = Summarize(a);
+  const Summary sb = Summarize(b);
+  EXPECT_DOUBLE_EQ(sa.median, sb.median);
+  EXPECT_DOUBLE_EQ(sa.mean, sb.mean);
+  EXPECT_DOUBLE_EQ(sa.p90, sb.p90);
+}
+
+TEST(Summarize, PercentilesOrdered) {
+  Rng rng(9);
+  std::vector<double> v;
+  for (int i = 0; i < 5000; ++i) v.push_back(rng.LogNormal(2.0, 1.0));
+  const Summary s = Summarize(v);
+  EXPECT_LE(s.min, s.p25);
+  EXPECT_LE(s.p25, s.median);
+  EXPECT_LE(s.median, s.p75);
+  EXPECT_LE(s.p75, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+  EXPECT_LE(s.p99, s.max);
+  // Lognormal: mean above median.
+  EXPECT_GT(s.mean, s.median);
+}
+
+}  // namespace
+}  // namespace ddos::stats

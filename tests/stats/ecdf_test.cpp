@@ -1,0 +1,99 @@
+#include "stats/ecdf.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ddos::stats {
+namespace {
+
+TEST(Ecdf, EmptyBehaviour) {
+  Ecdf e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_DOUBLE_EQ(e.FractionAtMost(5.0), 0.0);
+  EXPECT_THROW(e.Quantile(0.5), std::logic_error);
+  EXPECT_TRUE(e.LinearSeries(10).empty());
+  EXPECT_TRUE(e.LogSeries(10).empty());
+}
+
+TEST(Ecdf, FractionAtMostSteps) {
+  const std::vector<double> v = {1.0, 2.0, 2.0, 3.0};
+  const Ecdf e(v);
+  EXPECT_DOUBLE_EQ(e.FractionAtMost(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.FractionAtMost(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.FractionAtMost(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(e.FractionAtMost(2.5), 0.75);
+  EXPECT_DOUBLE_EQ(e.FractionAtMost(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.FractionAtMost(99.0), 1.0);
+}
+
+TEST(Ecdf, QuantileReturnsSampleValues) {
+  const std::vector<double> v = {10.0, 20.0, 30.0, 40.0, 50.0};
+  const Ecdf e(v);
+  EXPECT_DOUBLE_EQ(e.Quantile(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(e.Quantile(0.21), 20.0);
+  EXPECT_DOUBLE_EQ(e.Quantile(0.8), 40.0);
+  EXPECT_DOUBLE_EQ(e.Quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(e.Quantile(0.0), 10.0);
+}
+
+TEST(Ecdf, QuantileFractionRoundTrip) {
+  const std::vector<double> v = {1, 5, 9, 13, 17, 21, 25, 29, 33, 37};
+  const Ecdf e(v);
+  for (double q : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    EXPECT_GE(e.FractionAtMost(e.Quantile(q)), q - 1e-12);
+  }
+}
+
+TEST(Ecdf, LinearSeriesMonotone) {
+  const std::vector<double> v = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  const Ecdf e(v);
+  const auto series = e.LinearSeries(25);
+  ASSERT_EQ(series.size(), 25u);
+  EXPECT_DOUBLE_EQ(series.front().x, 1.0);
+  EXPECT_DOUBLE_EQ(series.back().x, 9.0);
+  EXPECT_DOUBLE_EQ(series.back().f, 1.0);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_LE(series[i - 1].f, series[i].f);
+    EXPECT_LT(series[i - 1].x, series[i].x);
+  }
+}
+
+TEST(Ecdf, LogSeriesGridIsLogSpaced) {
+  const std::vector<double> v = {1.0, 10.0, 100.0, 1000.0};
+  const Ecdf e(v);
+  const auto series = e.LogSeries(4, 1.0);
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_NEAR(series[0].x, 1.0, 1e-9);
+  EXPECT_NEAR(series[1].x, 10.0, 1e-6);
+  EXPECT_NEAR(series[2].x, 100.0, 1e-4);
+  EXPECT_NEAR(series[3].x, 1000.0, 1e-3);
+}
+
+TEST(Ecdf, LogSeriesHandlesZeroSamples) {
+  // > 50 % of attack intervals are zero (Fig 3); the log grid must still be
+  // constructible and the floor point carries their mass.
+  const std::vector<double> v = {0.0, 0.0, 0.0, 100.0};
+  const Ecdf e(v);
+  const auto series = e.LogSeries(10, 1.0);
+  ASSERT_FALSE(series.empty());
+  EXPECT_DOUBLE_EQ(series.front().f, 0.75);
+}
+
+TEST(Ecdf, LogSeriesRejectsBadFloor) {
+  const std::vector<double> v = {1.0, 2.0};
+  const Ecdf e(v);
+  EXPECT_TRUE(e.LogSeries(10, 0.0).empty());
+  EXPECT_TRUE(e.LogSeries(10, -1.0).empty());
+}
+
+TEST(Ecdf, SortedValuesExposed) {
+  const std::vector<double> v = {3.0, 1.0, 2.0};
+  const Ecdf e(v);
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_DOUBLE_EQ(e.sorted_values()[0], 1.0);
+  EXPECT_DOUBLE_EQ(e.sorted_values()[2], 3.0);
+}
+
+}  // namespace
+}  // namespace ddos::stats

@@ -1,0 +1,88 @@
+#include "stats/histogram.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ddos::stats {
+namespace {
+
+TEST(Histogram, LinearBinEdges) {
+  const std::vector<double> v;
+  const Histogram h = Histogram::Linear(v, 0.0, 10.0, 5);
+  ASSERT_EQ(h.bins().size(), 5u);
+  EXPECT_DOUBLE_EQ(h.bins()[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(h.bins()[0].hi, 2.0);
+  EXPECT_DOUBLE_EQ(h.bins()[4].hi, 10.0);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Histogram, LinearCountsValues) {
+  const std::vector<double> v = {0.5, 1.5, 1.9, 5.0, 9.99};
+  const Histogram h = Histogram::Linear(v, 0.0, 10.0, 5);
+  EXPECT_EQ(h.bins()[0].count, 3u);  // [0,2)
+  EXPECT_EQ(h.bins()[2].count, 1u);  // [4,6)
+  EXPECT_EQ(h.bins()[4].count, 1u);  // [8,10)
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, LinearClampsOutOfRange) {
+  const std::vector<double> v = {-5.0, 15.0};
+  const Histogram h = Histogram::Linear(v, 0.0, 10.0, 2);
+  EXPECT_EQ(h.bins()[0].count, 1u);
+  EXPECT_EQ(h.bins()[1].count, 1u);
+}
+
+TEST(Histogram, LinearRejectsBadArgs) {
+  const std::vector<double> v;
+  EXPECT_THROW(Histogram::Linear(v, 0.0, 10.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram::Linear(v, 10.0, 0.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram::Linear(v, 5.0, 5.0, 5), std::invalid_argument);
+}
+
+TEST(Histogram, Log10BinsSpanDecades) {
+  const std::vector<double> v = {1.5, 15.0, 150.0};
+  const Histogram h = Histogram::Log10(v, 1.0, 1000.0, 3);
+  ASSERT_EQ(h.bins().size(), 3u);
+  EXPECT_NEAR(h.bins()[0].hi, 10.0, 1e-9);
+  EXPECT_NEAR(h.bins()[1].hi, 100.0, 1e-6);
+  EXPECT_EQ(h.bins()[0].count, 1u);
+  EXPECT_EQ(h.bins()[1].count, 1u);
+  EXPECT_EQ(h.bins()[2].count, 1u);
+}
+
+TEST(Histogram, Log10UnderflowLandsInFirstBin) {
+  const std::vector<double> v = {0.0, 0.5};
+  const Histogram h = Histogram::Log10(v, 1.0, 100.0, 2);
+  EXPECT_EQ(h.bins()[0].count, 2u);
+}
+
+TEST(Histogram, Log10RejectsNonPositiveLo) {
+  const std::vector<double> v;
+  EXPECT_THROW(Histogram::Log10(v, 0.0, 100.0, 3), std::invalid_argument);
+}
+
+TEST(Histogram, MidpointsAndCountsAligned) {
+  const std::vector<double> v = {1.0, 3.0, 3.0};
+  const Histogram h = Histogram::Linear(v, 0.0, 4.0, 2);
+  const auto mids = h.Midpoints();
+  const auto counts = h.Counts();
+  ASSERT_EQ(mids.size(), 2u);
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_DOUBLE_EQ(mids[0], 1.0);
+  EXPECT_DOUBLE_EQ(mids[1], 3.0);
+  EXPECT_DOUBLE_EQ(counts[0], 1.0);
+  EXPECT_DOUBLE_EQ(counts[1], 2.0);
+}
+
+TEST(Histogram, ModeBin) {
+  const std::vector<double> v = {1.0, 3.0, 3.0, 3.5};
+  const Histogram h = Histogram::Linear(v, 0.0, 4.0, 4);
+  EXPECT_EQ(h.ModeBin(), 3);
+  const std::vector<double> empty;
+  // All-zero histogram: first bin wins ties.
+  EXPECT_EQ(Histogram::Linear(empty, 0.0, 1.0, 3).ModeBin(), 0);
+}
+
+}  // namespace
+}  // namespace ddos::stats

@@ -1,0 +1,92 @@
+#include "stats/hypothesis.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ddos::stats {
+namespace {
+
+TEST(KolmogorovSmirnov, IdenticalSamplesMatch) {
+  Rng rng(3);
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) v.push_back(rng.Normal(0.0, 1.0));
+  const KsResult r = KolmogorovSmirnov(v, v);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_GT(r.p_value, 0.99);
+}
+
+TEST(KolmogorovSmirnov, SameDistributionHighP) {
+  Rng rng(5);
+  std::vector<double> a, b;
+  for (int i = 0; i < 800; ++i) a.push_back(rng.LogNormal(3.0, 1.0));
+  for (int i = 0; i < 800; ++i) b.push_back(rng.LogNormal(3.0, 1.0));
+  const KsResult r = KolmogorovSmirnov(a, b);
+  EXPECT_LT(r.statistic, 0.08);
+  EXPECT_GT(r.p_value, 0.05);
+}
+
+TEST(KolmogorovSmirnov, ShiftedDistributionRejected) {
+  Rng rng(7);
+  std::vector<double> a, b;
+  for (int i = 0; i < 500; ++i) a.push_back(rng.Normal(0.0, 1.0));
+  for (int i = 0; i < 500; ++i) b.push_back(rng.Normal(0.8, 1.0));
+  const KsResult r = KolmogorovSmirnov(a, b);
+  EXPECT_GT(r.statistic, 0.2);
+  EXPECT_LT(r.p_value, 0.001);
+}
+
+TEST(KolmogorovSmirnov, DisjointSupportsGiveStatisticOne) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {10.0, 11.0, 12.0};
+  const KsResult r = KolmogorovSmirnov(a, b);
+  EXPECT_DOUBLE_EQ(r.statistic, 1.0);
+}
+
+TEST(KolmogorovSmirnov, SymmetricInArguments) {
+  Rng rng(9);
+  std::vector<double> a, b;
+  for (int i = 0; i < 200; ++i) a.push_back(rng.Uniform(0, 1));
+  for (int i = 0; i < 300; ++i) b.push_back(rng.Uniform(0, 2));
+  const KsResult ab = KolmogorovSmirnov(a, b);
+  const KsResult ba = KolmogorovSmirnov(b, a);
+  EXPECT_DOUBLE_EQ(ab.statistic, ba.statistic);
+  EXPECT_DOUBLE_EQ(ab.p_value, ba.p_value);
+}
+
+TEST(KolmogorovSmirnov, ThrowsOnEmpty) {
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(KolmogorovSmirnov({}, v), std::invalid_argument);
+  EXPECT_THROW(KolmogorovSmirnov(v, {}), std::invalid_argument);
+}
+
+TEST(RegularizedGammaQ, KnownChiSquaredValues) {
+  // Chi-squared survival: Q(k/2, x/2). chi2(1): P(X > 3.841) = 0.05.
+  EXPECT_NEAR(RegularizedGammaQ(0.5, 3.841 / 2.0), 0.05, 0.002);
+  // chi2(10): P(X > 18.307) = 0.05.
+  EXPECT_NEAR(RegularizedGammaQ(5.0, 18.307 / 2.0), 0.05, 0.002);
+  // chi2(2): P(X > x) = exp(-x/2) exactly.
+  EXPECT_NEAR(RegularizedGammaQ(1.0, 2.0), std::exp(-2.0), 1e-10);
+}
+
+TEST(RegularizedGammaQ, Boundaries) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(2.0, 0.0), 1.0);
+  EXPECT_LT(RegularizedGammaQ(2.0, 1000.0), 1e-12);
+  EXPECT_THROW(RegularizedGammaQ(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(RegularizedGammaQ(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(RegularizedGammaQ, MonotoneInX) {
+  double prev = 1.0;
+  for (double x = 0.5; x < 30.0; x += 0.5) {
+    const double q = RegularizedGammaQ(3.0, x);
+    EXPECT_LE(q, prev + 1e-12);
+    prev = q;
+  }
+}
+
+}  // namespace
+}  // namespace ddos::stats

@@ -1,0 +1,164 @@
+#include "stats/linalg.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ddos::stats {
+namespace {
+
+TEST(Matrix, ShapeAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -4.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -4.0);
+}
+
+TEST(Matrix, GramIsSymmetricPositive) {
+  Matrix m(3, 2);
+  m(0, 0) = 1;
+  m(1, 0) = 2;
+  m(2, 0) = 3;
+  m(0, 1) = 0;
+  m(1, 1) = 1;
+  m(2, 1) = 1;
+  const Matrix g = m.Gram();
+  EXPECT_DOUBLE_EQ(g(0, 0), 14.0);
+  EXPECT_DOUBLE_EQ(g(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(g(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(g(1, 1), 2.0);
+}
+
+TEST(Matrix, TimesAndTransposeTimes) {
+  Matrix m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(1, 0) = 3;
+  m(1, 1) = 4;
+  const std::vector<double> x = {1.0, 1.0};
+  const auto y = m.Times(x);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  const auto z = m.TransposeTimes(x);
+  EXPECT_DOUBLE_EQ(z[0], 4.0);
+  EXPECT_DOUBLE_EQ(z[1], 6.0);
+}
+
+TEST(Matrix, SizeMismatchThrows) {
+  Matrix m(2, 3);
+  const std::vector<double> bad = {1.0, 2.0};
+  EXPECT_THROW(m.Times(bad), std::invalid_argument);
+  const std::vector<double> bad_rows = {1.0, 2.0, 3.0};
+  EXPECT_THROW(m.TransposeTimes(bad_rows), std::invalid_argument);
+}
+
+TEST(SolveLinearSystem, Identity) {
+  Matrix a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) a(i, i) = 1.0;
+  const auto x = SolveLinearSystem(a, {7.0, -2.0, 4.0});
+  EXPECT_DOUBLE_EQ(x[0], 7.0);
+  EXPECT_DOUBLE_EQ(x[1], -2.0);
+  EXPECT_DOUBLE_EQ(x[2], 4.0);
+}
+
+TEST(SolveLinearSystem, KnownSystem) {
+  // 2x + y = 5; x + 3y = 10  ->  x = 1, y = 3
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  const auto x = SolveLinearSystem(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, RequiresPivoting) {
+  // Leading zero forces a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  const auto x = SolveLinearSystem(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, SingularThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW(SolveLinearSystem(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(SolveLinearSystem, ShapeMismatchThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(SolveLinearSystem(a, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(SolveLinearSystem, RandomRoundTrip) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 5;
+    Matrix a(n, n);
+    std::vector<double> x_true(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x_true[i] = rng.Uniform(-10, 10);
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.Uniform(-1, 1);
+      a(i, i) += 3.0;  // diagonally dominant: well conditioned
+    }
+    const auto b = a.Times(x_true);
+    const auto x = SolveLinearSystem(a, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+  }
+}
+
+TEST(SolveLeastSquares, ExactFitForSquareSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 0;
+  a(1, 0) = 0;
+  a(1, 1) = 2;
+  const auto x = SolveLeastSquares(a, std::vector<double>{3.0, 8.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-6);
+  EXPECT_NEAR(x[1], 4.0, 1e-6);
+}
+
+TEST(SolveLeastSquares, OverdeterminedRegression) {
+  // y = 2t + 1 with noise-free samples: exact recovery.
+  const int n = 20;
+  Matrix a(n, 2);
+  std::vector<double> y(n);
+  for (int t = 0; t < n; ++t) {
+    a(static_cast<std::size_t>(t), 0) = t;
+    a(static_cast<std::size_t>(t), 1) = 1.0;
+    y[static_cast<std::size_t>(t)] = 2.0 * t + 1.0;
+  }
+  const auto beta = SolveLeastSquares(a, y);
+  EXPECT_NEAR(beta[0], 2.0, 1e-6);
+  EXPECT_NEAR(beta[1], 1.0, 1e-6);
+}
+
+TEST(SolveLeastSquares, CollinearDesignDoesNotThrow) {
+  // Two identical columns: the ridge keeps the normal equations solvable.
+  const int n = 10;
+  Matrix a(n, 2);
+  std::vector<double> y(n);
+  for (int t = 0; t < n; ++t) {
+    a(static_cast<std::size_t>(t), 0) = t;
+    a(static_cast<std::size_t>(t), 1) = t;
+    y[static_cast<std::size_t>(t)] = 4.0 * t;
+  }
+  const auto beta = SolveLeastSquares(a, y);
+  EXPECT_NEAR(beta[0] + beta[1], 4.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace ddos::stats

@@ -1,0 +1,82 @@
+#include "stats/similarity.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ddos::stats {
+namespace {
+
+TEST(CosineSimilarity, IdenticalVectorsAreOne) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_NEAR(CosineSimilarity(v, v), 1.0, 1e-12);
+}
+
+TEST(CosineSimilarity, ScaleInvariant) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {10.0, 20.0, 30.0};
+  EXPECT_NEAR(CosineSimilarity(a, b), 1.0, 1e-12);
+}
+
+TEST(CosineSimilarity, OrthogonalIsZero) {
+  const std::vector<double> a = {1.0, 0.0};
+  const std::vector<double> b = {0.0, 1.0};
+  EXPECT_NEAR(CosineSimilarity(a, b), 0.0, 1e-12);
+}
+
+TEST(CosineSimilarity, OppositeIsMinusOne) {
+  const std::vector<double> a = {1.0, -2.0};
+  const std::vector<double> b = {-1.0, 2.0};
+  EXPECT_NEAR(CosineSimilarity(a, b), -1.0, 1e-12);
+}
+
+TEST(CosineSimilarity, ZeroNormGivesZero) {
+  const std::vector<double> a = {0.0, 0.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+}
+
+TEST(CosineSimilarity, RejectsMismatchedOrEmpty) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(CosineSimilarity(a, b), std::invalid_argument);
+  EXPECT_THROW(CosineSimilarity({}, {}), std::invalid_argument);
+}
+
+TEST(PearsonCorrelation, PerfectLinearRelation) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  std::vector<double> c = {40.0, 30.0, 20.0, 10.0};
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, ShiftAndScaleInvariant) {
+  const std::vector<double> a = {1.0, 5.0, 2.0, 8.0};
+  std::vector<double> b;
+  for (double v : a) b.push_back(3.0 * v + 100.0);
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, ConstantSideGivesZero) {
+  const std::vector<double> a = {1.0, 1.0, 1.0};
+  const std::vector<double> b = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, b), 0.0);
+}
+
+TEST(ErrorMetrics, KnownValues) {
+  const std::vector<double> pred = {1.0, 2.0, 3.0};
+  const std::vector<double> truth = {2.0, 2.0, 5.0};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(pred, truth), 1.0);
+  EXPECT_NEAR(RootMeanSquaredError(pred, truth), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(ErrorMetrics, ZeroForPerfectPrediction) {
+  const std::vector<double> v = {3.0, 1.0, 4.0};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(v, v), 0.0);
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError(v, v), 0.0);
+}
+
+}  // namespace
+}  // namespace ddos::stats

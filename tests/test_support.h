@@ -1,0 +1,40 @@
+// Shared fixtures for the test suite: a deterministic geo database and a
+// small-scale synthetic dataset, each built once per test binary.
+#ifndef DDOSCOPE_TESTS_TEST_SUPPORT_H_
+#define DDOSCOPE_TESTS_TEST_SUPPORT_H_
+
+#include "botsim/simulator.h"
+#include "data/dataset.h"
+#include "geo/geo_db.h"
+
+namespace ddos::testing {
+
+inline constexpr std::uint64_t kTestSeed = 1234;
+
+inline const geo::GeoDatabase& TestGeoDb() {
+  static const geo::GeoDatabase db = geo::GeoDatabase::MakeDefault(kTestSeed);
+  return db;
+}
+
+// ~5 % scale, 60 days: a few thousand attacks, snapshots for every active
+// family - enough structure for every analysis, fast enough for unit tests.
+inline sim::SimConfig SmallSimConfig() {
+  sim::SimConfig config;
+  config.seed = kTestSeed;
+  config.scale = 0.05;
+  config.days = 60;
+  return config;
+}
+
+inline const data::Dataset& SmallDataset() {
+  static const data::Dataset dataset = [] {
+    sim::TraceSimulator simulator(TestGeoDb(), sim::DefaultProfiles(),
+                                  SmallSimConfig());
+    return simulator.Generate();
+  }();
+  return dataset;
+}
+
+}  // namespace ddos::testing
+
+#endif  // DDOSCOPE_TESTS_TEST_SUPPORT_H_

@@ -1,0 +1,160 @@
+#include "timeseries/acf.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ddos::ts {
+namespace {
+
+std::vector<double> Ar1Series(double phi, double sigma, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  double prev = 0.0;
+  for (int i = 0; i < n; ++i) {
+    prev = phi * prev + rng.Normal(0.0, sigma);
+    x[static_cast<std::size_t>(i)] = prev;
+  }
+  return x;
+}
+
+TEST(Mean, Basic) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(Autocovariance, LagZeroIsBiasedVariance) {
+  const std::vector<double> v = {1.0, 3.0, 1.0, 3.0};
+  const auto gamma = Autocovariance(v, 1);
+  EXPECT_DOUBLE_EQ(gamma[0], 1.0);   // 1/n * sum (x-mean)^2 = 4/4
+  EXPECT_DOUBLE_EQ(gamma[1], -0.75);  // alternating series
+}
+
+TEST(Autocovariance, RejectsBadLag) {
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_THROW(Autocovariance(v, 2), std::invalid_argument);
+  EXPECT_THROW(Autocovariance(v, -1), std::invalid_argument);
+  EXPECT_THROW(Autocovariance({}, 0), std::invalid_argument);
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  const auto x = Ar1Series(0.5, 1.0, 500, 7);
+  const auto rho = Autocorrelation(x, 5);
+  EXPECT_DOUBLE_EQ(rho[0], 1.0);
+  for (double r : rho) {
+    EXPECT_LE(std::abs(r), 1.0 + 1e-12);
+  }
+}
+
+TEST(Autocorrelation, Ar1DecaysGeometrically) {
+  const double phi = 0.7;
+  const auto x = Ar1Series(phi, 1.0, 40000, 11);
+  const auto rho = Autocorrelation(x, 3);
+  EXPECT_NEAR(rho[1], phi, 0.03);
+  EXPECT_NEAR(rho[2], phi * phi, 0.04);
+  EXPECT_NEAR(rho[3], phi * phi * phi, 0.05);
+}
+
+TEST(Autocorrelation, ConstantSeriesIsDelta) {
+  const std::vector<double> v(50, 3.0);
+  const auto rho = Autocorrelation(v, 4);
+  EXPECT_DOUBLE_EQ(rho[0], 1.0);
+  for (std::size_t k = 1; k < rho.size(); ++k) EXPECT_DOUBLE_EQ(rho[k], 0.0);
+}
+
+TEST(LevinsonDurbin, RecoversAr1Coefficient) {
+  const double phi = 0.6;
+  const auto x = Ar1Series(phi, 1.0, 40000, 13);
+  const auto gamma = Autocovariance(x, 4);
+  const LevinsonResult res = LevinsonDurbin(gamma, 4);
+  EXPECT_NEAR(res.ar[0], phi, 0.03);
+  for (std::size_t k = 1; k < res.ar.size(); ++k) {
+    EXPECT_NEAR(res.ar[k], 0.0, 0.04);
+  }
+  EXPECT_NEAR(res.innovation_variance, 1.0, 0.05);
+}
+
+TEST(LevinsonDurbin, RejectsBadInput) {
+  EXPECT_THROW(LevinsonDurbin(std::vector<double>{1.0}, 1), std::invalid_argument);
+  EXPECT_THROW(LevinsonDurbin(std::vector<double>{0.0, 0.0}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(LevinsonDurbin(std::vector<double>{1.0, 0.5}, 0),
+               std::invalid_argument);
+}
+
+TEST(Pacf, Ar1CutsOffAfterLagOne) {
+  const auto x = Ar1Series(0.65, 1.0, 40000, 17);
+  const auto pacf = PartialAutocorrelation(x, 4);
+  EXPECT_NEAR(pacf[0], 0.65, 0.03);
+  for (std::size_t k = 1; k < pacf.size(); ++k) {
+    EXPECT_NEAR(pacf[k], 0.0, 0.04);
+  }
+}
+
+TEST(Difference, FirstOrder) {
+  const std::vector<double> v = {1.0, 4.0, 9.0, 16.0};
+  const auto d = Difference(v, 1);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+  EXPECT_DOUBLE_EQ(d[1], 5.0);
+  EXPECT_DOUBLE_EQ(d[2], 7.0);
+}
+
+TEST(Difference, SecondOrderOfQuadraticIsConstant) {
+  std::vector<double> v;
+  for (int t = 0; t < 10; ++t) v.push_back(static_cast<double>(t * t));
+  const auto d = Difference(v, 2);
+  for (double x : d) EXPECT_DOUBLE_EQ(x, 2.0);
+}
+
+TEST(Difference, ZeroOrderCopies) {
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_EQ(Difference(v, 0), v);
+}
+
+TEST(Difference, TooShortThrows) {
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(Difference(v, 1), std::invalid_argument);
+  EXPECT_THROW(Difference(v, -1), std::invalid_argument);
+}
+
+TEST(Differencer, MatchesBatchDifference) {
+  const std::vector<double> v = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0};
+  for (int d = 0; d <= 2; ++d) {
+    const auto batch = Difference(v, d);
+    Differencer inc(d);
+    std::vector<double> streamed;
+    for (double y : v) {
+      if (inc.Push(y)) streamed.push_back(inc.last_output());
+    }
+    ASSERT_EQ(streamed.size(), batch.size()) << "d=" << d;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_DOUBLE_EQ(streamed[i], batch[i]) << "d=" << d << " i=" << i;
+    }
+  }
+}
+
+TEST(Differencer, InvertIsInverseOfPush) {
+  Differencer inc(2);
+  for (double y : {2.0, 5.0, 3.0, 8.0}) inc.Push(y);
+  // Pushing y_next would produce w = Delta^2 y_next; Invert must map that w
+  // back to y_next.
+  const double y_next = 11.0;
+  Differencer copy = inc;
+  copy.Push(y_next);
+  EXPECT_DOUBLE_EQ(inc.Invert(copy.last_output()), y_next);
+}
+
+TEST(Differencer, ZeroOrderPassThrough) {
+  Differencer inc(0);
+  EXPECT_TRUE(inc.Push(42.0));
+  EXPECT_DOUBLE_EQ(inc.last_output(), 42.0);
+  EXPECT_DOUBLE_EQ(inc.Invert(7.0), 7.0);
+}
+
+}  // namespace
+}  // namespace ddos::ts

@@ -1,0 +1,192 @@
+#include "timeseries/arima.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stats/similarity.h"
+
+namespace ddos::ts {
+namespace {
+
+std::vector<double> SimulateArma(double phi, double theta, double mu, int n,
+                                 std::uint64_t seed, double sigma = 1.0) {
+  Rng rng(seed);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  double prev_x = mu;
+  double prev_e = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double e = rng.Normal(0.0, sigma);
+    const double v = mu + phi * (prev_x - mu) + theta * prev_e + e;
+    x[static_cast<std::size_t>(i)] = v;
+    prev_x = v;
+    prev_e = e;
+  }
+  return x;
+}
+
+TEST(ArimaFit, RecoversAr1) {
+  const auto x = SimulateArma(0.7, 0.0, 10.0, 20000, 3);
+  const ArimaModel m = ArimaModel::Fit(x, ArimaOrder{1, 0, 0});
+  ASSERT_EQ(m.ar().size(), 1u);
+  EXPECT_NEAR(m.ar()[0], 0.7, 0.03);
+  EXPECT_NEAR(m.mean(), 10.0, 0.15);
+  EXPECT_NEAR(m.sigma2(), 1.0, 0.05);
+}
+
+TEST(ArimaFit, RecoversAr2) {
+  // x_t = 0.5 x_{t-1} + 0.3 x_{t-2} + e_t
+  Rng rng(5);
+  std::vector<double> x(30000, 0.0);
+  for (std::size_t t = 2; t < x.size(); ++t) {
+    x[t] = 0.5 * x[t - 1] + 0.3 * x[t - 2] + rng.Normal(0.0, 1.0);
+  }
+  const ArimaModel m = ArimaModel::Fit(x, ArimaOrder{2, 0, 0});
+  EXPECT_NEAR(m.ar()[0], 0.5, 0.04);
+  EXPECT_NEAR(m.ar()[1], 0.3, 0.04);
+}
+
+TEST(ArimaFit, RecoversMa1Roughly) {
+  const auto x = SimulateArma(0.0, 0.6, 0.0, 30000, 7);
+  const ArimaModel m = ArimaModel::Fit(x, ArimaOrder{0, 0, 1});
+  ASSERT_EQ(m.ma().size(), 1u);
+  EXPECT_NEAR(m.ma()[0], 0.6, 0.08);
+}
+
+TEST(ArimaFit, RecoversArma11) {
+  const auto x = SimulateArma(0.6, 0.3, 5.0, 30000, 11);
+  const ArimaModel m = ArimaModel::Fit(x, ArimaOrder{1, 0, 1});
+  EXPECT_NEAR(m.ar()[0], 0.6, 0.08);
+  EXPECT_NEAR(m.ma()[0], 0.3, 0.10);
+}
+
+TEST(ArimaFit, DifferencingHandlesLinearTrend) {
+  // y_t = 3t + AR(1) noise: d=1 turns it into a stationary series with
+  // mean 3.
+  const auto noise = SimulateArma(0.5, 0.0, 0.0, 5000, 13);
+  std::vector<double> y(noise.size());
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    y[t] = 3.0 * static_cast<double>(t) + noise[t];
+  }
+  const ArimaModel m = ArimaModel::Fit(y, ArimaOrder{1, 1, 0});
+  EXPECT_NEAR(m.mean(), 3.0, 0.2);
+}
+
+TEST(ArimaFit, ConstantSeriesYieldsZeroCoefficients) {
+  const std::vector<double> x(200, 4.2);
+  const ArimaModel m = ArimaModel::Fit(x, ArimaOrder{2, 0, 1});
+  for (double c : m.ar()) EXPECT_DOUBLE_EQ(c, 0.0);
+  for (double c : m.ma()) EXPECT_DOUBLE_EQ(c, 0.0);
+  EXPECT_NEAR(m.mean(), 4.2, 1e-9);
+  const auto f = m.Forecast(3);
+  for (double v : f) EXPECT_NEAR(v, 4.2, 1e-9);
+}
+
+TEST(ArimaFit, RejectsNegativeOrders) {
+  const std::vector<double> x(100, 0.0);
+  EXPECT_THROW(ArimaModel::Fit(x, ArimaOrder{-1, 0, 0}), std::invalid_argument);
+}
+
+TEST(ArimaFit, RejectsTooShortSeries) {
+  const std::vector<double> x(10, 0.0);
+  EXPECT_THROW(ArimaModel::Fit(x, ArimaOrder{3, 0, 3}), std::invalid_argument);
+}
+
+TEST(ArimaForecast, Ar1ConvergesToMean) {
+  const auto x = SimulateArma(0.8, 0.0, 20.0, 20000, 17);
+  const ArimaModel m = ArimaModel::Fit(x, ArimaOrder{1, 0, 0});
+  const auto f = m.Forecast(200);
+  ASSERT_EQ(f.size(), 200u);
+  // Long-horizon forecast of a stationary AR(1) approaches the mean.
+  EXPECT_NEAR(f.back(), 20.0, 1.0);
+}
+
+TEST(ArimaForecast, RandomWalkForecastIsFlat) {
+  Rng rng(19);
+  std::vector<double> x(5000);
+  double level = 100.0;
+  for (auto& v : x) {
+    level += rng.Normal(0.0, 1.0);
+    v = level;
+  }
+  const ArimaModel m = ArimaModel::Fit(x, ArimaOrder{0, 1, 0});
+  const auto f = m.Forecast(10);
+  // ARIMA(0,1,0) with drift ~ 0: forecasts stay near the last level.
+  for (double v : f) EXPECT_NEAR(v, x.back(), 5.0);
+}
+
+TEST(ArimaForecast, NegativeHorizonThrows) {
+  const auto x = SimulateArma(0.5, 0.0, 0.0, 500, 23);
+  const ArimaModel m = ArimaModel::Fit(x, ArimaOrder{1, 0, 0});
+  EXPECT_THROW(m.Forecast(-1), std::invalid_argument);
+  EXPECT_TRUE(m.Forecast(0).empty());
+}
+
+TEST(ArimaPredictOneStep, BeatsNaiveMeanOnAr1) {
+  const auto x = SimulateArma(0.85, 0.0, 50.0, 4000, 29);
+  const std::span<const double> train(x.data(), 2000);
+  const std::span<const double> test(x.data() + 2000, 2000);
+  const ArimaModel m = ArimaModel::Fit(train, ArimaOrder{1, 0, 0});
+  const auto pred = m.PredictOneStep(test);
+  ASSERT_EQ(pred.size(), test.size());
+  double arima_sse = 0.0, mean_sse = 0.0;
+  const double mu = m.mean();
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    arima_sse += (pred[i] - test[i]) * (pred[i] - test[i]);
+    mean_sse += (mu - test[i]) * (mu - test[i]);
+  }
+  EXPECT_LT(arima_sse, 0.6 * mean_sse);
+}
+
+TEST(ArimaPredictOneStep, HighPhiGivesHighCosineSimilarity) {
+  // The Table IV protocol: one-step predictions of a persistent series
+  // track it closely.
+  const auto x = SimulateArma(0.95, 0.0, 100.0, 3000, 31, 3.0);
+  const std::span<const double> train(x.data(), 1500);
+  const std::span<const double> test(x.data() + 1500, 1500);
+  const ArimaModel m = ArimaModel::Fit(train, ArimaOrder{1, 0, 0});
+  const auto pred = m.PredictOneStep(test);
+  const std::vector<double> truth(test.begin(), test.end());
+  EXPECT_GT(stats::CosineSimilarity(pred, truth), 0.99);
+}
+
+TEST(ArimaPredictOneStep, WithDifferencingTracksTrend) {
+  const auto noise = SimulateArma(0.4, 0.0, 0.0, 3000, 37);
+  std::vector<double> y(noise.size());
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    y[t] = 0.5 * static_cast<double>(t) + noise[t];
+  }
+  const std::span<const double> train(y.data(), 1500);
+  const std::span<const double> test(y.data() + 1500, 1500);
+  const ArimaModel m = ArimaModel::Fit(train, ArimaOrder{1, 1, 0});
+  const auto pred = m.PredictOneStep(test);
+  // Predictions must follow the trend: error stays bounded even at the end.
+  EXPECT_NEAR(pred.back(), test.back(), 15.0);
+}
+
+TEST(ArimaAic, PenalizesExtraParameters) {
+  const auto x = SimulateArma(0.6, 0.0, 0.0, 4000, 41);
+  const ArimaModel small = ArimaModel::Fit(x, ArimaOrder{1, 0, 0});
+  const ArimaModel big = ArimaModel::Fit(x, ArimaOrder{3, 0, 3});
+  // The big model cannot be much better on pure AR(1) data.
+  EXPECT_GT(big.aic() + 1.0, small.aic());
+  EXPECT_GT(big.bic(), small.bic());
+}
+
+TEST(SelectOrderAic, FindsLowOrderForAr1) {
+  const auto x = SimulateArma(0.7, 0.0, 0.0, 3000, 43);
+  const ArimaOrder order = SelectOrderAic(x, 3, 1, 2);
+  EXPECT_EQ(order.d, 0);
+  EXPECT_GE(order.p + order.q, 1);
+  EXPECT_LE(order.p + order.q, 3);
+}
+
+TEST(SelectOrderAic, ThrowsWhenNothingFits) {
+  const std::vector<double> x(5, 1.0);
+  EXPECT_THROW(SelectOrderAic(x, 3, 1, 3), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ddos::ts

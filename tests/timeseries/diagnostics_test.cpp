@@ -1,0 +1,82 @@
+#include "timeseries/diagnostics.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ddos::ts {
+namespace {
+
+std::vector<double> WhiteNoise(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = rng.Normal(0.0, 1.0);
+  return v;
+}
+
+std::vector<double> Ar1(int n, double phi, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(static_cast<std::size_t>(n));
+  double prev = 0.0;
+  for (auto& x : v) {
+    prev = phi * prev + rng.Normal(0.0, 1.0);
+    x = prev;
+  }
+  return v;
+}
+
+TEST(LjungBox, WhiteNoiseNotRejected) {
+  const auto v = WhiteNoise(2000, 3);
+  const LjungBoxResult r = LjungBox(v, 20);
+  EXPECT_GT(r.p_value, 0.05);
+  EXPECT_EQ(r.dof, 20);
+}
+
+TEST(LjungBox, CorrelatedSeriesRejected) {
+  const auto v = Ar1(2000, 0.6, 5);
+  const LjungBoxResult r = LjungBox(v, 20);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_GT(r.statistic, 100.0);
+}
+
+TEST(LjungBox, FittedParametersReduceDof) {
+  const auto v = WhiteNoise(500, 7);
+  const LjungBoxResult r = LjungBox(v, 10, 3);
+  EXPECT_EQ(r.dof, 7);
+}
+
+TEST(LjungBox, ArgumentValidation) {
+  const auto v = WhiteNoise(30, 9);
+  EXPECT_THROW(LjungBox(v, 0), std::invalid_argument);
+  EXPECT_THROW(LjungBox(v, 29), std::invalid_argument);
+  EXPECT_THROW(LjungBox(v, 5, 5), std::invalid_argument);
+}
+
+TEST(DiagnoseFit, CorrectOrderLeavesWhiteResiduals) {
+  const auto v = Ar1(3000, 0.7, 11);
+  const FitDiagnostics d = DiagnoseFit(v, ArimaOrder{1, 0, 0});
+  EXPECT_TRUE(d.residuals_white) << "p=" << d.ljung_box.p_value;
+  EXPECT_EQ(d.residuals.size(), v.size() - v.size() / 2);
+}
+
+TEST(DiagnoseFit, UnderfittedOrderLeavesStructure) {
+  // AR(2) data fitted with a pure mean model: residuals stay correlated.
+  Rng rng(13);
+  std::vector<double> v(3000, 0.0);
+  for (std::size_t t = 2; t < v.size(); ++t) {
+    v[t] = 0.6 * v[t - 1] + 0.25 * v[t - 2] + rng.Normal(0.0, 1.0);
+  }
+  const FitDiagnostics d = DiagnoseFit(v, ArimaOrder{0, 0, 0});
+  EXPECT_FALSE(d.residuals_white);
+  EXPECT_LT(d.ljung_box.p_value, 1e-6);
+}
+
+TEST(DiagnoseFit, TooShortThrows) {
+  const auto v = WhiteNoise(32, 15);
+  EXPECT_THROW(DiagnoseFit(v, ArimaOrder{1, 0, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ddos::ts

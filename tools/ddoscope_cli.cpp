@@ -1,0 +1,267 @@
+// ddoscope - command-line front end.
+//
+//   ddoscope generate [--scale S] [--days D] [--seed N] --out attacks.csv
+//       Generate a synthetic trace and write the attack table.
+//   ddoscope summary attacks.csv
+//       Print the workload overview (Table III / Fig 1 style).
+//   ddoscope query attacks.csv [--family F] [--country CC] [--protocol P]
+//                  [--min-duration S] [--min-magnitude N] [--limit K]
+//       Filter the attack table and print matching rows.
+//   ddoscope report attacks.csv report.md
+//       Write the full markdown characterization report.
+//   ddoscope predict attacks.csv
+//       Print the next-attack watch list (most-attacked targets first).
+//   ddoscope collab attacks.csv
+//       Detect concurrent collaborations and print the Table-VI view.
+//
+// The CSV schema is Table I of the paper (see data/csv.h), so externally
+// collected traces work with every subcommand except `generate`.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "botsim/simulator.h"
+#include "common/strings.h"
+#include "core/collaboration.h"
+#include "core/defense.h"
+#include "core/durations.h"
+#include "core/intervals.h"
+#include "core/overview.h"
+#include "core/report.h"
+#include "core/report_generator.h"
+#include "data/csv.h"
+#include "data/query.h"
+#include "geo/geo_db.h"
+
+namespace {
+
+using namespace ddos;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ddoscope generate [--scale S] [--days D] [--seed N] --out F\n"
+               "  ddoscope summary ATTACKS.csv\n"
+               "  ddoscope query ATTACKS.csv [--family F] [--country CC]\n"
+               "                 [--protocol P] [--min-duration S]\n"
+               "                 [--min-magnitude N] [--limit K]\n"
+               "  ddoscope report ATTACKS.csv REPORT.md\n"
+               "  ddoscope predict ATTACKS.csv\n"
+               "  ddoscope collab ATTACKS.csv\n");
+  return 2;
+}
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv, int first,
+                                              std::vector<std::string>* positional) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string key = arg.substr(2);
+      if (i + 1 < argc) {
+        flags[key] = argv[++i];
+      } else {
+        flags[key] = "";
+      }
+    } else {
+      positional->push_back(arg);
+    }
+  }
+  return flags;
+}
+
+data::Dataset LoadDataset(const std::string& path) {
+  data::Dataset ds;
+  for (data::AttackRecord& a : data::LoadAttacksCsv(path)) {
+    ds.AddAttack(std::move(a));
+  }
+  ds.Finalize();
+  return ds;
+}
+
+int CmdGenerate(const std::map<std::string, std::string>& flags) {
+  const auto out = flags.find("out");
+  if (out == flags.end()) {
+    std::fprintf(stderr, "generate: --out is required\n");
+    return 2;
+  }
+  sim::SimConfig config;
+  if (const auto it = flags.find("scale"); it != flags.end()) {
+    config.scale = ParseDouble(it->second).value_or(config.scale);
+  }
+  if (const auto it = flags.find("days"); it != flags.end()) {
+    config.days = static_cast<int>(ParseInt64(it->second).value_or(config.days));
+  }
+  if (const auto it = flags.find("seed"); it != flags.end()) {
+    config.seed = static_cast<std::uint64_t>(
+        ParseInt64(it->second).value_or(static_cast<std::int64_t>(config.seed)));
+  }
+  const geo::GeoDatabase db = geo::GeoDatabase::MakeDefault(42);
+  sim::TraceSimulator simulator(db, sim::DefaultProfiles(), config);
+  const data::Dataset ds = simulator.Generate();
+  data::SaveAttacksCsv(out->second, ds.attacks());
+  std::printf("wrote %zu attacks to %s (scale=%.2f days=%d seed=%llu)\n",
+              ds.attacks().size(), out->second.c_str(), config.scale, config.days,
+              static_cast<unsigned long long>(config.seed));
+  return 0;
+}
+
+int CmdSummary(const std::string& path) {
+  const data::Dataset ds = LoadDataset(path);
+  const geo::GeoDatabase db = geo::GeoDatabase::MakeDefault(42);
+  const core::WorkloadSummary summary = core::SummarizeWorkload(ds, db);
+  std::printf("%zu attacks, %llu botnets, %llu targets in %llu countries\n",
+              ds.attacks().size(),
+              static_cast<unsigned long long>(summary.botnet_ids),
+              static_cast<unsigned long long>(summary.victims.ips),
+              static_cast<unsigned long long>(summary.victims.countries));
+  std::vector<std::pair<std::string, double>> bars;
+  for (const core::ProtocolCount& pc : core::ProtocolBreakdown(ds.attacks())) {
+    bars.emplace_back(std::string(data::ProtocolName(pc.protocol)),
+                      static_cast<double>(pc.attacks));
+  }
+  std::printf("\n%s", core::RenderBars(bars).c_str());
+  const core::DurationStats durations =
+      core::ComputeDurationStats(core::AttackDurations(ds.attacks()));
+  const core::IntervalStats intervals =
+      core::ComputeIntervalStats(core::AllAttackIntervals(ds));
+  std::printf("\nmedian duration %.0f s, p80 %.0f s; %.0f%% of attacks "
+              "concurrent\n",
+              durations.summary.median, durations.p80_seconds,
+              intervals.fraction_concurrent * 100.0);
+  return 0;
+}
+
+int CmdQuery(const std::string& path,
+             const std::map<std::string, std::string>& flags) {
+  const data::Dataset ds = LoadDataset(path);
+  data::AttackQuery query;
+  if (const auto it = flags.find("family"); it != flags.end()) {
+    const auto family = data::ParseFamily(it->second);
+    if (!family) {
+      std::fprintf(stderr, "query: unknown family %s\n", it->second.c_str());
+      return 2;
+    }
+    query.WithFamily(*family);
+  }
+  if (const auto it = flags.find("country"); it != flags.end()) {
+    query.WithTargetCountry(it->second);
+  }
+  if (const auto it = flags.find("protocol"); it != flags.end()) {
+    const auto protocol = data::ParseProtocol(it->second);
+    if (!protocol) {
+      std::fprintf(stderr, "query: unknown protocol %s\n", it->second.c_str());
+      return 2;
+    }
+    query.WithProtocol(*protocol);
+  }
+  if (const auto it = flags.find("min-duration"); it != flags.end()) {
+    query.WithMinDuration(ParseInt64(it->second).value_or(0));
+  }
+  if (const auto it = flags.find("min-magnitude"); it != flags.end()) {
+    query.WithMinMagnitude(
+        static_cast<std::uint32_t>(ParseInt64(it->second).value_or(0)));
+  }
+  std::size_t limit = 20;
+  if (const auto it = flags.find("limit"); it != flags.end()) {
+    limit = static_cast<std::size_t>(ParseInt64(it->second).value_or(20));
+  }
+  const auto indices = query.Run(ds);
+  core::TextTable table(
+      {"start", "family", "protocol", "target", "cc", "duration (s)", "bots"});
+  for (std::size_t i = 0; i < std::min(indices.size(), limit); ++i) {
+    const data::AttackRecord& a = ds.attacks()[indices[i]];
+    table.AddRow({a.start_time.ToString(), std::string(data::FamilyName(a.family)),
+                  std::string(data::ProtocolName(a.category)),
+                  a.target_ip.ToString(), a.cc,
+                  std::to_string(a.duration_seconds()),
+                  std::to_string(a.magnitude)});
+  }
+  std::printf("%zu matches%s\n\n%s", indices.size(),
+              indices.size() > limit ? " (showing first rows)" : "",
+              table.Render().c_str());
+  return 0;
+}
+
+int CmdReport(const std::string& in, const std::string& out) {
+  const data::Dataset ds = LoadDataset(in);
+  const geo::GeoDatabase db = geo::GeoDatabase::MakeDefault(42);
+  core::ReportOptions options;
+  options.title = "Characterization of " + in;
+  core::WriteCharacterizationReport(out, ds, db, options);
+  std::printf("report written to %s\n", out.c_str());
+  return 0;
+}
+
+int CmdCollab(const std::string& path) {
+  const data::Dataset ds = LoadDataset(path);
+  const auto events = core::DetectConcurrentCollaborations(ds);
+  const core::CollaborationTable table = core::TabulateCollaborations(events);
+  core::TextTable out({"family", "intra-family", "inter-family"});
+  for (const data::Family f : data::ActiveFamilies()) {
+    const auto intra = table.intra[static_cast<std::size_t>(f)];
+    const auto inter = table.inter[static_cast<std::size_t>(f)];
+    if (intra == 0 && inter == 0) continue;
+    out.AddRow({std::string(data::FamilyName(f)), std::to_string(intra),
+                std::to_string(inter)});
+  }
+  std::printf("%zu collaboration events detected\n\n%s", events.size(),
+              out.Render().c_str());
+  const auto chains = core::DetectConsecutiveChains(ds);
+  const core::ChainStats stats = core::SummarizeChains(ds, chains);
+  std::printf("\n%zu multistage chains; longest %zu attacks (%s)\n",
+              stats.chains, stats.longest_length,
+              stats.chains > 0
+                  ? std::string(data::FamilyName(stats.longest_family)).c_str()
+                  : "-");
+  return 0;
+}
+
+int CmdPredict(const std::string& path) {
+  const data::Dataset ds = LoadDataset(path);
+  const auto watch = core::BuildWatchList(ds, 15, 4);
+  if (watch.empty()) {
+    std::printf("no target has enough history for a prediction\n");
+    return 0;
+  }
+  core::TextTable table({"target", "attacks", "predicted next attack"});
+  for (const core::WatchedTarget& w : watch) {
+    table.AddRow({w.target.ToString(), std::to_string(w.attack_count),
+                  w.predicted_next.ToString()});
+  }
+  std::printf("%s", table.Render().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  std::vector<std::string> positional;
+  const auto flags = ParseFlags(argc, argv, 2, &positional);
+  try {
+    if (command == "generate") return CmdGenerate(flags);
+    if (command == "summary" && positional.size() == 1) {
+      return CmdSummary(positional[0]);
+    }
+    if (command == "query" && positional.size() == 1) {
+      return CmdQuery(positional[0], flags);
+    }
+    if (command == "report" && positional.size() == 2) {
+      return CmdReport(positional[0], positional[1]);
+    }
+    if (command == "predict" && positional.size() == 1) {
+      return CmdPredict(positional[0]);
+    }
+    if (command == "collab" && positional.size() == 1) {
+      return CmdCollab(positional[0]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ddoscope %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+  return Usage();
+}
