@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dispersion_metric.dir/ablation_dispersion_metric.cpp.o"
+  "CMakeFiles/bench_ablation_dispersion_metric.dir/ablation_dispersion_metric.cpp.o.d"
+  "bench_ablation_dispersion_metric"
+  "bench_ablation_dispersion_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dispersion_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

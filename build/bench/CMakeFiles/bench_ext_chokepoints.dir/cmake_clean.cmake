@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_chokepoints.dir/ext_chokepoints.cpp.o"
+  "CMakeFiles/bench_ext_chokepoints.dir/ext_chokepoints.cpp.o.d"
+  "bench_ext_chokepoints"
+  "bench_ext_chokepoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_chokepoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

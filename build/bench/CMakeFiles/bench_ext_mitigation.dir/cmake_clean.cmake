@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_mitigation.dir/ext_mitigation.cpp.o"
+  "CMakeFiles/bench_ext_mitigation.dir/ext_mitigation.cpp.o.d"
+  "bench_ext_mitigation"
+  "bench_ext_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

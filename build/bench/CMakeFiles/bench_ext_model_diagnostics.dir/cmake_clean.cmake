@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_model_diagnostics.dir/ext_model_diagnostics.cpp.o"
+  "CMakeFiles/bench_ext_model_diagnostics.dir/ext_model_diagnostics.cpp.o.d"
+  "bench_ext_model_diagnostics"
+  "bench_ext_model_diagnostics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_model_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_takedown.dir/ext_takedown.cpp.o"
+  "CMakeFiles/bench_ext_takedown.dir/ext_takedown.cpp.o.d"
+  "bench_ext_takedown"
+  "bench_ext_takedown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_takedown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

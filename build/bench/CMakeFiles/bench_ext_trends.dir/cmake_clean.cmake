@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_trends.dir/ext_trends.cpp.o"
+  "CMakeFiles/bench_ext_trends.dir/ext_trends.cpp.o.d"
+  "bench_ext_trends"
+  "bench_ext_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_durations.dir/fig06_durations.cpp.o"
+  "CMakeFiles/bench_fig06_durations.dir/fig06_durations.cpp.o.d"
+  "bench_fig06_durations"
+  "bench_fig06_durations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_durations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

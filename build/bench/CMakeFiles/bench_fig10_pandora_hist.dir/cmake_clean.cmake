@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_pandora_hist.dir/fig10_pandora_hist.cpp.o"
+  "CMakeFiles/bench_fig10_pandora_hist.dir/fig10_pandora_hist.cpp.o.d"
+  "bench_fig10_pandora_hist"
+  "bench_fig10_pandora_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_pandora_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

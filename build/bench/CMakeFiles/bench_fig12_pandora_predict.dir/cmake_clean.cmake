@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_pandora_predict.dir/fig12_pandora_predict.cpp.o"
+  "CMakeFiles/bench_fig12_pandora_predict.dir/fig12_pandora_predict.cpp.o.d"
+  "bench_fig12_pandora_predict"
+  "bench_fig12_pandora_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_pandora_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

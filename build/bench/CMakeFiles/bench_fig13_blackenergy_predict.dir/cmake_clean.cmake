@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_blackenergy_predict.dir/fig13_blackenergy_predict.cpp.o"
+  "CMakeFiles/bench_fig13_blackenergy_predict.dir/fig13_blackenergy_predict.cpp.o.d"
+  "bench_fig13_blackenergy_predict"
+  "bench_fig13_blackenergy_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_blackenergy_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

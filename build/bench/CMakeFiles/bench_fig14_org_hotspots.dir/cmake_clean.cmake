@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_org_hotspots.dir/fig14_org_hotspots.cpp.o"
+  "CMakeFiles/bench_fig14_org_hotspots.dir/fig14_org_hotspots.cpp.o.d"
+  "bench_fig14_org_hotspots"
+  "bench_fig14_org_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_org_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_dirtjumper_collab.dir/fig15_dirtjumper_collab.cpp.o"
+  "CMakeFiles/bench_fig15_dirtjumper_collab.dir/fig15_dirtjumper_collab.cpp.o.d"
+  "bench_fig15_dirtjumper_collab"
+  "bench_fig15_dirtjumper_collab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_dirtjumper_collab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_dj_pandora.dir/fig16_dj_pandora.cpp.o"
+  "CMakeFiles/bench_fig16_dj_pandora.dir/fig16_dj_pandora.cpp.o.d"
+  "bench_fig16_dj_pandora"
+  "bench_fig16_dj_pandora.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_dj_pandora.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig18_consecutive_timeline.cpp" "bench/CMakeFiles/bench_fig18_consecutive_timeline.dir/fig18_consecutive_timeline.cpp.o" "gcc" "bench/CMakeFiles/bench_fig18_consecutive_timeline.dir/fig18_consecutive_timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ddoscope_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ddoscope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/botsim/CMakeFiles/ddoscope_botsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ddoscope_asgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/ddoscope_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ddoscope_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ddoscope_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ddoscope_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ddoscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ddoscope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

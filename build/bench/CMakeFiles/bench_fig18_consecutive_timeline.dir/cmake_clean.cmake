@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_consecutive_timeline.dir/fig18_consecutive_timeline.cpp.o"
+  "CMakeFiles/bench_fig18_consecutive_timeline.dir/fig18_consecutive_timeline.cpp.o.d"
+  "bench_fig18_consecutive_timeline"
+  "bench_fig18_consecutive_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_consecutive_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table04_prediction.dir/table04_prediction.cpp.o"
+  "CMakeFiles/bench_table04_prediction.dir/table04_prediction.cpp.o.d"
+  "bench_table04_prediction"
+  "bench_table04_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table04_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

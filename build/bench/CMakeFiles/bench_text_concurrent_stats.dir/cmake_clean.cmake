@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_text_concurrent_stats.dir/text_concurrent_stats.cpp.o"
+  "CMakeFiles/bench_text_concurrent_stats.dir/text_concurrent_stats.cpp.o.d"
+  "bench_text_concurrent_stats"
+  "bench_text_concurrent_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_text_concurrent_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_text_concurrent_stats.
+# This may be replaced when dependencies are built.

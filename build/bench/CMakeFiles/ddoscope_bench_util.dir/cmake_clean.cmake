@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddoscope_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/ddoscope_bench_util.dir/bench_util.cpp.o.d"
+  "CMakeFiles/ddoscope_bench_util.dir/geo_bench_common.cpp.o"
+  "CMakeFiles/ddoscope_bench_util.dir/geo_bench_common.cpp.o.d"
+  "libddoscope_bench_util.a"
+  "libddoscope_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddoscope_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_attribution.dir/attack_attribution.cpp.o"
+  "CMakeFiles/attack_attribution.dir/attack_attribution.cpp.o.d"
+  "attack_attribution"
+  "attack_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_planning.dir/defense_planning.cpp.o"
+  "CMakeFiles/defense_planning.dir/defense_planning.cpp.o.d"
+  "defense_planning"
+  "defense_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modern_botnet_whatif.dir/modern_botnet_whatif.cpp.o"
+  "CMakeFiles/modern_botnet_whatif.dir/modern_botnet_whatif.cpp.o.d"
+  "modern_botnet_whatif"
+  "modern_botnet_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modern_botnet_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for modern_botnet_whatif.
+# This may be replaced when dependencies are built.

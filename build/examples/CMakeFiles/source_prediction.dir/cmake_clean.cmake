@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_prediction.dir/source_prediction.cpp.o"
+  "CMakeFiles/source_prediction.dir/source_prediction.cpp.o.d"
+  "source_prediction"
+  "source_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/victim_forensics.dir/victim_forensics.cpp.o"
+  "CMakeFiles/victim_forensics.dir/victim_forensics.cpp.o.d"
+  "victim_forensics"
+  "victim_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/victim_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

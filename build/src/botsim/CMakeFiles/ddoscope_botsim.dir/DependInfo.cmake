@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/botsim/family_profile.cpp" "src/botsim/CMakeFiles/ddoscope_botsim.dir/family_profile.cpp.o" "gcc" "src/botsim/CMakeFiles/ddoscope_botsim.dir/family_profile.cpp.o.d"
+  "/root/repo/src/botsim/simulator.cpp" "src/botsim/CMakeFiles/ddoscope_botsim.dir/simulator.cpp.o" "gcc" "src/botsim/CMakeFiles/ddoscope_botsim.dir/simulator.cpp.o.d"
+  "/root/repo/src/botsim/source_model.cpp" "src/botsim/CMakeFiles/ddoscope_botsim.dir/source_model.cpp.o" "gcc" "src/botsim/CMakeFiles/ddoscope_botsim.dir/source_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ddoscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ddoscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ddoscope_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ddoscope_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

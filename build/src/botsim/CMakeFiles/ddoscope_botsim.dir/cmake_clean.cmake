@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddoscope_botsim.dir/family_profile.cpp.o"
+  "CMakeFiles/ddoscope_botsim.dir/family_profile.cpp.o.d"
+  "CMakeFiles/ddoscope_botsim.dir/simulator.cpp.o"
+  "CMakeFiles/ddoscope_botsim.dir/simulator.cpp.o.d"
+  "CMakeFiles/ddoscope_botsim.dir/source_model.cpp.o"
+  "CMakeFiles/ddoscope_botsim.dir/source_model.cpp.o.d"
+  "libddoscope_botsim.a"
+  "libddoscope_botsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddoscope_botsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libddoscope_botsim.a"
+)

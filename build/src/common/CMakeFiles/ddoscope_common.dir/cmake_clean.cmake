@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddoscope_common.dir/rng.cpp.o"
+  "CMakeFiles/ddoscope_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ddoscope_common.dir/strings.cpp.o"
+  "CMakeFiles/ddoscope_common.dir/strings.cpp.o.d"
+  "CMakeFiles/ddoscope_common.dir/time.cpp.o"
+  "CMakeFiles/ddoscope_common.dir/time.cpp.o.d"
+  "libddoscope_common.a"
+  "libddoscope_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddoscope_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

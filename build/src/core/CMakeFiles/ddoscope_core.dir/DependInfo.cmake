@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attribution.cpp" "src/core/CMakeFiles/ddoscope_core.dir/attribution.cpp.o" "gcc" "src/core/CMakeFiles/ddoscope_core.dir/attribution.cpp.o.d"
+  "/root/repo/src/core/bot_analysis.cpp" "src/core/CMakeFiles/ddoscope_core.dir/bot_analysis.cpp.o" "gcc" "src/core/CMakeFiles/ddoscope_core.dir/bot_analysis.cpp.o.d"
+  "/root/repo/src/core/chokepoint.cpp" "src/core/CMakeFiles/ddoscope_core.dir/chokepoint.cpp.o" "gcc" "src/core/CMakeFiles/ddoscope_core.dir/chokepoint.cpp.o.d"
+  "/root/repo/src/core/collab_graph.cpp" "src/core/CMakeFiles/ddoscope_core.dir/collab_graph.cpp.o" "gcc" "src/core/CMakeFiles/ddoscope_core.dir/collab_graph.cpp.o.d"
+  "/root/repo/src/core/collaboration.cpp" "src/core/CMakeFiles/ddoscope_core.dir/collaboration.cpp.o" "gcc" "src/core/CMakeFiles/ddoscope_core.dir/collaboration.cpp.o.d"
+  "/root/repo/src/core/defense.cpp" "src/core/CMakeFiles/ddoscope_core.dir/defense.cpp.o" "gcc" "src/core/CMakeFiles/ddoscope_core.dir/defense.cpp.o.d"
+  "/root/repo/src/core/durations.cpp" "src/core/CMakeFiles/ddoscope_core.dir/durations.cpp.o" "gcc" "src/core/CMakeFiles/ddoscope_core.dir/durations.cpp.o.d"
+  "/root/repo/src/core/geo_analysis.cpp" "src/core/CMakeFiles/ddoscope_core.dir/geo_analysis.cpp.o" "gcc" "src/core/CMakeFiles/ddoscope_core.dir/geo_analysis.cpp.o.d"
+  "/root/repo/src/core/intervals.cpp" "src/core/CMakeFiles/ddoscope_core.dir/intervals.cpp.o" "gcc" "src/core/CMakeFiles/ddoscope_core.dir/intervals.cpp.o.d"
+  "/root/repo/src/core/mitigation_sim.cpp" "src/core/CMakeFiles/ddoscope_core.dir/mitigation_sim.cpp.o" "gcc" "src/core/CMakeFiles/ddoscope_core.dir/mitigation_sim.cpp.o.d"
+  "/root/repo/src/core/overview.cpp" "src/core/CMakeFiles/ddoscope_core.dir/overview.cpp.o" "gcc" "src/core/CMakeFiles/ddoscope_core.dir/overview.cpp.o.d"
+  "/root/repo/src/core/prediction.cpp" "src/core/CMakeFiles/ddoscope_core.dir/prediction.cpp.o" "gcc" "src/core/CMakeFiles/ddoscope_core.dir/prediction.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/ddoscope_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/ddoscope_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/report_generator.cpp" "src/core/CMakeFiles/ddoscope_core.dir/report_generator.cpp.o" "gcc" "src/core/CMakeFiles/ddoscope_core.dir/report_generator.cpp.o.d"
+  "/root/repo/src/core/sessionize.cpp" "src/core/CMakeFiles/ddoscope_core.dir/sessionize.cpp.o" "gcc" "src/core/CMakeFiles/ddoscope_core.dir/sessionize.cpp.o.d"
+  "/root/repo/src/core/takedown.cpp" "src/core/CMakeFiles/ddoscope_core.dir/takedown.cpp.o" "gcc" "src/core/CMakeFiles/ddoscope_core.dir/takedown.cpp.o.d"
+  "/root/repo/src/core/target_analysis.cpp" "src/core/CMakeFiles/ddoscope_core.dir/target_analysis.cpp.o" "gcc" "src/core/CMakeFiles/ddoscope_core.dir/target_analysis.cpp.o.d"
+  "/root/repo/src/core/trends.cpp" "src/core/CMakeFiles/ddoscope_core.dir/trends.cpp.o" "gcc" "src/core/CMakeFiles/ddoscope_core.dir/trends.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ddoscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ddoscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ddoscope_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ddoscope_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/ddoscope_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ddoscope_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/botsim/CMakeFiles/ddoscope_botsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ddoscope_asgraph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

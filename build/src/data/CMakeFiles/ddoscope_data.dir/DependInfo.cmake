@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cpp" "src/data/CMakeFiles/ddoscope_data.dir/csv.cpp.o" "gcc" "src/data/CMakeFiles/ddoscope_data.dir/csv.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/ddoscope_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/ddoscope_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/query.cpp" "src/data/CMakeFiles/ddoscope_data.dir/query.cpp.o" "gcc" "src/data/CMakeFiles/ddoscope_data.dir/query.cpp.o.d"
+  "/root/repo/src/data/taxonomy.cpp" "src/data/CMakeFiles/ddoscope_data.dir/taxonomy.cpp.o" "gcc" "src/data/CMakeFiles/ddoscope_data.dir/taxonomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ddoscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ddoscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ddoscope_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

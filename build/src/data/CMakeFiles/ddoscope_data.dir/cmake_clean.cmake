@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddoscope_data.dir/csv.cpp.o"
+  "CMakeFiles/ddoscope_data.dir/csv.cpp.o.d"
+  "CMakeFiles/ddoscope_data.dir/dataset.cpp.o"
+  "CMakeFiles/ddoscope_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/ddoscope_data.dir/query.cpp.o"
+  "CMakeFiles/ddoscope_data.dir/query.cpp.o.d"
+  "CMakeFiles/ddoscope_data.dir/taxonomy.cpp.o"
+  "CMakeFiles/ddoscope_data.dir/taxonomy.cpp.o.d"
+  "libddoscope_data.a"
+  "libddoscope_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddoscope_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

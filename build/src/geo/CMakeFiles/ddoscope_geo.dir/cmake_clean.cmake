@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddoscope_geo.dir/catalog.cpp.o"
+  "CMakeFiles/ddoscope_geo.dir/catalog.cpp.o.d"
+  "CMakeFiles/ddoscope_geo.dir/geo_db.cpp.o"
+  "CMakeFiles/ddoscope_geo.dir/geo_db.cpp.o.d"
+  "CMakeFiles/ddoscope_geo.dir/geodesy.cpp.o"
+  "CMakeFiles/ddoscope_geo.dir/geodesy.cpp.o.d"
+  "libddoscope_geo.a"
+  "libddoscope_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddoscope_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

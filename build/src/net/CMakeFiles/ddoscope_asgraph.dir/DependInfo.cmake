@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/as_graph.cpp" "src/net/CMakeFiles/ddoscope_asgraph.dir/as_graph.cpp.o" "gcc" "src/net/CMakeFiles/ddoscope_asgraph.dir/as_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ddoscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ddoscope_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ddoscope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

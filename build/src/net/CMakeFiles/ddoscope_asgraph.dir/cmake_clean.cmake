@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddoscope_asgraph.dir/as_graph.cpp.o"
+  "CMakeFiles/ddoscope_asgraph.dir/as_graph.cpp.o.d"
+  "libddoscope_asgraph.a"
+  "libddoscope_asgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddoscope_asgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddoscope_net.dir/ipv4.cpp.o"
+  "CMakeFiles/ddoscope_net.dir/ipv4.cpp.o.d"
+  "libddoscope_net.a"
+  "libddoscope_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddoscope_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

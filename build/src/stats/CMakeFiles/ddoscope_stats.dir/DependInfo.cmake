@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/ddoscope_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/ddoscope_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "src/stats/CMakeFiles/ddoscope_stats.dir/ecdf.cpp.o" "gcc" "src/stats/CMakeFiles/ddoscope_stats.dir/ecdf.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/ddoscope_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/ddoscope_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/hypothesis.cpp" "src/stats/CMakeFiles/ddoscope_stats.dir/hypothesis.cpp.o" "gcc" "src/stats/CMakeFiles/ddoscope_stats.dir/hypothesis.cpp.o.d"
+  "/root/repo/src/stats/linalg.cpp" "src/stats/CMakeFiles/ddoscope_stats.dir/linalg.cpp.o" "gcc" "src/stats/CMakeFiles/ddoscope_stats.dir/linalg.cpp.o.d"
+  "/root/repo/src/stats/similarity.cpp" "src/stats/CMakeFiles/ddoscope_stats.dir/similarity.cpp.o" "gcc" "src/stats/CMakeFiles/ddoscope_stats.dir/similarity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ddoscope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

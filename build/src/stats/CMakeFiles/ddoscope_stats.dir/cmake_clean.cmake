@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddoscope_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/ddoscope_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/ddoscope_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/ddoscope_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/ddoscope_stats.dir/histogram.cpp.o"
+  "CMakeFiles/ddoscope_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/ddoscope_stats.dir/hypothesis.cpp.o"
+  "CMakeFiles/ddoscope_stats.dir/hypothesis.cpp.o.d"
+  "CMakeFiles/ddoscope_stats.dir/linalg.cpp.o"
+  "CMakeFiles/ddoscope_stats.dir/linalg.cpp.o.d"
+  "CMakeFiles/ddoscope_stats.dir/similarity.cpp.o"
+  "CMakeFiles/ddoscope_stats.dir/similarity.cpp.o.d"
+  "libddoscope_stats.a"
+  "libddoscope_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddoscope_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddoscope_ts.dir/acf.cpp.o"
+  "CMakeFiles/ddoscope_ts.dir/acf.cpp.o.d"
+  "CMakeFiles/ddoscope_ts.dir/arima.cpp.o"
+  "CMakeFiles/ddoscope_ts.dir/arima.cpp.o.d"
+  "CMakeFiles/ddoscope_ts.dir/diagnostics.cpp.o"
+  "CMakeFiles/ddoscope_ts.dir/diagnostics.cpp.o.d"
+  "libddoscope_ts.a"
+  "libddoscope_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddoscope_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arima_order_sweep_test.dir/timeseries/arima_order_sweep_test.cpp.o"
+  "CMakeFiles/arima_order_sweep_test.dir/timeseries/arima_order_sweep_test.cpp.o.d"
+  "arima_order_sweep_test"
+  "arima_order_sweep_test.pdb"
+  "arima_order_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arima_order_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

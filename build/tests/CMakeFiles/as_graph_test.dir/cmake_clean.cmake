@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/as_graph_test.dir/net/as_graph_test.cpp.o"
+  "CMakeFiles/as_graph_test.dir/net/as_graph_test.cpp.o.d"
+  "as_graph_test"
+  "as_graph_test.pdb"
+  "as_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/as_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bot_analysis_test.dir/core/bot_analysis_test.cpp.o"
+  "CMakeFiles/bot_analysis_test.dir/core/bot_analysis_test.cpp.o.d"
+  "bot_analysis_test"
+  "bot_analysis_test.pdb"
+  "bot_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bot_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chokepoint_test.dir/core/chokepoint_test.cpp.o"
+  "CMakeFiles/chokepoint_test.dir/core/chokepoint_test.cpp.o.d"
+  "chokepoint_test"
+  "chokepoint_test.pdb"
+  "chokepoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chokepoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

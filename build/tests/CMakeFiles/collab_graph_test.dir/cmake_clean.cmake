@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collab_graph_test.dir/core/collab_graph_test.cpp.o"
+  "CMakeFiles/collab_graph_test.dir/core/collab_graph_test.cpp.o.d"
+  "collab_graph_test"
+  "collab_graph_test.pdb"
+  "collab_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collab_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collaboration_test.dir/core/collaboration_test.cpp.o"
+  "CMakeFiles/collaboration_test.dir/core/collaboration_test.cpp.o.d"
+  "collaboration_test"
+  "collaboration_test.pdb"
+  "collaboration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collaboration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

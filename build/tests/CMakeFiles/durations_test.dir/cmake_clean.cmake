@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durations_test.dir/core/durations_test.cpp.o"
+  "CMakeFiles/durations_test.dir/core/durations_test.cpp.o.d"
+  "durations_test"
+  "durations_test.pdb"
+  "durations_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

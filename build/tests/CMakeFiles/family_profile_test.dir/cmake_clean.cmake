@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/family_profile_test.dir/botsim/family_profile_test.cpp.o"
+  "CMakeFiles/family_profile_test.dir/botsim/family_profile_test.cpp.o.d"
+  "family_profile_test"
+  "family_profile_test.pdb"
+  "family_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/family_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

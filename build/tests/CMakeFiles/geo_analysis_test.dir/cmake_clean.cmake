@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_analysis_test.dir/core/geo_analysis_test.cpp.o"
+  "CMakeFiles/geo_analysis_test.dir/core/geo_analysis_test.cpp.o.d"
+  "geo_analysis_test"
+  "geo_analysis_test.pdb"
+  "geo_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

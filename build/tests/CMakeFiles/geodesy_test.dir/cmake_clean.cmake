@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geodesy_test.dir/geo/geodesy_test.cpp.o"
+  "CMakeFiles/geodesy_test.dir/geo/geodesy_test.cpp.o.d"
+  "geodesy_test"
+  "geodesy_test.pdb"
+  "geodesy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geodesy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

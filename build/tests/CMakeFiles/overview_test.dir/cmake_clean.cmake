@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overview_test.dir/core/overview_test.cpp.o"
+  "CMakeFiles/overview_test.dir/core/overview_test.cpp.o.d"
+  "overview_test"
+  "overview_test.pdb"
+  "overview_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overview_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

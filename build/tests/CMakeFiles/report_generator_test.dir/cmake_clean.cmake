@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_generator_test.dir/core/report_generator_test.cpp.o"
+  "CMakeFiles/report_generator_test.dir/core/report_generator_test.cpp.o.d"
+  "report_generator_test"
+  "report_generator_test.pdb"
+  "report_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulator_property_test.dir/botsim/simulator_property_test.cpp.o"
+  "CMakeFiles/simulator_property_test.dir/botsim/simulator_property_test.cpp.o.d"
+  "simulator_property_test"
+  "simulator_property_test.pdb"
+  "simulator_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulator_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_model_test.dir/botsim/source_model_test.cpp.o"
+  "CMakeFiles/source_model_test.dir/botsim/source_model_test.cpp.o.d"
+  "source_model_test"
+  "source_model_test.pdb"
+  "source_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

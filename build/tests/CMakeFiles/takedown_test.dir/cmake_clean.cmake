@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/takedown_test.dir/core/takedown_test.cpp.o"
+  "CMakeFiles/takedown_test.dir/core/takedown_test.cpp.o.d"
+  "takedown_test"
+  "takedown_test.pdb"
+  "takedown_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/takedown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/target_analysis_test.dir/core/target_analysis_test.cpp.o"
+  "CMakeFiles/target_analysis_test.dir/core/target_analysis_test.cpp.o.d"
+  "target_analysis_test"
+  "target_analysis_test.pdb"
+  "target_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/target_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddoscope.dir/ddoscope_cli.cpp.o"
+  "CMakeFiles/ddoscope.dir/ddoscope_cli.cpp.o.d"
+  "ddoscope"
+  "ddoscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddoscope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

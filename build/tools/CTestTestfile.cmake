@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_generate "/root/repo/build/tools/ddoscope" "generate" "--scale" "0.02" "--days" "30" "--seed" "7" "--out" "/root/repo/build/tools/cli_attacks.csv")
+set_tests_properties(cli_generate PROPERTIES  FIXTURES_SETUP "cli_trace" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_summary "/root/repo/build/tools/ddoscope" "summary" "/root/repo/build/tools/cli_attacks.csv")
+set_tests_properties(cli_summary PROPERTIES  FIXTURES_REQUIRED "cli_trace" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_predict "/root/repo/build/tools/ddoscope" "predict" "/root/repo/build/tools/cli_attacks.csv")
+set_tests_properties(cli_predict PROPERTIES  FIXTURES_REQUIRED "cli_trace" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_collab "/root/repo/build/tools/ddoscope" "collab" "/root/repo/build/tools/cli_attacks.csv")
+set_tests_properties(cli_collab PROPERTIES  FIXTURES_REQUIRED "cli_trace" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_query "/root/repo/build/tools/ddoscope" "query" "/root/repo/build/tools/cli_attacks.csv" "--family" "dirtjumper" "--min-duration" "60" "--limit" "5")
+set_tests_properties(cli_query PROPERTIES  FIXTURES_REQUIRED "cli_trace" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_report "/root/repo/build/tools/ddoscope" "report" "/root/repo/build/tools/cli_attacks.csv" "/root/repo/build/tools/cli_report.md")
+set_tests_properties(cli_report PROPERTIES  FIXTURES_REQUIRED "cli_trace" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/ddoscope" "bogus")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
