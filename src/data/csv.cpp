@@ -29,7 +29,40 @@ double FieldDouble(const std::vector<std::string>& fields, std::size_t idx,
   return *v;
 }
 
+AttackRecord ParseAttackRow(const std::vector<std::string>& f,
+                            std::size_t line_no) {
+  if (f.size() != 14) Fail("expected 14 fields", line_no);
+  AttackRecord a;
+  a.ddos_id = static_cast<std::uint64_t>(FieldInt(f, 0, line_no));
+  a.botnet_id = static_cast<std::uint32_t>(FieldInt(f, 1, line_no));
+  const auto family = ParseFamily(f[2]);
+  if (!family) Fail("unknown family", line_no);
+  a.family = *family;
+  const auto protocol = ParseProtocol(f[3]);
+  if (!protocol) Fail("unknown protocol", line_no);
+  a.category = *protocol;
+  const auto ip = net::IPv4Address::Parse(f[4]);
+  if (!ip) Fail("bad target_ip", line_no);
+  a.target_ip = *ip;
+  a.start_time = TimePoint::Parse(f[5]);
+  a.end_time = TimePoint::Parse(f[6]);
+  a.asn = net::Asn(static_cast<std::uint32_t>(FieldInt(f, 7, line_no)));
+  a.cc = f[8];
+  a.city = f[9];
+  a.location.lat_deg = FieldDouble(f, 10, line_no);
+  a.location.lon_deg = FieldDouble(f, 11, line_no);
+  a.organization = f[12];
+  a.magnitude = static_cast<std::uint32_t>(FieldInt(f, 13, line_no));
+  return a;
+}
+
 }  // namespace
+
+bool ReadCsvLine(std::istream& in, std::string* line) {
+  if (!std::getline(in, *line)) return false;
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+  return true;
+}
 
 std::vector<std::string> ParseCsvLine(const std::string& line) {
   std::vector<std::string> fields;
@@ -88,42 +121,33 @@ void WriteAttacksCsv(std::ostream& out, std::span<const AttackRecord> attacks) {
 
 std::vector<AttackRecord> ReadAttacksCsv(std::istream& in) {
   std::vector<AttackRecord> out;
+  AttackCsvReader reader(in);
+  AttackRecord a;
+  while (reader.Next(&a)) out.push_back(std::move(a));
+  return out;
+}
+
+AttackCsvReader::AttackCsvReader(std::istream& in) : in_(&in) {}
+
+AttackCsvReader::AttackCsvReader(const std::string& path)
+    : file_(path), in_(&file_) {
+  if (!file_) throw std::runtime_error("AttackCsvReader: cannot open " + path);
+}
+
+bool AttackCsvReader::Next(AttackRecord* out) {
   std::string line;
-  std::size_t line_no = 0;
-  bool header = true;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (header) {
-      header = false;
+  while (ReadCsvLine(*in_, &line)) {
+    ++line_no_;
+    if (!header_skipped_) {
+      header_skipped_ = true;
       continue;
     }
     if (Trim(line).empty()) continue;
-    const auto f = ParseCsvLine(line);
-    if (f.size() != 14) Fail("expected 14 fields", line_no);
-    AttackRecord a;
-    a.ddos_id = static_cast<std::uint64_t>(FieldInt(f, 0, line_no));
-    a.botnet_id = static_cast<std::uint32_t>(FieldInt(f, 1, line_no));
-    const auto family = ParseFamily(f[2]);
-    if (!family) Fail("unknown family", line_no);
-    a.family = *family;
-    const auto protocol = ParseProtocol(f[3]);
-    if (!protocol) Fail("unknown protocol", line_no);
-    a.category = *protocol;
-    const auto ip = net::IPv4Address::Parse(f[4]);
-    if (!ip) Fail("bad target_ip", line_no);
-    a.target_ip = *ip;
-    a.start_time = TimePoint::Parse(f[5]);
-    a.end_time = TimePoint::Parse(f[6]);
-    a.asn = net::Asn(static_cast<std::uint32_t>(FieldInt(f, 7, line_no)));
-    a.cc = f[8];
-    a.city = f[9];
-    a.location.lat_deg = FieldDouble(f, 10, line_no);
-    a.location.lon_deg = FieldDouble(f, 11, line_no);
-    a.organization = f[12];
-    a.magnitude = static_cast<std::uint32_t>(FieldInt(f, 13, line_no));
-    out.push_back(std::move(a));
+    *out = ParseAttackRow(ParseCsvLine(line), line_no_);
+    ++records_;
+    return true;
   }
-  return out;
+  return false;
 }
 
 void WriteBotnetsCsv(std::ostream& out, std::span<const BotnetRecord> botnets) {
@@ -140,7 +164,7 @@ std::vector<BotnetRecord> ReadBotnetsCsv(std::istream& in) {
   std::string line;
   std::size_t line_no = 0;
   bool header = true;
-  while (std::getline(in, line)) {
+  while (ReadCsvLine(in, &line)) {
     ++line_no;
     if (header) {
       header = false;
@@ -179,7 +203,7 @@ std::vector<SnapshotRecord> ReadSnapshotsCsv(std::istream& in) {
   std::string line;
   std::size_t line_no = 0;
   bool header = true;
-  while (std::getline(in, line)) {
+  while (ReadCsvLine(in, &line)) {
     ++line_no;
     if (header) {
       header = false;

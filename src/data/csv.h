@@ -8,10 +8,13 @@
 //
 // Quoting: fields containing ',', '"' or newlines are double-quoted with
 // inner quotes doubled (RFC 4180). Readers throw std::runtime_error with a
-// line number on malformed input.
+// line number on malformed input. Line endings may be LF or CRLF; a
+// trailing '\r' is stripped before parsing so files written on Windows
+// parse identically.
 #ifndef DDOSCOPE_DATA_CSV_H_
 #define DDOSCOPE_DATA_CSV_H_
 
+#include <fstream>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -24,6 +27,37 @@ namespace ddos::data {
 std::vector<std::string> ParseCsvLine(const std::string& line);
 // Escapes one field for CSV output.
 std::string CsvEscape(const std::string& field);
+
+// getline wrapper shared by all CSV readers: strips one trailing '\r' so
+// CRLF-terminated files parse like LF files. Returns false at EOF.
+bool ReadCsvLine(std::istream& in, std::string* line);
+
+// Streaming one-record-at-a-time reader over the attack table. Unlike
+// ReadAttacksCsv it never materializes the file: each Next() parses one
+// row, so an arbitrarily large trace can be consumed in constant memory
+// (the backbone of ddos::stream ingestion). Blank lines are skipped; the
+// header line is consumed lazily on the first Next().
+class AttackCsvReader {
+ public:
+  // Reads from a caller-owned stream (kept alive by the caller).
+  explicit AttackCsvReader(std::istream& in);
+  // Opens `path`; throws std::runtime_error if it cannot be opened.
+  explicit AttackCsvReader(const std::string& path);
+
+  // Parses the next record into *out. Returns false at end of input.
+  // Throws std::runtime_error (with a line number) on malformed rows.
+  bool Next(AttackRecord* out);
+
+  std::size_t records_read() const { return records_; }
+  std::size_t line_number() const { return line_no_; }
+
+ private:
+  std::ifstream file_;  // engaged only by the path constructor
+  std::istream* in_;
+  std::size_t line_no_ = 0;
+  std::size_t records_ = 0;
+  bool header_skipped_ = false;
+};
 
 void WriteAttacksCsv(std::ostream& out, std::span<const AttackRecord> attacks);
 std::vector<AttackRecord> ReadAttacksCsv(std::istream& in);

@@ -1,0 +1,100 @@
+#include "stream/collab_window.h"
+
+#include <cstdlib>
+#include <set>
+
+namespace ddos::stream {
+
+namespace {
+constexpr std::uint64_t kSweepPeriod = 256;
+}  // namespace
+
+WindowedCollabDetector::WindowedCollabDetector(
+    const core::CollaborationConfig& config)
+    : config_(config) {}
+
+void WindowedCollabDetector::Finalize(const Pending& pending) {
+  std::set<std::uint32_t> botnets;
+  std::set<data::Family> families;
+  for (const Participant& p : pending.participants) {
+    botnets.insert(p.botnet_id);
+    families.insert(p.family);
+  }
+  if (botnets.size() < 2) return;
+  const bool intra = families.size() == 1;
+  ++stats_.events;
+  if (intra) {
+    ++stats_.intra_family_events;
+  } else {
+    ++stats_.inter_family_events;
+  }
+  stats_.total_participants += pending.participants.size();
+  // Same per-family attribution as core::TabulateCollaborations: every
+  // distinct participating family is credited once per event.
+  for (const data::Family f : families) {
+    if (intra) {
+      ++stats_.table.intra[static_cast<std::size_t>(f)];
+    } else {
+      ++stats_.table.inter[static_cast<std::size_t>(f)];
+    }
+  }
+}
+
+void WindowedCollabDetector::Sweep() {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    // Once the watermark is past the anchor's window no future in-order
+    // attack can join the group; its verdict is final.
+    if (watermark_ - it->second.anchor_start > config_.start_window_s) {
+      Finalize(it->second);
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void WindowedCollabDetector::Push(const data::AttackRecord& attack) {
+  if (attack.start_time > watermark_ || pushes_ == 0) {
+    watermark_ = attack.start_time;
+  }
+  ++pushes_;
+
+  const std::uint32_t key = attack.target_ip.bits();
+  auto [it, inserted] = pending_.try_emplace(key);
+  Pending& pending = it->second;
+  if (!inserted) {
+    if (attack.start_time - pending.anchor_start <= config_.start_window_s) {
+      // Inside the anchor's window: participate if the duration matches;
+      // either way the attack is consumed by this group (batch semantics).
+      if (std::llabs(attack.duration_seconds() - pending.anchor_duration_s) <=
+          config_.max_duration_diff_s) {
+        pending.participants.push_back(
+            Participant{attack.family, attack.botnet_id});
+      }
+      if (pushes_ % kSweepPeriod == 0) Sweep();
+      return;
+    }
+    Finalize(pending);  // window left behind: group is complete
+    pending = Pending{};
+  }
+  pending.anchor_start = attack.start_time;
+  pending.anchor_duration_s = attack.duration_seconds();
+  pending.participants.push_back(Participant{attack.family, attack.botnet_id});
+  if (pushes_ % kSweepPeriod == 0) Sweep();
+}
+
+void WindowedCollabDetector::Flush() {
+  for (const auto& [key, pending] : pending_) Finalize(pending);
+  pending_.clear();
+}
+
+std::size_t WindowedCollabDetector::ApproxMemoryBytes() const {
+  std::size_t bytes = sizeof(*this);
+  for (const auto& [key, pending] : pending_) {
+    bytes += sizeof(Pending) + 48 +
+             pending.participants.capacity() * sizeof(Participant);
+  }
+  return bytes;
+}
+
+}  // namespace ddos::stream

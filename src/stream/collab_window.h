@@ -1,0 +1,79 @@
+// Sliding-window detection of concurrent collaborative attacks.
+//
+// Replicates core::DetectConcurrentCollaborations (Section V, Table VI)
+// without holding attack history: the batch algorithm walks each target's
+// chronological attacks, anchors a group at the first unconsumed attack,
+// extends it while starts fall within the 60 s window, and counts an event
+// when at least two distinct botnet ids participate with durations within
+// 30 minutes of the anchor's. Fed the same chronological attack order, this
+// detector produces exactly the same events, but retains only one pending
+// group per target currently inside the window. Pending groups expire when
+// the watermark (the newest start seen) passes their window, so memory is
+// bounded by the number of targets active within the window span.
+#ifndef DDOSCOPE_STREAM_COLLAB_WINDOW_H_
+#define DDOSCOPE_STREAM_COLLAB_WINDOW_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/collaboration.h"
+#include "data/records.h"
+
+namespace ddos::stream {
+
+struct WindowedCollabStats {
+  std::uint64_t events = 0;
+  std::uint64_t intra_family_events = 0;
+  std::uint64_t inter_family_events = 0;
+  std::uint64_t total_participants = 0;  // over counted events
+  core::CollaborationTable table;        // Table VI tallies
+
+  double avg_participants() const {
+    return events == 0 ? 0.0
+                       : static_cast<double>(total_participants) /
+                             static_cast<double>(events);
+  }
+};
+
+class WindowedCollabDetector {
+ public:
+  explicit WindowedCollabDetector(const core::CollaborationConfig& config = {});
+
+  // Attacks must arrive in non-decreasing start-time order (the dataset /
+  // attack-CSV order).
+  void Push(const data::AttackRecord& attack);
+
+  // Finalizes every pending group (end of stream). Tallies observed up to
+  // here match the batch detector run over the same attacks.
+  void Flush();
+
+  const WindowedCollabStats& stats() const { return stats_; }
+  std::size_t pending_targets() const { return pending_.size(); }
+  std::size_t ApproxMemoryBytes() const;
+
+ private:
+  struct Participant {
+    data::Family family = data::Family::kAldibot;
+    std::uint32_t botnet_id = 0;
+  };
+
+  struct Pending {
+    TimePoint anchor_start;
+    std::int64_t anchor_duration_s = 0;
+    std::vector<Participant> participants;  // anchor first
+  };
+
+  void Finalize(const Pending& pending);
+  void Sweep();
+
+  core::CollaborationConfig config_;
+  WindowedCollabStats stats_;
+  std::unordered_map<std::uint32_t, Pending> pending_;  // by target bits
+  TimePoint watermark_;
+  std::uint64_t pushes_ = 0;
+};
+
+}  // namespace ddos::stream
+
+#endif  // DDOSCOPE_STREAM_COLLAB_WINDOW_H_

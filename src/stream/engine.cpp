@@ -1,0 +1,164 @@
+#include "stream/engine.h"
+
+#include <algorithm>
+
+namespace ddos::stream {
+
+StreamEngine::StreamEngine(const StreamEngineConfig& config)
+    : config_(config),
+      interval_sketch_(config.quantile_epsilon),
+      duration_sketch_(config.quantile_epsilon),
+      top_targets_(config.topk_capacity),
+      top_countries_(config.topk_capacity),
+      distinct_targets_(config.distinct_k),
+      distinct_botnets_(config.distinct_k),
+      collab_(config.collab),
+      sessionizer_(config.sessionizer) {}
+
+void StreamEngine::Push(const data::AttackRecord& attack) {
+  if (attacks_ == 0) {
+    first_start_ = attack.start_time;
+  } else {
+    // Matches AllAttackIntervals over a chronological feed; out-of-order
+    // arrivals clamp to 0, the paper's "simultaneous" bucket.
+    const double gap = std::max<double>(
+        0.0, static_cast<double>(attack.start_time - last_start_));
+    interval_welford_.Add(gap);
+    interval_sketch_.Add(gap);
+    if (gap <= static_cast<double>(core::kConcurrencyWindowS)) {
+      ++intervals_concurrent_;
+    }
+    if (gap >= 1000.0 && gap <= 10000.0) ++intervals_1k_10k_;
+  }
+  last_start_ = std::max(last_start_, attack.start_time);
+  ++attacks_;
+
+  const double duration =
+      std::max<double>(0.0, static_cast<double>(attack.duration_seconds()));
+  duration_welford_.Add(duration);
+  duration_sketch_.Add(duration);
+  if (duration >= 100.0 && duration <= 10000.0) ++durations_100_10k_;
+  if (duration < 4.0 * kSecondsPerHour) ++durations_under_4h_;
+
+  ++family_attacks_[static_cast<std::size_t>(attack.family)];
+  ++protocol_attacks_[static_cast<std::size_t>(attack.category)];
+  if (!attack.cc.empty()) {
+    countries_.insert(attack.cc);
+    top_countries_.Add(attack.cc);
+  }
+  top_targets_.Add(attack.target_ip.bits());
+  distinct_targets_.Add(attack.target_ip.bits());
+  distinct_botnets_.Add(attack.botnet_id);
+
+  collab_.Push(attack);
+
+  window_starts_.push_back(attack.start_time);
+  while (!window_starts_.empty() &&
+         last_start_ - window_starts_.front() > config_.rolling_window_s) {
+    window_starts_.pop_front();
+  }
+}
+
+void StreamEngine::PushObservation(const core::Observation& obs) {
+  session_buffer_.clear();
+  sessionizer_.Push(obs, &session_buffer_);
+  for (const data::AttackRecord& attack : session_buffer_) Push(attack);
+}
+
+void StreamEngine::Finish() {
+  session_buffer_.clear();
+  sessionizer_.Flush(&session_buffer_);
+  std::sort(session_buffer_.begin(), session_buffer_.end(),
+            [](const data::AttackRecord& a, const data::AttackRecord& b) {
+              return a.start_time < b.start_time;
+            });
+  for (const data::AttackRecord& attack : session_buffer_) Push(attack);
+  session_buffer_.clear();
+  collab_.Flush();
+}
+
+StreamSnapshot StreamEngine::Snapshot(std::size_t top_k) const {
+  StreamSnapshot snap;
+  snap.attacks = attacks_;
+  snap.first_start = first_start_;
+  snap.last_start = last_start_;
+  snap.family_attacks = family_attacks_;
+  snap.countries = countries_.size();
+
+  for (const data::Protocol p : data::AllProtocols()) {
+    const std::uint64_t n = protocol_attacks_[static_cast<std::size_t>(p)];
+    if (n > 0) snap.protocols.push_back(core::ProtocolCount{p, n});
+  }
+  std::sort(snap.protocols.begin(), snap.protocols.end(),
+            [](const core::ProtocolCount& a, const core::ProtocolCount& b) {
+              return a.attacks > b.attacks;
+            });
+
+  auto fill_summary = [](const stats::StreamingStats& welford,
+                         const GkQuantileSketch& sketch) {
+    stats::Summary s;
+    s.count = welford.count();
+    s.mean = welford.mean();
+    s.stddev = welford.stddev();
+    s.min = welford.count() > 0 ? welford.min() : 0.0;
+    s.max = welford.count() > 0 ? welford.max() : 0.0;
+    s.median = sketch.Quantile(0.5);
+    s.p25 = sketch.Quantile(0.25);
+    s.p75 = sketch.Quantile(0.75);
+    s.p90 = sketch.Quantile(0.90);
+    s.p99 = sketch.Quantile(0.99);
+    return s;
+  };
+
+  snap.intervals.summary = fill_summary(interval_welford_, interval_sketch_);
+  snap.intervals.p80_seconds = interval_sketch_.Quantile(0.80);
+  if (interval_welford_.count() > 0) {
+    const double n = static_cast<double>(interval_welford_.count());
+    snap.intervals.fraction_concurrent =
+        static_cast<double>(intervals_concurrent_) / n;
+    snap.intervals.fraction_1k_10k =
+        static_cast<double>(intervals_1k_10k_) / n;
+  }
+
+  snap.durations.summary = fill_summary(duration_welford_, duration_sketch_);
+  snap.durations.p80_seconds = duration_sketch_.Quantile(0.80);
+  if (duration_welford_.count() > 0) {
+    const double n = static_cast<double>(duration_welford_.count());
+    snap.durations.fraction_100_10000 =
+        static_cast<double>(durations_100_10k_) / n;
+    snap.durations.fraction_under_4h =
+        static_cast<double>(durations_under_4h_) / n;
+  }
+
+  snap.distinct_targets = distinct_targets_.Estimate();
+  snap.distinct_botnets = distinct_botnets_.Estimate();
+  for (const auto& e : top_targets_.TopK(top_k)) {
+    snap.top_targets.push_back(
+        TopEntry{net::IPv4Address(e.key).ToString(), e.count, e.error});
+  }
+  for (const auto& e : top_countries_.TopK(top_k)) {
+    snap.top_countries.push_back(TopEntry{e.key, e.count, e.error});
+  }
+
+  snap.collab = collab_.stats();
+  snap.attacks_in_window = window_starts_.size();
+  snap.engine_memory_bytes = ApproxMemoryBytes();
+  return snap;
+}
+
+std::size_t StreamEngine::ApproxMemoryBytes() const {
+  std::size_t bytes = sizeof(*this);
+  bytes += interval_sketch_.ApproxMemoryBytes();
+  bytes += duration_sketch_.ApproxMemoryBytes();
+  bytes += top_targets_.ApproxMemoryBytes();
+  bytes += top_countries_.ApproxMemoryBytes();
+  bytes += distinct_targets_.ApproxMemoryBytes();
+  bytes += distinct_botnets_.ApproxMemoryBytes();
+  bytes += collab_.ApproxMemoryBytes();
+  bytes += sessionizer_.ApproxMemoryBytes();
+  bytes += countries_.size() * 48;
+  bytes += window_starts_.size() * sizeof(TimePoint);
+  return bytes;
+}
+
+}  // namespace ddos::stream

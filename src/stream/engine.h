@@ -1,0 +1,139 @@
+// StreamEngine: the paper's characterization over an unbounded attack feed.
+//
+// The batch layer answers "what does the whole trace look like" after
+// Dataset::Finalize(); StreamEngine answers the same questions at any
+// instant while records are still arriving, in memory bounded by sketch
+// configuration rather than trace length. Push() consumes one attack (or
+// PushObservation() one raw monitoring event, sessionized on the fly) and
+// Snapshot() materializes the same summary structs the batch analyses
+// produce - core::IntervalStats, core::DurationStats, core::ProtocolCount
+// rows, a core::CollaborationTable - so the existing rendering code can
+// display a live view mid-stream.
+//
+// Exact vs approximate: per-family / per-protocol counts, concurrency and
+// duration-band fractions, and the country set are exact (their domains are
+// bounded); interval/duration quantiles come from a Greenwald-Khanna sketch
+// (rank error <= epsilon*n + 1); hottest targets/countries from space-saving
+// counters; distinct targets/botnets from a KMV estimator (~3% at k=1024).
+//
+// Feed order: attacks must arrive in non-decreasing start-time order (the
+// order attack CSVs are written in). Small disorder only perturbs the
+// interval statistics - negative gaps clamp to zero, the paper's
+// "simultaneous" bucket.
+#ifndef DDOSCOPE_STREAM_ENGINE_H_
+#define DDOSCOPE_STREAM_ENGINE_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/durations.h"
+#include "core/intervals.h"
+#include "core/overview.h"
+#include "stream/collab_window.h"
+#include "stream/ingest.h"
+#include "stream/sketch.h"
+
+namespace ddos::stream {
+
+struct StreamEngineConfig {
+  double quantile_epsilon = 0.005;       // GK rank-error bound
+  std::size_t topk_capacity = 512;       // space-saving counters per domain
+  std::size_t distinct_k = 1024;         // KMV sample size
+  std::int64_t rolling_window_s = 24 * kSecondsPerHour;  // live-rate window
+  core::CollaborationConfig collab;
+  StreamSessionizerConfig sessionizer;   // for the PushObservation path
+};
+
+struct TopEntry {
+  std::string label;
+  std::uint64_t count = 0;  // upper bound (space-saving)
+  std::uint64_t error = 0;  // count - error is a lower bound
+};
+
+// The live counterpart of the batch summary structs; every field is valid
+// at any instant mid-stream.
+struct StreamSnapshot {
+  std::uint64_t attacks = 0;
+  TimePoint first_start;
+  TimePoint last_start;
+
+  // Exact tallies (bounded domains).
+  std::array<std::uint64_t, data::kFamilyCount> family_attacks{};
+  std::vector<core::ProtocolCount> protocols;  // descending, zeros omitted
+  std::uint64_t countries = 0;
+
+  // Sketch-backed views. summary.mean/stddev/min/max are exact (Welford);
+  // summary.median and the quantile fields carry the GK rank-error bound.
+  core::IntervalStats intervals;
+  core::DurationStats durations;
+  double distinct_targets = 0.0;
+  double distinct_botnets = 0.0;
+  std::vector<TopEntry> top_targets;
+  std::vector<TopEntry> top_countries;
+
+  WindowedCollabStats collab;
+
+  std::uint64_t attacks_in_window = 0;  // starts within rolling_window_s
+  std::size_t engine_memory_bytes = 0;
+};
+
+class StreamEngine {
+ public:
+  explicit StreamEngine(const StreamEngineConfig& config = {});
+
+  // Consumes one finished attack record.
+  void Push(const data::AttackRecord& attack);
+
+  // Consumes one raw monitoring observation; it is sessionized incrementally
+  // and any attacks it closes flow into Push(). Note that attacks close in
+  // emission order, which can trail the observation clock by the split gap.
+  void PushObservation(const core::Observation& obs);
+
+  // End of stream: drains open sessionizer runs and pending collaboration
+  // groups into the tallies. Call once before the final Snapshot().
+  void Finish();
+
+  StreamSnapshot Snapshot(std::size_t top_k = 10) const;
+
+  std::uint64_t attacks_seen() const { return attacks_; }
+  std::size_t ApproxMemoryBytes() const;
+
+ private:
+  StreamEngineConfig config_;
+
+  std::uint64_t attacks_ = 0;
+  TimePoint first_start_;
+  TimePoint last_start_;
+
+  std::array<std::uint64_t, data::kFamilyCount> family_attacks_{};
+  std::array<std::uint64_t, data::kProtocolCount> protocol_attacks_{};
+  std::set<std::string> countries_;  // bounded by the world catalog
+
+  stats::StreamingStats interval_welford_;
+  stats::StreamingStats duration_welford_;
+  GkQuantileSketch interval_sketch_;
+  GkQuantileSketch duration_sketch_;
+  std::uint64_t intervals_concurrent_ = 0;
+  std::uint64_t intervals_1k_10k_ = 0;
+  std::uint64_t durations_100_10k_ = 0;
+  std::uint64_t durations_under_4h_ = 0;
+
+  SpaceSaving<std::uint32_t> top_targets_;
+  SpaceSaving<std::string> top_countries_;
+  KmvDistinctCounter distinct_targets_;
+  KmvDistinctCounter distinct_botnets_;
+
+  WindowedCollabDetector collab_;
+  StreamSessionizer sessionizer_;
+  std::vector<data::AttackRecord> session_buffer_;
+
+  std::deque<TimePoint> window_starts_;  // starts inside the rolling window
+};
+
+}  // namespace ddos::stream
+
+#endif  // DDOSCOPE_STREAM_ENGINE_H_

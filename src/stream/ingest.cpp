@@ -1,0 +1,106 @@
+#include "stream/ingest.h"
+
+#include <algorithm>
+
+namespace ddos::stream {
+
+namespace {
+
+std::uint64_t RunKey(std::uint32_t botnet_id, net::IPv4Address target) {
+  return (static_cast<std::uint64_t>(botnet_id) << 32) |
+         static_cast<std::uint64_t>(target.bits());
+}
+
+}  // namespace
+
+StreamSessionizer::StreamSessionizer(const StreamSessionizerConfig& config,
+                                     std::uint64_t first_ddos_id)
+    : config_(config), next_ddos_id_(first_ddos_id) {}
+
+void StreamSessionizer::Close(const OpenRun& run,
+                              std::vector<data::AttackRecord>* closed) {
+  data::AttackRecord attack;
+  attack.ddos_id = next_ddos_id_++;
+  attack.botnet_id = run.botnet_id;
+  attack.family = run.family;
+  attack.target_ip = run.target_ip;
+  attack.start_time = run.start;
+  attack.end_time = run.end;
+  attack.magnitude = run.magnitude;
+  std::size_t best = 0;
+  for (std::size_t p = 1; p < run.protocol_votes.size(); ++p) {
+    if (run.protocol_votes[p] > run.protocol_votes[best]) best = p;
+  }
+  attack.category = static_cast<data::Protocol>(best);
+  closed->push_back(std::move(attack));
+}
+
+void StreamSessionizer::Sweep(std::vector<data::AttackRecord>* closed) {
+  const std::int64_t horizon =
+      config_.sessionize.split_gap_s + config_.max_lateness_s;
+  for (auto it = runs_.begin(); it != runs_.end();) {
+    if (watermark_ - it->second.end > horizon) {
+      Close(it->second, closed);
+      it = runs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t StreamSessionizer::Push(const core::Observation& obs,
+                                    std::vector<data::AttackRecord>* closed) {
+  const std::size_t before = closed->size();
+  if (!saw_any_ || obs.start > watermark_) {
+    watermark_ = obs.start;
+    saw_any_ = true;
+  }
+
+  const std::uint64_t key = RunKey(obs.botnet_id, obs.target_ip);
+  auto [it, inserted] = runs_.try_emplace(key);
+  OpenRun& run = it->second;
+  if (!inserted) {
+    if (obs.start - run.end <= config_.sessionize.split_gap_s) {
+      // Same attack: extend the run (Section II-D merge).
+      run.end = std::max(run.end, obs.end);
+      run.magnitude = std::max(run.magnitude, obs.sources);
+      ++run.protocol_votes[static_cast<std::size_t>(obs.protocol)];
+      if (++pushes_ % config_.sweep_period == 0) Sweep(closed);
+      return closed->size() - before;
+    }
+    Close(run, closed);  // gap exceeded: previous run is a finished attack
+    run = OpenRun{};
+  }
+  run.botnet_id = obs.botnet_id;
+  run.family = obs.family;
+  run.target_ip = obs.target_ip;
+  run.start = obs.start;
+  run.end = obs.end;
+  run.magnitude = obs.sources;
+  ++run.protocol_votes[static_cast<std::size_t>(obs.protocol)];
+  if (++pushes_ % config_.sweep_period == 0) Sweep(closed);
+  return closed->size() - before;
+}
+
+std::size_t StreamSessionizer::Flush(std::vector<data::AttackRecord>* closed) {
+  const std::size_t before = closed->size();
+  // Deterministic emission order for the final drain: by start time.
+  std::vector<const OpenRun*> remaining;
+  remaining.reserve(runs_.size());
+  for (const auto& [key, run] : runs_) remaining.push_back(&run);
+  std::sort(remaining.begin(), remaining.end(),
+            [](const OpenRun* a, const OpenRun* b) {
+              if (a->start != b->start) return a->start < b->start;
+              if (a->botnet_id != b->botnet_id) return a->botnet_id < b->botnet_id;
+              return a->target_ip < b->target_ip;
+            });
+  for (const OpenRun* run : remaining) Close(*run, closed);
+  runs_.clear();
+  return closed->size() - before;
+}
+
+std::size_t StreamSessionizer::ApproxMemoryBytes() const {
+  return sizeof(*this) + runs_.size() * (sizeof(OpenRun) + 48);
+}
+
+}  // namespace ddos::stream

@@ -1,0 +1,79 @@
+// Incremental sessionization of a raw observation feed.
+//
+// The batch path (core::SessionizeObservations) needs every observation in
+// memory before it can group and merge. StreamSessionizer applies the same
+// Section II-D rule - observations on one (botnet, target) merge while the
+// gap stays within 60 s - one event at a time, holding only the table of
+// currently open runs. Attacks are emitted as soon as the rule proves them
+// closed, so memory is bounded by the number of (botnet, target) pairs
+// simultaneously active inside the split gap, independent of feed length.
+//
+// The feed must be (approximately) ordered by observation start time: the
+// watermark, the maximum start seen so far, drives run expiry. Observations
+// may arrive up to `max_lateness_s` behind the watermark; anything later
+// risks reopening a run the batch rule would have merged.
+#ifndef DDOSCOPE_STREAM_INGEST_H_
+#define DDOSCOPE_STREAM_INGEST_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sessionize.h"
+#include "data/records.h"
+
+namespace ddos::stream {
+
+struct StreamSessionizerConfig {
+  core::SessionizeConfig sessionize;  // the 60 s split-gap rule
+  std::int64_t max_lateness_s = 0;    // tolerated out-of-order start skew
+  std::size_t sweep_period = 256;     // pushes between open-run expiry sweeps
+};
+
+class StreamSessionizer {
+ public:
+  explicit StreamSessionizer(const StreamSessionizerConfig& config = {},
+                             std::uint64_t first_ddos_id = 1);
+
+  // Consumes one observation; any attacks this push closes (by gap or by
+  // watermark expiry) are appended to *closed. Returns the number closed.
+  // ddos_id is assigned sequentially in emission order, which for an
+  // ordered feed is close-time order (not start order as in the batch
+  // path); re-number after a final sort if batch-identical ids matter.
+  std::size_t Push(const core::Observation& obs,
+                   std::vector<data::AttackRecord>* closed);
+
+  // Closes every remaining open run (end of stream).
+  std::size_t Flush(std::vector<data::AttackRecord>* closed);
+
+  std::size_t open_runs() const { return runs_.size(); }
+  TimePoint watermark() const { return watermark_; }
+  std::size_t ApproxMemoryBytes() const;
+
+ private:
+  struct OpenRun {
+    std::uint32_t botnet_id = 0;
+    data::Family family = data::Family::kAldibot;
+    net::IPv4Address target_ip;
+    TimePoint start;
+    TimePoint end;
+    std::uint32_t magnitude = 0;
+    std::array<std::uint16_t, data::kProtocolCount> protocol_votes{};
+  };
+
+  void Close(const OpenRun& run, std::vector<data::AttackRecord>* closed);
+  void Sweep(std::vector<data::AttackRecord>* closed);
+
+  StreamSessionizerConfig config_;
+  std::uint64_t next_ddos_id_;
+  std::uint64_t pushes_ = 0;
+  TimePoint watermark_;
+  bool saw_any_ = false;
+  // Keyed by (botnet_id << 32) | target bits - the Section II-D grouping.
+  std::unordered_map<std::uint64_t, OpenRun> runs_;
+};
+
+}  // namespace ddos::stream
+
+#endif  // DDOSCOPE_STREAM_INGEST_H_

@@ -1,0 +1,102 @@
+#include "stream/sketch.h"
+
+#include <cmath>
+
+namespace ddos::stream {
+
+GkQuantileSketch::GkQuantileSketch(double epsilon)
+    : epsilon_(epsilon > 0.0 && epsilon < 0.5 ? epsilon : 0.005),
+      compress_period_(std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(1.0 / (2.0 * epsilon_)))) {}
+
+std::uint64_t GkQuantileSketch::MaxGap() const {
+  const double cap = 2.0 * epsilon_ * static_cast<double>(n_);
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(cap));
+}
+
+void GkQuantileSketch::Add(double x) {
+  ++n_;
+  const auto it = std::upper_bound(
+      tuples_.begin(), tuples_.end(), x,
+      [](double value, const Tuple& t) { return value < t.v; });
+  // Interior insertions take the loosest allowed rank uncertainty; the
+  // extremes stay exact so min/max queries never drift.
+  std::uint64_t delta = 0;
+  if (it != tuples_.begin() && it != tuples_.end()) delta = MaxGap() - 1;
+  tuples_.insert(it, Tuple{x, 1, delta});
+  if (++since_compress_ >= compress_period_) {
+    Compress();
+    since_compress_ = 0;
+  }
+}
+
+void GkQuantileSketch::Compress() {
+  if (tuples_.size() < 3) return;
+  const std::uint64_t cap = MaxGap();
+  std::vector<Tuple> out;
+  out.reserve(tuples_.size());
+  out.push_back(tuples_.front());
+  for (std::size_t i = 1; i < tuples_.size(); ++i) {
+    Tuple t = tuples_[i];
+    // Merge the left neighbor into t while the combined tuple keeps the
+    // g + delta <= 2*epsilon*n invariant; the first tuple (the minimum)
+    // is never merged away.
+    while (out.size() >= 2 && out.back().g + t.g + t.delta <= cap) {
+      t.g += out.back().g;
+      out.pop_back();
+    }
+    out.push_back(t);
+  }
+  tuples_ = std::move(out);
+}
+
+double GkQuantileSketch::Quantile(double q) const {
+  if (tuples_.empty()) return 0.0;
+  const double qc = std::clamp(q, 0.0, 1.0);
+  const double rank =
+      std::max(1.0, std::ceil(qc * static_cast<double>(n_)));
+  const double allowed = epsilon_ * static_cast<double>(n_);
+  std::uint64_t rmin = 0;
+  for (std::size_t i = 0; i < tuples_.size(); ++i) {
+    rmin += tuples_[i].g;
+    const double rmax =
+        static_cast<double>(rmin) + static_cast<double>(tuples_[i].delta);
+    if (rmax > rank + allowed) {
+      return tuples_[i == 0 ? 0 : i - 1].v;
+    }
+  }
+  return tuples_.back().v;
+}
+
+std::size_t GkQuantileSketch::ApproxMemoryBytes() const {
+  return sizeof(*this) + tuples_.capacity() * sizeof(Tuple);
+}
+
+KmvDistinctCounter::KmvDistinctCounter(std::size_t k)
+    : k_(std::max<std::size_t>(k, 16)) {}
+
+void KmvDistinctCounter::Add(std::uint64_t key) {
+  const std::uint64_t h = MixHash64(key);
+  if (smallest_.size() < k_) {
+    smallest_.insert(h);
+    return;
+  }
+  const auto last = std::prev(smallest_.end());
+  if (h >= *last) return;  // not among the k smallest
+  if (smallest_.insert(h).second) smallest_.erase(std::prev(smallest_.end()));
+}
+
+double KmvDistinctCounter::Estimate() const {
+  if (smallest_.size() < k_) return static_cast<double>(smallest_.size());
+  // The k-th smallest of n uniform hashes sits near k/n of the hash range.
+  const double kth = static_cast<double>(*std::prev(smallest_.end()));
+  const double range = std::ldexp(1.0, 64);  // 2^64
+  return (static_cast<double>(k_) - 1.0) / (kth / range);
+}
+
+std::size_t KmvDistinctCounter::ApproxMemoryBytes() const {
+  // std::set node overhead: three pointers + color, rounded up.
+  return sizeof(*this) + smallest_.size() * (sizeof(std::uint64_t) + 40);
+}
+
+}  // namespace ddos::stream

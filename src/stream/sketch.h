@@ -1,0 +1,157 @@
+// Bounded-memory streaming sketches for online characterization.
+//
+// The batch analyses sort full sample vectors (stats::Ecdf) and count with
+// unbounded hash maps; neither survives an unbounded feed. This header
+// provides the three sketches `ddos::stream` is built on, each with an
+// explicit accuracy/space contract:
+//
+//  * GkQuantileSketch - Greenwald-Khanna streaming quantiles. A query for
+//    quantile q over n observations returns a sample value whose rank is
+//    within epsilon*n + 1 of ceil(q*n). Space is O((1/epsilon) *
+//    log(epsilon*n)) tuples, independent of n in practice.
+//  * SpaceSaving<Key> - Metwally et al. heavy hitters over a fixed number
+//    of counters m. Every reported count overestimates the true count by
+//    at most its `error` field, which is bounded by total/m; any key with
+//    true frequency above total/m is guaranteed to be retained.
+//  * KmvDistinctCounter - K-minimum-values distinct-count estimator:
+//    keeps the k smallest 64-bit hashes seen; relative standard error is
+//    about 1/sqrt(k-2) (~3% at k = 1024). Exact below k distinct keys.
+#ifndef DDOSCOPE_STREAM_SKETCH_H_
+#define DDOSCOPE_STREAM_SKETCH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ddos::stream {
+
+// 64-bit mixing hash (splitmix64 finalizer) shared by the sketches.
+inline std::uint64_t MixHash64(std::uint64_t key) {
+  return SplitMix64(key).Next();
+}
+
+// --- Streaming quantiles (Greenwald-Khanna 2001, simplified compress). ---
+class GkQuantileSketch {
+ public:
+  explicit GkQuantileSketch(double epsilon = 0.005);
+
+  void Add(double x);
+
+  // Value whose rank over all added samples is within epsilon*n + 1 of
+  // ceil(q*n). q is clamped to [0, 1]. Returns 0 for an empty sketch.
+  double Quantile(double q) const;
+
+  std::uint64_t count() const { return n_; }
+  double epsilon() const { return epsilon_; }
+  std::size_t tuple_count() const { return tuples_.size(); }
+  std::size_t ApproxMemoryBytes() const;
+
+ private:
+  struct Tuple {
+    double v = 0.0;
+    std::uint64_t g = 0;      // rmin(i) - rmin(i-1)
+    std::uint64_t delta = 0;  // rmax(i) - rmin(i)
+  };
+
+  std::uint64_t MaxGap() const;  // floor(2 * epsilon * n), at least 1
+  void Compress();
+
+  double epsilon_;
+  std::uint64_t n_ = 0;
+  std::uint64_t compress_period_;
+  std::uint64_t since_compress_ = 0;
+  std::vector<Tuple> tuples_;  // sorted by v
+};
+
+// --- Heavy hitters (space-saving). ---
+template <typename Key>
+class SpaceSaving {
+ public:
+  struct Entry {
+    Key key{};
+    std::uint64_t count = 0;  // upper bound on the true count
+    std::uint64_t error = 0;  // count - error is a lower bound
+  };
+
+  explicit SpaceSaving(std::size_t capacity = 256)
+      : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+  void Add(const Key& key, std::uint64_t weight = 1) {
+    total_ += weight;
+    if (const auto it = counters_.find(key); it != counters_.end()) {
+      it->second.count += weight;
+      return;
+    }
+    if (counters_.size() < capacity_) {
+      counters_.emplace(key, Counter{weight, 0});
+      return;
+    }
+    // Evict the minimum counter; the newcomer inherits its count as error.
+    auto min_it = counters_.begin();
+    for (auto it = counters_.begin(); it != counters_.end(); ++it) {
+      if (it->second.count < min_it->second.count) min_it = it;
+    }
+    const std::uint64_t floor = min_it->second.count;
+    counters_.erase(min_it);
+    counters_.emplace(key, Counter{floor + weight, floor});
+  }
+
+  // Entries with the k largest counts, descending (ties by key ascending).
+  std::vector<Entry> TopK(std::size_t k) const {
+    std::vector<Entry> out;
+    out.reserve(counters_.size());
+    for (const auto& [key, c] : counters_) {
+      out.push_back(Entry{key, c.count, c.error});
+    }
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+      if (a.count != b.count) return a.count > b.count;
+      return a.key < b.key;
+    });
+    if (out.size() > k) out.resize(k);
+    return out;
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::size_t size() const { return counters_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t ApproxMemoryBytes() const {
+    return counters_.size() * (sizeof(Key) + sizeof(Counter) + 32);
+  }
+
+ private:
+  struct Counter {
+    std::uint64_t count = 0;
+    std::uint64_t error = 0;
+  };
+
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;
+  std::unordered_map<Key, Counter> counters_;
+};
+
+// --- Distinct counting (k minimum values). ---
+class KmvDistinctCounter {
+ public:
+  explicit KmvDistinctCounter(std::size_t k = 1024);
+
+  void Add(std::uint64_t key);
+
+  // Estimated number of distinct keys added; exact while fewer than k
+  // distinct keys have been seen.
+  double Estimate() const;
+
+  std::size_t size() const { return smallest_.size(); }
+  std::size_t ApproxMemoryBytes() const;
+
+ private:
+  std::size_t k_;
+  std::set<std::uint64_t> smallest_;  // k smallest hashes, deduplicated
+};
+
+}  // namespace ddos::stream
+
+#endif  // DDOSCOPE_STREAM_SKETCH_H_

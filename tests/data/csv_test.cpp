@@ -168,6 +168,110 @@ TEST(AttackCsv, FullSyntheticDatasetRoundTrips) {
   }
 }
 
+TEST(AttackCsv, CrlfParsesIdenticallyToLf) {
+  const auto& ds = ::ddos::testing::SmallDataset();
+  std::vector<AttackRecord> sample(ds.attacks().begin(),
+                                   ds.attacks().begin() + 50);
+  std::stringstream ss;
+  WriteAttacksCsv(ss, sample);
+  const std::string lf_text = ss.str();
+  std::string crlf_text;
+  crlf_text.reserve(lf_text.size() + sample.size() + 1);
+  for (char c : lf_text) {
+    if (c == '\n') crlf_text.push_back('\r');
+    crlf_text.push_back(c);
+  }
+
+  std::stringstream lf(lf_text), crlf(crlf_text);
+  const auto from_lf = ReadAttacksCsv(lf);
+  const auto from_crlf = ReadAttacksCsv(crlf);
+  ASSERT_EQ(from_crlf.size(), from_lf.size());
+  for (std::size_t i = 0; i < from_lf.size(); ++i) {
+    EXPECT_EQ(from_crlf[i].ddos_id, from_lf[i].ddos_id);
+    EXPECT_EQ(from_crlf[i].organization, from_lf[i].organization);
+    EXPECT_EQ(from_crlf[i].magnitude, from_lf[i].magnitude);
+    EXPECT_EQ(from_crlf[i].end_time, from_lf[i].end_time);
+  }
+}
+
+TEST(AttackCsv, CrlfWithoutTrailingNewlineParses) {
+  const AttackRecord a = SampleAttack();
+  std::stringstream ss;
+  WriteAttacksCsv(ss, std::vector<AttackRecord>{a});
+  std::string text = ss.str();
+  for (std::size_t pos = 0; (pos = text.find('\n', pos)) != std::string::npos;
+       pos += 2) {
+    text.insert(pos, 1, '\r');
+  }
+  text.pop_back();  // drop the final LF; the last line ends in a bare '\r'
+  std::stringstream in(text);
+  const auto back = ReadAttacksCsv(in);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].cc, "RU");
+  EXPECT_EQ(back[0].magnitude, a.magnitude);
+}
+
+TEST(BotnetCsv, CrlfRoundTrip) {
+  std::stringstream in(
+      "botnet_id,family,controller_ip,first_seen,last_seen\r\n"
+      "7,pandora,203.0.113.9,2012-08-29 00:00:00,2013-03-24 00:00:00\r\n");
+  const auto back = ReadBotnetsCsv(in);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].botnet_id, 7u);
+  EXPECT_EQ(back[0].last_seen, TimePoint::Parse("2013-03-24"));
+}
+
+TEST(SnapshotCsv, CrlfRoundTrip) {
+  std::stringstream in(
+      "time,family,bot_ip\r\n"
+      "1970-01-01 01:00:00,nitol,1.1.1.1\r\n"
+      "1970-01-01 01:00:00,nitol,2.2.2.2\r\n");
+  const auto back = ReadSnapshotsCsv(in);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].bot_ips.size(), 2u);
+}
+
+TEST(AttackCsvReader, StreamsRecordsOneAtATime) {
+  const auto& ds = ::ddos::testing::SmallDataset();
+  std::stringstream ss;
+  WriteAttacksCsv(ss, ds.attacks());
+  AttackCsvReader reader(ss);
+  AttackRecord a;
+  std::size_t i = 0;
+  while (reader.Next(&a)) {
+    ASSERT_LT(i, ds.attacks().size());
+    EXPECT_EQ(a.ddos_id, ds.attacks()[i].ddos_id);
+    EXPECT_EQ(a.start_time, ds.attacks()[i].start_time);
+    ++i;
+  }
+  EXPECT_EQ(i, ds.attacks().size());
+  EXPECT_EQ(reader.records_read(), ds.attacks().size());
+}
+
+TEST(AttackCsvReader, OpensFilesAndReportsLineNumbers) {
+  const AttackRecord a = SampleAttack();
+  const std::string path = ::testing::TempDir() + "/attacks_stream_test.csv";
+  SaveAttacksCsv(path, std::vector<AttackRecord>{a});
+  AttackCsvReader reader(path);
+  AttackRecord back;
+  ASSERT_TRUE(reader.Next(&back));
+  EXPECT_EQ(back.ddos_id, a.ddos_id);
+  EXPECT_EQ(reader.line_number(), 2u);  // header + first record
+  EXPECT_FALSE(reader.Next(&back));
+  EXPECT_THROW(AttackCsvReader("/nonexistent/dir/x.csv"), std::runtime_error);
+}
+
+TEST(AttackCsvReader, ThrowsWithLineNumberOnMalformedRow) {
+  const AttackRecord a = SampleAttack();
+  std::stringstream ss;
+  WriteAttacksCsv(ss, std::vector<AttackRecord>{a});
+  std::stringstream bad(ss.str() + "1,2,3\n");
+  AttackCsvReader reader(bad);
+  AttackRecord rec;
+  EXPECT_TRUE(reader.Next(&rec));
+  EXPECT_THROW(reader.Next(&rec), std::runtime_error);
+}
+
 TEST(AttackCsv, FileSaveLoad) {
   const AttackRecord a = SampleAttack();
   const std::string path = ::testing::TempDir() + "/attacks_test.csv";

@@ -1,0 +1,231 @@
+// End-to-end check of the acceptance contract: a StreamEngine fed the
+// trace one record at a time must agree with the batch analyses - exact
+// counts exactly, sketch-backed quantiles within the documented rank
+// error - while its state stays bounded as the feed grows.
+#include "stream/engine.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/collaboration.h"
+#include "core/durations.h"
+#include "core/intervals.h"
+#include "core/overview.h"
+#include "stats/ecdf.h"
+#include "test_support.h"
+
+namespace ddos::stream {
+namespace {
+
+const data::Dataset& Trace() { return ::ddos::testing::SmallDataset(); }
+
+StreamEngine FedEngine() {
+  StreamEngine engine;
+  for (const data::AttackRecord& a : Trace().attacks()) engine.Push(a);
+  engine.Finish();
+  return engine;
+}
+
+// The GK contract, evaluated against the exact sample: the estimate's
+// feasible rank range must intersect q*n +- (epsilon*n + 1).
+void ExpectRankWithinBound(std::span<const double> sample, double estimate,
+                           double q, double epsilon) {
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  const double bound = epsilon * n + 1.0;
+  const double rank_lo = static_cast<double>(
+      std::lower_bound(sorted.begin(), sorted.end(), estimate) -
+      sorted.begin());
+  const double rank_hi = static_cast<double>(
+      std::upper_bound(sorted.begin(), sorted.end(), estimate) -
+      sorted.begin());
+  EXPECT_LE(rank_lo - bound, q * n) << "q=" << q << " estimate=" << estimate;
+  EXPECT_GE(rank_hi + bound, q * n) << "q=" << q << " estimate=" << estimate;
+}
+
+TEST(StreamEngine, ExactTalliesMatchBatch) {
+  const StreamEngine engine = FedEngine();
+  const StreamSnapshot snap = engine.Snapshot();
+  const auto& ds = Trace();
+
+  EXPECT_EQ(snap.attacks, ds.attacks().size());
+  EXPECT_EQ(snap.first_start, ds.attacks().front().start_time);
+
+  for (const data::Family f : data::AllFamilies()) {
+    EXPECT_EQ(snap.family_attacks[static_cast<std::size_t>(f)],
+              ds.AttacksOfFamily(f).size())
+        << data::FamilyName(f);
+  }
+
+  const auto batch_protocols = core::ProtocolBreakdown(ds.attacks());
+  ASSERT_EQ(snap.protocols.size(), batch_protocols.size());
+  for (std::size_t i = 0; i < batch_protocols.size(); ++i) {
+    EXPECT_EQ(snap.protocols[i].protocol, batch_protocols[i].protocol);
+    EXPECT_EQ(snap.protocols[i].attacks, batch_protocols[i].attacks);
+  }
+}
+
+TEST(StreamEngine, IntervalStatsMatchBatch) {
+  const StreamEngine engine = FedEngine();
+  const StreamSnapshot snap = engine.Snapshot();
+  const std::vector<double> intervals = core::AllAttackIntervals(Trace());
+  const core::IntervalStats batch = core::ComputeIntervalStats(intervals);
+
+  EXPECT_EQ(snap.intervals.summary.count, intervals.size());
+  EXPECT_DOUBLE_EQ(snap.intervals.fraction_concurrent,
+                   batch.fraction_concurrent);
+  EXPECT_DOUBLE_EQ(snap.intervals.fraction_1k_10k, batch.fraction_1k_10k);
+  EXPECT_NEAR(snap.intervals.summary.mean, batch.summary.mean, 1e-6);
+  EXPECT_NEAR(snap.intervals.summary.stddev, batch.summary.stddev, 1e-4);
+  EXPECT_DOUBLE_EQ(snap.intervals.summary.min, batch.summary.min);
+  EXPECT_DOUBLE_EQ(snap.intervals.summary.max, batch.summary.max);
+
+  const double eps = StreamEngineConfig{}.quantile_epsilon;
+  ExpectRankWithinBound(intervals, snap.intervals.summary.median, 0.5, eps);
+  ExpectRankWithinBound(intervals, snap.intervals.p80_seconds, 0.8, eps);
+}
+
+TEST(StreamEngine, DurationStatsMatchBatch) {
+  const StreamEngine engine = FedEngine();
+  const StreamSnapshot snap = engine.Snapshot();
+  const std::vector<double> durations =
+      core::AttackDurations(Trace().attacks());
+  const core::DurationStats batch = core::ComputeDurationStats(durations);
+
+  EXPECT_EQ(snap.durations.summary.count, durations.size());
+  EXPECT_NEAR(snap.durations.summary.mean, batch.summary.mean, 1e-6);
+  EXPECT_DOUBLE_EQ(snap.durations.fraction_100_10000,
+                   batch.fraction_100_10000);
+  EXPECT_DOUBLE_EQ(snap.durations.fraction_under_4h, batch.fraction_under_4h);
+
+  const double eps = StreamEngineConfig{}.quantile_epsilon;
+  ExpectRankWithinBound(durations, snap.durations.summary.median, 0.5, eps);
+  ExpectRankWithinBound(durations, snap.durations.p80_seconds, 0.8, eps);
+}
+
+TEST(StreamEngine, CollaborationMatchesBatchExactly) {
+  const StreamEngine engine = FedEngine();
+  const StreamSnapshot snap = engine.Snapshot();
+
+  const auto events = core::DetectConcurrentCollaborations(Trace());
+  EXPECT_EQ(snap.collab.events, events.size());
+  std::uint64_t intra = 0;
+  for (const auto& e : events) intra += e.intra_family ? 1 : 0;
+  EXPECT_EQ(snap.collab.intra_family_events, intra);
+  EXPECT_EQ(snap.collab.inter_family_events, events.size() - intra);
+
+  const core::CollaborationTable batch_table =
+      core::TabulateCollaborations(events);
+  for (std::size_t f = 0; f < data::kFamilyCount; ++f) {
+    EXPECT_EQ(snap.collab.table.intra[f], batch_table.intra[f]) << f;
+    EXPECT_EQ(snap.collab.table.inter[f], batch_table.inter[f]) << f;
+  }
+}
+
+TEST(StreamEngine, DistinctEstimatesTrackTruth) {
+  const StreamEngine engine = FedEngine();
+  const StreamSnapshot snap = engine.Snapshot();
+  const double true_targets = static_cast<double>(Trace().Targets().size());
+  EXPECT_NEAR(snap.distinct_targets, true_targets, 0.15 * true_targets + 1.0);
+  EXPECT_GT(snap.distinct_botnets, 0.0);
+  EXPECT_EQ(snap.countries, core::SummarizeWorkload(
+                                Trace(), ::ddos::testing::TestGeoDb())
+                                .victims.countries);
+}
+
+TEST(StreamEngine, TopTargetsContainTheHottestTarget) {
+  const StreamEngine engine = FedEngine();
+  const StreamSnapshot snap = engine.Snapshot();
+  ASSERT_FALSE(snap.top_targets.empty());
+
+  std::size_t best_count = 0;
+  net::IPv4Address best;
+  for (const net::IPv4Address& t : Trace().Targets()) {
+    const std::size_t n = Trace().AttacksOnTarget(t).size();
+    if (n > best_count) {
+      best_count = n;
+      best = t;
+    }
+  }
+  EXPECT_EQ(snap.top_targets[0].label, best.ToString());
+  EXPECT_EQ(snap.top_targets[0].count, best_count);
+}
+
+TEST(StreamEngine, ObservationPathAgreesWithAttackPath) {
+  // Decomposing each attack into a single observation and streaming those
+  // must reproduce the attack-path tallies once flushed.
+  StreamEngine engine;
+  for (const data::AttackRecord& a : Trace().attacks()) {
+    core::Observation obs;
+    obs.botnet_id = a.botnet_id;
+    obs.family = a.family;
+    obs.protocol = a.category;
+    obs.target_ip = a.target_ip;
+    obs.start = a.start_time;
+    obs.end = a.end_time;
+    obs.sources = a.magnitude;
+    engine.PushObservation(obs);
+  }
+  engine.Finish();
+  const StreamSnapshot snap = engine.Snapshot();
+  // The simulator can emit consecutive attacks on one (botnet, target)
+  // within the split gap; sessionization legitimately merges those, so the
+  // streamed count is bounded by the attack count and close to it.
+  EXPECT_LE(snap.attacks, Trace().attacks().size());
+  EXPECT_GE(snap.attacks, Trace().attacks().size() * 9 / 10);
+}
+
+TEST(StreamEngine, MemoryBoundedAcrossReplays) {
+  // Stream the trace once, then replay it 4 more times shifted forward in
+  // time: 5x the records must not grow the engine state materially (the
+  // sketches are saturated after the first pass).
+  const auto& ds = Trace();
+  const std::int64_t span = ds.window_end() - ds.window_begin() + kSecondsPerDay;
+
+  StreamEngine engine;
+  for (const data::AttackRecord& a : ds.attacks()) engine.Push(a);
+  const std::size_t after_one_pass = engine.ApproxMemoryBytes();
+
+  for (int pass = 1; pass < 5; ++pass) {
+    for (data::AttackRecord a : ds.attacks()) {
+      a.start_time += pass * span;
+      a.end_time += pass * span;
+      engine.Push(a);
+    }
+  }
+  engine.Finish();
+  const std::size_t after_five_passes = engine.ApproxMemoryBytes();
+  EXPECT_EQ(engine.attacks_seen(), ds.attacks().size() * 5);
+  // GK tuples grow logarithmically; everything else is fixed-capacity.
+  EXPECT_LT(after_five_passes, after_one_pass * 2);
+}
+
+TEST(StreamEngine, SnapshotIsValidMidStream) {
+  StreamEngine engine;
+  std::size_t pushed = 0;
+  for (const data::AttackRecord& a : Trace().attacks()) {
+    engine.Push(a);
+    if (++pushed == Trace().attacks().size() / 2) break;
+  }
+  const StreamSnapshot snap = engine.Snapshot(5);
+  EXPECT_EQ(snap.attacks, pushed);
+  EXPECT_GT(snap.durations.summary.count, 0u);
+  EXPECT_LE(snap.top_targets.size(), 5u);
+  EXPECT_GT(snap.engine_memory_bytes, 0u);
+}
+
+TEST(StreamEngine, EmptyEngineSnapshots) {
+  StreamEngine engine;
+  engine.Finish();
+  const StreamSnapshot snap = engine.Snapshot();
+  EXPECT_EQ(snap.attacks, 0u);
+  EXPECT_EQ(snap.collab.events, 0u);
+  EXPECT_EQ(snap.intervals.summary.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.distinct_targets, 0.0);
+}
+
+}  // namespace
+}  // namespace ddos::stream

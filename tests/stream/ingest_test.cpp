@@ -1,0 +1,190 @@
+#include "stream/ingest.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/sessionize.h"
+#include "test_support.h"
+
+namespace ddos::stream {
+namespace {
+
+using core::Observation;
+
+Observation MakeObs(std::uint32_t botnet, data::Family family,
+                    std::uint32_t target, std::int64_t start, std::int64_t end,
+                    std::uint32_t sources,
+                    data::Protocol protocol = data::Protocol::kHttp) {
+  Observation obs;
+  obs.botnet_id = botnet;
+  obs.family = family;
+  obs.protocol = protocol;
+  obs.target_ip = net::IPv4Address(target);
+  obs.start = TimePoint(start);
+  obs.end = TimePoint(end);
+  obs.sources = sources;
+  return obs;
+}
+
+// Chops every attack of the small synthetic trace into 60s-spaced
+// observation chunks, globally ordered by start - the shape of a live
+// monitoring feed.
+std::vector<Observation> SyntheticFeed() {
+  const auto& ds = ::ddos::testing::SmallDataset();
+  Rng rng(42);
+  std::vector<Observation> feed;
+  for (const data::AttackRecord& a : ds.attacks()) {
+    const std::int64_t duration = a.duration_seconds();
+    const std::int64_t chunk = 300;
+    std::int64_t offset = 0;
+    do {
+      Observation obs;
+      obs.botnet_id = a.botnet_id;
+      obs.family = a.family;
+      obs.protocol = a.category;
+      obs.target_ip = a.target_ip;
+      obs.start = a.start_time + offset;
+      const std::int64_t len = std::min<std::int64_t>(chunk, duration - offset);
+      obs.end = obs.start + std::max<std::int64_t>(len, 0);
+      obs.sources = a.magnitude;
+      feed.push_back(obs);
+      // Next chunk starts within the split gap so the attack stays whole.
+      offset += len + static_cast<std::int64_t>(rng.UniformInt(1, 60));
+    } while (offset < duration);
+  }
+  std::sort(feed.begin(), feed.end(),
+            [](const Observation& a, const Observation& b) {
+              if (a.start != b.start) return a.start < b.start;
+              if (a.botnet_id != b.botnet_id) return a.botnet_id < b.botnet_id;
+              return a.target_ip < b.target_ip;
+            });
+  return feed;
+}
+
+struct AttackKey {
+  std::uint32_t botnet;
+  std::uint32_t target;
+  std::int64_t start;
+  std::int64_t end;
+  std::uint32_t magnitude;
+  data::Protocol protocol;
+
+  auto operator<=>(const AttackKey&) const = default;
+};
+
+std::vector<AttackKey> Keys(std::vector<data::AttackRecord> attacks) {
+  std::vector<AttackKey> keys;
+  keys.reserve(attacks.size());
+  for (const data::AttackRecord& a : attacks) {
+    keys.push_back(AttackKey{a.botnet_id, a.target_ip.bits(),
+                             a.start_time.seconds(), a.end_time.seconds(),
+                             a.magnitude, a.category});
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+TEST(StreamSessionizer, MergesWithinGap) {
+  StreamSessionizer sessionizer;
+  std::vector<data::AttackRecord> closed;
+  sessionizer.Push(MakeObs(1, data::Family::kPandora, 100, 0, 100, 10), &closed);
+  sessionizer.Push(MakeObs(1, data::Family::kPandora, 100, 150, 260, 14), &closed);
+  EXPECT_TRUE(closed.empty());
+  EXPECT_EQ(sessionizer.open_runs(), 1u);
+  sessionizer.Flush(&closed);
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].start_time, TimePoint(0));
+  EXPECT_EQ(closed[0].end_time, TimePoint(260));
+  EXPECT_EQ(closed[0].magnitude, 14u);
+}
+
+TEST(StreamSessionizer, SplitsBeyondGap) {
+  StreamSessionizer sessionizer;
+  std::vector<data::AttackRecord> closed;
+  sessionizer.Push(MakeObs(1, data::Family::kPandora, 100, 0, 100, 10), &closed);
+  sessionizer.Push(MakeObs(1, data::Family::kPandora, 100, 161, 300, 9), &closed);
+  ASSERT_EQ(closed.size(), 1u);  // gap 61 s > 60 s closes the first attack
+  EXPECT_EQ(closed[0].end_time, TimePoint(100));
+  sessionizer.Flush(&closed);
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(closed[1].start_time, TimePoint(161));
+}
+
+TEST(StreamSessionizer, DistinctKeysStaySeparate) {
+  StreamSessionizer sessionizer;
+  std::vector<data::AttackRecord> closed;
+  sessionizer.Push(MakeObs(1, data::Family::kPandora, 100, 0, 50, 5), &closed);
+  sessionizer.Push(MakeObs(2, data::Family::kPandora, 100, 10, 50, 5), &closed);
+  sessionizer.Push(MakeObs(1, data::Family::kPandora, 200, 20, 50, 5), &closed);
+  EXPECT_EQ(sessionizer.open_runs(), 3u);
+  sessionizer.Flush(&closed);
+  EXPECT_EQ(closed.size(), 3u);
+}
+
+TEST(StreamSessionizer, WatermarkEvictsStaleRuns) {
+  StreamSessionizerConfig config;
+  config.sweep_period = 1;  // sweep on every push
+  StreamSessionizer sessionizer(config);
+  std::vector<data::AttackRecord> closed;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    // Each key is touched once; with 1h between events every prior run is
+    // provably closed, so the open-run table never grows.
+    sessionizer.Push(MakeObs(i, data::Family::kNitol, 1000 + i,
+                             i * kSecondsPerHour, i * kSecondsPerHour + 30, 3),
+                     &closed);
+    EXPECT_LE(sessionizer.open_runs(), 2u);
+  }
+  EXPECT_EQ(closed.size() + sessionizer.open_runs(), 100u);
+}
+
+TEST(StreamSessionizer, MatchesBatchOnSyntheticFeed) {
+  const std::vector<Observation> feed = SyntheticFeed();
+  ASSERT_GT(feed.size(), 1000u);
+
+  StreamSessionizer sessionizer;
+  std::vector<data::AttackRecord> streamed;
+  for (const Observation& obs : feed) sessionizer.Push(obs, &streamed);
+  sessionizer.Flush(&streamed);
+
+  const std::vector<data::AttackRecord> batch =
+      core::SessionizeObservations(feed);
+
+  EXPECT_EQ(Keys(streamed), Keys(batch));
+}
+
+TEST(StreamSessionizer, BoundedMemoryOnLongFeed) {
+  // Re-play the same day of activity many times at increasing offsets: the
+  // feed grows 8x but the open-run table tracks only the active day.
+  const std::vector<Observation> feed = SyntheticFeed();
+  StreamSessionizerConfig config;
+  config.sweep_period = 1;  // expire eagerly so the peak comparison is tight
+  StreamSessionizer sessionizer(config);
+  std::vector<data::AttackRecord> closed;
+  const std::int64_t span =
+      feed.back().start - feed.front().start + kSecondsPerDay;
+  std::size_t peak_runs = 0;
+  for (int pass = 0; pass < 8; ++pass) {
+    for (Observation obs : feed) {
+      obs.start += pass * span;
+      obs.end += pass * span;
+      sessionizer.Push(obs, &closed);
+      peak_runs = std::max(peak_runs, sessionizer.open_runs());
+    }
+    // Flushing is not needed between passes; eviction is watermark-driven.
+    closed.clear();
+  }
+  std::size_t single_pass_peak = 0;
+  StreamSessionizer single(config);
+  for (const Observation& obs : feed) {
+    single.Push(obs, &closed);
+    single_pass_peak = std::max(single_pass_peak, single.open_runs());
+  }
+  // The 8x replay must not need more simultaneous state than one pass.
+  EXPECT_LE(peak_runs, single_pass_peak + 1);
+}
+
+}  // namespace
+}  // namespace ddos::stream

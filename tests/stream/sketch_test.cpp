@@ -1,0 +1,165 @@
+#include "stream/sketch.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/durations.h"
+#include "core/intervals.h"
+#include "stats/ecdf.h"
+#include "test_support.h"
+
+namespace ddos::stream {
+namespace {
+
+// Asserts the GK contract on one sample set: for each probed quantile q the
+// returned value's feasible rank range [count(< v), count(<= v)] must
+// intersect [q*n - bound, q*n + bound] with bound = epsilon*n + 1.
+void ExpectQuantilesWithinBound(std::vector<double> values, double epsilon) {
+  GkQuantileSketch sketch(epsilon);
+  for (double v : values) sketch.Add(v);
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  const double bound = epsilon * n + 1.0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.8, 0.9, 0.95, 0.99}) {
+    const double est = sketch.Quantile(q);
+    const auto lo = std::lower_bound(values.begin(), values.end(), est);
+    const auto hi = std::upper_bound(values.begin(), values.end(), est);
+    const double rank_lo = static_cast<double>(lo - values.begin());
+    const double rank_hi = static_cast<double>(hi - values.begin());
+    const double target = q * n;
+    EXPECT_LE(rank_lo - bound, target)
+        << "q=" << q << " est=" << est << " rank in [" << rank_lo << ", "
+        << rank_hi << "]";
+    EXPECT_GE(rank_hi + bound, target)
+        << "q=" << q << " est=" << est << " rank in [" << rank_lo << ", "
+        << rank_hi << "]";
+  }
+}
+
+TEST(GkQuantileSketch, ExactOnTinyInputs) {
+  GkQuantileSketch sketch(0.01);
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) sketch.Add(v);
+  EXPECT_EQ(sketch.count(), 5u);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 3.0);
+}
+
+TEST(GkQuantileSketch, UniformStreamWithinBound) {
+  Rng rng(7);
+  std::vector<double> values;
+  values.reserve(50000);
+  for (int i = 0; i < 50000; ++i) values.push_back(rng.Uniform(0.0, 1e6));
+  ExpectQuantilesWithinBound(std::move(values), 0.005);
+}
+
+TEST(GkQuantileSketch, HeavyTiesWithinBound) {
+  // Mimics the interval distribution: >40% exact zeros plus a heavy tail.
+  Rng rng(13);
+  std::vector<double> values;
+  for (int i = 0; i < 40000; ++i) {
+    values.push_back(rng.NextDouble() < 0.45 ? 0.0
+                                             : rng.LogNormal(6.0, 2.0));
+  }
+  ExpectQuantilesWithinBound(std::move(values), 0.005);
+}
+
+TEST(GkQuantileSketch, SimulatorIntervalsMatchExactEcdf) {
+  const auto& ds = ::ddos::testing::SmallDataset();
+  const std::vector<double> intervals = core::AllAttackIntervals(ds);
+  ASSERT_GT(intervals.size(), 100u);
+  ExpectQuantilesWithinBound(intervals, 0.005);
+}
+
+TEST(GkQuantileSketch, SimulatorDurationsMatchExactEcdf) {
+  const auto& ds = ::ddos::testing::SmallDataset();
+  const std::vector<double> durations =
+      core::AttackDurations(ds.attacks());
+  ASSERT_GT(durations.size(), 100u);
+  ExpectQuantilesWithinBound(durations, 0.005);
+}
+
+TEST(GkQuantileSketch, SpaceStaysSublinear) {
+  GkQuantileSketch sketch(0.01);
+  Rng rng(3);
+  for (int i = 0; i < 200000; ++i) sketch.Add(rng.Uniform(0.0, 1.0));
+  // 1/(2*epsilon) * log2(epsilon * n) ~ 50 * 11; generous headroom, but far
+  // below the 200k a sorted copy would hold.
+  EXPECT_LT(sketch.tuple_count(), 4000u);
+}
+
+TEST(SpaceSaving, ExactWhenUnderCapacity) {
+  SpaceSaving<std::string> counter(16);
+  for (int i = 0; i < 10; ++i) counter.Add("a");
+  for (int i = 0; i < 5; ++i) counter.Add("b");
+  counter.Add("c");
+  const auto top = counter.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, "a");
+  EXPECT_EQ(top[0].count, 10u);
+  EXPECT_EQ(top[0].error, 0u);
+  EXPECT_EQ(top[1].key, "b");
+  EXPECT_EQ(top[1].count, 5u);
+}
+
+TEST(SpaceSaving, HeavyHittersSurviveEviction) {
+  // Zipf-ish stream over many more keys than counters: the true heavy
+  // hitters must be retained and their counts bracketed by [count - error,
+  // count].
+  Rng rng(99);
+  SpaceSaving<std::uint32_t> counter(64);
+  std::map<std::uint32_t, std::uint64_t> exact;
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint32_t key = static_cast<std::uint32_t>(rng.Zipf(2000, 1.2));
+    counter.Add(key);
+    ++exact[key];
+  }
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ranked;
+  for (const auto& [k, n] : exact) ranked.emplace_back(n, k);
+  std::sort(ranked.rbegin(), ranked.rend());
+
+  const auto top = counter.TopK(10);
+  ASSERT_EQ(top.size(), 10u);
+  for (const auto& entry : top) {
+    const std::uint64_t truth = exact[entry.key];
+    EXPECT_GE(entry.count, truth);                // upper bound
+    EXPECT_LE(entry.count - entry.error, truth);  // lower bound
+    EXPECT_LE(entry.error, counter.total() / 64); // error cap
+  }
+  // The undisputed top-5 keys of the true distribution must be present.
+  std::vector<std::uint32_t> reported;
+  for (const auto& entry : top) reported.push_back(entry.key);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NE(std::find(reported.begin(), reported.end(), ranked[i].second),
+              reported.end())
+        << "true heavy hitter " << ranked[i].second << " missing";
+  }
+}
+
+TEST(KmvDistinctCounter, ExactBelowK) {
+  KmvDistinctCounter counter(256);
+  for (std::uint64_t i = 0; i < 200; ++i) counter.Add(i);
+  for (std::uint64_t i = 0; i < 200; ++i) counter.Add(i);  // duplicates
+  EXPECT_DOUBLE_EQ(counter.Estimate(), 200.0);
+}
+
+TEST(KmvDistinctCounter, ApproximatesLargeCardinalities) {
+  KmvDistinctCounter counter(1024);
+  constexpr std::uint64_t kDistinct = 300000;
+  for (std::uint64_t i = 0; i < kDistinct; ++i) {
+    counter.Add(i * 2654435761ULL);
+    if (i % 3 == 0) counter.Add(i * 2654435761ULL);  // repeats are free
+  }
+  const double est = counter.Estimate();
+  // ~3% standard error at k=1024; assert 5 sigma.
+  EXPECT_NEAR(est, static_cast<double>(kDistinct), 0.15 * kDistinct);
+  EXPECT_LT(counter.ApproxMemoryBytes(), 100000u);
+}
+
+}  // namespace
+}  // namespace ddos::stream

@@ -13,9 +13,14 @@
 //       Print the next-attack watch list (most-attacked targets first).
 //   ddoscope collab attacks.csv
 //       Detect concurrent collaborations and print the Table-VI view.
+//   ddoscope watch attacks.csv [--window H] [--every N] [--epsilon E]
+//       Tail the trace through the streaming engine: refresh a live summary
+//       every N records (0 = final only) with a rolling H-hour rate window.
+//       Bounded memory regardless of trace size.
 //
 // The CSV schema is Table I of the paper (see data/csv.h), so externally
 // collected traces work with every subcommand except `generate`.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -34,6 +39,7 @@
 #include "data/csv.h"
 #include "data/query.h"
 #include "geo/geo_db.h"
+#include "stream/engine.h"
 
 namespace {
 
@@ -49,7 +55,9 @@ int Usage() {
                "                 [--min-magnitude N] [--limit K]\n"
                "  ddoscope report ATTACKS.csv REPORT.md\n"
                "  ddoscope predict ATTACKS.csv\n"
-               "  ddoscope collab ATTACKS.csv\n");
+               "  ddoscope collab ATTACKS.csv\n"
+               "  ddoscope watch ATTACKS.csv [--window H] [--every N]\n"
+               "                 [--epsilon E]\n");
   return 2;
 }
 
@@ -219,6 +227,100 @@ int CmdCollab(const std::string& path) {
   return 0;
 }
 
+void PrintWatchSnapshot(const stream::StreamSnapshot& snap, bool final_view,
+                        std::int64_t window_hours) {
+  std::printf("---- %s @ %s ----\n", final_view ? "final summary" : "live",
+              snap.last_start.ToString().c_str());
+  std::printf(
+      "%llu attacks | %llu in last %lld h | ~%.0f targets | ~%.0f botnets | "
+      "%llu countries\n",
+      static_cast<unsigned long long>(snap.attacks),
+      static_cast<unsigned long long>(snap.attacks_in_window),
+      static_cast<long long>(window_hours), snap.distinct_targets,
+      snap.distinct_botnets, static_cast<unsigned long long>(snap.countries));
+
+  std::vector<std::pair<std::string, double>> bars;
+  for (const core::ProtocolCount& pc : snap.protocols) {
+    bars.emplace_back(std::string(data::ProtocolName(pc.protocol)),
+                      static_cast<double>(pc.attacks));
+  }
+  std::printf("%s", core::RenderBars(bars, 32).c_str());
+
+  std::vector<std::pair<data::Family, std::uint64_t>> families;
+  for (const data::Family f : data::AllFamilies()) {
+    const std::uint64_t n = snap.family_attacks[static_cast<std::size_t>(f)];
+    if (n > 0) families.emplace_back(f, n);
+  }
+  std::sort(families.begin(), families.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::printf("families:");
+  for (std::size_t i = 0; i < std::min<std::size_t>(families.size(), 5); ++i) {
+    std::printf(" %s=%llu",
+                std::string(data::FamilyName(families[i].first)).c_str(),
+                static_cast<unsigned long long>(families[i].second));
+  }
+  std::printf("\n");
+
+  std::printf(
+      "interval: median %.0f s, p80 %.0f s, %.0f%% concurrent | "
+      "duration: median %.0f s, p80 %.0f s\n",
+      snap.intervals.summary.median, snap.intervals.p80_seconds,
+      snap.intervals.fraction_concurrent * 100.0,
+      snap.durations.summary.median, snap.durations.p80_seconds);
+  std::printf("collab: %llu events (%llu intra / %llu inter), avg %.2f "
+              "participants\n",
+              static_cast<unsigned long long>(snap.collab.events),
+              static_cast<unsigned long long>(snap.collab.intra_family_events),
+              static_cast<unsigned long long>(snap.collab.inter_family_events),
+              snap.collab.avg_participants());
+  if (!snap.top_targets.empty()) {
+    std::printf("hottest targets:");
+    for (std::size_t i = 0; i < std::min<std::size_t>(snap.top_targets.size(), 5);
+         ++i) {
+      std::printf(" %s(%llu)", snap.top_targets[i].label.c_str(),
+                  static_cast<unsigned long long>(snap.top_targets[i].count));
+    }
+    std::printf("\n");
+  }
+  std::printf("engine state ~%zu KiB\n\n", snap.engine_memory_bytes / 1024);
+}
+
+int CmdWatch(const std::string& path,
+             const std::map<std::string, std::string>& flags) {
+  std::int64_t window_hours = 24;
+  if (const auto it = flags.find("window"); it != flags.end()) {
+    window_hours = ParseInt64(it->second).value_or(window_hours);
+  }
+  std::uint64_t every = 5000;
+  if (const auto it = flags.find("every"); it != flags.end()) {
+    every = static_cast<std::uint64_t>(
+        ParseInt64(it->second).value_or(static_cast<std::int64_t>(every)));
+  }
+  stream::StreamEngineConfig config;
+  config.rolling_window_s = window_hours * kSecondsPerHour;
+  if (const auto it = flags.find("epsilon"); it != flags.end()) {
+    config.quantile_epsilon =
+        ParseDouble(it->second).value_or(config.quantile_epsilon);
+  }
+
+  stream::StreamEngine engine(config);
+  data::AttackCsvReader reader(path);
+  data::AttackRecord attack;
+  while (reader.Next(&attack)) {
+    engine.Push(attack);
+    if (every > 0 && engine.attacks_seen() % every == 0) {
+      PrintWatchSnapshot(engine.Snapshot(), false, window_hours);
+    }
+  }
+  engine.Finish();
+  if (engine.attacks_seen() == 0) {
+    std::printf("no attacks in %s\n", path.c_str());
+    return 0;
+  }
+  PrintWatchSnapshot(engine.Snapshot(), true, window_hours);
+  return 0;
+}
+
 int CmdPredict(const std::string& path) {
   const data::Dataset ds = LoadDataset(path);
   const auto watch = core::BuildWatchList(ds, 15, 4);
@@ -258,6 +360,9 @@ int main(int argc, char** argv) {
     }
     if (command == "collab" && positional.size() == 1) {
       return CmdCollab(positional[0]);
+    }
+    if (command == "watch" && positional.size() == 1) {
+      return CmdWatch(positional[0], flags);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ddoscope %s: %s\n", command.c_str(), e.what());
