@@ -1,5 +1,6 @@
 #include "data/csv.h"
 
+#include <cmath>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -22,52 +23,138 @@ std::int64_t FieldInt(const std::vector<std::string>& fields, std::size_t idx,
   return *v;
 }
 
-double FieldDouble(const std::vector<std::string>& fields, std::size_t idx,
-                   std::size_t line_no) {
-  const auto v = ParseDouble(fields.at(idx));
-  if (!v) Fail("bad numeric field", line_no);
-  return *v;
+// Timestamps far outside the plausible monitoring era are rejected: the
+// schema carries wall-clock seconds, so a mangled year silently skews every
+// interval/duration statistic downstream if allowed through.
+const TimePoint kMinTimestamp = TimePoint(0);                       // 1970
+const TimePoint kMaxTimestamp = TimePoint::FromDate(2100, 1, 1);
+
+bool ParseError(IngestError* err, IngestErrorKind kind, std::string detail) {
+  err->kind = kind;
+  err->detail = std::move(detail);
+  return false;
 }
 
-AttackRecord ParseAttackRow(const std::vector<std::string>& f,
-                            std::size_t line_no) {
-  if (f.size() != 14) Fail("expected 14 fields", line_no);
+// Parses and validates one attack row. Returns false with *err filled on
+// any malformed field; never throws.
+bool TryParseAttackRow(const std::vector<std::string>& f, AttackRecord* out,
+                       IngestError* err) {
+  if (f.size() != 14) {
+    return ParseError(err, IngestErrorKind::kBadFieldCount,
+                      StrFormat("expected 14 fields, got %zu", f.size()));
+  }
   AttackRecord a;
-  a.ddos_id = static_cast<std::uint64_t>(FieldInt(f, 0, line_no));
-  a.botnet_id = static_cast<std::uint32_t>(FieldInt(f, 1, line_no));
+  const auto ddos_id = ParseInt64(f[0]);
+  if (!ddos_id || *ddos_id < 0) {
+    return ParseError(err, IngestErrorKind::kUnparseableNumber,
+                      "bad ddos_id '" + f[0] + "'");
+  }
+  a.ddos_id = static_cast<std::uint64_t>(*ddos_id);
+  const auto botnet_id = ParseInt64(f[1]);
+  if (!botnet_id) {
+    return ParseError(err, IngestErrorKind::kUnparseableNumber,
+                      "bad botnet_id '" + f[1] + "'");
+  }
+  a.botnet_id = static_cast<std::uint32_t>(*botnet_id);
   const auto family = ParseFamily(f[2]);
-  if (!family) Fail("unknown family", line_no);
+  if (!family) {
+    return ParseError(err, IngestErrorKind::kUnparseableNumber,
+                      "unknown family '" + f[2] + "'");
+  }
   a.family = *family;
   const auto protocol = ParseProtocol(f[3]);
-  if (!protocol) Fail("unknown protocol", line_no);
+  if (!protocol) {
+    return ParseError(err, IngestErrorKind::kUnparseableNumber,
+                      "unknown protocol '" + f[3] + "'");
+  }
   a.category = *protocol;
   const auto ip = net::IPv4Address::Parse(f[4]);
-  if (!ip) Fail("bad target_ip", line_no);
+  if (!ip) {
+    return ParseError(err, IngestErrorKind::kUnparseableNumber,
+                      "bad target_ip '" + f[4] + "'");
+  }
   a.target_ip = *ip;
-  a.start_time = TimePoint::Parse(f[5]);
-  a.end_time = TimePoint::Parse(f[6]);
-  a.asn = net::Asn(static_cast<std::uint32_t>(FieldInt(f, 7, line_no)));
+  for (const std::size_t idx : {std::size_t{5}, std::size_t{6}}) {
+    TimePoint t;
+    try {
+      t = TimePoint::Parse(f[idx]);
+    } catch (const std::invalid_argument&) {
+      return ParseError(err, IngestErrorKind::kOutOfRangeTimestamp,
+                        "malformed timestamp '" + f[idx] + "'");
+    }
+    if (t < kMinTimestamp || t > kMaxTimestamp) {
+      return ParseError(err, IngestErrorKind::kOutOfRangeTimestamp,
+                        "timestamp '" + f[idx] + "' outside 1970..2100");
+    }
+    (idx == 5 ? a.start_time : a.end_time) = t;
+  }
+  if (a.end_time < a.start_time) {
+    return ParseError(
+        err, IngestErrorKind::kNegativeDuration,
+        StrFormat("end_time precedes timestamp by %lld s",
+                  static_cast<long long>(a.start_time - a.end_time)));
+  }
+  const auto asn = ParseInt64(f[7]);
+  if (!asn) {
+    return ParseError(err, IngestErrorKind::kUnparseableNumber,
+                      "bad asn '" + f[7] + "'");
+  }
+  a.asn = net::Asn(static_cast<std::uint32_t>(*asn));
   a.cc = f[8];
   a.city = f[9];
-  a.location.lat_deg = FieldDouble(f, 10, line_no);
-  a.location.lon_deg = FieldDouble(f, 11, line_no);
+  const auto lat = ParseDouble(f[10]);
+  const auto lon = ParseDouble(f[11]);
+  if (!lat || !lon) {
+    return ParseError(err, IngestErrorKind::kUnparseableNumber,
+                      "bad coordinate '" + (lat ? f[11] : f[10]) + "'");
+  }
+  // NaN/inf coordinates would flow into geodesic math as NaN distances;
+  // reject them here with the rest of the numeric validation.
+  if (!std::isfinite(*lat) || !std::isfinite(*lon) || *lat < -90.0 ||
+      *lat > 90.0 || *lon < -180.0 || *lon > 180.0) {
+    return ParseError(err, IngestErrorKind::kUnparseableNumber,
+                      "coordinate out of range or non-finite");
+  }
+  a.location.lat_deg = *lat;
+  a.location.lon_deg = *lon;
   a.organization = f[12];
-  a.magnitude = static_cast<std::uint32_t>(FieldInt(f, 13, line_no));
-  return a;
+  const auto magnitude = ParseInt64(f[13]);
+  if (!magnitude || *magnitude < 0) {
+    return ParseError(err, IngestErrorKind::kUnparseableNumber,
+                      "bad magnitude '" + f[13] + "'");
+  }
+  a.magnitude = static_cast<std::uint32_t>(*magnitude);
+  *out = std::move(a);
+  return true;
 }
 
 }  // namespace
 
 bool ReadCsvLine(std::istream& in, std::string* line) {
+  bool saw_newline;
+  return ReadCsvLine(in, line, &saw_newline);
+}
+
+bool ReadCsvLine(std::istream& in, std::string* line, bool* saw_newline) {
   if (!std::getline(in, *line)) return false;
+  // getline sets eofbit only when the stream ended before the delimiter, so
+  // a cleanly terminated final line still reports saw_newline == true.
+  *saw_newline = !in.eof();
   if (!line->empty() && line->back() == '\r') line->pop_back();
   return true;
 }
 
 std::vector<std::string> ParseCsvLine(const std::string& line) {
+  bool unterminated;
+  return ParseCsvLine(line, &unterminated);
+}
+
+std::vector<std::string> ParseCsvLine(const std::string& line,
+                                      bool* unterminated_quote) {
   std::vector<std::string> fields;
   std::string current;
   bool in_quotes = false;
+  bool at_field_start = true;
   for (std::size_t i = 0; i < line.size(); ++i) {
     const char c = line[i];
     if (in_quotes) {
@@ -81,16 +168,22 @@ std::vector<std::string> ParseCsvLine(const std::string& line) {
       } else {
         current.push_back(c);
       }
-    } else if (c == '"') {
+    } else if (c == '"' && at_field_start) {
+      // Only a quote at the start of a field opens quoting; an interior
+      // quote (`a"b`) is data, matching the common lenient reading.
       in_quotes = true;
+      at_field_start = false;
     } else if (c == ',') {
       fields.push_back(std::move(current));
       current.clear();
+      at_field_start = true;
     } else {
       current.push_back(c);
+      at_field_start = false;
     }
   }
   fields.push_back(std::move(current));
+  *unterminated_quote = in_quotes;
   return fields;
 }
 
@@ -120,34 +213,102 @@ void WriteAttacksCsv(std::ostream& out, std::span<const AttackRecord> attacks) {
 }
 
 std::vector<AttackRecord> ReadAttacksCsv(std::istream& in) {
+  return ReadAttacksCsv(in, ParseOptions{}, nullptr);
+}
+
+std::vector<AttackRecord> ReadAttacksCsv(std::istream& in, ParseOptions options,
+                                         IngestErrorReport* report) {
   std::vector<AttackRecord> out;
-  AttackCsvReader reader(in);
+  AttackCsvReader reader(in, options);
   AttackRecord a;
   while (reader.Next(&a)) out.push_back(std::move(a));
+  if (report != nullptr) {
+    for (int k = 0; k < kIngestErrorKindCount; ++k) {
+      report->counts[static_cast<std::size_t>(k)] +=
+          reader.error_report().counts[static_cast<std::size_t>(k)];
+    }
+  }
   return out;
 }
 
-AttackCsvReader::AttackCsvReader(std::istream& in) : in_(&in) {}
+AttackCsvReader::AttackCsvReader(std::istream& in, ParseOptions options)
+    : in_(&in), options_(options) {}
 
-AttackCsvReader::AttackCsvReader(const std::string& path)
-    : file_(path), in_(&file_) {
+AttackCsvReader::AttackCsvReader(const std::string& path, ParseOptions options)
+    : file_(path), in_(&file_), options_(options) {
   if (!file_) throw std::runtime_error("AttackCsvReader: cannot open " + path);
 }
 
 bool AttackCsvReader::Next(AttackRecord* out) {
   std::string line;
-  while (ReadCsvLine(*in_, &line)) {
+  bool saw_newline;
+  while (ReadCsvLine(*in_, &line, &saw_newline)) {
     ++line_no_;
     if (!header_skipped_) {
       header_skipped_ = true;
       continue;
     }
     if (Trim(line).empty()) continue;
-    *out = ParseAttackRow(ParseCsvLine(line), line_no_);
-    ++records_;
-    return true;
+
+    IngestError err;
+    bool ok = false;
+    if (line.size() > options_.max_line_bytes) {
+      err.kind = IngestErrorKind::kTruncatedLine;
+      err.detail = StrFormat("line of %zu bytes exceeds the %zu-byte cap",
+                             line.size(), options_.max_line_bytes);
+    } else {
+      bool unterminated = false;
+      const auto fields = ParseCsvLine(line, &unterminated);
+      if (unterminated) {
+        err.kind = IngestErrorKind::kUnterminatedQuote;
+        err.detail = "line ended inside a quoted field";
+      } else {
+        ok = TryParseAttackRow(fields, out, &err);
+      }
+      // Any failure on a final line that the stream cut short is reported
+      // as the torn write it is, not as whatever field the cut landed in.
+      if (!ok && !saw_newline) {
+        err.kind = IngestErrorKind::kTruncatedLine;
+        err.detail = "stream ended mid-record (" + err.detail + ")";
+      }
+    }
+    if (ok && options_.detect_duplicate_ids &&
+        !seen_ids_.insert(out->ddos_id).second) {
+      ok = false;
+      err.kind = IngestErrorKind::kDuplicateId;
+      err.detail =
+          StrFormat("ddos_id %llu already ingested",
+                    static_cast<unsigned long long>(out->ddos_id));
+    }
+    if (ok) {
+      ++records_;
+      return true;
+    }
+
+    err.line_no = line_no_;
+    err.raw_line = line;
+    report_.Add(err.kind);
+    if (options_.policy == ParsePolicy::kStrict) {
+      throw std::runtime_error(StrFormat(
+          "CSV: %s: %s at line %zu",
+          std::string(IngestErrorKindName(err.kind)).c_str(),
+          err.detail.c_str(), line_no_));
+    }
+    if (options_.policy == ParsePolicy::kQuarantine &&
+        options_.quarantine != nullptr) {
+      options_.quarantine->Write(err);
+    }
   }
   return false;
+}
+
+void AttackCsvReader::ResumeAt(std::size_t line_no, std::size_t records) {
+  std::string line;
+  while (line_no_ < line_no && ReadCsvLine(*in_, &line)) {
+    ++line_no_;
+  }
+  header_skipped_ = line_no_ >= 1;
+  records_ = records;
 }
 
 void WriteBotnetsCsv(std::ostream& out, std::span<const BotnetRecord> botnets) {

@@ -7,30 +7,77 @@
 // is the archival format of the synthetic traces the benches generate.
 //
 // Quoting: fields containing ',', '"' or newlines are double-quoted with
-// inner quotes doubled (RFC 4180). Readers throw std::runtime_error with a
-// line number on malformed input. Line endings may be LF or CRLF; a
+// inner quotes doubled (RFC 4180). A '"' in the interior of an unquoted
+// field is kept literally (the common lenient reading); only a quote at the
+// start of a field opens quoting. Line endings may be LF or CRLF; a
 // trailing '\r' is stripped before parsing so files written on Windows
 // parse identically.
+//
+// Error handling: every malformed row is diagnosed with a typed
+// IngestErrorKind (see data/ingest_error.h). Under the default
+// ParsePolicy::kStrict the readers throw std::runtime_error with a line
+// number, exactly as they always have; kSkip and kQuarantine count the
+// error in an IngestErrorReport (and optionally preserve the raw line) and
+// keep reading, so a 207-day feed survives its bad rows.
 #ifndef DDOSCOPE_DATA_CSV_H_
 #define DDOSCOPE_DATA_CSV_H_
 
 #include <fstream>
 #include <iosfwd>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "data/dataset.h"
+#include "data/ingest_error.h"
 
 namespace ddos::data {
 
-// Splits one CSV line honoring RFC-4180 quoting.
+// Splits one CSV line honoring RFC-4180 quoting. The two-argument form
+// reports whether the line ended inside an open quoted field (the line is
+// still split on a best-effort basis); the one-argument form is lenient.
 std::vector<std::string> ParseCsvLine(const std::string& line);
+std::vector<std::string> ParseCsvLine(const std::string& line,
+                                      bool* unterminated_quote);
 // Escapes one field for CSV output.
 std::string CsvEscape(const std::string& field);
 
 // getline wrapper shared by all CSV readers: strips one trailing '\r' so
-// CRLF-terminated files parse like LF files. Returns false at EOF.
+// CRLF-terminated files parse like LF files. Returns false at EOF. The
+// three-argument form additionally reports whether the line was terminated
+// by a newline; a final line without one is the signature of a torn write.
 bool ReadCsvLine(std::istream& in, std::string* line);
+bool ReadCsvLine(std::istream& in, std::string* line, bool* saw_newline);
+
+// How AttackCsvReader reacts to malformed rows.
+struct ParseOptions {
+  ParsePolicy policy = ParsePolicy::kStrict;
+  // Receives every rejected raw line when policy == kQuarantine. Owned by
+  // the caller; may be null (kQuarantine then degrades to kSkip).
+  QuarantineWriter* quarantine = nullptr;
+  // Rows longer than this are rejected as kTruncatedLine instead of being
+  // buffered without bound (defense against binary garbage on the feed).
+  std::size_t max_line_bytes = 1 << 20;
+  // Reject rows whose ddos_id was already ingested (kDuplicateId). Costs
+  // one hash-set entry per record, so it is off under kStrict by default
+  // to preserve the reader's constant-memory contract for trusted files.
+  bool detect_duplicate_ids = false;
+
+  static ParseOptions Strict() { return ParseOptions{}; }
+  static ParseOptions Skip() {
+    ParseOptions o;
+    o.policy = ParsePolicy::kSkip;
+    o.detect_duplicate_ids = true;
+    return o;
+  }
+  static ParseOptions Quarantine(QuarantineWriter* writer) {
+    ParseOptions o;
+    o.policy = ParsePolicy::kQuarantine;
+    o.quarantine = writer;
+    o.detect_duplicate_ids = true;
+    return o;
+  }
+};
 
 // Streaming one-record-at-a-time reader over the attack table. Unlike
 // ReadAttacksCsv it never materializes the file: each Next() parses one
@@ -40,20 +87,32 @@ bool ReadCsvLine(std::istream& in, std::string* line);
 class AttackCsvReader {
  public:
   // Reads from a caller-owned stream (kept alive by the caller).
-  explicit AttackCsvReader(std::istream& in);
+  explicit AttackCsvReader(std::istream& in, ParseOptions options = {});
   // Opens `path`; throws std::runtime_error if it cannot be opened.
-  explicit AttackCsvReader(const std::string& path);
+  explicit AttackCsvReader(const std::string& path, ParseOptions options = {});
 
   // Parses the next record into *out. Returns false at end of input.
-  // Throws std::runtime_error (with a line number) on malformed rows.
+  // Under ParsePolicy::kStrict, throws std::runtime_error (with a line
+  // number and error kind) on malformed rows; under kSkip/kQuarantine the
+  // row is counted in error_report() and reading continues.
   bool Next(AttackRecord* out);
+
+  // Fast-forwards past raw lines (without parsing) until line_number()
+  // reaches `line_no`, and restores the records-read counter - the resume
+  // path after a checkpoint reload. The skipped region was already
+  // validated by the pre-crash run, so its errors are not re-reported.
+  void ResumeAt(std::size_t line_no, std::size_t records);
 
   std::size_t records_read() const { return records_; }
   std::size_t line_number() const { return line_no_; }
+  const IngestErrorReport& error_report() const { return report_; }
 
  private:
   std::ifstream file_;  // engaged only by the path constructor
   std::istream* in_;
+  ParseOptions options_;
+  IngestErrorReport report_;
+  std::unordered_set<std::uint64_t> seen_ids_;  // engaged by dedupe option
   std::size_t line_no_ = 0;
   std::size_t records_ = 0;
   bool header_skipped_ = false;
@@ -61,6 +120,9 @@ class AttackCsvReader {
 
 void WriteAttacksCsv(std::ostream& out, std::span<const AttackRecord> attacks);
 std::vector<AttackRecord> ReadAttacksCsv(std::istream& in);
+// Error-policy variant; per-kind tallies are added to *report if non-null.
+std::vector<AttackRecord> ReadAttacksCsv(std::istream& in, ParseOptions options,
+                                         IngestErrorReport* report = nullptr);
 
 void WriteBotnetsCsv(std::ostream& out, std::span<const BotnetRecord> botnets);
 std::vector<BotnetRecord> ReadBotnetsCsv(std::istream& in);

@@ -1,0 +1,221 @@
+#include "data/fault_injector.h"
+
+#include <stdexcept>
+
+#include "common/strings.h"
+#include "common/time.h"
+#include "data/csv.h"
+
+namespace ddos::data {
+
+namespace {
+
+// Fresh ddos_ids for corrupted copies that would otherwise be rejected as
+// duplicates before reaching the fault they were planted to exercise.
+constexpr std::uint64_t kFreshIdBase = 1'000'000'000'000ULL;
+
+enum FaultIndex {
+  kFaultTruncate = 0,
+  kFaultMangle,
+  kFaultBitFlip,
+  kFaultQuote,
+  kFaultTimestamp,
+  kFaultNegativeDuration,
+  kFaultDuplicate,
+  kFaultCount,
+};
+
+// Joins fields back into a CSV line; `raw_index` (if >= 0) is spliced in
+// verbatim, bypassing escaping - how the quote fault plants a lone '"'.
+std::string Rejoin(const std::vector<std::string>& fields, int raw_index = -1,
+                   const std::string& raw_value = {}) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    if (static_cast<int>(i) == raw_index) {
+      out += raw_value;
+    } else {
+      out += CsvEscape(fields[i]);
+    }
+  }
+  return out;
+}
+
+// A prefix ending after the second comma: two fields where fourteen are
+// expected, so the row can never parse by accident.
+std::string CutShort(const std::string& line) {
+  const std::size_t first = line.find(',');
+  if (first == std::string::npos) return line.substr(0, line.size() / 2);
+  const std::size_t second = line.find(',', first + 1);
+  if (second == std::string::npos) return line.substr(0, first);
+  return line.substr(0, second);
+}
+
+}  // namespace
+
+FaultInjectorConfig FaultInjectorConfig::AllFaults(std::uint64_t seed,
+                                                   double rate) {
+  FaultInjectorConfig config;
+  config.seed = seed;
+  config.truncated_row_rate = rate;
+  config.mangled_field_rate = rate;
+  config.bit_flip_rate = rate;
+  config.unterminated_quote_rate = rate;
+  config.bad_timestamp_rate = rate;
+  config.negative_duration_rate = rate;
+  config.duplicate_row_rate = rate;
+  config.torn_final_write = true;
+  return config;
+}
+
+FaultInjector::FaultInjector(std::istream& source,
+                             const FaultInjectorConfig& config)
+    : buf_(source, config, &stats_), stream_(&buf_) {}
+
+FaultInjector::Buf::Buf(std::istream& source,
+                        const FaultInjectorConfig& config, FaultStats* stats)
+    : source_(source), config_(config), stats_(stats), rng_(config.seed) {}
+
+FaultInjector::Buf::int_type FaultInjector::Buf::underflow() {
+  if (gptr() != nullptr && gptr() < egptr()) {
+    return traits_type::to_int_type(*gptr());
+  }
+  do {
+    if (!Refill()) return traits_type::eof();
+  } while (pending_.empty());
+  setg(pending_.data(), pending_.data(), pending_.data() + pending_.size());
+  return traits_type::to_int_type(*gptr());
+}
+
+bool FaultInjector::Buf::Refill() {
+  pending_.clear();
+  if (done_) return false;
+  std::string line;
+  if (!ReadCsvLine(source_, &line)) {
+    done_ = true;
+    if (config_.torn_final_write && !last_clean_line_.empty()) {
+      // A crash mid-write: a partial row with no terminating newline.
+      pending_ = CutShort(last_clean_line_);
+      ++stats_->corrupted_rows;
+      ++stats_->injected[static_cast<std::size_t>(
+          IngestErrorKind::kTruncatedLine)];
+      return true;
+    }
+    return false;
+  }
+  if (!header_done_) {
+    header_done_ = true;
+    pending_ = line + "\n";
+    return true;
+  }
+  if (Trim(line).empty()) {
+    pending_ = line + "\n";
+    return true;
+  }
+  Corrupt(line);
+  return true;
+}
+
+void FaultInjector::Buf::Corrupt(const std::string& line) {
+  const double rates[kFaultCount] = {
+      config_.truncated_row_rate,  config_.mangled_field_rate,
+      config_.bit_flip_rate,       config_.unterminated_quote_rate,
+      config_.bad_timestamp_rate,  config_.negative_duration_rate,
+      config_.duplicate_row_rate};
+  const double u = rng_.NextDouble();
+  int fault = -1;
+  double acc = 0.0;
+  for (int i = 0; i < kFaultCount; ++i) {
+    acc += rates[i];
+    if (u < acc) {
+      fault = i;
+      break;
+    }
+  }
+
+  std::string corrupted;
+  IngestErrorKind kind = IngestErrorKind::kBadFieldCount;
+  bool planted = false;
+  if (fault >= 0) {
+    std::vector<std::string> f = ParseCsvLine(line);
+    // Only corrupt well-formed source rows: every plant must map to one
+    // predictable IngestErrorKind, so pre-damaged rows pass through.
+    if (f.size() == 14) {
+      switch (fault) {
+        case kFaultTruncate:
+          corrupted = CutShort(line);
+          kind = IngestErrorKind::kBadFieldCount;
+          planted = true;
+          break;
+        case kFaultMangle:
+          f[10] = "nan";
+          corrupted = Rejoin(f);
+          kind = IngestErrorKind::kUnparseableNumber;
+          planted = true;
+          break;
+        case kFaultBitFlip:
+          for (char& c : f[13]) {
+            if (c >= '0' && c <= '9') {
+              c = static_cast<char>(c | 0x40);  // digit -> 'p'..'y'
+              planted = true;
+              break;
+            }
+          }
+          if (planted) {
+            corrupted = Rejoin(f);
+            kind = IngestErrorKind::kUnparseableNumber;
+          }
+          break;
+        case kFaultQuote:
+          corrupted = Rejoin(f, 9, "\"torn");
+          kind = IngestErrorKind::kUnterminatedQuote;
+          planted = true;
+          break;
+        case kFaultTimestamp:
+          f[5] = "2150-01-01 00:00:00";
+          corrupted = Rejoin(f);
+          kind = IngestErrorKind::kOutOfRangeTimestamp;
+          planted = true;
+          break;
+        case kFaultNegativeDuration:
+          try {
+            const TimePoint start = TimePoint::Parse(f[5]);
+            f[6] = (start - kSecondsPerHour).ToString();
+            f[0] = std::to_string(kFreshIdBase + fresh_id_++);
+            corrupted = Rejoin(f);
+            kind = IngestErrorKind::kNegativeDuration;
+            planted = true;
+          } catch (const std::invalid_argument&) {
+            planted = false;
+          }
+          break;
+        case kFaultDuplicate:
+          corrupted = line;
+          kind = IngestErrorKind::kDuplicateId;
+          planted = true;
+          break;
+      }
+    }
+  }
+
+  if (!planted) {
+    pending_ = line + "\n";
+    ++stats_->clean_rows;
+    last_clean_line_ = line;
+    return;
+  }
+  // A duplicate only trips duplicate-id if the original precedes it, so it
+  // is additive even in destructive mode.
+  if (config_.destructive && fault != kFaultDuplicate) {
+    pending_ = corrupted + "\n";
+    ++stats_->lost_rows;
+  } else {
+    pending_ = line + "\n" + corrupted + "\n";
+    ++stats_->clean_rows;
+    last_clean_line_ = line;
+  }
+  ++stats_->corrupted_rows;
+  ++stats_->injected[static_cast<std::size_t>(kind)];
+}
+
+}  // namespace ddos::data

@@ -1,0 +1,119 @@
+// Deterministic fault injection for attack-CSV streams.
+//
+// Real monitoring feeds arrive with torn writes, mangled fields, and
+// duplicated rows; the resilient ingestion path (ParsePolicy::kSkip /
+// kQuarantine) exists to survive them, and this wrapper exists to prove it
+// does. FaultInjector wraps any std::istream carrying an attack CSV and
+// exposes a corrupted view of it, driven by the ddos::common xoshiro RNG so
+// a given (stream, seed, rates) triple reproduces byte-identical corruption
+// on every run.
+//
+// Each fault is engineered to trip exactly one IngestErrorKind, and the
+// injector tallies its plants per expected kind, so a test can assert the
+// reader's IngestErrorReport matches the injection record *exactly* - not
+// just "some errors were seen".
+//
+// By default corruption is additive: a faulted row is emitted as an extra
+// corrupted copy alongside the clean original (the model of a flaky
+// upstream writer interleaving garbage between good records). This makes
+// lossless-recovery assertions possible: filtering the corrupted stream
+// through the resilient reader must reproduce the clean stream record for
+// record. Setting `destructive` instead corrupts rows in place, modeling
+// media damage where the original is unrecoverable.
+#ifndef DDOSCOPE_DATA_FAULT_INJECTOR_H_
+#define DDOSCOPE_DATA_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <istream>
+#include <streambuf>
+#include <string>
+
+#include "common/rng.h"
+#include "data/ingest_error.h"
+
+namespace ddos::data {
+
+struct FaultInjectorConfig {
+  std::uint64_t seed = 1;
+  // Per-data-row probabilities; at most one fault fires per row. Each maps
+  // to the IngestErrorKind named on the right.
+  double truncated_row_rate = 0.0;      // row cut mid-field -> bad-field-count
+  double mangled_field_rate = 0.0;      // latitude becomes "nan" -> unparseable-number
+  double bit_flip_rate = 0.0;           // flipped bit turns a magnitude digit
+                                        // into a letter -> unparseable-number
+  double unterminated_quote_rate = 0.0; // lone '"' opens the city field -> unterminated-quote
+  double bad_timestamp_rate = 0.0;      // start moves to year 2150 -> out-of-range-timestamp
+  double negative_duration_rate = 0.0;  // end rewound before start (fresh
+                                        // ddos_id) -> negative-duration
+  double duplicate_row_rate = 0.0;      // row re-emitted verbatim -> duplicate-id
+  // Cut the final row short and drop its newline -> truncated-line.
+  bool torn_final_write = false;
+  // Corrupt rows in place (the clean original is lost) instead of emitting
+  // corrupted copies next to it.
+  bool destructive = false;
+
+  // Every fault class active at `rate`, the configuration the soak bench
+  // runs with.
+  static FaultInjectorConfig AllFaults(std::uint64_t seed, double rate);
+};
+
+// What was planted, bucketed by the IngestErrorKind each plant must trip.
+struct FaultStats {
+  std::array<std::uint64_t, kIngestErrorKindCount> injected{};
+  std::uint64_t clean_rows = 0;      // rows passed through unharmed
+  std::uint64_t corrupted_rows = 0;  // corrupted copies / rewrites emitted
+  std::uint64_t lost_rows = 0;       // originals destroyed (destructive mode)
+
+  std::uint64_t injected_for(IngestErrorKind kind) const {
+    return injected[static_cast<std::size_t>(kind)];
+  }
+  std::uint64_t total_injected() const {
+    std::uint64_t t = 0;
+    for (const std::uint64_t n : injected) t += n;
+    return t;
+  }
+};
+
+// The corrupting stream wrapper. Reads `source` lazily, one line at a time,
+// so wrapping a multi-gigabyte trace costs one line of buffering.
+class FaultInjector {
+ public:
+  FaultInjector(std::istream& source, const FaultInjectorConfig& config);
+
+  // The corrupted view; feed this to AttackCsvReader.
+  std::istream& stream() { return stream_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  class Buf : public std::streambuf {
+   public:
+    Buf(std::istream& source, const FaultInjectorConfig& config,
+        FaultStats* stats);
+
+   protected:
+    int_type underflow() override;
+
+   private:
+    bool Refill();  // false once source (and the torn tail) are exhausted
+    void Corrupt(const std::string& line);
+
+    std::istream& source_;
+    FaultInjectorConfig config_;
+    FaultStats* stats_;
+    Rng rng_;
+    std::string pending_;
+    std::string last_clean_line_;
+    std::uint64_t fresh_id_ = 0;  // for faults that must not collide on ddos_id
+    bool header_done_ = false;
+    bool done_ = false;
+  };
+
+  FaultStats stats_;
+  Buf buf_;
+  std::istream stream_;
+};
+
+}  // namespace ddos::data
+
+#endif  // DDOSCOPE_DATA_FAULT_INJECTOR_H_

@@ -1,0 +1,59 @@
+#include "data/ingest_error.h"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace ddos::data {
+
+std::string_view IngestErrorKindName(IngestErrorKind kind) {
+  switch (kind) {
+    case IngestErrorKind::kBadFieldCount:
+      return "bad-field-count";
+    case IngestErrorKind::kUnparseableNumber:
+      return "unparseable-number";
+    case IngestErrorKind::kUnterminatedQuote:
+      return "unterminated-quote";
+    case IngestErrorKind::kOutOfRangeTimestamp:
+      return "out-of-range-timestamp";
+    case IngestErrorKind::kNegativeDuration:
+      return "negative-duration";
+    case IngestErrorKind::kDuplicateId:
+      return "duplicate-id";
+    case IngestErrorKind::kTruncatedLine:
+      return "truncated-line";
+  }
+  return "unknown";
+}
+
+std::string IngestErrorReport::ToString() const {
+  std::string out;
+  for (int k = 0; k < kIngestErrorKindCount; ++k) {
+    if (counts[static_cast<std::size_t>(k)] == 0) continue;
+    out += StrFormat(
+        "  %s: %llu\n",
+        std::string(IngestErrorKindName(static_cast<IngestErrorKind>(k)))
+            .c_str(),
+        static_cast<unsigned long long>(counts[static_cast<std::size_t>(k)]));
+  }
+  return out;
+}
+
+QuarantineWriter::QuarantineWriter(const std::string& path)
+    : file_(path), out_(&file_) {
+  if (!file_) {
+    throw std::runtime_error("QuarantineWriter: cannot open " + path);
+  }
+}
+
+QuarantineWriter::QuarantineWriter(std::ostream& out) : out_(&out) {}
+
+void QuarantineWriter::Write(const IngestError& error) {
+  *out_ << "# line " << error.line_no << ": "
+        << IngestErrorKindName(error.kind) << ": " << error.detail << '\n'
+        << error.raw_line << '\n';
+  ++written_;
+}
+
+}  // namespace ddos::data

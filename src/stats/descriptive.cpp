@@ -38,6 +38,17 @@ void StreamingStats::Merge(const StreamingStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+StreamingStats StreamingStats::FromMoments(std::size_t count, double mean,
+                                           double m2, double min, double max) {
+  StreamingStats s;
+  s.count_ = count;
+  s.mean_ = mean;
+  s.m2_ = m2;
+  s.min_ = min;
+  s.max_ = max;
+  return s;
+}
+
 double StreamingStats::variance() const {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);

@@ -28,6 +28,14 @@ class StreamingStats {
   double max() const;
   double sum() const { return mean_ * static_cast<double>(count_); }
 
+  // The raw second central moment (sum of squared deviations) and its
+  // inverse: reconstructing an accumulator from persisted moments. Used by
+  // the stream checkpoint layer so a resumed run is bit-identical to an
+  // uninterrupted one.
+  double m2() const { return m2_; }
+  static StreamingStats FromMoments(std::size_t count, double mean, double m2,
+                                    double min, double max);
+
  private:
   std::size_t count_ = 0;
   double mean_ = 0.0;

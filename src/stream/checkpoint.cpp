@@ -1,0 +1,103 @@
+#include "stream/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/binio.h"
+
+namespace ddos::stream {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'D', 'S', 'C', 'K', 'P', 'T', '\n'};
+
+void SerializePayload(std::ostream& out, const StreamEngine& engine,
+                      const CheckpointMeta& meta) {
+  io::WriteU64(out, meta.records);
+  io::WriteU64(out, meta.source_line);
+  for (const std::uint64_t n : meta.errors.counts) io::WriteU64(out, n);
+  engine.SerializeTo(out);
+}
+
+}  // namespace
+
+void WriteCheckpoint(std::ostream& out, const StreamEngine& engine,
+                     const CheckpointMeta& meta) {
+  std::ostringstream payload_stream;
+  SerializePayload(payload_stream, engine, meta);
+  const std::string payload = payload_stream.str();
+
+  io::Fnv1a64 checksum;
+  checksum.Update(payload);
+
+  out.write(kMagic, sizeof(kMagic));
+  io::WriteU32(out, kCheckpointVersion);
+  io::WriteU64(out, payload.size());
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  io::WriteU64(out, checksum.digest());
+  if (!out) throw std::runtime_error("checkpoint: write failed");
+}
+
+void WriteCheckpoint(const std::string& path, const StreamEngine& engine,
+                     const CheckpointMeta& meta) {
+  // Stage-and-rename: a crash mid-write leaves the previous checkpoint (if
+  // any) untouched, so resume always finds a complete file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("checkpoint: cannot open " + tmp);
+    WriteCheckpoint(out, engine, meta);
+    out.flush();
+    if (!out) throw std::runtime_error("checkpoint: write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: cannot rename " + tmp + " to " + path);
+  }
+}
+
+StreamEngine ReadCheckpoint(std::istream& in, CheckpointMeta* meta) {
+  char magic[sizeof(kMagic)];
+  if (!in.read(magic, sizeof(magic)) ||
+      !std::equal(std::begin(magic), std::end(magic), std::begin(kMagic))) {
+    throw std::runtime_error("checkpoint: bad magic (not a checkpoint file)");
+  }
+  const std::uint32_t version = io::ReadU32(in);
+  if (version != kCheckpointVersion) {
+    throw std::runtime_error(
+        "checkpoint: unsupported version " + std::to_string(version) +
+        " (expected " + std::to_string(kCheckpointVersion) + ")");
+  }
+  const std::uint64_t payload_size = io::ReadU64(in);
+  std::string payload(payload_size, '\0');
+  if (payload_size > 0 &&
+      !in.read(payload.data(), static_cast<std::streamsize>(payload_size))) {
+    throw std::runtime_error("checkpoint: truncated payload");
+  }
+  const std::uint64_t expected = io::ReadU64(in);
+  io::Fnv1a64 checksum;
+  checksum.Update(payload);
+  if (checksum.digest() != expected) {
+    throw std::runtime_error("checkpoint: checksum mismatch (corrupt file)");
+  }
+
+  std::istringstream payload_stream(payload);
+  CheckpointMeta m;
+  m.records = io::ReadU64(payload_stream);
+  m.source_line = io::ReadU64(payload_stream);
+  for (std::uint64_t& n : m.errors.counts) n = io::ReadU64(payload_stream);
+  StreamEngine engine = StreamEngine::Deserialize(payload_stream);
+  if (meta != nullptr) *meta = m;
+  return engine;
+}
+
+StreamEngine ReadCheckpoint(const std::string& path, CheckpointMeta* meta) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  return ReadCheckpoint(in, meta);
+}
+
+}  // namespace ddos::stream

@@ -1,0 +1,59 @@
+// Versioned, checksummed checkpoint files for StreamEngine.
+//
+// A multi-day `ddoscope watch` run must survive being killed: every N
+// records the CLI persists the full engine state plus its position in the
+// source feed, and `--resume` reconstructs an engine that reaches a final
+// Snapshot() identical to an uninterrupted run's (exact tallies exactly;
+// sketch state is serialized bit-for-bit, so even the approximate views
+// match).
+//
+// File layout (all integers little-endian; see common/binio.h):
+//
+//   offset  size  field
+//   0       8     magic "DDSCKPT\n"
+//   8       4     format version (currently 1)
+//   12      8     payload size in bytes
+//   20      n     payload: CheckpointMeta, then StreamEngine::SerializeTo
+//   20+n    8     FNV-1a 64 checksum of the payload
+//
+// Readers verify magic, version, size and checksum before touching the
+// payload and throw std::runtime_error on any mismatch: a torn or
+// bit-rotted checkpoint must never half-restore an engine. Writers stage
+// to `path + ".tmp"` and atomically rename into place, so a crash during
+// checkpointing leaves the previous checkpoint intact.
+#ifndef DDOSCOPE_STREAM_CHECKPOINT_H_
+#define DDOSCOPE_STREAM_CHECKPOINT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "data/ingest_error.h"
+#include "stream/engine.h"
+
+namespace ddos::stream {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+// Feed position and ingestion-error tallies at the instant of the
+// checkpoint; what the resume path needs besides the engine itself.
+struct CheckpointMeta {
+  std::uint64_t records = 0;      // records fed to the engine so far
+  std::uint64_t source_line = 0;  // 1-based line consumed in the source CSV
+  data::IngestErrorReport errors; // rejections seen before the checkpoint
+};
+
+// Serializes meta + engine to the stream / atomically to `path`.
+void WriteCheckpoint(std::ostream& out, const StreamEngine& engine,
+                     const CheckpointMeta& meta);
+void WriteCheckpoint(const std::string& path, const StreamEngine& engine,
+                     const CheckpointMeta& meta);
+
+// Restores an engine and its feed position. Throws std::runtime_error on a
+// missing file, bad magic, unsupported version, or checksum mismatch.
+StreamEngine ReadCheckpoint(std::istream& in, CheckpointMeta* meta);
+StreamEngine ReadCheckpoint(const std::string& path, CheckpointMeta* meta);
+
+}  // namespace ddos::stream
+
+#endif  // DDOSCOPE_STREAM_CHECKPOINT_H_

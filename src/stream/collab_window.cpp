@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <set>
 
+#include "common/binio.h"
+
 namespace ddos::stream {
 
 namespace {
@@ -86,6 +88,57 @@ void WindowedCollabDetector::Push(const data::AttackRecord& attack) {
 void WindowedCollabDetector::Flush() {
   for (const auto& [key, pending] : pending_) Finalize(pending);
   pending_.clear();
+}
+
+void WindowedCollabDetector::SerializeTo(std::ostream& out) const {
+  io::WriteU64(out, stats_.events);
+  io::WriteU64(out, stats_.intra_family_events);
+  io::WriteU64(out, stats_.inter_family_events);
+  io::WriteU64(out, stats_.total_participants);
+  for (const std::uint64_t n : stats_.table.intra) io::WriteU64(out, n);
+  for (const std::uint64_t n : stats_.table.inter) io::WriteU64(out, n);
+  io::WriteI64(out, watermark_.seconds());
+  io::WriteU64(out, pushes_);
+  io::WriteU64(out, pending_.size());
+  for (const auto& [key, pending] : pending_) {
+    io::WriteU32(out, key);
+    io::WriteI64(out, pending.anchor_start.seconds());
+    io::WriteI64(out, pending.anchor_duration_s);
+    io::WriteU64(out, pending.participants.size());
+    for (const Participant& p : pending.participants) {
+      io::WriteU32(out, static_cast<std::uint32_t>(p.family));
+      io::WriteU32(out, p.botnet_id);
+    }
+  }
+}
+
+void WindowedCollabDetector::DeserializeFrom(std::istream& in) {
+  stats_ = WindowedCollabStats{};
+  stats_.events = io::ReadU64(in);
+  stats_.intra_family_events = io::ReadU64(in);
+  stats_.inter_family_events = io::ReadU64(in);
+  stats_.total_participants = io::ReadU64(in);
+  for (std::uint64_t& n : stats_.table.intra) n = io::ReadU64(in);
+  for (std::uint64_t& n : stats_.table.inter) n = io::ReadU64(in);
+  watermark_ = TimePoint(io::ReadI64(in));
+  pushes_ = io::ReadU64(in);
+  const std::uint64_t n_pending = io::ReadU64(in);
+  pending_.clear();
+  for (std::uint64_t i = 0; i < n_pending; ++i) {
+    const std::uint32_t key = io::ReadU32(in);
+    Pending pending;
+    pending.anchor_start = TimePoint(io::ReadI64(in));
+    pending.anchor_duration_s = io::ReadI64(in);
+    const std::uint64_t n_part = io::ReadU64(in);
+    pending.participants.reserve(n_part);
+    for (std::uint64_t j = 0; j < n_part; ++j) {
+      Participant p;
+      p.family = static_cast<data::Family>(io::ReadU32(in));
+      p.botnet_id = io::ReadU32(in);
+      pending.participants.push_back(p);
+    }
+    pending_.emplace(key, std::move(pending));
+  }
 }
 
 std::size_t WindowedCollabDetector::ApproxMemoryBytes() const {

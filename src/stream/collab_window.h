@@ -52,6 +52,11 @@ class WindowedCollabDetector {
   std::size_t pending_targets() const { return pending_.size(); }
   std::size_t ApproxMemoryBytes() const;
 
+  // Checkpoint support: persists tallies plus every pending group, so a
+  // resumed detector reaches the same verdicts as an uninterrupted one.
+  void SerializeTo(std::ostream& out) const;
+  void DeserializeFrom(std::istream& in);
+
  private:
   struct Participant {
     data::Family family = data::Family::kAldibot;

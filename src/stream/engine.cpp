@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/binio.h"
+
 namespace ddos::stream {
 
 StreamEngine::StreamEngine(const StreamEngineConfig& config)
@@ -144,6 +146,108 @@ StreamSnapshot StreamEngine::Snapshot(std::size_t top_k) const {
   snap.attacks_in_window = window_starts_.size();
   snap.engine_memory_bytes = ApproxMemoryBytes();
   return snap;
+}
+
+void StreamEngine::SerializeTo(std::ostream& out) const {
+  // Configuration first, so Deserialize can construct the engine (and its
+  // sketches, sized from the config) before filling in state.
+  io::WriteF64(out, config_.quantile_epsilon);
+  io::WriteU64(out, config_.topk_capacity);
+  io::WriteU64(out, config_.distinct_k);
+  io::WriteI64(out, config_.rolling_window_s);
+  io::WriteI64(out, config_.collab.start_window_s);
+  io::WriteI64(out, config_.collab.max_duration_diff_s);
+  io::WriteI64(out, config_.sessionizer.sessionize.split_gap_s);
+  io::WriteI64(out, config_.sessionizer.max_lateness_s);
+  io::WriteU64(out, config_.sessionizer.sweep_period);
+
+  io::WriteU64(out, attacks_);
+  io::WriteI64(out, first_start_.seconds());
+  io::WriteI64(out, last_start_.seconds());
+  for (const std::uint64_t n : family_attacks_) io::WriteU64(out, n);
+  for (const std::uint64_t n : protocol_attacks_) io::WriteU64(out, n);
+  io::WriteU64(out, countries_.size());
+  for (const std::string& cc : countries_) io::WriteString(out, cc);
+
+  for (const stats::StreamingStats* w : {&interval_welford_, &duration_welford_}) {
+    io::WriteU64(out, w->count());
+    io::WriteF64(out, w->count() > 0 ? w->mean() : 0.0);
+    io::WriteF64(out, w->m2());
+    io::WriteF64(out, w->count() > 0 ? w->min() : 0.0);
+    io::WriteF64(out, w->count() > 0 ? w->max() : 0.0);
+  }
+  interval_sketch_.SerializeTo(out);
+  duration_sketch_.SerializeTo(out);
+  io::WriteU64(out, intervals_concurrent_);
+  io::WriteU64(out, intervals_1k_10k_);
+  io::WriteU64(out, durations_100_10k_);
+  io::WriteU64(out, durations_under_4h_);
+
+  top_targets_.SerializeTo(out);
+  top_countries_.SerializeTo(out);
+  distinct_targets_.SerializeTo(out);
+  distinct_botnets_.SerializeTo(out);
+
+  collab_.SerializeTo(out);
+  sessionizer_.SerializeTo(out);
+
+  io::WriteU64(out, window_starts_.size());
+  for (const TimePoint t : window_starts_) io::WriteI64(out, t.seconds());
+}
+
+StreamEngine StreamEngine::Deserialize(std::istream& in) {
+  StreamEngineConfig config;
+  config.quantile_epsilon = io::ReadF64(in);
+  config.topk_capacity = io::ReadU64(in);
+  config.distinct_k = io::ReadU64(in);
+  config.rolling_window_s = io::ReadI64(in);
+  config.collab.start_window_s = io::ReadI64(in);
+  config.collab.max_duration_diff_s = io::ReadI64(in);
+  config.sessionizer.sessionize.split_gap_s = io::ReadI64(in);
+  config.sessionizer.max_lateness_s = io::ReadI64(in);
+  config.sessionizer.sweep_period =
+      std::max<std::size_t>(io::ReadU64(in), 1);
+
+  StreamEngine engine(config);
+  engine.attacks_ = io::ReadU64(in);
+  engine.first_start_ = TimePoint(io::ReadI64(in));
+  engine.last_start_ = TimePoint(io::ReadI64(in));
+  for (std::uint64_t& n : engine.family_attacks_) n = io::ReadU64(in);
+  for (std::uint64_t& n : engine.protocol_attacks_) n = io::ReadU64(in);
+  const std::uint64_t n_countries = io::ReadU64(in);
+  for (std::uint64_t i = 0; i < n_countries; ++i) {
+    engine.countries_.insert(io::ReadString(in));
+  }
+
+  for (stats::StreamingStats* w :
+       {&engine.interval_welford_, &engine.duration_welford_}) {
+    const std::uint64_t count = io::ReadU64(in);
+    const double mean = io::ReadF64(in);
+    const double m2 = io::ReadF64(in);
+    const double min = io::ReadF64(in);
+    const double max = io::ReadF64(in);
+    *w = stats::StreamingStats::FromMoments(count, mean, m2, min, max);
+  }
+  engine.interval_sketch_.DeserializeFrom(in);
+  engine.duration_sketch_.DeserializeFrom(in);
+  engine.intervals_concurrent_ = io::ReadU64(in);
+  engine.intervals_1k_10k_ = io::ReadU64(in);
+  engine.durations_100_10k_ = io::ReadU64(in);
+  engine.durations_under_4h_ = io::ReadU64(in);
+
+  engine.top_targets_.DeserializeFrom(in);
+  engine.top_countries_.DeserializeFrom(in);
+  engine.distinct_targets_.DeserializeFrom(in);
+  engine.distinct_botnets_.DeserializeFrom(in);
+
+  engine.collab_.DeserializeFrom(in);
+  engine.sessionizer_.DeserializeFrom(in);
+
+  const std::uint64_t n_window = io::ReadU64(in);
+  for (std::uint64_t i = 0; i < n_window; ++i) {
+    engine.window_starts_.push_back(TimePoint(io::ReadI64(in)));
+  }
+  return engine;
 }
 
 std::size_t StreamEngine::ApproxMemoryBytes() const {

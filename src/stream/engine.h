@@ -102,6 +102,18 @@ class StreamEngine {
   std::uint64_t attacks_seen() const { return attacks_; }
   std::size_t ApproxMemoryBytes() const;
 
+  // Checkpoint support (see stream/checkpoint.h for the file format).
+  // SerializeTo persists the configuration plus every piece of engine
+  // state - tallies, sketches, open sessionizer runs, pending collaboration
+  // groups, the rolling window - and Deserialize reconstructs an engine
+  // whose Snapshot() is identical to the original's at the instant of
+  // serialization, and which evolves identically under further pushes.
+  // Deserialize throws std::runtime_error on malformed input.
+  void SerializeTo(std::ostream& out) const;
+  static StreamEngine Deserialize(std::istream& in);
+
+  const StreamEngineConfig& config() const { return config_; }
+
  private:
   StreamEngineConfig config_;
 

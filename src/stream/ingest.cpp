@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/binio.h"
+
 namespace ddos::stream {
 
 namespace {
@@ -38,14 +40,26 @@ void StreamSessionizer::Close(const OpenRun& run,
 void StreamSessionizer::Sweep(std::vector<data::AttackRecord>* closed) {
   const std::int64_t horizon =
       config_.sessionize.split_gap_s + config_.max_lateness_s;
+  // Close in start order, not unordered_map order: bucket layout is not part
+  // of the checkpointed state, and emission order feeds order-sensitive
+  // consumers (interval tracking, GK sketches, collaboration windows), so a
+  // resumed sessionizer must sweep identically to one that never stopped.
+  std::vector<OpenRun> expired;
   for (auto it = runs_.begin(); it != runs_.end();) {
     if (watermark_ - it->second.end > horizon) {
-      Close(it->second, closed);
+      expired.push_back(it->second);
       it = runs_.erase(it);
     } else {
       ++it;
     }
   }
+  std::sort(expired.begin(), expired.end(),
+            [](const OpenRun& a, const OpenRun& b) {
+              if (a.start != b.start) return a.start < b.start;
+              if (a.botnet_id != b.botnet_id) return a.botnet_id < b.botnet_id;
+              return a.target_ip < b.target_ip;
+            });
+  for (const OpenRun& run : expired) Close(run, closed);
 }
 
 std::size_t StreamSessionizer::Push(const core::Observation& obs,
@@ -101,6 +115,45 @@ std::size_t StreamSessionizer::Flush(std::vector<data::AttackRecord>* closed) {
 
 std::size_t StreamSessionizer::ApproxMemoryBytes() const {
   return sizeof(*this) + runs_.size() * (sizeof(OpenRun) + 48);
+}
+
+void StreamSessionizer::SerializeTo(std::ostream& out) const {
+  io::WriteU64(out, next_ddos_id_);
+  io::WriteU64(out, pushes_);
+  io::WriteI64(out, watermark_.seconds());
+  io::WriteU32(out, saw_any_ ? 1 : 0);
+  io::WriteU64(out, runs_.size());
+  for (const auto& [key, run] : runs_) {
+    io::WriteU64(out, key);
+    io::WriteU32(out, run.botnet_id);
+    io::WriteU32(out, static_cast<std::uint32_t>(run.family));
+    io::WriteU32(out, run.target_ip.bits());
+    io::WriteI64(out, run.start.seconds());
+    io::WriteI64(out, run.end.seconds());
+    io::WriteU32(out, run.magnitude);
+    for (const std::uint16_t v : run.protocol_votes) io::WriteU16(out, v);
+  }
+}
+
+void StreamSessionizer::DeserializeFrom(std::istream& in) {
+  next_ddos_id_ = io::ReadU64(in);
+  pushes_ = io::ReadU64(in);
+  watermark_ = TimePoint(io::ReadI64(in));
+  saw_any_ = io::ReadU32(in) != 0;
+  const std::uint64_t n = io::ReadU64(in);
+  runs_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t key = io::ReadU64(in);
+    OpenRun run;
+    run.botnet_id = io::ReadU32(in);
+    run.family = static_cast<data::Family>(io::ReadU32(in));
+    run.target_ip = net::IPv4Address(io::ReadU32(in));
+    run.start = TimePoint(io::ReadI64(in));
+    run.end = TimePoint(io::ReadI64(in));
+    run.magnitude = io::ReadU32(in);
+    for (std::uint16_t& v : run.protocol_votes) v = io::ReadU16(in);
+    runs_.emplace(key, run);
+  }
 }
 
 }  // namespace ddos::stream

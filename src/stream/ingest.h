@@ -51,6 +51,13 @@ class StreamSessionizer {
   TimePoint watermark() const { return watermark_; }
   std::size_t ApproxMemoryBytes() const;
 
+  // Checkpoint support: persists the open-run table, watermark and id
+  // cursor, so a resumed sessionizer closes the same attacks with the same
+  // ddos_ids as one that never stopped. The config is not serialized; the
+  // engine restores it from its own checkpointed configuration.
+  void SerializeTo(std::ostream& out) const;
+  void DeserializeFrom(std::istream& in);
+
  private:
   struct OpenRun {
     std::uint32_t botnet_id = 0;

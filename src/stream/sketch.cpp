@@ -72,6 +72,37 @@ std::size_t GkQuantileSketch::ApproxMemoryBytes() const {
   return sizeof(*this) + tuples_.capacity() * sizeof(Tuple);
 }
 
+void GkQuantileSketch::SerializeTo(std::ostream& out) const {
+  io::WriteF64(out, epsilon_);
+  io::WriteU64(out, n_);
+  io::WriteU64(out, compress_period_);
+  io::WriteU64(out, since_compress_);
+  io::WriteU64(out, tuples_.size());
+  for (const Tuple& t : tuples_) {
+    io::WriteF64(out, t.v);
+    io::WriteU64(out, t.g);
+    io::WriteU64(out, t.delta);
+  }
+}
+
+void GkQuantileSketch::DeserializeFrom(std::istream& in) {
+  epsilon_ = io::ReadF64(in);
+  if (!(epsilon_ > 0.0 && epsilon_ < 0.5)) epsilon_ = 0.005;
+  n_ = io::ReadU64(in);
+  compress_period_ = std::max<std::uint64_t>(1, io::ReadU64(in));
+  since_compress_ = io::ReadU64(in);
+  const std::uint64_t count = io::ReadU64(in);
+  tuples_.clear();
+  tuples_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Tuple t;
+    t.v = io::ReadF64(in);
+    t.g = io::ReadU64(in);
+    t.delta = io::ReadU64(in);
+    tuples_.push_back(t);
+  }
+}
+
 KmvDistinctCounter::KmvDistinctCounter(std::size_t k)
     : k_(std::max<std::size_t>(k, 16)) {}
 
@@ -97,6 +128,19 @@ double KmvDistinctCounter::Estimate() const {
 std::size_t KmvDistinctCounter::ApproxMemoryBytes() const {
   // std::set node overhead: three pointers + color, rounded up.
   return sizeof(*this) + smallest_.size() * (sizeof(std::uint64_t) + 40);
+}
+
+void KmvDistinctCounter::SerializeTo(std::ostream& out) const {
+  io::WriteU64(out, k_);
+  io::WriteU64(out, smallest_.size());
+  for (const std::uint64_t h : smallest_) io::WriteU64(out, h);
+}
+
+void KmvDistinctCounter::DeserializeFrom(std::istream& in) {
+  k_ = std::max<std::size_t>(io::ReadU64(in), 16);
+  const std::uint64_t n = io::ReadU64(in);
+  smallest_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) smallest_.insert(io::ReadU64(in));
 }
 
 }  // namespace ddos::stream

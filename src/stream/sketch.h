@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/binio.h"
 #include "common/rng.h"
 
 namespace ddos::stream {
@@ -49,6 +50,11 @@ class GkQuantileSketch {
   double epsilon() const { return epsilon_; }
   std::size_t tuple_count() const { return tuples_.size(); }
   std::size_t ApproxMemoryBytes() const;
+
+  // Checkpoint support: full-state round trip, so a restored sketch answers
+  // every quantile query identically to the original.
+  void SerializeTo(std::ostream& out) const;
+  void DeserializeFrom(std::istream& in);
 
  private:
   struct Tuple {
@@ -122,6 +128,32 @@ class SpaceSaving {
     return counters_.size() * (sizeof(Key) + sizeof(Counter) + 32);
   }
 
+  void SerializeTo(std::ostream& out) const {
+    io::WriteU64(out, capacity_);
+    io::WriteU64(out, total_);
+    io::WriteU64(out, counters_.size());
+    for (const auto& [key, c] : counters_) {
+      io::WriteValue(out, key);
+      io::WriteU64(out, c.count);
+      io::WriteU64(out, c.error);
+    }
+  }
+
+  void DeserializeFrom(std::istream& in) {
+    capacity_ = std::max<std::size_t>(io::ReadU64(in), 1);
+    total_ = io::ReadU64(in);
+    const std::uint64_t n = io::ReadU64(in);
+    counters_.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Key key{};
+      io::ReadValue(in, &key);
+      Counter c;
+      c.count = io::ReadU64(in);
+      c.error = io::ReadU64(in);
+      counters_.emplace(std::move(key), c);
+    }
+  }
+
  private:
   struct Counter {
     std::uint64_t count = 0;
@@ -146,6 +178,9 @@ class KmvDistinctCounter {
 
   std::size_t size() const { return smallest_.size(); }
   std::size_t ApproxMemoryBytes() const;
+
+  void SerializeTo(std::ostream& out) const;
+  void DeserializeFrom(std::istream& in);
 
  private:
   std::size_t k_;

@@ -34,6 +34,44 @@ TEST(CsvLine, EmptyFields) {
   for (const auto& s : f) EXPECT_TRUE(s.empty());
 }
 
+TEST(CsvLine, UnterminatedQuoteIsFlagged) {
+  bool unterminated = false;
+  const auto f = ParseCsvLine("a,\"never closed,b", &unterminated);
+  EXPECT_TRUE(unterminated);
+  ASSERT_EQ(f.size(), 2u);  // the open quote swallows the rest of the line
+  EXPECT_EQ(f[1], "never closed,b");
+
+  unterminated = true;
+  ParseCsvLine("a,\"closed\",b", &unterminated);
+  EXPECT_FALSE(unterminated);
+}
+
+TEST(CsvLine, QuoteInsideUnquotedFieldIsLiteral) {
+  // A quote only opens quoting at field start; mid-field it is data. Real
+  // exports produce this (e.g. inch marks) and it must not derail parsing.
+  bool unterminated = true;
+  const auto f = ParseCsvLine("19\" rack,b,c", &unterminated);
+  EXPECT_FALSE(unterminated);
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "19\" rack");
+  EXPECT_EQ(f[1], "b");
+}
+
+TEST(CsvLine, EmbeddedCarriageReturnInQuotedFieldSurvives) {
+  const auto f = ParseCsvLine("a,\"line1\rline2\",c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "line1\rline2");
+}
+
+TEST(CsvLine, EmptyTrailingFieldIsPreserved) {
+  const auto f = ParseCsvLine("a,b,");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[2], "");
+  const auto quoted = ParseCsvLine("a,b,\"\"");
+  ASSERT_EQ(quoted.size(), 3u);
+  EXPECT_EQ(quoted[2], "");
+}
+
 TEST(CsvEscape, OnlyQuotesWhenNeeded) {
   EXPECT_EQ(CsvEscape("plain"), "plain");
   EXPECT_EQ(CsvEscape("with,comma"), "\"with,comma\"");
@@ -270,6 +308,30 @@ TEST(AttackCsvReader, ThrowsWithLineNumberOnMalformedRow) {
   AttackRecord rec;
   EXPECT_TRUE(reader.Next(&rec));
   EXPECT_THROW(reader.Next(&rec), std::runtime_error);
+}
+
+TEST(AttackCsvReader, ResumeAtSkipsAlreadyConsumedLines) {
+  const auto& ds = ::ddos::testing::SmallDataset();
+  std::stringstream full;
+  WriteAttacksCsv(full, ds.attacks());
+  const std::string text = full.str();
+
+  // Consume the first 100 records with one reader, note its position...
+  std::stringstream first(text);
+  AttackCsvReader head(first);
+  AttackRecord a;
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(head.Next(&a));
+
+  // ...then a fresh reader over the same bytes resumes past them.
+  std::stringstream second(text);
+  AttackCsvReader resumed(second);
+  resumed.ResumeAt(head.line_number(), head.records_read());
+  ASSERT_TRUE(resumed.Next(&a));
+  EXPECT_EQ(a.ddos_id, ds.attacks()[100].ddos_id);
+  std::size_t i = 101;
+  while (resumed.Next(&a)) ++i;
+  EXPECT_EQ(i, ds.attacks().size());
+  EXPECT_EQ(resumed.records_read(), ds.attacks().size());
 }
 
 TEST(AttackCsv, FileSaveLoad) {

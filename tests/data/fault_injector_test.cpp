@@ -1,0 +1,170 @@
+// The fault injector's contract with the resilient reader: corruption is
+// deterministic under a seed, every plant trips exactly the IngestErrorKind
+// it was bucketed under, and in additive mode the clean records survive the
+// round trip untouched.
+#include "data/fault_injector.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "test_support.h"
+
+namespace ddos::data {
+namespace {
+
+std::string CleanCsv(std::size_t max_records = 400) {
+  const auto& ds = ::ddos::testing::SmallDataset();
+  std::stringstream ss;
+  WriteAttacksCsv(
+      ss, ds.attacks().subspan(
+              0, std::min<std::size_t>(ds.attacks().size(), max_records)));
+  return ss.str();
+}
+
+std::string Corrupt(const std::string& clean, const FaultInjectorConfig& config,
+                    FaultStats* stats = nullptr) {
+  std::stringstream in(clean);
+  FaultInjector injector(in, config);
+  std::stringstream out;
+  out << injector.stream().rdbuf();
+  if (stats != nullptr) *stats = injector.stats();
+  return out.str();
+}
+
+TEST(FaultInjector, SameSeedSameBytes) {
+  const std::string clean = CleanCsv();
+  const auto config = FaultInjectorConfig::AllFaults(/*seed=*/7, /*rate=*/0.05);
+  EXPECT_EQ(Corrupt(clean, config), Corrupt(clean, config));
+
+  auto other_seed = config;
+  other_seed.seed = 8;
+  EXPECT_NE(Corrupt(clean, config), Corrupt(clean, other_seed));
+}
+
+TEST(FaultInjector, ZeroRatesPassThrough) {
+  const std::string clean = CleanCsv();
+  FaultInjectorConfig config;  // all rates zero, no torn write
+  FaultStats stats;
+  EXPECT_EQ(Corrupt(clean, config, &stats), clean);
+  EXPECT_EQ(stats.total_injected(), 0u);
+  EXPECT_EQ(stats.corrupted_rows, 0u);
+  EXPECT_GT(stats.clean_rows, 0u);
+}
+
+TEST(FaultInjector, ReportMatchesInjectionExactly) {
+  const std::string clean = CleanCsv();
+  FaultStats stats;
+  const std::string dirty =
+      Corrupt(clean, FaultInjectorConfig::AllFaults(/*seed=*/42, /*rate=*/0.04),
+              &stats);
+  ASSERT_GT(stats.total_injected(), 0u);
+
+  std::stringstream in(dirty);
+  IngestErrorReport report;
+  const auto records = ReadAttacksCsv(in, ParseOptions::Skip(), &report);
+
+  for (int k = 0; k < kIngestErrorKindCount; ++k) {
+    const auto kind = static_cast<IngestErrorKind>(k);
+    EXPECT_EQ(report.count(kind), stats.injected_for(kind))
+        << IngestErrorKindName(kind);
+  }
+  EXPECT_EQ(report.total(), stats.total_injected());
+  EXPECT_EQ(records.size(), stats.clean_rows);
+}
+
+TEST(FaultInjector, AdditiveModeLosesNoCleanRecord) {
+  const std::string clean = CleanCsv();
+  std::stringstream clean_in(clean);
+  const auto expected = ReadAttacksCsv(clean_in);
+
+  const std::string dirty =
+      Corrupt(clean, FaultInjectorConfig::AllFaults(/*seed=*/3, /*rate=*/0.08));
+  std::stringstream dirty_in(dirty);
+  const auto recovered = ReadAttacksCsv(dirty_in, ParseOptions::Skip(), nullptr);
+
+  ASSERT_EQ(recovered.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(recovered[i].ddos_id, expected[i].ddos_id);
+    EXPECT_EQ(recovered[i].start_time, expected[i].start_time);
+    EXPECT_EQ(recovered[i].end_time, expected[i].end_time);
+    EXPECT_EQ(recovered[i].target_ip.bits(), expected[i].target_ip.bits());
+    EXPECT_EQ(recovered[i].magnitude, expected[i].magnitude);
+  }
+}
+
+TEST(FaultInjector, DestructiveModeLosesExactlyTheCorruptedRows) {
+  const std::string clean = CleanCsv();
+  std::stringstream clean_in(clean);
+  const auto expected = ReadAttacksCsv(clean_in);
+
+  auto config = FaultInjectorConfig::AllFaults(/*seed=*/11, /*rate=*/0.05);
+  config.destructive = true;
+  config.torn_final_write = false;
+  FaultStats stats;
+  const std::string dirty = Corrupt(clean, config, &stats);
+  ASSERT_GT(stats.lost_rows, 0u);
+
+  std::stringstream dirty_in(dirty);
+  const auto recovered = ReadAttacksCsv(dirty_in, ParseOptions::Skip(), nullptr);
+  EXPECT_EQ(recovered.size(), expected.size() - stats.lost_rows);
+}
+
+TEST(FaultInjector, TornFinalWriteDropsTheNewline) {
+  const std::string clean = CleanCsv(20);
+  FaultInjectorConfig config;
+  config.torn_final_write = true;
+  FaultStats stats;
+  const std::string dirty = Corrupt(clean, config, &stats);
+  EXPECT_EQ(stats.injected_for(IngestErrorKind::kTruncatedLine), 1u);
+  ASSERT_FALSE(dirty.empty());
+  EXPECT_NE(dirty.back(), '\n');
+}
+
+TEST(FaultInjector, SingleFaultClassesArePure) {
+  // Enable one fault class at a time and check only its kind is reported.
+  struct Case {
+    void (*enable)(FaultInjectorConfig*);
+    IngestErrorKind kind;
+  };
+  const Case cases[] = {
+      {[](FaultInjectorConfig* c) { c->truncated_row_rate = 0.3; },
+       IngestErrorKind::kBadFieldCount},
+      {[](FaultInjectorConfig* c) { c->mangled_field_rate = 0.3; },
+       IngestErrorKind::kUnparseableNumber},
+      {[](FaultInjectorConfig* c) { c->bit_flip_rate = 0.3; },
+       IngestErrorKind::kUnparseableNumber},
+      {[](FaultInjectorConfig* c) { c->unterminated_quote_rate = 0.3; },
+       IngestErrorKind::kUnterminatedQuote},
+      {[](FaultInjectorConfig* c) { c->bad_timestamp_rate = 0.3; },
+       IngestErrorKind::kOutOfRangeTimestamp},
+      {[](FaultInjectorConfig* c) { c->negative_duration_rate = 0.3; },
+       IngestErrorKind::kNegativeDuration},
+      {[](FaultInjectorConfig* c) { c->duplicate_row_rate = 0.3; },
+       IngestErrorKind::kDuplicateId},
+  };
+  const std::string clean = CleanCsv(200);
+  for (const Case& c : cases) {
+    FaultInjectorConfig config;
+    config.seed = 5;
+    c.enable(&config);
+    FaultStats stats;
+    const std::string dirty = Corrupt(clean, config, &stats);
+    ASSERT_GT(stats.total_injected(), 0u);
+    EXPECT_EQ(stats.total_injected(), stats.injected_for(c.kind));
+
+    std::stringstream in(dirty);
+    IngestErrorReport report;
+    ReadAttacksCsv(in, ParseOptions::Skip(), &report);
+    EXPECT_EQ(report.count(c.kind), stats.injected_for(c.kind))
+        << IngestErrorKindName(c.kind);
+    EXPECT_EQ(report.total(), stats.total_injected())
+        << IngestErrorKindName(c.kind);
+  }
+}
+
+}  // namespace
+}  // namespace ddos::data

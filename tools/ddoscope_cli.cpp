@@ -13,17 +13,27 @@
 //       Print the next-attack watch list (most-attacked targets first).
 //   ddoscope collab attacks.csv
 //       Detect concurrent collaborations and print the Table-VI view.
-//   ddoscope watch attacks.csv [--window H] [--every N] [--epsilon E]
-//       Tail the trace through the streaming engine: refresh a live summary
-//       every N records (0 = final only) with a rolling H-hour rate window.
-//       Bounded memory regardless of trace size.
+//   ddoscope watch ATTACKS.csv|- [--window H] [--every N] [--epsilon E]
+//                  [--max-lateness S] [--on-error abort|skip|quarantine=F]
+//                  [--checkpoint FILE] [--checkpoint-every N] [--resume]
+//       Tail the trace (or stdin, with `-`) through the streaming engine:
+//       refresh a live summary every N records (0 = final only) with a
+//       rolling H-hour rate window. Bounded memory regardless of trace
+//       size. --on-error selects the fault policy for malformed rows
+//       (default abort); skip and quarantine keep streaming and print a
+//       per-kind error report on exit. --checkpoint persists engine state
+//       every N records (atomic rename), and --resume continues a killed
+//       run from that file, reaching the same final summary as an
+//       uninterrupted run.
 //
 // The CSV schema is Table I of the paper (see data/csv.h), so externally
 // collected traces work with every subcommand except `generate`.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,8 +47,10 @@
 #include "core/report.h"
 #include "core/report_generator.h"
 #include "data/csv.h"
+#include "data/ingest_error.h"
 #include "data/query.h"
 #include "geo/geo_db.h"
+#include "stream/checkpoint.h"
 #include "stream/engine.h"
 
 namespace {
@@ -56,8 +68,11 @@ int Usage() {
                "  ddoscope report ATTACKS.csv REPORT.md\n"
                "  ddoscope predict ATTACKS.csv\n"
                "  ddoscope collab ATTACKS.csv\n"
-               "  ddoscope watch ATTACKS.csv [--window H] [--every N]\n"
-               "                 [--epsilon E]\n");
+               "  ddoscope watch ATTACKS.csv|- [--window H] [--every N]\n"
+               "                 [--epsilon E] [--max-lateness S]\n"
+               "                 [--on-error abort|skip|quarantine=FILE]\n"
+               "                 [--checkpoint FILE] [--checkpoint-every N]\n"
+               "                 [--resume]\n");
   return 2;
 }
 
@@ -68,7 +83,11 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv, int first,
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
       const std::string key = arg.substr(2);
-      if (i + 1 < argc) {
+      // Boolean flags take no value; anything else must not swallow a
+      // following option as its value.
+      const bool is_boolean = key == "resume";
+      if (!is_boolean && i + 1 < argc &&
+          std::string(argv[i + 1]).rfind("--", 0) != 0) {
         flags[key] = argv[++i];
       } else {
         flags[key] = "";
@@ -302,19 +321,118 @@ int CmdWatch(const std::string& path,
     config.quantile_epsilon =
         ParseDouble(it->second).value_or(config.quantile_epsilon);
   }
+  if (const auto it = flags.find("max-lateness"); it != flags.end()) {
+    config.sessionizer.max_lateness_s =
+        ParseInt64(it->second).value_or(config.sessionizer.max_lateness_s);
+  }
+
+  // Error policy: abort (strict, the default), skip, or quarantine=FILE.
+  data::ParseOptions parse_options;
+  std::unique_ptr<data::QuarantineWriter> quarantine;
+  std::string quarantine_path;
+  if (const auto it = flags.find("on-error"); it != flags.end()) {
+    const std::string& value = it->second;
+    if (value == "abort") {
+      parse_options = data::ParseOptions::Strict();
+    } else if (value == "skip") {
+      parse_options = data::ParseOptions::Skip();
+    } else if (value.rfind("quarantine=", 0) == 0) {
+      quarantine_path = value.substr(std::strlen("quarantine="));
+      if (quarantine_path.empty()) {
+        std::fprintf(stderr, "watch: --on-error quarantine needs a file\n");
+        return 2;
+      }
+      quarantine = std::make_unique<data::QuarantineWriter>(quarantine_path);
+      parse_options = data::ParseOptions::Quarantine(quarantine.get());
+    } else {
+      std::fprintf(stderr,
+                   "watch: --on-error must be abort, skip or "
+                   "quarantine=FILE (got '%s')\n",
+                   value.c_str());
+      return 2;
+    }
+  }
+
+  std::string checkpoint_path;
+  if (const auto it = flags.find("checkpoint"); it != flags.end()) {
+    checkpoint_path = it->second;
+  }
+  std::uint64_t checkpoint_every = 100000;
+  if (const auto it = flags.find("checkpoint-every"); it != flags.end()) {
+    checkpoint_every = static_cast<std::uint64_t>(
+        ParseInt64(it->second)
+            .value_or(static_cast<std::int64_t>(checkpoint_every)));
+  }
+  const bool resume = flags.count("resume") > 0;
+  if (resume && checkpoint_path.empty()) {
+    std::fprintf(stderr, "watch: --resume requires --checkpoint FILE\n");
+    return 2;
+  }
+
+  // `-` tails stdin, the ROADMAP's tail -f / pipe source.
+  const bool from_stdin = path == "-";
+  auto reader = from_stdin
+                    ? std::make_unique<data::AttackCsvReader>(std::cin,
+                                                              parse_options)
+                    : std::make_unique<data::AttackCsvReader>(path,
+                                                              parse_options);
 
   stream::StreamEngine engine(config);
-  data::AttackCsvReader reader(path);
+  stream::CheckpointMeta resumed;
+  if (resume) {
+    engine = stream::ReadCheckpoint(checkpoint_path, &resumed);
+    // The engine (and its config) come from the checkpoint; skip the
+    // already-consumed region of the feed without re-parsing it.
+    reader->ResumeAt(resumed.source_line, resumed.records);
+    window_hours = engine.config().rolling_window_s / kSecondsPerHour;
+    std::printf("resumed from %s: %llu records, source line %llu\n",
+                checkpoint_path.c_str(),
+                static_cast<unsigned long long>(resumed.records),
+                static_cast<unsigned long long>(resumed.source_line));
+  }
+
+  const auto combined_report = [&] {
+    data::IngestErrorReport report = resumed.errors;
+    for (int k = 0; k < data::kIngestErrorKindCount; ++k) {
+      report.counts[static_cast<std::size_t>(k)] +=
+          reader->error_report().counts[static_cast<std::size_t>(k)];
+    }
+    return report;
+  };
+  const auto write_checkpoint = [&] {
+    stream::CheckpointMeta meta;
+    meta.records = reader->records_read();
+    meta.source_line = reader->line_number();
+    meta.errors = combined_report();
+    stream::WriteCheckpoint(checkpoint_path, engine, meta);
+  };
+
   data::AttackRecord attack;
-  while (reader.Next(&attack)) {
+  while (reader->Next(&attack)) {
     engine.Push(attack);
     if (every > 0 && engine.attacks_seen() % every == 0) {
       PrintWatchSnapshot(engine.Snapshot(), false, window_hours);
     }
+    if (!checkpoint_path.empty() && checkpoint_every > 0 &&
+        reader->records_read() % checkpoint_every == 0) {
+      write_checkpoint();
+    }
   }
   engine.Finish();
+  if (!checkpoint_path.empty()) write_checkpoint();
+
+  const data::IngestErrorReport report = combined_report();
+  if (report.total() > 0) {
+    std::printf("%llu malformed rows rejected:\n%s",
+                static_cast<unsigned long long>(report.total()),
+                report.ToString().c_str());
+    if (quarantine != nullptr) {
+      std::printf("quarantined %zu rows to %s\n", quarantine->written(),
+                  quarantine_path.c_str());
+    }
+  }
   if (engine.attacks_seen() == 0) {
-    std::printf("no attacks in %s\n", path.c_str());
+    std::printf("no attacks in %s\n", from_stdin ? "stdin" : path.c_str());
     return 0;
   }
   PrintWatchSnapshot(engine.Snapshot(), true, window_hours);
