@@ -1,17 +1,23 @@
 // Extension: streaming vs batch characterization.
 //
-// Writes the synthetic trace to CSV, then answers three questions about the
+// Writes the synthetic trace to CSV, then answers four questions about the
 // ddos::stream engine: (1) how its ingest throughput compares to the batch
 // load-sort-analyze path, (2) how close the Greenwald-Khanna quantiles are
 // to the exact Ecdf on the Fig 3 (interval) and Fig 7 (duration)
-// distributions, and (3) that engine state stays bounded while the feed
+// distributions, (3) that engine state stays bounded while the feed
 // grows - the trace is replayed at increasing time offsets until the stream
-// is several times the sketch state, with peak memory reported per pass.
+// is several times the sketch state, with peak memory reported per pass -
+// and (4) how sharded ingest (stream/sharded.h) scales with worker count.
+// The shard sweep is also emitted machine-readably to BENCH_streaming.json
+// in the working directory, with the host's hardware thread count alongside
+// (speedups are only physically attainable up to that many shards).
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -22,6 +28,7 @@
 #include "data/csv.h"
 #include "stats/ecdf.h"
 #include "stream/engine.h"
+#include "stream/sharded.h"
 
 namespace {
 
@@ -129,6 +136,88 @@ int main() {
                    std::to_string(last_pass_bytes / 1024)});
   }
   std::printf("%s", growth.Render().c_str());
+
+  // --- Sharded ingest sweep: records/s at 1, 2, 4, 8 worker shards. ---
+  // In-memory records (the CSV reader is benchmarked above) so the sweep
+  // isolates routing + queue + merge cost. The trace is replayed four
+  // times at increasing offsets to make each run long enough to time.
+  std::vector<data::AttackRecord> feed;
+  feed.reserve(ds.attacks().size() * 4);
+  for (int pass = 0; pass < 4; ++pass) {
+    for (data::AttackRecord a : ds.attacks()) {
+      a.start_time += pass * span;
+      a.end_time += pass * span;
+      feed.push_back(std::move(a));
+    }
+  }
+  const unsigned hardware_threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  std::printf("\nsharded ingest sweep (%zu records, %u hardware threads):\n",
+              feed.size(), hardware_threads);
+
+  const auto t_single = std::chrono::steady_clock::now();
+  stream::StreamEngine single_engine;
+  for (const data::AttackRecord& a : feed) single_engine.Push(a);
+  single_engine.Finish();
+  const double single_seconds = SecondsSince(t_single);
+  const double single_rate = static_cast<double>(feed.size()) / single_seconds;
+
+  struct ShardPoint {
+    std::size_t shards = 0;
+    double seconds = 0.0;
+    double rate = 0.0;
+  };
+  std::vector<ShardPoint> sweep;
+  core::TextTable shard_table(
+      {"shards", "seconds", "records/s", "vs single-thread"});
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    stream::ShardedStreamEngineConfig config;
+    config.shards = shards;
+    stream::ShardedStreamEngine engine(config);
+    for (const data::AttackRecord& a : feed) engine.Push(a);
+    engine.Finish();
+    const double seconds = SecondsSince(t0);
+    const double rate = static_cast<double>(feed.size()) / seconds;
+    sweep.push_back({shards, seconds, rate});
+    shard_table.AddRow({std::to_string(shards),
+                        ddos::StrFormat("%.3f", seconds),
+                        ddos::StrFormat("%.0f", rate),
+                        ddos::StrFormat("%.2fx", rate / single_rate)});
+    if (engine.merged().attacks_seen() != feed.size()) {
+      std::printf("ERROR: sharded engine dropped records\n");
+      return 1;
+    }
+  }
+  std::printf("%s", shard_table.Render().c_str());
+  if (hardware_threads < 8) {
+    std::printf("(host has %u hardware thread(s); shard counts above that "
+                "measure queueing overhead, not parallel speedup)\n",
+                hardware_threads);
+  }
+
+  // Machine-readable sweep for CI trend tracking.
+  {
+    std::ofstream json("BENCH_streaming.json");
+    json << "{\n"
+         << "  \"bench\": \"streaming_sharded_ingest\",\n"
+         << "  \"records\": " << feed.size() << ",\n"
+         << "  \"hardware_threads\": " << hardware_threads << ",\n"
+         << "  \"single_thread_records_per_s\": "
+         << ddos::StrFormat("%.0f", single_rate) << ",\n"
+         << "  \"sharded\": [\n";
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      json << "    {\"shards\": " << sweep[i].shards
+           << ", \"seconds\": " << ddos::StrFormat("%.4f", sweep[i].seconds)
+           << ", \"records_per_s\": "
+           << ddos::StrFormat("%.0f", sweep[i].rate)
+           << ", \"speedup_vs_single_thread\": "
+           << ddos::StrFormat("%.3f", sweep[i].rate / single_rate) << "}"
+           << (i + 1 < sweep.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::printf("wrote BENCH_streaming.json\n");
+  }
 
   bench::PrintComparison({
       {"stream/batch attack count", 1.0,

@@ -1,0 +1,79 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace ddos::common {
+
+std::size_t DefaultThreadCount() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ParallelRunner::ParallelRunner(std::size_t threads) {
+  const std::size_t n = threads == 0 ? DefaultThreadCount() : threads;
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ParallelRunner::~ParallelRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ParallelRunner::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ParallelRunner::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+  if (failed_) {
+    failed_ = false;
+    throw std::runtime_error("ParallelRunner task failed: " +
+                             std::exchange(first_error_, std::string()));
+  }
+}
+
+void ParallelRunner::WorkerMain() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++in_flight_;
+    }
+    std::string error;
+    try {
+      task();
+    } catch (const std::exception& e) {
+      error = e.what();
+    } catch (...) {
+      error = "unknown exception";
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (!error.empty() && !failed_) {
+        failed_ = true;
+        first_error_ = std::move(error);
+      }
+      if (tasks_.empty() && in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace ddos::common

@@ -1,0 +1,65 @@
+// Fixed thread pool with a shared work queue.
+//
+// The parallel batch mode (stream/parallel_batch.h) analyzes time
+// partitions concurrently and the benches fan replays out across cores;
+// both need the same primitive: submit closures, wait for all of them.
+// ParallelRunner keeps N threads alive for its whole lifetime so repeated
+// Submit/Wait rounds pay thread-creation cost once, and Wait() doubles as
+// the reduction barrier before merge steps.
+//
+// Exceptions thrown by tasks are captured; the first one is rethrown from
+// Wait() (as std::runtime_error with the original message), so a failing
+// partition analysis surfaces instead of vanishing on a worker thread.
+#ifndef DDOSCOPE_COMMON_PARALLEL_H_
+#define DDOSCOPE_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ddos::common {
+
+// Threads to use when the caller does not say: the hardware concurrency,
+// with a floor of 1 (hardware_concurrency() may report 0).
+std::size_t DefaultThreadCount();
+
+class ParallelRunner {
+ public:
+  // 0 threads means DefaultThreadCount().
+  explicit ParallelRunner(std::size_t threads = 0);
+  ~ParallelRunner();
+
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+  // Enqueues one task. Never blocks; tasks run on the pool's threads.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished, then rethrows the
+  // first captured task exception, if any.
+  void Wait();
+
+  std::size_t thread_count() const { return threads_.size(); }
+
+ private:
+  void WorkerMain();
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // signals workers: task or stop
+  std::condition_variable done_cv_;   // signals Wait(): all drained
+  std::deque<std::function<void()>> tasks_;
+  std::size_t in_flight_ = 0;  // popped but not yet finished
+  bool stop_ = false;
+  bool failed_ = false;
+  std::string first_error_;
+};
+
+}  // namespace ddos::common
+
+#endif  // DDOSCOPE_COMMON_PARALLEL_H_

@@ -1,0 +1,77 @@
+// Bounded single-producer / single-consumer queue (Lamport ring buffer).
+//
+// The sharded stream engine feeds each worker from exactly one reader
+// thread, so the queue only has to be safe for one producer and one
+// consumer. That restriction buys a lock-free ring with two atomic cursors:
+// the producer owns `tail_`, the consumer owns `head_`, and each side only
+// ever *reads* the other's cursor (acquire) and *writes* its own (release).
+// Capacity is rounded up to a power of two so wrap-around is a mask.
+//
+// TryPush/TryPop never block; callers that need backpressure spin with
+// std::this_thread::yield() (see stream/sharded.cpp), which keeps the
+// queue free of futexes and makes its behavior identical under TSan.
+#ifndef DDOSCOPE_COMMON_SPSC_QUEUE_H_
+#define DDOSCOPE_COMMON_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ddos::common {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    ring_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  // Producer side. Returns false when the ring is full.
+  bool TryPush(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) > mask_) return false;
+    ring_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    *out = std::move(ring_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Safe from either side; exact only for that side's view (which is all
+  // the barrier in ShardedStreamEngine needs: the producer observing empty
+  // while it is not pushing means every item was handed to the consumer).
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  std::size_t ApproxMemoryBytes() const {
+    return sizeof(*this) + ring_.size() * sizeof(T);
+  }
+
+ private:
+  std::size_t mask_ = 0;
+  std::vector<T> ring_;
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer cursor
+};
+
+}  // namespace ddos::common
+
+#endif  // DDOSCOPE_COMMON_SPSC_QUEUE_H_

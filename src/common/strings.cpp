@@ -1,7 +1,7 @@
 #include "common/strings.h"
 
 #include <cctype>
-#include <cerrno>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 
@@ -67,23 +67,38 @@ std::string ToLower(std::string_view text) {
   return out;
 }
 
+namespace {
+
+// from_chars rejects the explicit leading '+' that strtoll/strtod accepted;
+// strip it here so the switch stays invisible to callers. "+-5" must still
+// fail, so a sign directly after the plus is rejected.
+std::string_view StripLeadingPlus(std::string_view s, bool* ok) {
+  *ok = true;
+  if (s.empty() || s.front() != '+') return s;
+  s.remove_prefix(1);
+  if (s.empty() || s.front() == '-' || s.front() == '+') *ok = false;
+  return s;
+}
+
+}  // namespace
+
 std::optional<std::int64_t> ParseInt64(std::string_view text) {
-  const std::string s(Trim(text));
-  if (s.empty()) return std::nullopt;
-  errno = 0;
-  char* end = nullptr;
-  const long long v = std::strtoll(s.c_str(), &end, 10);
-  if (errno != 0 || end != s.c_str() + s.size()) return std::nullopt;
-  return static_cast<std::int64_t>(v);
+  bool ok = false;
+  const std::string_view s = StripLeadingPlus(Trim(text), &ok);
+  if (!ok || s.empty()) return std::nullopt;
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
 }
 
 std::optional<double> ParseDouble(std::string_view text) {
-  const std::string s(Trim(text));
-  if (s.empty()) return std::nullopt;
-  errno = 0;
-  char* end = nullptr;
-  const double v = std::strtod(s.c_str(), &end);
-  if (errno != 0 || end != s.c_str() + s.size()) return std::nullopt;
+  bool ok = false;
+  const std::string_view s = StripLeadingPlus(Trim(text), &ok);
+  if (!ok || s.empty()) return std::nullopt;
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
   return v;
 }
 

@@ -152,7 +152,23 @@ std::vector<std::string> ParseCsvLine(const std::string& line) {
 std::vector<std::string> ParseCsvLine(const std::string& line,
                                       bool* unterminated_quote) {
   std::vector<std::string> fields;
-  std::string current;
+  ParseCsvLineInto(line, &fields, unterminated_quote);
+  return fields;
+}
+
+void ParseCsvLineInto(const std::string& line, std::vector<std::string>* fields,
+                      bool* unterminated_quote) {
+  // Appends into the caller's strings in place, so a reader looping over a
+  // fixed-shape file stops allocating once every field has seen its widest
+  // value.
+  std::size_t count = 0;
+  const auto next_field = [fields, &count]() -> std::string& {
+    if (count == fields->size()) fields->emplace_back();
+    std::string& f = (*fields)[count++];
+    f.clear();
+    return f;
+  };
+  std::string* current = &next_field();
   bool in_quotes = false;
   bool at_field_start = true;
   for (std::size_t i = 0; i < line.size(); ++i) {
@@ -160,13 +176,13 @@ std::vector<std::string> ParseCsvLine(const std::string& line,
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < line.size() && line[i + 1] == '"') {
-          current.push_back('"');
+          current->push_back('"');
           ++i;
         } else {
           in_quotes = false;
         }
       } else {
-        current.push_back(c);
+        current->push_back(c);
       }
     } else if (c == '"' && at_field_start) {
       // Only a quote at the start of a field opens quoting; an interior
@@ -174,17 +190,15 @@ std::vector<std::string> ParseCsvLine(const std::string& line,
       in_quotes = true;
       at_field_start = false;
     } else if (c == ',') {
-      fields.push_back(std::move(current));
-      current.clear();
+      current = &next_field();
       at_field_start = true;
     } else {
-      current.push_back(c);
+      current->push_back(c);
       at_field_start = false;
     }
   }
-  fields.push_back(std::move(current));
+  fields->resize(count);
   *unterminated_quote = in_quotes;
-  return fields;
 }
 
 std::string CsvEscape(const std::string& field) {
@@ -240,7 +254,10 @@ AttackCsvReader::AttackCsvReader(const std::string& path, ParseOptions options)
 }
 
 bool AttackCsvReader::Next(AttackRecord* out) {
-  std::string line;
+  // line_ and fields_ are members so their buffers survive across records:
+  // steady state parses a row with zero heap allocations beyond the
+  // record's own strings.
+  std::string& line = line_;
   bool saw_newline;
   while (ReadCsvLine(*in_, &line, &saw_newline)) {
     ++line_no_;
@@ -258,12 +275,12 @@ bool AttackCsvReader::Next(AttackRecord* out) {
                              line.size(), options_.max_line_bytes);
     } else {
       bool unterminated = false;
-      const auto fields = ParseCsvLine(line, &unterminated);
+      ParseCsvLineInto(line, &fields_, &unterminated);
       if (unterminated) {
         err.kind = IngestErrorKind::kUnterminatedQuote;
         err.detail = "line ended inside a quoted field";
       } else {
-        ok = TryParseAttackRow(fields, out, &err);
+        ok = TryParseAttackRow(fields_, out, &err);
       }
       // Any failure on a final line that the stream cut short is reported
       // as the torn write it is, not as whatever field the cut landed in.
@@ -303,12 +320,25 @@ bool AttackCsvReader::Next(AttackRecord* out) {
 }
 
 void AttackCsvReader::ResumeAt(std::size_t line_no, std::size_t records) {
-  std::string line;
-  while (line_no_ < line_no && ReadCsvLine(*in_, &line)) {
+  while (line_no_ < line_no && ReadCsvLine(*in_, &line_)) {
     ++line_no_;
   }
   header_skipped_ = line_no_ >= 1;
   records_ = records;
+}
+
+void AttackCsvReader::ResumeAtRecords(std::size_t records) {
+  // Replay the already-consumed prefix with error reporting silenced: the
+  // pre-checkpoint run already reported (and possibly quarantined) these
+  // rows, and kStrict must not abort a resume over a row it survived before.
+  const ParseOptions saved = options_;
+  options_.policy = ParsePolicy::kSkip;
+  options_.quarantine = nullptr;
+  AttackRecord discard;
+  while (records_ < records && Next(&discard)) {
+  }
+  options_ = saved;
+  report_ = IngestErrorReport{};
 }
 
 void WriteBotnetsCsv(std::ostream& out, std::span<const BotnetRecord> botnets) {

@@ -39,6 +39,12 @@ namespace ddos::data {
 std::vector<std::string> ParseCsvLine(const std::string& line);
 std::vector<std::string> ParseCsvLine(const std::string& line,
                                       bool* unterminated_quote);
+// Allocation-reusing form: splits into *fields, reusing each element's
+// capacity across calls (the hot path of AttackCsvReader, which parses the
+// same 14-column shape millions of times). fields is resized to the field
+// count; contents beyond it are discarded.
+void ParseCsvLineInto(const std::string& line, std::vector<std::string>* fields,
+                      bool* unterminated_quote);
 // Escapes one field for CSV output.
 std::string CsvEscape(const std::string& field);
 
@@ -103,6 +109,14 @@ class AttackCsvReader {
   // validated by the pre-crash run, so its errors are not re-reported.
   void ResumeAt(std::size_t line_no, std::size_t records);
 
+  // Count-based resume for non-seekable feeds (stdin): parses and discards
+  // rows until `records` valid records have been consumed. Unlike ResumeAt
+  // this cannot skip by raw line, so it re-parses the region - but it works
+  // on a pipe, where the pre-checkpoint bytes arrive again only because the
+  // producer replays them. Errors in the replayed region were reported by
+  // the pre-crash run and are suppressed, not re-reported.
+  void ResumeAtRecords(std::size_t records);
+
   std::size_t records_read() const { return records_; }
   std::size_t line_number() const { return line_no_; }
   const IngestErrorReport& error_report() const { return report_; }
@@ -116,6 +130,9 @@ class AttackCsvReader {
   std::size_t line_no_ = 0;
   std::size_t records_ = 0;
   bool header_skipped_ = false;
+  // Scratch reused across Next() calls (hot-loop allocation avoidance).
+  std::string line_;
+  std::vector<std::string> fields_;
 };
 
 void WriteAttacksCsv(std::ostream& out, std::span<const AttackRecord> attacks);

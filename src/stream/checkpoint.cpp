@@ -14,62 +14,46 @@ namespace {
 
 constexpr char kMagic[8] = {'D', 'D', 'S', 'C', 'K', 'P', 'T', '\n'};
 
-void SerializePayload(std::ostream& out, const StreamEngine& engine,
-                      const CheckpointMeta& meta) {
+void WriteMeta(std::ostream& out, const CheckpointMeta& meta) {
   io::WriteU64(out, meta.records);
   io::WriteU64(out, meta.source_line);
   for (const std::uint64_t n : meta.errors.counts) io::WriteU64(out, n);
-  engine.SerializeTo(out);
 }
 
-}  // namespace
+CheckpointMeta ReadMeta(std::istream& in) {
+  CheckpointMeta meta;
+  meta.records = io::ReadU64(in);
+  meta.source_line = io::ReadU64(in);
+  for (std::uint64_t& n : meta.errors.counts) n = io::ReadU64(in);
+  return meta;
+}
 
-void WriteCheckpoint(std::ostream& out, const StreamEngine& engine,
-                     const CheckpointMeta& meta) {
-  std::ostringstream payload_stream;
-  SerializePayload(payload_stream, engine, meta);
-  const std::string payload = payload_stream.str();
-
+// Frames a fully-built payload: magic, version, size, payload, checksum.
+void WriteFramed(std::ostream& out, std::uint32_t version,
+                 const std::string& payload) {
   io::Fnv1a64 checksum;
   checksum.Update(payload);
-
   out.write(kMagic, sizeof(kMagic));
-  io::WriteU32(out, kCheckpointVersion);
+  io::WriteU32(out, version);
   io::WriteU64(out, payload.size());
   out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
   io::WriteU64(out, checksum.digest());
   if (!out) throw std::runtime_error("checkpoint: write failed");
 }
 
-void WriteCheckpoint(const std::string& path, const StreamEngine& engine,
-                     const CheckpointMeta& meta) {
-  // Stage-and-rename: a crash mid-write leaves the previous checkpoint (if
-  // any) untouched, so resume always finds a complete file.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw std::runtime_error("checkpoint: cannot open " + tmp);
-    WriteCheckpoint(out, engine, meta);
-    out.flush();
-    if (!out) throw std::runtime_error("checkpoint: write failed: " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("checkpoint: cannot rename " + tmp + " to " + path);
-  }
-}
-
-StreamEngine ReadCheckpoint(std::istream& in, CheckpointMeta* meta) {
+// Verifies the frame and returns (version, payload).
+std::pair<std::uint32_t, std::string> ReadFramed(std::istream& in) {
   char magic[sizeof(kMagic)];
   if (!in.read(magic, sizeof(magic)) ||
       !std::equal(std::begin(magic), std::end(magic), std::begin(kMagic))) {
     throw std::runtime_error("checkpoint: bad magic (not a checkpoint file)");
   }
   const std::uint32_t version = io::ReadU32(in);
-  if (version != kCheckpointVersion) {
+  if (version != kCheckpointVersion && version != kShardedCheckpointVersion) {
     throw std::runtime_error(
         "checkpoint: unsupported version " + std::to_string(version) +
-        " (expected " + std::to_string(kCheckpointVersion) + ")");
+        " (expected " + std::to_string(kCheckpointVersion) + " or " +
+        std::to_string(kShardedCheckpointVersion) + ")");
   }
   const std::uint64_t payload_size = io::ReadU64(in);
   std::string payload(payload_size, '\0');
@@ -83,21 +67,125 @@ StreamEngine ReadCheckpoint(std::istream& in, CheckpointMeta* meta) {
   if (checksum.digest() != expected) {
     throw std::runtime_error("checkpoint: checksum mismatch (corrupt file)");
   }
+  return {version, std::move(payload)};
+}
 
-  std::istringstream payload_stream(payload);
-  CheckpointMeta m;
-  m.records = io::ReadU64(payload_stream);
-  m.source_line = io::ReadU64(payload_stream);
-  for (std::uint64_t& n : m.errors.counts) n = io::ReadU64(payload_stream);
-  StreamEngine engine = StreamEngine::Deserialize(payload_stream);
-  if (meta != nullptr) *meta = m;
-  return engine;
+// Stage-and-rename: a crash mid-write leaves the previous checkpoint (if
+// any) untouched, so resume always finds a complete file.
+template <typename WriteFn>
+void WriteAtomically(const std::string& path, WriteFn&& write_fn) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("checkpoint: cannot open " + tmp);
+    write_fn(out);
+    out.flush();
+    if (!out) throw std::runtime_error("checkpoint: write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: cannot rename " + tmp + " to " +
+                             path);
+  }
+}
+
+ShardedCheckpointState ParseShardedPayload(std::uint32_t version,
+                                           const std::string& payload) {
+  std::istringstream in(payload);
+  ShardedCheckpointState state;
+  state.meta = ReadMeta(in);
+  if (version == kCheckpointVersion) {
+    state.engines.push_back(StreamEngine::Deserialize(in));
+    const StreamEngine& engine = state.engines.front();
+    state.router_attacks = engine.attacks_seen();
+    state.router_first_start_s = engine.first_start().seconds();
+    state.router_last_start_s = engine.last_start().seconds();
+    return state;
+  }
+  const std::uint32_t shard_count = io::ReadU32(in);
+  if (shard_count == 0 || shard_count > 4096) {
+    throw std::runtime_error("checkpoint: implausible shard count " +
+                             std::to_string(shard_count));
+  }
+  state.router_attacks = io::ReadU64(in);
+  state.router_first_start_s = io::ReadI64(in);
+  state.router_last_start_s = io::ReadI64(in);
+  state.engines.reserve(shard_count);
+  for (std::uint32_t i = 0; i < shard_count; ++i) {
+    state.engines.push_back(StreamEngine::Deserialize(in));
+  }
+  return state;
+}
+
+}  // namespace
+
+void WriteCheckpoint(std::ostream& out, const StreamEngine& engine,
+                     const CheckpointMeta& meta) {
+  std::ostringstream payload;
+  WriteMeta(payload, meta);
+  engine.SerializeTo(payload);
+  WriteFramed(out, kCheckpointVersion, payload.str());
+}
+
+void WriteCheckpoint(const std::string& path, const StreamEngine& engine,
+                     const CheckpointMeta& meta) {
+  WriteAtomically(path, [&](std::ostream& out) {
+    WriteCheckpoint(out, engine, meta);
+  });
+}
+
+StreamEngine ReadCheckpoint(std::istream& in, CheckpointMeta* meta) {
+  auto [version, payload] = ReadFramed(in);
+  ShardedCheckpointState state = ParseShardedPayload(version, payload);
+  if (meta != nullptr) *meta = state.meta;
+  // One section restores bit-identically; several fold through Merge (the
+  // sections are shard-disjoint, so exact tallies stay exact).
+  StreamEngine merged = std::move(state.engines.front());
+  for (std::size_t i = 1; i < state.engines.size(); ++i) {
+    merged.Merge(state.engines[i]);
+  }
+  return merged;
 }
 
 StreamEngine ReadCheckpoint(const std::string& path, CheckpointMeta* meta) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
   return ReadCheckpoint(in, meta);
+}
+
+void WriteShardedCheckpoint(std::ostream& out,
+                            const ShardedCheckpointState& state) {
+  if (state.engines.empty()) {
+    throw std::runtime_error("checkpoint: no engine sections to write");
+  }
+  std::ostringstream payload;
+  WriteMeta(payload, state.meta);
+  io::WriteU32(payload, static_cast<std::uint32_t>(state.engines.size()));
+  io::WriteU64(payload, state.router_attacks);
+  io::WriteI64(payload, state.router_first_start_s);
+  io::WriteI64(payload, state.router_last_start_s);
+  for (const StreamEngine& engine : state.engines) {
+    engine.SerializeTo(payload);
+  }
+  WriteFramed(out, kShardedCheckpointVersion, payload.str());
+}
+
+void WriteShardedCheckpoint(const std::string& path,
+                            const ShardedCheckpointState& state) {
+  WriteAtomically(path, [&](std::ostream& out) {
+    WriteShardedCheckpoint(out, state);
+  });
+}
+
+ShardedCheckpointState ReadShardedCheckpoint(std::istream& in) {
+  auto [version, payload] = ReadFramed(in);
+  return ParseShardedPayload(version, payload);
+}
+
+ShardedCheckpointState ReadShardedCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  return ReadShardedCheckpoint(in);
 }
 
 }  // namespace ddos::stream

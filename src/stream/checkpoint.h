@@ -11,10 +11,18 @@
 //
 //   offset  size  field
 //   0       8     magic "DDSCKPT\n"
-//   8       4     format version (currently 1)
+//   8       4     format version (1 = single engine, 2 = sharded)
 //   12      8     payload size in bytes
-//   20      n     payload: CheckpointMeta, then StreamEngine::SerializeTo
+//   20      n     payload (see below)
 //   20+n    8     FNV-1a 64 checksum of the payload
+//
+// Version 1 payload: CheckpointMeta, then one StreamEngine::SerializeTo.
+// Version 2 payload (sharded ingest, stream/sharded.h): CheckpointMeta,
+// u32 shard count S, router position (u64 attacks, i64 first start, i64
+// last start), then S StreamEngine sections. ReadCheckpoint accepts both
+// versions - a version-2 file with S > 1 is folded into one engine through
+// StreamEngine::Merge - while ReadShardedCheckpoint preserves the sections
+// so a sharded resume can hand each worker its own state back.
 //
 // Readers verify magic, version, size and checksum before touching the
 // payload and throw std::runtime_error on any mismatch: a torn or
@@ -27,6 +35,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "data/ingest_error.h"
 #include "stream/engine.h"
@@ -34,6 +43,7 @@
 namespace ddos::stream {
 
 inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kShardedCheckpointVersion = 2;
 
 // Feed position and ingestion-error tallies at the instant of the
 // checkpoint; what the resume path needs besides the engine itself.
@@ -51,8 +61,32 @@ void WriteCheckpoint(const std::string& path, const StreamEngine& engine,
 
 // Restores an engine and its feed position. Throws std::runtime_error on a
 // missing file, bad magic, unsupported version, or checksum mismatch.
+// Accepts both format versions; a sharded checkpoint is merged into one
+// engine (bit-identical to the section when the file holds exactly one).
 StreamEngine ReadCheckpoint(std::istream& in, CheckpointMeta* meta);
 StreamEngine ReadCheckpoint(const std::string& path, CheckpointMeta* meta);
+
+// The full contents of a version-2 checkpoint: feed position, the router's
+// global interval cursor, and one engine section per shard at the instant
+// of the checkpoint.
+struct ShardedCheckpointState {
+  CheckpointMeta meta;
+  std::uint64_t router_attacks = 0;
+  std::int64_t router_first_start_s = 0;
+  std::int64_t router_last_start_s = 0;
+  std::vector<StreamEngine> engines;
+};
+
+// Serializes a version-2 checkpoint (atomically when given a path).
+void WriteShardedCheckpoint(std::ostream& out,
+                            const ShardedCheckpointState& state);
+void WriteShardedCheckpoint(const std::string& path,
+                            const ShardedCheckpointState& state);
+
+// Reads either version; a version-1 file yields one section with the
+// router cursor reconstructed from the engine itself.
+ShardedCheckpointState ReadShardedCheckpoint(std::istream& in);
+ShardedCheckpointState ReadShardedCheckpoint(const std::string& path);
 
 }  // namespace ddos::stream
 

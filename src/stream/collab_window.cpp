@@ -56,22 +56,26 @@ void WindowedCollabDetector::Sweep() {
 }
 
 void WindowedCollabDetector::Push(const data::AttackRecord& attack) {
-  if (attack.start_time > watermark_ || pushes_ == 0) {
-    watermark_ = attack.start_time;
+  Push(CollabObservation{attack.target_ip.bits(), attack.start_time,
+                         attack.duration_seconds(), attack.family,
+                         attack.botnet_id});
+}
+
+void WindowedCollabDetector::Push(const CollabObservation& obs) {
+  if (obs.start > watermark_ || pushes_ == 0) {
+    watermark_ = obs.start;
   }
   ++pushes_;
 
-  const std::uint32_t key = attack.target_ip.bits();
-  auto [it, inserted] = pending_.try_emplace(key);
+  auto [it, inserted] = pending_.try_emplace(obs.target_bits);
   Pending& pending = it->second;
   if (!inserted) {
-    if (attack.start_time - pending.anchor_start <= config_.start_window_s) {
+    if (obs.start - pending.anchor_start <= config_.start_window_s) {
       // Inside the anchor's window: participate if the duration matches;
       // either way the attack is consumed by this group (batch semantics).
-      if (std::llabs(attack.duration_seconds() - pending.anchor_duration_s) <=
+      if (std::llabs(obs.duration_s - pending.anchor_duration_s) <=
           config_.max_duration_diff_s) {
-        pending.participants.push_back(
-            Participant{attack.family, attack.botnet_id});
+        pending.participants.push_back(Participant{obs.family, obs.botnet_id});
       }
       if (pushes_ % kSweepPeriod == 0) Sweep();
       return;
@@ -79,10 +83,52 @@ void WindowedCollabDetector::Push(const data::AttackRecord& attack) {
     Finalize(pending);  // window left behind: group is complete
     pending = Pending{};
   }
-  pending.anchor_start = attack.start_time;
-  pending.anchor_duration_s = attack.duration_seconds();
-  pending.participants.push_back(Participant{attack.family, attack.botnet_id});
+  pending.anchor_start = obs.start;
+  pending.anchor_duration_s = obs.duration_s;
+  pending.participants.push_back(Participant{obs.family, obs.botnet_id});
   if (pushes_ % kSweepPeriod == 0) Sweep();
+}
+
+void WindowedCollabDetector::Merge(const WindowedCollabDetector& other) {
+  // Copy first so merging an engine into itself (or aliased state) is safe.
+  const WindowedCollabStats other_stats = other.stats_;
+  auto other_pending = other.pending_;
+
+  stats_.events += other_stats.events;
+  stats_.intra_family_events += other_stats.intra_family_events;
+  stats_.inter_family_events += other_stats.inter_family_events;
+  stats_.total_participants += other_stats.total_participants;
+  for (std::size_t i = 0; i < stats_.table.intra.size(); ++i) {
+    stats_.table.intra[i] += other_stats.table.intra[i];
+    stats_.table.inter[i] += other_stats.table.inter[i];
+  }
+  if (pushes_ == 0) {
+    watermark_ = other.watermark_;
+  } else if (other.pushes_ != 0 && other.watermark_ > watermark_) {
+    watermark_ = other.watermark_;
+  }
+  pushes_ += other.pushes_;
+
+  for (auto& [key, theirs] : other_pending) {
+    auto [it, inserted] = pending_.try_emplace(key, std::move(theirs));
+    if (inserted) continue;
+    // Same target pending on both sides (only possible for time-partition
+    // merges; the sharded engine keeps targets disjoint). Keep the group
+    // whose anchor is earlier; if the later anchor still falls inside the
+    // earlier window, its participants join that group, otherwise the
+    // earlier group's verdict is final.
+    Pending& ours = it->second;
+    Pending later = std::move(theirs);
+    if (later.anchor_start < ours.anchor_start) std::swap(ours, later);
+    if (later.anchor_start - ours.anchor_start <= config_.start_window_s) {
+      ours.participants.insert(ours.participants.end(),
+                               later.participants.begin(),
+                               later.participants.end());
+    } else {
+      Finalize(ours);
+      ours = std::move(later);
+    }
+  }
 }
 
 void WindowedCollabDetector::Flush() {

@@ -36,6 +36,19 @@ struct WindowedCollabStats {
   }
 };
 
+// The slice of an attack the detector actually consumes. The sharded
+// engine routes these by target hash (its records are partitioned on a
+// *different* key, botnet id), so a collaboration's participants - which
+// by definition span botnets - still meet in one detector, in the global
+// chronological order the router saw them.
+struct CollabObservation {
+  std::uint32_t target_bits = 0;
+  TimePoint start;
+  std::int64_t duration_s = 0;
+  data::Family family = data::Family::kAldibot;
+  std::uint32_t botnet_id = 0;
+};
+
 class WindowedCollabDetector {
  public:
   explicit WindowedCollabDetector(const core::CollaborationConfig& config = {});
@@ -43,6 +56,18 @@ class WindowedCollabDetector {
   // Attacks must arrive in non-decreasing start-time order (the dataset /
   // attack-CSV order).
   void Push(const data::AttackRecord& attack);
+  void Push(const CollabObservation& obs);
+
+  // Folds another detector in: tallies add, and pending groups on the same
+  // target are stitched - when the later group's anchor falls inside the
+  // earlier one's window its participants join the earlier group,
+  // otherwise the earlier group is finalized and the later one stays
+  // pending. With target-disjoint shards (the sharded engine) pending keys
+  // never collide and the merge is exact; for time-partitioned merges the
+  // stitch is the documented boundary approximation (participants joined
+  // this way skip the duration-difference filter, which the per-shard
+  // detectors already applied against their own anchors).
+  void Merge(const WindowedCollabDetector& other);
 
   // Finalizes every pending group (end of stream). Tallies observed up to
   // here match the batch detector run over the same attacks.

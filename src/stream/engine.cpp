@@ -1,6 +1,7 @@
 #include "stream/engine.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/binio.h"
 
@@ -17,21 +18,17 @@ StreamEngine::StreamEngine(const StreamEngineConfig& config)
       collab_(config.collab),
       sessionizer_(config.sessionizer) {}
 
-void StreamEngine::Push(const data::AttackRecord& attack) {
-  if (attacks_ == 0) {
-    first_start_ = attack.start_time;
-  } else {
-    // Matches AllAttackIntervals over a chronological feed; out-of-order
-    // arrivals clamp to 0, the paper's "simultaneous" bucket.
-    const double gap = std::max<double>(
-        0.0, static_cast<double>(attack.start_time - last_start_));
-    interval_welford_.Add(gap);
-    interval_sketch_.Add(gap);
-    if (gap <= static_cast<double>(core::kConcurrencyWindowS)) {
-      ++intervals_concurrent_;
-    }
-    if (gap >= 1000.0 && gap <= 10000.0) ++intervals_1k_10k_;
+void StreamEngine::AddInterval(double gap) {
+  interval_welford_.Add(gap);
+  interval_sketch_.Add(gap);
+  if (gap <= static_cast<double>(core::kConcurrencyWindowS)) {
+    ++intervals_concurrent_;
   }
+  if (gap >= 1000.0 && gap <= 10000.0) ++intervals_1k_10k_;
+}
+
+void StreamEngine::AddRecord(const data::AttackRecord& attack) {
+  if (attacks_ == 0) first_start_ = attack.start_time;
   last_start_ = std::max(last_start_, attack.start_time);
   ++attacks_;
 
@@ -52,9 +49,83 @@ void StreamEngine::Push(const data::AttackRecord& attack) {
   distinct_targets_.Add(attack.target_ip.bits());
   distinct_botnets_.Add(attack.botnet_id);
 
-  collab_.Push(attack);
-
   window_starts_.push_back(attack.start_time);
+  while (!window_starts_.empty() &&
+         last_start_ - window_starts_.front() > config_.rolling_window_s) {
+    window_starts_.pop_front();
+  }
+}
+
+void StreamEngine::Push(const data::AttackRecord& attack) {
+  if (attacks_ > 0) {
+    // Matches AllAttackIntervals over a chronological feed; out-of-order
+    // arrivals clamp to 0, the paper's "simultaneous" bucket.
+    AddInterval(std::max<double>(
+        0.0, static_cast<double>(attack.start_time - last_start_)));
+  }
+  AddRecord(attack);
+  collab_.Push(attack);
+}
+
+void StreamEngine::PushRouted(const data::AttackRecord& attack, bool has_gap,
+                              double gap) {
+  if (has_gap) AddInterval(std::max(0.0, gap));
+  AddRecord(attack);
+}
+
+void StreamEngine::PushCollab(const CollabObservation& obs) {
+  collab_.Push(obs);
+}
+
+void StreamEngine::Merge(const StreamEngine& other,
+                         const MergeOptions& options) {
+  // The boundary interval first, while last_start_ still marks the end of
+  // this side alone.
+  if (options.stitch_boundary_interval && attacks_ > 0 && other.attacks_ > 0) {
+    AddInterval(std::max<double>(
+        0.0, static_cast<double>(other.first_start_ - last_start_)));
+  }
+  if (other.attacks_ > 0) {
+    first_start_ = attacks_ == 0 ? other.first_start_
+                                 : std::min(first_start_, other.first_start_);
+    last_start_ = attacks_ == 0 ? other.last_start_
+                                : std::max(last_start_, other.last_start_);
+  }
+  attacks_ += other.attacks_;
+
+  for (std::size_t i = 0; i < family_attacks_.size(); ++i) {
+    family_attacks_[i] += other.family_attacks_[i];
+  }
+  for (std::size_t i = 0; i < protocol_attacks_.size(); ++i) {
+    protocol_attacks_[i] += other.protocol_attacks_[i];
+  }
+  countries_.insert(other.countries_.begin(), other.countries_.end());
+
+  interval_welford_.Merge(other.interval_welford_);
+  duration_welford_.Merge(other.duration_welford_);
+  interval_sketch_.Merge(other.interval_sketch_);
+  duration_sketch_.Merge(other.duration_sketch_);
+  intervals_concurrent_ += other.intervals_concurrent_;
+  intervals_1k_10k_ += other.intervals_1k_10k_;
+  durations_100_10k_ += other.durations_100_10k_;
+  durations_under_4h_ += other.durations_under_4h_;
+
+  top_targets_.Merge(other.top_targets_);
+  top_countries_.Merge(other.top_countries_);
+  distinct_targets_.Merge(other.distinct_targets_);
+  distinct_botnets_.Merge(other.distinct_botnets_);
+
+  collab_.Merge(other.collab_);
+  sessionizer_.Merge(other.sessionizer_);
+
+  // Rebuild the rolling window: both deques are sorted (chronological
+  // feeds), so a linear merge plus a re-trim against the merged last start
+  // reproduces exactly the deque a single engine would hold.
+  std::deque<TimePoint> merged_window;
+  std::merge(window_starts_.begin(), window_starts_.end(),
+             other.window_starts_.begin(), other.window_starts_.end(),
+             std::back_inserter(merged_window));
+  window_starts_ = std::move(merged_window);
   while (!window_starts_.empty() &&
          last_start_ - window_starts_.front() > config_.rolling_window_s) {
     window_starts_.pop_front();

@@ -81,12 +81,43 @@ struct StreamSnapshot {
   std::size_t engine_memory_bytes = 0;
 };
 
+struct MergeOptions {
+  // When true, Merge() accounts one extra inter-attack interval for the
+  // boundary between this engine's last start and the other's first - the
+  // gap a single engine would have observed between consecutive time
+  // partitions. Leave false for sharded merges, whose workers were already
+  // fed router-computed global gaps (stream/sharded.h).
+  bool stitch_boundary_interval = false;
+};
+
 class StreamEngine {
  public:
   explicit StreamEngine(const StreamEngineConfig& config = {});
 
   // Consumes one finished attack record.
   void Push(const data::AttackRecord& attack);
+
+  // Sharded-ingest variant (stream/sharded.h). The router that partitions
+  // records by botnet id computes each record's inter-attack gap against
+  // the *global* previous start and ships it here, so the per-shard
+  // interval statistics sum to exactly what a single engine would have
+  // accumulated. has_gap is false only for the globally-first record. The
+  // record does NOT feed this engine's collaboration detector - the router
+  // routes a CollabObservation (partitioned by target, the collaboration
+  // grouping key) through PushCollab() instead.
+  void PushRouted(const data::AttackRecord& attack, bool has_gap, double gap);
+
+  // Feeds one observation to the collaboration detector only. Observations
+  // for one target must arrive in global chronological order.
+  void PushCollab(const CollabObservation& obs);
+
+  // Folds another engine's state in: exact tallies add, sketches merge
+  // under their documented contracts (stream/sketch.h), open sessionizer
+  // runs union, pending collaboration groups stitch, and the rolling
+  // window re-trims against the merged last start. Both engines should
+  // share a configuration; sketch parameters degrade gracefully (max
+  // epsilon, min k) if they differ.
+  void Merge(const StreamEngine& other, const MergeOptions& options = {});
 
   // Consumes one raw monitoring observation; it is sessionized incrementally
   // and any attacks it closes flow into Push(). Note that attacks close in
@@ -100,6 +131,8 @@ class StreamEngine {
   StreamSnapshot Snapshot(std::size_t top_k = 10) const;
 
   std::uint64_t attacks_seen() const { return attacks_; }
+  TimePoint first_start() const { return first_start_; }
+  TimePoint last_start() const { return last_start_; }
   std::size_t ApproxMemoryBytes() const;
 
   // Checkpoint support (see stream/checkpoint.h for the file format).
@@ -115,6 +148,12 @@ class StreamEngine {
   const StreamEngineConfig& config() const { return config_; }
 
  private:
+  // One inter-attack gap into the interval statistics and bands.
+  void AddInterval(double gap);
+  // Everything Push() tallies except the interval and the collaboration
+  // feed - shared by the local and the routed ingest paths.
+  void AddRecord(const data::AttackRecord& attack);
+
   StreamEngineConfig config_;
 
   std::uint64_t attacks_ = 0;

@@ -113,6 +113,31 @@ std::size_t StreamSessionizer::Flush(std::vector<data::AttackRecord>* closed) {
   return closed->size() - before;
 }
 
+void StreamSessionizer::Merge(const StreamSessionizer& other) {
+  next_ddos_id_ = std::max(next_ddos_id_, other.next_ddos_id_);
+  pushes_ += other.pushes_;
+  if (!saw_any_) {
+    watermark_ = other.watermark_;
+    saw_any_ = other.saw_any_;
+  } else if (other.saw_any_ && other.watermark_ > watermark_) {
+    watermark_ = other.watermark_;
+  }
+  for (const auto& [key, theirs] : other.runs_) {
+    auto [it, inserted] = runs_.try_emplace(key, theirs);
+    if (inserted) continue;
+    OpenRun& ours = it->second;
+    ours.start = std::min(ours.start, theirs.start);
+    ours.end = std::max(ours.end, theirs.end);
+    ours.magnitude = std::max(ours.magnitude, theirs.magnitude);
+    for (std::size_t p = 0; p < ours.protocol_votes.size(); ++p) {
+      const std::uint32_t sum = static_cast<std::uint32_t>(
+          ours.protocol_votes[p] + theirs.protocol_votes[p]);
+      ours.protocol_votes[p] = static_cast<std::uint16_t>(
+          std::min<std::uint32_t>(sum, 0xffff));
+    }
+  }
+}
+
 std::size_t StreamSessionizer::ApproxMemoryBytes() const {
   return sizeof(*this) + runs_.size() * (sizeof(OpenRun) + 48);
 }

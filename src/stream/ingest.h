@@ -47,6 +47,13 @@ class StreamSessionizer {
   // Closes every remaining open run (end of stream).
   std::size_t Flush(std::vector<data::AttackRecord>* closed);
 
+  // Folds another sessionizer's open-run table in. Runs keyed the same
+  // (botnet, target) on both sides are unioned (start = min, end = max,
+  // magnitude = max, protocol votes added) - the conservative reading of
+  // the Section II-D merge rule for runs split across partitions. The id
+  // cursor becomes the max so resumed emission never reuses an id.
+  void Merge(const StreamSessionizer& other);
+
   std::size_t open_runs() const { return runs_.size(); }
   TimePoint watermark() const { return watermark_; }
   std::size_t ApproxMemoryBytes() const;

@@ -1,0 +1,54 @@
+#include "stream/parallel_batch.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace ddos::stream {
+
+StreamEngine AnalyzeAttacksInParallel(
+    std::span<const data::AttackRecord> attacks,
+    const ParallelBatchOptions& options) {
+  const std::size_t threads =
+      options.threads == 0 ? common::DefaultThreadCount() : options.threads;
+  std::size_t partitions =
+      options.partitions == 0 ? threads : options.partitions;
+  partitions = std::max<std::size_t>(1, partitions);
+  partitions = std::min(partitions, std::max<std::size_t>(1, attacks.size()));
+
+  StreamEngineConfig partition_config = options.engine;
+  if (partitions > 1) {
+    // Merge error is additive in the worst case; halving the per-partition
+    // epsilon keeps the common pairwise case inside the requested bound.
+    partition_config.quantile_epsilon = options.engine.quantile_epsilon / 2.0;
+  }
+
+  std::vector<StreamEngine> engines;
+  engines.reserve(partitions);
+  for (std::size_t p = 0; p < partitions; ++p) {
+    engines.emplace_back(partition_config);
+  }
+
+  common::ParallelRunner runner(std::min(threads, partitions));
+  for (std::size_t p = 0; p < partitions; ++p) {
+    runner.Submit([&attacks, &engines, p, partitions] {
+      const std::size_t begin = p * attacks.size() / partitions;
+      const std::size_t end = (p + 1) * attacks.size() / partitions;
+      StreamEngine& engine = engines[p];
+      for (std::size_t i = begin; i < end; ++i) engine.Push(attacks[i]);
+    });
+  }
+  runner.Wait();
+
+  // Fold in time order; each seam contributes its boundary interval.
+  StreamEngine merged = std::move(engines.front());
+  for (std::size_t p = 1; p < partitions; ++p) {
+    merged.Merge(engines[p], MergeOptions{.stitch_boundary_interval = true});
+  }
+  merged.Finish();
+  return merged;
+}
+
+}  // namespace ddos::stream

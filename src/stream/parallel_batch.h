@@ -1,0 +1,38 @@
+// Parallel batch analysis: time-partitioned StreamEngines, merged.
+//
+// For a trace that is already on disk there is no ingest queue to hide
+// behind: the bottleneck is the single-threaded Push loop. This splits the
+// chronological record span into contiguous time partitions, runs one
+// StreamEngine per partition on a ParallelRunner pool, and folds the
+// results through StreamEngine::Merge with boundary stitching - each
+// partition seam contributes the one inter-attack interval a single engine
+// would have observed there, so interval and duration band counts are
+// exactly those of a sequential run. Quantiles stay sketch-approximate
+// (partitions run at half epsilon to absorb merge error) and pending
+// collaboration groups that straddle a seam are stitched by the
+// window-overlap heuristic documented in stream/collab_window.h.
+#ifndef DDOSCOPE_STREAM_PARALLEL_BATCH_H_
+#define DDOSCOPE_STREAM_PARALLEL_BATCH_H_
+
+#include <cstddef>
+#include <span>
+
+#include "stream/engine.h"
+
+namespace ddos::stream {
+
+struct ParallelBatchOptions {
+  std::size_t partitions = 0;  // 0: one per worker thread
+  std::size_t threads = 0;     // 0: common::DefaultThreadCount()
+  StreamEngineConfig engine;
+};
+
+// Analyzes `attacks` (chronological, as attack CSVs are written) and
+// returns the merged, Finish()ed engine. Propagates any worker exception.
+StreamEngine AnalyzeAttacksInParallel(
+    std::span<const data::AttackRecord> attacks,
+    const ParallelBatchOptions& options = {});
+
+}  // namespace ddos::stream
+
+#endif  // DDOSCOPE_STREAM_PARALLEL_BATCH_H_

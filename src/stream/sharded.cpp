@@ -1,0 +1,229 @@
+#include "stream/sharded.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "stream/sketch.h"
+
+namespace ddos::stream {
+
+namespace {
+
+// Workers pop up to this many tasks per mutex hold: long enough to
+// amortize the lock, short enough that a snapshot barrier never waits on
+// more than one small batch.
+constexpr std::size_t kWorkerBatch = 256;
+
+}  // namespace
+
+ShardedStreamEngine::ShardedStreamEngine(
+    const ShardedStreamEngineConfig& config)
+    : config_(config), worker_config_(config.engine) {
+  const std::size_t n = std::max<std::size_t>(1, config.shards);
+  // Half epsilon per shard so the merged sketch honors the requested rank
+  // error (merging can double the per-sketch bound; stream/sketch.h).
+  if (n > 1) worker_config_.quantile_epsilon = config.engine.quantile_epsilon / 2.0;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        std::max<std::size_t>(2, config.queue_capacity), worker_config_));
+  }
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, s = shard.get()] { WorkerMain(s); });
+  }
+}
+
+ShardedStreamEngine::~ShardedStreamEngine() {
+  for (auto& shard : shards_) {
+    shard->stop.store(true, std::memory_order_release);
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void ShardedStreamEngine::WorkerMain(Shard* shard) {
+  Task task;
+  for (;;) {
+    bool did_work = false;
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      // Pop AND apply under the mutex: once the router sees the queue
+      // empty and takes this mutex, the engine reflects every routed task.
+      for (std::size_t i = 0; i < kWorkerBatch; ++i) {
+        if (!shard->queue.TryPop(&task)) break;
+        did_work = true;
+        if (task.kind == Task::Kind::kRecord) {
+          shard->engine.PushRouted(task.record, task.has_gap, task.gap);
+        } else {
+          shard->engine.PushCollab(task.obs);
+        }
+      }
+    }
+    if (!did_work) {
+      if (shard->stop.load(std::memory_order_acquire) &&
+          shard->queue.Empty()) {
+        return;
+      }
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ShardedStreamEngine::Enqueue(std::size_t shard_index, Task&& task) {
+  common::SpscQueue<Task>& queue = shards_[shard_index]->queue;
+  while (!queue.TryPush(std::move(task))) {
+    std::this_thread::yield();  // backpressure: ring full, consumer behind
+  }
+}
+
+void ShardedStreamEngine::Push(const data::AttackRecord& attack) {
+  if (finished_) {
+    throw std::logic_error("ShardedStreamEngine: Push after Finish");
+  }
+  Task record_task;
+  record_task.kind = Task::Kind::kRecord;
+  record_task.has_gap = attacks_ > 0;
+  if (record_task.has_gap) {
+    // The global inter-attack gap, computed here where the full feed order
+    // is visible; workers only see their own botnets.
+    record_task.gap = std::max<double>(
+        0.0, static_cast<double>(attack.start_time - last_start_));
+  } else {
+    first_start_ = attack.start_time;
+  }
+  last_start_ = std::max(last_start_, attack.start_time);
+  ++attacks_;
+
+  Task collab_task;
+  collab_task.kind = Task::Kind::kCollab;
+  collab_task.obs =
+      CollabObservation{attack.target_ip.bits(), attack.start_time,
+                        attack.duration_seconds(), attack.family,
+                        attack.botnet_id};
+
+  const std::size_t n = shards_.size();
+  const std::size_t record_shard =
+      static_cast<std::size_t>(MixHash64(attack.botnet_id) % n);
+  const std::size_t collab_shard = static_cast<std::size_t>(
+      MixHash64(collab_task.obs.target_bits) % n);
+  record_task.record = attack;
+  Enqueue(record_shard, std::move(record_task));
+  Enqueue(collab_shard, std::move(collab_task));
+}
+
+void ShardedStreamEngine::DrainBarrier() {
+  for (auto& shard : shards_) {
+    while (!shard->queue.Empty()) std::this_thread::yield();
+    std::lock_guard<std::mutex> lock(shard->mutex);  // flush in-flight batch
+  }
+}
+
+StreamEngine ShardedStreamEngine::MergeShards() {
+  StreamEngine merged(worker_config_);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    merged.Merge(shard->engine);
+  }
+  return merged;
+}
+
+void ShardedStreamEngine::Finish() {
+  if (finished_) return;
+  DrainBarrier();
+  for (auto& shard : shards_) {
+    shard->stop.store(true, std::memory_order_release);
+  }
+  for (auto& shard : shards_) shard->worker.join();
+  merged_ = std::make_unique<StreamEngine>(MergeShards());
+  merged_->Finish();
+  finished_ = true;
+}
+
+const StreamEngine& ShardedStreamEngine::merged() const {
+  if (!finished_) {
+    throw std::logic_error("ShardedStreamEngine: merged() before Finish");
+  }
+  return *merged_;
+}
+
+StreamSnapshot ShardedStreamEngine::Snapshot(std::size_t top_k) {
+  if (finished_) return merged_->Snapshot(top_k);
+  DrainBarrier();
+  return MergeShards().Snapshot(top_k);
+}
+
+void ShardedStreamEngine::SaveCheckpoint(std::ostream& out,
+                                         const CheckpointMeta& meta) {
+  ShardedCheckpointState state;
+  state.meta = meta;
+  state.router_attacks = attacks_;
+  state.router_first_start_s = first_start_.seconds();
+  state.router_last_start_s = last_start_.seconds();
+  DrainBarrier();
+  state.engines.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    state.engines.push_back(shard->engine);
+  }
+  WriteShardedCheckpoint(out, state);
+}
+
+void ShardedStreamEngine::SaveCheckpoint(const std::string& path,
+                                         const CheckpointMeta& meta) {
+  ShardedCheckpointState state;
+  state.meta = meta;
+  state.router_attacks = attacks_;
+  state.router_first_start_s = first_start_.seconds();
+  state.router_last_start_s = last_start_.seconds();
+  DrainBarrier();
+  state.engines.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    state.engines.push_back(shard->engine);
+  }
+  WriteShardedCheckpoint(path, state);
+}
+
+void ShardedStreamEngine::RestoreFrom(const ShardedCheckpointState& state) {
+  if (attacks_ != 0) {
+    throw std::logic_error(
+        "ShardedStreamEngine: RestoreFrom on a non-fresh engine");
+  }
+  attacks_ = state.router_attacks;
+  first_start_ = TimePoint(state.router_first_start_s);
+  last_start_ = TimePoint(state.router_last_start_s);
+  // Round-robin: with an unchanged shard count every section returns to
+  // its own shard (hash routing is stable), so resume is exact; a changed
+  // count still merges correctly, it just re-partitions pending
+  // collaboration targets at the next Finish. The first section landing on
+  // a shard is assigned rather than merged - a merge into an empty engine
+  // may recompress GK tuples, and assignment keeps a same-count resume
+  // bit-identical to the uninterrupted run.
+  std::vector<bool> seeded(shards_.size(), false);
+  for (std::size_t i = 0; i < state.engines.size(); ++i) {
+    const std::size_t dest = i % shards_.size();
+    Shard& shard = *shards_[dest];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (!seeded[dest]) {
+      shard.engine = state.engines[i];
+      seeded[dest] = true;
+    } else {
+      shard.engine.Merge(state.engines[i]);
+    }
+  }
+}
+
+std::size_t ShardedStreamEngine::ApproxMemoryBytes() {
+  std::size_t bytes = sizeof(*this);
+  for (auto& shard : shards_) {
+    bytes += shard->queue.ApproxMemoryBytes();
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    bytes += shard->engine.ApproxMemoryBytes();
+  }
+  if (merged_ != nullptr) bytes += merged_->ApproxMemoryBytes();
+  return bytes;
+}
+
+}  // namespace ddos::stream

@@ -1,0 +1,143 @@
+// ShardedStreamEngine: parallel ingest across N worker StreamEngines.
+//
+// One router thread (the caller of Push) partitions the attack feed across
+// N workers, each owning a private StreamEngine fed through a bounded SPSC
+// queue; Snapshot() and Finish() fold the workers back together through
+// StreamEngine::Merge. Two routing keys keep the merged result faithful to
+// a single engine over the same feed:
+//
+//  * Records shard by hash(botnet_id): per-botnet state (distinct counts,
+//    family tallies) stays local, and load spreads across the paper's
+//    hundreds of botnets. The router computes each record's inter-attack
+//    gap against the GLOBAL previous start before routing, so interval
+//    statistics - counts, concurrency bands, Welford moments - merge to
+//    bit-identical values; only sketch-backed quantiles carry the merged
+//    (still bounded) rank error.
+//  * Collaboration observations shard by hash(target): collaborations are
+//    per-target groups spanning botnets, so target routing keeps every
+//    group's participants on one shard, in global chronological order -
+//    the cross-shard stitch reduces to a union of disjoint pending tables
+//    and the final collaboration tallies are exact.
+//
+// Per-shard quantile sketches run at half the requested epsilon: a GK merge
+// of k sketches is bounded by the max per-sketch error times two in the
+// worst interleaving (stream/sketch.h), so halving keeps the merged view
+// within the configured contract.
+//
+// Threading model: the router is the only producer; workers pop and apply
+// under a per-shard mutex. A barrier (queue drained + mutex acquired) makes
+// Snapshot/checkpoint safe mid-stream without stopping ingestion for longer
+// than the in-flight batch.
+#ifndef DDOSCOPE_STREAM_SHARDED_H_
+#define DDOSCOPE_STREAM_SHARDED_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/spsc_queue.h"
+#include "stream/checkpoint.h"
+#include "stream/engine.h"
+
+namespace ddos::stream {
+
+struct ShardedStreamEngineConfig {
+  std::size_t shards = 2;          // worker engines (clamped to >= 1)
+  std::size_t queue_capacity = 4096;  // per-shard ring slots (rounded to 2^k)
+  StreamEngineConfig engine;       // the requested accuracy contract
+};
+
+class ShardedStreamEngine {
+ public:
+  explicit ShardedStreamEngine(const ShardedStreamEngineConfig& config = {});
+  ~ShardedStreamEngine();
+
+  ShardedStreamEngine(const ShardedStreamEngine&) = delete;
+  ShardedStreamEngine& operator=(const ShardedStreamEngine&) = delete;
+
+  // Routes one attack record; spins (yield) for backpressure when the
+  // destination ring is full. Caller thread only - single producer.
+  void Push(const data::AttackRecord& attack);
+
+  // End of stream: drains the queues, stops the workers, and folds every
+  // shard into the merged engine (including StreamEngine::Finish, which
+  // flushes pending collaboration groups). Push must not be called after.
+  void Finish();
+
+  // Live view: barrier + merge a copy of every shard. Matches what a
+  // single engine's Snapshot() would show mid-stream, except that
+  // collaboration events a single engine's periodic sweep would already
+  // have counted may still be pending (they are identical after Finish).
+  StreamSnapshot Snapshot(std::size_t top_k = 10);
+
+  // The folded engine; valid only after Finish().
+  const StreamEngine& merged() const;
+
+  // Checkpointing (version-2 sharded format, stream/checkpoint.h). Safe
+  // mid-stream: takes the same barrier as Snapshot.
+  void SaveCheckpoint(std::ostream& out, const CheckpointMeta& meta);
+  void SaveCheckpoint(const std::string& path, const CheckpointMeta& meta);
+
+  // Seeds a fresh (never-pushed) sharded engine from a checkpoint. The
+  // state's sections are distributed round-robin, so a checkpoint written
+  // with S shards restores into any shard count; with the same count each
+  // section lands back on its own shard and resumed results are exactly
+  // those of an uninterrupted run (different counts re-partition pending
+  // collaboration targets, which can stitch group boundaries differently).
+  void RestoreFrom(const ShardedCheckpointState& state);
+
+  std::uint64_t attacks_seen() const { return attacks_; }
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t ApproxMemoryBytes();
+
+ private:
+  struct Task {
+    enum class Kind : std::uint8_t { kRecord, kCollab };
+    Kind kind = Kind::kRecord;
+    bool has_gap = false;
+    double gap = 0.0;
+    data::AttackRecord record;  // kRecord
+    CollabObservation obs;      // kCollab
+  };
+
+  struct Shard {
+    explicit Shard(std::size_t queue_capacity,
+                   const StreamEngineConfig& engine_config)
+        : queue(queue_capacity), engine(engine_config) {}
+
+    common::SpscQueue<Task> queue;
+    std::mutex mutex;        // guards engine
+    StreamEngine engine;
+    std::atomic<bool> stop{false};
+    std::thread worker;
+  };
+
+  void WorkerMain(Shard* shard);
+  void Enqueue(std::size_t shard_index, Task&& task);
+  // Router-side barrier: every queue observed empty and every shard mutex
+  // acquired once => all routed work has been applied. Correct because the
+  // router (the sole producer) is the thread calling it.
+  void DrainBarrier();
+  StreamEngine MergeShards();
+
+  ShardedStreamEngineConfig config_;
+  StreamEngineConfig worker_config_;  // config_.engine at epsilon / 2
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Router state (caller thread only).
+  std::uint64_t attacks_ = 0;
+  TimePoint first_start_;
+  TimePoint last_start_;
+
+  std::unique_ptr<StreamEngine> merged_;  // set by Finish()
+  bool finished_ = false;
+};
+
+}  // namespace ddos::stream
+
+#endif  // DDOSCOPE_STREAM_SHARDED_H_

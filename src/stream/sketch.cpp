@@ -30,6 +30,47 @@ void GkQuantileSketch::Add(double x) {
   }
 }
 
+void GkQuantileSketch::Merge(const GkQuantileSketch& other) {
+  if (other.n_ == 0) return;
+  epsilon_ = std::max(epsilon_, other.epsilon_);
+  compress_period_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(1.0 / (2.0 * epsilon_)));
+  if (n_ == 0) {
+    n_ = other.n_;
+    tuples_ = other.tuples_;
+    since_compress_ = 0;
+    Compress();
+    return;
+  }
+  // Classical COMBINE: interleave by value; a tuple adopted from one side
+  // additionally absorbs the rank uncertainty of its successor on the
+  // other side (g + delta - 1), so rmin/rmax stay valid bounds over the
+  // union. Ends stay exact: the global min's successor has g = 1, delta =
+  // 0 and the global max has no successor.
+  const auto successor_slack = [](const std::vector<Tuple>& tuples,
+                                  std::size_t next) -> std::uint64_t {
+    return next < tuples.size() ? tuples[next].g + tuples[next].delta - 1 : 0;
+  };
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + other.tuples_.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < tuples_.size() || j < other.tuples_.size()) {
+    const bool take_ours =
+        j >= other.tuples_.size() ||
+        (i < tuples_.size() && tuples_[i].v <= other.tuples_[j].v);
+    Tuple t = take_ours ? tuples_[i] : other.tuples_[j];
+    t.delta += take_ours ? successor_slack(other.tuples_, j)
+                         : successor_slack(tuples_, i);
+    (take_ours ? i : j) += 1;
+    merged.push_back(t);
+  }
+  tuples_ = std::move(merged);
+  n_ += other.n_;
+  since_compress_ = 0;
+  Compress();
+}
+
 void GkQuantileSketch::Compress() {
   if (tuples_.size() < 3) return;
   const std::uint64_t cap = MaxGap();
@@ -115,6 +156,12 @@ void KmvDistinctCounter::Add(std::uint64_t key) {
   const auto last = std::prev(smallest_.end());
   if (h >= *last) return;  // not among the k smallest
   if (smallest_.insert(h).second) smallest_.erase(std::prev(smallest_.end()));
+}
+
+void KmvDistinctCounter::Merge(const KmvDistinctCounter& other) {
+  k_ = std::min(k_, other.k_);
+  smallest_.insert(other.smallest_.begin(), other.smallest_.end());
+  while (smallest_.size() > k_) smallest_.erase(std::prev(smallest_.end()));
 }
 
 double KmvDistinctCounter::Estimate() const {

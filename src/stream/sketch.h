@@ -16,6 +16,20 @@
 //  * KmvDistinctCounter - K-minimum-values distinct-count estimator:
 //    keeps the k smallest 64-bit hashes seen; relative standard error is
 //    about 1/sqrt(k-2) (~3% at k = 1024). Exact below k distinct keys.
+//
+// Mergeability (the foundation of the sharded engine, stream/sharded.h):
+// all three sketches support Merge(other) with a merged accuracy contract.
+// KMV merges losslessly - the k smallest hashes of a union are always
+// contained in the union of each side's k smallest, so a merged counter is
+// bit-identical to one that saw the whole stream. Space-saving merges by
+// summing per-key counts and errors (both bounds stay valid); if the union
+// overflows capacity the smallest counters are dropped, which weakens the
+// retained-above-total/m guarantee but never breaks a bound. GK merges by
+// interleaving tuple lists, inflating each tuple's delta by the rank
+// uncertainty of its successor from the other sketch (the classical
+// COMBINE), so rmin/rmax stay valid; worst-case rank error after merging
+// sketches of error eps_a and eps_b is eps_a + eps_b, which is why the
+// sharded engine runs its per-shard sketches at half the requested epsilon.
 #ifndef DDOSCOPE_STREAM_SKETCH_H_
 #define DDOSCOPE_STREAM_SKETCH_H_
 
@@ -41,6 +55,12 @@ class GkQuantileSketch {
   explicit GkQuantileSketch(double epsilon = 0.005);
 
   void Add(double x);
+
+  // Folds another sketch in. Tuples keep valid rank bounds (deltas are
+  // inflated by the other side's local uncertainty), so queries stay
+  // conservative; the merged error bound is the sum of both epsilons and
+  // epsilon() becomes the max of the two.
+  void Merge(const GkQuantileSketch& other);
 
   // Value whose rank over all added samples is within epsilon*n + 1 of
   // ceil(q*n). q is clamped to [0, 1]. Returns 0 for an empty sketch.
@@ -104,6 +124,33 @@ class SpaceSaving {
     const std::uint64_t floor = min_it->second.count;
     counters_.erase(min_it);
     counters_.emplace(key, Counter{floor + weight, floor});
+  }
+
+  // Sums the other sketch's counters into this one. Counts remain upper
+  // bounds and count - error remains a lower bound for every retained key.
+  // If the union exceeds capacity the smallest counters are evicted
+  // (deterministically: smallest count first, ties by larger key), which
+  // loses their - necessarily small - mass from the reported top-k.
+  void Merge(const SpaceSaving& other) {
+    total_ += other.total_;
+    for (const auto& [key, c] : other.counters_) {
+      auto [it, inserted] = counters_.try_emplace(key, c);
+      if (!inserted) {
+        it->second.count += c.count;
+        it->second.error += c.error;
+      }
+    }
+    if (counters_.size() <= capacity_) return;
+    std::vector<std::pair<Key, Counter>> all(counters_.begin(),
+                                             counters_.end());
+    std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+      if (a.second.count != b.second.count)
+        return a.second.count > b.second.count;
+      return a.first < b.first;
+    });
+    all.resize(capacity_);
+    counters_.clear();
+    for (auto& [key, c] : all) counters_.emplace(std::move(key), c);
   }
 
   // Entries with the k largest counts, descending (ties by key ascending).
@@ -171,6 +218,12 @@ class KmvDistinctCounter {
   explicit KmvDistinctCounter(std::size_t k = 1024);
 
   void Add(std::uint64_t key);
+
+  // Folds another counter in: union the retained hashes, keep the k
+  // smallest (k becomes the smaller of the two if they differ). Because
+  // every one of the union's k smallest hashes is within its own side's k
+  // smallest, a merged counter is bit-identical to one fed both streams.
+  void Merge(const KmvDistinctCounter& other);
 
   // Estimated number of distinct keys added; exact while fewer than k
   // distinct keys have been seen.

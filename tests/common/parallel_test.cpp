@@ -1,0 +1,148 @@
+// ParallelRunner and SpscQueue: the concurrency primitives the sharded
+// engine and the parallel batch mode are built on. These are the tests the
+// CI ThreadSanitizer job exists for - the stress cases push real contention
+// through both primitives.
+#include "common/parallel.h"
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/spsc_queue.h"
+
+namespace ddos::common {
+namespace {
+
+TEST(ParallelRunner, RunsEverySubmittedTask) {
+  ParallelRunner runner(4);
+  EXPECT_EQ(runner.thread_count(), 4u);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    runner.Submit([&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); });
+  }
+  runner.Wait();
+  EXPECT_EQ(sum.load(), 100 * 101 / 2);
+}
+
+TEST(ParallelRunner, WaitIsReusableAcrossRounds) {
+  ParallelRunner runner(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      runner.Submit([&count] { count.fetch_add(1); });
+    }
+    runner.Wait();
+    EXPECT_EQ(count.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ParallelRunner, FirstTaskExceptionSurfacesFromWait) {
+  ParallelRunner runner(2);
+  std::atomic<int> survivors{0};
+  runner.Submit([] { throw std::runtime_error("partition 3 exploded"); });
+  for (int i = 0; i < 8; ++i) {
+    runner.Submit([&survivors] { survivors.fetch_add(1); });
+  }
+  try {
+    runner.Wait();
+    FAIL() << "Wait() should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("partition 3 exploded"),
+              std::string::npos);
+  }
+  // Other tasks still ran; the pool is still usable after a failure.
+  EXPECT_EQ(survivors.load(), 8);
+  std::atomic<bool> ran{false};
+  runner.Submit([&ran] { ran.store(true); });
+  runner.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ParallelRunner, ZeroThreadsMeansHardwareDefault) {
+  ParallelRunner runner;
+  EXPECT_GE(runner.thread_count(), 1u);
+  EXPECT_EQ(runner.thread_count(), DefaultThreadCount());
+}
+
+TEST(ParallelRunner, DestructorJoinsWithoutWait) {
+  std::atomic<int> count{0};
+  {
+    ParallelRunner runner(3);
+    for (int i = 0; i < 20; ++i) {
+      runner.Submit([&count] { count.fetch_add(1); });
+    }
+    // No Wait(): the destructor must drain or abandon safely without
+    // leaking threads; either way it must not race on `count`.
+  }
+  EXPECT_LE(count.load(), 20);
+}
+
+TEST(SpscQueue, CapacityRoundsUpToPowerOfTwo) {
+  SpscQueue<int> queue(5);
+  EXPECT_EQ(queue.capacity(), 8u);
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(SpscQueue, FillsToCapacityThenRejects) {
+  SpscQueue<int> queue(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.TryPush(int(i)));
+  int rejected = 99;
+  EXPECT_FALSE(queue.TryPush(std::move(rejected)));
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(queue.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(queue.TryPop(&out));
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(SpscQueue, MovesNonTrivialElements) {
+  SpscQueue<std::vector<int>> queue(2);
+  std::vector<int> in = {1, 2, 3};
+  EXPECT_TRUE(queue.TryPush(std::move(in)));
+  std::vector<int> out;
+  EXPECT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+// The shape the sharded engine uses: one producer spinning on TryPush, one
+// consumer spinning on TryPop, with the ring much smaller than the stream
+// so wrap-around and backpressure both happen constantly. Every value must
+// arrive exactly once, in order.
+TEST(SpscQueue, ProducerConsumerStressPreservesOrderAndCount) {
+  constexpr std::uint64_t kItems = 200000;
+  SpscQueue<std::uint64_t> queue(64);
+  std::uint64_t checksum = 0;
+  std::uint64_t expected_next = 0;
+  std::thread consumer([&] {
+    std::uint64_t value = 0;
+    for (std::uint64_t i = 0; i < kItems;) {
+      if (queue.TryPop(&value)) {
+        EXPECT_EQ(value, expected_next);
+        ++expected_next;
+        checksum += value;
+        ++i;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    std::uint64_t v = i;
+    while (!queue.TryPush(std::move(v))) std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_EQ(expected_next, kItems);
+  EXPECT_EQ(checksum, kItems * (kItems - 1) / 2);
+}
+
+}  // namespace
+}  // namespace ddos::common

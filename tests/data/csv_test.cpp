@@ -1,6 +1,9 @@
 #include "data/csv.h"
 
+#include <span>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -332,6 +335,119 @@ TEST(AttackCsvReader, ResumeAtSkipsAlreadyConsumedLines) {
   while (resumed.Next(&a)) ++i;
   EXPECT_EQ(i, ds.attacks().size());
   EXPECT_EQ(resumed.records_read(), ds.attacks().size());
+}
+
+TEST(CsvLine, ParseCsvLineIntoReusesFieldStorage) {
+  std::vector<std::string> fields;
+  bool unterminated = false;
+  ParseCsvLineInto("a,\"x, y\",c", &fields, &unterminated);
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "x, y");
+  EXPECT_FALSE(unterminated);
+  // A shorter line must shrink the vector and clear stale contents.
+  ParseCsvLineInto("p,q", &fields, &unterminated);
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "p");
+  EXPECT_EQ(fields[1], "q");
+  // Agreement with the allocating form on a quoted edge case.
+  ParseCsvLineInto("\"he said \"\"hi\"\"\",b,", &fields, &unterminated);
+  EXPECT_EQ(fields, ParseCsvLine("\"he said \"\"hi\"\"\",b,"));
+}
+
+// Regression for `ddoscope watch - --checkpoint`: stdin cannot seek, so
+// resume must skip by record count (re-parsing the replayed prefix), not by
+// raw line number.
+TEST(AttackCsvReader, ResumeAtRecordsSkipsConsumedPrefixOnReplayedFeed) {
+  const auto& ds = ::ddos::testing::SmallDataset();
+  std::stringstream full;
+  WriteAttacksCsv(full, ds.attacks());
+  const std::string text = full.str();
+
+  // First run consumed 100 records, then "crashed".
+  std::stringstream first(text);
+  AttackCsvReader head(first, ParseOptions::Skip());
+  AttackRecord a;
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(head.Next(&a));
+
+  // The pipe replays the same bytes from the start; a count-based resume
+  // lands exactly on record 101.
+  std::stringstream replay(text);
+  AttackCsvReader resumed(replay, ParseOptions::Skip());
+  resumed.ResumeAtRecords(head.records_read());
+  EXPECT_EQ(resumed.records_read(), 100u);
+  ASSERT_TRUE(resumed.Next(&a));
+  EXPECT_EQ(a.ddos_id, ds.attacks()[100].ddos_id);
+  std::size_t i = 101;
+  while (resumed.Next(&a)) ++i;
+  EXPECT_EQ(i, ds.attacks().size());
+  EXPECT_EQ(resumed.records_read(), ds.attacks().size());
+}
+
+TEST(AttackCsvReader, ResumeAtRecordsSuppressesReplayedErrors) {
+  const auto& ds = ::ddos::testing::SmallDataset();
+  std::stringstream full;
+  WriteAttacksCsv(
+      full, std::span<const AttackRecord>(ds.attacks().data(), 20));
+  // Wedge garbage rows into the replayed region and one after it.
+  std::vector<std::string> lines;
+  {
+    std::string line;
+    std::stringstream src(full.str());
+    while (std::getline(src, line)) lines.push_back(line);
+  }
+  lines.insert(lines.begin() + 5, "not,a,record");
+  lines.insert(lines.begin() + 9, "also,not,a,record");
+  lines.push_back("trailing,garbage");
+  std::string text;
+  for (const std::string& l : lines) text += l + "\n";
+
+  std::stringstream replay(text);
+  AttackCsvReader resumed(replay, ParseOptions::Skip());
+  resumed.ResumeAtRecords(10);
+  // Errors inside the replayed prefix were reported by the pre-crash run;
+  // the resumed reader must not double-count them...
+  EXPECT_EQ(resumed.error_report().total(), 0u);
+  AttackRecord a;
+  std::size_t read = 0;
+  while (resumed.Next(&a)) {
+    EXPECT_EQ(a.ddos_id, ds.attacks()[10 + read].ddos_id);
+    ++read;
+  }
+  EXPECT_EQ(read, 10u);
+  // ...but fresh errors past the resume point still count.
+  EXPECT_EQ(resumed.error_report().total(), 1u);
+}
+
+// Line-layout drift between the original feed and the replay (here: the
+// producer dropped the quarantined rows) breaks line-offset resume but not
+// count-based resume.
+TEST(AttackCsvReader, ResumeAtRecordsSurvivesLineLayoutDrift) {
+  const auto& ds = ::ddos::testing::SmallDataset();
+  std::stringstream clean;
+  WriteAttacksCsv(
+      clean, std::span<const AttackRecord>(ds.attacks().data(), 20));
+
+  // The original run saw garbage interleaved (so its line numbers drifted).
+  std::vector<std::string> lines;
+  {
+    std::string line;
+    std::stringstream src(clean.str());
+    while (std::getline(src, line)) lines.push_back(line);
+  }
+  lines.insert(lines.begin() + 3, "garbage,row");
+  std::string dirty;
+  for (const std::string& l : lines) dirty += l + "\n";
+  std::stringstream first(dirty);
+  AttackCsvReader head(first, ParseOptions::Skip());
+  AttackRecord a;
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(head.Next(&a));
+
+  // The replay is the cleaned feed: same records, different line numbers.
+  std::stringstream replay(clean.str());
+  AttackCsvReader resumed(replay, ParseOptions::Skip());
+  resumed.ResumeAtRecords(head.records_read());
+  ASSERT_TRUE(resumed.Next(&a));
+  EXPECT_EQ(a.ddos_id, ds.attacks()[10].ddos_id);
 }
 
 TEST(AttackCsv, FileSaveLoad) {

@@ -1,0 +1,278 @@
+// Merge contracts of the streaming sketches and of StreamEngine itself:
+// the foundation the sharded engine (stream/sharded.h) and the parallel
+// batch path (stream/parallel_batch.h) stand on. KMV merges must be
+// bit-identical to a single-stream counter; space-saving merges exact
+// while under capacity; GK merges within the summed rank-error bound; and
+// a StreamEngine folded from contiguous chunks must agree with one that
+// saw the whole feed.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stream/engine.h"
+#include "stream/parallel_batch.h"
+#include "stream/sketch.h"
+#include "test_support.h"
+
+namespace ddos::stream {
+namespace {
+
+const data::Dataset& Trace() { return ::ddos::testing::SmallDataset(); }
+
+void ExpectRankWithinBound(std::span<const double> sample, double estimate,
+                           double q, double epsilon) {
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  const double bound = epsilon * n + 1.0;
+  const double rank_lo = static_cast<double>(
+      std::lower_bound(sorted.begin(), sorted.end(), estimate) -
+      sorted.begin());
+  const double rank_hi = static_cast<double>(
+      std::upper_bound(sorted.begin(), sorted.end(), estimate) -
+      sorted.begin());
+  EXPECT_LE(rank_lo - bound, q * n) << "q=" << q << " estimate=" << estimate;
+  EXPECT_GE(rank_hi + bound, q * n) << "q=" << q << " estimate=" << estimate;
+}
+
+TEST(GkQuantileSketchMerge, MergedSketchHonorsSummedErrorBound) {
+  SplitMix64 rng(7);
+  std::vector<double> all;
+  GkQuantileSketch left(0.01);
+  GkQuantileSketch right(0.01);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = static_cast<double>(rng.Next() % 1000000) / 37.0;
+    all.push_back(x);
+    (i % 2 == 0 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.size());
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    ExpectRankWithinBound(all, left.Quantile(q), q, 0.02);
+  }
+}
+
+TEST(GkQuantileSketchMerge, MergeIntoEmptyAndFromEmpty) {
+  GkQuantileSketch a(0.01);
+  GkQuantileSketch b(0.01);
+  for (int i = 0; i < 100; ++i) b.Add(static_cast<double>(i));
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(a.Quantile(1.0), 99.0);
+  const std::uint64_t before = a.count();
+  a.Merge(GkQuantileSketch(0.01));  // merging an empty sketch is a no-op
+  EXPECT_EQ(a.count(), before);
+}
+
+TEST(GkQuantileSketchMerge, ExtremesStayExactAcrossMerge) {
+  SplitMix64 rng(11);
+  GkQuantileSketch left(0.005);
+  GkQuantileSketch right(0.005);
+  double min_seen = 1e300;
+  double max_seen = -1e300;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = static_cast<double>(rng.Next() % 100000);
+    min_seen = std::min(min_seen, x);
+    max_seen = std::max(max_seen, x);
+    (x < 50000 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_DOUBLE_EQ(left.Quantile(0.0), min_seen);
+  EXPECT_DOUBLE_EQ(left.Quantile(1.0), max_seen);
+}
+
+TEST(SpaceSavingMerge, ExactWhileUnderCapacity) {
+  SpaceSaving<std::uint32_t> left(64);
+  SpaceSaving<std::uint32_t> right(64);
+  SpaceSaving<std::uint32_t> reference(64);
+  for (std::uint32_t key = 0; key < 20; ++key) {
+    for (std::uint32_t i = 0; i <= key; ++i) {
+      (key % 2 == 0 ? left : right).Add(key);
+      reference.Add(key);
+    }
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.total(), reference.total());
+  const auto merged_top = left.TopK(20);
+  const auto reference_top = reference.TopK(20);
+  ASSERT_EQ(merged_top.size(), reference_top.size());
+  for (std::size_t i = 0; i < merged_top.size(); ++i) {
+    EXPECT_EQ(merged_top[i].key, reference_top[i].key);
+    EXPECT_EQ(merged_top[i].count, reference_top[i].count);
+    EXPECT_EQ(merged_top[i].error, 0u);
+  }
+}
+
+TEST(SpaceSavingMerge, OverflowTrimsDeterministicallyAndKeepsHeavyKeys) {
+  SpaceSaving<std::uint32_t> a(8);
+  SpaceSaving<std::uint32_t> b(8);
+  for (std::uint32_t key = 0; key < 8; ++key) {
+    a.Add(key, 100 + key);        // heavy keys 0..7
+    b.Add(1000 + key, 1 + key);   // light keys 1000..1007
+  }
+  b.Add(7, 500);  // key 7 is heavy on both sides
+  SpaceSaving<std::uint32_t> a2(8);
+  SpaceSaving<std::uint32_t> b2(8);
+  for (std::uint32_t key = 0; key < 8; ++key) {
+    a2.Add(key, 100 + key);
+    b2.Add(1000 + key, 1 + key);
+  }
+  b2.Add(7, 500);
+  a.Merge(b);
+  a2.Merge(b2);
+  EXPECT_EQ(a.size(), a.capacity());
+  const auto top = a.TopK(8);
+  const auto top2 = a2.TopK(8);
+  ASSERT_EQ(top.size(), top2.size());  // identical inputs, identical trim
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(top[i].key, top2[i].key);
+    EXPECT_EQ(top[i].count, top2[i].count);
+  }
+  // b was at capacity when key 7 arrived, so it evicted its min counter
+  // (count 1) and key 7 entered as 501 with error 1; merged: 107 + 501.
+  EXPECT_EQ(top.front().key, 7u);
+  EXPECT_EQ(top.front().count, 608u);
+  EXPECT_EQ(top.front().error, 1u);
+  EXPECT_EQ(a.total(), a2.total());
+}
+
+TEST(KmvDistinctCounterMerge, BitIdenticalToSingleCounter) {
+  KmvDistinctCounter left(256);
+  KmvDistinctCounter right(256);
+  KmvDistinctCounter reference(256);
+  SplitMix64 rng(3);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t key = rng.Next() % 9000;
+    (key % 3 == 0 ? left : right).Add(key);
+    reference.Add(key);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.size(), reference.size());
+  EXPECT_DOUBLE_EQ(left.Estimate(), reference.Estimate());
+}
+
+// --- StreamEngine::Merge over contiguous time chunks. ---
+
+StreamEngine SingleEngine() {
+  StreamEngine engine;
+  for (const data::AttackRecord& a : Trace().attacks()) engine.Push(a);
+  engine.Finish();
+  return engine;
+}
+
+StreamEngine ChunkMergedEngine(std::size_t chunks) {
+  const auto& attacks = Trace().attacks();
+  std::vector<StreamEngine> engines;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    engines.emplace_back(StreamEngineConfig{});
+    const std::size_t begin = c * attacks.size() / chunks;
+    const std::size_t end = (c + 1) * attacks.size() / chunks;
+    for (std::size_t i = begin; i < end; ++i) engines[c].Push(attacks[i]);
+  }
+  StreamEngine merged = std::move(engines.front());
+  for (std::size_t c = 1; c < chunks; ++c) {
+    merged.Merge(engines[c], MergeOptions{.stitch_boundary_interval = true});
+  }
+  merged.Finish();
+  return merged;
+}
+
+TEST(StreamEngineMerge, ChunkedFoldMatchesSingleEngineExactFields) {
+  const StreamSnapshot single = SingleEngine().Snapshot();
+  for (const std::size_t chunks : {2u, 5u}) {
+    const StreamSnapshot merged = ChunkMergedEngine(chunks).Snapshot();
+    EXPECT_EQ(merged.attacks, single.attacks) << chunks;
+    EXPECT_EQ(merged.first_start, single.first_start);
+    EXPECT_EQ(merged.last_start, single.last_start);
+    EXPECT_EQ(merged.family_attacks, single.family_attacks);
+    EXPECT_EQ(merged.countries, single.countries);
+    ASSERT_EQ(merged.protocols.size(), single.protocols.size());
+    for (std::size_t i = 0; i < merged.protocols.size(); ++i) {
+      EXPECT_EQ(merged.protocols[i].protocol, single.protocols[i].protocol);
+      EXPECT_EQ(merged.protocols[i].attacks, single.protocols[i].attacks);
+    }
+    // Boundary stitching restores the exact interval multiset, so the
+    // integer-backed interval views are identical.
+    EXPECT_EQ(merged.intervals.summary.count, single.intervals.summary.count);
+    EXPECT_DOUBLE_EQ(merged.intervals.fraction_concurrent,
+                     single.intervals.fraction_concurrent);
+    EXPECT_DOUBLE_EQ(merged.intervals.fraction_1k_10k,
+                     single.intervals.fraction_1k_10k);
+    EXPECT_DOUBLE_EQ(merged.durations.fraction_100_10000,
+                     single.durations.fraction_100_10000);
+    EXPECT_DOUBLE_EQ(merged.durations.fraction_under_4h,
+                     single.durations.fraction_under_4h);
+    // KMV merges losslessly.
+    EXPECT_DOUBLE_EQ(merged.distinct_targets, single.distinct_targets);
+    EXPECT_DOUBLE_EQ(merged.distinct_botnets, single.distinct_botnets);
+    // Welford merge is algebraically exact; allow float reassociation.
+    EXPECT_NEAR(merged.intervals.summary.mean, single.intervals.summary.mean,
+                1e-6 * (1.0 + std::abs(single.intervals.summary.mean)));
+    EXPECT_NEAR(merged.durations.summary.mean, single.durations.summary.mean,
+                1e-6 * (1.0 + std::abs(single.durations.summary.mean)));
+    EXPECT_EQ(merged.attacks_in_window, single.attacks_in_window);
+  }
+}
+
+TEST(StreamEngineMerge, ChunkedQuantilesWithinMergedBound) {
+  const std::vector<double> durations = [&] {
+    std::vector<double> out;
+    for (const data::AttackRecord& a : Trace().attacks()) {
+      out.push_back(static_cast<double>(a.duration_seconds()));
+    }
+    return out;
+  }();
+  for (const std::size_t chunks : {2u, 5u}) {
+    const StreamSnapshot merged = ChunkMergedEngine(chunks).Snapshot();
+    // Worst-case merged error: sum of the per-chunk bounds.
+    const double epsilon = 0.005 * static_cast<double>(chunks);
+    ExpectRankWithinBound(durations, merged.durations.summary.median, 0.5,
+                          epsilon);
+    ExpectRankWithinBound(durations, merged.durations.p80_seconds, 0.8,
+                          epsilon);
+  }
+}
+
+TEST(ParallelBatch, MatchesSequentialChunkFold) {
+  ParallelBatchOptions options;
+  options.partitions = 4;
+  options.threads = 4;
+  const StreamSnapshot parallel =
+      AnalyzeAttacksInParallel(Trace().attacks(), options).Snapshot();
+  const StreamSnapshot single = SingleEngine().Snapshot();
+  EXPECT_EQ(parallel.attacks, single.attacks);
+  EXPECT_EQ(parallel.family_attacks, single.family_attacks);
+  EXPECT_EQ(parallel.countries, single.countries);
+  EXPECT_EQ(parallel.intervals.summary.count, single.intervals.summary.count);
+  EXPECT_DOUBLE_EQ(parallel.intervals.fraction_concurrent,
+                   single.intervals.fraction_concurrent);
+  EXPECT_DOUBLE_EQ(parallel.distinct_targets, single.distinct_targets);
+  EXPECT_DOUBLE_EQ(parallel.distinct_botnets, single.distinct_botnets);
+}
+
+TEST(ParallelBatch, SinglePartitionIsExactlyTheSequentialEngine) {
+  ParallelBatchOptions options;
+  options.partitions = 1;
+  options.threads = 2;
+  const StreamSnapshot parallel =
+      AnalyzeAttacksInParallel(Trace().attacks(), options).Snapshot();
+  const StreamSnapshot single = SingleEngine().Snapshot();
+  EXPECT_EQ(parallel.attacks, single.attacks);
+  EXPECT_DOUBLE_EQ(parallel.durations.summary.median,
+                   single.durations.summary.median);
+  EXPECT_EQ(parallel.collab.events, single.collab.events);
+}
+
+TEST(ParallelBatch, EmptyInputYieldsEmptyEngine) {
+  const StreamEngine engine = AnalyzeAttacksInParallel({}, {});
+  EXPECT_EQ(engine.attacks_seen(), 0u);
+}
+
+}  // namespace
+}  // namespace ddos::stream

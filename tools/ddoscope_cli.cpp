@@ -16,6 +16,7 @@
 //   ddoscope watch ATTACKS.csv|- [--window H] [--every N] [--epsilon E]
 //                  [--max-lateness S] [--on-error abort|skip|quarantine=F]
 //                  [--checkpoint FILE] [--checkpoint-every N] [--resume]
+//                  [--shards N]
 //       Tail the trace (or stdin, with `-`) through the streaming engine:
 //       refresh a live summary every N records (0 = final only) with a
 //       rolling H-hour rate window. Bounded memory regardless of trace
@@ -24,7 +25,14 @@
 //       per-kind error report on exit. --checkpoint persists engine state
 //       every N records (atomic rename), and --resume continues a killed
 //       run from that file, reaching the same final summary as an
-//       uninterrupted run.
+//       uninterrupted run; on stdin (which cannot be re-read by line
+//       offset) resume skips the replayed prefix by record count.
+//       --shards N > 1 partitions ingest across N worker threads
+//       (stream/sharded.h) with the same final summary up to documented
+//       sketch error; checkpoints switch to the sharded format.
+//   ddoscope batch ATTACKS.csv [--jobs N] [--partitions P] [--epsilon E]
+//       Analyze an on-disk trace with P time partitions on N threads and
+//       print the merged final summary (stream/parallel_batch.h).
 //
 // The CSV schema is Table I of the paper (see data/csv.h), so externally
 // collected traces work with every subcommand except `generate`.
@@ -52,6 +60,8 @@
 #include "geo/geo_db.h"
 #include "stream/checkpoint.h"
 #include "stream/engine.h"
+#include "stream/parallel_batch.h"
+#include "stream/sharded.h"
 
 namespace {
 
@@ -72,7 +82,9 @@ int Usage() {
                "                 [--epsilon E] [--max-lateness S]\n"
                "                 [--on-error abort|skip|quarantine=FILE]\n"
                "                 [--checkpoint FILE] [--checkpoint-every N]\n"
-               "                 [--resume]\n");
+               "                 [--resume] [--shards N]\n"
+               "  ddoscope batch ATTACKS.csv [--jobs N] [--partitions P]\n"
+               "                 [--epsilon E]\n");
   return 2;
 }
 
@@ -368,6 +380,11 @@ int CmdWatch(const std::string& path,
     std::fprintf(stderr, "watch: --resume requires --checkpoint FILE\n");
     return 2;
   }
+  std::size_t shards = 1;
+  if (const auto it = flags.find("shards"); it != flags.end()) {
+    shards = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, ParseInt64(it->second).value_or(1)));
+  }
 
   // `-` tails stdin, the ROADMAP's tail -f / pipe source.
   const bool from_stdin = path == "-";
@@ -377,20 +394,22 @@ int CmdWatch(const std::string& path,
                     : std::make_unique<data::AttackCsvReader>(path,
                                                               parse_options);
 
-  stream::StreamEngine engine(config);
-  stream::CheckpointMeta resumed;
-  if (resume) {
-    engine = stream::ReadCheckpoint(checkpoint_path, &resumed);
-    // The engine (and its config) come from the checkpoint; skip the
-    // already-consumed region of the feed without re-parsing it.
-    reader->ResumeAt(resumed.source_line, resumed.records);
-    window_hours = engine.config().rolling_window_s / kSecondsPerHour;
+  // Skips the feed region a resumed checkpoint already consumed. stdin has
+  // no seekable line positions to fast-forward through - the pipe replays
+  // the feed from its start - so resume there counts records instead.
+  const auto resume_reader = [&](const stream::CheckpointMeta& meta) {
+    if (from_stdin) {
+      reader->ResumeAtRecords(meta.records);
+    } else {
+      reader->ResumeAt(meta.source_line, meta.records);
+    }
     std::printf("resumed from %s: %llu records, source line %llu\n",
                 checkpoint_path.c_str(),
-                static_cast<unsigned long long>(resumed.records),
-                static_cast<unsigned long long>(resumed.source_line));
-  }
+                static_cast<unsigned long long>(meta.records),
+                static_cast<unsigned long long>(meta.source_line));
+  };
 
+  stream::CheckpointMeta resumed;
   const auto combined_report = [&] {
     data::IngestErrorReport report = resumed.errors;
     for (int k = 0; k < data::kIngestErrorKindCount; ++k) {
@@ -399,13 +418,83 @@ int CmdWatch(const std::string& path,
     }
     return report;
   };
-  const auto write_checkpoint = [&] {
+  const auto print_error_report = [&] {
+    const data::IngestErrorReport report = combined_report();
+    if (report.total() > 0) {
+      std::printf("%llu malformed rows rejected:\n%s",
+                  static_cast<unsigned long long>(report.total()),
+                  report.ToString().c_str());
+      if (quarantine != nullptr) {
+        std::printf("quarantined %zu rows to %s\n", quarantine->written(),
+                    quarantine_path.c_str());
+      }
+    }
+  };
+  const auto checkpoint_meta = [&] {
     stream::CheckpointMeta meta;
     meta.records = reader->records_read();
     meta.source_line = reader->line_number();
     meta.errors = combined_report();
-    stream::WriteCheckpoint(checkpoint_path, engine, meta);
+    return meta;
   };
+
+  if (shards > 1) {
+    stream::ShardedStreamEngineConfig sharded_config;
+    sharded_config.shards = shards;
+    sharded_config.engine = config;
+    std::unique_ptr<stream::ShardedStreamEngine> engine;
+    if (resume) {
+      stream::ShardedCheckpointState state =
+          stream::ReadShardedCheckpoint(checkpoint_path);
+      resumed = state.meta;
+      // Reconstruct the requested contract from a section's config (the
+      // sections of a multi-shard checkpoint run at half epsilon).
+      stream::StreamEngineConfig restored = state.engines.front().config();
+      if (state.engines.size() > 1) restored.quantile_epsilon *= 2.0;
+      sharded_config.engine = restored;
+      window_hours = restored.rolling_window_s / kSecondsPerHour;
+      engine = std::make_unique<stream::ShardedStreamEngine>(sharded_config);
+      engine->RestoreFrom(state);
+      resume_reader(resumed);
+    } else {
+      engine = std::make_unique<stream::ShardedStreamEngine>(sharded_config);
+    }
+
+    data::AttackRecord attack;
+    while (reader->Next(&attack)) {
+      engine->Push(attack);
+      if (every > 0 && engine->attacks_seen() % every == 0) {
+        PrintWatchSnapshot(engine->Snapshot(), false, window_hours);
+      }
+      if (!checkpoint_path.empty() && checkpoint_every > 0 &&
+          reader->records_read() % checkpoint_every == 0) {
+        engine->SaveCheckpoint(checkpoint_path, checkpoint_meta());
+      }
+    }
+    // Final checkpoint before Finish(): Finish sweeps pending collaboration
+    // groups, and a checkpoint taken afterwards could not regroup attacks
+    // spanning the end of this feed on a later resume.
+    if (!checkpoint_path.empty()) {
+      engine->SaveCheckpoint(checkpoint_path, checkpoint_meta());
+    }
+    engine->Finish();
+    print_error_report();
+    if (engine->attacks_seen() == 0) {
+      std::printf("no attacks in %s\n", from_stdin ? "stdin" : path.c_str());
+      return 0;
+    }
+    PrintWatchSnapshot(engine->Snapshot(), true, window_hours);
+    return 0;
+  }
+
+  stream::StreamEngine engine(config);
+  if (resume) {
+    engine = stream::ReadCheckpoint(checkpoint_path, &resumed);
+    // The engine (and its config) come from the checkpoint; skip the
+    // already-consumed region of the feed.
+    window_hours = engine.config().rolling_window_s / kSecondsPerHour;
+    resume_reader(resumed);
+  }
 
   data::AttackRecord attack;
   while (reader->Next(&attack)) {
@@ -415,26 +504,48 @@ int CmdWatch(const std::string& path,
     }
     if (!checkpoint_path.empty() && checkpoint_every > 0 &&
         reader->records_read() % checkpoint_every == 0) {
-      write_checkpoint();
+      stream::WriteCheckpoint(checkpoint_path, engine, checkpoint_meta());
     }
+  }
+  // Before Finish(), for the same reason as the sharded path above.
+  if (!checkpoint_path.empty()) {
+    stream::WriteCheckpoint(checkpoint_path, engine, checkpoint_meta());
   }
   engine.Finish();
-  if (!checkpoint_path.empty()) write_checkpoint();
 
-  const data::IngestErrorReport report = combined_report();
-  if (report.total() > 0) {
-    std::printf("%llu malformed rows rejected:\n%s",
-                static_cast<unsigned long long>(report.total()),
-                report.ToString().c_str());
-    if (quarantine != nullptr) {
-      std::printf("quarantined %zu rows to %s\n", quarantine->written(),
-                  quarantine_path.c_str());
-    }
-  }
+  print_error_report();
   if (engine.attacks_seen() == 0) {
     std::printf("no attacks in %s\n", from_stdin ? "stdin" : path.c_str());
     return 0;
   }
+  PrintWatchSnapshot(engine.Snapshot(), true, window_hours);
+  return 0;
+}
+
+int CmdBatch(const std::string& path,
+             const std::map<std::string, std::string>& flags) {
+  stream::ParallelBatchOptions options;
+  if (const auto it = flags.find("jobs"); it != flags.end()) {
+    options.threads = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, ParseInt64(it->second).value_or(1)));
+  }
+  if (const auto it = flags.find("partitions"); it != flags.end()) {
+    options.partitions = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, ParseInt64(it->second).value_or(1)));
+  }
+  if (const auto it = flags.find("epsilon"); it != flags.end()) {
+    options.engine.quantile_epsilon =
+        ParseDouble(it->second).value_or(options.engine.quantile_epsilon);
+  }
+  const std::vector<data::AttackRecord> attacks = data::LoadAttacksCsv(path);
+  if (attacks.empty()) {
+    std::printf("no attacks in %s\n", path.c_str());
+    return 0;
+  }
+  const stream::StreamEngine engine =
+      stream::AnalyzeAttacksInParallel(attacks, options);
+  const std::int64_t window_hours =
+      options.engine.rolling_window_s / kSecondsPerHour;
   PrintWatchSnapshot(engine.Snapshot(), true, window_hours);
   return 0;
 }
@@ -481,6 +592,9 @@ int main(int argc, char** argv) {
     }
     if (command == "watch" && positional.size() == 1) {
       return CmdWatch(positional[0], flags);
+    }
+    if (command == "batch" && positional.size() == 1) {
+      return CmdBatch(positional[0], flags);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ddoscope %s: %s\n", command.c_str(), e.what());
