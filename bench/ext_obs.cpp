@@ -1,0 +1,183 @@
+// Extension: observability overhead audit (the ddos::obs contract).
+//
+// The obs layer promises that instrumentation is cheap enough to leave on:
+// resolved-handle counters cost one relaxed add per event and a disarmed
+// site costs one branch. This bench holds that promise to a number. It
+// replays the synthetic trace through the CSV-reader + StreamEngine ingest
+// path twice per round - once bare, once with a MetricsRegistry attached -
+// alternating the order and taking medians so clock skew and cache warmth
+// cancel, then reports the relative overhead. A sharded pass with metrics
+// exercises the per-shard series and reports per-shard throughput from the
+// registry itself (which doubles as an end-to-end counter check: the shard
+// counters must sum to the feed size).
+//
+// Emits BENCH_obs.json and exits nonzero when the measured ingest overhead
+// exceeds the documented 5% budget, so CI fails the build that broke the
+// hot path.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "core/report.h"
+#include "data/csv.h"
+#include "obs/metrics.h"
+#include "stream/engine.h"
+#include "stream/sharded.h"
+
+namespace {
+
+constexpr double kOverheadBudgetPercent = 5.0;
+constexpr int kRounds = 5;  // medians over this many alternated pairs
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double Median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+// One full ingest pass: CSV reader -> StreamEngine. When `registry` is
+// non-null both the reader (via ParseOptions) and the engine are attached,
+// which is exactly the `ddoscope watch --metrics-out` configuration.
+double RunIngest(const std::string& csv_path,
+                 ddos::obs::MetricsRegistry* registry) {
+  using namespace ddos;
+  const auto t0 = std::chrono::steady_clock::now();
+  data::ParseOptions options;
+  options.metrics = registry;
+  data::AttackCsvReader reader(csv_path, options);
+  stream::StreamEngine engine;
+  if (registry != nullptr) engine.AttachMetrics(registry, "0");
+  data::AttackRecord a;
+  while (reader.Next(&a)) engine.Push(a);
+  engine.Finish();
+  return SecondsSince(t0);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ddos;
+  bench::PrintHeader("Extension", "Observability overhead (ddos::obs)");
+  const auto& ds = bench::SharedDataset();
+  const double n = static_cast<double>(ds.attacks().size());
+
+  const std::filesystem::path csv_path =
+      std::filesystem::temp_directory_path() / "ddoscope_ext_obs.csv";
+  data::SaveAttacksCsv(csv_path.string(), ds.attacks());
+
+  // Warm the page cache so the first timed pass is not charged for I/O.
+  RunIngest(csv_path.string(), nullptr);
+
+  std::vector<double> plain_runs, instrumented_runs;
+  for (int round = 0; round < kRounds; ++round) {
+    // Alternate which variant goes first so neither always pays for (or
+    // profits from) the state the previous pass left behind.
+    obs::MetricsRegistry registry;
+    if (round % 2 == 0) {
+      plain_runs.push_back(RunIngest(csv_path.string(), nullptr));
+      instrumented_runs.push_back(RunIngest(csv_path.string(), &registry));
+    } else {
+      instrumented_runs.push_back(RunIngest(csv_path.string(), &registry));
+      plain_runs.push_back(RunIngest(csv_path.string(), nullptr));
+    }
+  }
+  const double plain_s = Median(plain_runs);
+  const double instrumented_s = Median(instrumented_runs);
+  const double overhead_percent =
+      (instrumented_s - plain_s) / plain_s * 100.0;
+
+  std::printf("ingest path (CSV reader -> StreamEngine), median of %d:\n",
+              kRounds);
+  std::printf("  bare         : %.4f s (%.0f records/s)\n", plain_s,
+              n / plain_s);
+  std::printf("  instrumented : %.4f s (%.0f records/s)\n", instrumented_s,
+              n / instrumented_s);
+  std::printf("  overhead     : %+.2f%% (budget %.0f%%)\n\n",
+              overhead_percent, kOverheadBudgetPercent);
+
+  // Sharded pass with the full metric surface armed; the per-shard counters
+  // must add back up to the feed or the instrumentation itself is wrong.
+  obs::MetricsRegistry sharded_registry;
+  stream::ShardedStreamEngineConfig config;
+  config.shards = 4;
+  config.metrics = &sharded_registry;
+  const auto t_sharded = std::chrono::steady_clock::now();
+  stream::ShardedStreamEngine sharded(config);
+  for (const data::AttackRecord& a : ds.attacks()) sharded.Push(a);
+  sharded.Finish();
+  const double sharded_s = SecondsSince(t_sharded);
+  const obs::MetricsSnapshot snap = sharded_registry.Snapshot();
+
+  std::uint64_t shard_sum = 0;
+  core::TextTable shard_table({"shard", "records", "push retries"});
+  for (std::size_t i = 0; i < config.shards; ++i) {
+    const obs::Labels labels{{"shard", std::to_string(i)}};
+    const std::uint64_t records =
+        snap.CounterValue("ddoscope_stream_attacks_total", labels);
+    shard_sum += records;
+    shard_table.AddRow(
+        {std::to_string(i), std::to_string(records),
+         std::to_string(snap.CounterValue(
+             "ddoscope_sharded_push_retries_total", labels))});
+  }
+  std::printf("sharded ingest, 4 shards, metrics armed: %.0f records/s\n%s",
+              n / sharded_s, shard_table.Render().c_str());
+  const bool counters_exact = shard_sum == ds.attacks().size();
+  std::printf("shard counter sum %llu vs feed %zu: %s\n\n",
+              static_cast<unsigned long long>(shard_sum),
+              ds.attacks().size(), counters_exact ? "exact" : "MISMATCH");
+
+  {
+    std::ofstream json("BENCH_obs.json");
+    json << "{\n"
+         << "  \"bench\": \"obs_overhead\",\n"
+         << "  \"records\": " << ds.attacks().size() << ",\n"
+         << "  \"rounds\": " << kRounds << ",\n"
+         << "  \"bare_seconds\": " << StrFormat("%.4f", plain_s) << ",\n"
+         << "  \"instrumented_seconds\": "
+         << StrFormat("%.4f", instrumented_s) << ",\n"
+         << "  \"bare_records_per_s\": " << StrFormat("%.0f", n / plain_s)
+         << ",\n"
+         << "  \"instrumented_records_per_s\": "
+         << StrFormat("%.0f", n / instrumented_s) << ",\n"
+         << "  \"overhead_percent\": " << StrFormat("%.2f", overhead_percent)
+         << ",\n"
+         << "  \"overhead_budget_percent\": "
+         << StrFormat("%.1f", kOverheadBudgetPercent) << ",\n"
+         << "  \"sharded_records_per_s\": " << StrFormat("%.0f", n / sharded_s)
+         << ",\n"
+         << "  \"shard_counter_sum_exact\": "
+         << (counters_exact ? "true" : "false") << "\n"
+         << "}\n";
+    std::printf("wrote BENCH_obs.json\n");
+  }
+
+  bench::PrintComparison({
+      {"ingest overhead %, metrics armed", kOverheadBudgetPercent,
+       overhead_percent, "budget is the ceiling"},
+      {"shard counters / feed records", 1.0,
+       static_cast<double>(shard_sum) / n, "must be exact"},
+  });
+
+  std::filesystem::remove(csv_path);
+  if (!counters_exact) {
+    std::printf("FAIL: per-shard counters disagree with the feed\n");
+    return 1;
+  }
+  if (overhead_percent > kOverheadBudgetPercent) {
+    std::printf("FAIL: instrumentation overhead %.2f%% exceeds %.0f%% budget\n",
+                overhead_percent, kOverheadBudgetPercent);
+    return 1;
+  }
+  return 0;
+}

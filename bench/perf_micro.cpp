@@ -17,6 +17,8 @@
 #include "stats/hypothesis.h"
 #include "data/csv.h"
 #include "geo/geodesy.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/ecdf.h"
 #include "timeseries/arima.h"
 
@@ -184,6 +186,78 @@ void BM_ParseCsvLineReuse(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ParseCsvLineReuse);
+
+// Same hot loop with a MetricsRegistry attached: the delta against
+// BM_AttackCsvStreamRead is the per-record cost of the obs counters on the
+// ingest path (the budget bench_ext_obs enforces end to end).
+void BM_AttackCsvStreamReadInstrumented(benchmark::State& state) {
+  const auto& ds = PerfDataset();
+  std::stringstream ss;
+  data::WriteAttacksCsv(ss, ds.attacks());
+  const std::string text = ss.str();
+  obs::MetricsRegistry registry;
+  data::ParseOptions options;
+  options.metrics = &registry;
+  for (auto _ : state) {
+    std::istringstream in(text);
+    data::AttackCsvReader reader(in, options);
+    data::AttackRecord a;
+    std::size_t n = 0;
+    while (reader.Next(&a)) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ds.attacks().size()));
+}
+BENCHMARK(BM_AttackCsvStreamReadInstrumented);
+
+// The primitive costs underneath every instrumented site: one striped
+// relaxed add, one bounded-bucket observe, and a full span (two clock
+// reads + a ring claim). These are the numbers the "cheap enough to leave
+// on" claim in DESIGN.md rests on.
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.GetCounter("bm_total", "bench counter");
+  for (auto _ : state) {
+    c->Add();
+  }
+  benchmark::DoNotOptimize(c->Value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterAdd)->ThreadRange(1, 8);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram(
+      "bm_seconds", "bench histogram", obs::ExponentialBounds(1e-6, 4.0, 12));
+  double v = 1e-6;
+  for (auto _ : state) {
+    h->Observe(v);
+    v = v < 1.0 ? v * 1.5 : 1e-6;  // walk the buckets, not just one cell
+  }
+  benchmark::DoNotOptimize(h->Count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramObserve)->ThreadRange(1, 8);
+
+void BM_ObsSpanTimer(benchmark::State& state) {
+  obs::TraceRecorder recorder(1 << 20);
+  for (auto _ : state) {
+    DDOS_TRACE_SPAN(&recorder, "bm_span", "bench");
+  }
+  benchmark::DoNotOptimize(recorder.recorded());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSpanTimer);
+
+void BM_ObsSpanTimerDisarmed(benchmark::State& state) {
+  for (auto _ : state) {
+    DDOS_TRACE_SPAN(nullptr, "bm_span", "bench");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSpanTimerDisarmed);
 
 void BM_CsvRoundTrip(benchmark::State& state) {
   const auto& ds = PerfDataset();

@@ -1,6 +1,7 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -27,10 +28,28 @@ ParallelRunner::~ParallelRunner() {
   for (std::thread& t : threads_) t.join();
 }
 
+void ParallelRunner::AttachMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  obs_tasks_ = registry->GetCounter("ddoscope_parallel_tasks_total",
+                                    "Tasks executed by the thread pool");
+  obs_queue_depth_ = registry->GetGauge(
+      "ddoscope_parallel_queue_depth", "Submitted tasks not yet dispatched");
+  obs_busy_workers_ = registry->GetGauge(
+      "ddoscope_parallel_busy_workers", "Workers currently running a task");
+  obs_task_seconds_ = registry->GetHistogram(
+      "ddoscope_parallel_task_seconds", "Latency of one pool task",
+      obs::ExponentialBounds(1e-5, 4.0, 12));
+  registry
+      ->GetGauge("ddoscope_parallel_threads", "Worker threads in the pool")
+      ->Set(static_cast<std::int64_t>(threads_.size()));
+}
+
 void ParallelRunner::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     tasks_.push_back(std::move(task));
+    obs::MaybeSet(obs_queue_depth_, static_cast<std::int64_t>(tasks_.size()));
   }
   work_cv_.notify_one();
 }
@@ -55,8 +74,12 @@ void ParallelRunner::WorkerMain() {
       task = std::move(tasks_.front());
       tasks_.pop_front();
       ++in_flight_;
+      obs::MaybeSet(obs_queue_depth_,
+                    static_cast<std::int64_t>(tasks_.size()));
+      obs::MaybeSet(obs_busy_workers_, static_cast<std::int64_t>(in_flight_));
     }
     std::string error;
+    const auto started = std::chrono::steady_clock::now();
     try {
       task();
     } catch (const std::exception& e) {
@@ -64,9 +87,16 @@ void ParallelRunner::WorkerMain() {
     } catch (...) {
       error = "unknown exception";
     }
+    obs::MaybeObserve(
+        obs_task_seconds_,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count());
+    obs::MaybeAdd(obs_tasks_);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;
+      obs::MaybeSet(obs_busy_workers_, static_cast<std::int64_t>(in_flight_));
       if (!error.empty() && !failed_) {
         failed_ = true;
         first_error_ = std::move(error);

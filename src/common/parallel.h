@@ -22,6 +22,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace ddos::common {
 
 // Threads to use when the caller does not say: the hardware concurrency,
@@ -44,6 +46,13 @@ class ParallelRunner {
   // first captured task exception, if any.
   void Wait();
 
+  // Publishes pool health under ddoscope_parallel_*: queue depth and busy
+  // workers (gauges, updated at the submit/dispatch points the pool's mutex
+  // already serializes), a task counter, and a task-latency histogram.
+  // Call before the first Submit (workers read the handles without the
+  // pool mutex once dispatched); the registry must outlive the runner.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
   std::size_t thread_count() const { return threads_.size(); }
 
  private:
@@ -58,6 +67,12 @@ class ParallelRunner {
   bool stop_ = false;
   bool failed_ = false;
   std::string first_error_;
+
+  // Resolved obs handles; null when unattached.
+  obs::Counter* obs_tasks_ = nullptr;
+  obs::Gauge* obs_queue_depth_ = nullptr;
+  obs::Gauge* obs_busy_workers_ = nullptr;
+  obs::Histogram* obs_task_seconds_ = nullptr;
 };
 
 }  // namespace ddos::common

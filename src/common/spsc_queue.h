@@ -7,8 +7,8 @@
 // ever *reads* the other's cursor (acquire) and *writes* its own (release).
 // Capacity is rounded up to a power of two so wrap-around is a mask.
 //
-// TryPush/TryPop never block; callers that need backpressure spin with
-// std::this_thread::yield() (see stream/sharded.cpp), which keeps the
+// TryPush/TryPop never block; callers that need backpressure retry with
+// their own yield/sleep policy (see stream/sharded.cpp), which keeps the
 // queue free of futexes and makes its behavior identical under TSan.
 #ifndef DDOSCOPE_COMMON_SPSC_QUEUE_H_
 #define DDOSCOPE_COMMON_SPSC_QUEUE_H_
@@ -60,6 +60,16 @@ class SpscQueue {
   }
 
   std::size_t capacity() const { return mask_ + 1; }
+
+  // Occupied slots at some instant during the call; exact from the
+  // producer side while it is not pushing (same argument as Empty), and
+  // never more than one batch stale from either side - good enough for the
+  // ring-occupancy high-water gauge in obs.
+  std::size_t SizeApprox() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
 
   std::size_t ApproxMemoryBytes() const {
     return sizeof(*this) + ring_.size() * sizeof(T);

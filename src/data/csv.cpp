@@ -246,11 +246,28 @@ std::vector<AttackRecord> ReadAttacksCsv(std::istream& in, ParseOptions options,
 }
 
 AttackCsvReader::AttackCsvReader(std::istream& in, ParseOptions options)
-    : in_(&in), options_(options) {}
+    : in_(&in), options_(options) {
+  ResolveMetrics();
+}
 
 AttackCsvReader::AttackCsvReader(const std::string& path, ParseOptions options)
     : file_(path), in_(&file_), options_(options) {
   if (!file_) throw std::runtime_error("AttackCsvReader: cannot open " + path);
+  ResolveMetrics();
+}
+
+void AttackCsvReader::ResolveMetrics() {
+  if (options_.metrics == nullptr) return;
+  obs_records_ = options_.metrics->GetCounter(
+      "ddoscope_ingest_records_total", "Valid attack records parsed");
+  obs_bytes_ = options_.metrics->GetCounter(
+      "ddoscope_ingest_bytes_total", "Raw feed bytes consumed (incl. newlines)");
+  for (int k = 0; k < kIngestErrorKindCount; ++k) {
+    const auto kind = static_cast<IngestErrorKind>(k);
+    obs_errors_[static_cast<std::size_t>(k)] = options_.metrics->GetCounter(
+        "ddoscope_ingest_errors_total", "Rejected rows by IngestErrorKind",
+        {{"kind", std::string(IngestErrorKindName(kind))}});
+  }
 }
 
 bool AttackCsvReader::Next(AttackRecord* out) {
@@ -261,6 +278,7 @@ bool AttackCsvReader::Next(AttackRecord* out) {
   bool saw_newline;
   while (ReadCsvLine(*in_, &line, &saw_newline)) {
     ++line_no_;
+    obs::MaybeAdd(obs_bytes_, line.size() + (saw_newline ? 1 : 0));
     if (!header_skipped_) {
       header_skipped_ = true;
       continue;
@@ -299,12 +317,14 @@ bool AttackCsvReader::Next(AttackRecord* out) {
     }
     if (ok) {
       ++records_;
+      obs::MaybeAdd(obs_records_);
       return true;
     }
 
     err.line_no = line_no_;
     err.raw_line = line;
     report_.Add(err.kind);
+    obs::MaybeAdd(obs_errors_[static_cast<std::size_t>(err.kind)]);
     if (options_.policy == ParsePolicy::kStrict) {
       throw std::runtime_error(StrFormat(
           "CSV: %s: %s at line %zu",
@@ -322,23 +342,42 @@ bool AttackCsvReader::Next(AttackRecord* out) {
 void AttackCsvReader::ResumeAt(std::size_t line_no, std::size_t records) {
   while (line_no_ < line_no && ReadCsvLine(*in_, &line_)) {
     ++line_no_;
+    obs::MaybeAdd(obs_bytes_, line_.size() + 1);
   }
   header_skipped_ = line_no_ >= 1;
   records_ = records;
+  // The fast-forwarded region's records were validated pre-crash; credit
+  // them so the exposition counter equals records_read().
+  obs::MaybeAdd(obs_records_, records);
 }
 
 void AttackCsvReader::ResumeAtRecords(std::size_t records) {
   // Replay the already-consumed prefix with error reporting silenced: the
   // pre-checkpoint run already reported (and possibly quarantined) these
   // rows, and kStrict must not abort a resume over a row it survived before.
+  // Error *metrics* are silenced with the report - the checkpoint's tallies
+  // come back through SeedErrors, and counting the replay too would double
+  // them - while record/byte counters keep running: the replayed rows are
+  // this process's only pass over that region.
   const ParseOptions saved = options_;
+  const auto saved_errors = obs_errors_;
   options_.policy = ParsePolicy::kSkip;
   options_.quarantine = nullptr;
+  obs_errors_.fill(nullptr);
   AttackRecord discard;
   while (records_ < records && Next(&discard)) {
   }
   options_ = saved;
+  obs_errors_ = saved_errors;
   report_ = IngestErrorReport{};
+}
+
+void AttackCsvReader::SeedErrors(const IngestErrorReport& errors) {
+  for (int k = 0; k < kIngestErrorKindCount; ++k) {
+    const auto idx = static_cast<std::size_t>(k);
+    report_.counts[idx] += errors.counts[idx];
+    obs::MaybeAdd(obs_errors_[idx], errors.counts[idx]);
+  }
 }
 
 void WriteBotnetsCsv(std::ostream& out, std::span<const BotnetRecord> botnets) {

@@ -22,6 +22,7 @@
 #ifndef DDOSCOPE_DATA_CSV_H_
 #define DDOSCOPE_DATA_CSV_H_
 
+#include <array>
 #include <fstream>
 #include <iosfwd>
 #include <string>
@@ -30,6 +31,7 @@
 
 #include "data/dataset.h"
 #include "data/ingest_error.h"
+#include "obs/metrics.h"
 
 namespace ddos::data {
 
@@ -68,6 +70,11 @@ struct ParseOptions {
   // one hash-set entry per record, so it is off under kStrict by default
   // to preserve the reader's constant-memory contract for trusted files.
   bool detect_duplicate_ids = false;
+  // When non-null the reader publishes ddoscope_ingest_* counters (records,
+  // bytes, errors by kind) here. Handles are resolved once at construction;
+  // the per-row cost is a relaxed atomic add (obs/metrics.h). Owned by the
+  // caller, which must outlive the reader.
+  obs::MetricsRegistry* metrics = nullptr;
 
   static ParseOptions Strict() { return ParseOptions{}; }
   static ParseOptions Skip() {
@@ -117,11 +124,20 @@ class AttackCsvReader {
   // the pre-crash run and are suppressed, not re-reported.
   void ResumeAtRecords(std::size_t records);
 
+  // Folds a checkpointed predecessor's error tallies into error_report()
+  // (and the attached obs counters), making the reader the single source of
+  // truth after a resume: the final report and the metrics exposition both
+  // equal "uninterrupted run" counts with no double counting. Call after
+  // ResumeAt/ResumeAtRecords.
+  void SeedErrors(const IngestErrorReport& errors);
+
   std::size_t records_read() const { return records_; }
   std::size_t line_number() const { return line_no_; }
   const IngestErrorReport& error_report() const { return report_; }
 
  private:
+  void ResolveMetrics();
+
   std::ifstream file_;  // engaged only by the path constructor
   std::istream* in_;
   ParseOptions options_;
@@ -133,6 +149,10 @@ class AttackCsvReader {
   // Scratch reused across Next() calls (hot-loop allocation avoidance).
   std::string line_;
   std::vector<std::string> fields_;
+  // Resolved metric handles; all null when options_.metrics is null.
+  obs::Counter* obs_records_ = nullptr;
+  obs::Counter* obs_bytes_ = nullptr;
+  std::array<obs::Counter*, kIngestErrorKindCount> obs_errors_{};
 };
 
 void WriteAttacksCsv(std::ostream& out, std::span<const AttackRecord> attacks);

@@ -1,0 +1,411 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ddos::obs {
+
+namespace {
+
+// Doubles that carry integers (counters, bucket counts) print without a
+// decimal point so the golden exposition is stable across platforms.
+std::string FormatNumber(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(v));
+    return buffer;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", v);
+  return buffer;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  for (const char c : value) {
+    if (c == '\\' || c == '"') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+// Renders a label set (plus an optional trailing le="...") in braces;
+// empty input with no le renders as "".
+std::string RenderLabels(const Labels& labels, const std::string& le = {}) {
+  if (labels.empty() && le.empty()) return std::string();
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key + "=\"" + EscapeLabelValue(value) + "\"";
+  }
+  if (!le.empty()) {
+    if (!first) out += ',';
+    out += "le=\"" + le + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const MetricFamily& family : snapshot.families) {
+    out += "# HELP " + family.name + " " + family.help + "\n";
+    out += "# TYPE " + family.name + " " +
+           std::string(MetricTypeName(family.type)) + "\n";
+    for (const MetricValue& v : family.values) {
+      switch (family.type) {
+        case MetricType::kCounter:
+          out += family.name + RenderLabels(v.labels) + " " +
+                 FormatNumber(static_cast<double>(v.counter)) + "\n";
+          break;
+        case MetricType::kGauge:
+          out += family.name + RenderLabels(v.labels) + " " +
+                 FormatNumber(static_cast<double>(v.gauge)) + "\n";
+          break;
+        case MetricType::kHistogram: {
+          const HistogramData& h = v.histogram;
+          std::uint64_t cumulative = 0;
+          for (std::size_t b = 0; b < h.bucket_counts.size(); ++b) {
+            cumulative += h.bucket_counts[b];
+            const std::string le = b < h.bounds.size()
+                                       ? FormatNumber(h.bounds[b])
+                                       : std::string("+Inf");
+            out += family.name + "_bucket" + RenderLabels(v.labels, le) + " " +
+                   FormatNumber(static_cast<double>(cumulative)) + "\n";
+          }
+          out += family.name + "_sum" + RenderLabels(v.labels) + " " +
+                 FormatNumber(h.sum) + "\n";
+          out += family.name + "_count" + RenderLabels(v.labels) + " " +
+                 FormatNumber(static_cast<double>(h.count)) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderMetricsJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"metrics\": [";
+  bool first_family = true;
+  for (const MetricFamily& family : snapshot.families) {
+    out += first_family ? "\n" : ",\n";
+    first_family = false;
+    out += "    {\"name\": \"" + family.name + "\", \"type\": \"" +
+           std::string(MetricTypeName(family.type)) + "\", \"help\": \"" +
+           EscapeLabelValue(family.help) + "\", \"values\": [";
+    bool first_value = true;
+    for (const MetricValue& v : family.values) {
+      out += first_value ? "\n" : ",\n";
+      first_value = false;
+      out += "      {\"labels\": {";
+      for (std::size_t i = 0; i < v.labels.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "\"" + v.labels[i].first + "\": \"" +
+               EscapeLabelValue(v.labels[i].second) + "\"";
+      }
+      out += "}";
+      switch (family.type) {
+        case MetricType::kCounter:
+          out += ", \"value\": " +
+                 FormatNumber(static_cast<double>(v.counter));
+          break;
+        case MetricType::kGauge:
+          out += ", \"value\": " + FormatNumber(static_cast<double>(v.gauge));
+          break;
+        case MetricType::kHistogram: {
+          const HistogramData& h = v.histogram;
+          out += ", \"count\": " + FormatNumber(static_cast<double>(h.count)) +
+                 ", \"sum\": " + FormatNumber(h.sum) + ", \"buckets\": [";
+          for (std::size_t b = 0; b < h.bucket_counts.size(); ++b) {
+            if (b > 0) out += ", ";
+            const std::string le = b < h.bounds.size()
+                                       ? FormatNumber(h.bounds[b])
+                                       : std::string("+Inf");
+            out += "{\"le\": \"" + le + "\", \"n\": " +
+                   FormatNumber(static_cast<double>(h.bucket_counts[b])) + "}";
+          }
+          out += "]";
+          break;
+        }
+      }
+      out += "}";
+    }
+    out += "\n    ]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void ParseFail(const char* what, std::size_t line_no) {
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "metrics parse: %s at line %zu", what,
+                line_no);
+  throw std::runtime_error(buffer);
+}
+
+// Splits "name{a=\"x\",le=\"+Inf\"} 42" into name, labels, value. The `le`
+// label is returned separately so histogram buckets re-assemble.
+struct SampleLine {
+  std::string name;
+  Labels labels;
+  std::string le;
+  double value = 0.0;
+};
+
+SampleLine ParseSample(const std::string& line, std::size_t line_no) {
+  SampleLine sample;
+  std::size_t pos = line.find_first_of("{ ");
+  if (pos == std::string::npos) ParseFail("sample without value", line_no);
+  sample.name = line.substr(0, pos);
+  if (line[pos] == '{') {
+    ++pos;
+    while (pos < line.size() && line[pos] != '}') {
+      const std::size_t eq = line.find('=', pos);
+      if (eq == std::string::npos || eq + 1 >= line.size() ||
+          line[eq + 1] != '"') {
+        ParseFail("malformed label", line_no);
+      }
+      const std::string key = line.substr(pos, eq - pos);
+      std::string value;
+      std::size_t i = eq + 2;
+      for (; i < line.size() && line[i] != '"'; ++i) {
+        if (line[i] == '\\' && i + 1 < line.size()) ++i;
+        value += line[i];
+      }
+      if (i >= line.size()) ParseFail("unterminated label value", line_no);
+      pos = i + 1;
+      if (pos < line.size() && line[pos] == ',') ++pos;
+      if (key == "le") {
+        sample.le = value;
+      } else {
+        sample.labels.emplace_back(key, value);
+      }
+    }
+    if (pos >= line.size() || line[pos] != '}') {
+      ParseFail("unterminated label set", line_no);
+    }
+    ++pos;
+  }
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  if (pos >= line.size()) ParseFail("sample without value", line_no);
+  try {
+    sample.value = std::stod(line.substr(pos));
+  } catch (const std::exception&) {
+    ParseFail("unreadable sample value", line_no);
+  }
+  std::sort(sample.labels.begin(), sample.labels.end());
+  return sample;
+}
+
+bool ConsumeSuffix(std::string* name, const char* suffix) {
+  const std::size_t n = std::string(suffix).size();
+  if (name->size() <= n || name->compare(name->size() - n, n, suffix) != 0) {
+    return false;
+  }
+  name->resize(name->size() - n);
+  return true;
+}
+
+}  // namespace
+
+MetricsSnapshot ParsePrometheusText(std::istream& in) {
+  // Families keyed by name; values keyed by rendered label text, in file
+  // order (the renderer emits them sorted already).
+  struct PendingFamily {
+    MetricFamily family;
+    std::vector<std::string> value_keys;
+  };
+  std::map<std::string, PendingFamily> families;
+  std::map<std::string, MetricType> declared;
+
+  const auto value_for = [](PendingFamily* pending,
+                            const Labels& labels) -> MetricValue* {
+    const std::string key = RenderLabels(labels);
+    for (std::size_t i = 0; i < pending->value_keys.size(); ++i) {
+      if (pending->value_keys[i] == key) return &pending->family.values[i];
+    }
+    pending->value_keys.push_back(key);
+    MetricValue v;
+    v.labels = labels;
+    pending->family.values.push_back(std::move(v));
+    return &pending->family.values.back();
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream meta(line);
+      std::string hash, kind, name;
+      meta >> hash >> kind >> name;
+      if (kind == "HELP") {
+        std::string help;
+        std::getline(meta, help);
+        if (!help.empty() && help[0] == ' ') help.erase(0, 1);
+        families[name].family.name = name;
+        families[name].family.help = help;
+      } else if (kind == "TYPE") {
+        std::string type;
+        meta >> type;
+        MetricType t = MetricType::kCounter;
+        if (type == "gauge") t = MetricType::kGauge;
+        else if (type == "histogram") t = MetricType::kHistogram;
+        else if (type != "counter") ParseFail("unknown metric type", line_no);
+        families[name].family.name = name;
+        families[name].family.type = t;
+        declared[name] = t;
+      }
+      continue;
+    }
+
+    SampleLine sample = ParseSample(line, line_no);
+    // Histogram series names carry a suffix; map them back to the family.
+    std::string base = sample.name;
+    const bool is_bucket = ConsumeSuffix(&base, "_bucket");
+    const bool is_sum = !is_bucket && ConsumeSuffix(&base, "_sum");
+    const bool is_count = !is_bucket && !is_sum && ConsumeSuffix(&base, "_count");
+    const bool histogram_series =
+        (is_bucket || is_sum || is_count) && declared.count(base) > 0 &&
+        declared[base] == MetricType::kHistogram;
+    const std::string& family_name = histogram_series ? base : sample.name;
+    const auto it = families.find(family_name);
+    if (it == families.end()) ParseFail("sample without TYPE header", line_no);
+    PendingFamily& pending = it->second;
+    MetricValue* value = value_for(&pending, sample.labels);
+    switch (pending.family.type) {
+      case MetricType::kCounter:
+        value->counter = static_cast<std::uint64_t>(sample.value);
+        break;
+      case MetricType::kGauge:
+        value->gauge = static_cast<std::int64_t>(sample.value);
+        break;
+      case MetricType::kHistogram:
+        if (is_bucket) {
+          // Buckets arrive cumulative and in ascending le order; store the
+          // cumulative count now, de-accumulate once the series is closed.
+          if (sample.le != "+Inf") {
+            value->histogram.bounds.push_back(std::stod(sample.le));
+          }
+          value->histogram.bucket_counts.push_back(
+              static_cast<std::uint64_t>(sample.value));
+        } else if (is_sum) {
+          value->histogram.sum = sample.value;
+        } else if (is_count) {
+          value->histogram.count = static_cast<std::uint64_t>(sample.value);
+        } else {
+          ParseFail("bare sample for a histogram family", line_no);
+        }
+        break;
+    }
+  }
+
+  MetricsSnapshot snap;
+  snap.families.reserve(families.size());
+  for (auto& [name, pending] : families) {
+    for (MetricValue& v : pending.family.values) {
+      // Cumulative -> per-bucket counts.
+      std::uint64_t previous = 0;
+      for (std::uint64_t& n : v.histogram.bucket_counts) {
+        const std::uint64_t cumulative = n;
+        n = cumulative - previous;
+        previous = cumulative;
+      }
+    }
+    snap.families.push_back(std::move(pending.family));
+  }
+  return snap;
+}
+
+MetricsSnapshot LoadPrometheusFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("metrics: cannot open " + path);
+  }
+  return ParsePrometheusText(in);
+}
+
+std::string RenderMetricsTable(const MetricsSnapshot& snapshot) {
+  struct Row {
+    std::string name, labels, type, value;
+  };
+  std::vector<Row> rows;
+  for (const MetricFamily& family : snapshot.families) {
+    for (const MetricValue& v : family.values) {
+      Row row;
+      row.name = family.name;
+      row.labels = RenderLabels(v.labels);
+      row.type = std::string(MetricTypeName(family.type));
+      switch (family.type) {
+        case MetricType::kCounter:
+          row.value = FormatNumber(static_cast<double>(v.counter));
+          break;
+        case MetricType::kGauge:
+          row.value = FormatNumber(static_cast<double>(v.gauge));
+          break;
+        case MetricType::kHistogram: {
+          const HistogramData& h = v.histogram;
+          char buffer[160];
+          std::snprintf(buffer, sizeof(buffer),
+                        "count=%llu sum=%s p50=%s p90=%s p99=%s",
+                        static_cast<unsigned long long>(h.count),
+                        FormatNumber(h.sum).c_str(),
+                        FormatNumber(h.Quantile(0.5)).c_str(),
+                        FormatNumber(h.Quantile(0.9)).c_str(),
+                        FormatNumber(h.Quantile(0.99)).c_str());
+          row.value = buffer;
+          break;
+        }
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+
+  std::size_t name_w = 6, labels_w = 6, type_w = 4;
+  for (const Row& r : rows) {
+    name_w = std::max(name_w, r.name.size());
+    labels_w = std::max(labels_w, r.labels.size());
+    type_w = std::max(type_w, r.type.size());
+  }
+  const auto pad = [](const std::string& s, std::size_t w) {
+    return s + std::string(w - s.size(), ' ');
+  };
+  std::string out = pad("metric", name_w) + "  " + pad("labels", labels_w) +
+                    "  " + pad("type", type_w) + "  value\n";
+  for (const Row& r : rows) {
+    out += pad(r.name, name_w) + "  " + pad(r.labels, labels_w) + "  " +
+           pad(r.type, type_w) + "  " + r.value + "\n";
+  }
+  return out;
+}
+
+void WriteMetricsFiles(const std::string& path,
+                       const MetricsSnapshot& snapshot) {
+  std::ofstream prom(path);
+  if (!prom) {
+    throw std::runtime_error("metrics: cannot open " + path);
+  }
+  prom << RenderPrometheusText(snapshot);
+  std::ofstream json(path + ".json");
+  if (!json) {
+    throw std::runtime_error("metrics: cannot open " + path + ".json");
+  }
+  json << RenderMetricsJson(snapshot);
+}
+
+}  // namespace ddos::obs

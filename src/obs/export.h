@@ -1,0 +1,44 @@
+// Exposition formats for MetricsSnapshot: Prometheus text (the scrape
+// format, version 0.0.4), a JSON mirror for tooling, a parser for the text
+// format, and a terminal pretty-printer.
+//
+// The text format is the system of record: `ddoscope watch --metrics-out
+// m.prom` writes it (plus the JSON mirror alongside), and `ddoscope
+// metrics m.prom` parses it back for pretty-printing - so a metrics dump
+// survives the process that produced it and is also directly scrapeable.
+#ifndef DDOSCOPE_OBS_EXPORT_H_
+#define DDOSCOPE_OBS_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ddos::obs {
+
+// Prometheus text exposition: # HELP / # TYPE headers, histograms as
+// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot);
+
+// JSON mirror: {"metrics":[{"name":...,"type":...,"values":[...]}]}.
+std::string RenderMetricsJson(const MetricsSnapshot& snapshot);
+
+// Parses the text exposition back into a snapshot (inverse of
+// RenderPrometheusText up to floating-point formatting): histogram series
+// are re-assembled from their _bucket/_sum/_count rows. Unknown or
+// malformed lines throw std::runtime_error with a line number.
+MetricsSnapshot ParsePrometheusText(std::istream& in);
+MetricsSnapshot LoadPrometheusFile(const std::string& path);
+
+// Fixed-width terminal table of every metric; histograms render count, sum
+// and interpolated p50/p90/p99.
+std::string RenderMetricsTable(const MetricsSnapshot& snapshot);
+
+// Writes RenderPrometheusText to `path` and the JSON mirror to
+// `path + ".json"`. Throws std::runtime_error when either cannot be opened.
+void WriteMetricsFiles(const std::string& path,
+                       const MetricsSnapshot& snapshot);
+
+}  // namespace ddos::obs
+
+#endif  // DDOSCOPE_OBS_EXPORT_H_

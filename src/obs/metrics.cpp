@@ -1,0 +1,276 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ddos::obs {
+
+namespace {
+
+// Renders labels exactly as the Prometheus exposition does, so the rendered
+// string doubles as the registry's cell key: {a="x",b="y"} with the pairs
+// sorted by key. Empty labels render as "".
+std::string RenderLabelKey(const Labels& labels) {
+  if (labels.empty()) return std::string();
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "{";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ',';
+    out += sorted[i].first;
+    out += "=\"";
+    for (const char c : sorted[i].second) {
+      if (c == '\\' || c == '"') out += '\\';
+      out += c;
+    }
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+Labels SortedLabels(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+constexpr double kNanoUnits = 1e9;
+
+}  // namespace
+
+std::uint32_t ThisThreadId() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::string_view MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "counter";
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  while (!bounds_.empty() && !std::isfinite(bounds_.back())) bounds_.pop_back();
+  stripes_.reserve(kMetricStripes);
+  for (std::size_t i = 0; i < kMetricStripes; ++i) {
+    stripes_.push_back(std::make_unique<HistStripe>(bounds_.size() + 1));
+  }
+}
+
+void Histogram::Observe(double value) noexcept {
+  // Prometheus `le` semantics: the bucket for v is the first bound >= v.
+  // bounds_ is immutable after construction, so the scan is race-free; it
+  // is a short linear pass (latency histograms carry ~20 bounds) that
+  // touches no shared line until the owning stripe.
+  std::size_t bucket = 0;
+  while (bucket < bounds_.size() && value > bounds_[bucket]) ++bucket;
+  HistStripe& stripe = *stripes_[ThisThreadStripe()];
+  stripe.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  stripe.observations.fetch_add(1, std::memory_order_relaxed);
+  double clamped = value;
+  if (!std::isfinite(clamped)) clamped = 0.0;
+  clamped = std::clamp(
+      clamped * kNanoUnits, 0.0,
+      static_cast<double>(std::numeric_limits<std::int64_t>::max()));
+  stripe.sum_nano.fetch_add(static_cast<std::uint64_t>(clamped),
+                            std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::Count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : stripes_) {
+    total += s->observations.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const noexcept {
+  std::uint64_t nano = 0;
+  for (const auto& s : stripes_) {
+    nano += s->sum_nano.load(std::memory_order_relaxed);
+  }
+  return static_cast<double>(nano) / kNanoUnits;
+}
+
+std::vector<std::uint64_t> Histogram::BucketCounts() const {
+  std::vector<std::uint64_t> merged(bounds_.size() + 1, 0);
+  for (const auto& s : stripes_) {
+    for (std::size_t b = 0; b < merged.size(); ++b) {
+      merged[b] += s->counts[b].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+std::vector<double> ExponentialBounds(double start, double factor,
+                                      std::size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double v = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> LinearBounds(double start, double step, std::size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(start + step * static_cast<double>(i));
+  }
+  return bounds;
+}
+
+double HistogramData::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < bucket_counts.size(); ++b) {
+    const std::uint64_t in_bucket = bucket_counts[b];
+    if (static_cast<double>(cumulative + in_bucket) >= target &&
+        in_bucket > 0) {
+      // Interpolate the rank inside this bucket between its bounds; the
+      // first bucket starts at min(0, bound), the +Inf bucket pins to the
+      // largest finite bound (no width to interpolate over).
+      if (b >= bounds.size()) {
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double hi = bounds[b];
+      const double lo = b == 0 ? std::min(0.0, hi) : bounds[b - 1];
+      const double fraction =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(fraction, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot lookups.
+
+const MetricFamily* MetricsSnapshot::FindFamily(std::string_view name) const {
+  const auto it = std::lower_bound(
+      families.begin(), families.end(), name,
+      [](const MetricFamily& f, std::string_view n) { return f.name < n; });
+  if (it == families.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+const MetricValue* MetricsSnapshot::Find(std::string_view name,
+                                         const Labels& labels) const {
+  const MetricFamily* family = FindFamily(name);
+  if (family == nullptr) return nullptr;
+  const Labels sorted = SortedLabels(labels);
+  for (const MetricValue& v : family->values) {
+    if (v.labels == sorted) return &v;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::CounterValue(std::string_view name,
+                                            const Labels& labels,
+                                            std::uint64_t fallback) const {
+  const MetricValue* v = Find(name, labels);
+  return v == nullptr ? fallback : v->counter;
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+MetricsRegistry::Cell& MetricsRegistry::GetCell(std::string_view name,
+                                                std::string_view help,
+                                                MetricType type,
+                                                const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = families_[std::string(name)];
+  if (family.cells.empty()) {
+    family.help = std::string(help);
+    family.type = type;
+  } else if (family.type != type) {
+    throw std::logic_error("MetricsRegistry: metric '" + std::string(name) +
+                           "' re-registered as a different type");
+  }
+  Cell& cell = family.cells[RenderLabelKey(labels)];
+  if (cell.labels.empty() && !labels.empty()) cell.labels = SortedLabels(labels);
+  return cell;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help,
+                                     const Labels& labels) {
+  Cell& cell = GetCell(name, help, MetricType::kCounter, labels);
+  if (cell.counter == nullptr) cell.counter.reset(new Counter());
+  return cell.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view help,
+                                 const Labels& labels) {
+  Cell& cell = GetCell(name, help, MetricType::kGauge, labels);
+  if (cell.gauge == nullptr) cell.gauge.reset(new Gauge());
+  return cell.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help,
+                                         std::vector<double> bounds,
+                                         const Labels& labels) {
+  Cell& cell = GetCell(name, help, MetricType::kHistogram, labels);
+  if (cell.histogram == nullptr) {
+    cell.histogram.reset(new Histogram(std::move(bounds)));
+  }
+  return cell.histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap.families.reserve(families_.size());
+  for (const auto& [name, family] : families_) {
+    MetricFamily out;
+    out.name = name;
+    out.help = family.help;
+    out.type = family.type;
+    out.values.reserve(family.cells.size());
+    for (const auto& [key, cell] : family.cells) {
+      MetricValue v;
+      v.labels = cell.labels;
+      switch (family.type) {
+        case MetricType::kCounter:
+          v.counter = cell.counter->Value();
+          break;
+        case MetricType::kGauge:
+          v.gauge = cell.gauge->Value();
+          break;
+        case MetricType::kHistogram:
+          v.histogram.bounds = cell.histogram->bounds();
+          v.histogram.bucket_counts = cell.histogram->BucketCounts();
+          v.histogram.count = cell.histogram->Count();
+          v.histogram.sum = cell.histogram->Sum();
+          break;
+      }
+      out.values.push_back(std::move(v));
+    }
+    snap.families.push_back(std::move(out));
+  }
+  return snap;  // std::map iteration is already name-sorted
+}
+
+}  // namespace ddos::obs

@@ -1,0 +1,270 @@
+// ddos::obs - runtime metrics for the streaming stack.
+//
+// The paper's pipeline consumed a 207-day commercial feed; a run of that
+// length dies silently unless its internals - ingest rates, queue
+// backpressure, sketch memory, checkpoint latency - are observable while it
+// is still alive. This header is the bottom layer of that observability:
+// a MetricsRegistry of named counters, gauges, and fixed-bucket histograms
+// that hot threads can update lock-free and a reader can snapshot at any
+// instant.
+//
+// Concurrency discipline (the same cache-line ownership as
+// common/spsc_queue.h): every writable cell is an alignas(64) atomic
+// updated with relaxed fetch_add, and counters/histograms stripe their
+// cells so threads landing on different stripes never share a line.
+// Snapshot() merges the stripes with plain relaxed loads - each stripe is
+// monotone, so a concurrent snapshot sees a value the metric passed
+// through, which is all a monitoring read needs.
+//
+// Hot-path cost model: instrumented code holds resolved Counter*/Gauge*/
+// Histogram* pointers (registration is mutex-guarded and happens once, at
+// attach time); an update is one relaxed atomic RMW and never allocates.
+// Unattached components keep null pointers, so the disabled path is a
+// single predictable branch - see MaybeAdd and friends.
+//
+// This layer depends on nothing but the standard library, so every other
+// module (common included) can link it without cycles.
+#ifndef DDOSCOPE_OBS_METRICS_H_
+#define DDOSCOPE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ddos::obs {
+
+// Writer stripes per counter/histogram. Eight 64-byte lines bound the
+// footprint of a counter at 512 bytes while keeping the handful of pipeline
+// threads (router + shard workers + pool workers) mostly collision-free.
+inline constexpr std::size_t kMetricStripes = 8;
+
+// Small dense id for the calling thread, assigned round-robin on first use;
+// stable for the thread's lifetime. Shared by metric striping and trace
+// events (obs/trace.h), so a Chrome trace's tid matches the stripe owner.
+std::uint32_t ThisThreadId();
+
+inline std::size_t ThisThreadStripe() {
+  return ThisThreadId() % kMetricStripes;
+}
+
+struct alignas(64) MetricStripe {
+  std::atomic<std::uint64_t> value{0};
+};
+
+// Monotone event count. Writers add from any thread; Value() is the sum of
+// the stripes.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) noexcept {
+    stripes_[ThisThreadStripe()].value.fetch_add(n,
+                                                 std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const noexcept {
+    std::uint64_t total = 0;
+    for (const MetricStripe& s : stripes_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::array<MetricStripe, kMetricStripes> stripes_;
+};
+
+// Instantaneous level (queue depth, bytes held) or high-water mark. A gauge
+// is one atomic: it carries a level set by one owner (or rare updates), not
+// a per-event stream, so striping would only blur Set semantics.
+class Gauge {
+ public:
+  void Set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  // Monotone high-water update; cheap when the mark already covers v
+  // (one relaxed load, no RMW).
+  void UpdateMax(std::int64_t v) noexcept {
+    std::int64_t seen = value_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !value_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t Value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  alignas(64) std::atomic<std::int64_t> value_{0};
+};
+
+// Fixed-bucket histogram: cumulative-style buckets with configured upper
+// bounds (ascending; an implicit +Inf bucket is appended), per-stripe
+// count arrays so concurrent observers do not share lines. The value sum is
+// kept in integer nanounits (value * 1e9, saturating) so it needs no
+// floating-point CAS loop on the hot path.
+class Histogram {
+ public:
+  void Observe(double value) noexcept;
+
+  std::uint64_t Count() const noexcept;
+  double Sum() const noexcept;
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  // Merged per-bucket counts (size bounds().size() + 1; last is +Inf).
+  std::vector<std::uint64_t> BucketCounts() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  struct alignas(64) HistStripe {
+    explicit HistStripe(std::size_t buckets)
+        : counts(std::make_unique<std::atomic<std::uint64_t>[]>(buckets)) {
+      for (std::size_t i = 0; i < buckets; ++i) {
+        counts[i].store(0, std::memory_order_relaxed);
+      }
+    }
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts;
+    std::atomic<std::uint64_t> observations{0};
+    std::atomic<std::uint64_t> sum_nano{0};  // saturating
+  };
+
+  std::vector<double> bounds_;  // ascending, finite
+  // unique_ptr cells: atomics make HistStripe immovable, which vector
+  // storage would require.
+  std::vector<std::unique_ptr<HistStripe>> stripes_;
+};
+
+// `count` buckets growing geometrically from `start` by `factor` - the
+// usual latency-histogram shape (e.g. 100 us .. ~100 s).
+std::vector<double> ExponentialBounds(double start, double factor,
+                                      std::size_t count);
+// Evenly spaced bounds: start, start+step, ... (count bounds).
+std::vector<double> LinearBounds(double start, double step, std::size_t count);
+
+// ---------------------------------------------------------------------------
+// Snapshot types: plain data, safe to copy, render, or ship across threads.
+
+enum class MetricType : std::uint8_t { kCounter, kGauge, kHistogram };
+
+std::string_view MetricTypeName(MetricType type);
+
+// Sorted (key, value) label pairs rendered Prometheus-style.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+struct HistogramData {
+  std::vector<double> bounds;                 // finite upper bounds
+  std::vector<std::uint64_t> bucket_counts;   // bounds.size() + 1, last +Inf
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  // Rank-q estimate by linear interpolation inside the owning bucket; the
+  // error is bounded by that bucket's width (exact at bucket boundaries).
+  // The +Inf bucket yields the largest finite bound.
+  double Quantile(double q) const;
+};
+
+struct MetricValue {
+  Labels labels;
+  std::uint64_t counter = 0;  // kCounter
+  std::int64_t gauge = 0;     // kGauge
+  HistogramData histogram;    // kHistogram
+};
+
+struct MetricFamily {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  std::vector<MetricValue> values;  // sorted by rendered label string
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricFamily> families;  // sorted by name
+
+  const MetricFamily* FindFamily(std::string_view name) const;
+  // Null when the (family, labels) pair is absent.
+  const MetricValue* Find(std::string_view name, const Labels& labels) const;
+  // Convenience: counter value or `fallback` when absent.
+  std::uint64_t CounterValue(std::string_view name, const Labels& labels = {},
+                             std::uint64_t fallback = 0) const;
+};
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create. The returned pointer is owned by the registry and
+  // stable for its lifetime, so callers resolve once and update lock-free.
+  // Re-registering an existing (name, labels) pair returns the same cell
+  // (help/bounds of the first registration win); registering a name under
+  // a different metric type throws std::logic_error.
+  Counter* GetCounter(std::string_view name, std::string_view help,
+                      const Labels& labels = {});
+  Gauge* GetGauge(std::string_view name, std::string_view help,
+                  const Labels& labels = {});
+  Histogram* GetHistogram(std::string_view name, std::string_view help,
+                          std::vector<double> bounds,
+                          const Labels& labels = {});
+
+  // Coherent-enough view for monitoring: per-cell merged values at some
+  // instant during the call (stripes are summed with relaxed loads).
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  struct Cell {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    std::map<std::string, Cell> cells;  // keyed by rendered label string
+  };
+
+  Cell& GetCell(std::string_view name, std::string_view help,
+                MetricType type, const Labels& labels);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family> families_;
+};
+
+// ---------------------------------------------------------------------------
+// Null-safe helpers for instrumented components: a component that was never
+// attached to a registry keeps null handles, and the disabled hot path is
+// one branch on a pointer the optimizer can hoist.
+
+inline void MaybeAdd(Counter* c, std::uint64_t n = 1) noexcept {
+  if (c != nullptr) c->Add(n);
+}
+inline void MaybeSet(Gauge* g, std::int64_t v) noexcept {
+  if (g != nullptr) g->Set(v);
+}
+inline void MaybeUpdateMax(Gauge* g, std::int64_t v) noexcept {
+  if (g != nullptr) g->UpdateMax(v);
+}
+inline void MaybeObserve(Histogram* h, double v) noexcept {
+  if (h != nullptr) h->Observe(v);
+}
+
+}  // namespace ddos::obs
+
+#endif  // DDOSCOPE_OBS_METRICS_H_

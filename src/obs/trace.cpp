@@ -1,0 +1,117 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ddos::obs {
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      ring_(capacity == 0 ? 1 : capacity) {}
+
+std::int64_t TraceRecorder::NowMicros() const noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceRecorder::Record(const char* name, const char* category,
+                           std::int64_t start_us,
+                           std::int64_t duration_us) noexcept {
+  const std::uint64_t index = next_.fetch_add(1, std::memory_order_relaxed);
+  if (index >= ring_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Slot& slot = ring_[index];
+  slot.event.name = name;
+  slot.event.category = category;
+  slot.event.start_us = start_us;
+  slot.event.duration_us = duration_us;
+  slot.event.tid = ThisThreadId();
+  slot.written.store(true, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::vector<TraceEvent> events;
+  const std::uint64_t claimed = next_.load(std::memory_order_relaxed);
+  const std::size_t n =
+      claimed < ring_.size() ? static_cast<std::size_t>(claimed) : ring_.size();
+  events.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ring_[i].written.load(std::memory_order_acquire)) {
+      events.push_back(ring_[i].event);
+    }
+  }
+  return events;
+}
+
+std::uint64_t TraceRecorder::recorded() const noexcept {
+  const std::uint64_t claimed = next_.load(std::memory_order_relaxed);
+  const std::uint64_t cap = ring_.size();
+  return claimed < cap ? claimed : cap;
+}
+
+void TraceRecorder::WriteChromeTrace(std::ostream& out) const {
+  // The trace_event "complete" form: one object per span, microsecond
+  // timestamps. pid is fixed (one process); tid is the dense obs thread id.
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  const std::vector<TraceEvent> events = Events();
+  char buffer[256];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                  "\"ts\":%lld,\"dur\":%lld,\"pid\":1,\"tid\":%u}",
+                  i == 0 ? "" : ",", e.name, e.category,
+                  static_cast<long long>(e.start_us),
+                  static_cast<long long>(e.duration_us), e.tid);
+    out << buffer;
+  }
+  out << "]";
+  if (dropped() > 0) {
+    out << ",\"ddoscope_dropped_events\":" << dropped();
+  }
+  out << "}\n";
+}
+
+void TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("TraceRecorder: cannot open " + path);
+  }
+  WriteChromeTrace(out);
+}
+
+SpanTimer::SpanTimer(TraceRecorder* recorder, Histogram* latency,
+                     const char* name, const char* category) noexcept
+    : recorder_(recorder),
+      latency_(latency),
+      name_(name),
+      category_(category) {
+  if (recorder_ != nullptr || latency_ != nullptr) {
+    start_ = std::chrono::steady_clock::now();
+    if (recorder_ != nullptr) start_us_ = recorder_->NowMicros();
+  }
+}
+
+SpanTimer::~SpanTimer() {
+  if (recorder_ == nullptr && latency_ == nullptr) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  if (recorder_ != nullptr) {
+    recorder_->Record(
+        name_, category_, start_us_,
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count());
+  }
+  if (latency_ != nullptr) {
+    latency_->Observe(std::chrono::duration<double>(elapsed).count());
+  }
+}
+
+}  // namespace ddos::obs

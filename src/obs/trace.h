@@ -1,0 +1,119 @@
+// Scoped span timers over a bounded lock-free event ring, exported as
+// Chrome trace_event JSON (chrome://tracing / Perfetto "traceEvents").
+//
+// A span is opened by constructing a SpanTimer (usually via the
+// DDOS_TRACE_SPAN macro) and closed by its destructor, which appends one
+// complete ("ph":"X") event to the recorder's ring. Recording is a single
+// fetch_add to claim a slot plus plain stores into it: slots are claimed
+// exactly once, so concurrent writers never touch the same slot and the
+// ring is TSan-clean by construction. When the ring is full further events
+// are counted as dropped rather than wrapped - wrapping would let a slow
+// writer race a re-claimed slot, and for a pipeline trace the startup
+// window plus the drop count is more useful than a torn tail.
+//
+// Span names and categories must be string literals (or otherwise outlive
+// the recorder): events store the pointers, which is what keeps the hot
+// path free of allocation.
+//
+// A null recorder disables everything: SpanTimer skips even its clock
+// reads, so instrumentation sites cost one branch when tracing is off.
+#ifndef DDOSCOPE_OBS_TRACE_H_
+#define DDOSCOPE_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace ddos::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;      // literal; null marks an unwritten slot
+  const char* category = nullptr;  // literal
+  std::int64_t start_us = 0;       // since the recorder's epoch
+  std::int64_t duration_us = 0;
+  std::uint32_t tid = 0;           // obs::ThisThreadId()
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 1 << 16);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Appends one complete span; drops (and counts) when the ring is full.
+  void Record(const char* name, const char* category, std::int64_t start_us,
+              std::int64_t duration_us) noexcept;
+
+  // Microseconds since this recorder was constructed (the trace epoch).
+  std::int64_t NowMicros() const noexcept;
+
+  // The recorded events in claim order. Call after writers quiesce (end of
+  // run); a concurrent call sees only fully written slots.
+  std::vector<TraceEvent> Events() const;
+
+  std::uint64_t recorded() const noexcept;
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity() const noexcept { return ring_.size(); }
+
+  // Chrome trace_event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  // Loadable in chrome://tracing and ui.perfetto.dev.
+  void WriteChromeTrace(std::ostream& out) const;
+  void WriteChromeTrace(const std::string& path) const;
+
+ private:
+  struct Slot {
+    TraceEvent event;
+    // Set with release after the event fields; Events() acquires it, so a
+    // concurrent reader sees either a complete event or none.
+    std::atomic<bool> written{false};
+  };
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<Slot> ring_;
+  alignas(64) std::atomic<std::uint64_t> next_{0};
+  alignas(64) std::atomic<std::uint64_t> dropped_{0};
+};
+
+class Histogram;
+
+// RAII span: records [construction, destruction) into the recorder, and
+// optionally Observe()s the duration (in seconds) into a latency histogram
+// so one scope feeds both the trace view and the metrics view.
+class SpanTimer {
+ public:
+  SpanTimer(TraceRecorder* recorder, const char* name,
+            const char* category) noexcept
+      : SpanTimer(recorder, nullptr, name, category) {}
+  SpanTimer(TraceRecorder* recorder, Histogram* latency, const char* name,
+            const char* category) noexcept;
+  ~SpanTimer();
+
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  Histogram* latency_;
+  const char* name_;
+  const char* category_;
+  std::chrono::steady_clock::time_point start_;
+  std::int64_t start_us_ = 0;
+};
+
+#define DDOS_OBS_CONCAT_INNER(a, b) a##b
+#define DDOS_OBS_CONCAT(a, b) DDOS_OBS_CONCAT_INNER(a, b)
+// Scoped pipeline-stage span: DDOS_TRACE_SPAN(recorder, "merge", "sharded");
+// pass a null recorder to compile the site down to a dead local.
+#define DDOS_TRACE_SPAN(recorder, name, category)           \
+  ::ddos::obs::SpanTimer DDOS_OBS_CONCAT(ddos_trace_span_, \
+                                         __LINE__)(recorder, name, category)
+
+}  // namespace ddos::obs
+
+#endif  // DDOSCOPE_OBS_TRACE_H_

@@ -31,6 +31,7 @@ void StreamEngine::AddRecord(const data::AttackRecord& attack) {
   if (attacks_ == 0) first_start_ = attack.start_time;
   last_start_ = std::max(last_start_, attack.start_time);
   ++attacks_;
+  obs::MaybeAdd(obs_attacks_);
 
   const double duration =
       std::max<double>(0.0, static_cast<double>(attack.duration_seconds()));
@@ -75,6 +76,33 @@ void StreamEngine::PushRouted(const data::AttackRecord& attack, bool has_gap,
 
 void StreamEngine::PushCollab(const CollabObservation& obs) {
   collab_.Push(obs);
+  obs::MaybeAdd(obs_collab_obs_);
+}
+
+void StreamEngine::AttachMetrics(obs::MetricsRegistry* registry,
+                                 std::string_view shard) {
+  if (registry == nullptr) return;
+  const obs::Labels labels = {{"shard", std::string(shard)}};
+  obs_attacks_ = registry->GetCounter(
+      "ddoscope_stream_attacks_total", "Attack records applied to the engine",
+      labels);
+  obs_collab_obs_ = registry->GetCounter(
+      "ddoscope_stream_collab_observations_total",
+      "Observations fed to the collaboration detector", labels);
+  obs_memory_ = registry->GetGauge(
+      "ddoscope_stream_memory_bytes",
+      "ApproxMemoryBytes of the engine (sketches, windows, open runs)",
+      labels);
+  obs_open_runs_ = registry->GetGauge(
+      "ddoscope_stream_open_runs", "Open sessionizer runs held in memory",
+      labels);
+}
+
+void StreamEngine::UpdateObsGauges() const {
+  if (obs_memory_ == nullptr) return;
+  obs_memory_->Set(static_cast<std::int64_t>(ApproxMemoryBytes()));
+  obs::MaybeSet(obs_open_runs_,
+                static_cast<std::int64_t>(sessionizer_.open_runs()));
 }
 
 void StreamEngine::Merge(const StreamEngine& other,
@@ -151,6 +179,7 @@ void StreamEngine::Finish() {
 }
 
 StreamSnapshot StreamEngine::Snapshot(std::size_t top_k) const {
+  UpdateObsGauges();  // snapshot cadence is the natural gauge refresh
   StreamSnapshot snap;
   snap.attacks = attacks_;
   snap.first_start = first_start_;

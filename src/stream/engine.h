@@ -33,6 +33,7 @@
 #include "core/durations.h"
 #include "core/intervals.h"
 #include "core/overview.h"
+#include "obs/metrics.h"
 #include "stream/collab_window.h"
 #include "stream/ingest.h"
 #include "stream/sketch.h"
@@ -130,6 +131,19 @@ class StreamEngine {
 
   StreamSnapshot Snapshot(std::size_t top_k = 10) const;
 
+  // Publishes this engine's throughput and state under ddoscope_stream_*
+  // with a {shard="<label>"} label ("0" for a single engine, the shard
+  // index under sharded ingest). Handles resolve once here; Push then pays
+  // one relaxed add per record and nothing when never attached. The
+  // registry must outlive the engine. Copies of an attached engine (e.g.
+  // checkpoint snapshots) share the same cells but are never pushed to, so
+  // they do not double-count.
+  void AttachMetrics(obs::MetricsRegistry* registry, std::string_view shard);
+
+  // Refreshes the attached memory/open-run gauges (ApproxMemoryBytes walk;
+  // off the per-record path by design). No-op when unattached.
+  void UpdateObsGauges() const;
+
   std::uint64_t attacks_seen() const { return attacks_; }
   TimePoint first_start() const { return first_start_; }
   TimePoint last_start() const { return last_start_; }
@@ -183,6 +197,12 @@ class StreamEngine {
   std::vector<data::AttackRecord> session_buffer_;
 
   std::deque<TimePoint> window_starts_;  // starts inside the rolling window
+
+  // Resolved obs handles (never serialized); null when unattached.
+  obs::Counter* obs_attacks_ = nullptr;
+  obs::Counter* obs_collab_obs_ = nullptr;
+  obs::Gauge* obs_memory_ = nullptr;
+  obs::Gauge* obs_open_runs_ = nullptr;
 };
 
 }  // namespace ddos::stream

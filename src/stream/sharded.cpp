@@ -1,7 +1,9 @@
 #include "stream/sharded.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "stream/sketch.h"
@@ -14,6 +16,34 @@ namespace {
 // amortize the lock, short enough that a snapshot barrier never waits on
 // more than one small batch.
 constexpr std::size_t kWorkerBatch = 256;
+
+// Bounded exponential backoff shared by the producer (ring full) and the
+// workers (ring empty): yield for the first kBackoffYields attempts - the
+// stall is usually one in-flight batch - then sleep, doubling from 1 us to
+// kBackoffMaxSleep so a long stall costs microwatts instead of a spinning
+// core, while the cap keeps wakeup latency bounded at ~1 ms.
+constexpr std::uint32_t kBackoffYields = 64;
+constexpr std::chrono::microseconds kBackoffMinSleep{1};
+constexpr std::chrono::microseconds kBackoffMaxSleep{1000};
+
+// One backoff step for `attempt` (0-based). Returns true when it slept
+// (as opposed to yielding), so callers can count sleeps separately.
+inline bool BackoffStep(std::uint32_t attempt) {
+  if (attempt < kBackoffYields) {
+    std::this_thread::yield();
+    return false;
+  }
+  const std::uint32_t exp =
+      std::min<std::uint32_t>(attempt - kBackoffYields, 10);  // 2^10 = 1024 us
+  const auto sleep = std::min(kBackoffMaxSleep, kBackoffMinSleep * (1u << exp));
+  std::this_thread::sleep_for(sleep);
+  return true;
+}
+
+// Sampling mask for worker batch spans: tracing every 256-record batch of a
+// multi-million-record feed would exhaust the bounded ring in seconds, and
+// 1-in-16 still shows the duty cycle clearly in the timeline.
+constexpr std::uint64_t kBatchSpanSampleMask = 15;
 
 }  // namespace
 
@@ -28,6 +58,39 @@ ShardedStreamEngine::ShardedStreamEngine(
   for (std::size_t i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>(
         std::max<std::size_t>(2, config.queue_capacity), worker_config_));
+  }
+  trace_ = config.trace;
+  if (config.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *config.metrics;
+    obs_merge_seconds_ = reg.GetHistogram(
+        "ddoscope_sharded_merge_seconds",
+        "Latency of folding all shard engines into one merged view",
+        obs::ExponentialBounds(1e-5, 4.0, 12));
+    obs_checkpoint_seconds_ = reg.GetHistogram(
+        "ddoscope_sharded_checkpoint_seconds",
+        "Latency of a sharded checkpoint (barrier + copy + serialize)",
+        obs::ExponentialBounds(1e-4, 4.0, 12));
+    for (std::size_t i = 0; i < n; ++i) {
+      Shard& shard = *shards_[i];
+      const obs::Labels labels{{"shard", std::to_string(i)}};
+      shard.engine.AttachMetrics(config.metrics, std::to_string(i));
+      shard.obs_push_retries = reg.GetCounter(
+          "ddoscope_sharded_push_retries_total",
+          "Failed ring TryPush attempts (ring full, producer retried)",
+          labels);
+      shard.obs_backpressure_sleeps = reg.GetCounter(
+          "ddoscope_sharded_backpressure_sleeps_total",
+          "Producer backoff sleeps while the shard ring stayed full", labels);
+      shard.obs_idle_sleeps = reg.GetCounter(
+          "ddoscope_sharded_worker_idle_sleeps_total",
+          "Worker backoff sleeps while its ring stayed empty", labels);
+      shard.obs_queue_highwater = reg.GetGauge(
+          "ddoscope_sharded_queue_highwater_slots",
+          "Most occupied ring slots the producer has observed", labels);
+      reg.GetGauge("ddoscope_sharded_queue_capacity_slots",
+                   "Ring capacity in slots", labels)
+          ->Set(static_cast<std::int64_t>(shard.queue.capacity()));
+    }
   }
   for (auto& shard : shards_) {
     shard->worker = std::thread([this, s = shard.get()] { WorkerMain(s); });
@@ -45,9 +108,16 @@ ShardedStreamEngine::~ShardedStreamEngine() {
 
 void ShardedStreamEngine::WorkerMain(Shard* shard) {
   Task task;
+  std::uint64_t batches = 0;
+  std::uint32_t idle_attempts = 0;
   for (;;) {
     bool did_work = false;
     {
+      // Sampled span so the trace shows the worker duty cycle without
+      // flooding the bounded ring on every 256-record batch.
+      obs::SpanTimer span(
+          (batches++ & kBatchSpanSampleMask) == 0 ? trace_ : nullptr,
+          "apply_batch", "shard_worker");
       std::lock_guard<std::mutex> lock(shard->mutex);
       // Pop AND apply under the mutex: once the router sees the queue
       // empty and takes this mutex, the engine reflects every routed task.
@@ -66,16 +136,34 @@ void ShardedStreamEngine::WorkerMain(Shard* shard) {
           shard->queue.Empty()) {
         return;
       }
-      std::this_thread::yield();
+      if (BackoffStep(idle_attempts++)) {
+        obs::MaybeAdd(shard->obs_idle_sleeps);
+      }
+    } else {
+      idle_attempts = 0;
     }
   }
 }
 
 void ShardedStreamEngine::Enqueue(std::size_t shard_index, Task&& task) {
-  common::SpscQueue<Task>& queue = shards_[shard_index]->queue;
-  while (!queue.TryPush(std::move(task))) {
-    std::this_thread::yield();  // backpressure: ring full, consumer behind
-  }
+  Shard& shard = *shards_[shard_index];
+  common::SpscQueue<Task>& queue = shard.queue;
+  // High-water before the push: SizeApprox is two relaxed-ish loads on
+  // cursors this thread already touches, and UpdateMax is RMW-free once the
+  // mark is established.
+  obs::MaybeUpdateMax(shard.obs_queue_highwater,
+                      static_cast<std::int64_t>(queue.SizeApprox() + 1));
+  if (queue.TryPush(std::move(task))) return;
+  // Backpressure: ring full, consumer behind. Yield first, then sleep with
+  // exponential backoff - and make the stall visible, because an invisible
+  // spin here is indistinguishable from useful router work in `top`.
+  std::uint32_t attempts = 0;
+  do {
+    obs::MaybeAdd(shard.obs_push_retries);
+    if (BackoffStep(attempts++)) {
+      obs::MaybeAdd(shard.obs_backpressure_sleeps);
+    }
+  } while (!queue.TryPush(std::move(task)));
 }
 
 void ShardedStreamEngine::Push(const data::AttackRecord& attack) {
@@ -114,13 +202,20 @@ void ShardedStreamEngine::Push(const data::AttackRecord& attack) {
 }
 
 void ShardedStreamEngine::DrainBarrier() {
+  DDOS_TRACE_SPAN(trace_, "drain_barrier", "sharded");
   for (auto& shard : shards_) {
     while (!shard->queue.Empty()) std::this_thread::yield();
-    std::lock_guard<std::mutex> lock(shard->mutex);  // flush in-flight batch
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);  // flush in-flight batch
+      // Barriers are the natural cadence for the per-shard state gauges:
+      // frequent enough to be live, far off the per-record path.
+      shard->engine.UpdateObsGauges();
+    }
   }
 }
 
 StreamEngine ShardedStreamEngine::MergeShards() {
+  obs::SpanTimer span(trace_, obs_merge_seconds_, "merge_shards", "sharded");
   StreamEngine merged(worker_config_);
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
@@ -131,6 +226,7 @@ StreamEngine ShardedStreamEngine::MergeShards() {
 
 void ShardedStreamEngine::Finish() {
   if (finished_) return;
+  DDOS_TRACE_SPAN(trace_, "finish", "sharded");
   DrainBarrier();
   for (auto& shard : shards_) {
     shard->stop.store(true, std::memory_order_release);
@@ -150,12 +246,15 @@ const StreamEngine& ShardedStreamEngine::merged() const {
 
 StreamSnapshot ShardedStreamEngine::Snapshot(std::size_t top_k) {
   if (finished_) return merged_->Snapshot(top_k);
+  DDOS_TRACE_SPAN(trace_, "snapshot", "sharded");
   DrainBarrier();
   return MergeShards().Snapshot(top_k);
 }
 
 void ShardedStreamEngine::SaveCheckpoint(std::ostream& out,
                                          const CheckpointMeta& meta) {
+  obs::SpanTimer span(trace_, obs_checkpoint_seconds_, "checkpoint",
+                      "sharded");
   ShardedCheckpointState state;
   state.meta = meta;
   state.router_attacks = attacks_;
@@ -172,6 +271,8 @@ void ShardedStreamEngine::SaveCheckpoint(std::ostream& out,
 
 void ShardedStreamEngine::SaveCheckpoint(const std::string& path,
                                          const CheckpointMeta& meta) {
+  obs::SpanTimer span(trace_, obs_checkpoint_seconds_, "checkpoint",
+                      "sharded");
   ShardedCheckpointState state;
   state.meta = meta;
   state.router_attacks = attacks_;

@@ -41,6 +41,8 @@
 #include <vector>
 
 #include "common/spsc_queue.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/checkpoint.h"
 #include "stream/engine.h"
 
@@ -50,6 +52,15 @@ struct ShardedStreamEngineConfig {
   std::size_t shards = 2;          // worker engines (clamped to >= 1)
   std::size_t queue_capacity = 4096;  // per-shard ring slots (rounded to 2^k)
   StreamEngineConfig engine;       // the requested accuracy contract
+  // Optional observability sinks (owned by the caller, must outlive the
+  // engine). With `metrics` set, every shard publishes ddoscope_stream_*
+  // (via StreamEngine::AttachMetrics) and ddoscope_sharded_* series:
+  // push-retry/backpressure counts, ring occupancy high-water marks, and
+  // merge/checkpoint latency histograms. With `trace` set, pipeline stages
+  // (sampled worker batches, barriers, merges, checkpoints) record
+  // DDOS_TRACE_SPAN events. Null pointers cost one branch per site.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
 };
 
 class ShardedStreamEngine {
@@ -60,8 +71,11 @@ class ShardedStreamEngine {
   ShardedStreamEngine(const ShardedStreamEngine&) = delete;
   ShardedStreamEngine& operator=(const ShardedStreamEngine&) = delete;
 
-  // Routes one attack record; spins (yield) for backpressure when the
-  // destination ring is full. Caller thread only - single producer.
+  // Routes one attack record. When the destination ring is full the
+  // producer backs off in bounded stages - a short yield burst, then
+  // exponentially growing sleeps capped at 1 ms - so a stalled consumer
+  // does not pin a core, and every retry is counted in the per-shard
+  // push-retry metrics. Caller thread only - single producer.
   void Push(const data::AttackRecord& attack);
 
   // End of stream: drains the queues, stops the workers, and folds every
@@ -115,6 +129,12 @@ class ShardedStreamEngine {
     StreamEngine engine;
     std::atomic<bool> stop{false};
     std::thread worker;
+
+    // Resolved obs handles (null when the config carries no registry).
+    obs::Counter* obs_push_retries = nullptr;       // failed TryPush attempts
+    obs::Counter* obs_backpressure_sleeps = nullptr;  // producer slept
+    obs::Counter* obs_idle_sleeps = nullptr;        // worker slept while idle
+    obs::Gauge* obs_queue_highwater = nullptr;      // max occupied slots seen
   };
 
   void WorkerMain(Shard* shard);
@@ -136,6 +156,11 @@ class ShardedStreamEngine {
 
   std::unique_ptr<StreamEngine> merged_;  // set by Finish()
   bool finished_ = false;
+
+  // Whole-engine obs handles (null when unattached).
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::Histogram* obs_merge_seconds_ = nullptr;
+  obs::Histogram* obs_checkpoint_seconds_ = nullptr;
 };
 
 }  // namespace ddos::stream

@@ -1,0 +1,200 @@
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace ddos::obs {
+namespace {
+
+TEST(CounterTest, AddsAndSums) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c_total", "help");
+  EXPECT_EQ(c->Value(), 0u);
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->Value(), 42u);
+}
+
+TEST(CounterTest, RegistryReturnsSameCellForSameNameAndLabels) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("c_total", "help", {{"shard", "0"}});
+  Counter* b = registry.GetCounter("c_total", "other help", {{"shard", "0"}});
+  Counter* other = registry.GetCounter("c_total", "help", {{"shard", "1"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, other);
+}
+
+TEST(CounterTest, LabelOrderDoesNotSplitCells) {
+  MetricsRegistry registry;
+  Counter* a =
+      registry.GetCounter("c_total", "h", {{"a", "1"}, {"b", "2"}});
+  Counter* b =
+      registry.GetCounter("c_total", "h", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(CounterTest, TypeConflictThrows) {
+  MetricsRegistry registry;
+  registry.GetCounter("m", "h");
+  EXPECT_THROW(registry.GetGauge("m", "h"), std::logic_error);
+  EXPECT_THROW(registry.GetHistogram("m", "h", {1.0}), std::logic_error);
+}
+
+TEST(GaugeTest, SetAddAndUpdateMax) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("g", "help");
+  g->Set(10);
+  EXPECT_EQ(g->Value(), 10);
+  g->Add(-3);
+  EXPECT_EQ(g->Value(), 7);
+  g->UpdateMax(5);
+  EXPECT_EQ(g->Value(), 7);  // smaller value does not lower the mark
+  g->UpdateMax(19);
+  EXPECT_EQ(g->Value(), 19);
+}
+
+TEST(MaybeHelpersTest, NullHandlesAreNoOps) {
+  MaybeAdd(nullptr);
+  MaybeAdd(nullptr, 7);
+  MaybeSet(nullptr, 3);
+  MaybeUpdateMax(nullptr, 3);
+  MaybeObserve(nullptr, 1.5);  // must not crash
+}
+
+// The TSan target of the suite: hammer one counter, one gauge and one
+// histogram from many writers while a reader snapshots concurrently, then
+// check the final totals are exact (every stripe merged, nothing torn).
+TEST(MetricsRegistryStressTest, ConcurrentWritersAndSnapshotReader) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("stress_total", "h");
+  Gauge* high = registry.GetGauge("stress_high", "h");
+  Histogram* hist =
+      registry.GetHistogram("stress_seconds", "h", LinearBounds(1, 1, 64));
+
+  constexpr int kWriters = 8;
+  constexpr std::uint64_t kPerWriter = 50000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    std::uint64_t last = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const MetricsSnapshot snap = registry.Snapshot();
+      const std::uint64_t seen = snap.CounterValue("stress_total");
+      EXPECT_GE(seen, last);  // counters are monotone under concurrency
+      last = seen;
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        counter->Add();
+        high->UpdateMax(static_cast<std::int64_t>(i));
+        hist->Observe(static_cast<double>(w));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(counter->Value(), kWriters * kPerWriter);
+  EXPECT_EQ(high->Value(), static_cast<std::int64_t>(kPerWriter - 1));
+  EXPECT_EQ(hist->Count(), kWriters * kPerWriter);
+  EXPECT_NEAR(hist->Sum(),
+              static_cast<double>(kPerWriter) * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7),
+              1e-3);
+}
+
+TEST(HistogramTest, BucketBoundariesFollowPrometheusLeSemantics) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h", "help", {1.0, 2.0, 4.0});
+  h->Observe(0.5);  // <= 1
+  h->Observe(1.0);  // le semantics: exactly the bound lands IN the bucket
+  h->Observe(1.5);  // <= 2
+  h->Observe(4.0);  // <= 4
+  h->Observe(9.0);  // +Inf
+  const std::vector<std::uint64_t> counts = h->BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h->Count(), 5u);
+  EXPECT_NEAR(h->Sum(), 16.0, 1e-6);
+}
+
+TEST(HistogramTest, BoundsAreSortedAndDeduplicated) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h", "help", {4.0, 1.0, 2.0, 2.0});
+  EXPECT_EQ(h->bounds(), (std::vector<double>{1.0, 2.0, 4.0}));
+}
+
+TEST(HistogramTest, ExponentialAndLinearBoundsShape) {
+  const std::vector<double> exp = ExponentialBounds(1.0, 2.0, 4);
+  EXPECT_EQ(exp, (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  const std::vector<double> lin = LinearBounds(0.0, 5.0, 3);
+  EXPECT_EQ(lin, (std::vector<double>{0.0, 5.0, 10.0}));
+}
+
+HistogramData MakeData(std::vector<double> bounds,
+                       std::vector<std::uint64_t> counts) {
+  HistogramData d;
+  d.bounds = std::move(bounds);
+  d.bucket_counts = std::move(counts);
+  for (const std::uint64_t c : d.bucket_counts) d.count += c;
+  return d;
+}
+
+TEST(HistogramDataTest, QuantileInterpolatesInsideOwningBucket) {
+  // 100 observations uniform in (0, 10]: quantiles track the uniform CDF.
+  const HistogramData d = MakeData({2.0, 4.0, 6.0, 8.0, 10.0},
+                                   {20, 20, 20, 20, 20, 0});
+  EXPECT_NEAR(d.Quantile(0.5), 5.0, 1e-9);
+  EXPECT_NEAR(d.Quantile(0.1), 1.0, 1e-9);
+  EXPECT_NEAR(d.Quantile(0.9), 9.0, 1e-9);
+  EXPECT_NEAR(d.Quantile(1.0), 10.0, 1e-9);
+}
+
+TEST(HistogramDataTest, QuantileIsExactAtBucketBoundaries) {
+  const HistogramData d = MakeData({1.0, 2.0}, {50, 50, 0});
+  EXPECT_NEAR(d.Quantile(0.5), 1.0, 1e-9);
+}
+
+TEST(HistogramDataTest, QuantileEdgeCases) {
+  const HistogramData empty = MakeData({1.0}, {0, 0});
+  EXPECT_EQ(empty.Quantile(0.5), 0.0);
+  // Everything overflowed: pin to the largest finite bound.
+  const HistogramData inf_only = MakeData({1.0, 2.0}, {0, 0, 10});
+  EXPECT_EQ(inf_only.Quantile(0.5), 2.0);
+}
+
+TEST(SnapshotTest, FindAndCounterValue) {
+  MetricsRegistry registry;
+  registry.GetCounter("a_total", "h", {{"k", "v"}})->Add(3);
+  registry.GetGauge("b", "h")->Set(-4);
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_NE(snap.FindFamily("a_total"), nullptr);
+  EXPECT_EQ(snap.FindFamily("missing"), nullptr);
+  EXPECT_EQ(snap.CounterValue("a_total", {{"k", "v"}}), 3u);
+  EXPECT_EQ(snap.CounterValue("a_total", {{"k", "other"}}, 99u), 99u);
+  const MetricValue* gauge = snap.Find("b", {});
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->gauge, -4);
+}
+
+TEST(SnapshotTest, FamiliesSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("z_total", "h");
+  registry.GetCounter("a_total", "h");
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.families.size(), 2u);
+  EXPECT_EQ(snap.families[0].name, "a_total");
+  EXPECT_EQ(snap.families[1].name, "z_total");
+}
+
+}  // namespace
+}  // namespace ddos::obs

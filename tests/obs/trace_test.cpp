@@ -1,0 +1,124 @@
+#include "obs/trace.h"
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+
+namespace ddos::obs {
+namespace {
+
+TEST(TraceRecorderTest, RecordsSpansInClaimOrder) {
+  TraceRecorder recorder(16);
+  recorder.Record("first", "cat", 10, 5);
+  recorder.Record("second", "cat", 20, 7);
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "first");
+  EXPECT_EQ(events[0].start_us, 10);
+  EXPECT_EQ(events[0].duration_us, 5);
+  EXPECT_STREQ(events[1].name, "second");
+  EXPECT_EQ(recorder.recorded(), 2u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(TraceRecorderTest, FullRingDropsInsteadOfWrapping) {
+  TraceRecorder recorder(4);
+  for (int i = 0; i < 10; ++i) recorder.Record("s", "c", i, 1);
+  EXPECT_EQ(recorder.recorded(), 4u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  // The kept events are the FIRST four - the startup window, not a torn
+  // tail.
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].start_us, 0);
+  EXPECT_EQ(events[3].start_us, 3);
+}
+
+TEST(TraceRecorderTest, ConcurrentWritersClaimUniqueSlots) {
+  TraceRecorder recorder(1 << 13);  // 8192 slots > the 8000 claims below
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) recorder.Record("w", "c", i, 1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(recorder.Events().size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(SpanTimerTest, RecordsOneCompleteEvent) {
+  TraceRecorder recorder(16);
+  { DDOS_TRACE_SPAN(&recorder, "scope", "test"); }
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "scope");
+  EXPECT_STREQ(events[0].category, "test");
+  EXPECT_GE(events[0].duration_us, 0);
+}
+
+TEST(SpanTimerTest, NullRecorderIsANoOp) {
+  { DDOS_TRACE_SPAN(nullptr, "scope", "test"); }  // must not crash
+  TraceRecorder* null_recorder = nullptr;
+  { SpanTimer span(null_recorder, "scope", "test"); }
+}
+
+TEST(SpanTimerTest, FeedsLatencyHistogramWithoutRecorder) {
+  MetricsRegistry registry;
+  Histogram* latency =
+      registry.GetHistogram("span_seconds", "h", ExponentialBounds(1e-6, 10, 8));
+  { SpanTimer span(nullptr, latency, "scope", "test"); }
+  EXPECT_EQ(latency->Count(), 1u);
+}
+
+TEST(SpanTimerTest, FeedsBothRecorderAndHistogram) {
+  TraceRecorder recorder(16);
+  MetricsRegistry registry;
+  Histogram* latency =
+      registry.GetHistogram("span_seconds", "h", ExponentialBounds(1e-6, 10, 8));
+  { SpanTimer span(&recorder, latency, "scope", "test"); }
+  EXPECT_EQ(recorder.Events().size(), 1u);
+  EXPECT_EQ(latency->Count(), 1u);
+}
+
+TEST(ChromeTraceTest, EmitsLoadableJson) {
+  TraceRecorder recorder(16);
+  recorder.Record("merge", "sharded", 100, 50);
+  recorder.Record("checkpoint", "cli", 200, 25);
+  std::ostringstream out;
+  recorder.WriteChromeTrace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"merge\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"sharded\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":50"), std::string::npos);
+  EXPECT_EQ(json.find("ddoscope_dropped_events"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, ReportsDropCount) {
+  TraceRecorder recorder(1);
+  recorder.Record("a", "c", 0, 1);
+  recorder.Record("b", "c", 1, 1);
+  std::ostringstream out;
+  recorder.WriteChromeTrace(out);
+  EXPECT_NE(out.str().find("\"ddoscope_dropped_events\":1"),
+            std::string::npos);
+}
+
+TEST(ChromeTraceTest, EmptyRecorderStillValidJson) {
+  TraceRecorder recorder(4);
+  std::ostringstream out;
+  recorder.WriteChromeTrace(out);
+  EXPECT_NE(out.str().find("\"traceEvents\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ddos::obs

@@ -16,7 +16,8 @@
 //   ddoscope watch ATTACKS.csv|- [--window H] [--every N] [--epsilon E]
 //                  [--max-lateness S] [--on-error abort|skip|quarantine=F]
 //                  [--checkpoint FILE] [--checkpoint-every N] [--resume]
-//                  [--shards N]
+//                  [--shards N] [--stats-interval S] [--metrics-out FILE]
+//                  [--trace-out FILE]
 //       Tail the trace (or stdin, with `-`) through the streaming engine:
 //       refresh a live summary every N records (0 = final only) with a
 //       rolling H-hour rate window. Bounded memory regardless of trace
@@ -30,6 +31,12 @@
 //       --shards N > 1 partitions ingest across N worker threads
 //       (stream/sharded.h) with the same final summary up to documented
 //       sketch error; checkpoints switch to the sharded format.
+//       --stats-interval S prints a one-line pipeline-health ticker every
+//       S seconds; --metrics-out F dumps every ddoscope_* metric at exit
+//       as Prometheus text (plus F.json); --trace-out F writes a Chrome
+//       trace_event JSON of the pipeline stages (chrome://tracing).
+//   ddoscope metrics METRICS.prom
+//       Pretty-print a --metrics-out dump as a terminal table.
 //   ddoscope batch ATTACKS.csv [--jobs N] [--partitions P] [--epsilon E]
 //       Analyze an on-disk trace with P time partitions on N threads and
 //       print the merged final summary (stream/parallel_batch.h).
@@ -37,6 +44,7 @@
 // The CSV schema is Table I of the paper (see data/csv.h), so externally
 // collected traces work with every subcommand except `generate`.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -58,6 +66,9 @@
 #include "data/ingest_error.h"
 #include "data/query.h"
 #include "geo/geo_db.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/checkpoint.h"
 #include "stream/engine.h"
 #include "stream/parallel_batch.h"
@@ -83,6 +94,9 @@ int Usage() {
                "                 [--on-error abort|skip|quarantine=FILE]\n"
                "                 [--checkpoint FILE] [--checkpoint-every N]\n"
                "                 [--resume] [--shards N]\n"
+               "                 [--stats-interval S] [--metrics-out FILE]\n"
+               "                 [--trace-out FILE]\n"
+               "  ddoscope metrics METRICS.prom\n"
                "  ddoscope batch ATTACKS.csv [--jobs N] [--partitions P]\n"
                "                 [--epsilon E]\n");
   return 2;
@@ -386,6 +400,30 @@ int CmdWatch(const std::string& path,
         std::max<std::int64_t>(1, ParseInt64(it->second).value_or(1)));
   }
 
+  // Observability: any of the three flags arms the registry; the reader and
+  // engines then resolve their handles at attach time and the per-record
+  // cost is one relaxed add per counter (obs/metrics.h). With none set the
+  // handles stay null and the run is the uninstrumented fast path.
+  double stats_interval = 0.0;
+  if (const auto it = flags.find("stats-interval"); it != flags.end()) {
+    stats_interval = ParseDouble(it->second).value_or(0.0);
+  }
+  std::string metrics_out;
+  if (const auto it = flags.find("metrics-out"); it != flags.end()) {
+    metrics_out = it->second;
+  }
+  std::string trace_out;
+  if (const auto it = flags.find("trace-out"); it != flags.end()) {
+    trace_out = it->second;
+  }
+  const bool obs_enabled =
+      stats_interval > 0.0 || !metrics_out.empty() || !trace_out.empty();
+  auto metrics_registry =
+      obs_enabled ? std::make_unique<obs::MetricsRegistry>() : nullptr;
+  auto trace = trace_out.empty() ? nullptr
+                                 : std::make_unique<obs::TraceRecorder>();
+  parse_options.metrics = metrics_registry.get();
+
   // `-` tails stdin, the ROADMAP's tail -f / pipe source.
   const bool from_stdin = path == "-";
   auto reader = from_stdin
@@ -397,12 +435,17 @@ int CmdWatch(const std::string& path,
   // Skips the feed region a resumed checkpoint already consumed. stdin has
   // no seekable line positions to fast-forward through - the pipe replays
   // the feed from its start - so resume there counts records instead.
+  // SeedErrors afterwards folds the checkpointed error tallies into the
+  // reader, which is the single source of truth from here on: the error
+  // report, the checkpoint meta, and the obs error counters all read (or
+  // feed from) the same reader-side tallies, so none can drift apart.
   const auto resume_reader = [&](const stream::CheckpointMeta& meta) {
     if (from_stdin) {
       reader->ResumeAtRecords(meta.records);
     } else {
       reader->ResumeAt(meta.source_line, meta.records);
     }
+    reader->SeedErrors(meta.errors);
     std::printf("resumed from %s: %llu records, source line %llu\n",
                 checkpoint_path.c_str(),
                 static_cast<unsigned long long>(meta.records),
@@ -410,16 +453,8 @@ int CmdWatch(const std::string& path,
   };
 
   stream::CheckpointMeta resumed;
-  const auto combined_report = [&] {
-    data::IngestErrorReport report = resumed.errors;
-    for (int k = 0; k < data::kIngestErrorKindCount; ++k) {
-      report.counts[static_cast<std::size_t>(k)] +=
-          reader->error_report().counts[static_cast<std::size_t>(k)];
-    }
-    return report;
-  };
   const auto print_error_report = [&] {
-    const data::IngestErrorReport report = combined_report();
+    const data::IngestErrorReport& report = reader->error_report();
     if (report.total() > 0) {
       std::printf("%llu malformed rows rejected:\n%s",
                   static_cast<unsigned long long>(report.total()),
@@ -434,14 +469,63 @@ int CmdWatch(const std::string& path,
     stream::CheckpointMeta meta;
     meta.records = reader->records_read();
     meta.source_line = reader->line_number();
-    meta.errors = combined_report();
+    meta.errors = reader->error_report();
     return meta;
+  };
+
+  // Periodic one-line health ticker (--stats-interval). The clock is only
+  // consulted every 256 records, so an idle-feed line can arrive up to one
+  // record-batch late but the per-record cost is a mask test.
+  using SteadyClock = std::chrono::steady_clock;
+  const auto stats_period = std::chrono::duration_cast<SteadyClock::duration>(
+      std::chrono::duration<double>(stats_interval > 0 ? stats_interval : 1));
+  SteadyClock::time_point stats_last = SteadyClock::now();
+  SteadyClock::time_point stats_next = stats_last + stats_period;
+  const SteadyClock::time_point stats_epoch = stats_last;
+  std::uint64_t stats_last_records = 0;
+  const auto maybe_print_stats = [&](auto&& memory_bytes) {
+    if (stats_interval <= 0.0) return;
+    if ((reader->records_read() & 0xFF) != 0) return;
+    const SteadyClock::time_point now = SteadyClock::now();
+    if (now < stats_next) return;
+    const std::uint64_t records = reader->records_read();
+    const double dt = std::chrono::duration<double>(now - stats_last).count();
+    const double rate =
+        dt > 0 ? static_cast<double>(records - stats_last_records) / dt : 0.0;
+    std::printf(
+        "[stats] t=%.1fs records=%llu rate=%.0f/s errors=%llu mem=%zuKiB\n",
+        std::chrono::duration<double>(now - stats_epoch).count(),
+        static_cast<unsigned long long>(records), rate,
+        static_cast<unsigned long long>(reader->error_report().total()),
+        memory_bytes() / std::size_t{1024});
+    std::fflush(stdout);
+    stats_last = now;
+    stats_last_records = records;
+    stats_next = now + stats_period;
+  };
+
+  // End-of-run exposition: the Prometheus/JSON dump and the Chrome trace.
+  const auto finalize_obs = [&] {
+    if (!metrics_out.empty()) {
+      obs::WriteMetricsFiles(metrics_out, metrics_registry->Snapshot());
+      std::printf("metrics written to %s (and %s.json)\n", metrics_out.c_str(),
+                  metrics_out.c_str());
+    }
+    if (trace != nullptr) {
+      trace->WriteChromeTrace(trace_out);
+      std::printf("trace written to %s (%llu spans, %llu dropped)\n",
+                  trace_out.c_str(),
+                  static_cast<unsigned long long>(trace->recorded()),
+                  static_cast<unsigned long long>(trace->dropped()));
+    }
   };
 
   if (shards > 1) {
     stream::ShardedStreamEngineConfig sharded_config;
     sharded_config.shards = shards;
     sharded_config.engine = config;
+    sharded_config.metrics = metrics_registry.get();
+    sharded_config.trace = trace.get();
     std::unique_ptr<stream::ShardedStreamEngine> engine;
     if (resume) {
       stream::ShardedCheckpointState state =
@@ -461,14 +545,18 @@ int CmdWatch(const std::string& path,
     }
 
     data::AttackRecord attack;
-    while (reader->Next(&attack)) {
-      engine->Push(attack);
-      if (every > 0 && engine->attacks_seen() % every == 0) {
-        PrintWatchSnapshot(engine->Snapshot(), false, window_hours);
-      }
-      if (!checkpoint_path.empty() && checkpoint_every > 0 &&
-          reader->records_read() % checkpoint_every == 0) {
-        engine->SaveCheckpoint(checkpoint_path, checkpoint_meta());
+    {
+      DDOS_TRACE_SPAN(trace.get(), "ingest", "cli");
+      while (reader->Next(&attack)) {
+        engine->Push(attack);
+        maybe_print_stats([&] { return engine->ApproxMemoryBytes(); });
+        if (every > 0 && engine->attacks_seen() % every == 0) {
+          PrintWatchSnapshot(engine->Snapshot(), false, window_hours);
+        }
+        if (!checkpoint_path.empty() && checkpoint_every > 0 &&
+            reader->records_read() % checkpoint_every == 0) {
+          engine->SaveCheckpoint(checkpoint_path, checkpoint_meta());
+        }
       }
     }
     // Final checkpoint before Finish(): Finish sweeps pending collaboration
@@ -481,9 +569,11 @@ int CmdWatch(const std::string& path,
     print_error_report();
     if (engine->attacks_seen() == 0) {
       std::printf("no attacks in %s\n", from_stdin ? "stdin" : path.c_str());
+      finalize_obs();
       return 0;
     }
     PrintWatchSnapshot(engine->Snapshot(), true, window_hours);
+    finalize_obs();
     return 0;
   }
 
@@ -495,20 +585,38 @@ int CmdWatch(const std::string& path,
     window_hours = engine.config().rolling_window_s / kSecondsPerHour;
     resume_reader(resumed);
   }
+  // After the resume branch: a deserialized engine starts unattached, so a
+  // pre-resume attach would be overwritten by the assignment above.
+  if (metrics_registry != nullptr) {
+    engine.AttachMetrics(metrics_registry.get(), "0");
+  }
+  obs::Histogram* checkpoint_hist =
+      metrics_registry == nullptr
+          ? nullptr
+          : metrics_registry->GetHistogram(
+                "ddoscope_stream_checkpoint_seconds",
+                "Latency of a single-engine checkpoint write",
+                obs::ExponentialBounds(1e-4, 4.0, 12));
 
   data::AttackRecord attack;
-  while (reader->Next(&attack)) {
-    engine.Push(attack);
-    if (every > 0 && engine.attacks_seen() % every == 0) {
-      PrintWatchSnapshot(engine.Snapshot(), false, window_hours);
-    }
-    if (!checkpoint_path.empty() && checkpoint_every > 0 &&
-        reader->records_read() % checkpoint_every == 0) {
-      stream::WriteCheckpoint(checkpoint_path, engine, checkpoint_meta());
+  {
+    DDOS_TRACE_SPAN(trace.get(), "ingest", "cli");
+    while (reader->Next(&attack)) {
+      engine.Push(attack);
+      maybe_print_stats([&] { return engine.ApproxMemoryBytes(); });
+      if (every > 0 && engine.attacks_seen() % every == 0) {
+        PrintWatchSnapshot(engine.Snapshot(), false, window_hours);
+      }
+      if (!checkpoint_path.empty() && checkpoint_every > 0 &&
+          reader->records_read() % checkpoint_every == 0) {
+        obs::SpanTimer span(trace.get(), checkpoint_hist, "checkpoint", "cli");
+        stream::WriteCheckpoint(checkpoint_path, engine, checkpoint_meta());
+      }
     }
   }
   // Before Finish(), for the same reason as the sharded path above.
   if (!checkpoint_path.empty()) {
+    obs::SpanTimer span(trace.get(), checkpoint_hist, "checkpoint", "cli");
     stream::WriteCheckpoint(checkpoint_path, engine, checkpoint_meta());
   }
   engine.Finish();
@@ -516,9 +624,11 @@ int CmdWatch(const std::string& path,
   print_error_report();
   if (engine.attacks_seen() == 0) {
     std::printf("no attacks in %s\n", from_stdin ? "stdin" : path.c_str());
+    finalize_obs();
     return 0;
   }
   PrintWatchSnapshot(engine.Snapshot(), true, window_hours);
+  finalize_obs();
   return 0;
 }
 
@@ -547,6 +657,12 @@ int CmdBatch(const std::string& path,
   const std::int64_t window_hours =
       options.engine.rolling_window_s / kSecondsPerHour;
   PrintWatchSnapshot(engine.Snapshot(), true, window_hours);
+  return 0;
+}
+
+int CmdMetrics(const std::string& path) {
+  const obs::MetricsSnapshot snapshot = obs::LoadPrometheusFile(path);
+  std::printf("%s", obs::RenderMetricsTable(snapshot).c_str());
   return 0;
 }
 
@@ -592,6 +708,9 @@ int main(int argc, char** argv) {
     }
     if (command == "watch" && positional.size() == 1) {
       return CmdWatch(positional[0], flags);
+    }
+    if (command == "metrics" && positional.size() == 1) {
+      return CmdMetrics(positional[0]);
     }
     if (command == "batch" && positional.size() == 1) {
       return CmdBatch(positional[0], flags);
