@@ -1,0 +1,253 @@
+// Extension: ddoscoped serving-path benchmark.
+//
+// The daemon turns the sharded streaming engine into an always-on service;
+// this bench holds that serving layer to numbers. An in-process
+// IngestServer (ephemeral loopback ports, auth off) is fed the shared
+// synthetic trace by 1, 4, and 16 concurrent clients; each run reports
+// sustained records/sec and the p99 PING round trip - the PONG for a
+// connection is emitted only after every previously sent row has been
+// pushed into the engine, so the RTT is a faithful upper bound on
+// accept-to-ingest latency. A second phase feeds the same trace with and
+// without a live 100 Hz /metrics scraper to price the scrape path against
+// the repo's 5% ingest-overhead budget.
+//
+// Emits BENCH_netd.json. Exits nonzero when record conservation fails
+// (accepted != fed, the one invariant that must never bend) or when the
+// live-scrape overhead exceeds the budget.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "netd/client.h"
+#include "netd/server.h"
+#include "netd/socket.h"
+
+namespace {
+
+constexpr double kScrapeBudgetPercent = 5.0;
+constexpr std::size_t kPingEvery = 128;  // rows between latency samples
+
+// Each run feeds the trace enough times that the measured region is long
+// compared to scheduler noise; a 3 ms run would turn the overhead gate
+// into a coin flip at CI scale.
+constexpr std::size_t kMinFeedRecords = 20000;
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(idx, values.size() - 1)];
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  double p99_rtt_us = 0.0;
+  std::uint64_t accepted = 0;
+  std::uint64_t scrapes = 0;
+  bool conserved = false;
+};
+
+RunResult RunDaemonFeed(const std::vector<ddos::data::AttackRecord>& attacks,
+                        std::size_t n_clients, std::size_t repeats,
+                        bool scrape) {
+  using namespace ddos;
+  netd::NetdConfig config;
+  config.shards = 4;
+  config.limits.ack_every = 1024;
+  // Looped replays resend the same ddos_ids on purpose.
+  config.limits.detect_duplicate_ids = repeats <= 1;
+  netd::IngestServer server(config);
+  server.Bind();
+  std::thread loop([&server] { server.Run(); });
+
+  // Round-robin partition keeps per-connection ddos_ids disjoint.
+  std::vector<std::vector<const data::AttackRecord*>> slices(n_clients);
+  for (std::size_t i = 0; i < attacks.size(); ++i) {
+    slices[i % n_clients].push_back(&attacks[i]);
+  }
+
+  std::atomic<bool> keep_scraping{scrape};
+  std::uint64_t scrapes = 0;
+  std::thread scraper;
+  if (scrape) {
+    scraper = std::thread([&] {
+      while (keep_scraping.load(std::memory_order_relaxed)) {
+        netd::HttpGet("127.0.0.1", server.http_port(), "/metrics");
+        ++scrapes;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+  }
+
+  std::mutex rtt_mu;
+  std::vector<double> rtts_us;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> feeders;
+  feeders.reserve(n_clients);
+  for (std::size_t c = 0; c < n_clients; ++c) {
+    feeders.emplace_back([&, c] {
+      netd::FeedClient client("127.0.0.1", server.ingest_port());
+      std::vector<double> local;
+      const std::size_t rows = slices[c].size() * repeats;
+      // Small feeds (CI scale) still sample a handful of round trips.
+      const std::size_t ping_every =
+          std::max<std::size_t>(1, std::min(kPingEvery, rows / 4));
+      for (std::size_t i = 0; i < rows; ++i) {
+        client.SendRecord(*slices[c][i % slices[c].size()]);
+        if (i % ping_every == ping_every - 1) {
+          const auto p0 = std::chrono::steady_clock::now();
+          client.Ping();
+          local.push_back(SecondsSince(p0) * 1e6);
+        }
+      }
+      client.End();
+      std::lock_guard<std::mutex> lock(rtt_mu);
+      rtts_us.insert(rtts_us.end(), local.begin(), local.end());
+    });
+  }
+  for (std::thread& t : feeders) t.join();
+  RunResult result;
+  result.seconds = SecondsSince(t0);
+
+  if (scrape) {
+    keep_scraping.store(false, std::memory_order_relaxed);
+    scraper.join();
+  }
+  server.RequestDrain();
+  loop.join();
+  server.FinishAndSnapshot();  // folds workers so teardown is clean
+
+  result.p99_rtt_us = Percentile(rtts_us, 0.99);
+  result.accepted = server.accepted_records();
+  result.scrapes = scrapes;
+  result.conserved = result.accepted == attacks.size() * repeats;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ddos;
+  bench::PrintHeader("Extension", "ddoscoped serving path (netd daemon)");
+  const auto& ds = bench::SharedDataset();
+  const std::vector<data::AttackRecord> attacks(ds.attacks().begin(),
+                                                ds.attacks().end());
+  const std::size_t repeats =
+      (kMinFeedRecords + attacks.size() - 1) / attacks.size();
+  const double n = static_cast<double>(attacks.size() * repeats);
+  netd::IgnoreSigpipe();
+
+  bool all_conserved = true;
+
+  // Phase 1: concurrency sweep.
+  struct SweepRow {
+    std::size_t clients;
+    RunResult result;
+  };
+  std::vector<SweepRow> sweep;
+  std::printf("concurrency sweep, %zu records (trace x%zu), 4 shards:\n",
+              attacks.size() * repeats, repeats);
+  for (const std::size_t clients : {1u, 4u, 16u}) {
+    const RunResult r =
+        RunDaemonFeed(attacks, clients, repeats, /*scrape=*/false);
+    all_conserved = all_conserved && r.conserved;
+    std::printf(
+        "  %2zu client%s : %8.0f records/s, p99 accept-to-ingest %7.0f us%s\n",
+        clients, clients == 1 ? " " : "s", n / r.seconds, r.p99_rtt_us,
+        r.conserved ? "" : "  [RECORDS LOST]");
+    sweep.push_back({clients, r});
+  }
+
+  // Phase 2: live /metrics scrape against the 5% ingest budget (median of
+  // alternated rounds so warmup and scheduler noise cancel).
+  std::vector<double> bare_runs, scraped_runs;
+  std::uint64_t scrape_count = 0;
+  for (int round = 0; round < 3; ++round) {
+    RunResult bare, scraped;
+    if (round % 2 == 0) {
+      bare = RunDaemonFeed(attacks, 4, repeats, false);
+      scraped = RunDaemonFeed(attacks, 4, repeats, true);
+    } else {
+      scraped = RunDaemonFeed(attacks, 4, repeats, true);
+      bare = RunDaemonFeed(attacks, 4, repeats, false);
+    }
+    all_conserved = all_conserved && bare.conserved && scraped.conserved;
+    bare_runs.push_back(bare.seconds);
+    scraped_runs.push_back(scraped.seconds);
+    scrape_count += scraped.scrapes;
+  }
+  std::sort(bare_runs.begin(), bare_runs.end());
+  std::sort(scraped_runs.begin(), scraped_runs.end());
+  const double bare_s = bare_runs[bare_runs.size() / 2];
+  const double scraped_s = scraped_runs[scraped_runs.size() / 2];
+  const double scrape_overhead_percent = (scraped_s - bare_s) / bare_s * 100.0;
+  std::printf(
+      "\nlive scrape (4 clients, 100 Hz /metrics, %llu scrapes total):\n"
+      "  bare    : %.4f s (%.0f records/s)\n"
+      "  scraped : %.4f s (%.0f records/s)\n"
+      "  overhead: %+.2f%% (budget %.0f%%)\n\n",
+      static_cast<unsigned long long>(scrape_count), bare_s, n / bare_s,
+      scraped_s, n / scraped_s, scrape_overhead_percent, kScrapeBudgetPercent);
+
+  {
+    std::ofstream json("BENCH_netd.json");
+    json << "{\n"
+         << "  \"bench\": \"netd_daemon\",\n"
+         << "  \"records\": " << attacks.size() * repeats << ",\n"
+         << "  \"trace_repeats\": " << repeats << ",\n"
+         << "  \"shards\": 4,\n"
+         << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const SweepRow& row = sweep[i];
+      json << "    {\"clients\": " << row.clients << ", \"records_per_s\": "
+           << StrFormat("%.0f", n / row.result.seconds)
+           << ", \"p99_accept_to_ingest_us\": "
+           << StrFormat("%.0f", row.result.p99_rtt_us)
+           << ", \"records_conserved\": "
+           << (row.result.conserved ? "true" : "false") << "}"
+           << (i + 1 < sweep.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"scrape_overhead_percent\": "
+         << StrFormat("%.2f", scrape_overhead_percent) << ",\n"
+         << "  \"scrape_budget_percent\": "
+         << StrFormat("%.1f", kScrapeBudgetPercent) << ",\n"
+         << "  \"all_records_conserved\": "
+         << (all_conserved ? "true" : "false") << "\n"
+         << "}\n";
+    std::printf("wrote BENCH_netd.json\n");
+  }
+
+  bench::PrintComparison({
+      {"live-scrape ingest overhead %", kScrapeBudgetPercent,
+       scrape_overhead_percent, "budget is the ceiling"},
+      {"accepted / fed records", 1.0,
+       static_cast<double>(sweep.back().result.accepted) / n,
+       "must be exact"},
+  });
+
+  if (!all_conserved) {
+    std::printf("FAIL: daemon lost records (accepted != fed)\n");
+    return 1;
+  }
+  if (scrape_overhead_percent > kScrapeBudgetPercent) {
+    std::printf("FAIL: live scrape overhead %.2f%% exceeds %.0f%% budget\n",
+                scrape_overhead_percent, kScrapeBudgetPercent);
+    return 1;
+  }
+  return 0;
+}

@@ -35,10 +35,12 @@ bool ParseError(IngestError* err, IngestErrorKind kind, std::string detail) {
   return false;
 }
 
+}  // namespace
+
 // Parses and validates one attack row. Returns false with *err filled on
 // any malformed field; never throws.
-bool TryParseAttackRow(const std::vector<std::string>& f, AttackRecord* out,
-                       IngestError* err) {
+bool TryParseAttackFields(const std::vector<std::string>& f, AttackRecord* out,
+                          IngestError* err) {
   if (f.size() != 14) {
     return ParseError(err, IngestErrorKind::kBadFieldCount,
                       StrFormat("expected 14 fields, got %zu", f.size()));
@@ -128,7 +130,21 @@ bool TryParseAttackRow(const std::vector<std::string>& f, AttackRecord* out,
   return true;
 }
 
-}  // namespace
+bool TryParseAttackLine(const std::string& line, AttackRecord* out,
+                        IngestError* err) {
+  // Thread-local scratch: the netd ingest path calls this once per received
+  // line, and reusing the field buffers keeps the steady state free of heap
+  // allocations, same as AttackCsvReader::Next.
+  thread_local std::vector<std::string> fields;
+  bool unterminated = false;
+  ParseCsvLineInto(line, &fields, &unterminated);
+  if (unterminated) {
+    err->kind = IngestErrorKind::kUnterminatedQuote;
+    err->detail = "line ended inside a quoted field";
+    return false;
+  }
+  return TryParseAttackFields(fields, out, err);
+}
 
 bool ReadCsvLine(std::istream& in, std::string* line) {
   bool saw_newline;
@@ -212,18 +228,24 @@ std::string CsvEscape(const std::string& field) {
   return out;
 }
 
+std::string_view AttackCsvHeader() {
+  return "ddos_id,botnet_id,family,category,target_ip,timestamp,end_time,asn,"
+         "cc,city,latitude,longitude,organization,magnitude";
+}
+
+void WriteAttackCsvRow(std::ostream& out, const AttackRecord& a) {
+  out << a.ddos_id << ',' << a.botnet_id << ',' << FamilyName(a.family) << ','
+      << ProtocolName(a.category) << ',' << a.target_ip.ToString() << ','
+      << a.start_time.ToString() << ',' << a.end_time.ToString() << ','
+      << a.asn.value() << ',' << a.cc << ',' << CsvEscape(a.city) << ','
+      << StrFormat("%.6f", a.location.lat_deg) << ','
+      << StrFormat("%.6f", a.location.lon_deg) << ','
+      << CsvEscape(a.organization) << ',' << a.magnitude << '\n';
+}
+
 void WriteAttacksCsv(std::ostream& out, std::span<const AttackRecord> attacks) {
-  out << "ddos_id,botnet_id,family,category,target_ip,timestamp,end_time,asn,"
-         "cc,city,latitude,longitude,organization,magnitude\n";
-  for (const AttackRecord& a : attacks) {
-    out << a.ddos_id << ',' << a.botnet_id << ',' << FamilyName(a.family) << ','
-        << ProtocolName(a.category) << ',' << a.target_ip.ToString() << ','
-        << a.start_time.ToString() << ',' << a.end_time.ToString() << ','
-        << a.asn.value() << ',' << a.cc << ',' << CsvEscape(a.city) << ','
-        << StrFormat("%.6f", a.location.lat_deg) << ','
-        << StrFormat("%.6f", a.location.lon_deg) << ','
-        << CsvEscape(a.organization) << ',' << a.magnitude << '\n';
-  }
+  out << AttackCsvHeader() << '\n';
+  for (const AttackRecord& a : attacks) WriteAttackCsvRow(out, a);
 }
 
 std::vector<AttackRecord> ReadAttacksCsv(std::istream& in) {
@@ -298,7 +320,7 @@ bool AttackCsvReader::Next(AttackRecord* out) {
         err.kind = IngestErrorKind::kUnterminatedQuote;
         err.detail = "line ended inside a quoted field";
       } else {
-        ok = TryParseAttackRow(fields_, out, &err);
+        ok = TryParseAttackFields(fields_, out, &err);
       }
       // Any failure on a final line that the stream cut short is reported
       // as the torn write it is, not as whatever field the cut landed in.

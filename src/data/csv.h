@@ -26,6 +26,7 @@
 #include <fstream>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
@@ -49,6 +50,24 @@ void ParseCsvLineInto(const std::string& line, std::vector<std::string>* fields,
                       bool* unterminated_quote);
 // Escapes one field for CSV output.
 std::string CsvEscape(const std::string& field);
+
+// One-row building blocks of the attack-table format, shared by the file
+// readers/writers and the netd line-protocol ingest path (src/netd), which
+// receives the same Table-I rows one line at a time over TCP.
+//
+// TryParseAttackFields validates an already-split row; TryParseAttackLine
+// additionally splits (rejecting unterminated quotes). On failure *err is
+// filled with the kind and diagnosis (line_no/raw_line are left for the
+// caller, which knows its own feed position) and false is returned.
+bool TryParseAttackFields(const std::vector<std::string>& fields,
+                          AttackRecord* out, IngestError* err);
+bool TryParseAttackLine(const std::string& line, AttackRecord* out,
+                        IngestError* err);
+
+// The attack-table header row (no trailing newline) and a single data row
+// (trailing newline included), exactly as WriteAttacksCsv emits them.
+std::string_view AttackCsvHeader();
+void WriteAttackCsvRow(std::ostream& out, const AttackRecord& a);
 
 // getline wrapper shared by all CSV readers: strips one trailing '\r' so
 // CRLF-terminated files parse like LF files. Returns false at EOF. The

@@ -1,5 +1,6 @@
 #include "data/ingest_error.h"
 
+#include <cstdio>
 #include <ostream>
 #include <stdexcept>
 
@@ -41,19 +42,52 @@ std::string IngestErrorReport::ToString() const {
 }
 
 QuarantineWriter::QuarantineWriter(const std::string& path)
-    : file_(path), out_(&file_) {
+    : path_(path), tmp_path_(path + ".tmp"), file_(tmp_path_), out_(&file_) {
   if (!file_) {
-    throw std::runtime_error("QuarantineWriter: cannot open " + path);
+    throw std::runtime_error("QuarantineWriter: cannot open " + tmp_path_);
   }
 }
 
 QuarantineWriter::QuarantineWriter(std::ostream& out) : out_(&out) {}
 
+QuarantineWriter::~QuarantineWriter() {
+  try {
+    Close();
+  } catch (...) {
+    // Close() already removed the stage file; a destructor cannot usefully
+    // propagate the failure.
+  }
+}
+
 void QuarantineWriter::Write(const IngestError& error) {
+  if (closed_) {
+    throw std::runtime_error("QuarantineWriter: Write after Close");
+  }
   *out_ << "# line " << error.line_no << ": "
         << IngestErrorKindName(error.kind) << ": " << error.detail << '\n'
         << error.raw_line << '\n';
   ++written_;
+}
+
+void QuarantineWriter::Close() {
+  if (closed_) return;
+  closed_ = true;
+  if (tmp_path_.empty()) {
+    out_->flush();
+    return;
+  }
+  file_.flush();
+  const bool write_ok = static_cast<bool>(file_);
+  file_.close();
+  if (!write_ok) {
+    std::remove(tmp_path_.c_str());
+    throw std::runtime_error("QuarantineWriter: write failed: " + tmp_path_);
+  }
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    throw std::runtime_error("QuarantineWriter: cannot rename " + tmp_path_ +
+                             " to " + path_);
+  }
 }
 
 }  // namespace ddos::data

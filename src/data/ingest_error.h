@@ -83,20 +83,42 @@ struct IngestErrorReport {
 //
 // so `grep -v '^#' quarantine.csv` (plus a header) is feedable back through
 // the reader once the upstream defect is fixed.
+//
+// The path constructor follows the same stage-and-rename discipline as
+// checkpoints (stream/checkpoint.h): lines accumulate in `path + ".tmp"`
+// and Close() atomically renames the finished file into place, so `path`
+// is only ever a complete quarantine. A failed write or rename removes the
+// stage file instead of leaving a half-written .tmp behind; a crash
+// mid-run leaves only the clearly-partial .tmp, never a truncated `path`.
 class QuarantineWriter {
  public:
-  // Opens `path` for writing; throws std::runtime_error on failure.
+  // Stages to `path + ".tmp"`; throws std::runtime_error on failure.
   explicit QuarantineWriter(const std::string& path);
-  // Writes to a caller-owned stream (kept alive by the caller).
+  // Writes to a caller-owned stream (kept alive by the caller). Close() is
+  // then a flush; nothing is staged or renamed.
   explicit QuarantineWriter(std::ostream& out);
+  // Best-effort Close(); errors are swallowed (the stage file, if any, is
+  // still removed). Call Close() explicitly to observe failures.
+  ~QuarantineWriter();
+
+  QuarantineWriter(const QuarantineWriter&) = delete;
+  QuarantineWriter& operator=(const QuarantineWriter&) = delete;
 
   void Write(const IngestError& error);
+
+  // Publishes the staged file at its final path. Throws std::runtime_error
+  // when any write or the rename failed - after deleting the .tmp file, so
+  // a failure never leaves debris. Idempotent; Write after Close throws.
+  void Close();
 
   std::size_t written() const { return written_; }
 
  private:
-  std::ofstream file_;  // engaged only by the path constructor
+  std::string path_;      // final path ("" under the stream constructor)
+  std::string tmp_path_;  // stage file ("" under the stream constructor)
+  std::ofstream file_;    // engaged only by the path constructor
   std::ostream* out_;
+  bool closed_ = false;
   std::size_t written_ = 0;
 };
 

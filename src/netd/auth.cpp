@@ -1,0 +1,69 @@
+#include "netd/auth.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace ddos::netd {
+
+void AuthTable::Add(TokenSpec spec) {
+  std::string key = spec.token;
+  tokens_.insert_or_assign(std::move(key), std::move(spec));
+}
+
+TokenSpec AuthTable::ParseSpec(std::string_view raw) {
+  const std::string_view trimmed = Trim(raw);
+  const std::vector<std::string> parts = Split(trimmed, ':');
+  TokenSpec spec;
+  if (parts.empty() || parts[0].empty()) {
+    throw std::runtime_error("auth: empty token in spec '" +
+                             std::string(trimmed) + "'");
+  }
+  if (parts.size() > 3) {
+    throw std::runtime_error("auth: expected TOKEN[:NAME[:MAX_RECORDS]], got '" +
+                             std::string(trimmed) + "'");
+  }
+  spec.token = parts[0];
+  spec.name = parts.size() > 1 && !parts[1].empty()
+                  ? parts[1]
+                  : spec.token.substr(0, 8);
+  if (parts.size() > 2) {
+    const auto quota = ParseInt64(parts[2]);
+    if (!quota || *quota < 0) {
+      throw std::runtime_error("auth: bad quota '" + parts[2] + "' in spec '" +
+                               std::string(trimmed) + "'");
+    }
+    spec.max_records = static_cast<std::uint64_t>(*quota);
+  }
+  return spec;
+}
+
+AuthTable AuthTable::FromSpecList(std::string_view specs) {
+  AuthTable table;
+  for (const std::string& spec : Split(specs, ',')) {
+    if (Trim(spec).empty()) continue;
+    table.Add(ParseSpec(spec));
+  }
+  return table;
+}
+
+AuthTable AuthTable::LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("auth: cannot open token file " + path);
+  AuthTable table;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    table.Add(ParseSpec(trimmed));
+  }
+  return table;
+}
+
+const TokenSpec* AuthTable::Lookup(std::string_view token) const {
+  const auto it = tokens_.find(token);
+  return it == tokens_.end() ? nullptr : &it->second;
+}
+
+}  // namespace ddos::netd

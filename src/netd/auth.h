@@ -1,0 +1,66 @@
+// Client auth tokens and per-client ingest quotas for ddoscoped.
+//
+// The daemon models the paper's collection side: many monitoring feeds
+// pushing attack records into one characterization pipeline. Each feed
+// authenticates with a bearer token (`AUTH <token>` as its first protocol
+// line) that maps to a client name - the label its connections carry in
+// /status and in the per-client metrics - and an optional record quota, the
+// blunt instrument that keeps one misconfigured feed from drowning the
+// rest. An empty table disables authentication entirely (the `nc` smoke
+// path: connect and stream rows immediately).
+//
+// Tokens are configured as SPEC strings, comma-separated on the command
+// line or one per line in a token file (# comments and blank lines
+// skipped):
+//
+//   TOKEN[:NAME[:MAX_RECORDS]]
+//
+// e.g. `s3cret:upstream-eu:500000,t0ken:upstream-us`. A missing NAME
+// defaults to the token's first 8 characters; MAX_RECORDS 0 (the default)
+// means unlimited.
+#ifndef DDOSCOPE_NETD_AUTH_H_
+#define DDOSCOPE_NETD_AUTH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace ddos::netd {
+
+struct TokenSpec {
+  std::string token;
+  std::string name;                // client label for status and metrics
+  std::uint64_t max_records = 0;   // per-connection record quota; 0 = none
+};
+
+class AuthTable {
+ public:
+  // Registers one token; replaces an existing entry with the same token.
+  void Add(TokenSpec spec);
+
+  // Parses one "TOKEN[:NAME[:MAX_RECORDS]]" spec. Throws std::runtime_error
+  // on an empty token or malformed quota.
+  static TokenSpec ParseSpec(std::string_view spec);
+
+  // Parses a comma-separated spec list into a table.
+  static AuthTable FromSpecList(std::string_view specs);
+
+  // Loads one spec per line; '#' comments and blank lines are skipped.
+  // Throws std::runtime_error when the file cannot be read.
+  static AuthTable LoadFile(const std::string& path);
+
+  // Null when the token is unknown. The returned pointer is stable for the
+  // table's lifetime.
+  const TokenSpec* Lookup(std::string_view token) const;
+
+  bool empty() const { return tokens_.empty(); }
+  std::size_t size() const { return tokens_.size(); }
+
+ private:
+  std::map<std::string, TokenSpec, std::less<>> tokens_;
+};
+
+}  // namespace ddos::netd
+
+#endif  // DDOSCOPE_NETD_AUTH_H_

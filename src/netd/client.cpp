@@ -1,0 +1,196 @@
+#include "netd/client.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/strings.h"
+#include "data/csv.h"
+
+namespace ddos::netd {
+
+std::string FormatAttackLine(const data::AttackRecord& record) {
+  std::ostringstream out;
+  data::WriteAttackCsvRow(out, record);
+  return out.str();
+}
+
+FeedClient::FeedClient(const std::string& host, std::uint16_t port)
+    : FeedClient(host, port, Options{}) {}
+
+FeedClient::FeedClient(const std::string& host, std::uint16_t port,
+                       const Options& options)
+    : fd_(Connect(host, port)) {
+  SetRecvTimeout(fd_.get(), options.recv_timeout_ms);
+}
+
+void FeedClient::HandleReply(const std::string& line) {
+  if (line.rfind("ACK ", 0) == 0 || line.rfind("PONG ", 0) == 0) {
+    const std::size_t sp = line.find(' ');
+    const std::size_t end = line.find(' ', sp + 1);
+    const auto n = ParseInt64(std::string_view(line).substr(
+        sp + 1, end == std::string::npos ? std::string::npos : end - sp - 1));
+    if (n.has_value() && line.rfind("ACK ", 0) == 0 &&
+        static_cast<std::uint64_t>(*n) > last_acked_) {
+      last_acked_ = static_cast<std::uint64_t>(*n);
+    }
+  } else if (line.rfind("ERR", 0) == 0) {
+    last_error_ = line;
+  }
+}
+
+void FeedClient::DrainPendingReplies() {
+  if (!fd_.valid()) return;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd_.get(), buf, sizeof buf, MSG_DONTWAIT);
+    if (n > 0) {
+      inbuf_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) server_closed_ = true;
+    break;  // EAGAIN: nothing pending; errors surface on the next read
+  }
+  std::size_t eol;
+  while ((eol = inbuf_.find('\n')) != std::string::npos) {
+    std::string line = inbuf_.substr(0, eol);
+    inbuf_.erase(0, eol + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    HandleReply(line);
+  }
+}
+
+void FeedClient::SendLine(std::string_view line) {
+  DrainPendingReplies();
+  if (!fd_.valid() || server_closed_) {
+    server_closed_ = true;
+    return;
+  }
+  std::string wire(line);
+  if (wire.empty() || wire.back() != '\n') wire.push_back('\n');
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    const ssize_t n = ::send(fd_.get(), wire.data() + off, wire.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    server_closed_ = true;  // EPIPE/ECONNRESET: the server hung up on us
+    return;
+  }
+}
+
+void FeedClient::SendRecord(const data::AttackRecord& record) {
+  SendLine(FormatAttackLine(record));
+}
+
+std::string FeedClient::ReadLine() {
+  for (;;) {
+    const std::size_t eol = inbuf_.find('\n');
+    if (eol != std::string::npos) {
+      std::string line = inbuf_.substr(0, eol);
+      inbuf_.erase(0, eol + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      HandleReply(line);
+      return line;
+    }
+    if (server_closed_ || !fd_.valid()) return "";
+    char buf[4096];
+    const ssize_t n = ::recv(fd_.get(), buf, sizeof buf, 0);
+    if (n > 0) {
+      inbuf_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      server_closed_ = true;
+      continue;  // deliver any buffered tail, then ""
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw std::runtime_error("netd client: read timeout");
+    }
+    server_closed_ = true;
+  }
+}
+
+std::string FeedClient::Auth(const std::string& token) {
+  SendLine("AUTH " + token);
+  const std::string reply = ReadLine();
+  if (reply.rfind("OK ", 0) != 0) {
+    throw std::runtime_error("netd client: auth rejected: " +
+                             (reply.empty() ? "connection closed" : reply));
+  }
+  return reply;
+}
+
+std::uint64_t FeedClient::Ping() {
+  SendLine("PING");
+  for (;;) {
+    const std::string reply = ReadLine();
+    if (reply.empty()) return last_acked_;
+    if (reply.rfind("PONG ", 0) == 0) {
+      const auto n = ParseInt64(std::string_view(reply).substr(5));
+      return n.has_value() ? static_cast<std::uint64_t>(*n) : last_acked_;
+    }
+  }
+}
+
+std::uint64_t FeedClient::End() {
+  SendLine("END");
+  // Read to EOF: the final `ACK <n> end` (or the ERR verdict of an already
+  // closed conversation) is in the tail; HandleReply tracks the high water.
+  while (!ReadLine().empty()) {
+  }
+  return last_acked_;
+}
+
+std::string HttpGet(const std::string& host, std::uint16_t port,
+                    const std::string& target, int* status_out) {
+  FdHandle fd = Connect(host, port);
+  SetRecvTimeout(fd.get(), 10000);
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = ::send(fd.get(), request.data() + off,
+                             request.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw std::runtime_error("netd client: http send failed");
+  }
+  std::string response;
+  char buf[8192];
+  for (;;) {
+    const ssize_t n = ::recv(fd.get(), buf, sizeof buf, 0);
+    if (n > 0) {
+      response.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) break;
+    if (errno == EINTR) continue;
+    throw std::runtime_error("netd client: http read failed or timed out");
+  }
+  const std::size_t sp = response.find(' ');
+  if (response.rfind("HTTP/", 0) != 0 || sp == std::string::npos) {
+    throw std::runtime_error("netd client: malformed http response");
+  }
+  if (status_out != nullptr) {
+    const auto code = ParseInt64(std::string_view(response).substr(sp + 1, 3));
+    *status_out = code.has_value() ? static_cast<int>(*code) : 0;
+  }
+  std::size_t body = response.find("\r\n\r\n");
+  if (body != std::string::npos) return response.substr(body + 4);
+  body = response.find("\n\n");
+  if (body != std::string::npos) return response.substr(body + 2);
+  return "";
+}
+
+}  // namespace ddos::netd

@@ -1,0 +1,91 @@
+// FeedClient: a blocking client for the ddoscoped ingest protocol, plus a
+// one-shot HTTP GET helper for the scrape surface.
+//
+// This is the reference implementation of the client side of the protocol
+// in netd/connection.h, used by `ddoscope feed`, the loopback e2e tests,
+// and the netd benchmark. It is deliberately simple - blocking connect and
+// sends, one socket per feed - with two pieces of protocol awareness:
+//
+//  * every send first drains any replies the server has already queued
+//    (non-blocking recv), so a long feed never deadlocks against the
+//    server's bounded output buffer, and the client always knows its
+//    durable high-water mark (`last_acked`);
+//  * a send failure (EPIPE/ECONNRESET under MSG_NOSIGNAL) marks the
+//    connection server-closed instead of throwing, because the protocol
+//    ends quota and drain conversations by closing - the caller then reads
+//    the final `ERR`/`ACK` verdict from the reply tail.
+#ifndef DDOSCOPE_NETD_CLIENT_H_
+#define DDOSCOPE_NETD_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "data/records.h"
+#include "netd/socket.h"
+
+namespace ddos::netd {
+
+// Serializes one record as a protocol line (attack CSV row + '\n').
+std::string FormatAttackLine(const data::AttackRecord& record);
+
+class FeedClient {
+ public:
+  struct Options {
+    int recv_timeout_ms = 10000;  // blocking-read cap (tests must not hang)
+  };
+
+  // Connects immediately; throws std::runtime_error on failure.
+  FeedClient(const std::string& host, std::uint16_t port);
+  FeedClient(const std::string& host, std::uint16_t port,
+             const Options& options);
+
+  // AUTH handshake; returns the server's `OK <name>` line. Throws on an
+  // ERR reply or a closed connection.
+  std::string Auth(const std::string& token);
+
+  // Sends one protocol line ('\n' appended unless already present). Does
+  // not throw when the server has closed; check closed_by_server().
+  void SendLine(std::string_view line);
+  void SendRecord(const data::AttackRecord& record);
+
+  // Blocking read of the next reply line ("" when the server closed).
+  // Throws std::runtime_error on timeout. ACK/ERR replies update
+  // last_acked()/last_error() as a side effect.
+  std::string ReadLine();
+
+  // PING round trip; returns the server's accepted count. Interleaved ACKs
+  // are consumed along the way.
+  std::uint64_t Ping();
+
+  // Sends END and reads to the final `ACK <n> end` (or the server's ERR /
+  // EOF verdict); returns the highest acknowledged count seen.
+  std::uint64_t End();
+
+  std::uint64_t last_acked() const { return last_acked_; }
+  bool closed_by_server() const { return server_closed_; }
+  // The last `ERR ...` line received, verbatim ("" when none).
+  const std::string& last_error() const { return last_error_; }
+
+  void Close() { fd_.Reset(); }
+
+ private:
+  void DrainPendingReplies();  // non-blocking
+  void HandleReply(const std::string& line);
+
+  FdHandle fd_;
+  std::string inbuf_;  // bytes read but not yet split into reply lines
+  std::uint64_t last_acked_ = 0;
+  bool server_closed_ = false;
+  std::string last_error_;
+};
+
+// Minimal blocking HTTP/1.1 GET against the daemon's scrape port; returns
+// the response body and (optionally) the status code. Throws
+// std::runtime_error on connect failure or a malformed response.
+std::string HttpGet(const std::string& host, std::uint16_t port,
+                    const std::string& target, int* status_out = nullptr);
+
+}  // namespace ddos::netd
+
+#endif  // DDOSCOPE_NETD_CLIENT_H_

@@ -1,0 +1,140 @@
+#include "netd/connection.h"
+
+#include "common/strings.h"
+#include "data/csv.h"
+
+namespace ddos::netd {
+
+namespace {
+
+// A row starting with the first header column is the archival header line;
+// tolerated so saved traces replay verbatim.
+bool IsHeaderLine(const std::string& line) {
+  return line.rfind("ddos_id,", 0) == 0;
+}
+
+}  // namespace
+
+std::string_view CloseReasonName(CloseReason reason) {
+  switch (reason) {
+    case CloseReason::kNone: return "none";
+    case CloseReason::kEndOfFeed: return "end";
+    case CloseReason::kAuthFailure: return "auth";
+    case CloseReason::kQuotaExceeded: return "quota";
+    case CloseReason::kProtocolError: return "protocol";
+    case CloseReason::kDrained: return "drain";
+    case CloseReason::kSlowClient: return "slow-client";
+  }
+  return "unknown";
+}
+
+IngestProtocol::IngestProtocol(const AuthTable* auth,
+                               const IngestLimits& limits)
+    : auth_(auth), limits_(limits) {
+  const bool auth_required = auth_ != nullptr && !auth_->empty();
+  state_ = auth_required ? ConnState::kAwaitAuth : ConnState::kStreaming;
+  if (!auth_required) max_records_ = limits_.default_max_records;
+}
+
+void IngestProtocol::Reject(data::IngestErrorKind kind) {
+  errors_.Add(kind);
+  ++rejected_;
+}
+
+void IngestProtocol::CloseWith(CloseReason reason,
+                               const std::string& err_line) {
+  state_ = ConnState::kClosing;
+  close_reason_ = reason;
+  output_ += err_line;
+}
+
+IngestProtocol::LineResult IngestProtocol::OnLine(const std::string& line,
+                                                  bool overflow,
+                                                  data::AttackRecord* record) {
+  LineResult result;
+  if (state_ == ConnState::kClosing) {
+    result.close = true;
+    return result;
+  }
+
+  if (state_ == ConnState::kAwaitAuth) {
+    if (line.rfind("AUTH ", 0) != 0) {
+      CloseWith(CloseReason::kAuthFailure, "ERR auth-required\n");
+      result.close = true;
+      return result;
+    }
+    const std::string_view token = Trim(std::string_view(line).substr(5));
+    const TokenSpec* spec = auth_->Lookup(token);
+    if (spec == nullptr) {
+      CloseWith(CloseReason::kAuthFailure, "ERR unauthorized\n");
+      result.close = true;
+      return result;
+    }
+    client_name_ = spec->name;
+    max_records_ = spec->max_records;
+    state_ = ConnState::kStreaming;
+    output_ += "OK " + client_name_ + "\n";
+    return result;
+  }
+
+  // kStreaming.
+  if (overflow) {
+    Reject(data::IngestErrorKind::kTruncatedLine);
+    return result;
+  }
+  if (line.empty() || IsHeaderLine(line)) return result;
+  if (line == "PING") {
+    output_ += StrFormat("PONG %llu\n",
+                         static_cast<unsigned long long>(records_));
+    return result;
+  }
+  if (line == "END") {
+    CloseWith(CloseReason::kEndOfFeed,
+              StrFormat("ACK %llu end\n",
+                        static_cast<unsigned long long>(records_)));
+    result.close = true;
+    return result;
+  }
+  if (line.rfind("AUTH ", 0) == 0) {
+    CloseWith(CloseReason::kProtocolError, "ERR unexpected-auth\n");
+    result.close = true;
+    return result;
+  }
+
+  data::IngestError err;
+  if (!data::TryParseAttackLine(line, record, &err)) {
+    Reject(err.kind);
+    return result;
+  }
+  if (limits_.detect_duplicate_ids &&
+      !seen_ids_.insert(record->ddos_id).second) {
+    Reject(data::IngestErrorKind::kDuplicateId);
+    return result;
+  }
+  if (max_records_ > 0 && records_ >= max_records_) {
+    CloseWith(CloseReason::kQuotaExceeded,
+              StrFormat("ERR quota-exceeded after %llu records\n",
+                        static_cast<unsigned long long>(records_)));
+    result.close = true;
+    return result;
+  }
+  result.has_record = true;
+  return result;
+}
+
+void IngestProtocol::OnRecordIngested() {
+  ++records_;
+  if (limits_.ack_every > 0 && records_ % limits_.ack_every == 0) {
+    output_ +=
+        StrFormat("ACK %llu\n", static_cast<unsigned long long>(records_));
+  }
+}
+
+void IngestProtocol::OnDrain() {
+  if (state_ == ConnState::kClosing) return;
+  CloseWith(CloseReason::kDrained,
+            StrFormat("ACK %llu drain\n",
+                      static_cast<unsigned long long>(records_)));
+}
+
+}  // namespace ddos::netd

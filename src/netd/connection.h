@@ -1,0 +1,121 @@
+// The per-connection ingest protocol state machine.
+//
+// One ddoscoped ingest connection speaks a line protocol over TCP:
+//
+//   client                                server
+//   ------                                ------
+//   AUTH <token>                          OK <name>            (or ERR ... + close)
+//   <attack CSV row>                      -
+//   <attack CSV row>                      ACK <n>              (every ack_every rows)
+//   PING                                  PONG <n>
+//   <attack CSV row>                      -
+//   END                                   ACK <n> end  + close
+//
+// The AUTH exchange is required only when the server has tokens configured;
+// with an empty AuthTable a client streams rows immediately (the `nc`
+// path). Rows are the Table-I attack CSV schema, one record per line; a
+// header line is recognized and skipped so `ddoscope feed` can replay a
+// saved trace verbatim. Malformed rows are counted per IngestErrorKind and
+// dropped (the daemon equivalent of `--on-error skip`); they never kill the
+// connection. Exceeding the client's record quota, failing auth, or
+// breaking the protocol does: the server sends a final `ERR <reason>` line
+// and closes. On graceful drain the server sends `ACK <n> drain`, so the
+// client's durable high-water mark is always the last ACK it saw - the
+// records after it are the unacked tail to replay after a restart.
+//
+// IngestProtocol is pure state machine: complete lines in, replies and
+// parsed records out. Sockets, polling, and the engine live in
+// netd/server.cpp; tests drive this class directly with strings.
+#ifndef DDOSCOPE_NETD_CONNECTION_H_
+#define DDOSCOPE_NETD_CONNECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+#include "data/ingest_error.h"
+#include "data/records.h"
+#include "netd/auth.h"
+
+namespace ddos::netd {
+
+enum class ConnState : std::uint8_t {
+  kAwaitAuth,   // waiting for the AUTH line
+  kStreaming,   // accepting records
+  kClosing,     // terminal reply queued; close after it flushes
+};
+
+enum class CloseReason : std::uint8_t {
+  kNone = 0,
+  kEndOfFeed,      // client sent END
+  kAuthFailure,    // unknown token or missing AUTH
+  kQuotaExceeded,  // per-client record quota hit
+  kProtocolError,  // e.g. AUTH mid-stream
+  kDrained,        // server-side graceful drain
+  kSlowClient,     // pending replies exceeded the output byte budget
+};
+
+std::string_view CloseReasonName(CloseReason reason);
+
+struct IngestLimits {
+  std::uint64_t ack_every = 1024;          // rows between periodic ACKs
+  std::uint64_t default_max_records = 0;   // quota for unauthenticated feeds
+  bool detect_duplicate_ids = true;        // per-connection ddos_id dedupe
+};
+
+class IngestProtocol {
+ public:
+  struct LineResult {
+    bool has_record = false;  // *record is valid; the caller must ingest it
+                              // and then call OnRecordIngested()
+    bool close = false;       // close after flushing TakeOutput()
+  };
+
+  // `auth` may be null or empty (authentication disabled); otherwise it
+  // must outlive the protocol object.
+  IngestProtocol(const AuthTable* auth, const IngestLimits& limits);
+
+  // Consumes one complete line (terminator already stripped). `overflow`
+  // marks a line the framer truncated (counted as kTruncatedLine).
+  LineResult OnLine(const std::string& line, bool overflow,
+                    data::AttackRecord* record);
+
+  // Acknowledges that the record returned by the last OnLine call was
+  // pushed into the engine; queues a periodic ACK when one is due.
+  void OnRecordIngested();
+
+  // Graceful server-side drain: queues the final `ACK <n> drain` and moves
+  // to kClosing.
+  void OnDrain();
+
+  // Protocol bytes waiting for the client; the caller owns flushing them.
+  std::string TakeOutput() { return std::move(output_); }
+  bool has_output() const { return !output_.empty(); }
+
+  ConnState state() const { return state_; }
+  CloseReason close_reason() const { return close_reason_; }
+  const std::string& client_name() const { return client_name_; }
+  std::uint64_t records() const { return records_; }
+  std::uint64_t rejected() const { return rejected_; }
+  const data::IngestErrorReport& errors() const { return errors_; }
+
+ private:
+  void Reject(data::IngestErrorKind kind);
+  void CloseWith(CloseReason reason, const std::string& err_line);
+
+  const AuthTable* auth_;
+  IngestLimits limits_;
+  ConnState state_;
+  CloseReason close_reason_ = CloseReason::kNone;
+  std::string client_name_ = "anonymous";
+  std::uint64_t max_records_ = 0;  // resolved quota; 0 = unlimited
+  std::uint64_t records_ = 0;      // accepted (ingested) rows
+  std::uint64_t rejected_ = 0;     // malformed / duplicate rows dropped
+  data::IngestErrorReport errors_;
+  std::unordered_set<std::uint64_t> seen_ids_;
+  std::string output_;
+};
+
+}  // namespace ddos::netd
+
+#endif  // DDOSCOPE_NETD_CONNECTION_H_

@@ -1,0 +1,60 @@
+#include "netd/framer.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ddos::netd {
+
+void LineFramer::FinishLine() {
+  if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
+  ready_.push_back({std::move(partial_), discarding_});
+  partial_.clear();
+  discarding_ = false;
+}
+
+void LineFramer::Append(const char* data, std::size_t n) {
+  const char* end = data + n;
+  while (data < end) {
+    const char* nl = static_cast<const char*>(
+        std::memchr(data, '\n', static_cast<std::size_t>(end - data)));
+    const char* chunk_end = nl != nullptr ? nl : end;
+    if (!discarding_) {
+      partial_.append(data, chunk_end);
+      if (partial_.size() > max_line_bytes_) {
+        // Entering discard mode: keep a short prefix for the diagnostic,
+        // drop the rest, and eat bytes until the line's terminator.
+        partial_.resize(std::min(kOverflowPrefixBytes, max_line_bytes_));
+        discarding_ = true;
+      }
+    }
+    if (nl == nullptr) return;
+    FinishLine();
+    data = nl + 1;
+  }
+}
+
+bool LineFramer::Next(std::string* line, bool* overflow) {
+  if (ready_.empty()) return false;
+  *line = std::move(ready_.front().text);
+  *overflow = ready_.front().overflow;
+  ready_.pop_front();
+  return true;
+}
+
+bool LineFramer::TakePartial(std::string* line, bool* overflow) {
+  if (partial_.empty() && !discarding_) return false;
+  if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
+  *line = std::move(partial_);
+  *overflow = discarding_;
+  partial_.clear();
+  discarding_ = false;
+  return true;
+}
+
+std::size_t LineFramer::buffered() const {
+  std::size_t bytes = partial_.size();
+  for (const Line& l : ready_) bytes += l.text.size();
+  return bytes;
+}
+
+}  // namespace ddos::netd

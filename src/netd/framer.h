@@ -1,0 +1,70 @@
+// Incremental line framing over a TCP byte stream.
+//
+// The ddoscoped ingest protocol is line-oriented (one CSV attack row or one
+// control verb per line), but TCP delivers arbitrary byte chunks. LineFramer
+// accumulates appended bytes into lines eagerly - '\n'-terminated, with one
+// trailing '\r' stripped so CRLF clients parse like LF clients - and hands
+// them out in arrival order through Next().
+//
+// Overlong lines are a protocol violation, not a buffering problem: once an
+// unterminated line exceeds max_line_bytes the framer switches to discard
+// mode, swallows bytes until the next '\n', and reports the line exactly
+// once, in stream order, with overflow=true (carrying a truncated prefix
+// for diagnostics). The connection stays framed - one bad producer line
+// costs one rejected record, not the connection - and the partial-line
+// buffer stays bounded by max_line_bytes regardless of what the peer sends.
+// (Completed lines are expected to be drained after every Append, as the
+// server's read handler does; only the in-progress line is bounded.)
+#ifndef DDOSCOPE_NETD_FRAMER_H_
+#define DDOSCOPE_NETD_FRAMER_H_
+
+#include <cstddef>
+#include <deque>
+#include <string>
+
+namespace ddos::netd {
+
+class LineFramer {
+ public:
+  // Diagnostics keep at most this much of an overlong line.
+  static constexpr std::size_t kOverflowPrefixBytes = 256;
+
+  explicit LineFramer(std::size_t max_line_bytes = 1 << 20)
+      : max_line_bytes_(max_line_bytes) {}
+
+  // Consumes n raw bytes from the stream, completing zero or more lines.
+  void Append(const char* data, std::size_t n);
+
+  // Pops the next complete line into *line (terminator removed, trailing
+  // '\r' stripped). Returns false when no complete line is pending.
+  // *overflow is true when the line exceeded max_line_bytes; *line then
+  // holds the retained prefix (the overflowed remainder was discarded).
+  bool Next(std::string* line, bool* overflow);
+
+  // Takes the unterminated tail as a final partial line (the torn end of a
+  // connection that closed mid-record). Returns false when the tail is
+  // empty. *overflow as in Next.
+  bool TakePartial(std::string* line, bool* overflow);
+
+  // Bytes held: the in-progress line plus undelivered complete lines.
+  std::size_t buffered() const;
+
+  std::size_t max_line_bytes() const { return max_line_bytes_; }
+
+ private:
+  struct Line {
+    std::string text;
+    bool overflow = false;
+  };
+
+  void FinishLine();
+
+  std::size_t max_line_bytes_;
+  std::deque<Line> ready_;
+  std::string partial_;      // the in-progress (unterminated) line
+  bool discarding_ = false;  // inside an overlong line, eating to '\n'
+};
+
+}  // namespace ddos::netd
+
+#endif  // DDOSCOPE_NETD_FRAMER_H_

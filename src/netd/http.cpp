@@ -1,0 +1,95 @@
+#include "netd/http.h"
+
+#include "common/strings.h"
+
+namespace ddos::netd {
+
+bool HttpHeadComplete(std::string_view buffer, std::size_t* head_bytes) {
+  // Tolerate both CRLF (the standard) and bare LF (hand-typed probes).
+  if (const std::size_t pos = buffer.find("\r\n\r\n");
+      pos != std::string_view::npos) {
+    *head_bytes = pos + 4;
+    return true;
+  }
+  if (const std::size_t pos = buffer.find("\n\n");
+      pos != std::string_view::npos) {
+    *head_bytes = pos + 2;
+    return true;
+  }
+  return false;
+}
+
+bool ParseHttpRequest(std::string_view head, HttpRequest* out,
+                      std::string* error) {
+  out->headers.clear();
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < head.size()) {
+    std::size_t eol = head.find('\n', pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) break;  // end of head
+    if (first) {
+      first = false;
+      const std::size_t sp1 = line.find(' ');
+      const std::size_t sp2 =
+          sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+      if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+          line.find(' ', sp2 + 1) != std::string_view::npos) {
+        *error = "malformed request line";
+        return false;
+      }
+      out->method = std::string(line.substr(0, sp1));
+      out->target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+      out->version = std::string(line.substr(sp2 + 1));
+      if (out->method.empty() || out->target.empty() ||
+          out->version.rfind("HTTP/", 0) != 0) {
+        *error = "malformed request line";
+        return false;
+      }
+      continue;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      *error = "malformed header line";
+      return false;
+    }
+    out->headers.emplace_back(ToLower(Trim(line.substr(0, colon))),
+                              std::string(Trim(line.substr(colon + 1))));
+  }
+  if (first) {
+    *error = "empty request";
+    return false;
+  }
+  return true;
+}
+
+std::string_view HttpStatusText(int status) {
+  switch (status) {
+    case 200: return "200 OK";
+    case 400: return "400 Bad Request";
+    case 404: return "404 Not Found";
+    case 405: return "405 Method Not Allowed";
+    case 503: return "503 Service Unavailable";
+    default:  return "500 Internal Server Error";
+  }
+}
+
+std::string BuildHttpResponse(int status, std::string_view content_type,
+                              std::string_view body) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += HttpStatusText(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace ddos::netd

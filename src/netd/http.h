@@ -1,0 +1,48 @@
+// Minimal HTTP/1.1 request parsing and response building for the daemon's
+// scrape surface (/metrics, /status, /healthz).
+//
+// This is deliberately not a web server: ddoscoped answers GET requests
+// with Connection: close semantics - exactly the contract of a Prometheus
+// scrape or a curl health probe - and everything stateful (routing, body
+// generation) lives in netd/server.cpp. Header values beyond the request
+// line are collected but uninterpreted; there is no keep-alive, chunked
+// encoding, or request body support. Parsing is pure string work so it
+// unit-tests without a socket.
+#ifndef DDOSCOPE_NETD_HTTP_H_
+#define DDOSCOPE_NETD_HTTP_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ddos::netd {
+
+struct HttpRequest {
+  std::string method;   // "GET"
+  std::string target;   // "/metrics" (query string kept verbatim)
+  std::string version;  // "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;  // lowercased keys
+};
+
+// True when `buffer` already holds a complete request head (terminating
+// blank line); *head_bytes receives its length including the terminator.
+bool HttpHeadComplete(std::string_view buffer, std::size_t* head_bytes);
+
+// Parses a complete request head. Returns false (with *error set) on a
+// malformed request line or header.
+bool ParseHttpRequest(std::string_view head, HttpRequest* out,
+                      std::string* error);
+
+// "200 OK", "404 Not Found", ... for the handful of statuses the daemon
+// emits; unknown codes render as "500 Internal Server Error".
+std::string_view HttpStatusText(int status);
+
+// Serializes a full close-delimited response: status line, Content-Type,
+// Content-Length, Connection: close, blank line, body.
+std::string BuildHttpResponse(int status, std::string_view content_type,
+                              std::string_view body);
+
+}  // namespace ddos::netd
+
+#endif  // DDOSCOPE_NETD_HTTP_H_

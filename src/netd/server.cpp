@@ -1,0 +1,663 @@
+#include "netd/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "common/strings.h"
+#include "data/csv.h"
+#include "data/taxonomy.h"
+#include "netd/http.h"
+#include "obs/export.h"
+#include "stream/checkpoint.h"
+
+namespace ddos::netd {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Stragglers that have not flushed their final drain ACK within this long
+// are force-closed; a graceful shutdown must not hang on one dead peer.
+constexpr std::chrono::seconds kDrainDeadline{5};
+
+constexpr std::size_t kReadChunk = 64 << 10;
+constexpr std::size_t kMaxHttpHead = 16 << 10;
+constexpr std::string_view kMetricsContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+bool FileExists(const std::string& path) {
+  return static_cast<bool>(std::ifstream(path, std::ios::binary));
+}
+
+}  // namespace
+
+// One poll-loop client: either an ingest feed (framer + protocol) or an
+// HTTP probe (request buffer). Output is queued here and flushed
+// opportunistically; `dead` marks the slot for reaping at end of tick.
+struct IngestServer::Conn {
+  Conn(FdHandle f, bool is_http, std::size_t max_line_bytes)
+      : fd(std::move(f)), http(is_http), framer(max_line_bytes) {}
+
+  FdHandle fd;
+  bool http;
+  LineFramer framer;
+  std::unique_ptr<IngestProtocol> protocol;  // ingest connections only
+  std::string http_in;
+
+  std::string out;
+  std::size_t out_off = 0;
+  bool close_after_flush = false;
+  bool dead = false;
+  CloseReason reason = CloseReason::kNone;
+  data::IngestErrorReport reported;  // reject counts already mirrored to obs
+};
+
+IngestServer::IngestServer(NetdConfig config) : config_(std::move(config)) {
+  ResolveMetricHandles();
+}
+
+IngestServer::~IngestServer() = default;
+
+void IngestServer::ResolveMetricHandles() {
+  obs_connections_ = registry_.GetCounter(
+      "ddoscope_netd_connections_total", "Connections accepted by ddoscoped");
+  obs_active_ = registry_.GetGauge("ddoscope_netd_active_connections",
+                                   "Currently open daemon connections");
+  obs_bytes_in_ = registry_.GetCounter("ddoscope_netd_bytes_read_total",
+                                       "Bytes read from daemon clients");
+  obs_bytes_out_ = registry_.GetCounter("ddoscope_netd_bytes_written_total",
+                                        "Bytes written to daemon clients");
+  obs_records_ = registry_.GetCounter(
+      "ddoscope_netd_records_total",
+      "Attack records accepted into the engine by the daemon");
+  obs_rejected_ = registry_.GetCounter(
+      "ddoscope_netd_rejected_rows_total",
+      "Rows rejected by the daemon ingest protocol (all kinds)");
+  obs_auth_failures_ =
+      registry_.GetCounter("ddoscope_netd_auth_failures_total",
+                           "Connections closed for missing or bad tokens");
+  obs_quota_rejections_ =
+      registry_.GetCounter("ddoscope_netd_quota_rejections_total",
+                           "Connections closed for exceeding record quotas");
+  obs_slow_closes_ = registry_.GetCounter(
+      "ddoscope_netd_slow_client_closes_total",
+      "Connections closed for exceeding the output byte budget");
+  static constexpr std::string_view kEndpoints[4] = {"metrics", "status",
+                                                     "healthz", "other"};
+  for (std::size_t i = 0; i < obs_http_requests_.size(); ++i) {
+    obs_http_requests_[i] = registry_.GetCounter(
+        "ddoscope_netd_http_requests_total", "HTTP requests served",
+        {{"endpoint", std::string(kEndpoints[i])}});
+  }
+  obs_checkpoint_seconds_ = registry_.GetHistogram(
+      "ddoscope_netd_checkpoint_seconds",
+      "Daemon checkpoint write latency (periodic and final)",
+      obs::ExponentialBounds(1e-4, 4.0, 10));
+  obs_drain_millis_ =
+      registry_.GetGauge("ddoscope_netd_drain_millis",
+                         "Wall time of the last graceful drain, milliseconds");
+  for (int k = 0; k < data::kIngestErrorKindCount; ++k) {
+    obs_errors_[static_cast<std::size_t>(k)] = registry_.GetCounter(
+        "ddoscope_netd_reject_total", "Rows rejected by error kind",
+        {{"kind", std::string(data::IngestErrorKindName(
+                      static_cast<data::IngestErrorKind>(k)))}});
+  }
+}
+
+void IngestServer::Bind() {
+  if (bound_) throw std::runtime_error("netd: Bind called twice");
+
+  stream::ShardedStreamEngineConfig sharded;
+  sharded.shards = std::max<std::size_t>(1, config_.shards);
+  sharded.engine = config_.engine;
+  sharded.metrics = &registry_;
+
+  bool resumed = false;
+  if (config_.resume && !config_.checkpoint_path.empty() &&
+      FileExists(config_.checkpoint_path)) {
+    stream::ShardedCheckpointState state =
+        stream::ReadShardedCheckpoint(config_.checkpoint_path);
+    // Reconstruct the requested accuracy contract from a section's config;
+    // the sections of a multi-shard checkpoint run at half epsilon.
+    stream::StreamEngineConfig restored = state.engines.front().config();
+    if (state.engines.size() > 1) restored.quantile_epsilon *= 2.0;
+    sharded.engine = restored;
+    config_.engine = restored;
+    engine_ = std::make_unique<stream::ShardedStreamEngine>(sharded);
+    engine_->RestoreFrom(state);
+    total_accepted_ = state.meta.records;
+    accepted_at_checkpoint_ = total_accepted_;
+    errors_ = state.meta.errors;
+    resumed = true;
+  }
+  if (engine_ == nullptr) {
+    engine_ = std::make_unique<stream::ShardedStreamEngine>(sharded);
+  }
+
+  if (!config_.journal_path.empty()) {
+    // A resumed daemon appends: the journal stays the one complete feed
+    // across restarts, which is what the replay-equivalence check consumes.
+    const bool append = resumed && FileExists(config_.journal_path);
+    journal_.open(config_.journal_path,
+                  append ? (std::ios::out | std::ios::app)
+                         : (std::ios::out | std::ios::trunc));
+    if (!journal_) {
+      throw std::runtime_error("netd: cannot open journal " +
+                               config_.journal_path);
+    }
+    if (!append) journal_ << data::AttackCsvHeader() << '\n';
+  }
+
+  ingest_listener_ = Listen(config_.host, config_.ingest_port, &ingest_port_);
+  http_listener_ = Listen(config_.host, config_.http_port, &http_port_);
+  std::tie(wake_rd_, wake_wr_) = MakeWakePipe();
+  bound_ = true;
+}
+
+void IngestServer::RequestDrain() { RequestDrainFromSignal(); }
+
+void IngestServer::RequestDrainFromSignal() noexcept {
+  drain_requested_.store(true, std::memory_order_release);
+  if (wake_wr_.valid()) {
+    const char byte = 1;
+    // Failure (full pipe) is fine: the loop polls the flag on every tick.
+    [[maybe_unused]] const ssize_t n = ::write(wake_wr_.get(), &byte, 1);
+  }
+}
+
+void IngestServer::Run() {
+  if (!bound_) throw std::runtime_error("netd: Run called before Bind");
+  running_ = true;
+  started_ = Clock::now();
+
+  std::vector<pollfd> pfds;
+  for (;;) {
+    pfds.clear();
+    pfds.push_back({wake_rd_.get(), POLLIN, 0});
+    int ingest_idx = -1;
+    int http_idx = -1;
+    if (!draining_ && conns_.size() < config_.max_connections) {
+      ingest_idx = static_cast<int>(pfds.size());
+      pfds.push_back({ingest_listener_.get(), POLLIN, 0});
+      http_idx = static_cast<int>(pfds.size());
+      pfds.push_back({http_listener_.get(), POLLIN, 0});
+    }
+    const std::size_t conn_base = pfds.size();
+    for (const auto& conn : conns_) {
+      short events = 0;
+      if (!conn->close_after_flush) events |= POLLIN;
+      if (conn->out_off < conn->out.size()) events |= POLLOUT;
+      pfds.push_back({conn->fd.get(), events, 0});
+    }
+
+    const int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                          draining_ ? 50 : 200);
+    if (rc < 0 && errno != EINTR) {
+      throw std::runtime_error(std::string("netd: poll failed: ") +
+                               std::strerror(errno));
+    }
+
+    if (pfds[0].revents & POLLIN) {
+      char sink[64];
+      while (::read(wake_rd_.get(), sink, sizeof sink) > 0) {
+      }
+    }
+    if (!draining_ && drain_requested_.load(std::memory_order_acquire)) {
+      BeginDrain();
+    }
+
+    if (ingest_idx >= 0 && (pfds[ingest_idx].revents & POLLIN) != 0) {
+      AcceptPending(ingest_listener_.get(), /*http=*/false);
+    }
+    if (http_idx >= 0 && (pfds[http_idx].revents & POLLIN) != 0) {
+      AcceptPending(http_listener_.get(), /*http=*/true);
+    }
+
+    // Only the conns_ prefix snapshotted into pfds has revents; connections
+    // accepted above wait for the next poll round. Index into pfds, not a
+    // pointer walk, so handler-side appends to conns_ stay harmless too.
+    const std::size_t live = pfds.size() - conn_base;
+    for (std::size_t i = 0; i < live; ++i) {
+      Conn& conn = *conns_[i];
+      const short revents = pfds[conn_base + i].revents;
+      if (revents == 0 || conn.dead) continue;
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0 &&
+          !conn.close_after_flush) {
+        conn.http ? HandleHttpRead(conn) : HandleIngestRead(conn);
+      }
+      if (!conn.dead && (revents & (POLLOUT | POLLHUP | POLLERR)) != 0) {
+        FlushOutput(conn);
+      }
+    }
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const std::unique_ptr<Conn>& c) {
+                                  return c->dead;
+                                }),
+                 conns_.end());
+    obs_active_->Set(static_cast<std::int64_t>(conns_.size()));
+
+    MaybePeriodicCheckpoint();
+
+    if (draining_) {
+      if (Clock::now() - drain_started_ > kDrainDeadline) {
+        for (auto& conn : conns_) CloseConn(*conn, CloseReason::kDrained);
+        conns_.clear();
+      }
+      if (DrainComplete()) {
+        WriteCheckpoint();
+        // The journal must be durable and complete after a drain even when
+        // checkpointing is off (WriteCheckpoint is a no-op then).
+        if (journal_.is_open()) journal_.close();
+        obs_drain_millis_->Set(
+            static_cast<std::int64_t>(SecondsSince(drain_started_) * 1e3));
+        break;
+      }
+    }
+  }
+  running_ = false;
+}
+
+bool IngestServer::DrainComplete() const { return conns_.empty(); }
+
+void IngestServer::BeginDrain() {
+  draining_ = true;
+  drain_started_ = Clock::now();
+  for (auto& conn : conns_) {
+    if (conn->dead) continue;
+    conn->close_after_flush = true;
+    if (!conn->http) {
+      // Framed lines were already processed after the last read; the
+      // unterminated tail stays unacknowledged on purpose - it is exactly
+      // the part the client must replay after the restart.
+      conn->protocol->OnDrain();
+      conn->out += conn->protocol->TakeOutput();
+      conn->reason = CloseReason::kDrained;
+    }
+    FlushOutput(*conn);  // closes immediately when nothing is pending
+  }
+}
+
+void IngestServer::AcceptPending(int listener_fd, bool http) {
+  for (;;) {
+    const int fd = ::accept(listener_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN (drained) or transient accept error: poll again
+    }
+    if (conns_.size() >= config_.max_connections) {
+      ::close(fd);
+      continue;
+    }
+    try {
+      SetNonBlocking(fd);
+      if (!http) SetNoDelay(fd);
+    } catch (const std::runtime_error&) {
+      ::close(fd);
+      continue;
+    }
+    auto conn =
+        std::make_unique<Conn>(FdHandle(fd), http, config_.max_line_bytes);
+    if (!http) {
+      conn->protocol =
+          std::make_unique<IngestProtocol>(&config_.auth, config_.limits);
+    }
+    ++connections_seen_;
+    obs_connections_->Add();
+    conns_.push_back(std::move(conn));
+  }
+  obs_active_->Set(static_cast<std::int64_t>(conns_.size()));
+}
+
+void IngestServer::HandleIngestRead(Conn& conn) {
+  char buf[kReadChunk];
+  // Bounded reads per poll tick so one fast producer cannot starve the
+  // rest of the loop; leftover bytes re-arm POLLIN immediately.
+  for (int round = 0; round < 4; ++round) {
+    const ssize_t n = ::recv(conn.fd.get(), buf, sizeof buf, 0);
+    if (n > 0) {
+      obs_bytes_in_->Add(static_cast<std::uint64_t>(n));
+      conn.framer.Append(buf, static_cast<std::size_t>(n));
+      ProcessFrames(conn);
+      if (conn.dead || conn.close_after_flush) return;
+      if (static_cast<std::size_t>(n) < sizeof buf) return;
+      continue;
+    }
+    if (n == 0) {
+      // Peer closed. A newline-less final row is still a complete record if
+      // it parses (mirroring AttackCsvReader's final-line tolerance).
+      std::string line;
+      bool overflow = false;
+      if (conn.framer.TakePartial(&line, &overflow)) {
+        data::AttackRecord record;
+        const IngestProtocol::LineResult r =
+            conn.protocol->OnLine(line, overflow, &record);
+        if (r.has_record) {
+          IngestRecord(conn, record);
+          conn.protocol->OnRecordIngested();
+        }
+      }
+      CloseConn(conn, conn.protocol->close_reason() == CloseReason::kNone
+                          ? CloseReason::kEndOfFeed
+                          : conn.protocol->close_reason());
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    CloseConn(conn, CloseReason::kProtocolError);
+    return;
+  }
+}
+
+void IngestServer::ProcessFrames(Conn& conn) {
+  std::string line;
+  bool overflow = false;
+  data::AttackRecord record;
+  while (conn.framer.Next(&line, &overflow)) {
+    const IngestProtocol::LineResult r =
+        conn.protocol->OnLine(line, overflow, &record);
+    if (r.has_record) {
+      IngestRecord(conn, record);
+      conn.protocol->OnRecordIngested();
+    }
+    if (r.close && !conn.close_after_flush) {
+      conn.close_after_flush = true;
+      conn.reason = conn.protocol->close_reason();
+      if (conn.reason == CloseReason::kAuthFailure) {
+        obs_auth_failures_->Add();
+      } else if (conn.reason == CloseReason::kQuotaExceeded) {
+        obs_quota_rejections_->Add();
+      }
+      // Keep draining the framer: the protocol is closing and discards the
+      // remaining lines, which empties the buffered backlog cheaply.
+    }
+  }
+  SyncRejectCounters(conn);
+  if (conn.protocol->has_output()) conn.out += conn.protocol->TakeOutput();
+  if (conn.out_off < conn.out.size()) FlushOutput(conn);
+  if (!conn.dead &&
+      conn.out.size() - conn.out_off > config_.max_output_buffer) {
+    obs_slow_closes_->Add();
+    CloseConn(conn, CloseReason::kSlowClient);
+  }
+}
+
+void IngestServer::IngestRecord(Conn& conn, const data::AttackRecord& record) {
+  engine_->Push(record);
+  ++total_accepted_;
+  obs_records_->Add();
+  if (journal_.is_open()) data::WriteAttackCsvRow(journal_, record);
+  (void)conn;
+}
+
+void IngestServer::SyncRejectCounters(Conn& conn) {
+  const auto& now = conn.protocol->errors().counts;
+  for (int k = 0; k < data::kIngestErrorKindCount; ++k) {
+    const auto i = static_cast<std::size_t>(k);
+    const std::uint64_t delta = now[i] - conn.reported.counts[i];
+    if (delta != 0) {
+      obs_errors_[i]->Add(delta);
+      obs_rejected_->Add(delta);
+      conn.reported.counts[i] = now[i];
+    }
+  }
+}
+
+void IngestServer::HandleHttpRead(Conn& conn) {
+  char buf[8192];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd.get(), buf, sizeof buf, 0);
+    if (n > 0) {
+      obs_bytes_in_->Add(static_cast<std::uint64_t>(n));
+      conn.http_in.append(buf, static_cast<std::size_t>(n));
+      std::size_t head_bytes = 0;
+      if (HttpHeadComplete(conn.http_in, &head_bytes)) {
+        conn.out += RouteHttp(conn.http_in.substr(0, head_bytes));
+        conn.close_after_flush = true;
+        conn.reason = CloseReason::kEndOfFeed;
+        FlushOutput(conn);
+        return;
+      }
+      if (conn.http_in.size() > kMaxHttpHead) {
+        conn.out +=
+            BuildHttpResponse(400, "text/plain", "request head too large\n");
+        conn.close_after_flush = true;
+        FlushOutput(conn);
+        return;
+      }
+      if (static_cast<std::size_t>(n) < sizeof buf) return;
+      continue;
+    }
+    if (n == 0) {
+      CloseConn(conn, CloseReason::kEndOfFeed);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    CloseConn(conn, CloseReason::kProtocolError);
+    return;
+  }
+}
+
+std::string IngestServer::RouteHttp(const std::string& head) {
+  HttpRequest req;
+  std::string error;
+  if (!ParseHttpRequest(head, &req, &error)) {
+    obs_http_requests_[3]->Add();
+    return BuildHttpResponse(400, "text/plain", error + "\n");
+  }
+  std::string target = req.target.substr(0, req.target.find('?'));
+  const int endpoint = target == "/metrics"   ? 0
+                       : target == "/status"  ? 1
+                       : target == "/healthz" ? 2
+                                              : 3;
+  obs_http_requests_[static_cast<std::size_t>(endpoint)]->Add();
+  if (req.method != "GET") {
+    return BuildHttpResponse(405, "text/plain", "method not allowed\n");
+  }
+  switch (endpoint) {
+    case 0:
+      return BuildHttpResponse(200, kMetricsContentType,
+                               obs::RenderPrometheusText(registry_.Snapshot()));
+    case 1:
+      return BuildHttpResponse(200, "application/json", BuildStatusJson());
+    case 2:
+      return draining_
+                 ? BuildHttpResponse(503, "text/plain", "draining\n")
+                 : BuildHttpResponse(200, "text/plain", "ok\n");
+    default:
+      return BuildHttpResponse(404, "text/plain", "not found\n");
+  }
+}
+
+std::string IngestServer::BuildStatusJson() {
+  // Snapshot takes the shard barrier; we are the router thread, so this is
+  // the one place it is legal - and it is bounded by the in-flight batch.
+  const stream::StreamSnapshot snap = engine_->Snapshot(5);
+  const std::vector<std::size_t> depths = engine_->QueueDepths();
+
+  std::string j = "{";
+  j += StrFormat("\"draining\":%s", draining_ ? "true" : "false");
+  j += StrFormat(",\"uptime_seconds\":%.3f", SecondsSince(started_));
+  j += StrFormat(",\"accepted_records\":%llu",
+                 static_cast<unsigned long long>(total_accepted_));
+  j += StrFormat(",\"rejected_rows\":%llu",
+                 static_cast<unsigned long long>(AggregateErrors().total()));
+  j += StrFormat(",\"connections\":{\"active\":%zu,\"total\":%llu}",
+                 conns_.size(),
+                 static_cast<unsigned long long>(connections_seen_));
+
+  j += ",\"clients\":[";
+  bool first = true;
+  for (const auto& conn : conns_) {
+    if (conn->http || conn->dead) continue;
+    if (!first) j += ',';
+    first = false;
+    j += "{\"name\":";
+    AppendJsonString(&j, conn->protocol->client_name());
+    j += StrFormat(",\"state\":\"%s\",\"records\":%llu,\"rejected\":%llu}",
+                   conn->protocol->state() == ConnState::kAwaitAuth
+                       ? "await-auth"
+                       : conn->protocol->state() == ConnState::kStreaming
+                             ? "streaming"
+                             : "closing",
+                   static_cast<unsigned long long>(conn->protocol->records()),
+                   static_cast<unsigned long long>(conn->protocol->rejected()));
+  }
+  j += ']';
+
+  j += StrFormat(",\"shards\":{\"count\":%zu,\"queue_depths\":[",
+                 engine_->shard_count());
+  for (std::size_t i = 0; i < depths.size(); ++i) {
+    if (i != 0) j += ',';
+    j += StrFormat("%zu", depths[i]);
+  }
+  j += "]}";
+
+  j += StrFormat(
+      ",\"engine\":{\"attacks\":%llu,\"countries\":%llu,"
+      "\"distinct_targets\":%.1f,\"distinct_botnets\":%.1f,"
+      "\"attacks_in_window\":%llu,\"collab_events\":%llu,"
+      "\"memory_bytes\":%zu",
+      static_cast<unsigned long long>(snap.attacks),
+      static_cast<unsigned long long>(snap.countries), snap.distinct_targets,
+      snap.distinct_botnets,
+      static_cast<unsigned long long>(snap.attacks_in_window),
+      static_cast<unsigned long long>(snap.collab.events),
+      snap.engine_memory_bytes);
+  j += ",\"families\":[";
+  first = true;
+  for (int f = 0; f < data::kFamilyCount; ++f) {
+    const std::uint64_t n = snap.family_attacks[static_cast<std::size_t>(f)];
+    if (n == 0) continue;
+    if (!first) j += ',';
+    first = false;
+    j += "{\"family\":";
+    AppendJsonString(&j, data::FamilyName(static_cast<data::Family>(f)));
+    j += StrFormat(",\"attacks\":%llu}", static_cast<unsigned long long>(n));
+  }
+  j += "]}}";
+  return j;
+}
+
+void IngestServer::FlushOutput(Conn& conn) {
+  if (conn.dead) return;
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t n =
+        ::send(conn.fd.get(), conn.out.data() + conn.out_off,
+               conn.out.size() - conn.out_off, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      obs_bytes_out_->Add(static_cast<std::uint64_t>(n));
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // Peer vanished (EPIPE/ECONNRESET under MSG_NOSIGNAL) or hard error.
+    CloseConn(conn, conn.reason != CloseReason::kNone
+                        ? conn.reason
+                        : CloseReason::kProtocolError);
+    return;
+  }
+  if (conn.out_off == conn.out.size()) {
+    conn.out.clear();
+    conn.out_off = 0;
+    if (conn.close_after_flush) CloseConn(conn, conn.reason);
+  } else if (conn.out_off > kReadChunk) {
+    conn.out.erase(0, conn.out_off);
+    conn.out_off = 0;
+  }
+}
+
+void IngestServer::CloseConn(Conn& conn, CloseReason reason) {
+  if (conn.dead) return;
+  if (!conn.http && conn.protocol != nullptr) {
+    SyncRejectCounters(conn);
+    for (int k = 0; k < data::kIngestErrorKindCount; ++k) {
+      const auto i = static_cast<std::size_t>(k);
+      errors_.counts[i] += conn.protocol->errors().counts[i];
+    }
+  }
+  conn.reason = reason;
+  conn.fd.Reset();
+  conn.dead = true;
+}
+
+data::IngestErrorReport IngestServer::AggregateErrors() const {
+  data::IngestErrorReport report = errors_;
+  for (const auto& conn : conns_) {
+    if (conn->http || conn->dead || conn->protocol == nullptr) continue;
+    for (int k = 0; k < data::kIngestErrorKindCount; ++k) {
+      const auto i = static_cast<std::size_t>(k);
+      report.counts[i] += conn->protocol->errors().counts[i];
+    }
+  }
+  return report;
+}
+
+void IngestServer::WriteCheckpoint() {
+  if (config_.checkpoint_path.empty()) return;
+  // Journal first: the checkpoint claims N accepted records, and the
+  // durable journal must always cover at least that many.
+  if (journal_.is_open()) journal_.flush();
+  stream::CheckpointMeta meta;
+  meta.records = total_accepted_;
+  meta.source_line = 0;  // the daemon has no single source file position
+  meta.errors = AggregateErrors();
+  const Clock::time_point t0 = Clock::now();
+  engine_->SaveCheckpoint(config_.checkpoint_path, meta);
+  obs_checkpoint_seconds_->Observe(SecondsSince(t0));
+  accepted_at_checkpoint_ = total_accepted_;
+}
+
+void IngestServer::MaybePeriodicCheckpoint() {
+  if (config_.checkpoint_path.empty() || config_.checkpoint_every == 0) return;
+  if (total_accepted_ - accepted_at_checkpoint_ < config_.checkpoint_every) {
+    return;
+  }
+  WriteCheckpoint();
+}
+
+stream::StreamSnapshot IngestServer::FinishAndSnapshot() {
+  if (running_) throw std::runtime_error("netd: FinishAndSnapshot while running");
+  if (engine_ == nullptr) throw std::runtime_error("netd: not bound");
+  if (!finished_) {
+    engine_->Finish();
+    finished_ = true;
+  }
+  return engine_->merged().Snapshot();
+}
+
+}  // namespace ddos::netd

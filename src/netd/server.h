@@ -1,0 +1,185 @@
+// ddoscoped: the multi-client TCP ingest daemon.
+//
+// The paper's dataset is a continuously collected, multi-source attack
+// feed; IngestServer gives the reproduction that operational shape. One
+// poll()-driven, non-blocking event loop owns two listeners:
+//
+//  * an ingest port speaking the line protocol of netd/connection.h, where
+//    many concurrent clients stream Table-I attack rows into one
+//    ShardedStreamEngine (the loop thread is the engine's single router,
+//    so the sharded engine's SPSC contract holds by construction);
+//  * an HTTP port answering GET /metrics (Prometheus text exposition of
+//    the full ddoscope_* registry via obs/export.h), GET /status (a JSON
+//    engine snapshot: tallies, shard queue depths, connected clients), and
+//    GET /healthz.
+//
+// Backpressure has two independent guards. Inbound, the engine itself is
+// the throttle: Push blocks in bounded backoff when shard rings fill, which
+// stops the loop from reading more socket bytes - TCP flow control then
+// pushes back on every producer. Outbound, a slow client that stops
+// reading its ACKs accrues pending reply bytes; past max_output_buffer the
+// connection is closed (reason "slow-client") rather than buffering
+// without bound.
+//
+// Lifecycle: Bind() resolves the listeners (port 0 = ephemeral, for tests)
+// and, under resume, restores the engine from the checkpoint; Run() blocks
+// in the event loop until a drain completes. RequestDrain() - thread-safe,
+// with an async-signal-safe variant for SIGTERM/SIGINT handlers - stops
+// accepting, final-ACKs every client (`ACK <n> drain`, the client's durable
+// high-water mark; rows after it are the unacked tail to replay after
+// restart), flushes, writes a final checkpoint (stream/checkpoint.h
+// version-2 sharded format, atomic rename), and returns from Run(). The
+// checkpoint precedes StreamEngine::Finish for the same reason the watch
+// CLI's does: Finish sweeps pending collaboration state that a later
+// resume must still be able to stitch.
+#ifndef DDOSCOPE_NETD_SERVER_H_
+#define DDOSCOPE_NETD_SERVER_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/ingest_error.h"
+#include "netd/auth.h"
+#include "netd/connection.h"
+#include "netd/framer.h"
+#include "netd/socket.h"
+#include "obs/metrics.h"
+#include "stream/engine.h"
+#include "stream/sharded.h"
+
+namespace ddos::netd {
+
+struct NetdConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t ingest_port = 0;  // 0 = ephemeral (tests/benches)
+  std::uint16_t http_port = 0;
+
+  AuthTable auth;       // empty = authentication disabled
+  IngestLimits limits;  // ack cadence, anonymous quota, dedupe
+
+  std::size_t shards = 1;  // worker engines behind the router loop
+  stream::StreamEngineConfig engine;
+
+  std::size_t max_line_bytes = 1 << 20;        // per-row cap (framer)
+  std::size_t max_output_buffer = 256 << 10;   // slow-client write budget
+  std::size_t max_connections = 256;           // concurrent ingest+http fds
+
+  // Persistence. checkpoint_every counts accepted records between periodic
+  // checkpoints (0 = final drain checkpoint only); resume restores from
+  // checkpoint_path when the file exists (a missing file starts fresh, so
+  // a supervisor can always pass --resume). journal_path, when set,
+  // receives every accepted record as attack CSV in exact ingest order -
+  // the daemon's archival feed, and the reference a sequential replay must
+  // match bit-for-bit.
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_every = 0;
+  bool resume = false;
+  std::string journal_path;
+};
+
+class IngestServer {
+ public:
+  explicit IngestServer(NetdConfig config);
+  ~IngestServer();
+
+  IngestServer(const IngestServer&) = delete;
+  IngestServer& operator=(const IngestServer&) = delete;
+
+  // Binds listeners, opens the journal, restores a resumed engine. Throws
+  // std::runtime_error on failure. Call once, before Run().
+  void Bind();
+
+  std::uint16_t ingest_port() const { return ingest_port_; }
+  std::uint16_t http_port() const { return http_port_; }
+
+  // The blocking event loop; returns once a requested drain has completed
+  // (all clients final-ACKed and closed, final checkpoint written).
+  void Run();
+
+  // Graceful-drain triggers. RequestDrain is safe from any thread;
+  // RequestDrainFromSignal is additionally async-signal-safe (one atomic
+  // store and one write(2) on the wake pipe).
+  void RequestDrain();
+  void RequestDrainFromSignal() noexcept;
+
+  // Post-Run() accessors.
+  std::uint64_t accepted_records() const { return total_accepted_; }
+  const data::IngestErrorReport& error_report() const { return errors_; }
+  std::uint64_t connections_seen() const { return connections_seen_; }
+  // Folds the shards (ShardedStreamEngine::Finish, first call only) and
+  // snapshots the final engine state. Only valid after Run() returned.
+  stream::StreamSnapshot FinishAndSnapshot();
+
+  // The daemon's metric registry (always armed; /metrics serves it).
+  obs::MetricsRegistry& metrics() { return registry_; }
+
+ private:
+  struct Conn;
+
+  void AcceptPending(int listener_fd, bool http);
+  void HandleIngestRead(Conn& conn);
+  void HandleHttpRead(Conn& conn);
+  void ProcessFrames(Conn& conn);
+  void IngestRecord(Conn& conn, const data::AttackRecord& record);
+  void FlushOutput(Conn& conn);
+  void SyncRejectCounters(Conn& conn);
+  void CloseConn(Conn& conn, CloseReason reason);
+  void BeginDrain();
+  bool DrainComplete() const;
+  void WriteCheckpoint();
+  void MaybePeriodicCheckpoint();
+  data::IngestErrorReport AggregateErrors() const;
+  std::string BuildStatusJson();
+  std::string RouteHttp(const std::string& head);
+  void ResolveMetricHandles();
+
+  NetdConfig config_;
+  obs::MetricsRegistry registry_;
+  std::unique_ptr<stream::ShardedStreamEngine> engine_;
+
+  FdHandle ingest_listener_;
+  FdHandle http_listener_;
+  std::uint16_t ingest_port_ = 0;
+  std::uint16_t http_port_ = 0;
+  FdHandle wake_rd_, wake_wr_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  std::ofstream journal_;
+  bool bound_ = false;
+  bool running_ = false;
+  bool draining_ = false;
+  bool finished_ = false;
+  std::atomic<bool> drain_requested_{false};
+  std::chrono::steady_clock::time_point drain_started_{};
+  std::chrono::steady_clock::time_point started_{};
+
+  std::uint64_t total_accepted_ = 0;       // engine-ingested records, ever
+  std::uint64_t accepted_at_checkpoint_ = 0;
+  std::uint64_t connections_seen_ = 0;
+  data::IngestErrorReport errors_;         // closed-connection tallies
+
+  // Resolved obs handles (registry_ outlives them by construction).
+  obs::Counter* obs_connections_ = nullptr;
+  obs::Gauge* obs_active_ = nullptr;
+  obs::Counter* obs_bytes_in_ = nullptr;
+  obs::Counter* obs_bytes_out_ = nullptr;
+  obs::Counter* obs_records_ = nullptr;
+  obs::Counter* obs_rejected_ = nullptr;
+  obs::Counter* obs_auth_failures_ = nullptr;
+  obs::Counter* obs_quota_rejections_ = nullptr;
+  obs::Counter* obs_slow_closes_ = nullptr;
+  std::array<obs::Counter*, 4> obs_http_requests_{};  // metrics/status/healthz/other
+  obs::Histogram* obs_checkpoint_seconds_ = nullptr;
+  obs::Gauge* obs_drain_millis_ = nullptr;
+  std::array<obs::Counter*, data::kIngestErrorKindCount> obs_errors_{};
+};
+
+}  // namespace ddos::netd
+
+#endif  // DDOSCOPE_NETD_SERVER_H_

@@ -1,0 +1,115 @@
+#include "netd/socket.h"
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <stdexcept>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/strings.h"
+
+namespace ddos::netd {
+
+namespace {
+
+[[noreturn]] void ThrowErrno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in MakeAddr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("netd: bad IPv4 address '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+void FdHandle::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void IgnoreSigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
+FdHandle Listen(const std::string& host, std::uint16_t port,
+                std::uint16_t* bound_port) {
+  FdHandle fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) ThrowErrno("netd: socket");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    ThrowErrno("netd: SO_REUSEADDR");
+  }
+  sockaddr_in addr = MakeAddr(host, port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ThrowErrno(StrFormat("netd: bind %s:%u", host.c_str(), port));
+  }
+  if (::listen(fd.get(), 64) != 0) ThrowErrno("netd: listen");
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual), &len) !=
+        0) {
+      ThrowErrno("netd: getsockname");
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  SetNonBlocking(fd.get());
+  return fd;
+}
+
+FdHandle Connect(const std::string& host, std::uint16_t port) {
+  FdHandle fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) ThrowErrno("netd: socket");
+  sockaddr_in addr = MakeAddr(host, port);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ThrowErrno(StrFormat("netd: connect %s:%u", host.c_str(), port));
+  }
+  SetNoDelay(fd.get());
+  return fd;
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    ThrowErrno("netd: O_NONBLOCK");
+  }
+}
+
+void SetRecvTimeout(int fd, int millis) {
+  timeval tv{};
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    ThrowErrno("netd: SO_RCVTIMEO");
+  }
+}
+
+void SetNoDelay(int fd) {
+  const int one = 1;
+  // Best effort: latency tuning, not correctness.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+std::pair<FdHandle, FdHandle> MakeWakePipe() {
+  int fds[2];
+  if (::pipe(fds) != 0) ThrowErrno("netd: pipe");
+  FdHandle rd(fds[0]), wr(fds[1]);
+  SetNonBlocking(rd.get());
+  SetNonBlocking(wr.get());
+  return {std::move(rd), std::move(wr)};
+}
+
+}  // namespace ddos::netd

@@ -1,0 +1,78 @@
+// Thin RAII layer over the POSIX sockets the ddoscoped daemon uses.
+//
+// Everything here is a direct wrapper - no buffering, no framing, no event
+// loop - so the interesting logic (netd/framer.h, netd/connection.h,
+// netd/server.h) is testable without touching a file descriptor. All
+// sockets are IPv4 TCP; the daemon binds loopback by default and the test
+// suite never leaves it. Sends use MSG_NOSIGNAL throughout: a peer that
+// vanished mid-write must surface as EPIPE, never as a process-killing
+// SIGPIPE.
+#ifndef DDOSCOPE_NETD_SOCKET_H_
+#define DDOSCOPE_NETD_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace ddos::netd {
+
+// Owns one file descriptor; closes on destruction. Movable, not copyable.
+class FdHandle {
+ public:
+  FdHandle() = default;
+  explicit FdHandle(int fd) : fd_(fd) {}
+  ~FdHandle() { Reset(); }
+
+  FdHandle(FdHandle&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FdHandle& operator=(FdHandle&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() { return std::exchange(fd_, -1); }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+// Marks the process as ignoring SIGPIPE (idempotent). The CLI calls this
+// once at startup so a dropped downstream pipe or client cannot kill a
+// multi-day run; library code still uses MSG_NOSIGNAL and does not rely on
+// process-wide state.
+void IgnoreSigpipe();
+
+// Creates a listening TCP socket bound to host:port (SO_REUSEADDR,
+// non-blocking, backlog 64). port 0 binds an ephemeral port; *bound_port
+// receives the actual port. Throws std::runtime_error on failure.
+FdHandle Listen(const std::string& host, std::uint16_t port,
+                std::uint16_t* bound_port);
+
+// Blocking loopback-style connect for clients (netd/client.h, tests,
+// benches). Throws std::runtime_error on failure.
+FdHandle Connect(const std::string& host, std::uint16_t port);
+
+// Sets O_NONBLOCK. Throws std::runtime_error on failure.
+void SetNonBlocking(int fd);
+
+// Sets SO_RCVTIMEO so blocking reads cannot hang a test forever.
+void SetRecvTimeout(int fd, int millis);
+
+// Disables Nagle; the record feed is latency-sensitive small writes.
+void SetNoDelay(int fd);
+
+// Creates a non-blocking self-pipe (read end, write end) used to wake the
+// poll loop from signal handlers and other threads. Throws on failure.
+std::pair<FdHandle, FdHandle> MakeWakePipe();
+
+}  // namespace ddos::netd
+
+#endif  // DDOSCOPE_NETD_SOCKET_H_

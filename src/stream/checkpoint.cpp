@@ -71,16 +71,22 @@ std::pair<std::uint32_t, std::string> ReadFramed(std::istream& in) {
 }
 
 // Stage-and-rename: a crash mid-write leaves the previous checkpoint (if
-// any) untouched, so resume always finds a complete file.
+// any) untouched, so resume always finds a complete file. Every failure
+// path - a failed write, a throwing serializer, a failed rename - deletes
+// the stage file, so a long-running daemon checkpointing into a filling
+// disk does not accumulate orphaned .tmp files.
 template <typename WriteFn>
 void WriteAtomically(const std::string& path, WriteFn&& write_fn) {
   const std::string tmp = path + ".tmp";
-  {
+  try {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) throw std::runtime_error("checkpoint: cannot open " + tmp);
     write_fn(out);
     out.flush();
     if (!out) throw std::runtime_error("checkpoint: write failed: " + tmp);
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());

@@ -327,4 +327,11 @@ std::size_t ShardedStreamEngine::ApproxMemoryBytes() {
   return bytes;
 }
 
+std::vector<std::size_t> ShardedStreamEngine::QueueDepths() const {
+  std::vector<std::size_t> depths;
+  depths.reserve(shards_.size());
+  for (const auto& shard : shards_) depths.push_back(shard->queue.SizeApprox());
+  return depths;
+}
+
 }  // namespace ddos::stream

@@ -109,6 +109,11 @@ class ShardedStreamEngine {
   std::size_t shard_count() const { return shards_.size(); }
   std::size_t ApproxMemoryBytes();
 
+  // Instantaneous per-shard ring occupancy. Approximate (relaxed cursor
+  // reads, no barrier) and safe from any thread - the ddoscoped /status
+  // endpoint polls this without stalling ingest.
+  std::vector<std::size_t> QueueDepths() const;
+
  private:
   struct Task {
     enum class Kind : std::uint8_t { kRecord, kCollab };

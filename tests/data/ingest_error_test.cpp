@@ -4,6 +4,10 @@
 // replayable form.
 #include "data/ingest_error.h"
 
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -158,6 +162,56 @@ TEST(IngestError, QuarantineWriterPreservesRawLinesForReplay) {
   }
   ASSERT_EQ(replayable.size(), 1u);
   EXPECT_EQ(replayable[0], bad_number);
+}
+
+TEST(IngestError, QuarantineWriterStagesThenPublishesAtomically) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/quarantine_publish.csv";
+  const std::string tmp = path + ".tmp";
+  std::remove(path.c_str());
+  std::remove(tmp.c_str());
+
+  QuarantineWriter writer(path);
+  writer.Write({IngestErrorKind::kBadFieldCount, 3, "3 fields", "1,2,3"});
+  // Before Close() only the clearly-partial stage file exists.
+  EXPECT_TRUE(std::ifstream(tmp).good());
+  EXPECT_FALSE(std::ifstream(path).good());
+
+  writer.Close();
+  EXPECT_FALSE(std::ifstream(tmp).good()) << "stage file must be renamed away";
+  std::ifstream published(path);
+  ASSERT_TRUE(published.good());
+  std::stringstream text;
+  text << published.rdbuf();
+  EXPECT_NE(text.str().find("# line 3: bad-field-count"), std::string::npos);
+  EXPECT_NE(text.str().find("1,2,3"), std::string::npos);
+
+  writer.Close();  // idempotent
+  EXPECT_THROW(
+      writer.Write({IngestErrorKind::kBadFieldCount, 4, "late", "x"}),
+      std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(IngestError, QuarantineWriterRemovesTmpWhenRenameFails) {
+  // Renaming a file over an existing non-empty directory fails, which
+  // stands in for any publish-time failure: the .tmp must not survive.
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/quarantine_rename_fail";
+  const std::string tmp = path + ".tmp";
+  std::remove(tmp.c_str());
+  ASSERT_EQ(::mkdir(path.c_str(), 0755), 0);
+  const std::string blocker = path + "/occupied";
+  { std::ofstream(blocker) << "x"; }
+
+  QuarantineWriter writer(path);
+  writer.Write({IngestErrorKind::kDuplicateId, 9, "dup", "9,9"});
+  EXPECT_THROW(writer.Close(), std::runtime_error);
+  EXPECT_FALSE(std::ifstream(tmp).good())
+      << "failed rename must delete the stage file";
+
+  std::remove(blocker.c_str());
+  ::rmdir(path.c_str());
 }
 
 TEST(IngestError, SkipPolicyRecoversEveryCleanRecordOfARealTrace) {

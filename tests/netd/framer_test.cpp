@@ -1,0 +1,152 @@
+// LineFramer contract: TCP chunk boundaries never change the line stream,
+// overlong lines are reported exactly once in order with a bounded buffer,
+// and a torn final line is recoverable via TakePartial.
+#include "netd/framer.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ddos::netd {
+namespace {
+
+void Append(LineFramer* framer, const std::string& bytes) {
+  framer->Append(bytes.data(), bytes.size());
+}
+
+std::vector<std::string> DrainLines(LineFramer* framer) {
+  std::vector<std::string> lines;
+  std::string line;
+  bool overflow = false;
+  while (framer->Next(&line, &overflow)) {
+    EXPECT_FALSE(overflow) << line;
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(LineFramer, ChunkBoundariesAreInvisible) {
+  const std::string stream = "alpha\nbeta\ngamma\ndelta\n";
+  // Deliver the same stream at every chunk size; the line sequence must be
+  // identical each time.
+  for (std::size_t chunk = 1; chunk <= stream.size(); ++chunk) {
+    LineFramer framer;
+    for (std::size_t off = 0; off < stream.size(); off += chunk) {
+      Append(&framer, stream.substr(off, chunk));
+    }
+    const auto lines = DrainLines(&framer);
+    ASSERT_EQ(lines.size(), 4u) << "chunk=" << chunk;
+    EXPECT_EQ(lines[0], "alpha");
+    EXPECT_EQ(lines[1], "beta");
+    EXPECT_EQ(lines[2], "gamma");
+    EXPECT_EQ(lines[3], "delta");
+  }
+}
+
+TEST(LineFramer, CrlfParsesLikeLf) {
+  LineFramer framer;
+  Append(&framer, "one\r\ntwo\nthree\r\r\n");
+  const auto lines = DrainLines(&framer);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "one");
+  EXPECT_EQ(lines[1], "two");
+  EXPECT_EQ(lines[2], "three\r");  // only one trailing CR is stripped
+}
+
+TEST(LineFramer, EmptyLinesAreDelivered) {
+  LineFramer framer;
+  Append(&framer, "\n\nx\n");
+  const auto lines = DrainLines(&framer);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "");
+  EXPECT_EQ(lines[1], "");
+  EXPECT_EQ(lines[2], "x");
+}
+
+TEST(LineFramer, OverlongLineReportedOnceInStreamOrder) {
+  LineFramer framer(8);
+  Append(&framer, "ok1\n");
+  Append(&framer, std::string(100, 'x'));  // overlong, unterminated yet
+  Append(&framer, std::string(100, 'y'));  // still the same bad line
+  Append(&framer, "tail\nok2\n");          // terminates it, then a good line
+  std::string line;
+  bool overflow = false;
+
+  ASSERT_TRUE(framer.Next(&line, &overflow));
+  EXPECT_EQ(line, "ok1");
+  EXPECT_FALSE(overflow);
+
+  ASSERT_TRUE(framer.Next(&line, &overflow));
+  EXPECT_TRUE(overflow);
+  EXPECT_LE(line.size(), LineFramer::kOverflowPrefixBytes);
+  EXPECT_EQ(line.substr(0, 8), "xxxxxxxx");
+
+  ASSERT_TRUE(framer.Next(&line, &overflow));
+  EXPECT_EQ(line, "ok2");
+  EXPECT_FALSE(overflow);
+
+  EXPECT_FALSE(framer.Next(&line, &overflow));
+}
+
+TEST(LineFramer, BackToBackOverlongLinesEachReportedOnce) {
+  LineFramer framer(4);
+  Append(&framer, "aaaaaaaaaa\nbbbbbbbbbb\nok\n");
+  std::string line;
+  bool overflow = false;
+
+  ASSERT_TRUE(framer.Next(&line, &overflow));
+  EXPECT_TRUE(overflow);
+  EXPECT_EQ(line.substr(0, 4), "aaaa");
+
+  ASSERT_TRUE(framer.Next(&line, &overflow));
+  EXPECT_TRUE(overflow);
+  EXPECT_EQ(line.substr(0, 4), "bbbb");
+
+  ASSERT_TRUE(framer.Next(&line, &overflow));
+  EXPECT_EQ(line, "ok");
+  EXPECT_FALSE(overflow);
+}
+
+TEST(LineFramer, PartialBufferStaysBoundedUnderAbuse) {
+  // A peer that never sends '\n' cannot grow the in-progress buffer past
+  // max_line_bytes (plus the small diagnostic prefix).
+  LineFramer framer(1024);
+  for (int i = 0; i < 100; ++i) Append(&framer, std::string(4096, 'z'));
+  EXPECT_LE(framer.buffered(),
+            1024 + LineFramer::kOverflowPrefixBytes + 4096);
+}
+
+TEST(LineFramer, TakePartialRecoversTornFinalLine) {
+  LineFramer framer;
+  Append(&framer, "complete\nto");
+  std::string line;
+  bool overflow = false;
+  ASSERT_TRUE(framer.Next(&line, &overflow));
+  EXPECT_EQ(line, "complete");
+  ASSERT_TRUE(framer.TakePartial(&line, &overflow));
+  EXPECT_EQ(line, "to");
+  EXPECT_FALSE(overflow);
+  EXPECT_FALSE(framer.TakePartial(&line, &overflow)) << "tail consumed";
+}
+
+TEST(LineFramer, TakePartialEmptyTailReturnsFalse) {
+  LineFramer framer;
+  Append(&framer, "done\n");
+  std::string line;
+  bool overflow = false;
+  ASSERT_TRUE(framer.Next(&line, &overflow));
+  EXPECT_FALSE(framer.TakePartial(&line, &overflow));
+}
+
+TEST(LineFramer, TakePartialOverflowTailIsFlagged) {
+  LineFramer framer(4);
+  Append(&framer, "toolongtail");  // no terminator, over the cap
+  std::string line;
+  bool overflow = false;
+  ASSERT_TRUE(framer.TakePartial(&line, &overflow));
+  EXPECT_TRUE(overflow);
+}
+
+}  // namespace
+}  // namespace ddos::netd

@@ -1,0 +1,95 @@
+// The daemon's minimal HTTP surface: head detection over partial reads,
+// request parsing (CRLF and bare-LF probes), and response serialization.
+#include "netd/http.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ddos::netd {
+namespace {
+
+TEST(Http, HeadCompleteCrlf) {
+  std::size_t n = 0;
+  const std::string req = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\nextra";
+  ASSERT_TRUE(HttpHeadComplete(req, &n));
+  EXPECT_EQ(n, req.size() - 5);  // head ends before "extra"
+}
+
+TEST(Http, HeadCompleteBareLf) {
+  std::size_t n = 0;
+  ASSERT_TRUE(HttpHeadComplete("GET / HTTP/1.0\n\n", &n));
+  EXPECT_EQ(n, 16u);
+}
+
+TEST(Http, HeadIncompleteAcrossPartialReads) {
+  std::size_t n = 0;
+  std::string buffer;
+  for (const char* chunk :
+       {"GET /status", " HTTP/1.1\r\n", "Host: localhost\r\n"}) {
+    buffer += chunk;
+    EXPECT_FALSE(HttpHeadComplete(buffer, &n)) << buffer;
+  }
+  buffer += "\r\n";
+  EXPECT_TRUE(HttpHeadComplete(buffer, &n));
+  EXPECT_EQ(n, buffer.size());
+}
+
+TEST(Http, ParseRequestLineAndHeaders) {
+  HttpRequest req;
+  std::string error;
+  ASSERT_TRUE(ParseHttpRequest(
+      "GET /metrics?ts=1 HTTP/1.1\r\nHost: localhost\r\n"
+      "User-Agent: Prometheus/2.0\r\n\r\n",
+      &req, &error))
+      << error;
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.target, "/metrics?ts=1");  // query kept verbatim
+  EXPECT_EQ(req.version, "HTTP/1.1");
+  ASSERT_EQ(req.headers.size(), 2u);
+  EXPECT_EQ(req.headers[0].first, "host");  // keys lowercased
+  EXPECT_EQ(req.headers[0].second, "localhost");
+  EXPECT_EQ(req.headers[1].first, "user-agent");
+}
+
+TEST(Http, ParseBareLfProbe) {
+  HttpRequest req;
+  std::string error;
+  ASSERT_TRUE(ParseHttpRequest("GET /healthz HTTP/1.0\n\n", &req, &error));
+  EXPECT_EQ(req.target, "/healthz");
+  EXPECT_TRUE(req.headers.empty());
+}
+
+TEST(Http, ParseRejectsMalformedInput) {
+  HttpRequest req;
+  std::string error;
+  EXPECT_FALSE(ParseHttpRequest("", &req, &error));
+  EXPECT_FALSE(ParseHttpRequest("\r\n\r\n", &req, &error));
+  EXPECT_FALSE(ParseHttpRequest("GET /x\r\n\r\n", &req, &error));  // no version
+  EXPECT_FALSE(
+      ParseHttpRequest("GET /x HTTP/1.1 extra\r\n\r\n", &req, &error));
+  EXPECT_FALSE(
+      ParseHttpRequest("GET /x FTP/1.1\r\n\r\n", &req, &error));
+  EXPECT_FALSE(ParseHttpRequest("GET /x HTTP/1.1\r\nbadheader\r\n\r\n", &req,
+                                &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Http, StatusTextKnownAndFallback) {
+  EXPECT_EQ(HttpStatusText(200), "200 OK");
+  EXPECT_EQ(HttpStatusText(404), "404 Not Found");
+  EXPECT_EQ(HttpStatusText(503), "503 Service Unavailable");
+  EXPECT_EQ(HttpStatusText(418), "500 Internal Server Error");
+}
+
+TEST(Http, BuildResponseCarriesLengthAndClose) {
+  const std::string resp = BuildHttpResponse(200, "text/plain", "hello\n");
+  EXPECT_EQ(resp.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(resp.find("Content-Type: text/plain\r\n"), std::string::npos);
+  EXPECT_NE(resp.find("Content-Length: 6\r\n"), std::string::npos);
+  EXPECT_NE(resp.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(resp.substr(resp.size() - 10), "\r\n\r\nhello\n");
+}
+
+}  // namespace
+}  // namespace ddos::netd

@@ -1,0 +1,225 @@
+// IngestProtocol: the per-connection state machine driven purely with
+// strings - auth gating, ack cadence, control verbs, error taxonomy, quota
+// enforcement, and drain - with no sockets involved.
+#include "netd/connection.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "data/records.h"
+
+namespace ddos::netd {
+namespace {
+
+std::string Row(std::uint64_t id) {
+  return StrFormat(
+      "%llu,7,Dirtjumper,http,10.1.2.3,2012-09-01 10:00:00,"
+      "2012-09-01 11:00:00,64500,US,Denver,39.700000,-104.900000,AcmeCo,25",
+      static_cast<unsigned long long>(id));
+}
+
+constexpr char kHeaderLine[] =
+    "ddos_id,botnet_id,family,category,target_ip,timestamp,end_time,asn,"
+    "cc,city,latitude,longitude,organization,magnitude";
+
+// Drives one line through the protocol, ingesting any produced record the
+// way the server does.
+IngestProtocol::LineResult Feed(IngestProtocol* p, const std::string& line,
+                                bool overflow = false) {
+  data::AttackRecord record;
+  const auto result = p->OnLine(line, overflow, &record);
+  if (result.has_record) p->OnRecordIngested();
+  return result;
+}
+
+TEST(IngestProtocol, NoAuthTableStreamsImmediately) {
+  IngestProtocol p(nullptr, IngestLimits{});
+  EXPECT_EQ(p.state(), ConnState::kStreaming);
+  EXPECT_FALSE(Feed(&p, Row(1)).close);
+  EXPECT_EQ(p.records(), 1u);
+  EXPECT_EQ(p.client_name(), "anonymous");
+}
+
+TEST(IngestProtocol, EmptyAuthTableAlsoDisablesAuth) {
+  AuthTable empty;
+  IngestProtocol p(&empty, IngestLimits{});
+  EXPECT_EQ(p.state(), ConnState::kStreaming);
+}
+
+TEST(IngestProtocol, AuthHandshakeAcceptsKnownToken) {
+  const AuthTable auth = AuthTable::FromSpecList("s3cret:upstream-eu:100");
+  IngestProtocol p(&auth, IngestLimits{});
+  EXPECT_EQ(p.state(), ConnState::kAwaitAuth);
+
+  const auto result = Feed(&p, "AUTH s3cret");
+  EXPECT_FALSE(result.close);
+  EXPECT_EQ(p.state(), ConnState::kStreaming);
+  EXPECT_EQ(p.client_name(), "upstream-eu");
+  EXPECT_EQ(p.TakeOutput(), "OK upstream-eu\n");
+}
+
+TEST(IngestProtocol, UnknownTokenRejectedAndClosed) {
+  const AuthTable auth = AuthTable::FromSpecList("s3cret:upstream-eu");
+  IngestProtocol p(&auth, IngestLimits{});
+  const auto result = Feed(&p, "AUTH wrong");
+  EXPECT_TRUE(result.close);
+  EXPECT_EQ(p.close_reason(), CloseReason::kAuthFailure);
+  EXPECT_EQ(p.TakeOutput(), "ERR unauthorized\n");
+}
+
+TEST(IngestProtocol, RowBeforeAuthRejected) {
+  const AuthTable auth = AuthTable::FromSpecList("s3cret");
+  IngestProtocol p(&auth, IngestLimits{});
+  const auto result = Feed(&p, Row(1));
+  EXPECT_TRUE(result.close);
+  EXPECT_EQ(p.close_reason(), CloseReason::kAuthFailure);
+  EXPECT_EQ(p.TakeOutput(), "ERR auth-required\n");
+  EXPECT_EQ(p.records(), 0u);
+}
+
+TEST(IngestProtocol, MidStreamAuthIsProtocolError) {
+  IngestProtocol p(nullptr, IngestLimits{});
+  Feed(&p, Row(1));
+  const auto result = Feed(&p, "AUTH whatever");
+  EXPECT_TRUE(result.close);
+  EXPECT_EQ(p.close_reason(), CloseReason::kProtocolError);
+  EXPECT_EQ(p.TakeOutput(), "ERR unexpected-auth\n");
+}
+
+TEST(IngestProtocol, AckCadenceFollowsAckEvery) {
+  IngestLimits limits;
+  limits.ack_every = 3;
+  IngestProtocol p(nullptr, limits);
+  for (std::uint64_t id = 1; id <= 7; ++id) Feed(&p, Row(id));
+  EXPECT_EQ(p.TakeOutput(), "ACK 3\nACK 6\n");
+  EXPECT_EQ(p.records(), 7u);
+}
+
+TEST(IngestProtocol, PingReportsAcceptedCount) {
+  IngestProtocol p(nullptr, IngestLimits{});
+  Feed(&p, Row(1));
+  Feed(&p, Row(2));
+  EXPECT_FALSE(Feed(&p, "PING").close);
+  EXPECT_EQ(p.TakeOutput(), "PONG 2\n");
+}
+
+TEST(IngestProtocol, EndAcksAndCloses) {
+  IngestProtocol p(nullptr, IngestLimits{});
+  Feed(&p, Row(1));
+  const auto result = Feed(&p, "END");
+  EXPECT_TRUE(result.close);
+  EXPECT_EQ(p.close_reason(), CloseReason::kEndOfFeed);
+  EXPECT_EQ(p.TakeOutput(), "ACK 1 end\n");
+}
+
+TEST(IngestProtocol, HeaderAndBlankLinesSkippedSilently) {
+  IngestProtocol p(nullptr, IngestLimits{});
+  EXPECT_FALSE(Feed(&p, kHeaderLine).close);
+  EXPECT_FALSE(Feed(&p, "").close);
+  Feed(&p, Row(1));
+  EXPECT_EQ(p.records(), 1u);
+  EXPECT_EQ(p.rejected(), 0u);
+}
+
+TEST(IngestProtocol, MalformedRowCountedNotFatal) {
+  IngestProtocol p(nullptr, IngestLimits{});
+  EXPECT_FALSE(Feed(&p, "1,2,3").close);  // wrong field count
+  Feed(&p, Row(1));
+  EXPECT_EQ(p.records(), 1u);
+  EXPECT_EQ(p.rejected(), 1u);
+  EXPECT_EQ(p.errors().count(data::IngestErrorKind::kBadFieldCount), 1u);
+  EXPECT_EQ(p.state(), ConnState::kStreaming);
+}
+
+TEST(IngestProtocol, OverflowLineCountedAsTruncated) {
+  IngestProtocol p(nullptr, IngestLimits{});
+  EXPECT_FALSE(Feed(&p, "xxxx", /*overflow=*/true).close);
+  EXPECT_EQ(p.errors().count(data::IngestErrorKind::kTruncatedLine), 1u);
+  EXPECT_EQ(p.rejected(), 1u);
+}
+
+TEST(IngestProtocol, DuplicateIdRejectedPerConnection) {
+  IngestProtocol p(nullptr, IngestLimits{});
+  Feed(&p, Row(42));
+  Feed(&p, Row(42));
+  EXPECT_EQ(p.records(), 1u);
+  EXPECT_EQ(p.errors().count(data::IngestErrorKind::kDuplicateId), 1u);
+}
+
+TEST(IngestProtocol, DuplicateDetectionCanBeDisabled) {
+  IngestLimits limits;
+  limits.detect_duplicate_ids = false;
+  IngestProtocol p(nullptr, limits);
+  Feed(&p, Row(42));
+  Feed(&p, Row(42));
+  EXPECT_EQ(p.records(), 2u);
+  EXPECT_EQ(p.rejected(), 0u);
+}
+
+TEST(IngestProtocol, QuotaEnforcedAtExactBoundary) {
+  const AuthTable auth = AuthTable::FromSpecList("tok:feed:3");
+  IngestProtocol p(&auth, IngestLimits{});
+  Feed(&p, "AUTH tok");
+  p.TakeOutput();
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    EXPECT_FALSE(Feed(&p, Row(id)).close) << id;
+  }
+  // The quota-th record is accepted; the next one trips the limit.
+  const auto result = Feed(&p, Row(4));
+  EXPECT_TRUE(result.close);
+  EXPECT_EQ(p.close_reason(), CloseReason::kQuotaExceeded);
+  EXPECT_EQ(p.records(), 3u);
+  EXPECT_EQ(p.TakeOutput(), "ERR quota-exceeded after 3 records\n");
+}
+
+TEST(IngestProtocol, DefaultQuotaAppliesToUnauthenticatedFeeds) {
+  IngestLimits limits;
+  limits.default_max_records = 2;
+  IngestProtocol p(nullptr, limits);
+  Feed(&p, Row(1));
+  Feed(&p, Row(2));
+  EXPECT_TRUE(Feed(&p, Row(3)).close);
+  EXPECT_EQ(p.close_reason(), CloseReason::kQuotaExceeded);
+}
+
+TEST(IngestProtocol, DrainQueuesFinalAckAndCloses) {
+  IngestProtocol p(nullptr, IngestLimits{});
+  Feed(&p, Row(1));
+  Feed(&p, Row(2));
+  p.OnDrain();
+  EXPECT_EQ(p.state(), ConnState::kClosing);
+  EXPECT_EQ(p.close_reason(), CloseReason::kDrained);
+  EXPECT_EQ(p.TakeOutput(), "ACK 2 drain\n");
+  // Further lines after drain just confirm the close.
+  EXPECT_TRUE(Feed(&p, Row(3)).close);
+  EXPECT_EQ(p.records(), 2u);
+}
+
+TEST(IngestProtocol, DrainAfterCloseIsIdempotent) {
+  IngestProtocol p(nullptr, IngestLimits{});
+  Feed(&p, "END");
+  p.TakeOutput();
+  p.OnDrain();  // already closing; must not queue another ACK
+  EXPECT_FALSE(p.has_output());
+  EXPECT_EQ(p.close_reason(), CloseReason::kEndOfFeed);
+}
+
+TEST(IngestProtocol, CloseReasonNamesAreDistinct) {
+  const CloseReason reasons[] = {
+      CloseReason::kNone,          CloseReason::kEndOfFeed,
+      CloseReason::kAuthFailure,   CloseReason::kQuotaExceeded,
+      CloseReason::kProtocolError, CloseReason::kDrained,
+      CloseReason::kSlowClient,
+  };
+  for (std::size_t i = 0; i < std::size(reasons); ++i) {
+    EXPECT_FALSE(CloseReasonName(reasons[i]).empty());
+    for (std::size_t j = i + 1; j < std::size(reasons); ++j) {
+      EXPECT_NE(CloseReasonName(reasons[i]), CloseReasonName(reasons[j]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ddos::netd

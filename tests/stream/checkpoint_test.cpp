@@ -5,6 +5,8 @@
 // never half-restore.
 #include "stream/checkpoint.h"
 
+#include <sys/stat.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -235,6 +237,28 @@ TEST(Checkpoint, FileWriterStagesAndRenamesAtomically) {
   std::remove(path.c_str());
 
   EXPECT_THROW(ReadCheckpoint(path, nullptr), std::runtime_error);
+}
+
+TEST(Checkpoint, FailedRenameLeavesNoStageFileBehind) {
+  // Renaming over a non-empty directory fails, standing in for any
+  // publish-time failure: the writer must throw AND clean up its .tmp so
+  // repeated failures cannot accumulate debris.
+  const std::string path = ::testing::TempDir() + "/ddoscope_ckpt_blocked";
+  const std::string tmp = path + ".tmp";
+  std::remove(tmp.c_str());
+  ASSERT_EQ(::mkdir(path.c_str(), 0755), 0);
+  const std::string blocker = path + "/occupied";
+  { std::ofstream(blocker) << "x"; }
+
+  StreamEngine engine;
+  for (const data::AttackRecord& a : Trace().attacks()) engine.Push(a);
+  EXPECT_THROW(WriteCheckpoint(path, engine, MetaWithRecords(1)),
+               std::runtime_error);
+  EXPECT_FALSE(std::ifstream(tmp).good())
+      << "failed rename must delete the stage file";
+
+  std::remove(blocker.c_str());
+  ::rmdir(path.c_str());
 }
 
 }  // namespace

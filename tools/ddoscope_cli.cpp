@@ -40,13 +40,34 @@
 //   ddoscope batch ATTACKS.csv [--jobs N] [--partitions P] [--epsilon E]
 //       Analyze an on-disk trace with P time partitions on N threads and
 //       print the merged final summary (stream/parallel_batch.h).
+//   ddoscope serve [--host H] [--port P] [--http-port P] [--shards N]
+//                  [--tokens SPEC,...] [--token-file F] [--quota N]
+//                  [--ack-every N] [--window H] [--epsilon E]
+//                  [--checkpoint FILE] [--checkpoint-every N] [--resume]
+//                  [--journal FILE]
+//       Run ddoscoped (netd/server.h): accept concurrent TCP record feeds
+//       on --port (line protocol, netd/connection.h) into a sharded
+//       streaming engine, and serve /metrics, /status and /healthz on
+//       --http-port. Tokens are TOKEN[:NAME[:MAX_RECORDS]] specs; with
+//       none configured auth is disabled and --quota bounds anonymous
+//       feeds. SIGTERM/SIGINT drains gracefully: every client gets a final
+//       `ACK <n> drain`, a checkpoint is written, and the final summary is
+//       printed; --resume continues from that checkpoint. --journal
+//       appends every accepted record (CSV, exact ingest order), so a
+//       sequential replay of the journal reproduces the daemon's state.
+//   ddoscope feed HOST:PORT ATTACKS.csv|- [--token T]
+//       Stream a trace into a running ddoscoped and report the server's
+//       acknowledged record count.
 //
 // The CSV schema is Table I of the paper (see data/csv.h), so externally
 // collected traces work with every subcommand except `generate`.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -66,6 +87,10 @@
 #include "data/ingest_error.h"
 #include "data/query.h"
 #include "geo/geo_db.h"
+#include "netd/auth.h"
+#include "netd/client.h"
+#include "netd/server.h"
+#include "netd/socket.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -98,7 +123,14 @@ int Usage() {
                "                 [--trace-out FILE]\n"
                "  ddoscope metrics METRICS.prom\n"
                "  ddoscope batch ATTACKS.csv [--jobs N] [--partitions P]\n"
-               "                 [--epsilon E]\n");
+               "                 [--epsilon E]\n"
+               "  ddoscope serve [--host H] [--port P] [--http-port P]\n"
+               "                 [--shards N] [--tokens SPEC,...]\n"
+               "                 [--token-file F] [--quota N] [--ack-every N]\n"
+               "                 [--window H] [--epsilon E]\n"
+               "                 [--checkpoint FILE] [--checkpoint-every N]\n"
+               "                 [--resume] [--journal FILE]\n"
+               "  ddoscope feed HOST:PORT ATTACKS.csv|- [--token T]\n");
   return 2;
 }
 
@@ -460,6 +492,9 @@ int CmdWatch(const std::string& path,
                   static_cast<unsigned long long>(report.total()),
                   report.ToString().c_str());
       if (quarantine != nullptr) {
+        // Publish the staged .tmp at its final path before naming it; a
+        // write/rename failure throws instead of leaving debris behind.
+        quarantine->Close();
         std::printf("quarantined %zu rows to %s\n", quarantine->written(),
                     quarantine_path.c_str());
       }
@@ -666,6 +701,166 @@ int CmdMetrics(const std::string& path) {
   return 0;
 }
 
+// The serving IngestServer, visible to the signal handler. Plain atomic
+// pointer: the handler does one lock-free load and one async-signal-safe
+// RequestDrainFromSignal call.
+std::atomic<netd::IngestServer*> g_serve_server{nullptr};
+
+void HandleServeSignal(int /*signum*/) {
+  netd::IngestServer* server = g_serve_server.load(std::memory_order_acquire);
+  if (server != nullptr) server->RequestDrainFromSignal();
+}
+
+int CmdServe(const std::map<std::string, std::string>& flags) {
+  netd::NetdConfig config;
+  config.ingest_port = 7460;
+  config.http_port = 7461;
+  if (const auto it = flags.find("host"); it != flags.end()) {
+    config.host = it->second;
+  }
+  if (const auto it = flags.find("port"); it != flags.end()) {
+    config.ingest_port = static_cast<std::uint16_t>(
+        ParseInt64(it->second).value_or(config.ingest_port));
+  }
+  if (const auto it = flags.find("http-port"); it != flags.end()) {
+    config.http_port = static_cast<std::uint16_t>(
+        ParseInt64(it->second).value_or(config.http_port));
+  }
+  if (const auto it = flags.find("shards"); it != flags.end()) {
+    config.shards = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, ParseInt64(it->second).value_or(1)));
+  }
+  if (const auto it = flags.find("window"); it != flags.end()) {
+    config.engine.rolling_window_s =
+        ParseInt64(it->second).value_or(24) * kSecondsPerHour;
+  }
+  if (const auto it = flags.find("epsilon"); it != flags.end()) {
+    config.engine.quantile_epsilon =
+        ParseDouble(it->second).value_or(config.engine.quantile_epsilon);
+  }
+  if (const auto it = flags.find("token-file"); it != flags.end()) {
+    config.auth = netd::AuthTable::LoadFile(it->second);
+  }
+  if (const auto it = flags.find("tokens"); it != flags.end()) {
+    for (const std::string& spec : Split(it->second, ',')) {
+      if (!Trim(spec).empty()) {
+        config.auth.Add(netd::AuthTable::ParseSpec(Trim(spec)));
+      }
+    }
+  }
+  if (const auto it = flags.find("quota"); it != flags.end()) {
+    config.limits.default_max_records = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, ParseInt64(it->second).value_or(0)));
+  }
+  if (const auto it = flags.find("ack-every"); it != flags.end()) {
+    config.limits.ack_every = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, ParseInt64(it->second).value_or(
+                                      static_cast<std::int64_t>(
+                                          config.limits.ack_every))));
+  }
+  if (const auto it = flags.find("checkpoint"); it != flags.end()) {
+    config.checkpoint_path = it->second;
+  }
+  if (const auto it = flags.find("checkpoint-every"); it != flags.end()) {
+    config.checkpoint_every = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, ParseInt64(it->second).value_or(0)));
+  }
+  config.resume = flags.count("resume") > 0;
+  if (config.resume && config.checkpoint_path.empty()) {
+    std::fprintf(stderr, "serve: --resume requires --checkpoint FILE\n");
+    return 2;
+  }
+  if (const auto it = flags.find("journal"); it != flags.end()) {
+    config.journal_path = it->second;
+  }
+
+  const std::int64_t window_hours =
+      config.engine.rolling_window_s / kSecondsPerHour;
+  netd::IngestServer server(config);
+  server.Bind();
+  std::printf("ddoscoped listening: ingest %s:%u, http %s:%u "
+              "(%zu shard%s, %zu token%s%s)\n",
+              config.host.c_str(), server.ingest_port(), config.host.c_str(),
+              server.http_port(), std::max<std::size_t>(1, config.shards),
+              config.shards == 1 ? "" : "s", config.auth.size(),
+              config.auth.size() == 1 ? "" : "s",
+              config.auth.empty() ? "; auth disabled" : "");
+  if (server.accepted_records() > 0) {
+    std::printf("resumed from %s: %llu records\n",
+                config.checkpoint_path.c_str(),
+                static_cast<unsigned long long>(server.accepted_records()));
+  }
+  std::fflush(stdout);  // the CI smoke test tails this through a pipe
+
+  g_serve_server.store(&server, std::memory_order_release);
+  std::signal(SIGINT, HandleServeSignal);
+  std::signal(SIGTERM, HandleServeSignal);
+  server.Run();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_serve_server.store(nullptr, std::memory_order_release);
+
+  std::printf("drained: %llu records over %llu connections\n",
+              static_cast<unsigned long long>(server.accepted_records()),
+              static_cast<unsigned long long>(server.connections_seen()));
+  const data::IngestErrorReport& errors = server.error_report();
+  if (errors.total() > 0) {
+    std::printf("%llu malformed rows rejected:\n%s",
+                static_cast<unsigned long long>(errors.total()),
+                errors.ToString().c_str());
+  }
+  const stream::StreamSnapshot snap = server.FinishAndSnapshot();
+  if (snap.attacks > 0) PrintWatchSnapshot(snap, true, window_hours);
+  return 0;
+}
+
+int CmdFeed(const std::string& hostport, const std::string& path,
+            const std::map<std::string, std::string>& flags) {
+  const std::size_t colon = hostport.rfind(':');
+  const auto port = colon == std::string::npos
+                        ? std::nullopt
+                        : ParseInt64(hostport.substr(colon + 1));
+  if (!port.has_value() || *port <= 0 || *port > 65535) {
+    std::fprintf(stderr, "feed: first argument must be HOST:PORT\n");
+    return 2;
+  }
+  netd::FeedClient client(hostport.substr(0, colon),
+                          static_cast<std::uint16_t>(*port));
+  if (const auto it = flags.find("token"); it != flags.end()) {
+    std::printf("%s\n", client.Auth(it->second).c_str());
+  }
+
+  const bool from_stdin = path == "-";
+  std::ifstream file;
+  if (!from_stdin) {
+    file.open(path);
+    if (!file) {
+      std::fprintf(stderr, "feed: cannot open %s\n", path.c_str());
+      return 2;
+    }
+  }
+  std::istream& in = from_stdin ? std::cin : file;
+
+  std::uint64_t sent = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    client.SendLine(line);
+    if (client.closed_by_server()) break;
+    ++sent;
+  }
+  const std::uint64_t acked = client.End();
+  std::printf("fed %llu lines, server acked %llu records\n",
+              static_cast<unsigned long long>(sent),
+              static_cast<unsigned long long>(acked));
+  if (!client.last_error().empty()) {
+    std::fprintf(stderr, "feed: server said: %s\n",
+                 client.last_error().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int CmdPredict(const std::string& path) {
   const data::Dataset ds = LoadDataset(path);
   const auto watch = core::BuildWatchList(ds, 15, 4);
@@ -685,6 +880,9 @@ int CmdPredict(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A dropped client or downstream pipe must surface as EPIPE on the
+  // affected descriptor, never kill a multi-day run.
+  netd::IgnoreSigpipe();
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   std::vector<std::string> positional;
@@ -714,6 +912,12 @@ int main(int argc, char** argv) {
     }
     if (command == "batch" && positional.size() == 1) {
       return CmdBatch(positional[0], flags);
+    }
+    if (command == "serve" && positional.empty()) {
+      return CmdServe(flags);
+    }
+    if (command == "feed" && positional.size() == 2) {
+      return CmdFeed(positional[0], positional[1], flags);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ddoscope %s: %s\n", command.c_str(), e.what());
