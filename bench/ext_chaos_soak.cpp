@@ -1,0 +1,450 @@
+// Extension: chaos-hardened serving soak.
+//
+// The headline gate for the resilience stack: three resilient clients feed
+// a unique-id trace into ddoscoped while every syscall seam misbehaves on
+// a seeded schedule (short reads/writes, EINTR, connection resets, EPIPE,
+// accept-time EMFILE, delayed connects, journal ENOSPC, fsync EIO) - and
+// halfway through, the daemon is killed (hard stop: no drain, no sync) and
+// restarted with --resume on the same ports.
+//
+// Pass criteria, all enforced with a nonzero exit on violation:
+//   * schedule coverage - at least 6 distinct fault kinds actually fired;
+//   * zero loss, zero duplicates - every client's final acked count equals
+//     the rows it fed, the journal holds each ddos_id exactly once, and
+//     the restarted daemon accepted exactly the full trace;
+//   * bit-identical recovery - a clean sequential replay of the journal
+//     through an identically sharded engine reproduces the post-crash
+//     engine state field for field (collaboration included);
+//   * fault-free equivalence - order-insensitive exact fields match a
+//     chaos-free single-engine run over the same records.
+//
+// Emits BENCH_chaos.json (per-kind fault tallies, per-client sequence
+// accounting, gate results). On failure, chaos_artifacts/ receives the
+// journal and the failing seed for offline replay - the schedule is fully
+// determined by (seed, rates), so a red run is reproducible.
+//
+// DDOSCOPE_CHAOS_SEED overrides the fault-schedule seed.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_util.h"
+#include "chaos/chaos.h"
+#include "common/strings.h"
+#include "netd/client.h"
+#include "netd/journal.h"
+#include "netd/resilient_client.h"
+#include "netd/server.h"
+#include "netd/socket.h"
+#include "obs/metrics.h"
+#include "stream/engine.h"
+#include "stream/sharded.h"
+
+namespace {
+
+using namespace ddos;
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+constexpr std::size_t kClients = 3;
+constexpr std::size_t kTargetRecords = 6000;
+constexpr std::size_t kShards = 4;
+constexpr int kMinFaultKinds = 6;
+constexpr char kJournalPath[] = "chaos_soak_journal.csv";
+constexpr char kArtifactDir[] = "chaos_artifacts";
+
+struct ClientOutcome {
+  std::string id;
+  std::size_t sent = 0;
+  std::uint64_t sequenced = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t resent = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::string error;
+};
+
+struct Gate {
+  std::string name;
+  bool pass = false;
+  std::string detail;
+};
+
+// Tile the synthetic trace up to the target size with globally unique
+// ddos_ids (both the client window and the journal dedup gate key on id
+// uniqueness; the analytics fields keep the paper's distributions).
+std::vector<data::AttackRecord> BuildTrace() {
+  const auto& base = bench::SharedDataset().attacks();
+  std::vector<data::AttackRecord> trace;
+  trace.reserve(kTargetRecords);
+  std::uint64_t next_id = 1;
+  while (trace.size() < kTargetRecords) {
+    for (const data::AttackRecord& a : base) {
+      if (trace.size() >= kTargetRecords) break;
+      trace.push_back(a);
+      trace.back().ddos_id = next_id++;
+    }
+  }
+  return trace;
+}
+
+bool ExactFieldsEqual(const stream::StreamSnapshot& a,
+                      const stream::StreamSnapshot& b, bool include_collab,
+                      std::string* detail) {
+  auto fail = [detail](const std::string& what) {
+    *detail = what;
+    return false;
+  };
+  if (a.attacks != b.attacks) return fail("attacks");
+  if (a.family_attacks != b.family_attacks) return fail("family_attacks");
+  if (a.countries != b.countries) return fail("countries");
+  if (a.protocols.size() != b.protocols.size()) return fail("protocols.size");
+  for (std::size_t i = 0; i < a.protocols.size(); ++i) {
+    if (a.protocols[i].protocol != b.protocols[i].protocol ||
+        a.protocols[i].attacks != b.protocols[i].attacks) {
+      return fail("protocols[" + std::to_string(i) + "]");
+    }
+  }
+  if (a.intervals.summary.count != b.intervals.summary.count) {
+    return fail("intervals.count");
+  }
+  if (a.durations.summary.count != b.durations.summary.count) {
+    return fail("durations.count");
+  }
+  if (a.distinct_targets != b.distinct_targets) {
+    return fail("distinct_targets");
+  }
+  if (a.distinct_botnets != b.distinct_botnets) {
+    return fail("distinct_botnets");
+  }
+  if (include_collab) {
+    // Arrival-order-dependent fields: compared only when both sides saw
+    // the identical sequence (the journal replay), not against the
+    // fault-free reference whose feed order differs by construction.
+    if (a.first_start != b.first_start) return fail("first_start");
+    if (a.last_start != b.last_start) return fail("last_start");
+    if (a.attacks_in_window != b.attacks_in_window) {
+      return fail("attacks_in_window");
+    }
+    if (a.collab.events != b.collab.events) return fail("collab.events");
+    if (a.collab.total_participants != b.collab.total_participants) {
+      return fail("collab.participants");
+    }
+    if (a.durations.summary.median != b.durations.summary.median) {
+      return fail("durations.median");
+    }
+    if (a.intervals.summary.mean != b.intervals.summary.mean) {
+      return fail("intervals.mean");
+    }
+  }
+  return true;
+}
+
+void WriteFailureArtifacts(std::uint64_t seed,
+                           const std::vector<Gate>& gates) {
+  std::error_code ec;
+  std::filesystem::create_directories(kArtifactDir, ec);
+  std::filesystem::copy_file(
+      kJournalPath, std::string(kArtifactDir) + "/chaos_soak_journal.csv",
+      std::filesystem::copy_options::overwrite_existing, ec);
+  std::ofstream out(std::string(kArtifactDir) + "/FAILING_SEED.txt");
+  out << "seed=" << seed << "\n"
+      << "repro: DDOSCOPE_CHAOS_SEED=" << seed << " bench_ext_chaos_soak\n";
+  for (const Gate& g : gates) {
+    if (!g.pass) out << "failed gate: " << g.name << " (" << g.detail << ")\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Extension", "chaos soak: kill -9 + fault injection");
+  netd::IgnoreSigpipe();
+
+  std::uint64_t seed = 20260808;
+  if (const char* env = std::getenv("DDOSCOPE_CHAOS_SEED")) {
+    seed = static_cast<std::uint64_t>(std::strtoull(env, nullptr, 10));
+  }
+
+  const std::vector<data::AttackRecord> trace = BuildTrace();
+  std::vector<std::vector<const data::AttackRecord*>> slices(kClients);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    slices[i % kClients].push_back(&trace[i]);
+  }
+
+  // Fault-free reference: the same records through one sequential engine.
+  stream::StreamEngine reference;
+  for (const data::AttackRecord& a : trace) reference.Push(a);
+  reference.Finish();
+  const stream::StreamSnapshot fault_free = reference.Snapshot();
+
+  std::remove(kJournalPath);
+  netd::NetdConfig config;
+  config.shards = kShards;
+  config.limits.ack_every = 64;
+  config.journal_path = kJournalPath;
+  config.journal_fsync = netd::FsyncPolicy::kInterval;
+  config.journal_fsync_every = 64;  // frequent fsyncs so EIO faults land
+
+  auto server = std::make_unique<netd::IngestServer>(config);
+  server->Bind();
+  const std::uint16_t ingest_port = server->ingest_port();
+  const std::uint16_t http_port = server->http_port();
+  std::thread loop([&server] { server->Run(); });
+
+  // Every seam armed. Socket faults are frequent (the hot path), accept/
+  // connect faults are boosted because those calls are rarer, and the
+  // journal/fsync rates are tuned to fire several times per soak without
+  // turning the run into pure error handling.
+  chaos::FaultScheduleConfig faults;
+  faults.seed = seed;
+  faults.short_read_rate = 0.05;
+  faults.short_write_rate = 0.05;
+  faults.eintr_rate = 0.03;
+  faults.conn_reset_rate = 0.01;
+  faults.epipe_rate = 0.01;
+  faults.accept_emfile_rate = 0.10;
+  faults.connect_delay_rate = 0.30;
+  faults.connect_delay_ms = 2;
+  faults.journal_enospc_rate = 0.01;
+  faults.file_eio_rate = 0.05;
+
+  std::vector<ClientOutcome> outcomes(kClients);
+  std::uint64_t replayed = 0;
+  chaos::FaultStats stats;
+  {
+    chaos::ScopedChaos chaos(faults);
+
+    std::atomic<std::size_t> half_done{0};
+    std::atomic<bool> restarted{false};
+    std::vector<std::thread> feeders;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      feeders.emplace_back([&, c] {
+        ClientOutcome& out = outcomes[c];
+        out.id = StrFormat("soak-%zu", c);
+        out.sent = slices[c].size();
+        try {
+          netd::ResilientFeedOptions options;
+          options.client_id = out.id;
+          options.max_attempts = 400;
+          options.backoff_initial_ms = 1;
+          options.backoff_max_ms = 40;
+          options.seed = seed + c;
+          options.window_records = 256;
+          netd::ResilientFeedClient client("127.0.0.1", ingest_port, options);
+          const std::size_t half = slices[c].size() / 2;
+          for (std::size_t i = 0; i < half; ++i) {
+            client.SendRecord(*slices[c][i]);
+          }
+          half_done.fetch_add(1, std::memory_order_acq_rel);
+          // Hold through the kill window so the crash interrupts every
+          // client mid-stream, with unacked rows in flight.
+          while (!restarted.load(std::memory_order_acquire)) {
+            std::this_thread::sleep_for(milliseconds(1));
+          }
+          for (std::size_t i = half; i < slices[c].size(); ++i) {
+            client.SendRecord(*slices[c][i]);
+          }
+          out.acked = client.Finish();
+          out.sequenced = client.sequenced();
+          out.reconnects = client.reconnects();
+          out.resent = client.records_resent();
+          out.duplicates_dropped = client.duplicates_dropped();
+          if (!client.last_error().empty()) out.error = client.last_error();
+        } catch (const std::exception& e) {
+          out.error = e.what();
+        }
+      });
+    }
+
+    while (half_done.load(std::memory_order_acquire) < kClients) {
+      std::this_thread::sleep_for(milliseconds(1));
+    }
+    // Let the daemon commit a meaningful prefix, then kill it cold.
+    const steady_clock::time_point kill_deadline =
+        steady_clock::now() + milliseconds(30000);
+    while (server->metrics().Snapshot().CounterValue(
+               "ddoscope_netd_records_total") < trace.size() / 5 &&
+           steady_clock::now() < kill_deadline) {
+      std::this_thread::sleep_for(milliseconds(1));
+    }
+    server->RequestHardStop();
+    loop.join();
+    const std::uint64_t committed_at_kill = server->accepted_records();
+    server.reset();
+    std::printf("hard-killed daemon at %llu/%zu committed records\n",
+                static_cast<unsigned long long>(committed_at_kill),
+                trace.size());
+
+    netd::NetdConfig resumed = config;
+    resumed.ingest_port = ingest_port;
+    resumed.http_port = http_port;
+    resumed.resume = true;
+    server = std::make_unique<netd::IngestServer>(resumed);
+    server->Bind();
+    replayed = server->replayed_records();
+    loop = std::thread([&server] { server->Run(); });
+    restarted.store(true, std::memory_order_release);
+
+    for (std::thread& t : feeders) t.join();
+    server->RequestDrain();
+    loop.join();
+    stats = chaos.Stats();
+  }
+
+  const stream::StreamSnapshot merged = server->FinishAndSnapshot();
+
+  // ---- Gates ----
+  std::vector<Gate> gates;
+
+  int kinds_fired = 0;
+  for (int k = 0; k < chaos::kFaultKindCount; ++k) {
+    if (stats.injected[static_cast<std::size_t>(k)] > 0) ++kinds_fired;
+  }
+  gates.push_back({"fault_coverage", kinds_fired >= kMinFaultKinds,
+                   StrFormat("%d/%d kinds fired (need >= %d)", kinds_fired,
+                             chaos::kFaultKindCount, kMinFaultKinds)});
+
+  bool clients_ok = true;
+  std::string client_detail;
+  for (const ClientOutcome& out : outcomes) {
+    if (!out.error.empty() || out.acked != out.sent ||
+        out.sequenced != out.sent) {
+      clients_ok = false;
+      client_detail += StrFormat(
+          "%s: sent=%zu sequenced=%llu acked=%llu %s; ", out.id.c_str(),
+          out.sent, static_cast<unsigned long long>(out.sequenced),
+          static_cast<unsigned long long>(out.acked), out.error.c_str());
+    }
+  }
+  gates.push_back({"zero_loss_per_client", clients_ok,
+                   clients_ok ? "every client fully acked" : client_detail});
+
+  const netd::JournalContents contents = netd::ReadJournal(kJournalPath);
+  std::unordered_set<std::uint64_t> ids;
+  for (const netd::JournalEntry& entry : contents.entries) {
+    ids.insert(entry.record.ddos_id);
+  }
+  const bool journal_ok = !contents.torn_tail &&
+                          contents.entries.size() == trace.size() &&
+                          ids.size() == trace.size();
+  gates.push_back(
+      {"zero_duplicates_journal", journal_ok,
+       StrFormat("%zu entries, %zu distinct ids, %zu expected, torn=%d",
+                 contents.entries.size(), ids.size(), trace.size(),
+                 contents.torn_tail ? 1 : 0)});
+  gates.push_back({"server_accepted_exact",
+                   server->accepted_records() == trace.size(),
+                   StrFormat("accepted=%llu expected=%zu (replayed=%llu)",
+                             static_cast<unsigned long long>(
+                                 server->accepted_records()),
+                             trace.size(),
+                             static_cast<unsigned long long>(replayed))});
+
+  // Bit-identical recovery: sequential replay of the journal through the
+  // same shard count retraces routing and sweep cadence exactly.
+  std::string replay_detail = "identical";
+  stream::ShardedStreamEngineConfig replay_config;
+  replay_config.shards = kShards;
+  stream::ShardedStreamEngine replay(replay_config);
+  for (const netd::JournalEntry& entry : contents.entries) {
+    replay.Push(entry.record);
+  }
+  replay.Finish();
+  const bool replay_ok = ExactFieldsEqual(merged, replay.Snapshot(),
+                                          /*include_collab=*/true,
+                                          &replay_detail);
+  gates.push_back({"bit_identical_replay", replay_ok, replay_detail});
+
+  // Order-insensitive equivalence with the chaos-free single-engine run.
+  std::string ff_detail = "identical";
+  const bool ff_ok = ExactFieldsEqual(merged, fault_free,
+                                      /*include_collab=*/false, &ff_detail);
+  gates.push_back({"fault_free_equivalence", ff_ok, ff_detail});
+
+  bool all_pass = true;
+  std::printf("\nfault schedule (seed %llu):\n",
+              static_cast<unsigned long long>(seed));
+  for (int k = 0; k < chaos::kFaultKindCount; ++k) {
+    const auto kind = static_cast<chaos::FaultKind>(k);
+    std::printf("  %-14s considered %8llu  injected %6llu\n",
+                std::string(chaos::FaultKindName(kind)).c_str(),
+                static_cast<unsigned long long>(
+                    stats.considered[static_cast<std::size_t>(k)]),
+                static_cast<unsigned long long>(
+                    stats.injected[static_cast<std::size_t>(k)]));
+  }
+  std::printf("\nclients:\n");
+  for (const ClientOutcome& out : outcomes) {
+    std::printf(
+        "  %-8s sent %5zu acked %5llu reconnects %4llu resent %5llu\n",
+        out.id.c_str(), out.sent,
+        static_cast<unsigned long long>(out.acked),
+        static_cast<unsigned long long>(out.reconnects),
+        static_cast<unsigned long long>(out.resent));
+  }
+  std::printf("\ngates:\n");
+  for (const Gate& g : gates) {
+    all_pass = all_pass && g.pass;
+    std::printf("  [%s] %-24s %s\n", g.pass ? "PASS" : "FAIL",
+                g.name.c_str(), g.detail.c_str());
+  }
+
+  {
+    std::ofstream json("BENCH_chaos.json");
+    json << "{\n"
+         << "  \"bench\": \"chaos_soak\",\n"
+         << "  \"seed\": " << seed << ",\n"
+         << "  \"records\": " << trace.size() << ",\n"
+         << "  \"clients\": " << kClients << ",\n"
+         << "  \"shards\": " << kShards << ",\n"
+         << "  \"replayed_records\": " << replayed << ",\n"
+         << "  \"fault_kinds_fired\": " << kinds_fired << ",\n"
+         << "  \"faults\": [\n";
+    for (int k = 0; k < chaos::kFaultKindCount; ++k) {
+      const auto kind = static_cast<chaos::FaultKind>(k);
+      json << "    {\"kind\": \"" << chaos::FaultKindName(kind)
+           << "\", \"considered\": "
+           << stats.considered[static_cast<std::size_t>(k)]
+           << ", \"injected\": "
+           << stats.injected[static_cast<std::size_t>(k)] << "}"
+           << (k + 1 < chaos::kFaultKindCount ? "," : "") << "\n";
+    }
+    json << "  ],\n  \"clients_accounting\": [\n";
+    for (std::size_t c = 0; c < outcomes.size(); ++c) {
+      const ClientOutcome& out = outcomes[c];
+      json << "    {\"client_id\": \"" << out.id << "\", \"sent\": "
+           << out.sent << ", \"sequenced\": " << out.sequenced
+           << ", \"acked\": " << out.acked << ", \"reconnects\": "
+           << out.reconnects << ", \"resent\": " << out.resent
+           << ", \"duplicates_dropped\": " << out.duplicates_dropped << "}"
+           << (c + 1 < outcomes.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n  \"gates\": [\n";
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      json << "    {\"gate\": \"" << gates[i].name << "\", \"pass\": "
+           << (gates[i].pass ? "true" : "false") << "}"
+           << (i + 1 < gates.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n  \"all_gates_pass\": " << (all_pass ? "true" : "false")
+         << "\n}\n";
+    std::printf("\nwrote BENCH_chaos.json\n");
+  }
+
+  if (!all_pass) {
+    WriteFailureArtifacts(seed, gates);
+    std::printf("FAIL: chaos soak gates violated; artifacts in %s/\n",
+                kArtifactDir);
+    return 1;
+  }
+  std::remove(kJournalPath);
+  return 0;
+}

@@ -1,0 +1,160 @@
+#include "chaos/chaos.h"
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+namespace ddos::chaos {
+
+namespace {
+
+// Injected short reads/writes deliver this fraction of the request (at
+// least one byte), which is enough to force every continuation loop to
+// run without turning a soak into a byte-at-a-time crawl.
+constexpr size_t ShortenTo(size_t len) { return len > 4 ? len / 4 : 1; }
+
+}  // namespace
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kShortRead: return "short-read";
+    case FaultKind::kShortWrite: return "short-write";
+    case FaultKind::kEintr: return "eintr";
+    case FaultKind::kConnReset: return "conn-reset";
+    case FaultKind::kEpipe: return "epipe";
+    case FaultKind::kAcceptEmfile: return "accept-emfile";
+    case FaultKind::kConnectDelay: return "connect-delay";
+    case FaultKind::kJournalEnospc: return "journal-enospc";
+    case FaultKind::kFileEio: return "file-eio";
+  }
+  return "unknown";
+}
+
+FaultScheduleConfig FaultScheduleConfig::AllFaults(std::uint64_t seed,
+                                                   double rate) {
+  FaultScheduleConfig config;
+  config.seed = seed;
+  config.short_read_rate = rate;
+  config.short_write_rate = rate;
+  config.eintr_rate = rate;
+  config.conn_reset_rate = rate;
+  config.epipe_rate = rate;
+  config.accept_emfile_rate = rate;
+  config.connect_delay_rate = rate;
+  config.journal_enospc_rate = rate;
+  config.file_eio_rate = rate;
+  return config;
+}
+
+FaultSchedule::FaultSchedule(const FaultScheduleConfig& config)
+    : config_(config),
+      streams_{Rng(config.seed).Fork(0), Rng(config.seed).Fork(1),
+               Rng(config.seed).Fork(2), Rng(config.seed).Fork(3),
+               Rng(config.seed).Fork(4), Rng(config.seed).Fork(5),
+               Rng(config.seed).Fork(6), Rng(config.seed).Fork(7),
+               Rng(config.seed).Fork(8)} {}
+
+double FaultSchedule::RateFor(FaultKind kind) const {
+  switch (kind) {
+    case FaultKind::kShortRead: return config_.short_read_rate;
+    case FaultKind::kShortWrite: return config_.short_write_rate;
+    case FaultKind::kEintr: return config_.eintr_rate;
+    case FaultKind::kConnReset: return config_.conn_reset_rate;
+    case FaultKind::kEpipe: return config_.epipe_rate;
+    case FaultKind::kAcceptEmfile: return config_.accept_emfile_rate;
+    case FaultKind::kConnectDelay: return config_.connect_delay_rate;
+    case FaultKind::kJournalEnospc: return config_.journal_enospc_rate;
+    case FaultKind::kFileEio: return config_.file_eio_rate;
+  }
+  return 0.0;
+}
+
+bool FaultSchedule::ShouldFire(FaultKind kind) {
+  const double rate = RateFor(kind);
+  const auto i = static_cast<std::size_t>(kind);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.considered[i];
+  if (rate <= 0.0) return false;
+  // Draw even at rate >= 1 so the substream advances identically whatever
+  // the configured rate - replays stay aligned across rate sweeps.
+  const bool fire = streams_[i].Bernoulli(rate > 1.0 ? 1.0 : rate);
+  if (fire) ++stats_.injected[i];
+  return fire;
+}
+
+FaultStats FaultSchedule::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+ssize_t ChaosHooks::Recv(int fd, void* buf, size_t len, int flags) {
+  if (schedule_.ShouldFire(FaultKind::kEintr)) {
+    errno = EINTR;
+    return -1;
+  }
+  if (schedule_.ShouldFire(FaultKind::kConnReset)) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (schedule_.ShouldFire(FaultKind::kShortRead)) len = ShortenTo(len);
+  return ::recv(fd, buf, len, flags);
+}
+
+ssize_t ChaosHooks::Send(int fd, const void* buf, size_t len, int flags) {
+  if (schedule_.ShouldFire(FaultKind::kEintr)) {
+    errno = EINTR;
+    return -1;
+  }
+  if (schedule_.ShouldFire(FaultKind::kEpipe)) {
+    errno = EPIPE;
+    return -1;
+  }
+  if (schedule_.ShouldFire(FaultKind::kShortWrite)) len = ShortenTo(len);
+  return ::send(fd, buf, len, flags);
+}
+
+int ChaosHooks::Accept(int fd) {
+  if (schedule_.ShouldFire(FaultKind::kAcceptEmfile)) {
+    errno = EMFILE;
+    return -1;
+  }
+  return ::accept(fd, nullptr, nullptr);
+}
+
+int ChaosHooks::Connect(int fd, const sockaddr* addr, socklen_t len) {
+  if (schedule_.ShouldFire(FaultKind::kConnectDelay)) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(schedule_.config().connect_delay_ms));
+  }
+  return ::connect(fd, addr, len);
+}
+
+ssize_t ChaosHooks::Write(int fd, const void* buf, size_t len) {
+  if (schedule_.ShouldFire(FaultKind::kJournalEnospc)) {
+    errno = ENOSPC;
+    return -1;
+  }
+  if (schedule_.ShouldFire(FaultKind::kShortWrite)) len = ShortenTo(len);
+  return ::write(fd, buf, len);
+}
+
+int ChaosHooks::Fsync(int fd) {
+  if (schedule_.ShouldFire(FaultKind::kFileEio)) {
+    errno = EIO;
+    return -1;
+  }
+  return ::fsync(fd);
+}
+
+int ChaosHooks::PrepareFileWrite(const char* /*path*/) {
+  if (schedule_.ShouldFire(FaultKind::kJournalEnospc)) return ENOSPC;
+  return 0;
+}
+
+ScopedChaos::ScopedChaos(const FaultScheduleConfig& config)
+    : hooks_(std::make_unique<ChaosHooks>(config)),
+      previous_(common::SetIoHooks(hooks_.get())) {}
+
+ScopedChaos::~ScopedChaos() { common::SetIoHooks(previous_); }
+
+}  // namespace ddos::chaos

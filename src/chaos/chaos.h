@@ -1,0 +1,147 @@
+// ddos::chaos - deterministic seedable fault injection for the serving
+// stack's syscall seam (common/iohooks.h).
+//
+// Real DDoS measurement infrastructure runs inside the blast radius it
+// measures: partitions, resets, slow peers, and full disks are the common
+// case. This layer rehearses them without leaving the process. ChaosHooks
+// sits under every hooked recv/send/accept/connect/write/fsync and, per
+// call, draws from a seeded schedule to decide whether the call fails
+// (ECONNRESET, EPIPE, EINTR, EMFILE, ENOSPC, EIO), is shortened (partial
+// read/write), or is delayed (slow connect). Each fault kind owns an
+// independent forked RNG substream, so the decision sequence for one kind
+// depends only on how many calls of that kind have happened - adding
+// recv faults never perturbs the write-fault schedule, and a (seed, rates)
+// pair replays the same per-kind decision stream on every run.
+//
+// Injected failures are *virtual*: an injected ECONNRESET returns -1 and
+// sets errno but leaves the TCP connection healthy. That is exactly what
+// the resilience machinery must survive - the client treats the socket as
+// dead, reconnects, resumes its session, and the exactly-once window
+// logic must make the rerun invisible in the final engine state.
+//
+// Thread safety: one mutex guards the schedule; hooks are called from
+// client feed threads and the server's router loop concurrently.
+#ifndef DDOSCOPE_CHAOS_CHAOS_H_
+#define DDOSCOPE_CHAOS_CHAOS_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+
+#include "common/iohooks.h"
+#include "common/rng.h"
+
+namespace ddos::chaos {
+
+// One injectable failure class. Every kind maps to a specific seam:
+enum class FaultKind : std::uint8_t {
+  kShortRead = 0,   // recv delivers a prefix of the requested bytes
+  kShortWrite,      // send/write accepts a prefix
+  kEintr,           // recv/send returns -1/EINTR without touching the fd
+  kConnReset,       // recv returns -1/ECONNRESET
+  kEpipe,           // send returns -1/EPIPE
+  kAcceptEmfile,    // accept returns -1/EMFILE (fd exhaustion)
+  kConnectDelay,    // connect is delayed by connect_delay_ms
+  kJournalEnospc,   // write / PrepareFileWrite returns ENOSPC
+  kFileEio,         // fsync returns -1/EIO
+};
+inline constexpr int kFaultKindCount = 9;
+
+std::string_view FaultKindName(FaultKind kind);
+
+struct FaultScheduleConfig {
+  std::uint64_t seed = 1;
+  // Per-call firing probabilities, one per seam.
+  double short_read_rate = 0.0;
+  double short_write_rate = 0.0;
+  double eintr_rate = 0.0;
+  double conn_reset_rate = 0.0;
+  double epipe_rate = 0.0;
+  double accept_emfile_rate = 0.0;
+  double connect_delay_rate = 0.0;
+  double journal_enospc_rate = 0.0;
+  double file_eio_rate = 0.0;
+  int connect_delay_ms = 20;
+
+  // Every fault class active at `rate` - the soak bench's configuration.
+  static FaultScheduleConfig AllFaults(std::uint64_t seed, double rate);
+};
+
+// What fired, bucketed by kind, so a soak can assert its schedule actually
+// exercised every failure class it claims to.
+struct FaultStats {
+  std::array<std::uint64_t, kFaultKindCount> injected{};
+  std::array<std::uint64_t, kFaultKindCount> considered{};
+
+  std::uint64_t injected_for(FaultKind kind) const {
+    return injected[static_cast<std::size_t>(kind)];
+  }
+  std::uint64_t total_injected() const {
+    std::uint64_t t = 0;
+    for (const std::uint64_t n : injected) t += n;
+    return t;
+  }
+};
+
+// The seeded decision stream. ShouldFire draws one Bernoulli from the
+// kind's private substream and tallies it.
+class FaultSchedule {
+ public:
+  explicit FaultSchedule(const FaultScheduleConfig& config);
+
+  bool ShouldFire(FaultKind kind);
+  FaultStats Stats() const;
+  const FaultScheduleConfig& config() const { return config_; }
+
+ private:
+  double RateFor(FaultKind kind) const;
+
+  FaultScheduleConfig config_;
+  mutable std::mutex mutex_;
+  std::array<Rng, kFaultKindCount> streams_;
+  FaultStats stats_;
+};
+
+// The IoHooks implementation that consults a FaultSchedule on every call.
+class ChaosHooks : public common::IoHooks {
+ public:
+  explicit ChaosHooks(const FaultScheduleConfig& config)
+      : schedule_(config) {}
+
+  ssize_t Recv(int fd, void* buf, size_t len, int flags) override;
+  ssize_t Send(int fd, const void* buf, size_t len, int flags) override;
+  int Accept(int fd) override;
+  int Connect(int fd, const sockaddr* addr, socklen_t len) override;
+  ssize_t Write(int fd, const void* buf, size_t len) override;
+  int Fsync(int fd) override;
+  int PrepareFileWrite(const char* path) override;
+
+  FaultStats Stats() const { return schedule_.Stats(); }
+
+ private:
+  FaultSchedule schedule_;
+};
+
+// RAII installer: constructs ChaosHooks, makes it the process-wide hooks,
+// and restores the previous hooks on destruction. Keep the scope alive for
+// as long as any thread may do hooked I/O.
+class ScopedChaos {
+ public:
+  explicit ScopedChaos(const FaultScheduleConfig& config);
+  ~ScopedChaos();
+
+  ScopedChaos(const ScopedChaos&) = delete;
+  ScopedChaos& operator=(const ScopedChaos&) = delete;
+
+  FaultStats Stats() const { return hooks_->Stats(); }
+
+ private:
+  std::unique_ptr<ChaosHooks> hooks_;
+  common::IoHooks* previous_;
+};
+
+}  // namespace ddos::chaos
+
+#endif  // DDOSCOPE_CHAOS_CHAOS_H_

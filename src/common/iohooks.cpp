@@ -1,0 +1,52 @@
+#include "common/iohooks.h"
+
+#include <unistd.h>
+
+#include <atomic>
+
+namespace ddos::common {
+
+ssize_t IoHooks::Recv(int fd, void* buf, size_t len, int flags) {
+  return ::recv(fd, buf, len, flags);
+}
+
+ssize_t IoHooks::Send(int fd, const void* buf, size_t len, int flags) {
+  return ::send(fd, buf, len, flags);
+}
+
+int IoHooks::Accept(int fd) { return ::accept(fd, nullptr, nullptr); }
+
+int IoHooks::Connect(int fd, const sockaddr* addr, socklen_t len) {
+  return ::connect(fd, addr, len);
+}
+
+ssize_t IoHooks::Write(int fd, const void* buf, size_t len) {
+  return ::write(fd, buf, len);
+}
+
+int IoHooks::Fsync(int fd) { return ::fsync(fd); }
+
+int IoHooks::PrepareFileWrite(const char* /*path*/) { return 0; }
+
+namespace {
+
+IoHooks* DefaultHooks() {
+  static IoHooks passthrough;
+  return &passthrough;
+}
+
+std::atomic<IoHooks*> g_hooks{nullptr};
+
+}  // namespace
+
+IoHooks* io_hooks() {
+  IoHooks* hooks = g_hooks.load(std::memory_order_acquire);
+  return hooks != nullptr ? hooks : DefaultHooks();
+}
+
+IoHooks* SetIoHooks(IoHooks* hooks) {
+  IoHooks* prev = g_hooks.exchange(hooks, std::memory_order_acq_rel);
+  return prev != nullptr ? prev : DefaultHooks();
+}
+
+}  // namespace ddos::common

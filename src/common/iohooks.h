@@ -1,0 +1,54 @@
+// A syscall seam under the serving stack's socket and file I/O.
+//
+// Production code never calls recv/send/accept/connect/write/fsync
+// directly on the hot serving paths; it goes through `io_hooks()`, which
+// defaults to a zero-cost passthrough. The chaos layer (src/chaos)
+// installs a fault-injecting implementation so short reads, EINTR,
+// connection resets, accept-time EMFILE, and disk-full journal writes can
+// be rehearsed deterministically - in-process, with no root, no iptables,
+// and no LD_PRELOAD.
+//
+// The global hook pointer is a single atomic: reads are one relaxed load,
+// and the default instance is never null, so call sites need no branch.
+// Installation is test/bench-scoped (see chaos::ScopedChaos); the hooks
+// object must outlive every thread that might perform I/O through it.
+#ifndef DDOSCOPE_COMMON_IOHOOKS_H_
+#define DDOSCOPE_COMMON_IOHOOKS_H_
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+namespace ddos::common {
+
+class IoHooks {
+ public:
+  virtual ~IoHooks() = default;
+
+  // Socket I/O. Semantics match the raw syscalls: return the syscall's
+  // result and leave errno set on failure.
+  virtual ssize_t Recv(int fd, void* buf, size_t len, int flags);
+  virtual ssize_t Send(int fd, const void* buf, size_t len, int flags);
+  virtual int Accept(int fd);
+  virtual int Connect(int fd, const sockaddr* addr, socklen_t len);
+
+  // File I/O (journal writes and fsync barriers).
+  virtual ssize_t Write(int fd, const void* buf, size_t len);
+  virtual int Fsync(int fd);
+
+  // Pre-flight gate for whole-file writers that do not stream through
+  // Write (the checkpoint path buffers via ofstream). Returns 0 when the
+  // write may proceed, or an errno value (e.g. ENOSPC) to simulate the
+  // target volume refusing it.
+  virtual int PrepareFileWrite(const char* path);
+};
+
+// The active hooks; never null (defaults to the passthrough instance).
+IoHooks* io_hooks();
+
+// Installs `hooks` (nullptr restores the passthrough) and returns the
+// previously active instance so callers can restore it.
+IoHooks* SetIoHooks(IoHooks* hooks);
+
+}  // namespace ddos::common
+
+#endif  // DDOSCOPE_COMMON_IOHOOKS_H_

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/iohooks.h"
 #include "common/strings.h"
 #include "data/csv.h"
 
@@ -32,9 +33,15 @@ void FeedClient::HandleReply(const std::string& line) {
     const std::size_t end = line.find(' ', sp + 1);
     const auto n = ParseInt64(std::string_view(line).substr(
         sp + 1, end == std::string::npos ? std::string::npos : end - sp - 1));
-    if (n.has_value() && line.rfind("ACK ", 0) == 0 &&
-        static_cast<std::uint64_t>(*n) > last_acked_) {
+    // Both ACK and PONG carry the server's committed count, so both raise
+    // the durable high-water mark the reconnect logic prunes against.
+    if (n.has_value() && static_cast<std::uint64_t>(*n) > last_acked_) {
       last_acked_ = static_cast<std::uint64_t>(*n);
+    }
+    if (line.rfind("ACK ", 0) == 0 &&
+        (line.compare(line.size() - 4, 4, " end") == 0 ||
+         (line.size() > 6 && line.compare(line.size() - 6, 6, " drain") == 0))) {
+      saw_final_ack_ = true;
     }
   } else if (line.rfind("ERR", 0) == 0) {
     last_error_ = line;
@@ -45,7 +52,8 @@ void FeedClient::DrainPendingReplies() {
   if (!fd_.valid()) return;
   char buf[4096];
   for (;;) {
-    const ssize_t n = ::recv(fd_.get(), buf, sizeof buf, MSG_DONTWAIT);
+    const ssize_t n =
+        common::io_hooks()->Recv(fd_.get(), buf, sizeof buf, MSG_DONTWAIT);
     if (n > 0) {
       inbuf_.append(buf, static_cast<std::size_t>(n));
       continue;
@@ -72,8 +80,8 @@ void FeedClient::SendLine(std::string_view line) {
   if (wire.empty() || wire.back() != '\n') wire.push_back('\n');
   std::size_t off = 0;
   while (off < wire.size()) {
-    const ssize_t n = ::send(fd_.get(), wire.data() + off, wire.size() - off,
-                             MSG_NOSIGNAL);
+    const ssize_t n = common::io_hooks()->Send(
+        fd_.get(), wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
     if (n > 0) {
       off += static_cast<std::size_t>(n);
       continue;
@@ -100,7 +108,7 @@ std::string FeedClient::ReadLine() {
     }
     if (server_closed_ || !fd_.valid()) return "";
     char buf[4096];
-    const ssize_t n = ::recv(fd_.get(), buf, sizeof buf, 0);
+    const ssize_t n = common::io_hooks()->Recv(fd_.get(), buf, sizeof buf, 0);
     if (n > 0) {
       inbuf_.append(buf, static_cast<std::size_t>(n));
       continue;
@@ -125,6 +133,29 @@ std::string FeedClient::Auth(const std::string& token) {
                              (reply.empty() ? "connection closed" : reply));
   }
   return reply;
+}
+
+std::uint64_t FeedClient::Resume(const std::string& client_id,
+                                 std::uint64_t last_acked_seq) {
+  SendLine(StrFormat("RESUME %s %llu", client_id.c_str(),
+                     static_cast<unsigned long long>(last_acked_seq)));
+  for (;;) {
+    const std::string reply = ReadLine();
+    if (reply.empty()) {
+      throw std::runtime_error("netd client: resume failed: connection closed");
+    }
+    if (reply.rfind("OK RESUME ", 0) == 0) {
+      const auto n = ParseInt64(std::string_view(reply).substr(10));
+      if (!n.has_value()) {
+        throw std::runtime_error("netd client: resume failed: bad reply " +
+                                 reply);
+      }
+      return static_cast<std::uint64_t>(*n);
+    }
+    if (reply.rfind("ERR", 0) == 0) {
+      throw std::runtime_error("netd client: resume failed: " + reply);
+    }
+  }
 }
 
 std::uint64_t FeedClient::Ping() {

@@ -44,6 +44,13 @@ class FeedClient {
   // ERR reply or a closed connection.
   std::string Auth(const std::string& token);
 
+  // RESUME handshake: binds this connection to the named session and
+  // returns the server's committed record count for it. Must run before
+  // any data is sent. Throws on an ERR reply (message contains the ERR
+  // line verbatim, e.g. "ERR session-busy") or a closed connection.
+  std::uint64_t Resume(const std::string& client_id,
+                       std::uint64_t last_acked_seq);
+
   // Sends one protocol line ('\n' appended unless already present). Does
   // not throw when the server has closed; check closed_by_server().
   void SendLine(std::string_view line);
@@ -63,6 +70,9 @@ class FeedClient {
   std::uint64_t End();
 
   std::uint64_t last_acked() const { return last_acked_; }
+  // True once a terminal `ACK <n> end` / `ACK <n> drain` was seen - the
+  // server delivered its verdict, as opposed to the connection dying first.
+  bool saw_final_ack() const { return saw_final_ack_; }
   bool closed_by_server() const { return server_closed_; }
   // The last `ERR ...` line received, verbatim ("" when none).
   const std::string& last_error() const { return last_error_; }
@@ -76,6 +86,7 @@ class FeedClient {
   FdHandle fd_;
   std::string inbuf_;  // bytes read but not yet split into reply lines
   std::uint64_t last_acked_ = 0;
+  bool saw_final_ack_ = false;
   bool server_closed_ = false;
   std::string last_error_;
 };

@@ -13,6 +13,17 @@ bool IsHeaderLine(const std::string& line) {
   return line.rfind("ddos_id,", 0) == 0;
 }
 
+bool IsValidSessionId(std::string_view id) {
+  if (id.empty() || id.size() > 64) return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == ':' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 std::string_view CloseReasonName(CloseReason reason) {
@@ -24,13 +35,15 @@ std::string_view CloseReasonName(CloseReason reason) {
     case CloseReason::kProtocolError: return "protocol";
     case CloseReason::kDrained: return "drain";
     case CloseReason::kSlowClient: return "slow-client";
+    case CloseReason::kJournalFailure: return "journal";
   }
   return "unknown";
 }
 
 IngestProtocol::IngestProtocol(const AuthTable* auth,
-                               const IngestLimits& limits)
-    : auth_(auth), limits_(limits) {
+                               const IngestLimits& limits,
+                               SessionTable* sessions)
+    : auth_(auth), limits_(limits), sessions_(sessions) {
   const bool auth_required = auth_ != nullptr && !auth_->empty();
   state_ = auth_required ? ConnState::kAwaitAuth : ConnState::kStreaming;
   if (!auth_required) max_records_ = limits_.default_max_records;
@@ -83,15 +96,16 @@ IngestProtocol::LineResult IngestProtocol::OnLine(const std::string& line,
     return result;
   }
   if (line.empty() || IsHeaderLine(line)) return result;
+  if (line.rfind("RESUME ", 0) == 0) return HandleResume(line);
   if (line == "PING") {
     output_ += StrFormat("PONG %llu\n",
-                         static_cast<unsigned long long>(records_));
+                         static_cast<unsigned long long>(session_total()));
     return result;
   }
   if (line == "END") {
     CloseWith(CloseReason::kEndOfFeed,
               StrFormat("ACK %llu end\n",
-                        static_cast<unsigned long long>(records_)));
+                        static_cast<unsigned long long>(session_total())));
     result.close = true;
     return result;
   }
@@ -122,11 +136,43 @@ IngestProtocol::LineResult IngestProtocol::OnLine(const std::string& line,
   return result;
 }
 
+IngestProtocol::LineResult IngestProtocol::HandleResume(
+    const std::string& line) {
+  LineResult result;
+  // RESUME must come before any data: once rows were accepted under one
+  // identity, rebinding the counts mid-stream would corrupt both sessions.
+  if (sessions_ == nullptr || records_ > 0 || !session_id_.empty()) {
+    CloseWith(CloseReason::kProtocolError, "ERR unexpected-resume\n");
+    result.close = true;
+    return result;
+  }
+  const auto parts = Split(Trim(std::string_view(line).substr(7)), ' ');
+  if (parts.empty() || parts.size() > 2 || !IsValidSessionId(parts[0])) {
+    CloseWith(CloseReason::kProtocolError, "ERR bad-session-id\n");
+    result.close = true;
+    return result;
+  }
+  const std::string id(parts[0]);
+  if (!sessions_->Acquire(id)) {
+    CloseWith(CloseReason::kProtocolError, "ERR session-busy\n");
+    result.close = true;
+    return result;
+  }
+  session_id_ = id;
+  session_base_ = sessions_->Get(id);
+  // The client's claimed last-acked seq (parts[1], when present) is
+  // informational: the server's committed count is authoritative and is
+  // what the client prunes against.
+  output_ += StrFormat("OK RESUME %llu\n",
+                       static_cast<unsigned long long>(session_base_));
+  return result;
+}
+
 void IngestProtocol::OnRecordIngested() {
   ++records_;
   if (limits_.ack_every > 0 && records_ % limits_.ack_every == 0) {
-    output_ +=
-        StrFormat("ACK %llu\n", static_cast<unsigned long long>(records_));
+    output_ += StrFormat("ACK %llu\n",
+                         static_cast<unsigned long long>(session_total()));
   }
 }
 
@@ -134,7 +180,7 @@ void IngestProtocol::OnDrain() {
   if (state_ == ConnState::kClosing) return;
   CloseWith(CloseReason::kDrained,
             StrFormat("ACK %llu drain\n",
-                      static_cast<unsigned long long>(records_)));
+                      static_cast<unsigned long long>(session_total())));
 }
 
 }  // namespace ddos::netd

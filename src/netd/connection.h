@@ -5,11 +5,23 @@
 //   client                                server
 //   ------                                ------
 //   AUTH <token>                          OK <name>            (or ERR ... + close)
+//   RESUME <client-id> <last-acked-seq>   OK RESUME <have>     (optional)
 //   <attack CSV row>                      -
 //   <attack CSV row>                      ACK <n>              (every ack_every rows)
 //   PING                                  PONG <n>
 //   <attack CSV row>                      -
 //   END                                   ACK <n> end  + close
+//
+// RESUME binds the connection to a named session whose committed record
+// count survives reconnects (and, via the journal, server restarts). The
+// server answers with its committed count `have` for that session; the
+// client drops everything it sent at-or-below `have` and resends the rest,
+// which makes reconnect exactly-once: nothing the server already committed
+// is ever pushed twice, and nothing unacked is lost. After a RESUME every
+// number the server speaks (ACK/PONG) is session-cumulative, not
+// per-connection. A session can be held by only one live connection
+// (`ERR session-busy` - retryable, since a dead predecessor releases it
+// when the server reaps the socket).
 //
 // The AUTH exchange is required only when the server has tokens configured;
 // with an empty AuthTable a client streams rows immediately (the `nc`
@@ -31,6 +43,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "data/ingest_error.h"
@@ -38,6 +51,29 @@
 #include "netd/auth.h"
 
 namespace ddos::netd {
+
+// Committed record counts per named session, plus which sessions are
+// currently bound to a live connection. Owned and touched only by the
+// server's router thread (same single-thread contract as the engine
+// router), so it needs no locking.
+class SessionTable {
+ public:
+  std::uint64_t Get(const std::string& id) const {
+    const auto it = counts_.find(id);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  void Set(const std::string& id, std::uint64_t committed) {
+    counts_[id] = committed;
+  }
+  // Binds `id` to a connection; false when another live connection holds it.
+  bool Acquire(const std::string& id) { return active_.insert(id).second; }
+  void Release(const std::string& id) { active_.erase(id); }
+  std::size_t size() const { return counts_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::uint64_t> counts_;
+  std::unordered_set<std::string> active_;
+};
 
 enum class ConnState : std::uint8_t {
   kAwaitAuth,   // waiting for the AUTH line
@@ -53,6 +89,7 @@ enum class CloseReason : std::uint8_t {
   kProtocolError,  // e.g. AUTH mid-stream
   kDrained,        // server-side graceful drain
   kSlowClient,     // pending replies exceeded the output byte budget
+  kJournalFailure, // write-ahead journal append failed; records not committed
 };
 
 std::string_view CloseReasonName(CloseReason reason);
@@ -71,9 +108,11 @@ class IngestProtocol {
     bool close = false;       // close after flushing TakeOutput()
   };
 
-  // `auth` may be null or empty (authentication disabled); otherwise it
-  // must outlive the protocol object.
-  IngestProtocol(const AuthTable* auth, const IngestLimits& limits);
+  // `auth` may be null or empty (authentication disabled); `sessions` may
+  // be null (RESUME rejected as a protocol error). Both must outlive the
+  // protocol object.
+  IngestProtocol(const AuthTable* auth, const IngestLimits& limits,
+                 SessionTable* sessions = nullptr);
 
   // Consumes one complete line (terminator already stripped). `overflow`
   // marks a line the framer truncated (counted as kTruncatedLine).
@@ -99,15 +138,25 @@ class IngestProtocol {
   std::uint64_t rejected() const { return rejected_; }
   const data::IngestErrorReport& errors() const { return errors_; }
 
+  // "" until a RESUME succeeded on this connection.
+  const std::string& session_id() const { return session_id_; }
+  // Session-cumulative count: the base committed before this connection
+  // plus rows accepted on it. Equals records() for sessionless feeds.
+  std::uint64_t session_total() const { return session_base_ + records_; }
+
  private:
   void Reject(data::IngestErrorKind kind);
   void CloseWith(CloseReason reason, const std::string& err_line);
+  LineResult HandleResume(const std::string& line);
 
   const AuthTable* auth_;
   IngestLimits limits_;
+  SessionTable* sessions_;
   ConnState state_;
   CloseReason close_reason_ = CloseReason::kNone;
   std::string client_name_ = "anonymous";
+  std::string session_id_;
+  std::uint64_t session_base_ = 0;  // committed before this connection
   std::uint64_t max_records_ = 0;  // resolved quota; 0 = unlimited
   std::uint64_t records_ = 0;      // accepted (ingested) rows
   std::uint64_t rejected_ = 0;     // malformed / duplicate rows dropped

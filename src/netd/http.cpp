@@ -72,6 +72,7 @@ std::string_view HttpStatusText(int status) {
     case 400: return "400 Bad Request";
     case 404: return "404 Not Found";
     case 405: return "405 Method Not Allowed";
+    case 408: return "408 Request Timeout";
     case 503: return "503 Service Unavailable";
     default:  return "500 Internal Server Error";
   }

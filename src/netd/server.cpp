@@ -12,6 +12,7 @@
 #include <tuple>
 #include <utility>
 
+#include "common/iohooks.h"
 #include "common/strings.h"
 #include "data/csv.h"
 #include "data/taxonomy.h"
@@ -76,10 +77,16 @@ struct IngestServer::Conn {
   LineFramer framer;
   std::unique_ptr<IngestProtocol> protocol;  // ingest connections only
   std::string http_in;
+  std::chrono::steady_clock::time_point accepted_at{};  // slow-loris clock
+
+  // Records the protocol accepted this tick, paired with their session
+  // sequence numbers, awaiting the write-ahead commit (CommitPending).
+  std::vector<std::pair<data::AttackRecord, std::uint64_t>> pending;
 
   std::string out;
   std::size_t out_off = 0;
   bool close_after_flush = false;
+  bool session_counted = false;  // resumed-session metric bumped once
   bool dead = false;
   CloseReason reason = CloseReason::kNone;
   data::IngestErrorReport reported;  // reject counts already mirrored to obs
@@ -129,6 +136,33 @@ void IngestServer::ResolveMetricHandles() {
   obs_drain_millis_ =
       registry_.GetGauge("ddoscope_netd_drain_millis",
                          "Wall time of the last graceful drain, milliseconds");
+  obs_stuck_shards_ = registry_.GetGauge(
+      "ddoscope_netd_stuck_shards",
+      "Shards with queued work and no progress past the watchdog deadline");
+  obs_accept_shed_ = registry_.GetCounter(
+      "ddoscope_netd_accept_shed_total",
+      "Accepts shed under fd pressure (EMFILE/ENFILE/ENOBUFS)");
+  obs_http_timeouts_ = registry_.GetCounter(
+      "ddoscope_netd_http_timeouts_total",
+      "HTTP connections closed with 408 for a slow request head");
+  obs_http_sheds_ = registry_.GetCounter(
+      "ddoscope_netd_http_sheds_total",
+      "HTTP connections shed at the concurrent-connection cap");
+  obs_journal_failures_ = registry_.GetCounter(
+      "ddoscope_netd_journal_failures_total",
+      "Journal batch appends that failed (records refused, not ACKed)");
+  obs_journal_fsync_failures_ = registry_.GetCounter(
+      "ddoscope_netd_journal_fsync_failures_total",
+      "Journal fsyncs that failed (durability degraded, ingest continues)");
+  obs_replayed_ = registry_.GetCounter(
+      "ddoscope_netd_replayed_records_total",
+      "Journal-tail records replayed into the engine during resume");
+  obs_checkpoint_failures_ = registry_.GetCounter(
+      "ddoscope_netd_checkpoint_failures_total",
+      "Checkpoint writes that failed (retried at the next trigger)");
+  obs_resumed_sessions_ = registry_.GetCounter(
+      "ddoscope_netd_resumed_sessions_total",
+      "RESUME handshakes accepted by the daemon");
   for (int k = 0; k < data::kIngestErrorKindCount; ++k) {
     obs_errors_[static_cast<std::size_t>(k)] = registry_.GetCounter(
         "ddoscope_netd_reject_total", "Rows rejected by error kind",
@@ -168,17 +202,35 @@ void IngestServer::Bind() {
   }
 
   if (!config_.journal_path.empty()) {
-    // A resumed daemon appends: the journal stays the one complete feed
-    // across restarts, which is what the replay-equivalence check consumes.
-    const bool append = resumed && FileExists(config_.journal_path);
-    journal_.open(config_.journal_path,
-                  append ? (std::ios::out | std::ios::app)
-                         : (std::ios::out | std::ios::trunc));
-    if (!journal_) {
-      throw std::runtime_error("netd: cannot open journal " +
-                               config_.journal_path);
+    const bool have_journal = FileExists(config_.journal_path);
+    if (config_.resume && have_journal) {
+      // Crash recovery: the journal is the source of truth. Replay the
+      // tail past what the checkpoint (if any) already restored, rebuild
+      // the per-session committed counts RESUME answers from, and then
+      // keep appending - the journal stays the one complete feed across
+      // restarts, which is what the replay-equivalence check consumes.
+      const JournalContents contents = ReadJournal(config_.journal_path);
+      if (contents.entries.size() < total_accepted_) {
+        throw std::runtime_error(StrFormat(
+            "netd: journal %s has %zu records but checkpoint claims %llu - "
+            "refusing to resume from a truncated journal",
+            config_.journal_path.c_str(), contents.entries.size(),
+            static_cast<unsigned long long>(total_accepted_)));
+      }
+      for (std::size_t i = total_accepted_; i < contents.entries.size(); ++i) {
+        engine_->Push(contents.entries[i].record);
+      }
+      replayed_records_ = contents.entries.size() - total_accepted_;
+      obs_replayed_->Add(replayed_records_);
+      total_accepted_ = contents.entries.size();
+      for (const auto& [session, high] : contents.session_high) {
+        sessions_.Set(session, high);
+      }
+      resumed = true;
     }
-    if (!append) journal_ << data::AttackCsvHeader() << '\n';
+    journal_ = std::make_unique<Journal>(
+        config_.journal_path, /*append_existing=*/resumed && have_journal,
+        config_.journal_fsync, config_.journal_fsync_every);
   }
 
   ingest_listener_ = Listen(config_.host, config_.ingest_port, &ingest_port_);
@@ -188,6 +240,14 @@ void IngestServer::Bind() {
 }
 
 void IngestServer::RequestDrain() { RequestDrainFromSignal(); }
+
+void IngestServer::RequestHardStop() noexcept {
+  hard_stop_.store(true, std::memory_order_release);
+  if (wake_wr_.valid()) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_wr_.get(), &byte, 1);
+  }
+}
 
 void IngestServer::RequestDrainFromSignal() noexcept {
   drain_requested_.store(true, std::memory_order_release);
@@ -205,11 +265,22 @@ void IngestServer::Run() {
 
   std::vector<pollfd> pfds;
   for (;;) {
+    if (hard_stop_.load(std::memory_order_acquire)) {
+      // Simulated kill -9: abandon everything mid-flight. Committed
+      // records are already write(2)'d to the journal, which is exactly
+      // the state a real SIGKILL leaves behind.
+      running_ = false;
+      return;
+    }
     pfds.clear();
     pfds.push_back({wake_rd_.get(), POLLIN, 0});
     int ingest_idx = -1;
     int http_idx = -1;
-    if (!draining_ && conns_.size() < config_.max_connections) {
+    // After an EMFILE-style accept failure the listeners sit out a short
+    // cooldown; re-arming them immediately would spin the level-triggered
+    // poll at 100% while the fd table is still full.
+    if (!draining_ && conns_.size() < config_.max_connections &&
+        Clock::now() >= accept_cooldown_until_) {
       ingest_idx = static_cast<int>(pfds.size());
       pfds.push_back({ingest_listener_.get(), POLLIN, 0});
       http_idx = static_cast<int>(pfds.size());
@@ -269,6 +340,10 @@ void IngestServer::Run() {
                  conns_.end());
     obs_active_->Set(static_cast<std::int64_t>(conns_.size()));
 
+    const Clock::time_point now = Clock::now();
+    RunWatchdog(now);
+    ScanHttpDeadlines(now);
+
     MaybePeriodicCheckpoint();
 
     if (draining_) {
@@ -280,7 +355,10 @@ void IngestServer::Run() {
         WriteCheckpoint();
         // The journal must be durable and complete after a drain even when
         // checkpointing is off (WriteCheckpoint is a no-op then).
-        if (journal_.is_open()) journal_.close();
+        if (journal_ != nullptr) {
+          journal_->Sync();
+          journal_.reset();
+        }
         obs_drain_millis_->Set(
             static_cast<std::int64_t>(SecondsSince(drain_started_) * 1e3));
         break;
@@ -291,6 +369,70 @@ void IngestServer::Run() {
 }
 
 bool IngestServer::DrainComplete() const { return conns_.empty(); }
+
+void IngestServer::MirrorJournalFsyncFailures() {
+  const std::uint64_t failures = journal_->fsync_failures();
+  if (failures > journal_fsync_failures_seen_) {
+    obs_journal_fsync_failures_->Add(failures - journal_fsync_failures_seen_);
+    journal_fsync_failures_seen_ = failures;
+  }
+}
+
+void IngestServer::RunWatchdog(Clock::time_point now) {
+  if (config_.watchdog_interval_ms <= 0 || config_.stuck_after_ms <= 0) return;
+  if (now - last_watchdog_ <
+      std::chrono::milliseconds(config_.watchdog_interval_ms)) {
+    return;
+  }
+  last_watchdog_ = now;
+  const std::vector<std::uint64_t> processed = engine_->ProcessedCounts();
+  const std::vector<std::size_t> depths = engine_->QueueDepths();
+  if (watchdog_prev_.size() != processed.size()) {
+    watchdog_prev_ = processed;
+    watchdog_stuck_since_.assign(processed.size(), Clock::time_point{});
+    return;  // first sample: nothing to compare against yet
+  }
+  std::size_t stuck = 0;
+  for (std::size_t i = 0; i < processed.size(); ++i) {
+    const bool frozen_with_work =
+        depths[i] > 0 && processed[i] == watchdog_prev_[i];
+    if (!frozen_with_work) {
+      watchdog_stuck_since_[i] = Clock::time_point{};
+    } else if (watchdog_stuck_since_[i] == Clock::time_point{}) {
+      watchdog_stuck_since_[i] = now;
+    } else if (now - watchdog_stuck_since_[i] >=
+               std::chrono::milliseconds(config_.stuck_after_ms)) {
+      ++stuck;
+    }
+    watchdog_prev_[i] = processed[i];
+  }
+  stuck_shards_ = stuck;
+  obs_stuck_shards_->Set(static_cast<std::int64_t>(stuck));
+}
+
+void IngestServer::ScanHttpDeadlines(Clock::time_point now) {
+  if (config_.http_header_timeout_ms <= 0) return;
+  const auto deadline = std::chrono::milliseconds(config_.http_header_timeout_ms);
+  for (auto& conn : conns_) {
+    if (!conn->http || conn->dead || conn->close_after_flush) continue;
+    if (now - conn->accepted_at <= deadline) continue;
+    // Slow loris: the request head never finished arriving. 408 and the
+    // door, so held-open sockets cannot pin connection slots.
+    obs_http_timeouts_->Add();
+    conn->out += BuildHttpResponse(408, "text/plain", "request timeout\n");
+    conn->close_after_flush = true;
+    conn->reason = CloseReason::kSlowClient;
+    FlushOutput(*conn);
+  }
+}
+
+std::size_t IngestServer::CountHttpConns() const {
+  std::size_t n = 0;
+  for (const auto& conn : conns_) {
+    if (conn->http && !conn->dead) ++n;
+  }
+  return n;
+}
 
 void IngestServer::BeginDrain() {
   draining_ = true;
@@ -312,12 +454,23 @@ void IngestServer::BeginDrain() {
 
 void IngestServer::AcceptPending(int listener_fd, bool http) {
   for (;;) {
-    const int fd = ::accept(listener_fd, nullptr, nullptr);
+    const int fd = common::io_hooks()->Accept(listener_fd);
     if (fd < 0) {
       if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Out of fds: shed instead of dying, and bench the listeners for a
+        // beat - the pending connection stays queued and poll would
+        // otherwise wake hot on it forever.
+        obs_accept_shed_->Add();
+        accept_cooldown_until_ = Clock::now() + std::chrono::milliseconds(50);
+        break;
+      }
       break;  // EAGAIN (drained) or transient accept error: poll again
     }
-    if (conns_.size() >= config_.max_connections) {
+    if (conns_.size() >= config_.max_connections ||
+        (http && CountHttpConns() >= config_.max_http_connections)) {
+      if (http) obs_http_sheds_->Add();
       ::close(fd);
       continue;
     }
@@ -330,9 +483,10 @@ void IngestServer::AcceptPending(int listener_fd, bool http) {
     }
     auto conn =
         std::make_unique<Conn>(FdHandle(fd), http, config_.max_line_bytes);
+    conn->accepted_at = Clock::now();
     if (!http) {
-      conn->protocol =
-          std::make_unique<IngestProtocol>(&config_.auth, config_.limits);
+      conn->protocol = std::make_unique<IngestProtocol>(
+          &config_.auth, config_.limits, &sessions_);
     }
     ++connections_seen_;
     obs_connections_->Add();
@@ -346,7 +500,7 @@ void IngestServer::HandleIngestRead(Conn& conn) {
   // Bounded reads per poll tick so one fast producer cannot starve the
   // rest of the loop; leftover bytes re-arm POLLIN immediately.
   for (int round = 0; round < 4; ++round) {
-    const ssize_t n = ::recv(conn.fd.get(), buf, sizeof buf, 0);
+    const ssize_t n = common::io_hooks()->Recv(conn.fd.get(), buf, sizeof buf, 0);
     if (n > 0) {
       obs_bytes_in_->Add(static_cast<std::uint64_t>(n));
       conn.framer.Append(buf, static_cast<std::size_t>(n));
@@ -365,10 +519,11 @@ void IngestServer::HandleIngestRead(Conn& conn) {
         const IngestProtocol::LineResult r =
             conn.protocol->OnLine(line, overflow, &record);
         if (r.has_record) {
-          IngestRecord(conn, record);
           conn.protocol->OnRecordIngested();
+          conn.pending.emplace_back(record, conn.protocol->session_total());
         }
       }
+      CommitPending(conn);
       CloseConn(conn, conn.protocol->close_reason() == CloseReason::kNone
                           ? CloseReason::kEndOfFeed
                           : conn.protocol->close_reason());
@@ -376,6 +531,7 @@ void IngestServer::HandleIngestRead(Conn& conn) {
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) return;
     if (errno == EINTR) continue;
+    CommitPending(conn);
     CloseConn(conn, CloseReason::kProtocolError);
     return;
   }
@@ -389,8 +545,11 @@ void IngestServer::ProcessFrames(Conn& conn) {
     const IngestProtocol::LineResult r =
         conn.protocol->OnLine(line, overflow, &record);
     if (r.has_record) {
-      IngestRecord(conn, record);
+      // Accounting (ACK/PONG numbers) is immediate, but the journal/engine
+      // commit is deferred to CommitPending below - which runs before any
+      // of this output flushes, so the ACKs never outrun the journal.
       conn.protocol->OnRecordIngested();
+      conn.pending.emplace_back(record, conn.protocol->session_total());
     }
     if (r.close && !conn.close_after_flush) {
       conn.close_after_flush = true;
@@ -404,6 +563,11 @@ void IngestServer::ProcessFrames(Conn& conn) {
       // remaining lines, which empties the buffered backlog cheaply.
     }
   }
+  if (!conn.session_counted && !conn.protocol->session_id().empty()) {
+    conn.session_counted = true;
+    obs_resumed_sessions_->Add();
+  }
+  CommitPending(conn);
   SyncRejectCounters(conn);
   if (conn.protocol->has_output()) conn.out += conn.protocol->TakeOutput();
   if (conn.out_off < conn.out.size()) FlushOutput(conn);
@@ -414,12 +578,35 @@ void IngestServer::ProcessFrames(Conn& conn) {
   }
 }
 
-void IngestServer::IngestRecord(Conn& conn, const data::AttackRecord& record) {
-  engine_->Push(record);
-  ++total_accepted_;
-  obs_records_->Add();
-  if (journal_.is_open()) data::WriteAttackCsvRow(journal_, record);
-  (void)conn;
+void IngestServer::CommitPending(Conn& conn) {
+  if (conn.pending.empty()) return;
+  const std::string session =
+      conn.protocol != nullptr ? conn.protocol->session_id() : std::string();
+  if (journal_ != nullptr) {
+    if (!journal_->AppendBatch(session, conn.pending)) {
+      // The write-ahead append failed (ENOSPC/EIO): these records are NOT
+      // committed. Drop them before the engine sees them, retract every
+      // reply referencing them, and tell the client to replay against a
+      // healthy server - its unacked window holds exactly this batch.
+      obs_journal_failures_->Add();
+      conn.pending.clear();
+      if (conn.protocol != nullptr) (void)conn.protocol->TakeOutput();
+      conn.out += "ERR journal-failed\n";
+      conn.close_after_flush = true;
+      conn.reason = CloseReason::kJournalFailure;
+      return;
+    }
+    MirrorJournalFsyncFailures();
+  }
+  for (const auto& [record, seq] : conn.pending) {
+    engine_->Push(record);
+  }
+  total_accepted_ += conn.pending.size();
+  obs_records_->Add(conn.pending.size());
+  if (!session.empty()) {
+    sessions_.Set(session, conn.pending.back().second);
+  }
+  conn.pending.clear();
 }
 
 void IngestServer::SyncRejectCounters(Conn& conn) {
@@ -438,7 +625,7 @@ void IngestServer::SyncRejectCounters(Conn& conn) {
 void IngestServer::HandleHttpRead(Conn& conn) {
   char buf[8192];
   for (;;) {
-    const ssize_t n = ::recv(conn.fd.get(), buf, sizeof buf, 0);
+    const ssize_t n = common::io_hooks()->Recv(conn.fd.get(), buf, sizeof buf, 0);
     if (n > 0) {
       obs_bytes_in_->Add(static_cast<std::uint64_t>(n));
       conn.http_in.append(buf, static_cast<std::size_t>(n));
@@ -494,9 +681,13 @@ std::string IngestServer::RouteHttp(const std::string& head) {
     case 1:
       return BuildHttpResponse(200, "application/json", BuildStatusJson());
     case 2:
-      return draining_
-                 ? BuildHttpResponse(503, "text/plain", "draining\n")
-                 : BuildHttpResponse(200, "text/plain", "ok\n");
+      if (draining_) return BuildHttpResponse(503, "text/plain", "draining\n");
+      if (stuck_shards_ > 0) {
+        return BuildHttpResponse(
+            503, "text/plain",
+            StrFormat("degraded: %zu stuck shards\n", stuck_shards_));
+      }
+      return BuildHttpResponse(200, "text/plain", "ok\n");
     default:
       return BuildHttpResponse(404, "text/plain", "not found\n");
   }
@@ -518,6 +709,8 @@ std::string IngestServer::BuildStatusJson() {
   j += StrFormat(",\"connections\":{\"active\":%zu,\"total\":%llu}",
                  conns_.size(),
                  static_cast<unsigned long long>(connections_seen_));
+  j += StrFormat(",\"stuck_shards\":%zu", stuck_shards_);
+  j += StrFormat(",\"sessions\":%zu", sessions_.size());
 
   j += ",\"clients\":[";
   bool first = true;
@@ -575,9 +768,9 @@ std::string IngestServer::BuildStatusJson() {
 void IngestServer::FlushOutput(Conn& conn) {
   if (conn.dead) return;
   while (conn.out_off < conn.out.size()) {
-    const ssize_t n =
-        ::send(conn.fd.get(), conn.out.data() + conn.out_off,
-               conn.out.size() - conn.out_off, MSG_NOSIGNAL | MSG_DONTWAIT);
+    const ssize_t n = common::io_hooks()->Send(
+        conn.fd.get(), conn.out.data() + conn.out_off,
+        conn.out.size() - conn.out_off, MSG_NOSIGNAL | MSG_DONTWAIT);
     if (n > 0) {
       obs_bytes_out_->Add(static_cast<std::uint64_t>(n));
       conn.out_off += static_cast<std::size_t>(n);
@@ -604,6 +797,10 @@ void IngestServer::FlushOutput(Conn& conn) {
 void IngestServer::CloseConn(Conn& conn, CloseReason reason) {
   if (conn.dead) return;
   if (!conn.http && conn.protocol != nullptr) {
+    if (!conn.protocol->session_id().empty()) {
+      // Free the session for the client's next connection to reclaim.
+      sessions_.Release(conn.protocol->session_id());
+    }
     SyncRejectCounters(conn);
     for (int k = 0; k < data::kIngestErrorKindCount; ++k) {
       const auto i = static_cast<std::size_t>(k);
@@ -631,13 +828,30 @@ void IngestServer::WriteCheckpoint() {
   if (config_.checkpoint_path.empty()) return;
   // Journal first: the checkpoint claims N accepted records, and the
   // durable journal must always cover at least that many.
-  if (journal_.is_open()) journal_.flush();
+  if (journal_ != nullptr) {
+    journal_->Sync();
+    MirrorJournalFsyncFailures();
+  }
+  if (const int err =
+          common::io_hooks()->PrepareFileWrite(config_.checkpoint_path.c_str());
+      err != 0) {
+    // Simulated disk-full: skip this checkpoint. accepted_at_checkpoint_
+    // stays put, so the next trigger retries; the journal still covers
+    // everything, so recovery is unaffected.
+    obs_checkpoint_failures_->Add();
+    return;
+  }
   stream::CheckpointMeta meta;
   meta.records = total_accepted_;
   meta.source_line = 0;  // the daemon has no single source file position
   meta.errors = AggregateErrors();
   const Clock::time_point t0 = Clock::now();
-  engine_->SaveCheckpoint(config_.checkpoint_path, meta);
+  try {
+    engine_->SaveCheckpoint(config_.checkpoint_path, meta);
+  } catch (const std::runtime_error&) {
+    obs_checkpoint_failures_->Add();
+    return;
+  }
   obs_checkpoint_seconds_->Observe(SecondsSince(t0));
   accepted_at_checkpoint_ = total_accepted_;
 }

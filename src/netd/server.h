@@ -48,6 +48,7 @@
 #include "netd/auth.h"
 #include "netd/connection.h"
 #include "netd/framer.h"
+#include "netd/journal.h"
 #include "netd/socket.h"
 #include "obs/metrics.h"
 #include "stream/engine.h"
@@ -81,6 +82,23 @@ struct NetdConfig {
   std::uint64_t checkpoint_every = 0;
   bool resume = false;
   std::string journal_path;
+
+  // Journal durability (netd/journal.h documents the loss windows).
+  FsyncPolicy journal_fsync = FsyncPolicy::kInterval;
+  std::uint64_t journal_fsync_every = 4096;
+
+  // Watchdog: every watchdog_interval_ms the loop compares per-shard
+  // progress; a shard with queued work and no progress for stuck_after_ms
+  // is reported stuck (gauge + degraded /healthz). 0 disables.
+  int watchdog_interval_ms = 1000;
+  int stuck_after_ms = 5000;
+
+  // Slow-loris guard: an HTTP connection that has not completed its
+  // request head within this deadline gets `408` and the door. The http
+  // connection count is additionally capped (excess accepts are shed)
+  // so probes cannot crowd out ingest fds.
+  int http_header_timeout_ms = 5000;
+  std::size_t max_http_connections = 32;
 };
 
 class IngestServer {
@@ -108,6 +126,12 @@ class IngestServer {
   void RequestDrain();
   void RequestDrainFromSignal() noexcept;
 
+  // Crash simulation (thread-safe): Run() returns at the top of the next
+  // tick with NO drain, NO final ACKs, NO checkpoint, and NO journal sync
+  // - the in-process equivalent of kill -9. Everything the recovery path
+  // guarantees must hold from the journal alone after this.
+  void RequestHardStop() noexcept;
+
   // Post-Run() accessors.
   std::uint64_t accepted_records() const { return total_accepted_; }
   const data::IngestErrorReport& error_report() const { return errors_; }
@@ -119,6 +143,13 @@ class IngestServer {
   // The daemon's metric registry (always armed; /metrics serves it).
   obs::MetricsRegistry& metrics() { return registry_; }
 
+  // Journal-replayed records during a resumed Bind() (0 on fresh starts).
+  std::uint64_t replayed_records() const { return replayed_records_; }
+
+  // The underlying engine; valid after Bind(). Exposed for chaos tests
+  // (ChaosStallShard); production callers have no business here.
+  stream::ShardedStreamEngine& engine() { return *engine_; }
+
  private:
   struct Conn;
 
@@ -126,12 +157,19 @@ class IngestServer {
   void HandleIngestRead(Conn& conn);
   void HandleHttpRead(Conn& conn);
   void ProcessFrames(Conn& conn);
-  void IngestRecord(Conn& conn, const data::AttackRecord& record);
+  // Write-ahead commit of a tick's accepted records: journal append (all
+  // or nothing), then engine pushes, then the session table - all before
+  // the protocol output flushes, so no ACK ever outruns the journal.
+  void CommitPending(Conn& conn);
   void FlushOutput(Conn& conn);
   void SyncRejectCounters(Conn& conn);
   void CloseConn(Conn& conn, CloseReason reason);
   void BeginDrain();
   bool DrainComplete() const;
+  void MirrorJournalFsyncFailures();
+  void RunWatchdog(std::chrono::steady_clock::time_point now);
+  void ScanHttpDeadlines(std::chrono::steady_clock::time_point now);
+  std::size_t CountHttpConns() const;
   void WriteCheckpoint();
   void MaybePeriodicCheckpoint();
   data::IngestErrorReport AggregateErrors() const;
@@ -150,19 +188,31 @@ class IngestServer {
   FdHandle wake_rd_, wake_wr_;
   std::vector<std::unique_ptr<Conn>> conns_;
 
-  std::ofstream journal_;
+  std::unique_ptr<Journal> journal_;
+  SessionTable sessions_;
   bool bound_ = false;
   bool running_ = false;
   bool draining_ = false;
   bool finished_ = false;
   std::atomic<bool> drain_requested_{false};
+  std::atomic<bool> hard_stop_{false};
   std::chrono::steady_clock::time_point drain_started_{};
   std::chrono::steady_clock::time_point started_{};
+  std::chrono::steady_clock::time_point accept_cooldown_until_{};
+  std::chrono::steady_clock::time_point last_watchdog_{};
 
   std::uint64_t total_accepted_ = 0;       // engine-ingested records, ever
   std::uint64_t accepted_at_checkpoint_ = 0;
   std::uint64_t connections_seen_ = 0;
+  std::uint64_t replayed_records_ = 0;     // journal tail replayed at Bind
+  std::uint64_t journal_fsync_failures_seen_ = 0;  // mirrored to obs
   data::IngestErrorReport errors_;         // closed-connection tallies
+
+  // Watchdog state: last seen per-shard applied counts and, for shards
+  // currently making no progress with queued work, when that started.
+  std::vector<std::uint64_t> watchdog_prev_;
+  std::vector<std::chrono::steady_clock::time_point> watchdog_stuck_since_;
+  std::size_t stuck_shards_ = 0;
 
   // Resolved obs handles (registry_ outlives them by construction).
   obs::Counter* obs_connections_ = nullptr;
@@ -177,6 +227,15 @@ class IngestServer {
   std::array<obs::Counter*, 4> obs_http_requests_{};  // metrics/status/healthz/other
   obs::Histogram* obs_checkpoint_seconds_ = nullptr;
   obs::Gauge* obs_drain_millis_ = nullptr;
+  obs::Gauge* obs_stuck_shards_ = nullptr;
+  obs::Counter* obs_accept_shed_ = nullptr;
+  obs::Counter* obs_http_timeouts_ = nullptr;
+  obs::Counter* obs_http_sheds_ = nullptr;
+  obs::Counter* obs_journal_failures_ = nullptr;
+  obs::Counter* obs_journal_fsync_failures_ = nullptr;
+  obs::Counter* obs_replayed_ = nullptr;
+  obs::Counter* obs_checkpoint_failures_ = nullptr;
+  obs::Counter* obs_resumed_sessions_ = nullptr;
   std::array<obs::Counter*, data::kIngestErrorKindCount> obs_errors_{};
 };
 

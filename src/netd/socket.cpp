@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/iohooks.h"
 #include "common/strings.h"
 
 namespace ddos::netd {
@@ -73,8 +74,8 @@ FdHandle Connect(const std::string& host, std::uint16_t port) {
   FdHandle fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) ThrowErrno("netd: socket");
   sockaddr_in addr = MakeAddr(host, port);
-  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
+  if (common::io_hooks()->Connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                                  sizeof(addr)) != 0) {
     ThrowErrno(StrFormat("netd: connect %s:%u", host.c_str(), port));
   }
   SetNoDelay(fd.get());

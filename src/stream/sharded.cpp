@@ -111,7 +111,14 @@ void ShardedStreamEngine::WorkerMain(Shard* shard) {
   std::uint64_t batches = 0;
   std::uint32_t idle_attempts = 0;
   for (;;) {
+    // Chaos park: pretend this worker wedged. Spin-sleeps (rather than a
+    // condvar) so un-stalling needs no handshake and stop still wins.
+    while (shard->stall.load(std::memory_order_acquire) &&
+           !shard->stop.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
     bool did_work = false;
+    std::uint64_t applied = 0;
     {
       // Sampled span so the trace shows the worker duty cycle without
       // flooding the bounded ring on every 256-record batch.
@@ -124,12 +131,16 @@ void ShardedStreamEngine::WorkerMain(Shard* shard) {
       for (std::size_t i = 0; i < kWorkerBatch; ++i) {
         if (!shard->queue.TryPop(&task)) break;
         did_work = true;
+        ++applied;
         if (task.kind == Task::Kind::kRecord) {
           shard->engine.PushRouted(task.record, task.has_gap, task.gap);
         } else {
           shard->engine.PushCollab(task.obs);
         }
       }
+    }
+    if (applied > 0) {
+      shard->processed.fetch_add(applied, std::memory_order_relaxed);
     }
     if (!did_work) {
       if (shard->stop.load(std::memory_order_acquire) &&
@@ -332,6 +343,20 @@ std::vector<std::size_t> ShardedStreamEngine::QueueDepths() const {
   depths.reserve(shards_.size());
   for (const auto& shard : shards_) depths.push_back(shard->queue.SizeApprox());
   return depths;
+}
+
+std::vector<std::uint64_t> ShardedStreamEngine::ProcessedCounts() const {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    counts.push_back(shard->processed.load(std::memory_order_relaxed));
+  }
+  return counts;
+}
+
+void ShardedStreamEngine::ChaosStallShard(std::size_t index, bool stalled) {
+  if (index >= shards_.size()) return;
+  shards_[index]->stall.store(stalled, std::memory_order_release);
 }
 
 }  // namespace ddos::stream

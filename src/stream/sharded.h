@@ -114,6 +114,16 @@ class ShardedStreamEngine {
   // endpoint polls this without stalling ingest.
   std::vector<std::size_t> QueueDepths() const;
 
+  // Cumulative tasks applied per shard. Same approximate/any-thread
+  // contract as QueueDepths; the daemon's watchdog pairs the two to tell
+  // a stalled shard (depth > 0, processed frozen) from an idle one.
+  std::vector<std::uint64_t> ProcessedCounts() const;
+
+  // Test/chaos hook: parks (or unparks) a shard's worker before its next
+  // batch, simulating a wedged consumer. A stalled shard stops draining
+  // its ring but keeps honoring stop/destruction. Not for production use.
+  void ChaosStallShard(std::size_t index, bool stalled);
+
  private:
   struct Task {
     enum class Kind : std::uint8_t { kRecord, kCollab };
@@ -133,6 +143,8 @@ class ShardedStreamEngine {
     std::mutex mutex;        // guards engine
     StreamEngine engine;
     std::atomic<bool> stop{false};
+    std::atomic<bool> stall{false};           // ChaosStallShard park flag
+    std::atomic<std::uint64_t> processed{0};  // tasks applied (watchdog)
     std::thread worker;
 
     // Resolved obs handles (null when the config carries no registry).

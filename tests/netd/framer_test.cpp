@@ -117,6 +117,89 @@ TEST(LineFramer, PartialBufferStaysBoundedUnderAbuse) {
             1024 + LineFramer::kOverflowPrefixBytes + 4096);
 }
 
+TEST(LineFramer, LineExactlyAtBoundIsNotOverflow) {
+  // The cap is inclusive: a payload of exactly max_line_bytes is legal;
+  // one byte more trips discard mode. Off-by-one here silently rejects
+  // valid maximum-width rows, so the fence posts get their own test.
+  LineFramer framer(8);
+  Append(&framer, "12345678\n");   // == bound
+  Append(&framer, "123456789\n");  // bound + 1
+  std::string line;
+  bool overflow = false;
+
+  ASSERT_TRUE(framer.Next(&line, &overflow));
+  EXPECT_EQ(line, "12345678");
+  EXPECT_FALSE(overflow);
+
+  ASSERT_TRUE(framer.Next(&line, &overflow));
+  EXPECT_TRUE(overflow);
+  EXPECT_EQ(line, "12345678");  // retained prefix, capped at the bound
+
+  EXPECT_FALSE(framer.Next(&line, &overflow));
+}
+
+TEST(LineFramer, CrlfSplitAcrossReads) {
+  // A kernel is free to deliver "...\r" in one recv and "\n" in the next;
+  // the CR must still be recognized as part of the terminator.
+  LineFramer framer;
+  Append(&framer, "one\r");
+  std::string line;
+  bool overflow = false;
+  EXPECT_FALSE(framer.Next(&line, &overflow)) << "no terminator yet";
+  Append(&framer, "\ntwo\r");
+  ASSERT_TRUE(framer.Next(&line, &overflow));
+  EXPECT_EQ(line, "one");
+  EXPECT_FALSE(framer.Next(&line, &overflow));
+  Append(&framer, "\n");
+  ASSERT_TRUE(framer.Next(&line, &overflow));
+  EXPECT_EQ(line, "two");
+}
+
+TEST(LineFramer, NulBytesPassThroughUnmangled) {
+  // The framer splits on '\n' only; NUL is payload, not a terminator or a
+  // truncation point (memchr-based scanning must not treat it as one).
+  LineFramer framer;
+  const char raw[] = "a\0b\nc\0\0d\n";
+  framer.Append(raw, sizeof(raw) - 1);
+  std::string line;
+  bool overflow = false;
+
+  ASSERT_TRUE(framer.Next(&line, &overflow));
+  EXPECT_EQ(line, std::string("a\0b", 3));
+  ASSERT_TRUE(framer.Next(&line, &overflow));
+  EXPECT_EQ(line, std::string("c\0\0d", 4));
+  EXPECT_FALSE(framer.Next(&line, &overflow));
+}
+
+TEST(LineFramer, ByteAtATimeWithOverflowAndCrlfMix) {
+  // The nastiest peer: one byte per Append, CRLF terminators, an empty
+  // line, and an overlong line in the middle. Sequence and overflow
+  // flags must come out exactly as if delivered in one chunk.
+  LineFramer framer(4);
+  const std::string stream = "ok\r\n\nwaytoolong\r\nend\n";
+  for (const char c : stream) framer.Append(&c, 1);
+  std::string line;
+  bool overflow = false;
+
+  ASSERT_TRUE(framer.Next(&line, &overflow));
+  EXPECT_EQ(line, "ok");
+  EXPECT_FALSE(overflow);
+
+  ASSERT_TRUE(framer.Next(&line, &overflow));
+  EXPECT_EQ(line, "");
+  EXPECT_FALSE(overflow);
+
+  ASSERT_TRUE(framer.Next(&line, &overflow));
+  EXPECT_TRUE(overflow);
+  EXPECT_EQ(line.substr(0, 4), "wayt");
+
+  ASSERT_TRUE(framer.Next(&line, &overflow));
+  EXPECT_EQ(line, "end");
+  EXPECT_FALSE(overflow);
+
+  EXPECT_FALSE(framer.Next(&line, &overflow));
+}
+
 TEST(LineFramer, TakePartialRecoversTornFinalLine) {
   LineFramer framer;
   Append(&framer, "complete\nto");

@@ -206,12 +206,122 @@ TEST(IngestProtocol, DrainAfterCloseIsIdempotent) {
   EXPECT_EQ(p.close_reason(), CloseReason::kEndOfFeed);
 }
 
+TEST(IngestProtocol, ResumeFreshSessionStartsAtZero) {
+  SessionTable sessions;
+  IngestProtocol p(nullptr, IngestLimits{}, &sessions);
+  EXPECT_FALSE(Feed(&p, "RESUME feed-a 0").close);
+  EXPECT_EQ(p.TakeOutput(), "OK RESUME 0\n");
+  EXPECT_EQ(p.session_id(), "feed-a");
+  Feed(&p, Row(1));
+  Feed(&p, "PING");
+  EXPECT_EQ(p.TakeOutput(), "PONG 1\n");
+}
+
+TEST(IngestProtocol, ResumeReportsCommittedCountAndOffsetsAcks) {
+  // A prior connection committed 5 rows for this session; the new one
+  // must be told `5` and every subsequent count (PONG, periodic ACK,
+  // final ACK) must continue from there - that is what the client's
+  // window pruning keys on.
+  SessionTable sessions;
+  sessions.Set("feed-b", 5);
+  IngestLimits limits;
+  limits.ack_every = 2;
+  IngestProtocol p(nullptr, limits, &sessions);
+  Feed(&p, "RESUME feed-b 4");  // client's claim is informational
+  EXPECT_EQ(p.TakeOutput(), "OK RESUME 5\n");
+
+  Feed(&p, Row(100));
+  Feed(&p, Row(101));
+  EXPECT_EQ(p.TakeOutput(), "ACK 7\n");  // 5 base + 2 new
+  EXPECT_EQ(p.session_total(), 7u);
+  EXPECT_EQ(p.records(), 2u);  // per-connection count stays local
+
+  const auto result = Feed(&p, "END");
+  EXPECT_TRUE(result.close);
+  EXPECT_EQ(p.TakeOutput(), "ACK 7 end\n");
+}
+
+TEST(IngestProtocol, ResumeSessionBusyWhileHeldElsewhere) {
+  SessionTable sessions;
+  ASSERT_TRUE(sessions.Acquire("feed-c"));  // a live predecessor holds it
+  IngestProtocol p(nullptr, IngestLimits{}, &sessions);
+  const auto result = Feed(&p, "RESUME feed-c 0");
+  EXPECT_TRUE(result.close);
+  EXPECT_EQ(p.close_reason(), CloseReason::kProtocolError);
+  EXPECT_EQ(p.TakeOutput(), "ERR session-busy\n");
+
+  // Once released (the server reaped the old connection), a retry binds.
+  sessions.Release("feed-c");
+  IngestProtocol retry(nullptr, IngestLimits{}, &sessions);
+  EXPECT_FALSE(Feed(&retry, "RESUME feed-c 0").close);
+  EXPECT_EQ(retry.TakeOutput(), "OK RESUME 0\n");
+}
+
+TEST(IngestProtocol, ResumeRejectsMalformedSessionIds) {
+  SessionTable sessions;
+  const std::string bad_lines[] = {
+      "RESUME ",                        // empty id
+      "RESUME bad id extra-field",      // too many fields
+      "RESUME invalid!chars 0",         // charset violation
+      "RESUME " + std::string(65, 'a'),  // too long
+  };
+  for (const std::string& line : bad_lines) {
+    IngestProtocol p(nullptr, IngestLimits{}, &sessions);
+    const auto result = Feed(&p, line);
+    EXPECT_TRUE(result.close) << line;
+    EXPECT_EQ(p.TakeOutput(), "ERR bad-session-id\n") << line;
+  }
+}
+
+TEST(IngestProtocol, ResumeAfterDataIsProtocolError) {
+  SessionTable sessions;
+  IngestProtocol p(nullptr, IngestLimits{}, &sessions);
+  Feed(&p, Row(1));
+  p.TakeOutput();
+  const auto result = Feed(&p, "RESUME feed-d 0");
+  EXPECT_TRUE(result.close);
+  EXPECT_EQ(p.close_reason(), CloseReason::kProtocolError);
+  EXPECT_EQ(p.TakeOutput(), "ERR unexpected-resume\n");
+}
+
+TEST(IngestProtocol, SecondResumeOnSameConnectionRejected) {
+  SessionTable sessions;
+  IngestProtocol p(nullptr, IngestLimits{}, &sessions);
+  Feed(&p, "RESUME feed-e 0");
+  p.TakeOutput();
+  const auto result = Feed(&p, "RESUME feed-e 0");
+  EXPECT_TRUE(result.close);
+  EXPECT_EQ(p.TakeOutput(), "ERR unexpected-resume\n");
+}
+
+TEST(IngestProtocol, ResumeWithoutSessionTableRejected) {
+  // A server built without session support (sessions == nullptr) must
+  // refuse rather than silently accept and forget.
+  IngestProtocol p(nullptr, IngestLimits{});
+  const auto result = Feed(&p, "RESUME feed-f 0");
+  EXPECT_TRUE(result.close);
+  EXPECT_EQ(p.TakeOutput(), "ERR unexpected-resume\n");
+}
+
+TEST(IngestProtocol, ResumeAfterAuthWorks) {
+  const AuthTable auth = AuthTable::FromSpecList("s3cret:upstream");
+  SessionTable sessions;
+  sessions.Set("feed-g", 3);
+  IngestProtocol p(&auth, IngestLimits{}, &sessions);
+  Feed(&p, "AUTH s3cret");
+  p.TakeOutput();
+  EXPECT_FALSE(Feed(&p, "RESUME feed-g 3").close);
+  EXPECT_EQ(p.TakeOutput(), "OK RESUME 3\n");
+  Feed(&p, "PING");
+  EXPECT_EQ(p.TakeOutput(), "PONG 3\n");
+}
+
 TEST(IngestProtocol, CloseReasonNamesAreDistinct) {
   const CloseReason reasons[] = {
       CloseReason::kNone,          CloseReason::kEndOfFeed,
       CloseReason::kAuthFailure,   CloseReason::kQuotaExceeded,
       CloseReason::kProtocolError, CloseReason::kDrained,
-      CloseReason::kSlowClient,
+      CloseReason::kSlowClient,    CloseReason::kJournalFailure,
   };
   for (std::size_t i = 0; i < std::size(reasons); ++i) {
     EXPECT_FALSE(CloseReasonName(reasons[i]).empty());

@@ -20,6 +20,7 @@
 
 #include "data/csv.h"
 #include "netd/client.h"
+#include "netd/journal.h"
 #include "obs/export.h"
 #include "stream/engine.h"
 #include "stream/sharded.h"
@@ -183,8 +184,13 @@ TEST(NetdServerE2E, ThreeClientsQuotaAuthScrapeAndReplayEquivalence) {
   // bit-identical. A plain single StreamEngine replay must agree on every
   // order-insensitive exact field too (collaboration sweeps excepted; the
   // interleaved feed is not globally time-ordered).
-  const std::vector<data::AttackRecord> journaled =
-      data::LoadAttacksCsv(journal);
+  const netd::JournalContents contents = netd::ReadJournal(journal);
+  std::vector<data::AttackRecord> journaled;
+  journaled.reserve(contents.entries.size());
+  for (const netd::JournalEntry& entry : contents.entries) {
+    journaled.push_back(entry.record);
+  }
+  EXPECT_FALSE(contents.torn_tail);
   ASSERT_EQ(journaled.size(), expected);
   const stream::StreamSnapshot merged = server.FinishAndSnapshot();
 

@@ -89,6 +89,8 @@
 #include "geo/geo_db.h"
 #include "netd/auth.h"
 #include "netd/client.h"
+#include "netd/journal.h"
+#include "netd/resilient_client.h"
 #include "netd/server.h"
 #include "netd/socket.h"
 #include "obs/export.h"
@@ -130,7 +132,14 @@ int Usage() {
                "                 [--window H] [--epsilon E]\n"
                "                 [--checkpoint FILE] [--checkpoint-every N]\n"
                "                 [--resume] [--journal FILE]\n"
-               "  ddoscope feed HOST:PORT ATTACKS.csv|- [--token T]\n");
+               "                 [--journal-fsync always|interval|off]\n"
+               "                 [--journal-fsync-every N]\n"
+               "                 [--watchdog-interval-ms MS]\n"
+               "                 [--stuck-after-ms MS]\n"
+               "                 [--http-header-timeout-ms MS]\n"
+               "                 [--max-http-connections N]\n"
+               "  ddoscope feed HOST:PORT ATTACKS.csv|- [--token T]\n"
+               "                 [--client-id ID] [--retries N]\n");
   return 2;
 }
 
@@ -773,6 +782,43 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   if (const auto it = flags.find("journal"); it != flags.end()) {
     config.journal_path = it->second;
   }
+  if (const auto it = flags.find("journal-fsync"); it != flags.end()) {
+    const auto policy = netd::ParseFsyncPolicy(it->second);
+    if (!policy.has_value()) {
+      std::fprintf(stderr,
+                   "serve: --journal-fsync must be always, interval, or off\n");
+      return 2;
+    }
+    config.journal_fsync = *policy;
+  }
+  if (const auto it = flags.find("journal-fsync-every"); it != flags.end()) {
+    config.journal_fsync_every = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(1, ParseInt64(it->second).value_or(
+                                      static_cast<std::int64_t>(
+                                          config.journal_fsync_every))));
+  }
+  if (const auto it = flags.find("watchdog-interval-ms"); it != flags.end()) {
+    config.watchdog_interval_ms = static_cast<int>(
+        std::max<std::int64_t>(0, ParseInt64(it->second).value_or(
+                                      config.watchdog_interval_ms)));
+  }
+  if (const auto it = flags.find("stuck-after-ms"); it != flags.end()) {
+    config.stuck_after_ms = static_cast<int>(
+        std::max<std::int64_t>(0, ParseInt64(it->second).value_or(
+                                      config.stuck_after_ms)));
+  }
+  if (const auto it = flags.find("http-header-timeout-ms");
+      it != flags.end()) {
+    config.http_header_timeout_ms = static_cast<int>(
+        std::max<std::int64_t>(0, ParseInt64(it->second).value_or(
+                                      config.http_header_timeout_ms)));
+  }
+  if (const auto it = flags.find("max-http-connections"); it != flags.end()) {
+    config.max_http_connections = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, ParseInt64(it->second).value_or(
+                                      static_cast<std::int64_t>(
+                                          config.max_http_connections))));
+  }
 
   const std::int64_t window_hours =
       config.engine.rolling_window_s / kSecondsPerHour;
@@ -824,10 +870,16 @@ int CmdFeed(const std::string& hostport, const std::string& path,
     std::fprintf(stderr, "feed: first argument must be HOST:PORT\n");
     return 2;
   }
-  netd::FeedClient client(hostport.substr(0, colon),
-                          static_cast<std::uint16_t>(*port));
+  netd::ResilientFeedOptions options;
   if (const auto it = flags.find("token"); it != flags.end()) {
-    std::printf("%s\n", client.Auth(it->second).c_str());
+    options.token = it->second;
+  }
+  if (const auto it = flags.find("client-id"); it != flags.end()) {
+    options.client_id = it->second;
+  }
+  if (const auto it = flags.find("retries"); it != flags.end()) {
+    options.max_attempts = static_cast<int>(
+        std::max<std::int64_t>(1, ParseInt64(it->second).value_or(8)));
   }
 
   const bool from_stdin = path == "-";
@@ -841,21 +893,35 @@ int CmdFeed(const std::string& hostport, const std::string& path,
   }
   std::istream& in = from_stdin ? std::cin : file;
 
-  std::uint64_t sent = 0;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    client.SendLine(line);
-    if (client.closed_by_server()) break;
-    ++sent;
-  }
-  const std::uint64_t acked = client.End();
-  std::printf("fed %llu lines, server acked %llu records\n",
-              static_cast<unsigned long long>(sent),
-              static_cast<unsigned long long>(acked));
-  if (!client.last_error().empty()) {
-    std::fprintf(stderr, "feed: server said: %s\n",
-                 client.last_error().c_str());
+  try {
+    netd::ResilientFeedClient client(hostport.substr(0, colon),
+                                     static_cast<std::uint16_t>(*port),
+                                     options);
+    std::uint64_t sent = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      client.SendLine(line);
+      ++sent;
+    }
+    const std::uint64_t acked = client.Finish();
+    std::printf("fed %llu lines, server acked %llu records\n",
+                static_cast<unsigned long long>(sent),
+                static_cast<unsigned long long>(acked));
+    if (client.reconnects() > 0) {
+      std::printf("survived %llu reconnects, %llu records resent\n",
+                  static_cast<unsigned long long>(client.reconnects()),
+                  static_cast<unsigned long long>(client.records_resent()));
+    }
+    if (!client.last_error().empty()) {
+      std::fprintf(stderr, "feed: server said: %s\n",
+                   client.last_error().c_str());
+      return 1;
+    }
+  } catch (const std::runtime_error& error) {
+    // Retries exhausted or a fatal server verdict: say why and fail loud,
+    // so supervisors and scripts can tell "fed" from "gave up".
+    std::fprintf(stderr, "feed: %s\n", error.what());
     return 1;
   }
   return 0;
