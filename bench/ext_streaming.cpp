@@ -15,17 +15,22 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/mmapio.h"
 #include "common/strings.h"
 #include "core/durations.h"
 #include "core/intervals.h"
 #include "core/report.h"
+#include "data/binrecords.h"
 #include "data/csv.h"
+#include "data/linescan.h"
 #include "stats/ecdf.h"
 #include "stream/engine.h"
 #include "stream/sharded.h"
@@ -137,10 +142,13 @@ int main() {
   }
   std::printf("%s", growth.Render().c_str());
 
-  // --- Sharded ingest sweep: records/s at 1, 2, 4, 8 worker shards. ---
-  // In-memory records (the CSV reader is benchmarked above) so the sweep
-  // isolates routing + queue + merge cost. The trace is replayed four
-  // times at increasing offsets to make each run long enough to time.
+  // --- Sharded ingest sweep: three modes at 1, 2, 4, 8 worker shards. ---
+  // The trace is replayed four times at increasing offsets to make each
+  // run long enough to time, then staged on disk in both formats so the
+  // sweep measures what the watch CLI actually runs end to end:
+  //   router-parse:   AttackCsvReader on the router, parsed records routed
+  //   parse-in-shard: mmap + raw line spans routed, parse inside the shard
+  //   binary:         BinaryRecordReader replay, parsed records routed
   std::vector<data::AttackRecord> feed;
   feed.reserve(ds.attacks().size() * 4);
   for (int pass = 0; pass < 4; ++pass) {
@@ -150,64 +158,127 @@ int main() {
       feed.push_back(std::move(a));
     }
   }
+  const std::filesystem::path sweep_csv =
+      std::filesystem::temp_directory_path() / "ddoscope_sweep_feed.csv";
+  const std::filesystem::path sweep_bin =
+      std::filesystem::temp_directory_path() / "ddoscope_sweep_feed.bin";
+  data::SaveAttacksCsv(sweep_csv.string(), feed);
+  data::ConvertAttacksCsvToBinary(sweep_csv.string(), sweep_bin.string(),
+                                  data::ParseOptions::Strict());
   const unsigned hardware_threads =
       std::max(1u, std::thread::hardware_concurrency());
   std::printf("\nsharded ingest sweep (%zu records, %u hardware threads):\n",
               feed.size(), hardware_threads);
 
+  // Single-thread CSV baseline: the full read-parse-apply path one thread
+  // deep - the denominator every sharded mode is judged against.
   const auto t_single = std::chrono::steady_clock::now();
   stream::StreamEngine single_engine;
-  for (const data::AttackRecord& a : feed) single_engine.Push(a);
+  {
+    data::AttackCsvReader reader(sweep_csv.string());
+    data::AttackRecord a;
+    while (reader.Next(&a)) single_engine.Push(a);
+  }
   single_engine.Finish();
   const double single_seconds = SecondsSince(t_single);
   const double single_rate = static_cast<double>(feed.size()) / single_seconds;
+  const stream::StreamSnapshot reference = single_engine.Snapshot();
 
-  struct ShardPoint {
+  // Exact-counter equality against the single-thread run: attack count,
+  // per-family tallies, concurrency/duration fractions, collaboration
+  // totals. Quantiles are excluded (sharded sketches run at half epsilon).
+  const auto check_identical = [&](stream::ShardedStreamEngine& engine,
+                                   const char* what) {
+    const stream::StreamSnapshot got = engine.Snapshot();
+    const bool same =
+        got.attacks == reference.attacks &&
+        got.family_attacks == reference.family_attacks &&
+        got.intervals.fraction_concurrent ==
+            reference.intervals.fraction_concurrent &&
+        got.durations.fraction_under_4h ==
+            reference.durations.fraction_under_4h &&
+        got.collab.events == reference.collab.events &&
+        got.collab.intra_family_events == reference.collab.intra_family_events;
+    if (!same) {
+      std::printf("ERROR: %s diverged from the single-thread engine "
+                  "(%llu vs %llu attacks)\n",
+                  what, static_cast<unsigned long long>(got.attacks),
+                  static_cast<unsigned long long>(reference.attacks));
+    }
+    return same;
+  };
+
+  struct SweepPoint {
     std::size_t shards = 0;
+    const char* mode = "";
     double seconds = 0.0;
     double rate = 0.0;
   };
-  std::vector<ShardPoint> sweep;
+  std::vector<SweepPoint> sweep;
+  bool all_identical = true;
   core::TextTable shard_table(
-      {"shards", "seconds", "records/s", "vs single-thread"});
+      {"shards", "mode", "seconds", "records/s", "vs single CSV"});
   for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
-    const auto t0 = std::chrono::steady_clock::now();
-    stream::ShardedStreamEngineConfig config;
-    config.shards = shards;
-    stream::ShardedStreamEngine engine(config);
-    for (const data::AttackRecord& a : feed) engine.Push(a);
-    engine.Finish();
-    const double seconds = SecondsSince(t0);
-    const double rate = static_cast<double>(feed.size()) / seconds;
-    sweep.push_back({shards, seconds, rate});
-    shard_table.AddRow({std::to_string(shards),
-                        ddos::StrFormat("%.3f", seconds),
-                        ddos::StrFormat("%.0f", rate),
-                        ddos::StrFormat("%.2fx", rate / single_rate)});
-    if (engine.merged().attacks_seen() != feed.size()) {
-      std::printf("ERROR: sharded engine dropped records\n");
-      return 1;
+    for (const char* mode : {"router-parse", "parse-in-shard", "binary"}) {
+      stream::ShardedStreamEngineConfig config;
+      config.shards = shards;
+      const auto t0 = std::chrono::steady_clock::now();
+      stream::ShardedStreamEngine engine(config);
+      if (std::strcmp(mode, "router-parse") == 0) {
+        data::AttackCsvReader reader(sweep_csv.string());
+        data::AttackRecord a;
+        while (reader.Next(&a)) engine.Push(a);
+        engine.Finish();
+      } else if (std::strcmp(mode, "parse-in-shard") == 0) {
+        io::MmapFile file = io::MmapFile::Open(sweep_csv.string());
+        data::LineSpanScanner scanner(file.view());
+        data::LineSpan line;
+        while (scanner.Next(&line)) {
+          if (line.line_no == 1) continue;  // header
+          engine.PushLine(line.text, line.line_no, line.saw_newline);
+        }
+        engine.Finish();  // spans must not outlive the mapping
+      } else {
+        data::BinaryRecordReader reader(sweep_bin.string());
+        data::AttackRecord a;
+        while (reader.Next(&a)) engine.Push(a);
+        engine.Finish();
+      }
+      const double seconds = SecondsSince(t0);
+      const double rate = static_cast<double>(feed.size()) / seconds;
+      sweep.push_back({shards, mode, seconds, rate});
+      shard_table.AddRow({std::to_string(shards), mode,
+                          ddos::StrFormat("%.3f", seconds),
+                          ddos::StrFormat("%.0f", rate),
+                          ddos::StrFormat("%.2fx", rate / single_rate)});
+      all_identical = check_identical(engine, mode) && all_identical;
+      if (engine.merged().attacks_seen() != feed.size()) {
+        std::printf("ERROR: %s dropped records at %zu shards\n", mode, shards);
+        return 1;
+      }
     }
   }
   std::printf("%s", shard_table.Render().c_str());
+  if (!all_identical) return 1;
   if (hardware_threads < 8) {
     std::printf("(host has %u hardware thread(s); shard counts above that "
                 "measure queueing overhead, not parallel speedup)\n",
                 hardware_threads);
   }
 
-  // Machine-readable sweep for CI trend tracking.
+  // Machine-readable sweep for CI trend tracking and gating.
   {
     std::ofstream json("BENCH_streaming.json");
     json << "{\n"
          << "  \"bench\": \"streaming_sharded_ingest\",\n"
          << "  \"records\": " << feed.size() << ",\n"
          << "  \"hardware_threads\": " << hardware_threads << ",\n"
-         << "  \"single_thread_records_per_s\": "
+         << "  \"single_thread_csv_records_per_s\": "
          << ddos::StrFormat("%.0f", single_rate) << ",\n"
          << "  \"sharded\": [\n";
     for (std::size_t i = 0; i < sweep.size(); ++i) {
-      json << "    {\"shards\": " << sweep[i].shards
+      json << "    {\"shards\": " << sweep[i].shards << ", \"mode\": \""
+           << sweep[i].mode << "\""
            << ", \"seconds\": " << ddos::StrFormat("%.4f", sweep[i].seconds)
            << ", \"records_per_s\": "
            << ddos::StrFormat("%.0f", sweep[i].rate)
@@ -218,6 +289,43 @@ int main() {
     json << "  ]\n}\n";
     std::printf("wrote BENCH_streaming.json\n");
   }
+
+  // CI gate (opt-in: the thresholds assume >= 4 real cores, which dev
+  // containers and laptops often lack). DDOSCOPE_GATE_SHARDED=1 requires
+  // parse-in-shard CSV at 4 shards to beat the single-thread CSV baseline
+  // by >= 2.0x, and binary replay to beat parse-in-shard CSV at every
+  // shard count (no parse should never lose to parse).
+  if (const char* gate = std::getenv("DDOSCOPE_GATE_SHARDED");
+      gate != nullptr && gate[0] != '\0' && gate[0] != '0') {
+    bool ok = true;
+    for (const SweepPoint& p : sweep) {
+      if (p.shards == 4 && std::strcmp(p.mode, "parse-in-shard") == 0 &&
+          p.rate < 2.0 * single_rate) {
+        std::printf("GATE FAIL: parse-in-shard at 4 shards is %.2fx single "
+                    "thread (need >= 2.0x)\n",
+                    p.rate / single_rate);
+        ok = false;
+      }
+    }
+    for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+      double csv_rate = 0.0, bin_rate = 0.0;
+      for (const SweepPoint& p : sweep) {
+        if (p.shards != shards) continue;
+        if (std::strcmp(p.mode, "parse-in-shard") == 0) csv_rate = p.rate;
+        if (std::strcmp(p.mode, "binary") == 0) bin_rate = p.rate;
+      }
+      if (bin_rate <= csv_rate) {
+        std::printf("GATE FAIL: binary replay (%.0f/s) not faster than CSV "
+                    "(%.0f/s) at %zu shards\n",
+                    bin_rate, csv_rate, shards);
+        ok = false;
+      }
+    }
+    if (!ok) return 1;
+    std::printf("sharded ingest gate passed\n");
+  }
+  std::filesystem::remove(sweep_csv);
+  std::filesystem::remove(sweep_bin);
 
   bench::PrintComparison({
       {"stream/batch attack count", 1.0,

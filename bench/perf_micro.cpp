@@ -16,6 +16,7 @@
 #include "net/as_graph.h"
 #include "stats/hypothesis.h"
 #include "data/csv.h"
+#include "data/linescan.h"
 #include "geo/geodesy.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -186,6 +187,69 @@ void BM_ParseCsvLineReuse(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ParseCsvLineReuse);
+
+// The sharded router's per-line cost: one byte-scan extracting only the
+// routing fields (ids, target ip, both timestamps). The gap between this
+// and BM_TryParseAttackLineSpan is the work PushLine moves off the serial
+// router and into the worker shards.
+void BM_AttackLinePreScan(benchmark::State& state) {
+  const std::string line =
+      "123456,77,dirtjumper,HTTP,203.0.113.9,2012-06-01 10:20:30,"
+      "2012-06-01 11:20:30,64500,US,\"Kansas City\",39.09,-94.57,"
+      "ExampleOrg,1500";
+  data::AttackLinePreScanner prescan;
+  data::AttackLinePreScan scan;
+  data::IngestError err;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prescan.Scan(line, &scan, &err));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AttackLinePreScan);
+
+// The full 14-column parse a worker runs per span, against the legacy
+// split-then-validate pair it replaced.
+void BM_TryParseAttackLineSpan(benchmark::State& state) {
+  const std::string line =
+      "123456,77,dirtjumper,HTTP,203.0.113.9,2012-06-01 10:20:30,"
+      "2012-06-01 11:20:30,64500,US,\"Kansas City\",39.09,-94.57,"
+      "ExampleOrg,1500";
+  data::AttackRecord record;
+  data::IngestError err;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::TryParseAttackLine(line, &record, &err));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TryParseAttackLineSpan);
+
+void BM_TryParseAttackLineLegacy(benchmark::State& state) {
+  const std::string line =
+      "123456,77,dirtjumper,HTTP,203.0.113.9,2012-06-01 10:20:30,"
+      "2012-06-01 11:20:30,64500,US,\"Kansas City\",39.09,-94.57,"
+      "ExampleOrg,1500";
+  std::vector<std::string> fields;
+  bool unterminated = false;
+  data::AttackRecord record;
+  data::IngestError err;
+  for (auto _ : state) {
+    data::ParseCsvLineInto(line, &fields, &unterminated);
+    benchmark::DoNotOptimize(
+        data::TryParseAttackFields(fields, &record, &err));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TryParseAttackLineLegacy);
+
+// Timestamp validation underneath both the pre-scan and the full parse -
+// two calls per row on the ingest hot path.
+void BM_TimePointTryParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TimePoint::TryParse("2012-06-01 10:20:30"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimePointTryParse);
 
 // Same hot loop with a MetricsRegistry attached: the delta against
 // BM_AttackCsvStreamRead is the per-record cost of the obs counters on the

@@ -1,0 +1,102 @@
+#include "common/mmapio.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace ddos::io {
+
+namespace {
+
+std::string SlurpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("mmapio: cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    throw std::runtime_error("mmapio: read failed: " + path);
+  }
+  return std::move(buf).str();
+}
+
+}  // namespace
+
+MmapFile MmapFile::Open(const std::string& path) {
+  MmapFile f;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error("mmapio: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+  struct stat st{};
+  const bool statted = ::fstat(fd, &st) == 0;
+  const bool regular = statted && S_ISREG(st.st_mode);
+  if (regular && st.st_size == 0) {
+    ::close(fd);
+    return f;  // empty view, nothing to map
+  }
+  if (regular) {
+    void* addr = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                        PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr != MAP_FAILED) {
+      ::close(fd);  // the mapping holds its own reference
+      // Advisory only; the feed is consumed front to back exactly once.
+      ::madvise(addr, static_cast<std::size_t>(st.st_size), MADV_SEQUENTIAL);
+      f.data_ = static_cast<const char*>(addr);
+      f.size_ = static_cast<std::size_t>(st.st_size);
+      f.mapped_ = true;
+      return f;
+    }
+  }
+  // Pipes, special files, or an mmap refusal: buffer the bytes instead.
+  ::close(fd);
+  f.fallback_ = SlurpFile(path);
+  f.data_ = f.fallback_.data();
+  f.size_ = f.fallback_.size();
+  return f;
+}
+
+MmapFile::~MmapFile() {
+  if (mapped_) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      fallback_(std::move(other.fallback_)) {
+  if (!mapped_ && size_ > 0) data_ = fallback_.data();
+  other.data_ = "";
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this == &other) return *this;
+  if (mapped_) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+  data_ = other.data_;
+  size_ = other.size_;
+  mapped_ = other.mapped_;
+  fallback_ = std::move(other.fallback_);
+  if (!mapped_ && size_ > 0) data_ = fallback_.data();
+  other.data_ = "";
+  other.size_ = 0;
+  other.mapped_ = false;
+  return *this;
+}
+
+}  // namespace ddos::io

@@ -1,0 +1,57 @@
+// Read-only memory-mapped file input.
+//
+// The parse-in-shard ingest path (stream/sharded.h) routes raw line spans
+// whose bytes must stay addressable until the workers have parsed them;
+// mapping the feed once gives every thread a stable, zero-copy view of the
+// whole file and lets the kernel stream pages in at readahead speed instead
+// of the CLI double-buffering through getline. MmapFile is the owner of
+// that view: open, hand out a std::string_view, unmap on destruction.
+//
+// Not every input is mappable (pipes, /proc files, and some filesystems
+// reject mmap). Open() transparently falls back to slurping the file into
+// an owned buffer in that case - callers get the same string_view contract
+// either way, only `mapped()` tells the two apart (tests and the bench
+// report it). Empty files map to an empty view, not an error.
+#ifndef DDOSCOPE_COMMON_MMAPIO_H_
+#define DDOSCOPE_COMMON_MMAPIO_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace ddos::io {
+
+class MmapFile {
+ public:
+  // Maps `path` read-only (falling back to a buffered read when mmap is
+  // not available for it). Throws std::runtime_error when the file cannot
+  // be opened or read.
+  static MmapFile Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  // The file's bytes. Valid until destruction/move-out; workers holding
+  // line spans into this view must be drained before the object dies.
+  std::string_view view() const {
+    return std::string_view(data_, size_);
+  }
+  std::size_t size() const { return size_; }
+  // True when the view is a real mapping (false: owned fallback buffer).
+  bool mapped() const { return mapped_; }
+
+ private:
+  const char* data_ = "";
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::string fallback_;  // owns the bytes when !mapped_
+};
+
+}  // namespace ddos::io
+
+#endif  // DDOSCOPE_COMMON_MMAPIO_H_

@@ -54,20 +54,80 @@ TimePoint TimePoint::FromDate(int year, int month, int day) {
 }
 
 TimePoint TimePoint::Parse(const std::string& text) {
-  CivilTime ct;
-  int n = 0;
-  const int date_fields = std::sscanf(text.c_str(), "%d-%d-%d%n", &ct.date.year,
-                                      &ct.date.month, &ct.date.day, &n);
-  if (date_fields != 3 || !IsValidDate(ct.date)) {
-    throw std::invalid_argument("TimePoint::Parse: bad date: " + text);
+  const auto tp = TryParse(text);
+  if (!tp) {
+    throw std::invalid_argument("TimePoint::Parse: bad date/time: " + text);
   }
-  if (static_cast<size_t>(n) < text.size()) {
-    const int time_fields = std::sscanf(text.c_str() + n, " %d:%d:%d", &ct.hour,
-                                        &ct.minute, &ct.second);
-    if (time_fields != 3 || ct.hour < 0 || ct.hour > 23 || ct.minute < 0 ||
-        ct.minute > 59 || ct.second < 0 || ct.second > 59) {
-      throw std::invalid_argument("TimePoint::Parse: bad time: " + text);
+  return *tp;
+}
+
+namespace {
+
+inline bool IsSpaceAscii(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' ||
+         c == '\r';
+}
+
+// One sscanf-%d worth of input: optional whitespace, optional sign, at
+// least one digit. Values wider than 18 digits are rejected outright
+// (every calendar field is orders of magnitude smaller).
+bool ScanInt(const char*& p, const char* end, std::int64_t* out) {
+  while (p != end && IsSpaceAscii(*p)) ++p;
+  bool neg = false;
+  if (p != end && (*p == '+' || *p == '-')) {
+    neg = (*p == '-');
+    ++p;
+  }
+  if (p == end || *p < '0' || *p > '9') return false;
+  std::int64_t v = 0;
+  int digits = 0;
+  while (p != end && *p >= '0' && *p <= '9') {
+    if (++digits > 18) return false;
+    v = v * 10 + (*p - '0');
+    ++p;
+  }
+  *out = neg ? -v : v;
+  return true;
+}
+
+constexpr std::int64_t kMaxCalendarField = 1000000;  // fits int comfortably
+
+}  // namespace
+
+std::optional<TimePoint> TimePoint::TryParse(std::string_view text) noexcept {
+  const char* p = text.data();
+  const char* const end = p + text.size();
+  std::int64_t year = 0, month = 0, day = 0;
+  if (!ScanInt(p, end, &year) || p == end || *p != '-') return std::nullopt;
+  ++p;
+  if (!ScanInt(p, end, &month) || p == end || *p != '-') return std::nullopt;
+  ++p;
+  if (!ScanInt(p, end, &day)) return std::nullopt;
+  if (year < -kMaxCalendarField || year > kMaxCalendarField ||
+      month < -kMaxCalendarField || month > kMaxCalendarField ||
+      day < -kMaxCalendarField || day > kMaxCalendarField) {
+    return std::nullopt;
+  }
+  CivilTime ct;
+  ct.date = CivilDate{static_cast<int>(year), static_cast<int>(month),
+                      static_cast<int>(day)};
+  if (!IsValidDate(ct.date)) return std::nullopt;
+  if (p != end) {
+    std::int64_t hour = 0, minute = 0, second = 0;
+    if (!ScanInt(p, end, &hour) || p == end || *p != ':') return std::nullopt;
+    ++p;
+    if (!ScanInt(p, end, &minute) || p == end || *p != ':') return std::nullopt;
+    ++p;
+    if (!ScanInt(p, end, &second)) return std::nullopt;
+    if (hour < 0 || hour > 23 || minute < 0 || minute > 59 || second < 0 ||
+        second > 59) {
+      return std::nullopt;
     }
+    // Trailing bytes after the seconds field are tolerated, matching the
+    // sscanf-based parser this replaced.
+    ct.hour = static_cast<int>(hour);
+    ct.minute = static_cast<int>(minute);
+    ct.second = static_cast<int>(second);
   }
   return FromCivil(ct);
 }

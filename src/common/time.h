@@ -13,7 +13,9 @@
 
 #include <cstdint>
 #include <compare>
+#include <optional>
 #include <string>
+#include <string_view>
 
 namespace ddos {
 
@@ -63,6 +65,16 @@ class TimePoint {
   // Parses "YYYY-MM-DD" or "YYYY-MM-DD HH:MM:SS". Throws std::invalid_argument
   // on malformed input.
   static TimePoint Parse(const std::string& text);
+
+  // Non-throwing Parse over a (possibly unterminated) character span: the
+  // hot-path form used once per timestamp field by the CSV span parser and
+  // the sharded router's pre-scan. Accepts exactly what Parse accepts -
+  // leading whitespace and an optional sign before each number (the sscanf
+  // %d behaviors Parse historically had), trailing garbage after the
+  // seconds field tolerated, trailing bytes after a date-only form not.
+  // Both the router pre-scan and the full row parse call this one
+  // implementation, so their accept/reject decisions cannot diverge.
+  static std::optional<TimePoint> TryParse(std::string_view text) noexcept;
 
   CivilTime ToCivil() const;
 

@@ -1,0 +1,173 @@
+// Versioned binary columnar storage for attack records.
+//
+// Re-parsing the 14-column CSV dominates replay cost even after the
+// parse-in-shard refactor; archived feeds that are replayed many times
+// (batch analyses, bench sweeps, warm-starting a daemon) deserve a format
+// that streams at memory bandwidth. `ddoscope convert` writes it; the
+// readers below plug into StreamEngine and ShardedStreamEngine wherever an
+// AttackCsvReader fits.
+//
+// File layout (all integers little-endian, common/binio.h):
+//
+//   offset  size  field
+//   0       8     magic "DDBINREC"
+//   8       4     format version (1)
+//   12      4     writer's records-per-block hint (informational)
+//   --- repeated blocks ---
+//   +0      4     record count n in this block (> 0)
+//   +4      8     payload size in bytes
+//   +12     p     payload: column arrays (below)
+//   +12+p   8     FNV-1a 64 checksum of the payload
+//   --- terminator ---
+//   +0      4     record count 0 (end of stream)
+//
+// Block payload, in schema column order: ddos_id n*u64, botnet_id n*u32,
+// family n*u8, category n*u8, target_ip n*u32, start_time n*i64, end_time
+// n*i64, asn n*u32, cc dict, city dict, latitude n*f64, longitude n*f64,
+// organization dict, magnitude n*u32. A string dictionary is `u32 m`
+// unique strings (u32 length + bytes each) followed by n u32 indexes -
+// country codes and organizations repeat heavily across a feed, so blocks
+// mostly carry 4-byte indexes where the CSV carried quoted text.
+//
+// Version policy: the version field names the whole layout; readers reject
+// versions they do not know (kUnsupportedVersion) rather than guessing.
+// Additive evolution appends new columns to the payload *behind* a version
+// bump, and readers keep accepting every version they ever shipped -
+// the checkpoint format's compatibility discipline (stream/checkpoint.h).
+//
+// Every failure mode is a typed BinaryFormatError: bad magic, unknown
+// version, truncation, checksum mismatch, or a structurally corrupt block
+// (the checksum is verified *before* any payload decoding, so a bit-flip
+// is diagnosed as such instead of crashing the decoder). The terminator
+// block distinguishes clean EOF from a file cut mid-stream.
+#ifndef DDOSCOPE_DATA_BINRECORDS_H_
+#define DDOSCOPE_DATA_BINRECORDS_H_
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "data/csv.h"
+#include "data/ingest_error.h"
+#include "data/records.h"
+
+namespace ddos::data {
+
+inline constexpr std::uint32_t kBinaryRecordVersion = 1;
+
+// Typed failure: every way a binary record file can be refused.
+class BinaryFormatError : public std::runtime_error {
+ public:
+  enum class Kind : std::uint8_t {
+    kBadMagic,            // not a DDBINREC file
+    kUnsupportedVersion,  // written by a newer (or unknown) layout
+    kTruncated,           // stream ended mid-block or without a terminator
+    kChecksumMismatch,    // payload bytes do not match their checksum
+    kCorruptField,        // checksum fine but the structure is inconsistent
+  };
+
+  BinaryFormatError(Kind kind, const std::string& what)
+      : std::runtime_error("binrecords: " + what), kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+struct BinaryWriteOptions {
+  // Records buffered per block. Larger blocks dictionary-compress better;
+  // smaller ones bound the reader's working set. 4096 rows ~ a few hundred
+  // KiB of payload on the reference feed.
+  std::size_t block_records = 4096;
+};
+
+// Streams records out in columnar blocks. The path constructor stages to
+// `path + ".tmp"` and Close() renames into place (checkpoint discipline:
+// a crash mid-convert never leaves a truncated file at the final path).
+class BinaryRecordWriter {
+ public:
+  explicit BinaryRecordWriter(std::ostream& out, BinaryWriteOptions opts = {});
+  explicit BinaryRecordWriter(const std::string& path,
+                              BinaryWriteOptions opts = {});
+  // Best-effort Close(); errors swallowed (the stage file, if any, is
+  // removed). Call Close() explicitly to observe failures.
+  ~BinaryRecordWriter();
+
+  BinaryRecordWriter(const BinaryRecordWriter&) = delete;
+  BinaryRecordWriter& operator=(const BinaryRecordWriter&) = delete;
+
+  void Write(const AttackRecord& record);
+
+  // Flushes the final partial block, writes the terminator, and (path
+  // constructor) publishes the staged file. Idempotent; Write after Close
+  // throws std::logic_error.
+  void Close();
+
+  std::uint64_t written() const { return written_; }
+
+ private:
+  void FlushBlock();
+
+  std::string path_;      // final path ("" under the stream constructor)
+  std::string tmp_path_;  // stage file ("" under the stream constructor)
+  std::ofstream file_;    // engaged only by the path constructor
+  std::ostream* out_;
+  BinaryWriteOptions opts_;
+  std::vector<AttackRecord> pending_;
+  std::uint64_t written_ = 0;
+  bool closed_ = false;
+};
+
+// Streaming reader; one block decoded at a time, so memory stays bounded
+// by the writer's block size regardless of file size.
+class BinaryRecordReader {
+ public:
+  explicit BinaryRecordReader(std::istream& in);
+  // Throws std::runtime_error when the file cannot be opened,
+  // BinaryFormatError when its header is not a DDBINREC v1 header.
+  explicit BinaryRecordReader(const std::string& path);
+
+  // Fills *out with the next record; false at clean end of stream. Throws
+  // BinaryFormatError on any corruption.
+  bool Next(AttackRecord* out);
+
+  // Fast-forwards `n` records (the count-based resume path: a checkpoint's
+  // meta.records). Whole blocks inside the skip are checksum-verified but
+  // not decoded. Throws BinaryFormatError if the stream ends first.
+  void SkipRecords(std::uint64_t n);
+
+  std::uint64_t records_read() const { return records_; }
+
+ private:
+  // Reads and checksum-verifies the next block into payload_. Returns its
+  // record count, 0 at the terminator. Decoding is separate so the skip
+  // fast path can discard a verified payload without materializing it.
+  std::uint32_t LoadBlockRaw();
+  void DecodeBlock(std::uint32_t n);
+
+  std::ifstream file_;  // engaged only by the path constructor
+  std::istream* in_;
+  std::vector<AttackRecord> block_;
+  std::size_t block_pos_ = 0;
+  std::uint64_t records_ = 0;
+  bool eof_ = false;
+  std::string payload_;  // reused block buffer
+};
+
+// Reads `csv_path` with AttackCsvReader under `options` and writes the
+// valid records to `bin_path` (atomically). Rejected rows follow the
+// options' policy exactly as in a watch run; per-kind tallies are added to
+// *report when non-null. Returns the number of records written.
+std::uint64_t ConvertAttacksCsvToBinary(const std::string& csv_path,
+                                        const std::string& bin_path,
+                                        const ParseOptions& options,
+                                        IngestErrorReport* report = nullptr,
+                                        BinaryWriteOptions write_opts = {});
+
+}  // namespace ddos::data
+
+#endif  // DDOSCOPE_DATA_BINRECORDS_H_

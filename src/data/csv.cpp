@@ -26,8 +26,8 @@ std::int64_t FieldInt(const std::vector<std::string>& fields, std::size_t idx,
 // Timestamps far outside the plausible monitoring era are rejected: the
 // schema carries wall-clock seconds, so a mangled year silently skews every
 // interval/duration statistic downstream if allowed through.
-const TimePoint kMinTimestamp = TimePoint(0);                       // 1970
-const TimePoint kMaxTimestamp = TimePoint::FromDate(2100, 1, 1);
+const TimePoint& kMinTimestamp = kMinAttackTimestamp;
+const TimePoint& kMaxTimestamp = kMaxAttackTimestamp;
 
 bool ParseError(IngestError* err, IngestErrorKind kind, std::string detail) {
   err->kind = kind;
@@ -77,18 +77,16 @@ bool TryParseAttackFields(const std::vector<std::string>& f, AttackRecord* out,
   }
   a.target_ip = *ip;
   for (const std::size_t idx : {std::size_t{5}, std::size_t{6}}) {
-    TimePoint t;
-    try {
-      t = TimePoint::Parse(f[idx]);
-    } catch (const std::invalid_argument&) {
+    const auto t = TimePoint::TryParse(f[idx]);
+    if (!t) {
       return ParseError(err, IngestErrorKind::kOutOfRangeTimestamp,
                         "malformed timestamp '" + f[idx] + "'");
     }
-    if (t < kMinTimestamp || t > kMaxTimestamp) {
+    if (*t < kMinTimestamp || *t > kMaxTimestamp) {
       return ParseError(err, IngestErrorKind::kOutOfRangeTimestamp,
                         "timestamp '" + f[idx] + "' outside 1970..2100");
     }
-    (idx == 5 ? a.start_time : a.end_time) = t;
+    (idx == 5 ? a.start_time : a.end_time) = *t;
   }
   if (a.end_time < a.start_time) {
     return ParseError(
@@ -130,7 +128,7 @@ bool TryParseAttackFields(const std::vector<std::string>& f, AttackRecord* out,
   return true;
 }
 
-bool TryParseAttackLine(const std::string& line, AttackRecord* out,
+bool TryParseAttackLine(std::string_view line, AttackRecord* out,
                         IngestError* err) {
   // Thread-local scratch: the netd ingest path calls this once per received
   // line, and reusing the field buffers keeps the steady state free of heap
@@ -160,19 +158,19 @@ bool ReadCsvLine(std::istream& in, std::string* line, bool* saw_newline) {
   return true;
 }
 
-std::vector<std::string> ParseCsvLine(const std::string& line) {
+std::vector<std::string> ParseCsvLine(std::string_view line) {
   bool unterminated;
   return ParseCsvLine(line, &unterminated);
 }
 
-std::vector<std::string> ParseCsvLine(const std::string& line,
+std::vector<std::string> ParseCsvLine(std::string_view line,
                                       bool* unterminated_quote) {
   std::vector<std::string> fields;
   ParseCsvLineInto(line, &fields, unterminated_quote);
   return fields;
 }
 
-void ParseCsvLineInto(const std::string& line, std::vector<std::string>* fields,
+void ParseCsvLineInto(std::string_view line, std::vector<std::string>* fields,
                       bool* unterminated_quote) {
   // Appends into the caller's strings in place, so a reader looping over a
   // fixed-shape file stops allocating once every field has seen its widest

@@ -39,17 +39,26 @@ namespace ddos::data {
 // Splits one CSV line honoring RFC-4180 quoting. The two-argument form
 // reports whether the line ended inside an open quoted field (the line is
 // still split on a best-effort basis); the one-argument form is lenient.
-std::vector<std::string> ParseCsvLine(const std::string& line);
-std::vector<std::string> ParseCsvLine(const std::string& line,
+std::vector<std::string> ParseCsvLine(std::string_view line);
+std::vector<std::string> ParseCsvLine(std::string_view line,
                                       bool* unterminated_quote);
 // Allocation-reusing form: splits into *fields, reusing each element's
 // capacity across calls (the hot path of AttackCsvReader, which parses the
 // same 14-column shape millions of times). fields is resized to the field
-// count; contents beyond it are discarded.
-void ParseCsvLineInto(const std::string& line, std::vector<std::string>* fields,
+// count; contents beyond it are discarded. The line is a string_view so
+// the sharded workers can span-parse straight out of a memory-mapped feed
+// (stream/sharded.h) without materializing a per-line std::string first.
+void ParseCsvLineInto(std::string_view line, std::vector<std::string>* fields,
                       bool* unterminated_quote);
 // Escapes one field for CSV output.
 std::string CsvEscape(const std::string& field);
+
+// Accepted wall-clock range for attack timestamps: values outside it are
+// rejected as kOutOfRangeTimestamp. Shared by the full row parse and the
+// sharded router's pre-scan (data/linescan.h) so the two cannot disagree.
+inline const TimePoint kMinAttackTimestamp = TimePoint(0);  // 1970
+inline const TimePoint kMaxAttackTimestamp =
+    TimePoint::FromDate(2100, 1, 1);
 
 // One-row building blocks of the attack-table format, shared by the file
 // readers/writers and the netd line-protocol ingest path (src/netd), which
@@ -61,7 +70,7 @@ std::string CsvEscape(const std::string& field);
 // caller, which knows its own feed position) and false is returned.
 bool TryParseAttackFields(const std::vector<std::string>& fields,
                           AttackRecord* out, IngestError* err);
-bool TryParseAttackLine(const std::string& line, AttackRecord* out,
+bool TryParseAttackLine(std::string_view line, AttackRecord* out,
                         IngestError* err);
 
 // The attack-table header row (no trailing newline) and a single data row

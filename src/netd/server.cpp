@@ -14,6 +14,7 @@
 
 #include "common/iohooks.h"
 #include "common/strings.h"
+#include "data/binrecords.h"
 #include "data/csv.h"
 #include "data/taxonomy.h"
 #include "netd/http.h"
@@ -256,6 +257,36 @@ void IngestServer::RequestDrainFromSignal() noexcept {
     // Failure (full pipe) is fine: the loop polls the flag on every tick.
     [[maybe_unused]] const ssize_t n = ::write(wake_wr_.get(), &byte, 1);
   }
+}
+
+std::uint64_t IngestServer::Preload(const std::string& path,
+                                    const std::string& format) {
+  if (!bound_) throw std::runtime_error("netd: Preload called before Bind");
+  if (running_) throw std::runtime_error("netd: Preload while running");
+  std::uint64_t pushed = 0;
+  data::AttackRecord record;
+  if (format == "bin") {
+    data::BinaryRecordReader reader(path);
+    while (reader.Next(&record)) {
+      engine_->Push(record);
+      ++pushed;
+    }
+  } else if (format == "csv") {
+    data::AttackCsvReader reader(path, data::ParseOptions::Skip());
+    while (reader.Next(&record)) {
+      engine_->Push(record);
+      ++pushed;
+    }
+    const data::IngestErrorReport& skipped = reader.error_report();
+    for (int k = 0; k < data::kIngestErrorKindCount; ++k) {
+      errors_.counts[static_cast<std::size_t>(k)] +=
+          skipped.counts[static_cast<std::size_t>(k)];
+    }
+  } else {
+    throw std::runtime_error("netd: unknown preload format '" + format + "'");
+  }
+  preloaded_records_ += pushed;
+  return pushed;
 }
 
 void IngestServer::Run() {

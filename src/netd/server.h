@@ -116,6 +116,17 @@ class IngestServer {
   std::uint16_t ingest_port() const { return ingest_port_; }
   std::uint16_t http_port() const { return http_port_; }
 
+  // Seeds the engine from an on-disk feed before serving: "csv" reads an
+  // attack table (malformed rows skipped and tallied in error_report()),
+  // "bin" a `ddoscope convert` binary file (data/binrecords.h; corruption
+  // throws - startup must fail loudly, not serve half a preload). Records
+  // flow through the same parsed-record Push path as client rows but are
+  // neither journaled nor counted as accepted, so checkpoint meta.records
+  // keeps its journal-coverage meaning. Call between Bind() and Run();
+  // returns the number of records pushed.
+  std::uint64_t Preload(const std::string& path, const std::string& format);
+  std::uint64_t preloaded_records() const { return preloaded_records_; }
+
   // The blocking event loop; returns once a requested drain has completed
   // (all clients final-ACKed and closed, final checkpoint written).
   void Run();
@@ -202,6 +213,7 @@ class IngestServer {
   std::chrono::steady_clock::time_point last_watchdog_{};
 
   std::uint64_t total_accepted_ = 0;       // engine-ingested records, ever
+  std::uint64_t preloaded_records_ = 0;    // Preload() seeds (not accepted)
   std::uint64_t accepted_at_checkpoint_ = 0;
   std::uint64_t connections_seen_ = 0;
   std::uint64_t replayed_records_ = 0;     // journal tail replayed at Bind

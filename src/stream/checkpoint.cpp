@@ -14,18 +14,27 @@ namespace {
 
 constexpr char kMagic[8] = {'D', 'D', 'S', 'C', 'K', 'P', 'T', '\n'};
 
-void WriteMeta(std::ostream& out, const CheckpointMeta& meta) {
+// The version argument pins the meta layout: 3/4 carry source_offset after
+// source_line, 1/2 (legacy) do not and read back as offset 0.
+void WriteMeta(std::ostream& out, const CheckpointMeta& meta,
+               std::uint32_t version) {
   io::WriteU64(out, meta.records);
   io::WriteU64(out, meta.source_line);
+  if (version >= kCheckpointVersion) io::WriteU64(out, meta.source_offset);
   for (const std::uint64_t n : meta.errors.counts) io::WriteU64(out, n);
 }
 
-CheckpointMeta ReadMeta(std::istream& in) {
+CheckpointMeta ReadMeta(std::istream& in, std::uint32_t version) {
   CheckpointMeta meta;
   meta.records = io::ReadU64(in);
   meta.source_line = io::ReadU64(in);
+  if (version >= kCheckpointVersion) meta.source_offset = io::ReadU64(in);
   for (std::uint64_t& n : meta.errors.counts) n = io::ReadU64(in);
   return meta;
+}
+
+bool IsSingleEngineVersion(std::uint32_t version) {
+  return version == kCheckpointVersion || version == kLegacyCheckpointVersion;
 }
 
 // Frames a fully-built payload: magic, version, size, payload, checksum.
@@ -49,10 +58,10 @@ std::pair<std::uint32_t, std::string> ReadFramed(std::istream& in) {
     throw std::runtime_error("checkpoint: bad magic (not a checkpoint file)");
   }
   const std::uint32_t version = io::ReadU32(in);
-  if (version != kCheckpointVersion && version != kShardedCheckpointVersion) {
+  if (version < kLegacyCheckpointVersion || version > kShardedCheckpointVersion) {
     throw std::runtime_error(
         "checkpoint: unsupported version " + std::to_string(version) +
-        " (expected " + std::to_string(kCheckpointVersion) + " or " +
+        " (expected " + std::to_string(kLegacyCheckpointVersion) + ".." +
         std::to_string(kShardedCheckpointVersion) + ")");
   }
   const std::uint64_t payload_size = io::ReadU64(in);
@@ -99,8 +108,8 @@ ShardedCheckpointState ParseShardedPayload(std::uint32_t version,
                                            const std::string& payload) {
   std::istringstream in(payload);
   ShardedCheckpointState state;
-  state.meta = ReadMeta(in);
-  if (version == kCheckpointVersion) {
+  state.meta = ReadMeta(in, version);
+  if (IsSingleEngineVersion(version)) {
     state.engines.push_back(StreamEngine::Deserialize(in));
     const StreamEngine& engine = state.engines.front();
     state.router_attacks = engine.attacks_seen();
@@ -128,7 +137,7 @@ ShardedCheckpointState ParseShardedPayload(std::uint32_t version,
 void WriteCheckpoint(std::ostream& out, const StreamEngine& engine,
                      const CheckpointMeta& meta) {
   std::ostringstream payload;
-  WriteMeta(payload, meta);
+  WriteMeta(payload, meta, kCheckpointVersion);
   engine.SerializeTo(payload);
   WriteFramed(out, kCheckpointVersion, payload.str());
 }
@@ -165,7 +174,7 @@ void WriteShardedCheckpoint(std::ostream& out,
     throw std::runtime_error("checkpoint: no engine sections to write");
   }
   std::ostringstream payload;
-  WriteMeta(payload, state.meta);
+  WriteMeta(payload, state.meta, kShardedCheckpointVersion);
   io::WriteU32(payload, static_cast<std::uint32_t>(state.engines.size()));
   io::WriteU64(payload, state.router_attacks);
   io::WriteI64(payload, state.router_first_start_s);

@@ -11,16 +11,20 @@
 //
 //   offset  size  field
 //   0       8     magic "DDSCKPT\n"
-//   8       4     format version (1 = single engine, 2 = sharded)
+//   8       4     format version (odd = single engine, even = sharded)
 //   12      8     payload size in bytes
 //   20      n     payload (see below)
 //   20+n    8     FNV-1a 64 checksum of the payload
 //
-// Version 1 payload: CheckpointMeta, then one StreamEngine::SerializeTo.
-// Version 2 payload (sharded ingest, stream/sharded.h): CheckpointMeta,
+// Versions 1/3 payload: CheckpointMeta, then one StreamEngine::SerializeTo.
+// Versions 2/4 payload (sharded ingest, stream/sharded.h): CheckpointMeta,
 // u32 shard count S, router position (u64 attacks, i64 first start, i64
-// last start), then S StreamEngine sections. ReadCheckpoint accepts both
-// versions - a version-2 file with S > 1 is folded into one engine through
+// last start), then S StreamEngine sections. Versions 3/4 extend the meta
+// with the byte offset into the source feed (span-offset resume for the
+// mmap ingest path); 1/2 are the pre-offset layouts and readers accept all
+// four, with legacy files yielding source_offset = 0 (the line-count
+// resume path still works from source_line). ReadCheckpoint accepts any
+// version - a sharded file with S > 1 is folded into one engine through
 // StreamEngine::Merge - while ReadShardedCheckpoint preserves the sections
 // so a sharded resume can hand each worker its own state back.
 //
@@ -42,14 +46,22 @@
 
 namespace ddos::stream {
 
-inline constexpr std::uint32_t kCheckpointVersion = 1;
-inline constexpr std::uint32_t kShardedCheckpointVersion = 2;
+// Current write versions; the legacy pair is what pre-offset builds wrote
+// and readers keep accepting (see the header comment's version policy).
+inline constexpr std::uint32_t kCheckpointVersion = 3;
+inline constexpr std::uint32_t kShardedCheckpointVersion = 4;
+inline constexpr std::uint32_t kLegacyCheckpointVersion = 1;
+inline constexpr std::uint32_t kLegacyShardedCheckpointVersion = 2;
 
 // Feed position and ingestion-error tallies at the instant of the
 // checkpoint; what the resume path needs besides the engine itself.
 struct CheckpointMeta {
   std::uint64_t records = 0;      // records fed to the engine so far
   std::uint64_t source_line = 0;  // 1-based line consumed in the source CSV
+  // Byte offset just past the last consumed line (LineSpanScanner::offset),
+  // so a span-ingest resume seeks instead of re-scanning the prefix. Zero
+  // in files written before version 3/4 and for non-seekable sources.
+  std::uint64_t source_offset = 0;
   data::IngestErrorReport errors; // rejections seen before the checkpoint
 };
 

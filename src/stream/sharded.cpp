@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iterator>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "common/strings.h"
 #include "stream/sketch.h"
 
 namespace ddos::stream {
@@ -62,6 +64,19 @@ ShardedStreamEngine::ShardedStreamEngine(
   trace_ = config.trace;
   if (config.metrics != nullptr) {
     obs::MetricsRegistry& reg = *config.metrics;
+    // Same series names as AttackCsvReader: a dashboard watching ingest
+    // throughput must not care which engine is behind the feed.
+    obs_ingest_records_ = reg.GetCounter("ddoscope_ingest_records_total",
+                                         "Valid attack records parsed");
+    obs_ingest_bytes_ = reg.GetCounter(
+        "ddoscope_ingest_bytes_total",
+        "Raw feed bytes consumed (incl. newlines)");
+    for (int k = 0; k < data::kIngestErrorKindCount; ++k) {
+      const auto kind = static_cast<data::IngestErrorKind>(k);
+      obs_ingest_errors_[static_cast<std::size_t>(k)] = reg.GetCounter(
+          "ddoscope_ingest_errors_total", "Rejected rows by IngestErrorKind",
+          {{"kind", std::string(data::IngestErrorKindName(kind))}});
+    }
     obs_merge_seconds_ = reg.GetHistogram(
         "ddoscope_sharded_merge_seconds",
         "Latency of folding all shard engines into one merged view",
@@ -134,8 +149,10 @@ void ShardedStreamEngine::WorkerMain(Shard* shard) {
         ++applied;
         if (task.kind == Task::Kind::kRecord) {
           shard->engine.PushRouted(task.record, task.has_gap, task.gap);
-        } else {
+        } else if (task.kind == Task::Kind::kCollab) {
           shard->engine.PushCollab(task.obs);
+        } else {
+          ApplySpanTask(shard, task);
         }
       }
     }
@@ -212,6 +229,219 @@ void ShardedStreamEngine::Push(const data::AttackRecord& attack) {
   Enqueue(collab_shard, std::move(collab_task));
 }
 
+void ShardedStreamEngine::ApplySpanTask(Shard* shard, const Task& task) {
+  // Worker thread, shard->mutex held. The full 14-column parse runs here,
+  // inside the shard - the whole point of span routing.
+  data::AttackRecord rec;
+  data::IngestError err;
+  if (data::TryParseAttackLine(task.span, &rec, &err)) {
+    if (task.kind != Task::Kind::kLineCollab) {
+      shard->engine.PushRouted(rec, task.has_gap, task.gap);
+      obs::MaybeAdd(obs_ingest_records_);
+    }
+    if (task.kind != Task::Kind::kLineRecord) {
+      shard->engine.PushCollab(CollabObservation{
+          rec.target_ip.bits(), rec.start_time, rec.duration_seconds(),
+          rec.family, rec.botnet_id});
+    }
+    return;
+  }
+  if (task.kind == Task::Kind::kLineCollab) {
+    // The record shard parses the same span and reports the identical
+    // failure; reporting here too would double-count it.
+    return;
+  }
+  // Worker-detected rejection (family, protocol, asn, coordinates,
+  // magnitude - everything the router's pre-scan does not check). Same
+  // torn-write reclassification as the reader, original line attribution.
+  if (!task.saw_newline) {
+    err.kind = data::IngestErrorKind::kTruncatedLine;
+    err.detail = "stream ended mid-record (" + err.detail + ")";
+  }
+  err.line_no = static_cast<std::size_t>(task.line_no);
+  if (config_.parse.policy == data::ParsePolicy::kQuarantine) {
+    err.raw_line = std::string(task.span);
+  }
+  shard->report.Add(err.kind);
+  obs::MaybeAdd(obs_ingest_errors_[static_cast<std::size_t>(err.kind)]);
+  error_total_.fetch_add(1, std::memory_order_relaxed);
+  shard->errors.push_back(std::move(err));
+  if (config_.parse.policy == data::ParsePolicy::kStrict) {
+    // Workers cannot throw across the ring; flag it and let the router
+    // surface the earliest buffered line (deterministic across counts).
+    worker_fatal_.store(true, std::memory_order_release);
+  }
+}
+
+void ShardedStreamEngine::RecordRouterError(data::IngestError&& err) {
+  router_report_.Add(err.kind);
+  obs::MaybeAdd(obs_ingest_errors_[static_cast<std::size_t>(err.kind)]);
+  error_total_.fetch_add(1, std::memory_order_relaxed);
+  router_errors_.push_back(std::move(err));
+  if (config_.parse.policy == data::ParsePolicy::kStrict) {
+    const data::IngestError& e = router_errors_.back();
+    throw std::runtime_error(StrFormat(
+        "CSV: %s: %s at line %zu",
+        std::string(data::IngestErrorKindName(e.kind)).c_str(),
+        e.detail.c_str(), e.line_no));
+  }
+}
+
+void ShardedStreamEngine::ThrowWorkerFatal() {
+  DrainBarrier();
+  data::IngestError first;
+  bool have = false;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const data::IngestError& e : shard->errors) {
+      if (!have || e.line_no < first.line_no) {
+        first = e;
+        have = true;
+      }
+    }
+  }
+  if (!have) {
+    throw std::runtime_error("CSV: worker rejected a row (detail lost)");
+  }
+  throw std::runtime_error(StrFormat(
+      "CSV: %s: %s at line %zu",
+      std::string(data::IngestErrorKindName(first.kind)).c_str(),
+      first.detail.c_str(), first.line_no));
+}
+
+void ShardedStreamEngine::PushLine(std::string_view line, std::size_t line_no,
+                                   bool saw_newline) {
+  if (finished_) {
+    throw std::logic_error("ShardedStreamEngine: PushLine after Finish");
+  }
+  if (worker_fatal_.load(std::memory_order_acquire)) ThrowWorkerFatal();
+  obs::MaybeAdd(obs_ingest_bytes_, line.size() + (saw_newline ? 1 : 0));
+  if (Trim(line).empty()) return;
+
+  data::IngestError err;
+  err.line_no = line_no;
+  if (line.size() > config_.parse.max_line_bytes) {
+    err.kind = data::IngestErrorKind::kTruncatedLine;
+    err.detail = StrFormat("line of %zu bytes exceeds the %zu-byte cap",
+                           line.size(), config_.parse.max_line_bytes);
+    if (config_.parse.policy == data::ParsePolicy::kQuarantine) {
+      err.raw_line = std::string(line);
+    }
+    RecordRouterError(std::move(err));
+    return;
+  }
+
+  data::AttackLinePreScan scan;
+  bool ok = prescan_.Scan(line, &scan, &err);
+  // Reclassify a torn tail before the duplicate check, exactly as the
+  // reader does: a parse failure on an unterminated final line is reported
+  // as the torn write it is.
+  if (!ok && !saw_newline) {
+    err.kind = data::IngestErrorKind::kTruncatedLine;
+    err.detail = "stream ended mid-record (" + err.detail + ")";
+  }
+  if (ok && config_.parse.detect_duplicate_ids &&
+      !seen_ids_.insert(scan.ddos_id).second) {
+    ok = false;
+    err.kind = data::IngestErrorKind::kDuplicateId;
+    err.detail = StrFormat("ddos_id %llu already ingested",
+                           static_cast<unsigned long long>(scan.ddos_id));
+  }
+  if (!ok) {
+    err.line_no = line_no;
+    if (config_.parse.policy == data::ParsePolicy::kQuarantine) {
+      err.raw_line = std::string(line);
+    }
+    RecordRouterError(std::move(err));
+    return;
+  }
+
+  // Global gap chain off the pre-scanned start time - byte-for-byte the
+  // arithmetic Push() does with a parsed record.
+  Task task;
+  task.has_gap = attacks_ > 0;
+  const TimePoint start(scan.start_s);
+  if (task.has_gap) {
+    task.gap =
+        std::max<double>(0.0, static_cast<double>(start - last_start_));
+  } else {
+    first_start_ = start;
+  }
+  last_start_ = std::max(last_start_, start);
+  ++attacks_;
+
+  task.saw_newline = saw_newline;
+  task.span = line;
+  task.line_no = line_no;
+  const std::size_t n = shards_.size();
+  const std::size_t record_shard =
+      static_cast<std::size_t>(MixHash64(scan.botnet_id) % n);
+  const std::size_t collab_shard =
+      static_cast<std::size_t>(MixHash64(scan.target_bits) % n);
+  if (record_shard == collab_shard) {
+    task.kind = Task::Kind::kLineBoth;
+    Enqueue(record_shard, std::move(task));
+  } else {
+    Task collab = task;
+    task.kind = Task::Kind::kLineRecord;
+    collab.kind = Task::Kind::kLineCollab;
+    Enqueue(record_shard, std::move(task));
+    Enqueue(collab_shard, std::move(collab));
+  }
+}
+
+std::uint64_t ShardedStreamEngine::ParsedRecords() {
+  if (finished_) return merged_->attacks_seen();
+  DrainBarrier();
+  std::uint64_t total = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->engine.attacks_seen();
+  }
+  return total;
+}
+
+data::IngestErrorReport ShardedStreamEngine::ErrorReport() {
+  if (!finished_) DrainBarrier();
+  data::IngestErrorReport report = router_report_;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (int k = 0; k < data::kIngestErrorKindCount; ++k) {
+      report.counts[static_cast<std::size_t>(k)] +=
+          shard->report.counts[static_cast<std::size_t>(k)];
+    }
+  }
+  return report;
+}
+
+std::vector<data::IngestError> ShardedStreamEngine::DrainErrors() {
+  if (!finished_) DrainBarrier();
+  std::vector<data::IngestError> out = std::move(router_errors_);
+  router_errors_.clear();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    out.insert(out.end(), std::make_move_iterator(shard->errors.begin()),
+               std::make_move_iterator(shard->errors.end()));
+    shard->errors.clear();
+  }
+  // One rejection per line, so line order is a total order; sorting makes
+  // the merged output independent of shard count and drain timing.
+  std::sort(out.begin(), out.end(),
+            [](const data::IngestError& a, const data::IngestError& b) {
+              return a.line_no < b.line_no;
+            });
+  return out;
+}
+
+void ShardedStreamEngine::SeedErrors(const data::IngestErrorReport& errors) {
+  for (int k = 0; k < data::kIngestErrorKindCount; ++k) {
+    const auto idx = static_cast<std::size_t>(k);
+    router_report_.counts[idx] += errors.counts[idx];
+    obs::MaybeAdd(obs_ingest_errors_[idx], errors.counts[idx]);
+    error_total_.fetch_add(errors.counts[idx], std::memory_order_relaxed);
+  }
+}
+
 void ShardedStreamEngine::DrainBarrier() {
   DDOS_TRACE_SPAN(trace_, "drain_barrier", "sharded");
   for (auto& shard : shards_) {
@@ -239,6 +469,9 @@ void ShardedStreamEngine::Finish() {
   if (finished_) return;
   DDOS_TRACE_SPAN(trace_, "finish", "sharded");
   DrainBarrier();
+  // A kStrict worker rejection flagged since the last PushLine surfaces
+  // here rather than being silently folded into the merge.
+  if (worker_fatal_.load(std::memory_order_acquire)) ThrowWorkerFatal();
   for (auto& shard : shards_) {
     shard->stop.store(true, std::memory_order_release);
   }

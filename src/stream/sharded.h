@@ -24,6 +24,24 @@
 // worst interleaving (stream/sketch.h), so halving keeps the merged view
 // within the configured contract.
 //
+// Parse-in-shard ingest (PushLine): for file feeds the router does not
+// parse rows at all. It byte-scans each raw line span just enough to
+// route it - botnet_id (record shard), target_ip (collab shard), ddos_id
+// (duplicate detection) and the two timestamps (the global gap chain) via
+// data/linescan.h - and ships the span itself over the rings; workers run
+// the full 14-column parse inside the shard. This is what makes sharding
+// pay: the serial router does O(bytes) work per row while the O(fields)
+// parse runs N-wide. Rejected rows keep exact, deterministic line
+// attribution: router-detected rejections (structure, ids, timestamps,
+// duplicates) are tallied at the router, worker-detected ones (family,
+// protocol, asn, coordinates, magnitude) are buffered per shard with
+// their original line numbers and merged in line order at the next
+// barrier - so error_report()/quarantine output is identical for every
+// shard count. Span lifetime: the bytes must stay addressable until the
+// next barrier (mmap the feed, common/mmapio.h, or keep the buffer
+// alive); Push() record routing remains for non-stable sources
+// (stdin, the netd line protocol).
+//
 // Threading model: the router is the only producer; workers pop and apply
 // under a per-shard mutex. A barrier (queue drained + mutex acquired) makes
 // Snapshot/checkpoint safe mid-stream without stopping ingestion for longer
@@ -31,16 +49,22 @@
 #ifndef DDOSCOPE_STREAM_SHARDED_H_
 #define DDOSCOPE_STREAM_SHARDED_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "common/spsc_queue.h"
+#include "data/csv.h"
+#include "data/ingest_error.h"
+#include "data/linescan.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stream/checkpoint.h"
@@ -61,6 +85,12 @@ struct ShardedStreamEngineConfig {
   // DDOS_TRACE_SPAN events. Null pointers cost one branch per site.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRecorder* trace = nullptr;
+  // Error policy for the span-ingest path (PushLine): policy, the line
+  // length cap, and duplicate detection follow AttackCsvReader's exact
+  // semantics. The quarantine pointer is ignored here - rejected rows are
+  // buffered with line attribution and handed back through DrainErrors()
+  // so the caller can write them in deterministic line order.
+  data::ParseOptions parse;
 };
 
 class ShardedStreamEngine {
@@ -77,6 +107,17 @@ class ShardedStreamEngine {
   // does not pin a core, and every retry is counted in the per-shard
   // push-retry metrics. Caller thread only - single producer.
   void Push(const data::AttackRecord& attack);
+
+  // Routes one raw CSV line span (parse-in-shard ingest; see the header
+  // comment). `line_no` is the 1-based input line; `saw_newline` false
+  // marks an unterminated final line (torn-write reclassification, same
+  // as AttackCsvReader). Blank lines are counted and dropped; the caller
+  // skips the header line itself (LineSpanScanner starts at line 1).
+  // Router-detected rejections under ParsePolicy::kStrict throw here with
+  // the reader's exact message; worker-detected ones surface on the next
+  // PushLine or at Finish(). Caller thread only - single producer.
+  void PushLine(std::string_view line, std::size_t line_no,
+                bool saw_newline = true);
 
   // End of stream: drains the queues, stops the workers, and folds every
   // shard into the merged engine (including StreamEngine::Finish, which
@@ -109,6 +150,28 @@ class ShardedStreamEngine {
   std::size_t shard_count() const { return shards_.size(); }
   std::size_t ApproxMemoryBytes();
 
+  // --- span-ingest error accessors (PushLine path) ---
+  //
+  // Valid records applied across all shards. Takes a barrier, so every
+  // routed line has been parsed when it returns. Router thread only.
+  std::uint64_t ParsedRecords();
+  // Merged per-kind tallies: router-side rejections plus every shard's.
+  // Takes a barrier. Router thread only.
+  data::IngestErrorReport ErrorReport();
+  // Moves out every buffered rejection (router- and worker-detected),
+  // sorted by line number - byte-identical output for any shard count.
+  // raw_line is captured only under ParsePolicy::kQuarantine. Takes a
+  // barrier; tallies (ErrorReport) are unaffected. Router thread only.
+  std::vector<data::IngestError> DrainErrors();
+  // Lock-free running rejection count (relaxed; any thread) - the live
+  // stats ticker's view between barriers.
+  std::uint64_t ApproxErrorTotal() const {
+    return error_total_.load(std::memory_order_relaxed);
+  }
+  // Folds a checkpointed predecessor's tallies into ErrorReport() and the
+  // attached obs counters (resume path; AttackCsvReader::SeedErrors).
+  void SeedErrors(const data::IngestErrorReport& errors);
+
   // Instantaneous per-shard ring occupancy. Approximate (relaxed cursor
   // reads, no barrier) and safe from any thread - the ddoscoped /status
   // endpoint polls this without stalling ingest.
@@ -126,12 +189,25 @@ class ShardedStreamEngine {
 
  private:
   struct Task {
-    enum class Kind : std::uint8_t { kRecord, kCollab };
+    // kRecord/kCollab carry parsed data (Push). kLineRecord/kLineCollab/
+    // kLineBoth carry a raw span the worker parses in-shard (PushLine);
+    // kLineBoth is the both-keys-hashed-to-one-shard case, parsed once and
+    // applied as record and collab observation together.
+    enum class Kind : std::uint8_t {
+      kRecord,
+      kCollab,
+      kLineRecord,
+      kLineCollab,
+      kLineBoth,
+    };
     Kind kind = Kind::kRecord;
     bool has_gap = false;
+    bool saw_newline = true;    // kLine*: torn-write reclassification
     double gap = 0.0;
     data::AttackRecord record;  // kRecord
     CollabObservation obs;      // kCollab
+    std::string_view span;      // kLine*: stable until the next barrier
+    std::uint64_t line_no = 0;  // kLine*: original 1-based input line
   };
 
   struct Shard {
@@ -140,8 +216,14 @@ class ShardedStreamEngine {
         : queue(queue_capacity), engine(engine_config) {}
 
     common::SpscQueue<Task> queue;
-    std::mutex mutex;        // guards engine
+    std::mutex mutex;        // guards engine, errors, report
     StreamEngine engine;
+    // Span-parse rejections detected by this worker, with original line
+    // numbers; merged and sorted across shards at DrainErrors(). The
+    // worker appends under `mutex` (it already holds it to apply a
+    // batch), so a post-barrier read is race-free.
+    std::vector<data::IngestError> errors;
+    data::IngestErrorReport report;
     std::atomic<bool> stop{false};
     std::atomic<bool> stall{false};           // ChaosStallShard park flag
     std::atomic<std::uint64_t> processed{0};  // tasks applied (watchdog)
@@ -155,7 +237,14 @@ class ShardedStreamEngine {
   };
 
   void WorkerMain(Shard* shard);
+  void ApplySpanTask(Shard* shard, const Task& task);
   void Enqueue(std::size_t shard_index, Task&& task);
+  // Router-side rejection bookkeeping for PushLine (tally, buffer, obs,
+  // strict throw) - the reader's error path, one line at a time.
+  void RecordRouterError(data::IngestError&& err);
+  // kStrict + a worker-detected rejection: barrier, collect every buffered
+  // error, throw for the earliest line (deterministic across shard counts).
+  [[noreturn]] void ThrowWorkerFatal();
   // Router-side barrier: every queue observed empty and every shard mutex
   // acquired once => all routed work has been applied. Correct because the
   // router (the sole producer) is the thread calling it.
@@ -171,6 +260,14 @@ class ShardedStreamEngine {
   TimePoint first_start_;
   TimePoint last_start_;
 
+  // Span-ingest router state (caller thread only unless noted).
+  data::AttackLinePreScanner prescan_;
+  std::unordered_set<std::uint64_t> seen_ids_;     // dup detection
+  std::vector<data::IngestError> router_errors_;   // buffered rejections
+  data::IngestErrorReport router_report_;          // router-side tallies
+  std::atomic<std::uint64_t> error_total_{0};      // all threads, relaxed
+  std::atomic<bool> worker_fatal_{false};          // kStrict worker reject
+
   std::unique_ptr<StreamEngine> merged_;  // set by Finish()
   bool finished_ = false;
 
@@ -178,6 +275,12 @@ class ShardedStreamEngine {
   obs::TraceRecorder* trace_ = nullptr;
   obs::Histogram* obs_merge_seconds_ = nullptr;
   obs::Histogram* obs_checkpoint_seconds_ = nullptr;
+  // Ingest-counter handles shared with AttackCsvReader's series names; the
+  // records/errors cells are bumped from worker threads (striped counters
+  // are thread-safe), bytes from the router only.
+  obs::Counter* obs_ingest_records_ = nullptr;
+  obs::Counter* obs_ingest_bytes_ = nullptr;
+  std::array<obs::Counter*, data::kIngestErrorKindCount> obs_ingest_errors_{};
 };
 
 }  // namespace ddos::stream

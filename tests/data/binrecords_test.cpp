@@ -1,0 +1,298 @@
+// Binary columnar record format tests: record-exact round trips, convert
+// equivalence against the CSV parse (including CRLF endings and rows the
+// error policy drops), and the corruption contract - every truncation or
+// bit-flip must surface as a typed BinaryFormatError, never a crash or a
+// silently short read.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/binrecords.h"
+#include "data/csv.h"
+#include "test_support.h"
+
+namespace ddos::data {
+namespace {
+
+using Kind = BinaryFormatError::Kind;
+
+void ExpectRecordsEqual(const AttackRecord& got, const AttackRecord& want) {
+  EXPECT_EQ(got.ddos_id, want.ddos_id);
+  EXPECT_EQ(got.botnet_id, want.botnet_id);
+  EXPECT_EQ(got.family, want.family);
+  EXPECT_EQ(got.category, want.category);
+  EXPECT_EQ(got.target_ip.bits(), want.target_ip.bits());
+  EXPECT_EQ(got.start_time, want.start_time);
+  EXPECT_EQ(got.end_time, want.end_time);
+  EXPECT_EQ(got.asn.value(), want.asn.value());
+  EXPECT_EQ(got.cc, want.cc);
+  EXPECT_EQ(got.city, want.city);
+  EXPECT_DOUBLE_EQ(got.location.lat_deg, want.location.lat_deg);
+  EXPECT_DOUBLE_EQ(got.location.lon_deg, want.location.lon_deg);
+  EXPECT_EQ(got.organization, want.organization);
+  EXPECT_EQ(got.magnitude, want.magnitude);
+}
+
+// Serializes the trace into an in-memory binary stream.
+std::string BinaryBytesFor(std::span<const AttackRecord> attacks,
+                           std::size_t block_records = 256) {
+  std::ostringstream out(std::ios::binary);
+  BinaryWriteOptions opts;
+  opts.block_records = block_records;
+  BinaryRecordWriter writer(out, opts);
+  for (const AttackRecord& a : attacks) writer.Write(a);
+  writer.Close();
+  return out.str();
+}
+
+std::vector<AttackRecord> ReadAllBinary(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  BinaryRecordReader reader(in);
+  std::vector<AttackRecord> records;
+  AttackRecord a;
+  while (reader.Next(&a)) records.push_back(a);
+  return records;
+}
+
+// A temp-file path that cleans up after the test.
+class TempPath {
+ public:
+  explicit TempPath(const std::string& name)
+      : path_((std::filesystem::temp_directory_path() / name).string()) {}
+  ~TempPath() { std::remove(path_.c_str()); }
+  const std::string& str() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(BinaryRecords, RoundTripIsRecordExact) {
+  const auto& attacks = ::ddos::testing::SmallDataset().attacks();
+  ASSERT_GT(attacks.size(), 300u);
+  // A block size smaller than the trace exercises multi-block files and
+  // the final partial block.
+  const std::string bytes = BinaryBytesFor(attacks, 128);
+  const std::vector<AttackRecord> back = ReadAllBinary(bytes);
+  ASSERT_EQ(back.size(), attacks.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    SCOPED_TRACE(i);
+    ExpectRecordsEqual(back[i], attacks[i]);
+  }
+}
+
+TEST(BinaryRecords, EmptyFileRoundTrips) {
+  const std::string bytes = BinaryBytesFor({});
+  EXPECT_TRUE(ReadAllBinary(bytes).empty());
+}
+
+// `ddoscope convert` equivalence: converting a dirty CSV feed (CRLF
+// endings, malformed rows under the skip policy) and reading the binary
+// back must yield exactly the records the CSV reader itself accepts, and
+// the same per-kind error tallies.
+TEST(BinaryRecords, ConvertMatchesTheCsvParseOnADirtyFeed) {
+  const auto& attacks = ::ddos::testing::SmallDataset().attacks();
+  TempPath csv("ddoscope_binrec_test_feed.csv");
+  TempPath bin("ddoscope_binrec_test_feed.bin");
+
+  // Write the feed with CRLF endings and plant malformed rows mid-file.
+  {
+    std::ostringstream rows;
+    WriteAttacksCsv(rows, std::span(attacks.data(), 200));
+    std::istringstream in(rows.str());
+    std::ofstream out(csv.str(), std::ios::binary);
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(in, line)) {
+      out << line << "\r\n";
+      if (++n == 50) out << "this,row,is,junk\r\n";
+      if (n == 100) out << "\r\n";  // blank line: skipped, not an error
+    }
+    out << "torn final line without newline";
+  }
+
+  IngestErrorReport convert_report;
+  const std::uint64_t written = ConvertAttacksCsvToBinary(
+      csv.str(), bin.str(), ParseOptions::Skip(), &convert_report);
+
+  IngestErrorReport csv_report;
+  std::ifstream csv_in(csv.str(), std::ios::binary);
+  const std::vector<AttackRecord> expect =
+      ReadAttacksCsv(csv_in, ParseOptions::Skip(), &csv_report);
+  EXPECT_EQ(written, expect.size());
+  EXPECT_EQ(convert_report.counts, csv_report.counts);
+  EXPECT_EQ(convert_report.count(IngestErrorKind::kBadFieldCount), 1u);
+  EXPECT_EQ(convert_report.count(IngestErrorKind::kTruncatedLine), 1u);
+
+  BinaryRecordReader reader(bin.str());
+  AttackRecord a;
+  std::size_t i = 0;
+  while (reader.Next(&a)) {
+    ASSERT_LT(i, expect.size());
+    SCOPED_TRACE(i);
+    ExpectRecordsEqual(a, expect[i]);
+    ++i;
+  }
+  EXPECT_EQ(i, expect.size());
+}
+
+TEST(BinaryRecords, SkipRecordsResumesExactly) {
+  const auto& attacks = ::ddos::testing::SmallDataset().attacks();
+  const std::string bytes = BinaryBytesFor(attacks, 64);
+  // Cuts inside a block, on a block boundary, and past the final partial
+  // block's start.
+  for (const std::size_t skip : {std::size_t{1}, std::size_t{64},
+                                 std::size_t{100}, attacks.size() - 1}) {
+    SCOPED_TRACE(skip);
+    std::istringstream in(bytes, std::ios::binary);
+    BinaryRecordReader reader(in);
+    reader.SkipRecords(skip);
+    EXPECT_EQ(reader.records_read(), skip);
+    AttackRecord a;
+    std::size_t i = skip;
+    while (reader.Next(&a)) {
+      ASSERT_LT(i, attacks.size());
+      ExpectRecordsEqual(a, attacks[i]);
+      ++i;
+    }
+    EXPECT_EQ(i, attacks.size());
+  }
+}
+
+TEST(BinaryRecords, SkipPastEndIsTypedTruncation) {
+  const auto& attacks = ::ddos::testing::SmallDataset().attacks();
+  const std::string bytes =
+      BinaryBytesFor(std::span(attacks.data(), 10), 4);
+  std::istringstream in(bytes, std::ios::binary);
+  BinaryRecordReader reader(in);
+  try {
+    reader.SkipRecords(11);
+    FAIL() << "expected BinaryFormatError";
+  } catch (const BinaryFormatError& e) {
+    EXPECT_EQ(e.kind(), Kind::kTruncated);
+  }
+}
+
+TEST(BinaryRecords, GarbageAndEmptyInputsAreBadMagic) {
+  const std::string cases[] = {
+      std::string(), std::string("ddos_id,botnet_id,family"),
+      std::string("DDBINREX\x01\x00\x00\x00", 12)};
+  for (const std::string& bytes : cases) {
+    std::istringstream in(bytes, std::ios::binary);
+    try {
+      BinaryRecordReader reader(in);
+      FAIL() << "expected BinaryFormatError";
+    } catch (const BinaryFormatError& e) {
+      EXPECT_EQ(e.kind(), Kind::kBadMagic);
+    }
+  }
+}
+
+TEST(BinaryRecords, UnknownVersionIsTyped) {
+  const auto& attacks = ::ddos::testing::SmallDataset().attacks();
+  std::string bytes = BinaryBytesFor(std::span(attacks.data(), 5));
+  bytes[8] = 0x7f;  // version field follows the 8-byte magic
+  std::istringstream in(bytes, std::ios::binary);
+  try {
+    BinaryRecordReader reader(in);
+    FAIL() << "expected BinaryFormatError";
+  } catch (const BinaryFormatError& e) {
+    EXPECT_EQ(e.kind(), Kind::kUnsupportedVersion);
+  }
+}
+
+// Truncation sweep: cutting the stream at every prefix length in a stride
+// must yield a typed error (kTruncated once the header is intact), never a
+// crash and never a clean-looking short read.
+TEST(BinaryRecords, EveryTruncationPointIsATypedError) {
+  const auto& attacks = ::ddos::testing::SmallDataset().attacks();
+  const std::string bytes = BinaryBytesFor(std::span(attacks.data(), 50), 16);
+  const std::size_t header = 16;  // magic + version + block hint
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 7) {
+    SCOPED_TRACE(cut);
+    std::istringstream in(bytes.substr(0, cut), std::ios::binary);
+    try {
+      BinaryRecordReader reader(in);
+      AttackRecord a;
+      while (reader.Next(&a)) {
+      }
+      FAIL() << "truncated stream read cleanly at cut " << cut;
+    } catch (const BinaryFormatError& e) {
+      if (cut < 8) {
+        EXPECT_EQ(e.kind(), Kind::kBadMagic);
+      } else if (cut < header) {
+        EXPECT_EQ(e.kind(), Kind::kTruncated);
+      } else {
+        // Inside the block stream every cut is a missing terminator or a
+        // cut block - typed truncation either way.
+        EXPECT_EQ(e.kind(), Kind::kTruncated);
+      }
+    }
+  }
+}
+
+// A single flipped bit anywhere in a block is a checksum mismatch (the
+// checksum is verified before decoding), or - when the flip lands in the
+// block framing itself - one of the other typed refusals. Never a crash,
+// never silently wrong records.
+TEST(BinaryRecords, BitFlipsAreTypedNotSilent) {
+  const auto& attacks = ::ddos::testing::SmallDataset().attacks();
+  const std::string clean = BinaryBytesFor(std::span(attacks.data(), 40), 16);
+  const std::size_t header = 16;
+  std::size_t checksum_hits = 0;
+  for (std::size_t pos = header; pos < clean.size(); pos += 11) {
+    SCOPED_TRACE(pos);
+    std::string bytes = clean;
+    bytes[pos] = static_cast<char>(bytes[pos] ^ 0x40);
+    std::istringstream in(bytes, std::ios::binary);
+    try {
+      BinaryRecordReader reader(in);
+      AttackRecord a;
+      std::vector<AttackRecord> got;
+      while (reader.Next(&a)) got.push_back(a);
+      // A flip in a later block may leave earlier records readable, but it
+      // must never produce a full clean read of the right length.
+      FAIL() << "bit flip at " << pos << " read cleanly";
+    } catch (const BinaryFormatError& e) {
+      if (e.kind() == Kind::kChecksumMismatch) ++checksum_hits;
+    }
+  }
+  // Payload bytes dominate the file, so most flips must be caught by the
+  // checksum specifically.
+  EXPECT_GT(checksum_hits, 0u);
+}
+
+TEST(BinaryRecords, WriterStagesAndRenamesAtomically) {
+  const auto& attacks = ::ddos::testing::SmallDataset().attacks();
+  TempPath bin("ddoscope_binrec_test_atomic.bin");
+  {
+    BinaryRecordWriter writer(bin.str());
+    for (std::size_t i = 0; i < 20; ++i) writer.Write(attacks[i]);
+    // Before Close() only the stage file exists.
+    EXPECT_FALSE(std::filesystem::exists(bin.str()));
+    writer.Close();
+  }
+  EXPECT_TRUE(std::filesystem::exists(bin.str()));
+  EXPECT_FALSE(std::filesystem::exists(bin.str() + ".tmp"));
+  BinaryRecordReader reader(bin.str());
+  AttackRecord a;
+  std::size_t n = 0;
+  while (reader.Next(&a)) ++n;
+  EXPECT_EQ(n, 20u);
+}
+
+TEST(BinaryRecords, WriteAfterCloseThrows) {
+  std::ostringstream out(std::ios::binary);
+  BinaryRecordWriter writer(out);
+  writer.Close();
+  EXPECT_THROW(writer.Write(AttackRecord{}), std::logic_error);
+  writer.Close();  // idempotent
+}
+
+}  // namespace
+}  // namespace ddos::data

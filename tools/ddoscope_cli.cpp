@@ -13,10 +13,16 @@
 //       Print the next-attack watch list (most-attacked targets first).
 //   ddoscope collab attacks.csv
 //       Detect concurrent collaborations and print the Table-VI view.
+//   ddoscope convert ATTACKS.csv OUT.bin [--on-error abort|skip] [--block N]
+//       Re-encode a CSV trace as the columnar binary record format
+//       (data/binrecords.h): versioned, checksummed, and several times
+//       faster to replay because rows are never re-parsed. Every reading
+//       subcommand accepts the result via --input-format bin.
 //   ddoscope watch ATTACKS.csv|- [--window H] [--every N] [--epsilon E]
 //                  [--max-lateness S] [--on-error abort|skip|quarantine=F]
 //                  [--checkpoint FILE] [--checkpoint-every N] [--resume]
-//                  [--shards N] [--stats-interval S] [--metrics-out FILE]
+//                  [--shards N] [--input-format csv|bin]
+//                  [--stats-interval S] [--metrics-out FILE]
 //                  [--trace-out FILE]
 //       Tail the trace (or stdin, with `-`) through the streaming engine:
 //       refresh a live summary every N records (0 = final only) with a
@@ -30,7 +36,12 @@
 //       offset) resume skips the replayed prefix by record count.
 //       --shards N > 1 partitions ingest across N worker threads
 //       (stream/sharded.h) with the same final summary up to documented
-//       sketch error; checkpoints switch to the sharded format.
+//       sketch error; checkpoints switch to the sharded format. With a
+//       file feed the sharded path memory-maps the input and routes raw
+//       line spans, parsing inside each shard (the router only byte-scans
+//       the routing fields); checkpoints then record the byte offset so
+//       resume seeks instead of re-reading. --input-format bin replays a
+//       `ddoscope convert` file instead of CSV.
 //       --stats-interval S prints a one-line pipeline-health ticker every
 //       S seconds; --metrics-out F dumps every ddoscope_* metric at exit
 //       as Prometheus text (plus F.json); --trace-out F writes a Chrome
@@ -38,13 +49,15 @@
 //   ddoscope metrics METRICS.prom
 //       Pretty-print a --metrics-out dump as a terminal table.
 //   ddoscope batch ATTACKS.csv [--jobs N] [--partitions P] [--epsilon E]
+//                  [--input-format csv|bin]
 //       Analyze an on-disk trace with P time partitions on N threads and
 //       print the merged final summary (stream/parallel_batch.h).
 //   ddoscope serve [--host H] [--port P] [--http-port P] [--shards N]
 //                  [--tokens SPEC,...] [--token-file F] [--quota N]
 //                  [--ack-every N] [--window H] [--epsilon E]
 //                  [--checkpoint FILE] [--checkpoint-every N] [--resume]
-//                  [--journal FILE]
+//                  [--journal FILE] [--preload FILE]
+//                  [--input-format csv|bin]
 //       Run ddoscoped (netd/server.h): accept concurrent TCP record feeds
 //       on --port (line protocol, netd/connection.h) into a sharded
 //       streaming engine, and serve /metrics, /status and /healthz on
@@ -55,9 +68,13 @@
 //       printed; --resume continues from that checkpoint. --journal
 //       appends every accepted record (CSV, exact ingest order), so a
 //       sequential replay of the journal reproduces the daemon's state.
+//       --preload seeds the engine from an on-disk trace (CSV or, with
+//       --input-format bin, a converted binary file) before serving.
 //   ddoscope feed HOST:PORT ATTACKS.csv|- [--token T]
+//                  [--input-format csv|bin]
 //       Stream a trace into a running ddoscoped and report the server's
-//       acknowledged record count.
+//       acknowledged record count. --input-format bin re-encodes a
+//       converted binary trace back into protocol lines on the fly.
 //
 // The CSV schema is Table I of the paper (see data/csv.h), so externally
 // collected traces work with every subcommand except `generate`.
@@ -71,10 +88,12 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "botsim/simulator.h"
+#include "common/mmapio.h"
 #include "common/strings.h"
 #include "core/collaboration.h"
 #include "core/defense.h"
@@ -83,8 +102,10 @@
 #include "core/overview.h"
 #include "core/report.h"
 #include "core/report_generator.h"
+#include "data/binrecords.h"
 #include "data/csv.h"
 #include "data/ingest_error.h"
+#include "data/linescan.h"
 #include "data/query.h"
 #include "geo/geo_db.h"
 #include "netd/auth.h"
@@ -116,22 +137,26 @@ int Usage() {
                "  ddoscope report ATTACKS.csv REPORT.md\n"
                "  ddoscope predict ATTACKS.csv\n"
                "  ddoscope collab ATTACKS.csv\n"
+               "  ddoscope convert ATTACKS.csv OUT.bin\n"
+               "                 [--on-error abort|skip] [--block N]\n"
                "  ddoscope watch ATTACKS.csv|- [--window H] [--every N]\n"
                "                 [--epsilon E] [--max-lateness S]\n"
                "                 [--on-error abort|skip|quarantine=FILE]\n"
                "                 [--checkpoint FILE] [--checkpoint-every N]\n"
                "                 [--resume] [--shards N]\n"
+               "                 [--input-format csv|bin]\n"
                "                 [--stats-interval S] [--metrics-out FILE]\n"
                "                 [--trace-out FILE]\n"
                "  ddoscope metrics METRICS.prom\n"
                "  ddoscope batch ATTACKS.csv [--jobs N] [--partitions P]\n"
-               "                 [--epsilon E]\n"
+               "                 [--epsilon E] [--input-format csv|bin]\n"
                "  ddoscope serve [--host H] [--port P] [--http-port P]\n"
                "                 [--shards N] [--tokens SPEC,...]\n"
                "                 [--token-file F] [--quota N] [--ack-every N]\n"
                "                 [--window H] [--epsilon E]\n"
                "                 [--checkpoint FILE] [--checkpoint-every N]\n"
                "                 [--resume] [--journal FILE]\n"
+               "                 [--preload FILE] [--input-format csv|bin]\n"
                "                 [--journal-fsync always|interval|off]\n"
                "                 [--journal-fsync-every N]\n"
                "                 [--watchdog-interval-ms MS]\n"
@@ -139,7 +164,8 @@ int Usage() {
                "                 [--http-header-timeout-ms MS]\n"
                "                 [--max-http-connections N]\n"
                "  ddoscope feed HOST:PORT ATTACKS.csv|- [--token T]\n"
-               "                 [--client-id ID] [--retries N]\n");
+               "                 [--client-id ID] [--retries N]\n"
+               "                 [--input-format csv|bin]\n");
   return 2;
 }
 
@@ -313,6 +339,56 @@ int CmdCollab(const std::string& path) {
   return 0;
 }
 
+// Shared --input-format handling: "csv" (default), "bin", or an error
+// message via the return value. `*binary` is set on success.
+bool ParseInputFormat(const std::map<std::string, std::string>& flags,
+                      const char* command, bool* binary) {
+  *binary = false;
+  const auto it = flags.find("input-format");
+  if (it == flags.end() || it->second == "csv") return true;
+  if (it->second == "bin") {
+    *binary = true;
+    return true;
+  }
+  std::fprintf(stderr, "%s: --input-format must be csv or bin (got '%s')\n",
+               command, it->second.c_str());
+  return false;
+}
+
+int CmdConvert(const std::string& in, const std::string& out,
+               const std::map<std::string, std::string>& flags) {
+  data::ParseOptions options = data::ParseOptions::Strict();
+  if (const auto it = flags.find("on-error"); it != flags.end()) {
+    if (it->second == "abort") {
+      options = data::ParseOptions::Strict();
+    } else if (it->second == "skip") {
+      options = data::ParseOptions::Skip();
+    } else {
+      std::fprintf(stderr, "convert: --on-error must be abort or skip\n");
+      return 2;
+    }
+  }
+  data::BinaryWriteOptions write_opts;
+  if (const auto it = flags.find("block"); it != flags.end()) {
+    write_opts.block_records = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, ParseInt64(it->second).value_or(
+                                      static_cast<std::int64_t>(
+                                          write_opts.block_records))));
+  }
+  data::IngestErrorReport report;
+  const std::uint64_t written =
+      data::ConvertAttacksCsvToBinary(in, out, options, &report, write_opts);
+  std::printf("converted %llu records: %s -> %s\n",
+              static_cast<unsigned long long>(written), in.c_str(),
+              out.c_str());
+  if (report.total() > 0) {
+    std::printf("%llu malformed rows skipped:\n%s",
+                static_cast<unsigned long long>(report.total()),
+                report.ToString().c_str());
+  }
+  return 0;
+}
+
 void PrintWatchSnapshot(const stream::StreamSnapshot& snap, bool final_view,
                         std::int64_t window_hours) {
   std::printf("---- %s @ %s ----\n", final_view ? "final summary" : "live",
@@ -440,6 +516,15 @@ int CmdWatch(const std::string& path,
     shards = static_cast<std::size_t>(
         std::max<std::int64_t>(1, ParseInt64(it->second).value_or(1)));
   }
+  bool binary_input = false;
+  if (!ParseInputFormat(flags, "watch", &binary_input)) return 2;
+  // `-` tails stdin, the ROADMAP's tail -f / pipe source.
+  const bool from_stdin = path == "-";
+  // Parse-in-shard span ingest needs a stable, seekable byte source: a
+  // sharded run over an on-disk CSV memory-maps the feed and routes raw
+  // line spans (stream/sharded.h). stdin and binary input keep the
+  // parsed-record router.
+  const bool span_path = shards > 1 && !binary_input && !from_stdin;
 
   // Observability: any of the three flags arms the registry; the reader and
   // engines then resolve their handles at attach time and the per-record
@@ -465,28 +550,59 @@ int CmdWatch(const std::string& path,
                                  : std::make_unique<obs::TraceRecorder>();
   parse_options.metrics = metrics_registry.get();
 
-  // `-` tails stdin, the ROADMAP's tail -f / pipe source.
-  const bool from_stdin = path == "-";
-  auto reader = from_stdin
-                    ? std::make_unique<data::AttackCsvReader>(std::cin,
-                                                              parse_options)
-                    : std::make_unique<data::AttackCsvReader>(path,
-                                                              parse_options);
+  // Record sources for the parsed-record paths. The span path maps the
+  // file instead and never materializes records on the router, so neither
+  // reader is constructed there.
+  std::unique_ptr<data::AttackCsvReader> csv_reader;
+  std::unique_ptr<data::BinaryRecordReader> bin_reader;
+  if (!span_path) {
+    if (binary_input) {
+      bin_reader = from_stdin
+                       ? std::make_unique<data::BinaryRecordReader>(std::cin)
+                       : std::make_unique<data::BinaryRecordReader>(path);
+    } else {
+      csv_reader = from_stdin ? std::make_unique<data::AttackCsvReader>(
+                                    std::cin, parse_options)
+                              : std::make_unique<data::AttackCsvReader>(
+                                    path, parse_options);
+    }
+  }
+  // Binary input has no parse errors of its own (corruption throws a typed
+  // BinaryFormatError); a resumed checkpoint's tallies are carried forward
+  // here so re-checkpointing does not lose them.
+  data::IngestErrorReport carried_errors;
+  const auto next_record = [&](data::AttackRecord* out) {
+    return csv_reader != nullptr ? csv_reader->Next(out)
+                                 : bin_reader->Next(out);
+  };
+  const auto source_records = [&]() -> std::uint64_t {
+    if (csv_reader != nullptr) return csv_reader->records_read();
+    return bin_reader != nullptr ? bin_reader->records_read() : 0;
+  };
+  const auto source_errors = [&]() -> data::IngestErrorReport {
+    return csv_reader != nullptr ? csv_reader->error_report()
+                                 : carried_errors;
+  };
 
   // Skips the feed region a resumed checkpoint already consumed. stdin has
   // no seekable line positions to fast-forward through - the pipe replays
-  // the feed from its start - so resume there counts records instead.
+  // the feed from its start - so resume there counts records instead, as
+  // does binary input (whole skipped blocks are elided, not decoded).
   // SeedErrors afterwards folds the checkpointed error tallies into the
   // reader, which is the single source of truth from here on: the error
   // report, the checkpoint meta, and the obs error counters all read (or
   // feed from) the same reader-side tallies, so none can drift apart.
   const auto resume_reader = [&](const stream::CheckpointMeta& meta) {
-    if (from_stdin) {
-      reader->ResumeAtRecords(meta.records);
+    if (bin_reader != nullptr) {
+      bin_reader->SkipRecords(meta.records);
+      carried_errors = meta.errors;
+    } else if (from_stdin) {
+      csv_reader->ResumeAtRecords(meta.records);
+      csv_reader->SeedErrors(meta.errors);
     } else {
-      reader->ResumeAt(meta.source_line, meta.records);
+      csv_reader->ResumeAt(meta.source_line, meta.records);
+      csv_reader->SeedErrors(meta.errors);
     }
-    reader->SeedErrors(meta.errors);
     std::printf("resumed from %s: %llu records, source line %llu\n",
                 checkpoint_path.c_str(),
                 static_cast<unsigned long long>(meta.records),
@@ -495,7 +611,7 @@ int CmdWatch(const std::string& path,
 
   stream::CheckpointMeta resumed;
   const auto print_error_report = [&] {
-    const data::IngestErrorReport& report = reader->error_report();
+    const data::IngestErrorReport report = source_errors();
     if (report.total() > 0) {
       std::printf("%llu malformed rows rejected:\n%s",
                   static_cast<unsigned long long>(report.total()),
@@ -511,9 +627,9 @@ int CmdWatch(const std::string& path,
   };
   const auto checkpoint_meta = [&] {
     stream::CheckpointMeta meta;
-    meta.records = reader->records_read();
-    meta.source_line = reader->line_number();
-    meta.errors = reader->error_report();
+    meta.records = source_records();
+    meta.source_line = csv_reader != nullptr ? csv_reader->line_number() : 0;
+    meta.errors = source_errors();
     return meta;
   };
 
@@ -527,12 +643,16 @@ int CmdWatch(const std::string& path,
   SteadyClock::time_point stats_next = stats_last + stats_period;
   const SteadyClock::time_point stats_epoch = stats_last;
   std::uint64_t stats_last_records = 0;
-  const auto maybe_print_stats = [&](auto&& memory_bytes) {
+  // `records` is the caller's progress counter (parsed records, or routed
+  // lines on the span path); errors_total/memory_bytes are deferred so the
+  // per-record cost stays one mask test.
+  const auto maybe_print_stats = [&](std::uint64_t records,
+                                     auto&& errors_total,
+                                     auto&& memory_bytes) {
     if (stats_interval <= 0.0) return;
-    if ((reader->records_read() & 0xFF) != 0) return;
+    if ((records & 0xFF) != 0) return;
     const SteadyClock::time_point now = SteadyClock::now();
     if (now < stats_next) return;
-    const std::uint64_t records = reader->records_read();
     const double dt = std::chrono::duration<double>(now - stats_last).count();
     const double rate =
         dt > 0 ? static_cast<double>(records - stats_last_records) / dt : 0.0;
@@ -540,7 +660,7 @@ int CmdWatch(const std::string& path,
         "[stats] t=%.1fs records=%llu rate=%.0f/s errors=%llu mem=%zuKiB\n",
         std::chrono::duration<double>(now - stats_epoch).count(),
         static_cast<unsigned long long>(records), rate,
-        static_cast<unsigned long long>(reader->error_report().total()),
+        static_cast<unsigned long long>(errors_total()),
         memory_bytes() / std::size_t{1024});
     std::fflush(stdout);
     stats_last = now;
@@ -563,6 +683,101 @@ int CmdWatch(const std::string& path,
                   static_cast<unsigned long long>(trace->dropped()));
     }
   };
+
+  if (span_path) {
+    // Parse-in-shard ingest: mmap the feed, route raw line spans, parse
+    // inside each shard. The mapping outlives the engine's barriers, so
+    // spans stay addressable for as long as any worker can hold one.
+    stream::ShardedStreamEngineConfig sharded_config;
+    sharded_config.shards = shards;
+    sharded_config.engine = config;
+    sharded_config.metrics = metrics_registry.get();
+    sharded_config.trace = trace.get();
+    sharded_config.parse = parse_options;
+    sharded_config.parse.quarantine = nullptr;  // drained in line order below
+    io::MmapFile feed = io::MmapFile::Open(path);
+    data::LineSpanScanner scanner(feed.view());
+    std::unique_ptr<stream::ShardedStreamEngine> engine;
+    if (resume) {
+      stream::ShardedCheckpointState state =
+          stream::ReadShardedCheckpoint(checkpoint_path);
+      resumed = state.meta;
+      stream::StreamEngineConfig restored = state.engines.front().config();
+      if (state.engines.size() > 1) restored.quantile_epsilon *= 2.0;
+      sharded_config.engine = restored;
+      window_hours = restored.rolling_window_s / kSecondsPerHour;
+      engine = std::make_unique<stream::ShardedStreamEngine>(sharded_config);
+      engine->RestoreFrom(state);
+      engine->SeedErrors(resumed.errors);
+      // Span-offset resume: seek straight to the first unconsumed byte
+      // instead of re-scanning (or re-parsing) the consumed prefix.
+      scanner.SeekTo(resumed.source_offset, resumed.source_line);
+      std::printf(
+          "resumed from %s: %llu records, source line %llu (offset %llu)\n",
+          checkpoint_path.c_str(),
+          static_cast<unsigned long long>(resumed.records),
+          static_cast<unsigned long long>(resumed.source_line),
+          static_cast<unsigned long long>(resumed.source_offset));
+    } else {
+      engine = std::make_unique<stream::ShardedStreamEngine>(sharded_config);
+    }
+    const auto span_meta = [&] {
+      stream::CheckpointMeta meta;
+      meta.records = engine->ParsedRecords();  // barrier: exact at this line
+      meta.source_line = scanner.line_number();
+      meta.source_offset = scanner.offset();
+      meta.errors = engine->ErrorReport();
+      return meta;
+    };
+    data::LineSpan span;
+    {
+      DDOS_TRACE_SPAN(trace.get(), "ingest", "cli");
+      while (scanner.Next(&span)) {
+        if (span.line_no == 1) continue;  // header row
+        engine->PushLine(span.text, span.line_no, span.saw_newline);
+        maybe_print_stats(engine->attacks_seen(),
+                          [&] { return engine->ApproxErrorTotal(); },
+                          [&] { return engine->ApproxMemoryBytes(); });
+        if (every > 0 && engine->attacks_seen() > 0 &&
+            engine->attacks_seen() % every == 0) {
+          PrintWatchSnapshot(engine->Snapshot(), false, window_hours);
+        }
+        if (!checkpoint_path.empty() && checkpoint_every > 0 &&
+            engine->attacks_seen() > 0 &&
+            engine->attacks_seen() % checkpoint_every == 0) {
+          engine->SaveCheckpoint(checkpoint_path, span_meta());
+        }
+      }
+    }
+    if (!checkpoint_path.empty()) {
+      engine->SaveCheckpoint(checkpoint_path, span_meta());
+    }
+    engine->Finish();  // surfaces a pending kStrict worker rejection
+    const data::IngestErrorReport report = engine->ErrorReport();
+    if (report.total() > 0) {
+      std::printf("%llu malformed rows rejected:\n%s",
+                  static_cast<unsigned long long>(report.total()),
+                  report.ToString().c_str());
+      if (quarantine != nullptr) {
+        // Router- and worker-detected rejections, merged and sorted by
+        // line: the quarantine file is byte-identical for any shard count.
+        for (const data::IngestError& e : engine->DrainErrors()) {
+          quarantine->Write(e);
+        }
+        quarantine->Close();
+        std::printf("quarantined %zu rows to %s\n", quarantine->written(),
+                    quarantine_path.c_str());
+      }
+    }
+    if (engine->attacks_seen() == 0) {
+      std::printf("no attacks in %s\n", path.c_str());
+      finalize_obs();
+      return 0;
+    }
+    PrintWatchSnapshot(engine->Snapshot(), true, window_hours);
+    finalize_obs();
+    return 0;
+  }
 
   if (shards > 1) {
     stream::ShardedStreamEngineConfig sharded_config;
@@ -591,14 +806,16 @@ int CmdWatch(const std::string& path,
     data::AttackRecord attack;
     {
       DDOS_TRACE_SPAN(trace.get(), "ingest", "cli");
-      while (reader->Next(&attack)) {
+      while (next_record(&attack)) {
         engine->Push(attack);
-        maybe_print_stats([&] { return engine->ApproxMemoryBytes(); });
+        maybe_print_stats(source_records(),
+                          [&] { return source_errors().total(); },
+                          [&] { return engine->ApproxMemoryBytes(); });
         if (every > 0 && engine->attacks_seen() % every == 0) {
           PrintWatchSnapshot(engine->Snapshot(), false, window_hours);
         }
         if (!checkpoint_path.empty() && checkpoint_every > 0 &&
-            reader->records_read() % checkpoint_every == 0) {
+            source_records() % checkpoint_every == 0) {
           engine->SaveCheckpoint(checkpoint_path, checkpoint_meta());
         }
       }
@@ -645,14 +862,16 @@ int CmdWatch(const std::string& path,
   data::AttackRecord attack;
   {
     DDOS_TRACE_SPAN(trace.get(), "ingest", "cli");
-    while (reader->Next(&attack)) {
+    while (next_record(&attack)) {
       engine.Push(attack);
-      maybe_print_stats([&] { return engine.ApproxMemoryBytes(); });
+      maybe_print_stats(source_records(),
+                        [&] { return source_errors().total(); },
+                        [&] { return engine.ApproxMemoryBytes(); });
       if (every > 0 && engine.attacks_seen() % every == 0) {
         PrintWatchSnapshot(engine.Snapshot(), false, window_hours);
       }
       if (!checkpoint_path.empty() && checkpoint_every > 0 &&
-          reader->records_read() % checkpoint_every == 0) {
+          source_records() % checkpoint_every == 0) {
         obs::SpanTimer span(trace.get(), checkpoint_hist, "checkpoint", "cli");
         stream::WriteCheckpoint(checkpoint_path, engine, checkpoint_meta());
       }
@@ -691,7 +910,16 @@ int CmdBatch(const std::string& path,
     options.engine.quantile_epsilon =
         ParseDouble(it->second).value_or(options.engine.quantile_epsilon);
   }
-  const std::vector<data::AttackRecord> attacks = data::LoadAttacksCsv(path);
+  bool binary_input = false;
+  if (!ParseInputFormat(flags, "batch", &binary_input)) return 2;
+  std::vector<data::AttackRecord> attacks;
+  if (binary_input) {
+    data::BinaryRecordReader reader(path);
+    data::AttackRecord record;
+    while (reader.Next(&record)) attacks.push_back(std::move(record));
+  } else {
+    attacks = data::LoadAttacksCsv(path);
+  }
   if (attacks.empty()) {
     std::printf("no attacks in %s\n", path.c_str());
     return 0;
@@ -820,10 +1048,24 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
                                           config.max_http_connections))));
   }
 
+  std::string preload_path;
+  if (const auto it = flags.find("preload"); it != flags.end()) {
+    preload_path = it->second;
+  }
+  bool preload_binary = false;
+  if (!ParseInputFormat(flags, "serve", &preload_binary)) return 2;
+
   const std::int64_t window_hours =
       config.engine.rolling_window_s / kSecondsPerHour;
   netd::IngestServer server(config);
   server.Bind();
+  if (!preload_path.empty()) {
+    const std::uint64_t preloaded =
+        server.Preload(preload_path, preload_binary ? "bin" : "csv");
+    std::printf("preloaded %llu records from %s\n",
+                static_cast<unsigned long long>(preloaded),
+                preload_path.c_str());
+  }
   std::printf("ddoscoped listening: ingest %s:%u, http %s:%u "
               "(%zu shard%s, %zu token%s%s)\n",
               config.host.c_str(), server.ingest_port(), config.host.c_str(),
@@ -882,10 +1124,13 @@ int CmdFeed(const std::string& hostport, const std::string& path,
         std::max<std::int64_t>(1, ParseInt64(it->second).value_or(8)));
   }
 
+  bool binary_input = false;
+  if (!ParseInputFormat(flags, "feed", &binary_input)) return 2;
   const bool from_stdin = path == "-";
   std::ifstream file;
   if (!from_stdin) {
-    file.open(path);
+    file.open(path, binary_input ? std::ios::in | std::ios::binary
+                                 : std::ios::in);
     if (!file) {
       std::fprintf(stderr, "feed: cannot open %s\n", path.c_str());
       return 2;
@@ -898,11 +1143,29 @@ int CmdFeed(const std::string& hostport, const std::string& path,
                                      static_cast<std::uint16_t>(*port),
                                      options);
     std::uint64_t sent = 0;
-    std::string line;
-    while (std::getline(in, line)) {
-      if (line.empty()) continue;
-      client.SendLine(line);
-      ++sent;
+    if (binary_input) {
+      // Re-encode each binary record as one protocol line: the wire format
+      // stays CSV, so the server needs no knowledge of the archive format.
+      data::BinaryRecordReader reader(in);
+      data::AttackRecord record;
+      std::ostringstream row;
+      while (reader.Next(&record)) {
+        row.str("");
+        data::WriteAttackCsvRow(row, record);
+        std::string line = row.str();
+        while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+          line.pop_back();
+        }
+        client.SendLine(line);
+        ++sent;
+      }
+    } else {
+      std::string line;
+      while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        client.SendLine(line);
+        ++sent;
+      }
     }
     const std::uint64_t acked = client.Finish();
     std::printf("fed %llu lines, server acked %llu records\n",
@@ -969,6 +1232,9 @@ int main(int argc, char** argv) {
     }
     if (command == "collab" && positional.size() == 1) {
       return CmdCollab(positional[0]);
+    }
+    if (command == "convert" && positional.size() == 2) {
+      return CmdConvert(positional[0], positional[1], flags);
     }
     if (command == "watch" && positional.size() == 1) {
       return CmdWatch(positional[0], flags);
