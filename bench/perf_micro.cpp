@@ -4,7 +4,9 @@
 // generation itself.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <sstream>
+#include <vector>
 
 #include "botsim/simulator.h"
 #include "common/rng.h"
@@ -18,6 +20,9 @@
 #include "data/csv.h"
 #include "data/linescan.h"
 #include "geo/geodesy.h"
+#include "geo/lookup_cache.h"
+#include "geo/mmdb.h"
+#include "net/ipv4.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/ecdf.h"
@@ -84,6 +89,85 @@ void BM_GeoLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GeoLookup);
+
+// The compiled trie (geo/mmdb.h), built once from Db() and mapped back in.
+// Its Lookup is bit-identical to the synthetic path, so the deltas below
+// are pure representation cost: bit-walk + mapped record read vs the heap
+// database's block resolution.
+const geo::GeoMmdb& Mmdb() {
+  static const geo::GeoMmdb db = [] {
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "ddoscope_perf_micro.geo")
+            .string();
+    geo::CompileGeoDatabase(Db(), path);
+    return geo::GeoMmdb::Open(path);
+  }();
+  return db;
+}
+
+std::vector<net::IPv4Address> AllocatedAddresses() {
+  Rng rng(5);
+  std::vector<net::IPv4Address> ips;
+  for (int i = 0; i < 1024; ++i) ips.push_back(Db().RandomAddress(rng));
+  return ips;
+}
+
+// Addresses whose /16 is unallocated, so every lookup takes the hash
+// fallback (hoisted out of BlockForAddress's common case: in-space lookups
+// never pay for it, and these measure what the miss path still costs).
+std::vector<net::IPv4Address> OutOfSpaceAddresses() {
+  Rng rng(13);
+  std::vector<net::IPv4Address> ips;
+  while (ips.size() < 1024) {
+    const net::IPv4Address ip(static_cast<std::uint32_t>(rng.NextU64()));
+    if (!Mmdb().IsAllocated(ip)) ips.push_back(ip);
+  }
+  return ips;
+}
+
+void BM_GeoMmdbLookup(benchmark::State& state) {
+  const auto ips = AllocatedAddresses();
+  const geo::GeoMmdb& db = Mmdb();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.Lookup(ips[i++ % 1024]));
+  }
+}
+BENCHMARK(BM_GeoMmdbLookup);
+
+void BM_GeoLookupOutOfSpace(benchmark::State& state) {
+  const auto ips = OutOfSpaceAddresses();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Db().Lookup(ips[i++ % 1024]));
+  }
+}
+BENCHMARK(BM_GeoLookupOutOfSpace);
+
+void BM_GeoMmdbLookupOutOfSpace(benchmark::State& state) {
+  const auto ips = OutOfSpaceAddresses();
+  const geo::GeoMmdb& db = Mmdb();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.Lookup(ips[i++ % 1024]));
+  }
+}
+BENCHMARK(BM_GeoMmdbLookupOutOfSpace);
+
+// Memoized repeats (geo/lookup_cache.h): after the first pass over the
+// working set every call is one hash probe. This is the recurrence shape of
+// DispersionSeries/ShiftAnalysis, where a bot re-resolves in ~24 hourly
+// snapshots; the delta against BM_GeoLookup is the per-recurrence saving.
+void BM_GeoLookupMemoized(benchmark::State& state) {
+  const auto ips = AllocatedAddresses();
+  geo::GeoLookupCache cache(Db());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const geo::GeoRecord* r = &cache.Lookup(ips[i++ % 1024]);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_GeoLookupMemoized);
 
 void BM_IntervalScan(benchmark::State& state) {
   const auto& ds = PerfDataset();

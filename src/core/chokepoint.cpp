@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/rng.h"
+#include "geo/lookup_cache.h"
 
 namespace ddos::core {
 
@@ -35,6 +36,9 @@ ChokepointReport AnalyzeChokepoints(const data::Dataset& dataset,
                                     const ChokepointConfig& config) {
   ChokepointReport report;
   Rng rng(config.seed ^ 0xc40cull);
+  // Sampled bots repeat across attacks of the same snapshot window; resolve
+  // each address's ASN once per analysis pass (geo/lookup_cache.h).
+  geo::GeoLookupCache lookups(geo_db);
 
   // paths_by_as[asn] = number of sampled attack paths carrying the AS as
   // transit. A path is also remembered as the set of transit ASes it
@@ -61,7 +65,7 @@ ChokepointReport AnalyzeChokepoints(const data::Dataset& dataset,
       for (int b = 0; b < config.bots_per_attack; ++b) {
         const net::IPv4Address bot = snap->bot_ips[static_cast<std::size_t>(
             rng.UniformInt(0, static_cast<std::int64_t>(snap->bot_ips.size()) - 1))];
-        const net::Asn bot_asn = geo_db.Lookup(bot).asn;
+        const net::Asn bot_asn = lookups.Lookup(bot).asn;
         if (!as_graph.contains(bot_asn)) continue;
         const std::vector<net::Asn> path = as_graph.Path(bot_asn, attack.asn);
         if (path.size() <= 2) continue;  // no transit segment

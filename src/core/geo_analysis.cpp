@@ -4,6 +4,8 @@
 #include <set>
 #include <unordered_set>
 
+#include "geo/lookup_cache.h"
+
 namespace ddos::core {
 
 std::vector<DispersionPoint> DispersionSeries(const data::Dataset& dataset,
@@ -12,6 +14,9 @@ std::vector<DispersionPoint> DispersionSeries(const data::Dataset& dataset,
   std::vector<DispersionPoint> out;
   const auto indices = dataset.SnapshotsOfFamily(family);
   out.reserve(indices.size());
+  // A bot recurs in every snapshot of its lifetime, so memoize by address
+  // for the duration of the pass (geo/lookup_cache.h).
+  geo::GeoLookupCache lookups(geo_db);
   std::vector<geo::Coordinate> coords;
   for (std::size_t idx : indices) {
     const data::SnapshotRecord& snap = dataset.snapshots()[idx];
@@ -19,7 +24,7 @@ std::vector<DispersionPoint> DispersionSeries(const data::Dataset& dataset,
     coords.clear();
     coords.reserve(snap.bot_ips.size());
     for (const net::IPv4Address& ip : snap.bot_ips) {
-      coords.push_back(geo_db.Lookup(ip).location);
+      coords.push_back(lookups.Lookup(ip).location);
     }
     const geo::Dispersion d = geo::ComputeDispersion(coords);
     out.push_back(DispersionPoint{snap.time, d.value_km, d.signed_sum_km,
@@ -68,6 +73,7 @@ std::vector<WeeklyShift> ShiftAnalysis(const data::Dataset& dataset,
   const TimePoint origin = StartOfDay(snapshots.front().time);
 
   std::vector<WeeklyShift> out;
+  geo::GeoLookupCache lookups(geo_db);
   auto week_slot = [&](int week) -> WeeklyShift& {
     while (static_cast<int>(out.size()) <= week) {
       out.push_back(WeeklyShift{static_cast<int>(out.size()), 0, 0, 0});
@@ -92,7 +98,7 @@ std::vector<WeeklyShift> ShiftAnalysis(const data::Dataset& dataset,
       }
       WeeklyShift& slot = week_slot(week);
       for (const net::IPv4Address& ip : snap.bot_ips) {
-        const std::string cc(geo_db.Lookup(ip).country_code);
+        const std::string cc(lookups.Lookup(ip).country_code);
         if (seen_before_week.count(cc) > 0) {
           ++slot.bots_existing_countries;
         } else {

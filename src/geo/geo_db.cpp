@@ -124,6 +124,19 @@ GeoDatabase::GeoDatabase(const WorldCatalog& catalog, const GeoDbConfig& config,
       blocks_.push_back(std::move(b));
     }
   }
+
+  // --- Pre-resolve the out-of-space fallback for every unallocated /16. ---
+  // Lookup used to rerun MixBits per out-of-space call; paying the hash once
+  // per prefix here turns BlockForAddress into a branch-free table read.
+  allocated_.assign(65536, false);
+  for (std::uint32_t p = 0; p < 65536; ++p) {
+    if (prefix_to_block_[p] >= 0) {
+      allocated_[p] = true;
+    } else {
+      prefix_to_block_[p] =
+          static_cast<std::int32_t>(MixBits(seed_ ^ p) % blocks_.size());
+    }
+  }
 }
 
 GeoDatabase GeoDatabase::MakeDefault(std::uint64_t seed) {
@@ -131,17 +144,13 @@ GeoDatabase GeoDatabase::MakeDefault(std::uint64_t seed) {
 }
 
 const GeoDatabase::Block& GeoDatabase::BlockForAddress(net::IPv4Address addr) const {
-  const std::uint16_t prefix = static_cast<std::uint16_t>(addr.bits() >> 16);
-  std::int32_t idx = prefix_to_block_[prefix];
-  if (idx < 0) {
-    // Total fallback for out-of-allocation addresses: hash to some block.
-    idx = static_cast<std::int32_t>(MixBits(seed_ ^ prefix) % blocks_.size());
-  }
-  return blocks_[static_cast<std::size_t>(idx)];
+  // Allocated and out-of-space prefixes alike resolve through the table;
+  // the fallback hash was folded in at construction.
+  return blocks_[static_cast<std::size_t>(prefix_to_block_[addr.bits() >> 16])];
 }
 
 bool GeoDatabase::IsAllocated(net::IPv4Address addr) const {
-  return prefix_to_block_[addr.bits() >> 16] >= 0;
+  return allocated_[addr.bits() >> 16];
 }
 
 GeoRecord GeoDatabase::Lookup(net::IPv4Address addr) const {

@@ -55,6 +55,10 @@ struct GeoRecord {
 
 class GeoDatabase {
  public:
+  // geo/mmdb.h serializes the full lookup state (blocks, resolved cities,
+  // seed, jitter config) into the compiled binary format.
+  friend class MmdbCompiler;
+
   GeoDatabase(const WorldCatalog& catalog, const GeoDbConfig& config,
               std::uint64_t seed);
 
@@ -104,7 +108,12 @@ class GeoDatabase {
   std::uint64_t seed_;
   std::vector<std::vector<CityEntry>> cities_;       // per country
   std::vector<Block> blocks_;                        // allocation order
-  std::vector<std::int32_t> prefix_to_block_;        // 65536 entries, -1 = none
+  // 65536 entries, one per /16. Allocated prefixes point at their block;
+  // unallocated ones carry their hash fallback, precomputed once at
+  // construction so the hot lookup path is a single array read either way
+  // (BlockForAddress used to re-derive the SplitMix64 fallback per call).
+  std::vector<std::int32_t> prefix_to_block_;
+  std::vector<bool> allocated_;                      // 65536 bits
   std::vector<std::vector<std::uint32_t>> country_blocks_;  // per country
 };
 

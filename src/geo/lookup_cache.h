@@ -1,0 +1,49 @@
+// Per-pass memoization of GeoDatabase lookups.
+//
+// The batch analyses resolve the same bot address through Lookup over and
+// over: DispersionSeries walks every bot of every snapshot (a bot recurs in
+// ~24 hourly snapshots under a 24 h window), ShiftAnalysis re-resolves each
+// bot's country per snapshot, and the chokepoint analysis re-hashes sampled
+// bots per event. A lookup is cheap but not free (prefix table read + jitter
+// hash + clamp/wrap); memoizing by address turns the recurrences into one
+// hash-map probe.
+//
+// GeoRecord's string_views point into the database, so cached records stay
+// valid for the database's lifetime; std::unordered_map references are
+// node-stable, so returned references survive later insertions. The cache
+// is unbounded by design - it is a per-analysis scratch structure whose
+// size is capped by the distinct addresses of one pass, not a long-lived
+// service object.
+#ifndef DDOSCOPE_GEO_LOOKUP_CACHE_H_
+#define DDOSCOPE_GEO_LOOKUP_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "geo/geo_db.h"
+#include "net/ipv4.h"
+
+namespace ddos::geo {
+
+class GeoLookupCache {
+ public:
+  explicit GeoLookupCache(const GeoDatabase& db) : db_(db) {}
+
+  // The database's exact Lookup result (first call resolves, later calls
+  // return the memo). The reference is valid for this cache's lifetime.
+  const GeoRecord& Lookup(net::IPv4Address addr) {
+    const auto [it, inserted] = cache_.try_emplace(addr.bits());
+    if (inserted) it->second = db_.Lookup(addr);
+    return it->second;
+  }
+
+  std::size_t size() const { return cache_.size(); }
+
+ private:
+  const GeoDatabase& db_;
+  std::unordered_map<std::uint32_t, GeoRecord> cache_;
+};
+
+}  // namespace ddos::geo
+
+#endif  // DDOSCOPE_GEO_LOOKUP_CACHE_H_

@@ -1,0 +1,447 @@
+#include "geo/mmdb.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ddos::geo {
+
+namespace {
+
+constexpr std::uint64_t kHeaderBytes = 88;
+constexpr std::uint64_t kRecordEntryBytes = 36;
+constexpr std::uint64_t kCountryEntryBytes = 8;
+constexpr std::uint32_t kNoEntry = 0xffffffffu;
+constexpr std::uint32_t kLeafBit = 0x80000000u;
+constexpr std::uint32_t kMaxOrgKind = static_cast<std::uint32_t>(OrgKind::kResidentialIsp);
+
+// Same per-address hash as geo_db.cpp - the bit-identity contract hinges on
+// both sides deriving jitter and fallback from this exact function.
+std::uint64_t MixBits(std::uint64_t x) {
+  SplitMix64 sm(x);
+  return sm.Next();
+}
+
+void PutU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void PutU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void PutF64(std::string& out, double v) { PutU64(out, std::bit_cast<std::uint64_t>(v)); }
+
+// Single-mov little-endian loads (gcc keeps the byte-or loop as a loop, a
+// ~5x tax on the trie walk, where memcpy folds into one unaligned load).
+std::uint32_t LoadU32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  if constexpr (std::endian::native == std::endian::big) v = __builtin_bswap32(v);
+  return v;
+}
+
+std::uint64_t LoadU64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  if constexpr (std::endian::native == std::endian::big) v = __builtin_bswap64(v);
+  return v;
+}
+
+double LoadF64(const char* p) { return std::bit_cast<double>(LoadU64(p)); }
+
+// The format's checksum: FNV-1a 64 in four interleaved lanes over the file
+// as little-endian u64 words (lane j hashes words j, j+4, j+8, ...; the
+// tail word is zero-padded), lanes folded in order with one more FNV step
+// each. Byte-serial FNV costs ~3 cycles/byte on its dependent multiply
+// chain, which would make the checksum the dominant cost of Open on a
+// quarter-MB file; four independent word chains keep verification at
+// memory speed while any flipped or dropped byte still lands in exactly
+// one lane word and changes the folded digest.
+std::uint64_t GeoChecksum(const char* data, std::size_t n) {
+  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t lane[4] = {kOffset, kOffset, kOffset, kOffset};
+  const std::size_t words = n / 8;
+  std::size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    lane[0] = (lane[0] ^ LoadU64(data + w * 8)) * kPrime;
+    lane[1] = (lane[1] ^ LoadU64(data + (w + 1) * 8)) * kPrime;
+    lane[2] = (lane[2] ^ LoadU64(data + (w + 2) * 8)) * kPrime;
+    lane[3] = (lane[3] ^ LoadU64(data + (w + 3) * 8)) * kPrime;
+  }
+  for (int j = 0; w < words; ++w, ++j) {
+    lane[j] = (lane[j] ^ LoadU64(data + w * 8)) * kPrime;
+  }
+  if (n % 8 != 0) {
+    std::uint64_t tail = 0;
+    for (std::size_t i = 0; i < n % 8; ++i) {
+      tail |= static_cast<std::uint64_t>(
+                  static_cast<unsigned char>(data[words * 8 + i]))
+              << (8 * i);
+    }
+    lane[words % 4] = (lane[words % 4] ^ tail) * kPrime;
+  }
+  std::uint64_t h = kOffset;
+  for (const std::uint64_t l : lane) h = (h ^ l) * kPrime;
+  return h;
+}
+
+[[noreturn]] void Fail(GeoFormatError::Kind kind, const std::string& what) {
+  throw GeoFormatError(kind, what);
+}
+
+}  // namespace
+
+// Friend of GeoDatabase: walks the private allocation state and lays out the
+// whole file image in memory (a compiled database is a few hundred KiB, so
+// building it off-heap buys nothing).
+class MmdbCompiler {
+ public:
+  static std::string Build(const GeoDatabase& db) {
+    // --- String table, deduplicated. City and country strings repeat
+    // across blocks; organizations are mostly unique. ---
+    std::string strings;
+    std::unordered_map<std::string, std::uint32_t> interned;
+    auto intern = [&](const std::string& s) -> std::uint32_t {
+      auto it = interned.find(s);
+      if (it != interned.end()) return it->second;
+      const std::uint32_t ref = static_cast<std::uint32_t>(strings.size());
+      PutU32(strings, static_cast<std::uint32_t>(s.size()));
+      strings.append(s);
+      interned.emplace(s, ref);
+      return ref;
+    };
+
+    // --- Country section, in catalog order (records index into it). ---
+    std::string countries;
+    for (std::size_t ci = 0; ci < db.catalog_.size(); ++ci) {
+      const CountrySpec& c = db.catalog_.at(ci);
+      PutU32(countries, intern(c.code));
+      PutU32(countries, intern(c.name));
+    }
+
+    // --- Record section, in allocation order. The out-of-space fallback
+    // indexes blocks_ by allocation order, so compiled record index i must
+    // be synthetic block i. Cities are resolved here: the reader never sees
+    // the per-country city tables, only each block's final (name, center).
+    std::string records;
+    for (const GeoDatabase::Block& b : db.blocks_) {
+      const GeoDatabase::CityEntry& city = db.cities_[b.country][b.city];
+      PutU32(records, b.country);
+      PutU32(records, intern(city.name));
+      PutF64(records, city.center.lat_deg);
+      PutF64(records, city.center.lon_deg);
+      PutU32(records, b.asn.value());
+      PutU32(records, intern(b.organization));
+      PutU32(records, static_cast<std::uint32_t>(b.org_kind));
+    }
+
+    // --- Binary trie over the allocated /16 prefixes. ---
+    struct Node {
+      std::uint32_t child[2] = {kNoEntry, kNoEntry};
+    };
+    std::vector<Node> nodes(1);
+    for (std::size_t i = 0; i < db.blocks_.size(); ++i) {
+      const std::uint16_t prefix = db.blocks_[i].prefix;
+      std::uint32_t node = 0;
+      for (int d = 15; d > 0; --d) {
+        const int bit = (prefix >> d) & 1;
+        if (nodes[node].child[bit] == kNoEntry) {
+          nodes[node].child[bit] = static_cast<std::uint32_t>(nodes.size());
+          nodes.emplace_back();
+        }
+        node = nodes[node].child[bit];
+      }
+      nodes[node].child[prefix & 1] = kLeafBit | static_cast<std::uint32_t>(i);
+    }
+    std::string trie;
+    trie.reserve(nodes.size() * 8);
+    for (const Node& n : nodes) {
+      PutU32(trie, n.child[0]);
+      PutU32(trie, n.child[1]);
+    }
+
+    // --- Header + sections + trailing checksum. ---
+    const std::uint64_t trie_offset = kHeaderBytes;
+    const std::uint64_t record_offset = trie_offset + trie.size();
+    const std::uint64_t country_offset = record_offset + records.size();
+    const std::uint64_t string_offset = country_offset + countries.size();
+
+    std::string image;
+    image.reserve(string_offset + strings.size() + 8);
+    image.append(kGeoMmdbMagic);
+    PutU32(image, kGeoMmdbVersion);
+    PutU32(image, 0);  // reserved
+    PutU64(image, db.seed_);
+    PutF64(image, db.config_.address_jitter_deg);
+    PutU32(image, static_cast<std::uint32_t>(nodes.size()));
+    PutU32(image, static_cast<std::uint32_t>(db.blocks_.size()));
+    PutU32(image, static_cast<std::uint32_t>(db.catalog_.size()));
+    PutU32(image, 0);  // reserved
+    PutU64(image, trie_offset);
+    PutU64(image, record_offset);
+    PutU64(image, country_offset);
+    PutU64(image, string_offset);
+    PutU64(image, strings.size());
+    image.append(trie);
+    image.append(records);
+    image.append(countries);
+    image.append(strings);
+
+    PutU64(image, GeoChecksum(image.data(), image.size()));
+    return image;
+  }
+};
+
+void CompileGeoDatabase(const GeoDatabase& db, const std::string& path) {
+  const std::string image = MmdbCompiler::Build(db);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("geo/mmdb: cannot open stage file " + tmp);
+    }
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw std::runtime_error("geo/mmdb: short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("geo/mmdb: cannot publish " + path);
+  }
+}
+
+GeoMmdb::GeoMmdb(GeoMmdb&& other) noexcept { MoveFrom(std::move(other)); }
+
+GeoMmdb& GeoMmdb::operator=(GeoMmdb&& other) noexcept {
+  if (this != &other) MoveFrom(std::move(other));
+  return *this;
+}
+
+void GeoMmdb::MoveFrom(GeoMmdb&& other) noexcept {
+  const char* old_base = other.base_;
+  std::ptrdiff_t trie_off = 0, record_off = 0, country_off = 0, string_off = 0;
+  if (old_base != nullptr) {
+    trie_off = other.trie_ - old_base;
+    record_off = other.records_ - old_base;
+    country_off = other.countries_ - old_base;
+    string_off = other.strings_ - old_base;
+  }
+  file_ = std::move(other.file_);
+  path_ = std::move(other.path_);
+  node_count_ = other.node_count_;
+  record_count_ = other.record_count_;
+  country_count_ = other.country_count_;
+  seed_ = other.seed_;
+  jitter_deg_ = other.jitter_deg_;
+  if (old_base != nullptr) {
+    base_ = file_.view().data();
+    trie_ = base_ + trie_off;
+    records_ = base_ + record_off;
+    countries_ = base_ + country_off;
+    strings_ = base_ + string_off;
+  } else {
+    base_ = trie_ = records_ = countries_ = strings_ = nullptr;
+  }
+  other.base_ = other.trie_ = other.records_ = other.countries_ = other.strings_ =
+      nullptr;
+}
+
+GeoMmdb GeoMmdb::Open(const std::string& path) {
+  GeoMmdb db;
+  db.file_ = io::MmapFile::Open(path);
+  db.path_ = path;
+  const std::string_view bytes = db.file_.view();
+
+  // Magic and version come first: a wrong-format or future file is
+  // diagnosed as such even when it is also short.
+  if (bytes.size() < kGeoMmdbMagic.size()) {
+    Fail(GeoFormatError::Kind::kTruncated, "file shorter than its magic");
+  }
+  if (bytes.substr(0, kGeoMmdbMagic.size()) != kGeoMmdbMagic) {
+    Fail(GeoFormatError::Kind::kBadMagic, "bad magic in " + path);
+  }
+  if (bytes.size() < 12) {
+    Fail(GeoFormatError::Kind::kTruncated, "file ends inside the version field");
+  }
+  const std::uint32_t version = LoadU32(bytes.data() + 8);
+  if (version != kGeoMmdbVersion) {
+    Fail(GeoFormatError::Kind::kUnsupportedVersion,
+         "unsupported version " + std::to_string(version));
+  }
+  if (bytes.size() < kHeaderBytes + 8) {
+    Fail(GeoFormatError::Kind::kTruncated, "file ends inside the header");
+  }
+
+  const char* base = bytes.data();
+  db.base_ = base;
+  db.seed_ = LoadU64(base + 16);
+  db.jitter_deg_ = LoadF64(base + 24);
+  db.node_count_ = LoadU32(base + 32);
+  db.record_count_ = LoadU32(base + 36);
+  db.country_count_ = LoadU32(base + 40);
+  const std::uint64_t trie_offset = LoadU64(base + 48);
+  const std::uint64_t record_offset = LoadU64(base + 56);
+  const std::uint64_t country_offset = LoadU64(base + 64);
+  const std::uint64_t string_offset = LoadU64(base + 72);
+  const std::uint64_t string_bytes = LoadU64(base + 80);
+
+  // Size before checksum: a cut file has no trustworthy trailer to verify.
+  const std::uint64_t declared = string_offset + string_bytes + 8;
+  if (string_offset < kHeaderBytes || declared < string_offset) {
+    Fail(GeoFormatError::Kind::kCorruptField, "header offsets out of range");
+  }
+  if (bytes.size() < declared) {
+    Fail(GeoFormatError::Kind::kTruncated,
+         "file is " + std::to_string(bytes.size()) + " bytes, layout declares " +
+             std::to_string(declared));
+  }
+  if (bytes.size() > declared) {
+    Fail(GeoFormatError::Kind::kCorruptField, "trailing bytes after the checksum");
+  }
+
+  // Checksum before structure: a bit-flip is diagnosed as bit rot, not as
+  // whatever field it happened to land in.
+  if (GeoChecksum(base, declared - 8) != LoadU64(base + declared - 8)) {
+    Fail(GeoFormatError::Kind::kChecksumMismatch, "checksum mismatch in " + path);
+  }
+
+  // Structural validation, once, so Lookup never has to check anything.
+  if (db.node_count_ == 0 || db.node_count_ >= kLeafBit) {
+    Fail(GeoFormatError::Kind::kCorruptField, "node count out of range");
+  }
+  if (db.record_count_ == 0 || db.record_count_ >= kLeafBit) {
+    Fail(GeoFormatError::Kind::kCorruptField, "record count out of range");
+  }
+  if (db.country_count_ == 0) {
+    Fail(GeoFormatError::Kind::kCorruptField, "empty country table");
+  }
+  if (trie_offset != kHeaderBytes ||
+      record_offset != trie_offset + db.node_count_ * 8ULL ||
+      country_offset != record_offset + db.record_count_ * kRecordEntryBytes ||
+      string_offset != country_offset + db.country_count_ * kCountryEntryBytes) {
+    Fail(GeoFormatError::Kind::kCorruptField, "section offsets disagree with counts");
+  }
+  db.trie_ = base + trie_offset;
+  db.records_ = base + record_offset;
+  db.countries_ = base + country_offset;
+  db.strings_ = base + string_offset;
+
+  auto valid_string_ref = [&](std::uint32_t ref) {
+    if (ref + 4ULL > string_bytes) return false;
+    const std::uint32_t len = LoadU32(db.strings_ + ref);
+    return ref + 4ULL + len <= string_bytes;
+  };
+  for (std::uint64_t n = 0; n < db.node_count_; ++n) {
+    for (int bit = 0; bit < 2; ++bit) {
+      const std::uint32_t child = LoadU32(db.trie_ + n * 8 + bit * 4);
+      if (child == kNoEntry) continue;
+      if ((child & kLeafBit) != 0) {
+        if ((child & ~kLeafBit) >= db.record_count_) {
+          Fail(GeoFormatError::Kind::kCorruptField, "trie leaf past the record table");
+        }
+      } else if (child >= db.node_count_) {
+        Fail(GeoFormatError::Kind::kCorruptField, "trie child past the node table");
+      }
+    }
+  }
+  for (std::uint64_t r = 0; r < db.record_count_; ++r) {
+    const char* rec = db.records_ + r * kRecordEntryBytes;
+    if (LoadU32(rec) >= db.country_count_) {
+      Fail(GeoFormatError::Kind::kCorruptField, "record country index out of range");
+    }
+    if (!valid_string_ref(LoadU32(rec + 4)) || !valid_string_ref(LoadU32(rec + 28))) {
+      Fail(GeoFormatError::Kind::kCorruptField, "record string ref out of range");
+    }
+    if (LoadU32(rec + 32) > kMaxOrgKind) {
+      Fail(GeoFormatError::Kind::kCorruptField, "record org kind out of range");
+    }
+  }
+  for (std::uint64_t c = 0; c < db.country_count_; ++c) {
+    const char* country = db.countries_ + c * kCountryEntryBytes;
+    if (!valid_string_ref(LoadU32(country)) || !valid_string_ref(LoadU32(country + 4))) {
+      Fail(GeoFormatError::Kind::kCorruptField, "country string ref out of range");
+    }
+  }
+  return db;
+}
+
+std::string_view GeoMmdb::StringAt(std::uint32_t ref) const {
+  return std::string_view(strings_ + ref + 4, LoadU32(strings_ + ref));
+}
+
+std::uint32_t GeoMmdb::RecordIndexFor(std::uint32_t bits, bool* allocated) const {
+  std::uint32_t node = 0;
+  for (int b = 31; b >= 0; --b) {
+    const std::uint32_t child =
+        LoadU32(trie_ + std::uint64_t{node} * 8 + ((bits >> b) & 1u) * 4);
+    if (child == kNoEntry) break;
+    if ((child & kLeafBit) != 0) {
+      *allocated = true;
+      return child & ~kLeafBit;
+    }
+    node = child;
+  }
+  // Out-of-space fallback: the synthetic database's exact hash over the /16
+  // prefix, modulo the same allocation-ordered record table.
+  *allocated = false;
+  return static_cast<std::uint32_t>(MixBits(seed_ ^ (bits >> 16)) % record_count_);
+}
+
+bool GeoMmdb::IsAllocated(net::IPv4Address addr) const {
+  const std::uint32_t bits = addr.bits();
+  std::uint32_t node = 0;
+  for (int b = 31; b >= 0; --b) {
+    const std::uint32_t child =
+        LoadU32(trie_ + std::uint64_t{node} * 8 + ((bits >> b) & 1u) * 4);
+    if (child == kNoEntry) return false;
+    if ((child & kLeafBit) != 0) return true;
+    node = child;
+  }
+  return false;
+}
+
+GeoRecord GeoMmdb::Lookup(net::IPv4Address addr) const {
+  bool allocated = false;
+  return Lookup(addr, &allocated);
+}
+
+GeoRecord GeoMmdb::Lookup(net::IPv4Address addr, bool* allocated) const {
+  const std::uint32_t rec_index = RecordIndexFor(addr.bits(), allocated);
+  const char* rec = records_ + std::uint64_t{rec_index} * kRecordEntryBytes;
+  const char* country = countries_ + std::uint64_t{LoadU32(rec)} * kCountryEntryBytes;
+
+  // The jitter math below mirrors GeoDatabase::Lookup line for line; the
+  // equivalence tests hold both sides to bit-equal doubles.
+  const std::uint64_t h = MixBits(seed_ ^ (0x9e3779b97f4a7c15ULL * addr.bits()));
+  const double jx = (static_cast<double>(h & 0xffffffffu) / 4294967296.0 - 0.5) *
+                    2.0 * jitter_deg_;
+  const double jy = (static_cast<double>(h >> 32) / 4294967296.0 - 0.5) * 2.0 *
+                    jitter_deg_;
+  Coordinate loc{std::clamp(LoadF64(rec + 8) + jy, -89.9, 89.9),
+                 LoadF64(rec + 16) + jx};
+  while (loc.lon_deg >= 180.0) loc.lon_deg -= 360.0;
+  while (loc.lon_deg < -180.0) loc.lon_deg += 360.0;
+
+  return GeoRecord{StringAt(LoadU32(country)),
+                   StringAt(LoadU32(country + 4)),
+                   StringAt(LoadU32(rec + 4)),
+                   loc,
+                   net::Asn(LoadU32(rec + 24)),
+                   StringAt(LoadU32(rec + 28)),
+                   static_cast<OrgKind>(LoadU32(rec + 32))};
+}
+
+}  // namespace ddos::geo

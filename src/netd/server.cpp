@@ -179,6 +179,14 @@ void IngestServer::Bind() {
   sharded.shards = std::max<std::size_t>(1, config_.shards);
   sharded.engine = config_.engine;
   sharded.metrics = &registry_;
+  if (!config_.geo_path.empty()) {
+    // Map the compiled database once; every shard's enricher walks the
+    // same read-only pages. Open() validates checksum and structure, so a
+    // corrupt file fails Bind loudly instead of serving wrong lookups.
+    geo_ = std::make_unique<geo::GeoMmdb>(geo::GeoMmdb::Open(config_.geo_path));
+    sharded.geo = geo_.get();
+    sharded.geo_enrich = config_.geo_enrich;
+  }
 
   bool resumed = false;
   if (config_.resume && !config_.checkpoint_path.empty() &&
@@ -707,6 +715,15 @@ std::string IngestServer::RouteHttp(const std::string& head) {
   }
   switch (endpoint) {
     case 0:
+      // Refresh the aggregate geo gauges at scrape cadence. We are the
+      // router thread, so the snapshot barrier is legal here (same
+      // reasoning as BuildStatusJson).
+      if (geo_ != nullptr) {
+        const stream::StreamSnapshot snap = engine_->Snapshot(5);
+        if (snap.geo.has_value()) {
+          stream::PublishGeoGauges(&registry_, *snap.geo);
+        }
+      }
       return BuildHttpResponse(200, kMetricsContentType,
                                obs::RenderPrometheusText(registry_.Snapshot()));
     case 1:
@@ -792,7 +809,53 @@ std::string IngestServer::BuildStatusJson() {
     AppendJsonString(&j, data::FamilyName(static_cast<data::Family>(f)));
     j += StrFormat(",\"attacks\":%llu}", static_cast<unsigned long long>(n));
   }
-  j += "]}}";
+  j += "]}";
+
+  if (snap.geo.has_value()) {
+    const stream::GeoEnrichSnapshot& geo = *snap.geo;
+    // Status cadence doubles as the gauge-publication cadence: one writer
+    // (this thread), off the ingest path.
+    stream::PublishGeoGauges(&registry_, geo);
+    j += StrFormat(
+        ",\"geo\":{\"enriched\":%llu,\"out_of_space\":%llu,"
+        "\"tracked_botnets\":%zu,\"dropped_botnets\":%llu",
+        static_cast<unsigned long long>(geo.enriched),
+        static_cast<unsigned long long>(geo.out_of_space), geo.tracked_botnets,
+        static_cast<unsigned long long>(geo.dropped_botnets));
+    j += ",\"top_countries\":[";
+    first = true;
+    for (const stream::GeoTopEntry& e : geo.top_countries) {
+      if (!first) j += ',';
+      first = false;
+      j += "{\"cc\":";
+      AppendJsonString(&j, e.label);
+      j += StrFormat(",\"attacks\":%llu}",
+                     static_cast<unsigned long long>(e.count));
+    }
+    j += "],\"top_asns\":[";
+    first = true;
+    for (const stream::GeoTopEntry& e : geo.top_asns) {
+      if (!first) j += ',';
+      first = false;
+      j += "{\"asn\":";
+      AppendJsonString(&j, e.label);
+      j += StrFormat(",\"attacks\":%llu}",
+                     static_cast<unsigned long long>(e.count));
+    }
+    j += "],\"top_dispersed\":[";
+    first = true;
+    for (const stream::BotnetGeoStat& b : geo.top_dispersed) {
+      if (!first) j += ',';
+      first = false;
+      j += StrFormat(
+          "{\"botnet\":%u,\"attacks\":%llu,\"mean_distance_km\":%.1f}",
+          b.botnet_id, static_cast<unsigned long long>(b.attacks),
+          b.mean_distance_km);
+    }
+    j += "]}";
+  }
+
+  j += '}';
   return j;
 }
 

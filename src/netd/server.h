@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "data/ingest_error.h"
+#include "geo/mmdb.h"
 #include "netd/auth.h"
 #include "netd/connection.h"
 #include "netd/framer.h"
@@ -66,6 +67,14 @@ struct NetdConfig {
 
   std::size_t shards = 1;  // worker engines behind the router loop
   stream::StreamEngineConfig engine;
+
+  // Compiled geo database (geo/mmdb.h) for live hot-path enrichment. When
+  // set, Bind() maps the file once and every shard tags records through
+  // the shared mapping; /status grows a "geo" section and /metrics the
+  // ddoscope_geo_* series. Enrichment is a live view - it is never
+  // checkpointed, and a resumed daemon restarts its geo tallies.
+  std::string geo_path;
+  stream::GeoEnrichConfig geo_enrich;
 
   std::size_t max_line_bytes = 1 << 20;        // per-row cap (framer)
   std::size_t max_output_buffer = 256 << 10;   // slow-client write budget
@@ -190,6 +199,7 @@ class IngestServer {
 
   NetdConfig config_;
   obs::MetricsRegistry registry_;
+  std::unique_ptr<geo::GeoMmdb> geo_;  // mapped once, shared by all shards
   std::unique_ptr<stream::ShardedStreamEngine> engine_;
 
   FdHandle ingest_listener_;

@@ -49,6 +49,7 @@ void StreamEngine::AddRecord(const data::AttackRecord& attack) {
   top_targets_.Add(attack.target_ip.bits());
   distinct_targets_.Add(attack.target_ip.bits());
   distinct_botnets_.Add(attack.botnet_id);
+  if (geo_) geo_->Enrich(attack);
 
   window_starts_.push_back(attack.start_time);
   while (!window_starts_.empty() &&
@@ -79,9 +80,15 @@ void StreamEngine::PushCollab(const CollabObservation& obs) {
   obs::MaybeAdd(obs_collab_obs_);
 }
 
+void StreamEngine::EnableGeo(const geo::GeoMmdb* db,
+                             const GeoEnrichConfig& config) {
+  geo_.emplace(db, config);
+}
+
 void StreamEngine::AttachMetrics(obs::MetricsRegistry* registry,
                                  std::string_view shard) {
   if (registry == nullptr) return;
+  if (geo_) geo_->AttachMetrics(registry, shard);
   const obs::Labels labels = {{"shard", std::string(shard)}};
   obs_attacks_ = registry->GetCounter(
       "ddoscope_stream_attacks_total", "Attack records applied to the engine",
@@ -157,6 +164,14 @@ void StreamEngine::Merge(const StreamEngine& other,
   while (!window_starts_.empty() &&
          last_start_ - window_starts_.front() > config_.rolling_window_s) {
     window_starts_.pop_front();
+  }
+
+  // Geo enrichment folds last; an unenriched engine adopts the other
+  // side's database and config so a merge target built fresh (MergeShards)
+  // still accumulates every shard's tallies.
+  if (other.geo_) {
+    if (!geo_) geo_.emplace(other.geo_->db(), other.geo_->config());
+    geo_->Merge(*other.geo_);
   }
 }
 
@@ -243,6 +258,7 @@ StreamSnapshot StreamEngine::Snapshot(std::size_t top_k) const {
   }
 
   snap.collab = collab_.stats();
+  if (geo_) snap.geo = geo_->Snapshot(top_k);
   snap.attacks_in_window = window_starts_.size();
   snap.engine_memory_bytes = ApproxMemoryBytes();
   return snap;
@@ -362,6 +378,7 @@ std::size_t StreamEngine::ApproxMemoryBytes() const {
   bytes += sessionizer_.ApproxMemoryBytes();
   bytes += countries_.size() * 48;
   bytes += window_starts_.size() * sizeof(TimePoint);
+  if (geo_) bytes += geo_->ApproxMemoryBytes();
   return bytes;
 }
 

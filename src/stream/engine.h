@@ -26,6 +26,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -35,6 +36,7 @@
 #include "core/overview.h"
 #include "obs/metrics.h"
 #include "stream/collab_window.h"
+#include "stream/geo_enrich.h"
 #include "stream/ingest.h"
 #include "stream/sketch.h"
 
@@ -77,6 +79,10 @@ struct StreamSnapshot {
   std::vector<TopEntry> top_countries;
 
   WindowedCollabStats collab;
+
+  // Live geo-enrichment view; engaged only when the engine carries a
+  // GeoEnricher (EnableGeo).
+  std::optional<GeoEnrichSnapshot> geo;
 
   std::uint64_t attacks_in_window = 0;  // starts within rolling_window_s
   std::size_t engine_memory_bytes = 0;
@@ -144,6 +150,16 @@ class StreamEngine {
   // off the per-record path by design). No-op when unattached.
   void UpdateObsGauges() const;
 
+  // Arms live geo enrichment: every record pushed from here on resolves its
+  // target through `db` (which must outlive the engine) into the views
+  // surfaced via StreamSnapshot::geo. Call before AttachMetrics so the
+  // enricher's counters resolve with the engine's. Enrichment state is a
+  // live view only - SerializeTo does not persist it, and a deserialized
+  // engine comes back with enrichment disabled (stream/geo_enrich.h).
+  void EnableGeo(const geo::GeoMmdb* db, const GeoEnrichConfig& config = {});
+  bool geo_enabled() const { return geo_.has_value(); }
+  const GeoEnricher* geo_enricher() const { return geo_ ? &*geo_ : nullptr; }
+
   std::uint64_t attacks_seen() const { return attacks_; }
   TimePoint first_start() const { return first_start_; }
   TimePoint last_start() const { return last_start_; }
@@ -195,6 +211,9 @@ class StreamEngine {
   WindowedCollabDetector collab_;
   StreamSessionizer sessionizer_;
   std::vector<data::AttackRecord> session_buffer_;
+
+  // Live geo enrichment (EnableGeo); copies share the mapped database.
+  std::optional<GeoEnricher> geo_;
 
   std::deque<TimePoint> window_starts_;  // starts inside the rolling window
 

@@ -29,6 +29,9 @@ StreamEngine AnalyzeAttacksInParallel(
   engines.reserve(partitions);
   for (std::size_t p = 0; p < partitions; ++p) {
     engines.emplace_back(partition_config);
+    if (options.geo != nullptr) {
+      engines.back().EnableGeo(options.geo, options.geo_enrich);
+    }
   }
 
   common::ParallelRunner runner(std::min(threads, partitions));

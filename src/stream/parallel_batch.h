@@ -25,6 +25,11 @@ struct ParallelBatchOptions {
   std::size_t partitions = 0;  // 0: one per worker thread
   std::size_t threads = 0;     // 0: common::DefaultThreadCount()
   StreamEngineConfig engine;
+  // Optional live geo enrichment (stream/geo_enrich.h): each partition
+  // enriches as it pushes and the merged engine carries the folded view.
+  // The database must outlive the call.
+  const geo::GeoMmdb* geo = nullptr;
+  GeoEnrichConfig geo_enrich;
 };
 
 // Analyzes `attacks` (chronological, as attack CSVs are written) and

@@ -60,6 +60,11 @@ ShardedStreamEngine::ShardedStreamEngine(
   for (std::size_t i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>(
         std::max<std::size_t>(2, config.queue_capacity), worker_config_));
+    // Geo arms before AttachMetrics below so the enricher's counters
+    // resolve together with the engine's.
+    if (config.geo != nullptr) {
+      shards_.back()->engine.EnableGeo(config.geo, config.geo_enrich);
+    }
   }
   trace_ = config.trace;
   if (config.metrics != nullptr) {
@@ -557,6 +562,19 @@ void ShardedStreamEngine::RestoreFrom(const ShardedCheckpointState& state) {
     } else {
       shard.engine.Merge(state.engines[i]);
     }
+  }
+  // Checkpointed engines carry neither obs handles nor enrichment state
+  // (the format predates both and geo is live-only by contract): re-arm
+  // what the constructor had armed, with geo tallies restarting from the
+  // resume point.
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (!seeded[i]) continue;
+    Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (config_.geo != nullptr) {
+      shard.engine.EnableGeo(config_.geo, config_.geo_enrich);
+    }
+    shard.engine.AttachMetrics(config_.metrics, std::to_string(i));
   }
 }
 

@@ -85,6 +85,14 @@ struct ShardedStreamEngineConfig {
   // DDOS_TRACE_SPAN events. Null pointers cost one branch per site.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRecorder* trace = nullptr;
+  // Optional live geo enrichment: with `geo` set (caller-owned, must
+  // outlive the engine; a compiled read-only mapping is safely shared by
+  // every shard), each worker engine tags records inside the shard and the
+  // merged snapshot carries the folded GeoEnrichSnapshot. Enrichment state
+  // is never checkpointed - a restored run re-derives it from the resumed
+  // feed (stream/geo_enrich.h).
+  const geo::GeoMmdb* geo = nullptr;
+  GeoEnrichConfig geo_enrich;
   // Error policy for the span-ingest path (PushLine): policy, the line
   // length cap, and duplicate detection follow AttackCsvReader's exact
   // semantics. The quarantine pointer is ignored here - rejected rows are

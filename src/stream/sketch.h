@@ -116,14 +116,31 @@ class SpaceSaving {
       counters_.emplace(key, Counter{weight, 0});
       return;
     }
-    // Evict the minimum counter; the newcomer inherits its count as error.
-    auto min_it = counters_.begin();
-    for (auto it = counters_.begin(); it != counters_.end(); ++it) {
-      if (it->second.count < min_it->second.count) min_it = it;
+    // Evict a minimum counter; the newcomer inherits its count as error.
+    // Counts never shrink through Add and the newcomer enters at or above
+    // the floor, so the cached floor and its candidate keys stay valid
+    // until every candidate has grown past the floor or been evicted -
+    // only then does the O(capacity) rescan run again. Streams whose tail
+    // piles up at the minimum (the case that forces evictions at all)
+    // amortize the scan across the whole tie bucket, keeping the hot path
+    // O(1) instead of a full scan per eviction.
+    while (true) {
+      while (!min_candidates_.empty()) {
+        const auto it = counters_.find(min_candidates_.back());
+        min_candidates_.pop_back();
+        if (it == counters_.end() || it->second.count != min_floor_) continue;
+        counters_.erase(it);
+        counters_.emplace(key, Counter{min_floor_ + weight, min_floor_});
+        return;
+      }
+      min_floor_ = counters_.begin()->second.count;
+      for (const auto& [k, c] : counters_) {
+        min_floor_ = std::min(min_floor_, c.count);
+      }
+      for (const auto& [k, c] : counters_) {
+        if (c.count == min_floor_) min_candidates_.push_back(k);
+      }
     }
-    const std::uint64_t floor = min_it->second.count;
-    counters_.erase(min_it);
-    counters_.emplace(key, Counter{floor + weight, floor});
   }
 
   // Sums the other sketch's counters into this one. Counts remain upper
@@ -132,6 +149,7 @@ class SpaceSaving {
   // (deterministically: smallest count first, ties by larger key), which
   // loses their - necessarily small - mass from the reported top-k.
   void Merge(const SpaceSaving& other) {
+    InvalidateMinCache();  // merged-in counts may sit below the cached floor
     total_ += other.total_;
     for (const auto& [key, c] : other.counters_) {
       auto [it, inserted] = counters_.try_emplace(key, c);
@@ -191,6 +209,7 @@ class SpaceSaving {
     total_ = io::ReadU64(in);
     const std::uint64_t n = io::ReadU64(in);
     counters_.clear();
+    InvalidateMinCache();
     for (std::uint64_t i = 0; i < n; ++i) {
       Key key{};
       io::ReadValue(in, &key);
@@ -207,9 +226,18 @@ class SpaceSaving {
     std::uint64_t error = 0;
   };
 
+  void InvalidateMinCache() {
+    min_floor_ = 0;  // no live count can match: 0 forces a rescan
+    min_candidates_.clear();
+  }
+
   std::size_t capacity_;
   std::uint64_t total_ = 0;
   std::unordered_map<Key, Counter> counters_;
+  // Eviction cache: keys whose count equalled min_floor_ at the last scan.
+  // Derived state - never serialized, rebuilt on demand.
+  std::uint64_t min_floor_ = 0;
+  std::vector<Key> min_candidates_;
 };
 
 // --- Distinct counting (k minimum values). ---

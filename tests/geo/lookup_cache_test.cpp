@@ -1,0 +1,64 @@
+#include "geo/lookup_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "geo/geo_db.h"
+#include "net/ipv4.h"
+#include "test_support.h"
+
+namespace ddos::geo {
+namespace {
+
+bool SameRecord(const GeoRecord& a, const GeoRecord& b) {
+  return a.country_code == b.country_code && a.country_name == b.country_name &&
+         a.city == b.city && a.asn == b.asn && a.organization == b.organization &&
+         a.org_kind == b.org_kind &&
+         std::bit_cast<std::uint64_t>(a.location.lat_deg) ==
+             std::bit_cast<std::uint64_t>(b.location.lat_deg) &&
+         std::bit_cast<std::uint64_t>(a.location.lon_deg) ==
+             std::bit_cast<std::uint64_t>(b.location.lon_deg);
+}
+
+TEST(GeoLookupCacheTest, MemoMatchesDatabaseBitForBit) {
+  const GeoDatabase& db = ::ddos::testing::TestGeoDb();
+  GeoLookupCache cache(db);
+  // Stride across the address space, hitting allocated and fallback
+  // prefixes; every memoized record must equal a direct lookup exactly
+  // (the jitter hash is deterministic per address).
+  for (std::uint32_t bits = 0; bits < 0xf0000000u; bits += 0x01234567u) {
+    const net::IPv4Address addr(bits);
+    EXPECT_TRUE(SameRecord(cache.Lookup(addr), db.Lookup(addr))) << bits;
+    EXPECT_TRUE(SameRecord(cache.Lookup(addr), db.Lookup(addr))) << bits;
+  }
+}
+
+TEST(GeoLookupCacheTest, RepeatLookupsDoNotGrowTheCache) {
+  GeoLookupCache cache(::ddos::testing::TestGeoDb());
+  const net::IPv4Address a = net::IPv4Address::FromOctets(10, 1, 2, 3);
+  const net::IPv4Address b = net::IPv4Address::FromOctets(172, 16, 9, 9);
+  cache.Lookup(a);
+  cache.Lookup(a);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Lookup(b);
+  cache.Lookup(a);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(GeoLookupCacheTest, ReferencesSurviveLaterInsertions) {
+  GeoLookupCache cache(::ddos::testing::TestGeoDb());
+  const net::IPv4Address first = net::IPv4Address::FromOctets(8, 8, 8, 8);
+  const GeoRecord& pinned = cache.Lookup(first);
+  const std::string_view cc = pinned.country_code;
+  const double lat = pinned.location.lat_deg;
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    cache.Lookup(net::IPv4Address(0x0a000000u + i * 1031u));
+  }
+  EXPECT_EQ(pinned.country_code, cc);
+  EXPECT_EQ(pinned.location.lat_deg, lat);
+}
+
+}  // namespace
+}  // namespace ddos::geo

@@ -75,6 +75,22 @@
 //       Stream a trace into a running ddoscoped and report the server's
 //       acknowledged record count. --input-format bin re-encodes a
 //       converted binary trace back into protocol lines on the fly.
+//   ddoscope geo compile OUT.geo [--seed N] [--blocks N] [--jitter D]
+//                  [--extra-cities W]
+//       Compile the synthetic geo database into the memory-mapped binary
+//       format (geo/mmdb.h): versioned, checksummed, shareable read-only
+//       across processes. The flags mirror GeoDbConfig; the defaults
+//       reproduce the database every other subcommand builds in memory
+//       (seed 42), so `--geo OUT.geo` below resolves identically.
+//   ddoscope geo lookup DB.geo IP...
+//       Resolve addresses against a compiled database and print the
+//       record (country, city, ASN, organization, coordinates) plus
+//       whether the address falls in allocated /16 space.
+//
+//   watch, batch and serve accept --geo DB.geo: every ingested record is
+//   then geo-tagged on the hot path (stream/geo_enrich.h) and the summary,
+//   /status and /metrics grow live top-country / top-ASN / per-botnet
+//   dispersion views.
 //
 // The CSV schema is Table I of the paper (see data/csv.h), so externally
 // collected traces work with every subcommand except `generate`.
@@ -108,6 +124,8 @@
 #include "data/linescan.h"
 #include "data/query.h"
 #include "geo/geo_db.h"
+#include "geo/mmdb.h"
+#include "net/ipv4.h"
 #include "netd/auth.h"
 #include "netd/client.h"
 #include "netd/journal.h"
@@ -165,7 +183,11 @@ int Usage() {
                "                 [--max-http-connections N]\n"
                "  ddoscope feed HOST:PORT ATTACKS.csv|- [--token T]\n"
                "                 [--client-id ID] [--retries N]\n"
-               "                 [--input-format csv|bin]\n");
+               "                 [--input-format csv|bin]\n"
+               "  ddoscope geo compile OUT.geo [--seed N] [--blocks N]\n"
+               "                 [--jitter D] [--extra-cities W]\n"
+               "  ddoscope geo lookup DB.geo IP...\n"
+               "  (watch, batch and serve also accept --geo DB.geo)\n");
   return 2;
 }
 
@@ -444,7 +466,60 @@ void PrintWatchSnapshot(const stream::StreamSnapshot& snap, bool final_view,
     }
     std::printf("\n");
   }
+  if (snap.geo.has_value()) {
+    const stream::GeoEnrichSnapshot& geo = *snap.geo;
+    std::printf("geo: %llu tagged (%llu outside allocated space), "
+                "%zu botnets tracked\n",
+                static_cast<unsigned long long>(geo.enriched),
+                static_cast<unsigned long long>(geo.out_of_space),
+                geo.tracked_botnets);
+    if (!geo.top_countries.empty()) {
+      std::printf("geo countries:");
+      for (std::size_t i = 0;
+           i < std::min<std::size_t>(geo.top_countries.size(), 5); ++i) {
+        std::printf(" %s(%llu)", geo.top_countries[i].label.c_str(),
+                    static_cast<unsigned long long>(geo.top_countries[i].count));
+      }
+      std::printf(" | asns:");
+      for (std::size_t i = 0; i < std::min<std::size_t>(geo.top_asns.size(), 3);
+           ++i) {
+        std::printf(" %s(%llu)", geo.top_asns[i].label.c_str(),
+                    static_cast<unsigned long long>(geo.top_asns[i].count));
+      }
+      std::printf("\n");
+    }
+    if (!geo.top_dispersed.empty()) {
+      std::printf("geo dispersion:");
+      for (std::size_t i = 0;
+           i < std::min<std::size_t>(geo.top_dispersed.size(), 3); ++i) {
+        const stream::BotnetGeoStat& b = geo.top_dispersed[i];
+        std::printf(" botnet%u=%.0fkm", b.botnet_id, b.mean_distance_km);
+      }
+      std::printf("\n");
+    }
+  }
   std::printf("engine state ~%zu KiB\n\n", snap.engine_memory_bytes / 1024);
+}
+
+// Shared --geo handling: opens the compiled database when the flag is
+// present. Returns false (with a message) when the file cannot be opened or
+// fails validation; *db stays empty when the flag is absent.
+bool OpenGeoFlag(const std::map<std::string, std::string>& flags,
+                 const char* command, std::unique_ptr<geo::GeoMmdb>* db) {
+  const auto it = flags.find("geo");
+  if (it == flags.end()) return true;
+  if (it->second.empty()) {
+    std::fprintf(stderr, "%s: --geo needs a compiled database file\n", command);
+    return false;
+  }
+  try {
+    *db = std::make_unique<geo::GeoMmdb>(geo::GeoMmdb::Open(it->second));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: cannot open %s: %s\n", command,
+                 it->second.c_str(), e.what());
+    return false;
+  }
+  return true;
 }
 
 int CmdWatch(const std::string& path,
@@ -518,6 +593,10 @@ int CmdWatch(const std::string& path,
   }
   bool binary_input = false;
   if (!ParseInputFormat(flags, "watch", &binary_input)) return 2;
+  // Live geo enrichment (--geo): the mapping is opened once here and
+  // shared read-only by however many shard engines the run spins up.
+  std::unique_ptr<geo::GeoMmdb> geo_db;
+  if (!OpenGeoFlag(flags, "watch", &geo_db)) return 2;
   // `-` tails stdin, the ROADMAP's tail -f / pipe source.
   const bool from_stdin = path == "-";
   // Parse-in-shard span ingest needs a stable, seekable byte source: a
@@ -668,6 +747,17 @@ int CmdWatch(const std::string& path,
     stats_next = now + stats_period;
   };
 
+  // Every summary print also refreshes the aggregate geo gauges (a no-op
+  // without --geo or without an armed registry): snapshot cadence is the
+  // documented publication cadence for the merged view.
+  const auto show_snapshot = [&](const stream::StreamSnapshot& snap,
+                                 bool final_view) {
+    if (snap.geo.has_value()) {
+      stream::PublishGeoGauges(metrics_registry.get(), *snap.geo);
+    }
+    PrintWatchSnapshot(snap, final_view, window_hours);
+  };
+
   // End-of-run exposition: the Prometheus/JSON dump and the Chrome trace.
   const auto finalize_obs = [&] {
     if (!metrics_out.empty()) {
@@ -695,6 +785,7 @@ int CmdWatch(const std::string& path,
     sharded_config.trace = trace.get();
     sharded_config.parse = parse_options;
     sharded_config.parse.quarantine = nullptr;  // drained in line order below
+    sharded_config.geo = geo_db.get();
     io::MmapFile feed = io::MmapFile::Open(path);
     data::LineSpanScanner scanner(feed.view());
     std::unique_ptr<stream::ShardedStreamEngine> engine;
@@ -740,7 +831,7 @@ int CmdWatch(const std::string& path,
                           [&] { return engine->ApproxMemoryBytes(); });
         if (every > 0 && engine->attacks_seen() > 0 &&
             engine->attacks_seen() % every == 0) {
-          PrintWatchSnapshot(engine->Snapshot(), false, window_hours);
+          show_snapshot(engine->Snapshot(), false);
         }
         if (!checkpoint_path.empty() && checkpoint_every > 0 &&
             engine->attacks_seen() > 0 &&
@@ -774,7 +865,7 @@ int CmdWatch(const std::string& path,
       finalize_obs();
       return 0;
     }
-    PrintWatchSnapshot(engine->Snapshot(), true, window_hours);
+    show_snapshot(engine->Snapshot(), true);
     finalize_obs();
     return 0;
   }
@@ -785,6 +876,7 @@ int CmdWatch(const std::string& path,
     sharded_config.engine = config;
     sharded_config.metrics = metrics_registry.get();
     sharded_config.trace = trace.get();
+    sharded_config.geo = geo_db.get();
     std::unique_ptr<stream::ShardedStreamEngine> engine;
     if (resume) {
       stream::ShardedCheckpointState state =
@@ -812,7 +904,7 @@ int CmdWatch(const std::string& path,
                           [&] { return source_errors().total(); },
                           [&] { return engine->ApproxMemoryBytes(); });
         if (every > 0 && engine->attacks_seen() % every == 0) {
-          PrintWatchSnapshot(engine->Snapshot(), false, window_hours);
+          show_snapshot(engine->Snapshot(), false);
         }
         if (!checkpoint_path.empty() && checkpoint_every > 0 &&
             source_records() % checkpoint_every == 0) {
@@ -833,7 +925,7 @@ int CmdWatch(const std::string& path,
       finalize_obs();
       return 0;
     }
-    PrintWatchSnapshot(engine->Snapshot(), true, window_hours);
+    show_snapshot(engine->Snapshot(), true);
     finalize_obs();
     return 0;
   }
@@ -846,8 +938,12 @@ int CmdWatch(const std::string& path,
     window_hours = engine.config().rolling_window_s / kSecondsPerHour;
     resume_reader(resumed);
   }
-  // After the resume branch: a deserialized engine starts unattached, so a
-  // pre-resume attach would be overwritten by the assignment above.
+  // After the resume branch: a deserialized engine starts unattached (and
+  // enrichment is never checkpointed), so both re-arm here; a pre-resume
+  // call would be overwritten by the assignment above.
+  if (geo_db != nullptr) {
+    engine.EnableGeo(geo_db.get());
+  }
   if (metrics_registry != nullptr) {
     engine.AttachMetrics(metrics_registry.get(), "0");
   }
@@ -868,7 +964,7 @@ int CmdWatch(const std::string& path,
                         [&] { return source_errors().total(); },
                         [&] { return engine.ApproxMemoryBytes(); });
       if (every > 0 && engine.attacks_seen() % every == 0) {
-        PrintWatchSnapshot(engine.Snapshot(), false, window_hours);
+        show_snapshot(engine.Snapshot(), false);
       }
       if (!checkpoint_path.empty() && checkpoint_every > 0 &&
           source_records() % checkpoint_every == 0) {
@@ -890,7 +986,7 @@ int CmdWatch(const std::string& path,
     finalize_obs();
     return 0;
   }
-  PrintWatchSnapshot(engine.Snapshot(), true, window_hours);
+  show_snapshot(engine.Snapshot(), true);
   finalize_obs();
   return 0;
 }
@@ -912,6 +1008,9 @@ int CmdBatch(const std::string& path,
   }
   bool binary_input = false;
   if (!ParseInputFormat(flags, "batch", &binary_input)) return 2;
+  std::unique_ptr<geo::GeoMmdb> geo_db;
+  if (!OpenGeoFlag(flags, "batch", &geo_db)) return 2;
+  options.geo = geo_db.get();
   std::vector<data::AttackRecord> attacks;
   if (binary_input) {
     data::BinaryRecordReader reader(path);
@@ -1009,6 +1108,13 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   }
   if (const auto it = flags.find("journal"); it != flags.end()) {
     config.journal_path = it->second;
+  }
+  if (const auto it = flags.find("geo"); it != flags.end()) {
+    if (it->second.empty()) {
+      std::fprintf(stderr, "serve: --geo needs a compiled database file\n");
+      return 2;
+    }
+    config.geo_path = it->second;  // Bind() maps and validates it
   }
   if (const auto it = flags.find("journal-fsync"); it != flags.end()) {
     const auto policy = netd::ParseFsyncPolicy(it->second);
@@ -1190,6 +1296,70 @@ int CmdFeed(const std::string& hostport, const std::string& path,
   return 0;
 }
 
+int CmdGeo(const std::vector<std::string>& positional,
+           const std::map<std::string, std::string>& flags) {
+  if (positional.size() >= 2 && positional[0] == "compile") {
+    const std::string& out = positional[1];
+    std::uint64_t seed = 42;  // the database every other subcommand builds
+    if (const auto it = flags.find("seed"); it != flags.end()) {
+      seed = static_cast<std::uint64_t>(
+          ParseInt64(it->second).value_or(static_cast<std::int64_t>(seed)));
+    }
+    geo::GeoDbConfig config;
+    if (const auto it = flags.find("blocks"); it != flags.end()) {
+      config.total_blocks = static_cast<int>(std::max<std::int64_t>(
+          1, ParseInt64(it->second).value_or(config.total_blocks)));
+    }
+    if (const auto it = flags.find("jitter"); it != flags.end()) {
+      config.address_jitter_deg =
+          ParseDouble(it->second).value_or(config.address_jitter_deg);
+    }
+    if (const auto it = flags.find("extra-cities"); it != flags.end()) {
+      config.extra_cities_per_weight =
+          ParseDouble(it->second).value_or(config.extra_cities_per_weight);
+    }
+    const geo::GeoDatabase db(geo::WorldCatalog::Builtin(), config, seed);
+    geo::CompileGeoDatabase(db, out);
+    const geo::GeoMmdb compiled = geo::GeoMmdb::Open(out);
+    std::printf("compiled %s: %zu bytes, %u trie nodes, %u records, "
+                "%u countries (seed=%llu)\n",
+                out.c_str(), compiled.size_bytes(), compiled.node_count(),
+                compiled.record_count(), compiled.country_count(),
+                static_cast<unsigned long long>(seed));
+    return 0;
+  }
+  if (positional.size() >= 2 && positional[0] == "lookup") {
+    const geo::GeoMmdb db = geo::GeoMmdb::Open(positional[1]);
+    if (positional.size() == 2) {
+      std::fprintf(stderr, "geo lookup: no addresses given\n");
+      return 2;
+    }
+    core::TextTable table({"address", "cc", "city", "asn", "organization",
+                           "lat", "lon", "space"});
+    for (std::size_t i = 2; i < positional.size(); ++i) {
+      const auto addr = net::IPv4Address::Parse(positional[i]);
+      if (!addr.has_value()) {
+        std::fprintf(stderr, "geo lookup: bad address %s\n",
+                     positional[i].c_str());
+        return 2;
+      }
+      const geo::GeoRecord rec = db.Lookup(*addr);
+      table.AddRow({addr->ToString(), std::string(rec.country_code),
+                    std::string(rec.city), rec.asn.ToString(),
+                    std::string(rec.organization),
+                    StrFormat("%.4f", rec.location.lat_deg),
+                    StrFormat("%.4f", rec.location.lon_deg),
+                    db.IsAllocated(*addr) ? "allocated" : "fallback"});
+    }
+    std::printf("%s", table.Render().c_str());
+    return 0;
+  }
+  std::fprintf(stderr,
+               "usage: ddoscope geo compile OUT.geo [--seed N] [--blocks N]\n"
+               "       ddoscope geo lookup DB.geo IP...\n");
+  return 2;
+}
+
 int CmdPredict(const std::string& path) {
   const data::Dataset ds = LoadDataset(path);
   const auto watch = core::BuildWatchList(ds, 15, 4);
@@ -1250,6 +1420,9 @@ int main(int argc, char** argv) {
     }
     if (command == "feed" && positional.size() == 2) {
       return CmdFeed(positional[0], positional[1], flags);
+    }
+    if (command == "geo") {
+      return CmdGeo(positional, flags);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ddoscope %s: %s\n", command.c_str(), e.what());
